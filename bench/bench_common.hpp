@@ -1,0 +1,101 @@
+// Shared infrastructure for the per-table/per-figure experiment harnesses.
+//
+// Every binary in bench/ regenerates one table or figure of the paper on the
+// calibrated synthetic traces (see DESIGN.md "Substitutions"). Scale knobs:
+//   LHR_BENCH_REQUESTS  requests per trace      (default 200'000)
+//   LHR_BENCH_SEED      generator seed          (default 42)
+// The paper's cache sizes are scaled by (requests / 1e6) so the cache-to-
+// workload ratio matches the original setup.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy_factory.hpp"
+#include "gen/cdn_model.hpp"
+#include "sim/engine.hpp"
+#include "trace/trace.hpp"
+
+namespace lhr::bench {
+
+inline std::size_t requests_per_trace() {
+  if (const char* env = std::getenv("LHR_BENCH_REQUESTS")) {
+    const long value = std::atol(env);
+    if (value > 1000) return static_cast<std::size_t>(value);
+  }
+  return 200'000;
+}
+
+inline std::uint64_t bench_seed() {
+  if (const char* env = std::getenv("LHR_BENCH_SEED")) {
+    return static_cast<std::uint64_t>(std::atoll(env));
+  }
+  return 42;
+}
+
+/// Cache sizes are scaled to keep the paper's cache:workload ratio.
+inline double cache_scale() {
+  return static_cast<double>(requests_per_trace()) / 1e6;
+}
+
+inline const std::vector<gen::TraceClass>& all_trace_classes() {
+  static const std::vector<gen::TraceClass> classes = {
+      gen::TraceClass::kCdnA, gen::TraceClass::kCdnB, gen::TraceClass::kCdnC,
+      gen::TraceClass::kWiki};
+  return classes;
+}
+
+/// Generates (and memoizes per-process) the four paper-calibrated traces.
+inline const trace::Trace& trace_for(gen::TraceClass c) {
+  static std::vector<std::unique_ptr<trace::Trace>> cache(4);
+  const auto idx = static_cast<std::size_t>(c);
+  if (!cache[idx]) {
+    cache[idx] = std::make_unique<trace::Trace>(
+        gen::make_trace(c, requests_per_trace(), bench_seed()));
+  }
+  return *cache[idx];
+}
+
+/// Runs one policy over a trace with the §7.1 fairness accounting.
+inline sim::SimMetrics run_policy(const std::string& name, gen::TraceClass c,
+                                  std::uint64_t capacity_bytes) {
+  auto policy = core::make_policy(name, capacity_bytes);
+  return sim::simulate(*policy, trace_for(c));
+}
+
+/// WAN traffic rate in Gbps over the trace duration (Figure 8 bottom row).
+inline double wan_gbps(const sim::SimMetrics& m, const trace::Trace& t) {
+  const double duration = t.duration() > 0.0 ? t.duration() : 1.0;
+  return m.wan_traffic_bytes() * 8.0 / duration / 1e9;
+}
+
+inline double gb(double bytes) { return bytes / (1024.0 * 1024.0 * 1024.0); }
+
+// ---------------------------------------------------------------- output
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(synthetic traces: %zu requests/trace, seed %llu; see DESIGN.md)\n",
+              requests_per_trace(),
+              static_cast<unsigned long long>(bench_seed()));
+  std::printf("================================================================\n");
+}
+
+inline void print_row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& cell : cells) std::printf("%-*s", width, cell.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double value, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+inline std::string pct(double ratio) { return fmt(100.0 * ratio, 2); }
+
+}  // namespace lhr::bench

@@ -1,0 +1,28 @@
+// Extension: object-hit vs byte-hit objective. LHR's eviction rule
+// (q = p/s · 1/IRT1) and object-weighted threshold tuning favor object hit
+// probability, which can raise WAN bytes on large-object traces (see
+// EXPERIMENTS.md, Table 2 note). This bench quantifies the trade by tuning
+// δ for byte hits instead.
+#include "bench/bench_common.hpp"
+#include "core/lhr_cache.hpp"
+
+int main() {
+  using namespace lhr;
+  bench::print_header("Extension: LHR tuned for object hits vs byte hits (WAN traffic)");
+
+  bench::print_row({"Trace", "Objective", "Hit(%)", "ByteHit(%)", "WAN(Gbps)"});
+  for (const auto c : bench::all_trace_classes()) {
+    const auto& trace = bench::trace_for(c);
+    const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
+    for (const bool byte_hit : {false, true}) {
+      core::LhrConfig cfg;
+      cfg.optimize_byte_hit = byte_hit;
+      core::LhrCache cache(capacity, cfg);
+      const auto m = sim::simulate(cache, trace);
+      bench::print_row({gen::to_string(c), byte_hit ? "byte-hit" : "object-hit",
+                        bench::pct(m.object_hit_ratio()), bench::pct(m.byte_hit_ratio()),
+                        bench::fmt(bench::wan_gbps(m, trace), 3)});
+    }
+  }
+  return 0;
+}

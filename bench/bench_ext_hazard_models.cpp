@@ -1,0 +1,37 @@
+// Extension: beyond-Poisson HRO. Compares the paper's Poisson hazard (§3.2)
+// against the age-decay variant (per-content survival decay + fitted
+// hyperexponential IRT mixture) on all four traces, and reports the fitted
+// mixture parameters that characterize each trace's IRT process.
+#include "bench/bench_common.hpp"
+#include "hazard/hro.hpp"
+
+int main() {
+  using namespace lhr;
+  bench::print_header("Extension: HRO hazard models (Poisson vs age-decay)");
+
+  bench::print_row({"Trace", "Poisson(%)", "AgeDecay(%)", "fit p", "fit l1(1/s)",
+                    "fit l2(1/s)"});
+  for (const auto c : bench::all_trace_classes()) {
+    const auto& trace = bench::trace_for(c);
+    const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
+
+    hazard::HroConfig poisson{.capacity_bytes = capacity};
+    hazard::HroConfig decayed{.capacity_bytes = capacity};
+    decayed.age_decay_hazard = true;
+
+    hazard::Hro a(poisson), b(decayed);
+    for (const auto& r : trace) {
+      a.classify(r);
+      b.classify(r);
+    }
+    const auto& model = b.irt_model();
+    bench::print_row({gen::to_string(c), bench::pct(a.hit_ratio()),
+                      bench::pct(b.hit_ratio()),
+                      b.irt_model_ready() ? bench::fmt(model.p, 2) : "-",
+                      b.irt_model_ready() ? bench::fmt(model.lambda1, 4) : "-",
+                      b.irt_model_ready() ? bench::fmt(model.lambda2, 6) : "-"});
+  }
+  std::printf("\nlambda1 >> lambda2 confirms heavy-tailed (decreasing-hazard) IRTs;\n"
+              "the age-decay bound reacts to it, the Poisson bound cannot.\n");
+  return 0;
+}

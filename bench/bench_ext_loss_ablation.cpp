@@ -1,0 +1,27 @@
+// Extension ablation: LHR's training objective. §5.2.4 states squared error
+// "achieves the best performance in our experiments compared to other loss
+// functions that we explored" — this bench reproduces that comparison with
+// the logistic alternative.
+#include "bench/bench_common.hpp"
+#include "core/lhr_cache.hpp"
+
+int main() {
+  using namespace lhr;
+  bench::print_header("Extension: LHR training-loss ablation (squared vs logistic)");
+
+  bench::print_row({"Trace", "Loss", "Hit(%)", "TrainTime(s)"});
+  for (const auto c : bench::all_trace_classes()) {
+    const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
+    for (const auto loss : {ml::GbdtLoss::kSquared, ml::GbdtLoss::kLogistic}) {
+      core::LhrConfig cfg;
+      cfg.gbdt.loss = loss;
+      core::LhrCache cache(capacity, cfg);
+      const auto metrics = sim::simulate(cache, bench::trace_for(c));
+      bench::print_row({gen::to_string(c),
+                        loss == ml::GbdtLoss::kSquared ? "squared" : "logistic",
+                        bench::pct(metrics.object_hit_ratio()),
+                        bench::fmt(cache.training_seconds(), 3)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Extension: admission-model quality. §7.5 says "the remaining gap between
+// LHR and HRO is mainly due to the errors in our model". This bench measures
+// those errors directly: LHR's predicted admission probabilities are scored
+// against HRO's labels over recent requests, next to the resulting
+// LHR vs HRO hit-probability gap.
+#include "bench/bench_common.hpp"
+#include "core/lhr_cache.hpp"
+
+int main() {
+  using namespace lhr;
+  bench::print_header("Extension: LHR admission-model quality vs the LHR-HRO gap");
+
+  bench::print_row({"Trace", "AUC", "Acc", "Recall", "Brier", "LHR(%)", "HRO(%)",
+                    "gap(pp)"});
+  for (const auto c : bench::all_trace_classes()) {
+    const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
+    core::LhrCache lhr(capacity, core::LhrConfig{});
+    const auto metrics = sim::simulate(lhr, bench::trace_for(c));
+    const auto quality = lhr.model_quality();
+    bench::print_row(
+        {gen::to_string(c), bench::fmt(quality.auc, 3), bench::fmt(quality.accuracy, 3),
+         bench::fmt(quality.recall, 3), bench::fmt(quality.brier, 3),
+         bench::pct(metrics.object_hit_ratio()), bench::pct(lhr.hro_hit_ratio()),
+         bench::fmt(100.0 * (lhr.hro_hit_ratio() - metrics.object_hit_ratio()), 2)});
+  }
+  std::printf("\nHigher AUC should coincide with a smaller LHR-HRO gap (§7.5).\n");
+  return 0;
+}

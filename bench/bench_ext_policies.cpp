@@ -1,0 +1,24 @@
+// Extension: the full policy lineup (the paper's seven SOTAs plus every
+// other baseline this library implements) on each trace at the headline
+// cache size — hit probability, byte hit ratio and wall-clock per policy.
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace lhr;
+  bench::print_header("Extension: full policy lineup at the headline cache size");
+
+  for (const auto c : bench::all_trace_classes()) {
+    const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
+    std::printf("\n-- %s (cache %.0f GB paper-equivalent) --\n",
+                gen::to_string(c).c_str(),
+                bench::gb(double(capacity)) / bench::cache_scale());
+    bench::print_row({"Policy", "Hit(%)", "ByteHit(%)", "Wall(s)"});
+    for (const auto& name : core::all_policy_names()) {
+      const auto metrics = bench::run_policy(name, c, capacity);
+      bench::print_row({name, bench::pct(metrics.object_hit_ratio()),
+                        bench::pct(metrics.byte_hit_ratio()),
+                        bench::fmt(metrics.wall_seconds, 2)});
+    }
+  }
+  return 0;
+}

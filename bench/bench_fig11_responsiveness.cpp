@@ -1,0 +1,46 @@
+// Figure 11: responsiveness to workload changes under the Markov-modulated
+// "Syn One" and "Syn Two" processes (paper §7.6: N = 1000 contents,
+// r = 200k requests per state, 1M requests total — scaled by
+// LHR_BENCH_REQUESTS). Paper claims: LRB is the best SOTA on Syn One,
+// AdaptSize on Syn Two, and LHR beats both on hit probability and traffic.
+#include <unordered_map>
+
+#include "bench/bench_common.hpp"
+#include "gen/markov_modulated.hpp"
+
+int main() {
+  using namespace lhr;
+  bench::print_header("Figure 11: responsiveness under Markov-modulated workloads");
+
+  gen::MarkovModulatedConfig cfg;
+  cfg.num_requests = bench::requests_per_trace();
+  cfg.requests_per_state = cfg.num_requests / 5;  // paper ratio: 200k of 1M
+  cfg.seed = bench::bench_seed();
+
+  auto policies = core::sota_policy_names();
+  policies.push_back("LHR");
+
+  for (const std::string workload : {"Syn One", "Syn Two"}) {
+    const trace::Trace trace =
+        workload == "Syn One" ? generate_syn_one(cfg) : generate_syn_two(cfg);
+    // Cache sized for ~15% of the content population's bytes.
+    double unique_bytes = 0.0;
+    {
+      std::unordered_map<trace::Key, std::uint64_t> sizes;
+      for (const auto& r : trace) sizes.try_emplace(r.key, r.size);
+      for (const auto& [k, s] : sizes) unique_bytes += double(s);
+    }
+    const auto capacity = static_cast<std::uint64_t>(unique_bytes * 0.15);
+
+    std::printf("\n-- %s (cache = %.1f MB) --\n", workload.c_str(),
+                double(capacity) / 1e6);
+    bench::print_row({"Policy", "Hit(%)", "Traffic(Gbps)"});
+    for (const auto& name : policies) {
+      auto policy = core::make_policy(name, capacity);
+      const auto metrics = sim::simulate(*policy, trace);
+      bench::print_row({name, bench::pct(metrics.object_hit_ratio()),
+                        bench::fmt(bench::wan_gbps(metrics, trace), 4)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 1: content popularity (rank-frequency) and inter-arrival time CDFs.
+#include <cmath>
+
+#include "bench/bench_common.hpp"
+#include "trace/trace_stats.hpp"
+
+int main() {
+  using namespace lhr;
+  bench::print_header("Figure 1: content popularity and inter-arrival time");
+
+  std::printf("\n-- Popularity: request count at log-spaced ranks + fitted Zipf alpha --\n");
+  bench::print_row({"Trace", "rank1", "rank10", "rank100", "rank1k", "rank10k", "alpha"});
+  for (const auto c : bench::all_trace_classes()) {
+    const auto counts = trace::popularity_counts(bench::trace_for(c));
+    const auto at = [&](std::size_t rank) {
+      return rank <= counts.size() ? bench::fmt(double(counts[rank - 1]), 0)
+                                   : std::string("-");
+    };
+    bench::print_row({gen::to_string(c), at(1), at(10), at(100), at(1000), at(10000),
+                      bench::fmt(trace::fit_zipf_alpha(counts, 2000), 2)});
+  }
+
+  std::printf("\n-- Inter-arrival time CDF: P(IRT <= t) --\n");
+  const std::vector<double> points = {0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0};
+  bench::print_row({"Trace", "0.1s", "1s", "10s", "100s", "1ks", "10ks"});
+  for (const auto c : bench::all_trace_classes()) {
+    auto irts = trace::inter_request_times(bench::trace_for(c));
+    const auto cdf = trace::empirical_cdf(std::move(irts), points);
+    std::vector<std::string> cells = {gen::to_string(c)};
+    for (const double v : cdf) cells.push_back(bench::fmt(v, 3));
+    bench::print_row(cells);
+  }
+  return 0;
+}

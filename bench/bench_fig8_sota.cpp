@@ -1,0 +1,40 @@
+// Figure 8: average content hit probability and WAN traffic of LHR vs the
+// seven SOTAs across cache sizes, on all four traces.
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace lhr;
+  bench::print_header("Figure 8: LHR vs SOTAs (hit probability %, WAN traffic Gbps)");
+
+  auto policies = core::sota_policy_names();
+  policies.push_back("LHR");
+
+  for (const auto c : bench::all_trace_classes()) {
+    const auto& trace = bench::trace_for(c);
+    const auto sizes = gen::paper_cache_sizes(c, bench::cache_scale());
+
+    std::printf("\n-- %s: hit probability (%%) --\n", gen::to_string(c).c_str());
+    {
+      std::vector<std::string> header = {"Policy"};
+      for (const auto s : sizes) {
+        header.push_back(bench::fmt(bench::gb(double(s)) / bench::cache_scale(), 0) + "GB");
+      }
+      header.push_back("| traffic@" +
+                       bench::fmt(bench::gb(double(sizes[2])) / bench::cache_scale(), 0) +
+                       "GB");
+      bench::print_row(header);
+    }
+    for (const auto& name : policies) {
+      std::vector<std::string> cells = {name};
+      sim::SimMetrics at_headline;
+      for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const auto metrics = bench::run_policy(name, c, sizes[i]);
+        cells.push_back(bench::pct(metrics.object_hit_ratio()));
+        if (i == 2) at_headline = metrics;
+      }
+      cells.push_back("| " + bench::fmt(bench::wan_gbps(at_headline, trace), 3));
+      bench::print_row(cells);
+    }
+  }
+  return 0;
+}

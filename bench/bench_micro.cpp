@@ -1,0 +1,147 @@
+// Microbenchmarks (google-benchmark): per-request cost of the data
+// structures and policies, backing the running-time claims of Figure 9 and
+// the latency-model inputs of Table 3.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/policy_factory.hpp"
+#include "gen/zipf.hpp"
+#include "hazard/hro.hpp"
+#include "ml/features.hpp"
+#include "ml/gbdt.hpp"
+#include "util/count_min_sketch.hpp"
+#include "util/density_index.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lhr;
+
+std::vector<trace::Request> zipf_requests(std::size_t n) {
+  gen::ZipfSampler zipf(50'000, 0.9);
+  util::Xoshiro256 rng(7);
+  std::vector<trace::Request> reqs;
+  reqs.reserve(n);
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += 0.01;
+    const auto k = zipf.sample(rng);
+    reqs.push_back({t, k, 1'000 + (k % 100) * 1'000});
+  }
+  return reqs;
+}
+
+void BM_PolicyAccess(benchmark::State& state, const std::string& name) {
+  const auto reqs = zipf_requests(200'000);
+  auto policy = core::make_policy(name, 20ULL << 20);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->access(reqs[i]));
+    i = (i + 1) % reqs.size();
+  }
+}
+
+void BM_HroClassify(benchmark::State& state) {
+  const auto reqs = zipf_requests(200'000);
+  hazard::Hro hro(hazard::HroConfig{.capacity_bytes = 20ULL << 20});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hro.classify(reqs[i]));
+    i = (i + 1) % reqs.size();
+  }
+}
+
+void BM_DensityIndexUpsert(benchmark::State& state) {
+  util::DensityIndex index;
+  util::Xoshiro256 rng(3);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    index.upsert(id % 100'000, 1e-6 + rng.next_double(), 1 + rng.next_below(1'000'000));
+    ++id;
+  }
+}
+
+void BM_CountMinIncrement(benchmark::State& state) {
+  util::CountMinSketch sketch(1 << 18, 10ULL << 18);
+  util::Xoshiro256 rng(5);
+  for (auto _ : state) {
+    sketch.increment(rng.next_below(1 << 20));
+  }
+}
+
+void BM_FeatureExtract(benchmark::State& state) {
+  ml::FeatureExtractor fx;
+  const auto reqs = zipf_requests(100'000);
+  for (const auto& r : reqs) fx.record(r);
+  std::vector<float> out(fx.dim());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    fx.extract(reqs[i], out);
+    benchmark::DoNotOptimize(out.data());
+    i = (i + 1) % reqs.size();
+  }
+}
+
+void BM_GbdtPredict(benchmark::State& state) {
+  // Train once on synthetic data shaped like LHR's feature matrix.
+  const std::size_t dim = 24;
+  util::Xoshiro256 rng(11);
+  ml::Dataset d;
+  d.n_features = dim;
+  std::vector<float> y;
+  for (int i = 0; i < 20'000; ++i) {
+    for (std::size_t f = 0; f < dim; ++f) {
+      d.values.push_back(static_cast<float>(rng.next_double()));
+    }
+    y.push_back(static_cast<float>(rng.next_double()));
+  }
+  ml::Gbdt model;
+  ml::GbdtConfig cfg;
+  model.fit(d, y, cfg);
+
+  std::vector<float> x(dim, 0.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(x));
+  }
+}
+
+void BM_GbdtTrain(benchmark::State& state) {
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = 24;
+  util::Xoshiro256 rng(13);
+  ml::Dataset d;
+  d.n_features = dim;
+  std::vector<float> y;
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t f = 0; f < dim; ++f) {
+      d.values.push_back(static_cast<float>(rng.next_double()));
+    }
+    y.push_back(static_cast<float>(rng.next_double()));
+  }
+  ml::GbdtConfig cfg;
+  for (auto _ : state) {
+    ml::Gbdt model;
+    model.fit(d, y, cfg);
+    benchmark::DoNotOptimize(model.tree_count());
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_PolicyAccess, LRU, std::string("LRU"));
+BENCHMARK_CAPTURE(BM_PolicyAccess, LFU_DA, std::string("LFU-DA"));
+BENCHMARK_CAPTURE(BM_PolicyAccess, AdaptSize, std::string("AdaptSize"));
+BENCHMARK_CAPTURE(BM_PolicyAccess, B_LRU, std::string("B-LRU"));
+BENCHMARK_CAPTURE(BM_PolicyAccess, Hawkeye, std::string("Hawkeye"));
+BENCHMARK_CAPTURE(BM_PolicyAccess, WTinyLFU, std::string("W-TinyLFU"));
+BENCHMARK_CAPTURE(BM_PolicyAccess, LHR, std::string("LHR"));
+BENCHMARK(BM_HroClassify);
+BENCHMARK(BM_DensityIndexUpsert);
+BENCHMARK(BM_CountMinIncrement);
+BENCHMARK(BM_FeatureExtract);
+BENCHMARK(BM_GbdtPredict);
+BENCHMARK(BM_GbdtTrain)->Arg(10'000)->Arg(40'000)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

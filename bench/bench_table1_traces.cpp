@@ -1,0 +1,30 @@
+// Table 1: key characteristics of the (synthetic stand-ins for the)
+// production traces.
+#include "bench/bench_common.hpp"
+#include "trace/trace_stats.hpp"
+
+int main() {
+  using namespace lhr;
+  bench::print_header("Table 1: trace characteristics");
+
+  bench::print_row({"Metric", "CDN-A", "CDN-B", "CDN-C", "Wiki"}, 16);
+  std::vector<trace::TraceSummary> summaries;
+  for (const auto c : bench::all_trace_classes()) {
+    summaries.push_back(trace::summarize(bench::trace_for(c)));
+  }
+  const auto row = [&](const std::string& label, auto getter, int precision) {
+    std::vector<std::string> cells = {label};
+    for (const auto& s : summaries) cells.push_back(bench::fmt(getter(s), precision));
+    bench::print_row(cells, 16);
+  };
+  row("Duration(h)", [](const auto& s) { return s.duration_hours; }, 2);
+  row("UniqueContents", [](const auto& s) { return double(s.unique_contents); }, 0);
+  row("Requests(M)", [](const auto& s) { return double(s.total_requests) / 1e6; }, 2);
+  row("TotalBytes(TB)", [](const auto& s) { return s.total_bytes_requested_tb; }, 2);
+  row("UniqueBytes(GB)", [](const auto& s) { return s.unique_bytes_gb; }, 0);
+  row("ActiveBytes(GB)", [](const auto& s) { return s.peak_active_bytes_gb; }, 0);
+  row("MeanSize(MB)", [](const auto& s) { return s.mean_content_size_mb; }, 1);
+  row("MaxSize(MB)", [](const auto& s) { return s.max_content_size_mb; }, 0);
+  row("OneHitWonder(%)", [](const auto& s) { return 100.0 * s.one_hit_wonder_fraction; }, 1);
+  return 0;
+}

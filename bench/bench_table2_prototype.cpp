@@ -1,0 +1,63 @@
+// Table 2: resource usage of the LHR prototype vs unmodified ATS (LRU index)
+// in "max" (throughput-bound) and "normal" (production-speed) replays.
+#include "bench/bench_common.hpp"
+#include "server/cdn_server.hpp"
+
+namespace {
+
+lhr::server::ServerReport run(const std::string& policy, lhr::gen::TraceClass c,
+                              lhr::server::ReplayMode mode) {
+  using namespace lhr;
+  const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
+  server::ServerConfig cfg;
+  cfg.ram_bytes = std::max<std::uint64_t>(capacity / 100, 1 << 20);
+  server::CdnServer server(core::make_policy(policy, capacity), cfg);
+  return server.replay(bench::trace_for(c), mode);
+}
+
+}  // namespace
+
+int main() {
+  using namespace lhr;
+  bench::print_header("Table 2: LHR prototype vs ATS (LRU) resource usage");
+
+  bench::print_row({"Metric", "Exp", "A:LHR", "A:ATS", "B:LHR", "B:ATS", "C:LHR",
+                    "C:ATS", "W:LHR", "W:ATS"}, 10);
+
+  std::vector<server::ServerReport> lhr_max, ats_max, lhr_norm, ats_norm;
+  for (const auto c : bench::all_trace_classes()) {
+    lhr_max.push_back(run("LHR", c, server::ReplayMode::kMax));
+    ats_max.push_back(run("LRU", c, server::ReplayMode::kMax));
+    lhr_norm.push_back(run("LHR", c, server::ReplayMode::kNormal));
+    ats_norm.push_back(run("LRU", c, server::ReplayMode::kNormal));
+  }
+
+  const auto row = [&](const std::string& metric, const std::string& exp,
+                       const std::vector<server::ServerReport>& lhr_reports,
+                       const std::vector<server::ServerReport>& ats_reports,
+                       auto getter, int precision) {
+    std::vector<std::string> cells = {metric, exp};
+    for (std::size_t i = 0; i < 4; ++i) {
+      cells.push_back(bench::fmt(getter(lhr_reports[i]), precision));
+      cells.push_back(bench::fmt(getter(ats_reports[i]), precision));
+    }
+    bench::print_row(cells, 10);
+  };
+  row("Thrpt(Gbps)", "max", lhr_max, ats_max,
+      [](const auto& r) { return r.throughput_gbps; }, 2);
+  row("PeakCPU(%)", "max", lhr_max, ats_max,
+      [](const auto& r) { return r.peak_cpu_pct; }, 1);
+  row("PeakMem(GB)", "max", lhr_max, ats_max,
+      [](const auto& r) { return r.peak_mem_gb; }, 2);
+  row("P90Lat(ms)", "norm", lhr_norm, ats_norm,
+      [](const auto& r) { return r.p90_latency_ms; }, 0);
+  row("P99Lat(ms)", "norm", lhr_norm, ats_norm,
+      [](const auto& r) { return r.p99_latency_ms; }, 0);
+  row("AvgLat(ms)", "avg", lhr_norm, ats_norm,
+      [](const auto& r) { return r.avg_latency_ms; }, 0);
+  row("Traffic(Gbps)", "avg", lhr_norm, ats_norm,
+      [](const auto& r) { return r.traffic_gbps; }, 2);
+  row("ContentHit(%)", "norm", lhr_norm, ats_norm,
+      [](const auto& r) { return r.content_hit_pct; }, 2);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Table 3: estimated average latency (ms) and throughput (Gbps) for LHR,
+// Hawkeye, LRB and LRU under the idealized §7.3 model (8 Gbps link,
+// distance + size terms, algorithm compute time included).
+#include <chrono>
+
+#include "bench/bench_common.hpp"
+#include "sim/latency_model.hpp"
+
+int main() {
+  using namespace lhr;
+  bench::print_header("Table 3: estimated latency (ms) and throughput (Gbps)");
+
+  bench::print_row({"Trace", "Metric", "LHR", "Hawkeye", "LRB", "LRU"});
+  for (const auto c : bench::all_trace_classes()) {
+    const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
+    const auto& trace = bench::trace_for(c);
+
+    std::vector<std::string> lat_cells = {gen::to_string(c), "Latency"};
+    std::vector<std::string> thr_cells = {gen::to_string(c), "Throughput"};
+    for (const std::string name : {"LHR", "Hawkeye", "LRB", "LRU"}) {
+      auto policy = core::make_policy(name, capacity);
+      sim::LatencyModel model;
+      for (const auto& r : trace) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const bool hit = policy->access(r);
+        const double algo_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        model.record(r.size, hit, algo_s);
+      }
+      lat_cells.push_back(bench::fmt(model.mean_latency_ms(), 1));
+      thr_cells.push_back(bench::fmt(model.throughput_gbps(), 2));
+    }
+    bench::print_row(lat_cells);
+    bench::print_row(thr_cells);
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// lhr_sim: the command-line simulator (see core/cli.hpp for options).
+#include <cstdio>
+
+#include "core/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::string error;
+  const auto options = lhr::core::parse_cli(argc, argv, error);
+  if (!options) {
+    std::fprintf(stderr, "error: %s\n%s", error.c_str(),
+                 lhr::core::cli_usage().c_str());
+    return 2;
+  }
+  if (options->policies.empty()) {  // --help
+    std::printf("%s", lhr::core::cli_usage().c_str());
+    return 0;
+  }
+  try {
+    const auto results = lhr::core::run_cli(*options);
+    std::printf("%s", lhr::core::format_results(results, options->csv).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

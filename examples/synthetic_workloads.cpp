@@ -1,0 +1,78 @@
+// Synthetic workload builder: generate any of the calibrated CDN trace
+// classes (or the Markov-modulated Syn One/Syn Two processes) and write them
+// as webcachesim-format files usable by the other examples or by external
+// simulators.
+//
+//   $ ./build/examples/synthetic_workloads cdn-a 200000 out.txt
+//   $ ./build/examples/synthetic_workloads syn-two 100000 out.txt
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "gen/cdn_model.hpp"
+#include "gen/markov_modulated.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: synthetic_workloads <class> [num_requests] [out_file] [seed]\n"
+      "  class: cdn-a | cdn-b | cdn-c | wiki | syn-one | syn-two\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lhr;
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cls = argv[1];
+  const std::size_t n = argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 100'000;
+  const std::string out = argc > 3 ? argv[3] : "";
+  const std::uint64_t seed = argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 1;
+
+  trace::Trace trace;
+  if (cls == "cdn-a") {
+    trace = gen::make_trace(gen::TraceClass::kCdnA, n, seed);
+  } else if (cls == "cdn-b") {
+    trace = gen::make_trace(gen::TraceClass::kCdnB, n, seed);
+  } else if (cls == "cdn-c") {
+    trace = gen::make_trace(gen::TraceClass::kCdnC, n, seed);
+  } else if (cls == "wiki") {
+    trace = gen::make_trace(gen::TraceClass::kWiki, n, seed);
+  } else if (cls == "syn-one" || cls == "syn-two") {
+    gen::MarkovModulatedConfig config;
+    config.num_requests = n;
+    config.requests_per_state = n / 5;
+    config.seed = seed;
+    trace = cls == "syn-one" ? generate_syn_one(config) : generate_syn_two(config);
+  } else {
+    usage();
+    return 1;
+  }
+
+  const auto s = trace::summarize(trace);
+  std::printf("generated %llu requests / %llu contents\n",
+              static_cast<unsigned long long>(s.total_requests),
+              static_cast<unsigned long long>(s.unique_contents));
+  std::printf("  duration        %.2f h\n", s.duration_hours);
+  std::printf("  total bytes     %.2f TB\n", s.total_bytes_requested_tb);
+  std::printf("  unique bytes    %.0f GB\n", s.unique_bytes_gb);
+  std::printf("  peak active     %.0f GB\n", s.peak_active_bytes_gb);
+  std::printf("  mean/max size   %.1f / %.0f MB\n", s.mean_content_size_mb,
+              s.max_content_size_mb);
+  std::printf("  one-hit wonders %.1f%% of contents\n",
+              100.0 * s.one_hit_wonder_fraction);
+  std::printf("  zipf alpha      %.2f\n",
+              trace::fit_zipf_alpha(trace::popularity_counts(trace), 2000));
+
+  if (!out.empty()) {
+    trace::write_trace_file(trace, out);
+    std::printf("wrote %s ('time key size' per line)\n", out.c_str());
+  }
+  return 0;
+}

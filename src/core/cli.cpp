@@ -1,0 +1,191 @@
+#include "core/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/policy_factory.hpp"
+#include "gen/cdn_model.hpp"
+#include "sim/engine.hpp"
+#include "trace/trace.hpp"
+
+namespace lhr::core {
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& value) {
+  std::vector<std::string> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string cli_usage() {
+  return
+      "usage: lhr_sim [options]\n"
+      "  --policy NAMES       comma-separated policies (default LRU,LHR)\n"
+      "  --capacity-gb LIST   comma-separated cache sizes in GB (default 64)\n"
+      "  --trace FILE         replay a 'time key size' trace file\n"
+      "  --synthetic CLASS    cdn-a | cdn-b | cdn-c | wiki (default cdn-a)\n"
+      "  --requests N         synthetic trace length (default 200000)\n"
+      "  --seed S             generator seed (default 42)\n"
+      "  --warmup N           requests excluded from the aggregate metrics\n"
+      "  --csv                machine-readable output\n"
+      "  --help               this text\n";
+}
+
+std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
+                                    std::string& error) {
+  CliOptions options;
+  options.policies = {"LRU", "LHR"};
+  options.capacities_gb = {64.0};
+  options.synthetic = "cdn-a";
+
+  const auto need_value = [&](int& i, const std::string& flag) -> const char* {
+    if (i + 1 >= argc) {
+      error = flag + " requires a value";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help") {
+      options.policies.clear();  // signals "print usage"
+      return options;
+    }
+    if (arg == "--csv") {
+      options.csv = true;
+    } else if (arg == "--policy") {
+      const char* v = need_value(i, arg);
+      if (!v) return std::nullopt;
+      options.policies = split_commas(v);
+      if (options.policies.empty()) {
+        error = "--policy needs at least one name";
+        return std::nullopt;
+      }
+    } else if (arg == "--capacity-gb") {
+      const char* v = need_value(i, arg);
+      if (!v) return std::nullopt;
+      options.capacities_gb.clear();
+      for (const auto& item : split_commas(v)) {
+        try {
+          const double gb = std::stod(item);
+          if (gb <= 0.0) throw std::invalid_argument("non-positive");
+          options.capacities_gb.push_back(gb);
+        } catch (const std::exception&) {
+          error = "bad capacity: " + item;
+          return std::nullopt;
+        }
+      }
+      if (options.capacities_gb.empty()) {
+        error = "--capacity-gb needs at least one value";
+        return std::nullopt;
+      }
+    } else if (arg == "--trace") {
+      const char* v = need_value(i, arg);
+      if (!v) return std::nullopt;
+      options.trace_path = v;
+    } else if (arg == "--synthetic") {
+      const char* v = need_value(i, arg);
+      if (!v) return std::nullopt;
+      options.synthetic = v;
+    } else if (arg == "--requests") {
+      const char* v = need_value(i, arg);
+      if (!v) return std::nullopt;
+      options.requests = static_cast<std::size_t>(std::atoll(v));
+      if (options.requests == 0) {
+        error = "--requests must be positive";
+        return std::nullopt;
+      }
+    } else if (arg == "--seed") {
+      const char* v = need_value(i, arg);
+      if (!v) return std::nullopt;
+      options.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--warmup") {
+      const char* v = need_value(i, arg);
+      if (!v) return std::nullopt;
+      options.warmup = static_cast<std::size_t>(std::atoll(v));
+    } else {
+      error = "unknown option: " + arg;
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+std::vector<CliRunResult> run_cli(const CliOptions& options) {
+  trace::Trace trace;
+  if (!options.trace_path.empty()) {
+    trace = trace::read_trace_file(options.trace_path);
+    if (!trace.is_time_ordered()) trace.sort_by_time();
+  } else {
+    gen::TraceClass cls;
+    if (options.synthetic == "cdn-a") {
+      cls = gen::TraceClass::kCdnA;
+    } else if (options.synthetic == "cdn-b") {
+      cls = gen::TraceClass::kCdnB;
+    } else if (options.synthetic == "cdn-c") {
+      cls = gen::TraceClass::kCdnC;
+    } else if (options.synthetic == "wiki") {
+      cls = gen::TraceClass::kWiki;
+    } else {
+      throw std::invalid_argument("unknown synthetic class: " + options.synthetic);
+    }
+    trace = gen::make_trace(cls, options.requests, options.seed);
+  }
+
+  sim::SimOptions sim_options;
+  sim_options.warmup_requests = options.warmup;
+
+  std::vector<CliRunResult> results;
+  for (const auto& policy_name : options.policies) {
+    for (const double gb : options.capacities_gb) {
+      const auto capacity =
+          static_cast<std::uint64_t>(gb * 1024.0 * 1024.0 * 1024.0);
+      auto policy = make_policy(policy_name, capacity);  // throws on typo
+      CliRunResult result;
+      result.policy = policy_name;
+      result.capacity_gb = gb;
+      result.metrics = sim::simulate(*policy, trace, sim_options);
+      results.push_back(std::move(result));
+    }
+  }
+  return results;
+}
+
+std::string format_results(const std::vector<CliRunResult>& results, bool csv) {
+  std::ostringstream out;
+  if (csv) {
+    out << "policy,capacity_gb,requests,hit_ratio,byte_hit_ratio,wan_bytes,"
+           "peak_metadata_bytes,wall_seconds\n";
+    for (const auto& r : results) {
+      out << r.policy << ',' << r.capacity_gb << ',' << r.metrics.requests << ','
+          << r.metrics.object_hit_ratio() << ',' << r.metrics.byte_hit_ratio() << ','
+          << r.metrics.wan_traffic_bytes() << ',' << r.metrics.peak_metadata_bytes
+          << ',' << r.metrics.wall_seconds << '\n';
+    }
+    return out.str();
+  }
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-12s %-10s %-10s %-12s %-12s %-10s\n", "policy",
+                "cache(GB)", "hit(%)", "bytehit(%)", "WAN(GB)", "wall(s)");
+  out << line;
+  for (const auto& r : results) {
+    std::snprintf(line, sizeof(line), "%-12s %-10.1f %-10.2f %-12.2f %-12.1f %-10.2f\n",
+                  r.policy.c_str(), r.capacity_gb, 100.0 * r.metrics.object_hit_ratio(),
+                  100.0 * r.metrics.byte_hit_ratio(),
+                  r.metrics.wan_traffic_bytes() / (1024.0 * 1024.0 * 1024.0),
+                  r.metrics.wall_seconds);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace lhr::core

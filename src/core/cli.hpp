@@ -1,0 +1,51 @@
+// Command-line simulator front end (webcachesim-style), factored into the
+// library so argument parsing and run orchestration are unit-testable; the
+// `lhr_sim` binary in examples/ is a thin wrapper.
+//
+//   lhr_sim --policy LHR --capacity-gb 64 --trace trace.txt
+//   lhr_sim --policy LRU,LHR --capacity-gb 16,64 --synthetic cdn-a --requests 500000
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+namespace lhr::core {
+
+struct CliOptions {
+  std::vector<std::string> policies;        ///< --policy A,B,...
+  std::vector<double> capacities_gb;        ///< --capacity-gb 16,64,...
+  std::string trace_path;                   ///< --trace FILE (exclusive with synthetic)
+  std::string synthetic;                    ///< --synthetic cdn-a|cdn-b|cdn-c|wiki
+  std::size_t requests = 200'000;           ///< --requests N (synthetic only)
+  std::uint64_t seed = 42;                  ///< --seed S
+  std::size_t warmup = 0;                   ///< --warmup N
+  bool csv = false;                         ///< --csv (machine-readable output)
+};
+
+/// Parses argv. Returns std::nullopt and fills `error` on bad input;
+/// `--help` yields an options struct with `policies` empty and no error.
+[[nodiscard]] std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
+                                                  std::string& error);
+
+/// Human- or CSV-formatted usage text.
+[[nodiscard]] std::string cli_usage();
+
+struct CliRunResult {
+  std::string policy;
+  double capacity_gb = 0.0;
+  sim::SimMetrics metrics;
+};
+
+/// Executes the parsed run matrix (every policy × every capacity).
+/// Throws std::runtime_error / std::invalid_argument on unusable options.
+[[nodiscard]] std::vector<CliRunResult> run_cli(const CliOptions& options);
+
+/// Renders results as a table or CSV per `options.csv`.
+[[nodiscard]] std::string format_results(const std::vector<CliRunResult>& results,
+                                         bool csv);
+
+}  // namespace lhr::core

@@ -1,0 +1,313 @@
+#include "core/lhr_cache.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace lhr::core {
+
+namespace {
+constexpr double kMinIrt = 1e-6;  // seconds; guards q_i against division by zero
+}
+
+LhrCache::LhrCache(std::uint64_t capacity_bytes, const LhrConfig& config)
+    : CacheBase(capacity_bytes),
+      config_(config),
+      rng_(config.seed),
+      hro_(hazard::HroConfig{.capacity_bytes = capacity_bytes,
+                             .window_unique_bytes_mult = config.window_unique_bytes_mult,
+                             .size_aware = true,
+                             .age_decay_hazard = config.hro_age_decay}),
+      extractor_(config.features),
+      detector_(ml::ZipfDetectorConfig{.epsilon = config.detection_epsilon}),
+      threshold_(config.initial_threshold) {
+  train_x_.n_features = extractor_.dim();
+  feature_buf_.resize(extractor_.dim());
+  candidate_thresholds_ = {0.0, 0.5, threshold_ - config_.threshold_step,
+                           threshold_ + config_.threshold_step, threshold_};
+  candidate_hits_.fill(0.0);
+}
+
+std::string LhrCache::name() const {
+  if (!config_.enable_threshold_estimation && !config_.enable_detection) return "N-LHR";
+  if (!config_.enable_threshold_estimation) return "D-LHR";
+  return "LHR";
+}
+
+double LhrCache::predict_probability(std::span<const float> features) const {
+  if (!model_.trained()) return 1.0;  // bootstrap: admit-all until trained (§5.1)
+  // Squared loss (the paper's choice) clamps the regression output to [0,1];
+  // the logistic option maps through a sigmoid instead.
+  return model_.predict_probability(features);
+}
+
+bool LhrCache::access(const trace::Request& r) {
+  bytes_marker_ += static_cast<double>(r.size);
+
+  // 1. Features as of this request (§5.2.1).
+  extractor_.extract(r, feature_buf_);
+
+  // 2. HRO supplies the "optimal caching decision" label (§5.2.4).
+  const hazard::HroDecision hro = hro_.classify(r);
+
+  // 3. Admission probability from the learning model.
+  const double p = predict_probability(feature_buf_);
+
+  // Collect the training sample (reservoir-capped at max_train_samples).
+  {
+    const float label = hro.hit ? 1.0f : 0.0f;
+    const std::size_t dim = extractor_.dim();
+    if (train_y_.size() < config_.max_train_samples) {
+      train_x_.values.insert(train_x_.values.end(), feature_buf_.begin(),
+                             feature_buf_.end());
+      train_y_.push_back(label);
+    } else {
+      const std::uint64_t slot = rng_.next_below(window_samples_seen_ + 1);
+      if (slot < config_.max_train_samples) {
+        std::copy(feature_buf_.begin(), feature_buf_.end(),
+                  train_x_.values.begin() + static_cast<std::ptrdiff_t>(slot * dim));
+        train_y_[static_cast<std::size_t>(slot)] = label;
+      }
+    }
+    ++window_samples_seen_;
+  }
+
+  // Track prediction quality against the HRO label (only once the model is
+  // live; bootstrap predictions of 1.0 would just measure the class prior).
+  if (model_.trained()) {
+    constexpr std::size_t kEvalRing = 65'536;
+    if (eval_preds_.size() < kEvalRing) {
+      eval_preds_.push_back(static_cast<float>(p));
+      eval_labels_.push_back(hro.hit ? 1.0f : 0.0f);
+    } else {
+      eval_preds_[eval_pos_] = static_cast<float>(p);
+      eval_labels_[eval_pos_] = hro.hit ? 1.0f : 0.0f;
+      eval_pos_ = (eval_pos_ + 1) % kEvalRing;
+      eval_full_ = true;
+    }
+  }
+
+  detector_.record(r.key);
+  if (config_.enable_threshold_estimation) update_estimation_counters(r, p);
+  extractor_.record(r);
+
+  // 4. The four cases of §4.1.
+  bool hit = false;
+  const auto res = residents_.find(r.key);
+  if (res != residents_.end()) {
+    hit = true;
+    res->second.p = p;
+    res->second.last_use = r.time;
+    if (p < threshold_) {
+      candidates_.insert(r.key);  // case (ii): label as eviction candidate
+    } else {
+      candidates_.erase(r.key);   // case (i)
+    }
+  } else if (p >= threshold_ && !oversized(r.size)) {
+    admit(r, p);                  // case (iii); case (iv) is the fall-through
+  }
+
+  // 5. Window bookkeeping (the supervisor).
+  if (hro_.window_just_closed()) on_window_closed(r.time);
+  return hit;
+}
+
+void LhrCache::update_estimation_counters(const trace::Request& r, double p) {
+  // §5.2.3: evaluate candidate thresholds on a sampled fraction of the
+  // window. A request would hit under threshold δ' iff its previous request
+  // was admitted under δ' (p_prev ≥ δ') and its reuse footprint (approximate
+  // unique-byte distance) still fit in the cache.
+  const auto prev = estimation_last_.find(r.key);
+  if (prev != estimation_last_.end()) {
+    if (rng_.next_double() < config_.estimation_sample_fraction) {
+      // Object-hit weighting by default; byte weighting tunes δ for WAN
+      // traffic instead (config_.optimize_byte_hit).
+      const double weight =
+          config_.optimize_byte_hit ? static_cast<double>(r.size) : 1.0;
+      estimation_requests_ += weight;
+      const double footprint = bytes_marker_ - prev->second.bytes_marker;
+      const bool would_fit = footprint <= static_cast<double>(capacity_bytes());
+      if (would_fit) {
+        for (std::size_t c = 0; c < kCandidates; ++c) {
+          if (prev->second.p >= candidate_thresholds_[c]) candidate_hits_[c] += weight;
+        }
+      }
+    }
+    prev->second = LastSeen{p, bytes_marker_};
+  } else {
+    estimation_last_.emplace(r.key, LastSeen{p, bytes_marker_});
+  }
+}
+
+double LhrCache::eviction_value(const Resident& res, trace::Time now) const {
+  // §5.2.5: q_i = (p_i / s_i) × (1 / IRT₁). The paper's 1/s factor evicts
+  // large objects first, trading byte hits for object hits; the byte-hit
+  // objective drops it (size-neutral eviction keeps large hot objects).
+  const double irt1 = std::max(now - res.last_use, kMinIrt);
+  const double size_factor =
+      config_.optimize_byte_hit
+          ? 1.0
+          : static_cast<double>(std::max<std::uint64_t>(res.size, 1));
+  return res.p / size_factor / irt1;
+}
+
+void LhrCache::evict_one(trace::Time now) {
+  // Prefer labeled eviction candidates (p < δ); fall back to all residents.
+  const policy::SampledKeySet& pool = candidates_.empty() ? resident_keys_ : candidates_;
+  const std::size_t n = std::min(config_.eviction_sample, pool.size());
+  trace::Key victim = pool.sample(rng_);
+  double worst = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < n; ++s) {
+    const trace::Key candidate = (n == pool.size()) ? pool.at(s) : pool.sample(rng_);
+    const double q = eviction_value(residents_.at(candidate), now);
+    if (q < worst) {
+      worst = q;
+      victim = candidate;
+    }
+  }
+  residents_.erase(victim);
+  resident_keys_.erase(victim);
+  candidates_.erase(victim);
+  remove_object(victim);
+}
+
+void LhrCache::admit(const trace::Request& r, double p) {
+  while (used_bytes() + r.size > capacity_bytes() && !resident_keys_.empty()) {
+    evict_one(r.time);
+  }
+  residents_[r.key] = Resident{r.size, p, r.time};
+  resident_keys_.insert(r.key);
+  store_object(r.key, r.size);
+}
+
+void LhrCache::on_window_closed(trace::Time now) {
+  ++windows_seen_;
+  const auto detection = detector_.close_window();
+
+  // Algorithm 1: retrain (and re-tune δ) when a pattern change is detected.
+  // The first window always trains the initial model (§5.1). With detection
+  // disabled (N-LHR), every window retrains.
+  const bool retrain = (windows_seen_ == 1) || !config_.enable_detection ||
+                       detection.change_detected;
+
+  if (retrain) {
+    const double min_weight =
+        config_.optimize_byte_hit
+            ? static_cast<double>(config_.min_estimation_samples) * 1024.0
+            : static_cast<double>(config_.min_estimation_samples);
+    if (config_.enable_threshold_estimation && windows_seen_ > 1 &&
+        estimation_requests_ >= min_weight) {
+      // §5.2.3: adopt argmax candidate iff it beats the current threshold's
+      // estimated hit probability by more than β.
+      const double denom = estimation_requests_;
+      const double h_current = candidate_hits_[kCandidates - 1] / denom;
+      std::size_t best = kCandidates - 1;
+      double h_best = h_current;
+      for (std::size_t c = 0; c + 1 < kCandidates; ++c) {
+        const double h = candidate_hits_[c] / denom;
+        if (h > h_best) {
+          h_best = h;
+          best = c;
+        }
+      }
+      if (best != kCandidates - 1 && h_best > h_current + config_.beta) {
+        threshold_ = std::clamp(candidate_thresholds_[best], 0.0, 1.0);
+      }
+      // Counters answered a decision: restart them around the (possibly
+      // new) threshold. Otherwise they keep accumulating across windows.
+      candidate_thresholds_ = {
+          0.0, 0.5, std::clamp(threshold_ - config_.threshold_step, 0.0, 1.0),
+          std::clamp(threshold_ + config_.threshold_step, 0.0, 1.0), threshold_};
+      candidate_hits_.fill(0.0);
+      estimation_requests_ = 0.0;
+    }
+    train_model();
+  }
+  // Keep reuse markers that can still witness an in-cache reuse (footprint
+  // within ~2x capacity); older entries would be classified misses anyway.
+  const double marker_horizon =
+      bytes_marker_ - 2.0 * static_cast<double>(capacity_bytes());
+  for (auto it = estimation_last_.begin(); it != estimation_last_.end();) {
+    if (it->second.bytes_marker < marker_horizon) {
+      it = estimation_last_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // The training buffer is cleared by train_model() on success; when the
+  // window was too thin to train, samples accumulate into the next window
+  // (tiny caches on sparse traces would otherwise never train).
+  if (train_y_.size() >= config_.max_train_samples) {
+    train_x_.values.clear();
+    train_y_.clear();
+  }
+  window_samples_seen_ = train_y_.size();
+
+  // Bound the feature-history memory: drop contents idle for the retention
+  // horizon (in windows). Too short a horizon blinds the learner on traces
+  // whose hot contents recur slowly (e.g. CDN-C).
+  const double window_span = now - last_window_close_;
+  if (windows_seen_ > 1 && window_span > 0.0) {
+    const double horizon =
+        static_cast<double>(std::max<std::size_t>(config_.history_retention_windows, 1));
+    extractor_.prune_older_than(now - horizon * window_span);
+  }
+  last_window_close_ = now;
+}
+
+void LhrCache::train_model() {
+  if (train_y_.size() < config_.min_train_samples) return;  // not enough signal
+  const auto t0 = std::chrono::steady_clock::now();
+  model_.fit(train_x_, train_y_, config_.gbdt);
+  training_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  ++trainings_;
+  train_x_.values.clear();
+  train_y_.clear();
+}
+
+ml::BinaryMetrics LhrCache::model_quality() const {
+  return ml::evaluate_binary(eval_preds_, eval_labels_);
+}
+
+void LhrCache::save_model(std::ostream& out) const {
+  if (!model_.trained()) throw std::runtime_error("LhrCache::save_model: untrained");
+  out << threshold_ << '\n';
+  model_.save(out);
+}
+
+void LhrCache::load_model(std::istream& in) {
+  double threshold = 0.0;
+  if (!(in >> threshold)) throw std::runtime_error("LhrCache::load_model: bad header");
+  ml::Gbdt restored;
+  restored.load(in);
+  model_ = std::move(restored);
+  threshold_ = std::clamp(threshold, 0.0, 1.0);
+}
+
+void LhrCache::save_model_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("LhrCache::save_model_file: cannot open " + path);
+  save_model(out);
+}
+
+void LhrCache::load_model_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("LhrCache::load_model_file: cannot open " + path);
+  load_model(in);
+}
+
+std::uint64_t LhrCache::metadata_bytes() const {
+  return hro_.memory_bytes() + extractor_.memory_bytes() + detector_.memory_bytes() +
+         model_.memory_bytes() + train_x_.values.size() * sizeof(float) +
+         train_y_.size() * sizeof(float) +
+         estimation_last_.size() *
+             (sizeof(trace::Key) + sizeof(LastSeen) + 2 * sizeof(void*)) +
+         residents_.size() * (sizeof(trace::Key) + sizeof(Resident) + 2 * sizeof(void*)) +
+         resident_keys_.memory_bytes() + candidates_.memory_bytes();
+}
+
+}  // namespace lhr::core

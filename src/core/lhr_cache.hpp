@@ -1,0 +1,179 @@
+// LHR: Learning from HRO (the paper's primary contribution, §4–§5,
+// Algorithm 1).
+//
+// Per request, LHR:
+//   1. extracts the content's features u_i (20 IRTs + static, §5.2.1);
+//   2. runs HRO on the request; HRO's hit/miss classification is the
+//      training label y_i ("optimal caching decision", §5.2.4);
+//   3. predicts an admission probability p_i with a GBDT trained on
+//      (u_i, y_i) pairs, and compares it against the auto-tuned threshold δ:
+//        hit  & p ≥ δ  -> update p in the resident table            (case i)
+//        hit  & p < δ  -> update p and mark as eviction candidate   (case ii)
+//        miss & p ≥ δ  -> admit, evicting by the rule below         (case iii)
+//        miss & p < δ  -> bypass                                    (case iv)
+//   4. eviction rule (§5.2.5): evict argmin q_i = (p_i / s_i) · (1 / IRT₁),
+//      sampling eviction candidates first, then the whole cache.
+//
+// Windowing (§5.1): non-overlapping windows of unique bytes = 4 × capacity
+// (shared with the embedded HRO). At each boundary the supervisor:
+//   * estimates the window's Zipf α via least squares (§5.2.2) and retrains
+//     the GBDT only when |Δα| ≥ ε (the detection mechanism);
+//   * re-tunes δ over candidates {0, 0.5, δ±0.1}, adopting the argmax only
+//     when it improves the estimated hit probability by more than β (§5.2.3).
+//
+// Ablations (§7.4): `enable_threshold_estimation = false` gives D-LHR
+// (fixed δ = 0.5); additionally `enable_detection = false` gives N-LHR
+// (retrain every window).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hazard/hro.hpp"
+#include "ml/eval.hpp"
+#include "ml/features.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/zipf_detector.hpp"
+#include "policies/sampled_set.hpp"
+#include "sim/cache_policy.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::core {
+
+struct LhrConfig {
+  double window_unique_bytes_mult = 4.0;  ///< §5.1 (Figure 5 sweeps 1×–8×)
+  /// Label source extension: run the embedded HRO with per-content survival
+  /// decay (see hazard::HroConfig::age_decay_hazard). Default follows the
+  /// paper's Poisson form.
+  bool hro_age_decay = false;
+  ml::FeatureConfig features;             ///< §5.2.1 (Figure 6 sweeps IRT count)
+
+  bool enable_detection = true;            ///< false => N-LHR-style retraining
+  double detection_epsilon = 0.002;        ///< ε of §5.2.2 / Appendix A.2
+
+  bool enable_threshold_estimation = true; ///< false => D-LHR (fixed δ)
+  double initial_threshold = 0.5;          ///< δ₀ (Algorithm 1)
+  double threshold_step = 0.1;             ///< candidate spacing (§5.2.3)
+  double beta = 0.002;                     ///< β = 0.2% adoption margin (§7.1)
+  double estimation_sample_fraction = 0.5; ///< §5.2.3: half the window suffices
+  /// When true, LHR optimizes byte hit ratio / WAN traffic instead of object
+  /// hit probability (an extension; the paper optimizes object hits):
+  /// the threshold estimator weights hits by bytes and the eviction rule
+  /// drops its 1/s factor (q = p · 1/IRT₁, size-neutral).
+  bool optimize_byte_hit = false;
+  /// Minimum reuse samples before a threshold decision is made; counters
+  /// accumulate across windows until reached (keeps the β-margin test above
+  /// the sampling noise on sparse-reuse traces).
+  std::size_t min_estimation_samples = 4000;
+
+  std::size_t eviction_sample = 64;
+  std::size_t max_train_samples = 50'000;  ///< training-batch cap per window
+  std::size_t min_train_samples = 256;     ///< skip training on thinner windows
+  /// Per-content feature history is dropped after this many windows of
+  /// idleness. Must cover the hot set's inter-request times, which on
+  /// long-duration traces (CDN-C) exceed several windows.
+  std::size_t history_retention_windows = 8;
+  ml::GbdtConfig gbdt;
+  std::uint64_t seed = 2021;
+};
+
+class LhrCache final : public sim::CacheBase {
+ public:
+  LhrCache(std::uint64_t capacity_bytes, const LhrConfig& config = {});
+
+  [[nodiscard]] std::string name() const override;
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+  // --- introspection for tests/benches ---
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
+  [[nodiscard]] bool model_trained() const noexcept { return model_.trained(); }
+  [[nodiscard]] std::size_t windows_seen() const noexcept { return windows_seen_; }
+  [[nodiscard]] std::size_t trainings() const noexcept { return trainings_; }
+  [[nodiscard]] double training_seconds() const noexcept { return training_seconds_; }
+  [[nodiscard]] double hro_hit_ratio() const noexcept { return hro_.hit_ratio(); }
+  [[nodiscard]] std::size_t eviction_candidates() const noexcept {
+    return candidates_.size();
+  }
+
+  /// Prediction quality of the admission model against HRO's labels over a
+  /// sliding sample of recent requests (§7.5: the LHR-HRO gap is "mainly due
+  /// to the errors in our model" — this quantifies those errors).
+  [[nodiscard]] ml::BinaryMetrics model_quality() const;
+
+  /// Persists / restores the trained admission model (warm start across
+  /// process restarts — a production CDN reboots without forgetting).
+  /// Throws std::runtime_error on I/O or format errors.
+  void save_model(std::ostream& out) const;
+  void load_model(std::istream& in);
+  void save_model_file(const std::string& path) const;
+  void load_model_file(const std::string& path);
+
+ private:
+  struct Resident {
+    std::uint64_t size = 0;
+    double p = 1.0;            ///< learned admission probability
+    trace::Time last_use = 0.0;
+  };
+
+  /// Number of candidate thresholds tracked by the estimation algorithm:
+  /// {0, 0.5, δ-step, δ+step, δ itself}.
+  static constexpr std::size_t kCandidates = 5;
+
+  [[nodiscard]] double predict_probability(std::span<const float> features) const;
+  void update_estimation_counters(const trace::Request& r, double p);
+  void admit(const trace::Request& r, double p);
+  void evict_one(trace::Time now);
+  [[nodiscard]] double eviction_value(const Resident& res, trace::Time now) const;
+  void on_window_closed(trace::Time now);
+  void train_model();
+
+  LhrConfig config_;
+  util::Xoshiro256 rng_;
+  hazard::Hro hro_;
+  ml::FeatureExtractor extractor_;
+  ml::ZipfDetector detector_;
+  ml::Gbdt model_;
+
+  double threshold_;
+  double prev_alpha_ = 0.0;
+
+  // Per-window training buffer (reservoir-capped).
+  ml::Dataset train_x_;
+  std::vector<float> train_y_;
+  std::size_t window_samples_seen_ = 0;
+
+  // Threshold-estimation state (§5.2.3): per-candidate approximate hit
+  // counts over a sampled subset of the window's requests.
+  std::array<double, kCandidates> candidate_thresholds_{};
+  std::array<double, kCandidates> candidate_hits_{};  // byte-weighted if configured
+  double estimation_requests_ = 0.0;                  // sample weight total
+  struct LastSeen {
+    double p = 0.0;
+    double bytes_marker = 0.0;  ///< cumulative request bytes at last request
+  };
+  std::unordered_map<trace::Key, LastSeen> estimation_last_;
+  double bytes_marker_ = 0.0;
+
+  std::unordered_map<trace::Key, Resident> residents_;
+  policy::SampledKeySet resident_keys_;
+  policy::SampledKeySet candidates_;  ///< residents with p < δ (case ii)
+
+  // Ring buffer of (prediction, HRO label) pairs for model_quality().
+  std::vector<float> eval_preds_;
+  std::vector<float> eval_labels_;
+  std::size_t eval_pos_ = 0;
+  bool eval_full_ = false;
+
+  std::vector<float> feature_buf_;
+  trace::Time last_window_close_ = 0.0;
+  std::size_t windows_seen_ = 0;
+  std::size_t trainings_ = 0;
+  double training_seconds_ = 0.0;
+};
+
+}  // namespace lhr::core

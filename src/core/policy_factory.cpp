@@ -1,0 +1,81 @@
+#include "core/policy_factory.hpp"
+
+#include <stdexcept>
+
+#include "core/lhr_cache.hpp"
+#include "policies/adaptsize.hpp"
+#include "policies/arc.hpp"
+#include "policies/b_lru.hpp"
+#include "policies/fifo.hpp"
+#include "policies/gds.hpp"
+#include "policies/gdsf.hpp"
+#include "policies/hawkeye.hpp"
+#include "policies/hyperbolic.hpp"
+#include "policies/lfo.hpp"
+#include "policies/lfu_da.hpp"
+#include "policies/lhd.hpp"
+#include "policies/lirs.hpp"
+#include "policies/lrb.hpp"
+#include "policies/lru.hpp"
+#include "policies/lru_k.hpp"
+#include "policies/random_policy.hpp"
+#include "policies/rl_cache.hpp"
+#include "policies/s4lru.hpp"
+#include "policies/second_hit.hpp"
+#include "policies/tinylfu.hpp"
+#include "policies/two_q.hpp"
+
+namespace lhr::core {
+
+std::unique_ptr<sim::CachePolicy> make_policy(const std::string& name,
+                                              std::uint64_t capacity_bytes) {
+  if (name == "LRU") return std::make_unique<policy::Lru>(capacity_bytes);
+  if (name == "FIFO") return std::make_unique<policy::Fifo>(capacity_bytes);
+  if (name == "Random") return std::make_unique<policy::RandomPolicy>(capacity_bytes);
+  if (name == "LRU-4") return std::make_unique<policy::LruK>(capacity_bytes, 4);
+  if (name == "LFU-DA") return std::make_unique<policy::LfuDa>(capacity_bytes);
+  if (name == "GDS") return std::make_unique<policy::Gds>(capacity_bytes);
+  if (name == "GDSF") return std::make_unique<policy::Gdsf>(capacity_bytes);
+  if (name == "LHD") return std::make_unique<policy::Lhd>(capacity_bytes);
+  if (name == "LIRS") return std::make_unique<policy::Lirs>(capacity_bytes);
+  if (name == "Hyperbolic") return std::make_unique<policy::Hyperbolic>(capacity_bytes);
+  if (name == "ARC") return std::make_unique<policy::Arc>(capacity_bytes);
+  if (name == "S4LRU") return std::make_unique<policy::S4Lru>(capacity_bytes);
+  if (name == "SecondHit") return std::make_unique<policy::SecondHit>(capacity_bytes);
+  if (name == "RL-Cache") return std::make_unique<policy::RlCache>(capacity_bytes);
+  if (name == "2Q") return std::make_unique<policy::TwoQ>(capacity_bytes);
+  if (name == "AdaptSize") return std::make_unique<policy::AdaptSize>(capacity_bytes);
+  if (name == "B-LRU") return std::make_unique<policy::BLru>(capacity_bytes);
+  if (name == "TinyLFU") return std::make_unique<policy::TinyLfu>(capacity_bytes);
+  if (name == "W-TinyLFU") return std::make_unique<policy::WTinyLfu>(capacity_bytes);
+  if (name == "Hawkeye") return std::make_unique<policy::Hawkeye>(capacity_bytes);
+  if (name == "LRB") return std::make_unique<policy::Lrb>(capacity_bytes);
+  if (name == "LFO") return std::make_unique<policy::Lfo>(capacity_bytes);
+  if (name == "LHR") return std::make_unique<LhrCache>(capacity_bytes);
+  if (name == "D-LHR") {
+    LhrConfig config;
+    config.enable_threshold_estimation = false;
+    return std::make_unique<LhrCache>(capacity_bytes, config);
+  }
+  if (name == "N-LHR") {
+    LhrConfig config;
+    config.enable_threshold_estimation = false;
+    config.enable_detection = false;
+    return std::make_unique<LhrCache>(capacity_bytes, config);
+  }
+  throw std::invalid_argument("make_policy: unknown policy '" + name + "'");
+}
+
+std::vector<std::string> sota_policy_names() {
+  return {"LRB", "Hawkeye", "LRU", "LRU-4", "LFU-DA", "AdaptSize", "B-LRU"};
+}
+
+std::vector<std::string> all_policy_names() {
+  return {"LRU",       "FIFO",      "Random",    "LRU-4",     "LFU-DA",
+          "GDS",       "GDSF",      "LHD",       "LIRS",      "Hyperbolic", "ARC",
+          "S4LRU",     "SecondHit", "RL-Cache",  "2Q",        "AdaptSize", "B-LRU",     "TinyLFU",
+          "W-TinyLFU", "Hawkeye",   "LRB",       "LFO",       "LHR",
+          "D-LHR",     "N-LHR"};
+}
+
+}  // namespace lhr::core

@@ -1,0 +1,27 @@
+// Construction of any policy in the repository by name — the entry point
+// examples and benchmark harnesses use to assemble the paper's SOTA lineup.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cache_policy.hpp"
+
+namespace lhr::core {
+
+/// Known names: "LRU", "FIFO", "Random", "LRU-4", "LFU-DA", "GDSF",
+/// "AdaptSize", "B-LRU", "TinyLFU", "W-TinyLFU", "Hawkeye", "LRB", "LFO",
+/// "LHR", "D-LHR", "N-LHR". Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<sim::CachePolicy> make_policy(const std::string& name,
+                                                            std::uint64_t capacity_bytes);
+
+/// The seven best-performing SOTAs reported in the paper's figures (§6.2):
+/// LRB, Hawkeye, LRU, LRU-4, LFU-DA, AdaptSize, B-LRU.
+[[nodiscard]] std::vector<std::string> sota_policy_names();
+
+/// Every policy name make_policy accepts.
+[[nodiscard]] std::vector<std::string> all_policy_names();
+
+}  // namespace lhr::core

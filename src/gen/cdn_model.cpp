@@ -1,0 +1,201 @@
+#include "gen/cdn_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "gen/zipf.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::gen {
+
+namespace {
+constexpr std::uint64_t kKB = 1024;
+constexpr std::uint64_t kMB = 1024 * kKB;
+constexpr std::uint64_t kGB = 1024 * kMB;
+}  // namespace
+
+std::string to_string(TraceClass c) {
+  switch (c) {
+    case TraceClass::kCdnA: return "CDN-A";
+    case TraceClass::kCdnB: return "CDN-B";
+    case TraceClass::kCdnC: return "CDN-C";
+    case TraceClass::kWiki: return "Wiki";
+  }
+  return "unknown";
+}
+
+trace::Trace generate_cdn_trace(const CdnTraceConfig& config) {
+  if (config.num_requests == 0 || config.core_contents == 0) {
+    throw std::invalid_argument("generate_cdn_trace: empty workload");
+  }
+  if (config.alpha_schedule.empty()) {
+    throw std::invalid_argument("generate_cdn_trace: empty alpha schedule");
+  }
+
+  util::Xoshiro256 rng(config.seed);
+  trace::Trace out;
+  out.reserve(config.num_requests);
+
+  // rank -> key indirection lets churn retire popular keys for fresh ones.
+  std::vector<trace::Key> rank_to_key(config.core_contents);
+  trace::Key next_key = 0;
+  for (auto& k : rank_to_key) k = next_key++;
+  trace::Key fresh_key = static_cast<trace::Key>(config.core_contents) +
+                         static_cast<trace::Key>(config.num_requests);  // disjoint range
+
+  // Sizes are fixed per key: memoize the first draw.
+  std::unordered_map<trace::Key, std::uint64_t> size_of;
+  size_of.reserve(config.core_contents * 2);
+  const auto key_size = [&](trace::Key k) {
+    auto [it, inserted] = size_of.try_emplace(k, 0);
+    if (inserted) it->second = config.size_model.sample(rng);
+    return it->second;
+  };
+
+  const double mean_gap =
+      config.duration_seconds / static_cast<double>(config.num_requests);
+
+  std::size_t schedule_pos = 0;
+  ZipfSampler zipf(config.core_contents, config.alpha_schedule[0].alpha);
+
+  double t = 0.0;
+  for (std::size_t i = 0; i < config.num_requests; ++i) {
+    // Advance the alpha schedule.
+    const double frac = static_cast<double>(i) / static_cast<double>(config.num_requests);
+    while (schedule_pos + 1 < config.alpha_schedule.size() &&
+           frac >= config.alpha_schedule[schedule_pos + 1].at_fraction) {
+      ++schedule_pos;
+      zipf = ZipfSampler(config.core_contents, config.alpha_schedule[schedule_pos].alpha);
+    }
+
+    // Popularity churn: retire the hottest ranks for brand-new keys.
+    if (config.churn_period > 0 && i > 0 && i % config.churn_period == 0 &&
+        config.churn_fraction > 0.0) {
+      const auto n_churn = static_cast<std::size_t>(
+          config.churn_fraction * static_cast<double>(config.core_contents));
+      for (std::size_t r = 0; r < n_churn; ++r) rank_to_key[r] = fresh_key++;
+    }
+
+    // Arrival time: exponential gap, optionally lognormally modulated.
+    double gap = -mean_gap * std::log(std::max(rng.next_double(), 1e-12));
+    if (config.burstiness_sigma > 0.0) {
+      const double u1 = std::max(rng.next_double(), 1e-12);
+      const double u2 = rng.next_double();
+      const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+      // exp(sigma*z - sigma^2/2) has mean 1: modulates gaps without changing rate.
+      gap *= std::exp(config.burstiness_sigma * z -
+                      config.burstiness_sigma * config.burstiness_sigma / 2.0);
+    }
+    t += gap;
+
+    trace::Key key;
+    if (rng.next_double() < config.one_hit_wonder_rate) {
+      key = fresh_key++;
+    } else {
+      key = rank_to_key[zipf.sample(rng)];
+    }
+    out.push_back(trace::Request{t, key, key_size(key)});
+  }
+  return out;
+}
+
+CdnTraceConfig make_config(TraceClass c, std::size_t num_requests, std::uint64_t seed) {
+  CdnTraceConfig cfg;
+  cfg.num_requests = num_requests;
+  cfg.seed = seed;
+  cfg.name = to_string(c);
+  const double scale = static_cast<double>(num_requests) / 1e6;
+
+  switch (c) {
+    case TraceClass::kCdnA:
+      // Table 1: 0.97M reqs / 330k contents / mean 25.5 MB / max 7.8 GB / 24 h.
+      // Web+video mixture: small web objects plus multi-MB video segments.
+      cfg.core_contents = std::max<std::size_t>(64, static_cast<std::size_t>(210'000 * scale));
+      cfg.alpha_schedule = {{0.0, 0.85}, {0.4, 0.95}, {0.75, 0.88}};
+      cfg.one_hit_wonder_rate = 0.12;
+      cfg.duration_seconds = 24 * 3600.0;
+      cfg.churn_period = num_requests / 12;
+      cfg.churn_fraction = 0.002;
+      cfg.burstiness_sigma = 0.4;
+      cfg.size_model = SizeModel({SizeComponent{0.45, 50.0 * kKB, 1.6},
+                                  SizeComponent{0.45, 10.0 * static_cast<double>(kMB), 1.0},
+                                  SizeComponent{0.10, 115.0 * static_cast<double>(kMB), 0.9}},
+                                 10 * kKB, 7'790 * kMB);
+      break;
+    case TraceClass::kCdnB:
+      // Table 1: 1M reqs / 162k contents / mean 68.4 MB / max 38 GB / 9.9 h.
+      // Live streaming: heavy churn, hot set turns over continuously.
+      cfg.core_contents = std::max<std::size_t>(64, static_cast<std::size_t>(110'000 * scale));
+      cfg.alpha_schedule = {{0.0, 1.05}, {0.5, 1.15}};
+      cfg.one_hit_wonder_rate = 0.05;
+      cfg.duration_seconds = 9.9 * 3600.0;
+      cfg.churn_period = std::max<std::size_t>(1, num_requests / 40);
+      cfg.churn_fraction = 0.01;
+      cfg.burstiness_sigma = 0.6;
+      cfg.size_model = SizeModel({SizeComponent{0.7, 17.0 * static_cast<double>(kMB), 1.1},
+                                  SizeComponent{0.3, 92.0 * static_cast<double>(kMB), 1.0}},
+                                 64 * kKB, 38'392 * kMB);
+      break;
+    case TraceClass::kCdnC:
+      // Table 1: 0.6M reqs / 298k contents / mean 100 MB / max 101 MB / 330 h.
+      // Nearly equal sizes; most contents requested exactly once (§7.3).
+      cfg.core_contents = std::max<std::size_t>(64, static_cast<std::size_t>(90'000 * scale));
+      cfg.alpha_schedule = {{0.0, 0.6}};
+      cfg.one_hit_wonder_rate = 0.55;
+      cfg.duration_seconds = 330 * 3600.0;
+      cfg.churn_period = 0;
+      cfg.burstiness_sigma = 0.2;
+      cfg.size_model = SizeModel({SizeComponent{1.0, 100.0 * static_cast<double>(kMB), 0.02}},
+                                 99 * kMB, 101 * kMB);
+      break;
+    case TraceClass::kWiki:
+      // Table 1: 1M reqs / 407k contents / mean 69.5 MB / max 92 GB / 0.1 h.
+      // Media blobs, very high arrival rate, large unique population.
+      cfg.core_contents = std::max<std::size_t>(64, static_cast<std::size_t>(280'000 * scale));
+      cfg.alpha_schedule = {{0.0, 0.95}};
+      cfg.one_hit_wonder_rate = 0.20;
+      cfg.duration_seconds = 360.0;
+      cfg.churn_period = 0;
+      cfg.burstiness_sigma = 0.8;
+      cfg.size_model = SizeModel({SizeComponent{0.5, 360.0 * kKB, 1.4},
+                                  SizeComponent{0.4, 24.0 * static_cast<double>(kMB), 1.2},
+                                  SizeComponent{0.1, 300.0 * static_cast<double>(kMB), 1.0}},
+                                 10 * kKB, 92'100 * kMB);
+      break;
+  }
+  return cfg;
+}
+
+trace::Trace make_trace(TraceClass c, std::size_t num_requests, std::uint64_t seed) {
+  return generate_cdn_trace(make_config(c, num_requests, seed));
+}
+
+std::vector<std::uint64_t> paper_cache_sizes(TraceClass c, double scale) {
+  const auto scaled = [scale](double gb) {
+    return static_cast<std::uint64_t>(gb * scale * static_cast<double>(kGB));
+  };
+  switch (c) {
+    case TraceClass::kCdnA: return {scaled(128), scaled(256), scaled(512), scaled(1024)};
+    case TraceClass::kCdnB: return {scaled(256), scaled(512), scaled(1024), scaled(2048)};
+    case TraceClass::kCdnC: return {scaled(32), scaled(64), scaled(128), scaled(256)};
+    case TraceClass::kWiki: return {scaled(256), scaled(512), scaled(1024), scaled(2048)};
+  }
+  return {};
+}
+
+std::uint64_t headline_cache_size(TraceClass c, double scale) {
+  const auto scaled = [scale](double gb) {
+    return static_cast<std::uint64_t>(gb * scale * static_cast<double>(kGB));
+  };
+  switch (c) {
+    case TraceClass::kCdnA: return scaled(512);
+    case TraceClass::kCdnB: return scaled(1024);
+    case TraceClass::kCdnC: return scaled(128);
+    case TraceClass::kWiki: return scaled(1024);
+  }
+  return scaled(512);
+}
+
+}  // namespace lhr::gen

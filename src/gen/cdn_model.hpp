@@ -1,0 +1,80 @@
+// Calibrated synthetic CDN workloads.
+//
+// The paper evaluates on four proprietary production traces (Table 1). Those
+// traces are not publicly available, so we substitute generators calibrated
+// to the published per-trace statistics: request volume, content population,
+// size distribution (mean & max), Zipf popularity, one-hit-wonder rate, and
+// temporal non-stationarity (popularity churn / drifting Zipf exponent).
+// Every algorithm under test consumes only (time, key, size), so matching
+// these distributions preserves the behaviours the paper's evaluation
+// exercises. See DESIGN.md "Substitutions".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gen/size_model.hpp"
+#include "trace/trace.hpp"
+
+namespace lhr::gen {
+
+/// Which production trace a generator imitates.
+enum class TraceClass {
+  kCdnA,  ///< web + video mix: bimodal sizes, mild churn
+  kCdnB,  ///< live streaming: strong popularity churn, large segments
+  kCdnC,  ///< equal ~100 MB objects, ~2/3 one-hit wonders, long duration
+  kWiki,  ///< photos/media: many unique objects, bursty arrivals
+};
+
+[[nodiscard]] std::string to_string(TraceClass c);
+
+/// A piecewise-constant schedule for the Zipf exponent: entry (f, a) means
+/// "from fraction f of the trace onwards, use alpha = a".
+struct AlphaBreakpoint {
+  double at_fraction = 0.0;
+  double alpha = 1.0;
+};
+
+struct CdnTraceConfig {
+  std::string name = "synthetic";
+  std::size_t num_requests = 1'000'000;
+  std::size_t core_contents = 100'000;   ///< Zipf-distributed population
+  std::vector<AlphaBreakpoint> alpha_schedule = {{0.0, 0.9}};
+  double one_hit_wonder_rate = 0.1;      ///< P(request hits a fresh, never-reused key)
+  double duration_seconds = 86'400.0;
+  /// Every `churn_period` requests, the most popular `churn_fraction` of
+  /// ranks are reassigned to brand-new keys (content turnover, as in live
+  /// streaming). 0 disables churn.
+  std::size_t churn_period = 0;
+  double churn_fraction = 0.0;
+  /// Lognormal sigma multiplying inter-arrival gaps (0 = pure Poisson).
+  double burstiness_sigma = 0.0;
+  SizeModel size_model{{SizeComponent{1.0, 4.0 * 1024 * 1024, 1.2}},
+                       1024, 1ULL << 33};
+  std::uint64_t seed = 1;
+};
+
+/// Generates a trace from an explicit configuration.
+[[nodiscard]] trace::Trace generate_cdn_trace(const CdnTraceConfig& config);
+
+/// Calibrated configuration for one of the four paper trace classes, scaled
+/// to `num_requests` (the paper uses ~0.6-1.0 million).
+[[nodiscard]] CdnTraceConfig make_config(TraceClass c, std::size_t num_requests,
+                                         std::uint64_t seed);
+
+/// Convenience: make_config + generate.
+[[nodiscard]] trace::Trace make_trace(TraceClass c, std::size_t num_requests,
+                                      std::uint64_t seed);
+
+/// The paper evaluates each trace class at specific cache sizes (§7.2, §7.3,
+/// Fig 8). Returns those sizes in bytes, scaled by `scale` so that reduced
+/// request counts keep the same cache-to-workload ratio.
+[[nodiscard]] std::vector<std::uint64_t> paper_cache_sizes(TraceClass c, double scale = 1.0);
+
+/// The single "headline" cache size per trace used in §7.2/Table 2/Table 3
+/// (512 GB, 1024 GB, 128 GB, 1024 GB), scaled.
+[[nodiscard]] std::uint64_t headline_cache_size(TraceClass c, double scale = 1.0);
+
+}  // namespace lhr::gen

@@ -1,0 +1,82 @@
+#include "gen/markov_modulated.hpp"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "gen/zipf.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::gen {
+
+namespace {
+
+/// Shared driver: `rank_of_state(state, zipf_rank)` maps a sampled Zipf rank
+/// to a content index under the current state's ranking.
+template <typename StateAlpha, typename RankMap, typename NextState>
+trace::Trace drive(const MarkovModulatedConfig& config, StateAlpha state_alpha,
+                   RankMap rank_of_state, NextState next_state) {
+  util::Xoshiro256 rng(config.seed);
+  trace::Trace out;
+  out.reserve(config.num_requests);
+
+  std::vector<std::uint64_t> sizes(config.num_contents);
+  for (auto& s : sizes) s = config.size_model.sample(rng);
+
+  const double mean_gap =
+      config.duration_seconds / static_cast<double>(config.num_requests);
+
+  int state = 0;
+  ZipfSampler zipf(config.num_contents, state_alpha(state));
+  double current_alpha = state_alpha(state);
+
+  double t = 0.0;
+  std::size_t in_state = 0;
+  for (std::size_t i = 0; i < config.num_requests; ++i) {
+    if (in_state == config.requests_per_state) {
+      state = next_state(state);
+      in_state = 0;
+      if (state_alpha(state) != current_alpha) {
+        current_alpha = state_alpha(state);
+        zipf = ZipfSampler(config.num_contents, current_alpha);
+      }
+    }
+    ++in_state;
+
+    t += -mean_gap * std::log(std::max(rng.next_double(), 1e-12));
+    const std::size_t content = rank_of_state(state, zipf.sample(rng));
+    out.push_back(trace::Request{t, static_cast<trace::Key>(content), sizes[content]});
+  }
+  return out;
+}
+
+}  // namespace
+
+trace::Trace generate_syn_one(const MarkovModulatedConfig& config) {
+  const std::size_t n = config.num_contents;
+  return drive(
+      config,
+      [&](int) { return config.alpha; },
+      [n](int state, std::size_t rank) { return state == 0 ? rank : n - 1 - rank; },
+      [](int state) { return 1 - state; });
+}
+
+trace::Trace generate_syn_two(const MarkovModulatedConfig& config) {
+  static constexpr double kAlphas[3] = {0.7, 0.9, 1.1};
+  // Path 0,1,2,1,0,1,2,... : bounce between 0 and 2.
+  struct Bounce {
+    int dir = 1;
+    int operator()(int state) {
+      if (state == 2) dir = -1;
+      if (state == 0) dir = 1;
+      return state + dir;
+    }
+  };
+  return drive(
+      config,
+      [](int state) { return kAlphas[state]; },
+      [](int, std::size_t rank) { return rank; },
+      Bounce{});
+}
+
+}  // namespace lhr::gen

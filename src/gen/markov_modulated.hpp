@@ -1,0 +1,37 @@
+// Markov-modulated request processes for the responsiveness experiment
+// (paper §7.6, Figure 11).
+//
+// "Syn One": a 2-state chain; state 0 draws from Zipf(alpha) with increasing
+// rank order (p_i ∝ 1/i^α), state 1 from the *reversed* ranking
+// (p_j ∝ 1/(N-j+1)^α). "Syn Two": a 3-state chain with α ∈ {0.7, 0.9, 1.1}
+// visiting 0→1→2→1→0→…  In each state a fixed number of requests r is drawn,
+// then the chain transitions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gen/size_model.hpp"
+#include "trace/trace.hpp"
+
+namespace lhr::gen {
+
+struct MarkovModulatedConfig {
+  std::size_t num_requests = 1'000'000;  ///< paper: 1M
+  std::size_t num_contents = 1'000;      ///< paper: N = 1000
+  std::size_t requests_per_state = 200'000;  ///< paper: r = 200k
+  double alpha = 0.8;                    ///< Syn One exponent
+  double duration_seconds = 1'000'000.0;
+  SizeModel size_model{{SizeComponent{1.0, 4.0 * 1024 * 1024, 1.0}},
+                       64 * 1024, 1ULL << 30};
+  std::uint64_t seed = 7;
+};
+
+/// Generates the "Syn One" workload (2 states, mirrored Zipf rankings).
+[[nodiscard]] trace::Trace generate_syn_one(const MarkovModulatedConfig& config);
+
+/// Generates the "Syn Two" workload (3 states, α = 0.7 / 0.9 / 1.1,
+/// state path 0,1,2,1,0,1,2,...).
+[[nodiscard]] trace::Trace generate_syn_two(const MarkovModulatedConfig& config);
+
+}  // namespace lhr::gen

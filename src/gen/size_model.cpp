@@ -1,0 +1,49 @@
+#include "gen/size_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lhr::gen {
+
+SizeModel::SizeModel(std::vector<SizeComponent> components, std::uint64_t min_bytes,
+                     std::uint64_t max_bytes)
+    : components_(std::move(components)), min_bytes_(min_bytes), max_bytes_(max_bytes) {
+  if (components_.empty()) throw std::invalid_argument("SizeModel: no components");
+  if (min_bytes_ == 0 || max_bytes_ < min_bytes_) {
+    throw std::invalid_argument("SizeModel: invalid size range");
+  }
+  double acc = 0.0;
+  weight_cdf_.reserve(components_.size());
+  for (const SizeComponent& c : components_) {
+    if (c.weight <= 0.0 || c.median_bytes <= 0.0) {
+      throw std::invalid_argument("SizeModel: invalid component");
+    }
+    acc += c.weight;
+    weight_cdf_.push_back(acc);
+  }
+  for (double& w : weight_cdf_) w /= acc;
+  weight_cdf_.back() = 1.0;
+}
+
+SizeModel SizeModel::constant(std::uint64_t bytes) {
+  return SizeModel({SizeComponent{1.0, static_cast<double>(bytes), 1e-9}}, bytes, bytes);
+}
+
+std::uint64_t SizeModel::sample(util::Xoshiro256& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(weight_cdf_.begin(), weight_cdf_.end(), u);
+  const SizeComponent& c = components_[static_cast<std::size_t>(it - weight_cdf_.begin())];
+
+  // Box-Muller normal draw.
+  const double u1 = std::max(rng.next_double(), 1e-12);
+  const double u2 = rng.next_double();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+
+  const double value = c.median_bytes * std::exp(c.sigma * z);
+  const double clamped =
+      std::clamp(value, static_cast<double>(min_bytes_), static_cast<double>(max_bytes_));
+  return static_cast<std::uint64_t>(clamped);
+}
+
+}  // namespace lhr::gen

@@ -1,0 +1,45 @@
+// Content-size models.
+//
+// Production CDN content sizes vary over six orders of magnitude (Table 1:
+// 10 KB web objects to 92 GB media). We model sizes as a mixture of
+// lognormal components ("web objects", "video segments", "large media"),
+// clamped to a [min, max] range, which reproduces the mean/max columns of
+// Table 1 and the heavy upper tail that AdaptSize-style admission exploits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lhr::gen {
+
+/// One lognormal mixture component, parameterized by the *median* of the
+/// component (exp(mu)) and sigma of the underlying normal.
+struct SizeComponent {
+  double weight = 1.0;       ///< relative mixture weight
+  double median_bytes = 0;   ///< exp(mu)
+  double sigma = 1.0;        ///< lognormal shape
+};
+
+class SizeModel {
+ public:
+  SizeModel(std::vector<SizeComponent> components, std::uint64_t min_bytes,
+            std::uint64_t max_bytes);
+
+  /// Constant-size model (CDN-C has ~equal 100 MB objects).
+  static SizeModel constant(std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t sample(util::Xoshiro256& rng) const;
+
+  [[nodiscard]] std::uint64_t min_bytes() const noexcept { return min_bytes_; }
+  [[nodiscard]] std::uint64_t max_bytes() const noexcept { return max_bytes_; }
+
+ private:
+  std::vector<SizeComponent> components_;
+  std::vector<double> weight_cdf_;
+  std::uint64_t min_bytes_;
+  std::uint64_t max_bytes_;
+};
+
+}  // namespace lhr::gen

@@ -1,0 +1,35 @@
+// Discrete Zipf(α) sampling over N ranks.
+//
+// Popularity in production CDN workloads is Zipf-like (paper §5.2.2 cites
+// [5,14,30]); every synthetic workload in this repository draws content
+// ranks from this sampler.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lhr::gen {
+
+/// Samples ranks in [0, n) with P(rank = i) ∝ 1 / (i+1)^alpha.
+/// Precomputes the CDF once (O(n)); each sample is a binary search (O(log n)).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha);
+
+  [[nodiscard]] std::size_t sample(util::Xoshiro256& rng) const;
+
+  [[nodiscard]] std::size_t n() const noexcept { return cdf_.size(); }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+  /// Probability mass of rank i (for tests and analytic baselines).
+  [[nodiscard]] double pmf(std::size_t i) const;
+
+ private:
+  double alpha_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace lhr::gen

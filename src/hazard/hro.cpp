@@ -1,0 +1,185 @@
+#include "hazard/hro.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace lhr::hazard {
+
+namespace {
+constexpr double kMinGap = 1e-9;  // guards against zero inter-request times
+}
+
+Hro::Hro(const HroConfig& config) : config_(config) {
+  if (config_.size_aware && config_.capacity_bytes == 0) {
+    throw std::invalid_argument("Hro: capacity_bytes must be positive");
+  }
+  if (!config_.size_aware && config_.capacity_objects == 0) {
+    throw std::invalid_argument("Hro: capacity_objects must be positive");
+  }
+  if (config_.window_unique_bytes_mult <= 0.0) {
+    throw std::invalid_argument("Hro: window multiplier must be positive");
+  }
+}
+
+HroDecision Hro::classify(const trace::Request& r) {
+  window_just_closed_ = false;
+  ++requests_;
+  if (config_.age_decay_hazard && config_.hazard_refresh_interval > 0 &&
+      requests_ % config_.hazard_refresh_interval == 0) {
+    refresh_densities(r.time);
+  }
+
+  auto [it, first_ever] = contents_.try_emplace(r.key, ContentState{});
+  ContentState& st = it->second;
+  const auto current_window = static_cast<std::uint32_t>(window_index_);
+
+  if (first_ever) {
+    window_unique_bytes_ += static_cast<double>(r.size);
+  } else if (st.last_window != current_window) {
+    // First appearance of a known content in this window.
+    window_unique_bytes_ += static_cast<double>(r.size);
+    st.window_count = 0;
+  }
+
+  // Reservoir-sample this IRT for the window's hyperexponential fit.
+  if (config_.age_decay_hazard && !first_ever) {
+    const double irt = std::max(r.time - st.last_time, kMinGap);
+    constexpr std::size_t kIrtReservoir = 4096;
+    ++window_irt_seen_;
+    if (window_irt_sample_.size() < kIrtReservoir) {
+      window_irt_sample_.push_back(irt);
+    } else {
+      const std::uint64_t slot = sample_rng_.next_below(window_irt_seen_);
+      if (slot < kIrtReservoir) window_irt_sample_[static_cast<std::size_t>(slot)] = irt;
+    }
+  }
+
+  // --- Update the Poisson rate estimate (§3.2). ---
+  if (st.window_count == 0) st.window_first = r.time;
+  ++st.window_count;
+  if (!first_ever) {
+    if (st.window_count >= 2) {
+      // Window-local MLE for a Poisson process: (#IRTs) / elapsed time.
+      const double elapsed = std::max(r.time - st.window_first, kMinGap);
+      st.rate = static_cast<double>(st.window_count - 1) / elapsed;
+    } else {
+      // Single observation in this window: instantaneous IRT estimate,
+      // which carries information across the window boundary.
+      st.rate = 1.0 / std::max(r.time - st.last_time, kMinGap);
+    }
+  }
+  st.last_time = r.time;
+  st.last_window = current_window;
+  st.size = r.size;
+
+  HroDecision decision;
+  decision.first_ever = first_ever;
+  decision.rate = st.rate;
+
+  const std::uint64_t index_bytes = config_.size_aware ? std::max<std::uint64_t>(r.size, 1) : 1;
+  const std::uint64_t capacity =
+      config_.size_aware ? config_.capacity_bytes : config_.capacity_objects;
+  decision.density =
+      config_.size_aware ? st.rate / static_cast<double>(std::max<std::uint64_t>(r.size, 1))
+                         : st.rate;
+
+  index_.upsert(r.key, decision.density, index_bytes);
+
+  // --- Classify (Prop A.1 / fractional knapsack prefix). ---
+  if (!first_ever) {
+    decision.hit = index_.in_prefix(r.key, capacity);
+    if (decision.hit) ++hits_;
+  }
+
+  // --- Window bookkeeping (footnote 3). ---
+  const double window_limit =
+      config_.window_unique_bytes_mult * static_cast<double>(config_.size_aware
+                                                                 ? config_.capacity_bytes
+                                                                 : config_.capacity_objects);
+  if (window_unique_bytes_ >= window_limit) roll_window(r.time);
+
+  return decision;
+}
+
+void Hro::roll_window(double now) {
+  const auto closed_window = static_cast<std::uint32_t>(window_index_);
+  ++window_index_;
+  window_unique_bytes_ = 0.0;
+  window_just_closed_ = true;
+
+  // Contents idle for `retention_windows` windows leave the ranking (and
+  // their memory is reclaimed). Contents idle for less than that decay:
+  // a Poisson process of rate λ observed silent for Δ seconds cannot
+  // plausibly sustain a rate above ~1/Δ, so cap the estimate — without this,
+  // churned-out contents squat in the knapsack prefix with stale rates.
+  const std::uint32_t retention =
+      static_cast<std::uint32_t>(std::max<std::size_t>(config_.retention_windows, 1));
+  const bool can_expire = closed_window + 1 >= retention;
+  const std::uint32_t horizon = can_expire ? closed_window + 1 - retention : 0;
+  for (auto it = contents_.begin(); it != contents_.end();) {
+    ContentState& st = it->second;
+    if (can_expire && st.last_window < horizon) {
+      index_.erase(it->first);
+      it = contents_.erase(it);
+      continue;
+    }
+    if (!config_.age_decay_hazard && st.last_window != closed_window &&
+        st.rate > 0.0) {
+      // Poisson mode: cap the rate of idle contents (a silent Poisson source
+      // cannot plausibly sustain a rate above ~1/idle).
+      const double idle = std::max(now - st.last_time, kMinGap);
+      const double capped = std::min(st.rate, 1.0 / idle);
+      if (capped < st.rate) {
+        st.rate = capped;
+        reindex(it->first, st, now);
+      }
+    }
+    ++it;
+  }
+
+  // Age-decay extension: refit the IRT model on the window's sample.
+  if (config_.age_decay_hazard && window_irt_sample_.size() >= 64) {
+    irt_model_ = fit_hyperexp_em(window_irt_sample_);
+    irt_model_ready_ = true;
+  }
+  window_irt_sample_.clear();
+  window_irt_seen_ = 0;
+  if (config_.age_decay_hazard) refresh_densities(now);
+}
+
+void Hro::reindex(trace::Key key, const ContentState& st, double now) {
+  double effective_rate = st.rate;
+  if (config_.age_decay_hazard && st.rate > 0.0) {
+    // Per-content survival decay: a content silent for Delta has missed
+    // ~rate*Delta expected arrivals under its own estimate; after a grace of
+    // one mean IRT, its effective hazard collapses by the survival factor.
+    // (Kills burst corpses at once, leaves slow-but-punctual contents alone;
+    // the fitted hyperexponential characterizes the window's IRT mixture and
+    // is exposed via irt_model() for analysis.)
+    const double idle = std::max(now - st.last_time, 0.0);
+    const double excess = std::max(idle - 1.0 / st.rate, 0.0);
+    effective_rate *= std::exp(-std::min(st.rate * excess, 700.0));
+  }
+  const std::uint64_t bytes =
+      config_.size_aware ? std::max<std::uint64_t>(st.size, 1) : 1;
+  const double density =
+      config_.size_aware
+          ? effective_rate / static_cast<double>(std::max<std::uint64_t>(st.size, 1))
+          : effective_rate;
+  index_.upsert(key, density, bytes);
+}
+
+void Hro::refresh_densities(double now) {
+  for (const auto& [key, st] : contents_) {
+    if (st.rate > 0.0) reindex(key, st, now);
+  }
+}
+
+std::size_t Hro::memory_bytes() const noexcept {
+  return index_.memory_bytes() +
+         contents_.size() * (sizeof(trace::Key) + sizeof(ContentState) + 2 * sizeof(void*));
+}
+
+}  // namespace lhr::hazard

@@ -1,0 +1,118 @@
+// HRO: the online upper bound on OPT (paper §3, Appendix A.1).
+//
+// Theory: upon a request for content i at time t, sort all contents by their
+// sized hazard rate ζ̃_i(t) = f_i(t) / ((1-F_i(t)) s_i) and classify the
+// request as a hit iff i lies in the fractional-knapsack prefix of capacity
+// M (Proposition A.1: this dominates every non-anticipative policy).
+//
+// Practice (§3.2): the c.d.f. F_i is unknown, so HRO approximates each
+// content's request process as Poisson using inter-request times observed in
+// the current sliding window. A Poisson process has *constant* hazard equal
+// to its rate λ_i, so the sized hazard ordering reduces to the density
+// ordering λ_i / s_i, which we maintain in a log-bucketed Fenwick index
+// (util::DensityIndex) — O(log B) per request, fully online.
+//
+// Windows follow footnote 3: non-overlapping, closed when the unique bytes
+// seen in the window reach `window_unique_bytes_mult` × capacity. At a window
+// boundary, contents not requested during the closed window are dropped from
+// the ranking ("only contents within the window are used").
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/request.hpp"
+#include "hazard/irt_models.hpp"
+#include "util/density_index.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::hazard {
+
+struct HroConfig {
+  std::uint64_t capacity_bytes = 0;
+  /// Window size: unique bytes = this multiple of the capacity (§5.1: 4×).
+  double window_unique_bytes_mult = 4.0;
+  /// Equation (2) (sized hazard) when true; equation (1) with an
+  /// object-count capacity when false.
+  bool size_aware = true;
+  /// Capacity in objects for the equal-size variant (size_aware == false).
+  std::uint64_t capacity_objects = 0;
+  /// Contents not requested for this many consecutive windows are dropped
+  /// from the hazard ranking. IRTs are still computed strictly within the
+  /// current window (footnote 3); retention only bounds how long a content
+  /// keeps its latest rate estimate while idle, trading memory for bound
+  /// tightness.
+  std::size_t retention_windows = 8;
+  /// Extension beyond the paper's Poisson approximation: fit a
+  /// hyperexponential to each window's IRTs and periodically decay idle
+  /// contents' hazard by the fitted profile ζ(age)/ζ(0), so stale contents
+  /// sink in the ranking according to the trace's own IRT statistics.
+  bool age_decay_hazard = false;
+  std::size_t hazard_refresh_interval = 8192;  ///< requests between decay sweeps
+};
+
+/// Per-request output of the HRO classifier. `hit` is the label LHR trains
+/// on (§5.2.4); rate/density are exposed as optional learner features.
+struct HroDecision {
+  bool hit = false;
+  bool first_ever = false;  ///< first request to this content, ever
+  double rate = 0.0;        ///< Poisson rate estimate λ_i after this request
+  double density = 0.0;     ///< λ_i / s_i (or λ_i when !size_aware)
+};
+
+class Hro {
+ public:
+  explicit Hro(const HroConfig& config);
+
+  /// Processes one request (times must be non-decreasing).
+  HroDecision classify(const trace::Request& r);
+
+  [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] double hit_ratio() const noexcept {
+    return requests_ ? static_cast<double>(hits_) / static_cast<double>(requests_) : 0.0;
+  }
+  [[nodiscard]] std::size_t window_index() const noexcept { return window_index_; }
+  /// True iff the last classify() call closed a sliding window.
+  [[nodiscard]] bool window_just_closed() const noexcept { return window_just_closed_; }
+  [[nodiscard]] std::size_t tracked_contents() const noexcept { return contents_.size(); }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+  /// Hyperexponential fitted to the last completed window's IRTs
+  /// (age_decay_hazard mode; identity exponential before the first fit).
+  [[nodiscard]] const HyperExp& irt_model() const noexcept { return irt_model_; }
+  [[nodiscard]] bool irt_model_ready() const noexcept { return irt_model_ready_; }
+
+ private:
+  struct ContentState {
+    double last_time = 0.0;     ///< time of the most recent request
+    double window_first = 0.0;  ///< first request time within current window
+    std::uint32_t window_count = 0;
+    std::uint32_t last_window = 0;
+    std::uint64_t size = 0;
+    double rate = 0.0;
+  };
+
+  void roll_window(double now);
+  void refresh_densities(double now);
+  void reindex(trace::Key key, const ContentState& st, double now);
+
+  HroConfig config_;
+  util::DensityIndex index_;
+  std::unordered_map<trace::Key, ContentState> contents_;
+
+  // Age-decay extension state.
+  HyperExp irt_model_{1.0, 1.0, 1.0};
+  bool irt_model_ready_ = false;
+  std::vector<double> window_irt_sample_;
+  util::Xoshiro256 sample_rng_{0xabcdef};
+  std::uint64_t window_irt_seen_ = 0;
+
+  std::uint64_t requests_ = 0;
+  std::uint64_t hits_ = 0;
+  std::size_t window_index_ = 0;
+  double window_unique_bytes_ = 0.0;
+  bool window_just_closed_ = false;
+};
+
+}  // namespace lhr::hazard

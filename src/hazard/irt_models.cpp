@@ -1,0 +1,89 @@
+#include "hazard/irt_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lhr::hazard {
+
+double HyperExp::pdf(double t) const {
+  t = std::max(t, 0.0);
+  return p * lambda1 * std::exp(-lambda1 * t) +
+         (1.0 - p) * lambda2 * std::exp(-lambda2 * t);
+}
+
+double HyperExp::survival(double t) const {
+  t = std::max(t, 0.0);
+  return p * std::exp(-lambda1 * t) + (1.0 - p) * std::exp(-lambda2 * t);
+}
+
+double HyperExp::hazard(double t) const {
+  const double s = survival(t);
+  return s > 1e-300 ? pdf(t) / s : std::min(lambda1, lambda2);
+}
+
+double HyperExp::hazard_decay(double t) const {
+  const double h0 = hazard(0.0);
+  return h0 > 0.0 ? std::clamp(hazard(t) / h0, 0.0, 1.0) : 1.0;
+}
+
+double HyperExp::mean() const {
+  return p / lambda1 + (1.0 - p) / lambda2;
+}
+
+HyperExp fit_hyperexp_em(std::span<const double> irts, std::size_t iterations) {
+  // Collect positive samples; anything else cannot be an IRT.
+  double sum = 0.0;
+  std::size_t n = 0;
+  double max_sample = 0.0;
+  for (const double x : irts) {
+    if (x > 0.0) {
+      sum += x;
+      max_sample = std::max(max_sample, x);
+      ++n;
+    }
+  }
+  HyperExp model;
+  if (n < 2 || sum <= 0.0) {
+    const double rate = (n > 0 && sum > 0.0) ? static_cast<double>(n) / sum : 1.0;
+    return HyperExp{1.0, rate, rate};
+  }
+  const double mean = sum / static_cast<double>(n);
+
+  // Moment-inspired initialization: a fast phase around 4/mean and a slow
+  // phase around 1/(4·mean) split evenly.
+  model = HyperExp{0.5, 4.0 / mean, 0.25 / mean};
+
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    double w_sum = 0.0;      // responsibility mass of phase 1
+    double wx_sum = 0.0;     // phase-1-weighted samples
+    double vx_sum = 0.0;     // phase-2-weighted samples
+    std::size_t used = 0;
+    for (const double x : irts) {
+      if (!(x > 0.0)) continue;
+      const double a = model.p * model.lambda1 * std::exp(-model.lambda1 * x);
+      const double b =
+          (1.0 - model.p) * model.lambda2 * std::exp(-model.lambda2 * x);
+      const double denom = a + b;
+      const double w = denom > 1e-300 ? a / denom : 0.5;
+      w_sum += w;
+      wx_sum += w * x;
+      vx_sum += (1.0 - w) * x;
+      ++used;
+    }
+    const double nn = static_cast<double>(used);
+    const double v_sum = nn - w_sum;
+    if (w_sum < 1e-9 || v_sum < 1e-9) break;  // one phase vanished: keep fit
+    model.p = std::clamp(w_sum / nn, 1e-6, 1.0 - 1e-6);
+    model.lambda1 = std::clamp(w_sum / std::max(wx_sum, 1e-300), 1e-12, 1e12);
+    model.lambda2 = std::clamp(v_sum / std::max(vx_sum, 1e-300), 1e-12, 1e12);
+  }
+
+  // Convention: phase 1 is the fast one.
+  if (model.lambda1 < model.lambda2) {
+    std::swap(model.lambda1, model.lambda2);
+    model.p = 1.0 - model.p;
+  }
+  return model;
+}
+
+}  // namespace lhr::hazard

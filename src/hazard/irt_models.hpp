@@ -1,0 +1,46 @@
+// Inter-request-time models beyond Poisson.
+//
+// HRO's practical form (§3.2) approximates each content's request process as
+// Poisson, whose hazard is constant. Real CDN inter-request times are
+// heavy-tailed, with *decreasing* hazard: the longer a content has been
+// silent, the less likely it is to be requested in the next instant. A
+// 2-phase hyperexponential
+//     f(t) = p·λ₁e^{-λ₁t} + (1-p)·λ₂e^{-λ₂t}
+// is the textbook minimal model with that property (it is the paper's
+// acknowledged approximation gap; this module is our extension past it).
+//
+// The fitted hazard supplies an age-decay profile g(age) =
+// ζ(age)/ζ(0) that hazard::Hro can apply to its per-content rate estimates,
+// letting idle contents sink in the knapsack ranking according to the
+// trace's own IRT statistics instead of an ad-hoc cap.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace lhr::hazard {
+
+/// 2-phase hyperexponential distribution.
+struct HyperExp {
+  double p = 0.5;        ///< weight of phase 1
+  double lambda1 = 1.0;  ///< fast phase rate
+  double lambda2 = 0.1;  ///< slow phase rate
+
+  /// Density f(t).
+  [[nodiscard]] double pdf(double t) const;
+  /// Complementary c.d.f. 1 - F(t).
+  [[nodiscard]] double survival(double t) const;
+  /// Hazard rate ζ(t) = f(t) / (1 - F(t)); decreasing in t when λ₁ > λ₂.
+  [[nodiscard]] double hazard(double t) const;
+  /// Normalized decay profile g(t) = ζ(t)/ζ(0) in (0, 1].
+  [[nodiscard]] double hazard_decay(double t) const;
+  [[nodiscard]] double mean() const;
+};
+
+/// Fits a hyperexponential to IRT samples by expectation-maximization.
+/// Requires at least 2 positive samples; degenerate inputs collapse to an
+/// exponential (p = 1, λ₁ = λ₂ = 1/mean).
+[[nodiscard]] HyperExp fit_hyperexp_em(std::span<const double> irts,
+                                       std::size_t iterations = 60);
+
+}  // namespace lhr::hazard

@@ -1,0 +1,65 @@
+#include "ml/eval.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace lhr::ml {
+
+BinaryMetrics evaluate_binary(std::span<const float> predictions,
+                              std::span<const float> labels) {
+  if (predictions.size() != labels.size()) {
+    throw std::invalid_argument("evaluate_binary: size mismatch");
+  }
+  BinaryMetrics m;
+  m.n = predictions.size();
+  if (m.n == 0) return m;
+
+  std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+  double brier = 0.0;
+  for (std::size_t i = 0; i < m.n; ++i) {
+    const bool truth = labels[i] >= 0.5f;
+    const bool predicted = predictions[i] >= 0.5f;
+    m.positives += truth;
+    if (truth && predicted) ++tp;
+    if (!truth && predicted) ++fp;
+    if (!truth && !predicted) ++tn;
+    if (truth && !predicted) ++fn;
+    const double e = static_cast<double>(predictions[i]) - (truth ? 1.0 : 0.0);
+    brier += e * e;
+  }
+  m.accuracy = static_cast<double>(tp + tn) / static_cast<double>(m.n);
+  m.precision = (tp + fp) ? static_cast<double>(tp) / static_cast<double>(tp + fp) : 0.0;
+  m.recall = (tp + fn) ? static_cast<double>(tp) / static_cast<double>(tp + fn) : 0.0;
+  m.brier = brier / static_cast<double>(m.n);
+
+  // Exact AUC via the Mann-Whitney rank statistic.
+  const std::size_t n_pos = m.positives;
+  const std::size_t n_neg = m.n - n_pos;
+  if (n_pos == 0 || n_neg == 0) {
+    m.auc = 0.5;  // undefined: report chance
+    return m;
+  }
+  std::vector<std::size_t> order(m.n);
+  for (std::size_t i = 0; i < m.n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return predictions[a] < predictions[b];
+  });
+  // Average ranks over tied prediction groups.
+  double rank_sum_pos = 0.0;
+  std::size_t i = 0;
+  while (i < m.n) {
+    std::size_t j = i;
+    while (j + 1 < m.n && predictions[order[j + 1]] == predictions[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) {
+      if (labels[order[k]] >= 0.5f) rank_sum_pos += avg_rank;
+    }
+    i = j + 1;
+  }
+  m.auc = (rank_sum_pos - static_cast<double>(n_pos) * (static_cast<double>(n_pos) + 1.0) / 2.0) /
+          (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+  return m;
+}
+
+}  // namespace lhr::ml

@@ -1,0 +1,29 @@
+// Classifier evaluation metrics.
+//
+// §7.5 attributes the remaining LHR↔HRO gap to "errors in our model"; these
+// metrics make that quantitative: the LHR admission model is scored against
+// HRO's labels on held-out requests (bench_ext_model_quality).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace lhr::ml {
+
+struct BinaryMetrics {
+  double accuracy = 0.0;   ///< at the 0.5 threshold
+  double precision = 0.0;  ///< of predicted positives
+  double recall = 0.0;     ///< of actual positives
+  double auc = 0.0;        ///< ROC area (0.5 = chance)
+  double brier = 0.0;      ///< mean squared probability error
+  std::size_t n = 0;
+  std::size_t positives = 0;
+};
+
+/// Scores probability predictions in [0,1] against {0,1} labels.
+/// AUC is computed exactly via the rank statistic (ties get half credit).
+/// Sizes must match; empty input returns a zero struct.
+[[nodiscard]] BinaryMetrics evaluate_binary(std::span<const float> predictions,
+                                            std::span<const float> labels);
+
+}  // namespace lhr::ml

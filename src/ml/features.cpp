@@ -1,0 +1,96 @@
+#include "ml/features.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lhr::ml {
+
+namespace {
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+
+float log1p_seconds(double seconds) {
+  return static_cast<float>(std::log1p(std::max(seconds, 0.0)));
+}
+}  // namespace
+
+FeatureExtractor::FeatureExtractor(const FeatureConfig& config) : config_(config) {
+  if (config_.num_irts == 0) {
+    throw std::invalid_argument("FeatureExtractor: num_irts must be positive");
+  }
+}
+
+std::size_t FeatureExtractor::dim() const noexcept {
+  return config_.num_irts + (config_.include_static ? kStaticFeatureCount : 0);
+}
+
+void FeatureExtractor::extract(const trace::Request& r, std::span<float> out) const {
+  if (out.size() != dim()) {
+    throw std::invalid_argument("FeatureExtractor::extract: wrong output size");
+  }
+
+  const auto it = history_.find(r.key);
+  const History* h = it == history_.end() ? nullptr : &it->second;
+
+  // IRT_1 = time since the last request; IRT_2.. from the ring buffer
+  // (most recent first). log1p-compressed: IRTs span 9 orders of magnitude.
+  std::size_t f = 0;
+  if (h != nullptr && h->count > 0) {
+    out[f++] = log1p_seconds(r.time - h->last_time);
+    const std::size_t available = std::min(h->count > 0 ? h->count - 1 : 0,
+                                           std::min(h->irts.size(), config_.num_irts - 1));
+    for (std::size_t k = 0; k < config_.num_irts - 1; ++k) {
+      if (k < available) {
+        // irts ring: ring_pos-1 is the newest stored IRT.
+        const std::size_t idx =
+            (h->ring_pos + h->irts.size() - 1 - k) % h->irts.size();
+        out[f++] = h->irts[idx];
+      } else {
+        out[f++] = kNaN;
+      }
+    }
+  } else {
+    for (std::size_t k = 0; k < config_.num_irts; ++k) out[f++] = kNaN;
+  }
+
+  if (config_.include_static) {
+    out[f++] = static_cast<float>(std::log(static_cast<double>(std::max<std::uint64_t>(r.size, 1))));
+    out[f++] = static_cast<float>(static_cast<double>(r.size) / (1024.0 * 1024.0));
+    out[f++] = h ? static_cast<float>(std::log1p(static_cast<double>(h->count))) : 0.0f;
+    out[f++] = h ? log1p_seconds(r.time - h->first_time) : 0.0f;
+  }
+}
+
+void FeatureExtractor::record(const trace::Request& r) {
+  auto [it, inserted] = history_.try_emplace(r.key, History{});
+  History& h = it->second;
+  if (inserted) {
+    h.irts.assign(config_.num_irts > 1 ? config_.num_irts - 1 : 1, kNaN);
+    h.first_time = r.time;
+  } else {
+    h.irts[h.ring_pos] = log1p_seconds(r.time - h.last_time);
+    h.ring_pos = (h.ring_pos + 1) % h.irts.size();
+  }
+  h.last_time = r.time;
+  h.size = r.size;
+  ++h.count;
+}
+
+void FeatureExtractor::prune_older_than(trace::Time horizon) {
+  for (auto it = history_.begin(); it != history_.end();) {
+    if (it->second.last_time < horizon) {
+      it = history_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t FeatureExtractor::memory_bytes() const noexcept {
+  const std::size_t per_entry = sizeof(trace::Key) + sizeof(History) +
+                                (config_.num_irts - 1) * sizeof(float) +
+                                2 * sizeof(void*);
+  return history_.size() * per_entry;
+}
+
+}  // namespace lhr::ml

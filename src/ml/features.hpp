@@ -1,0 +1,65 @@
+// Content feature extraction (paper §5.2.1).
+//
+// Time-varying features: IRT_1 .. IRT_K, the times between the content's
+// most recent consecutive requests (K = 20 by default; Figure 6 sweeps
+// 10/20/30). Static features: content size plus derived quantities.
+// Features that do not exist yet (IRT_k before the (k+1)-th request) are
+// encoded as NaN, which the GBDT routes through its learned default
+// direction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/request.hpp"
+
+namespace lhr::ml {
+
+struct FeatureConfig {
+  std::size_t num_irts = 20;
+  bool include_static = true;  ///< size, log-size, request count, age
+};
+
+/// Number of static features appended after the IRTs.
+inline constexpr std::size_t kStaticFeatureCount = 4;
+
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(const FeatureConfig& config = {});
+
+  /// Feature vector length.
+  [[nodiscard]] std::size_t dim() const noexcept;
+
+  /// Writes the features of `r.key` *as of time r.time, before recording
+  /// this request* into `out` (length dim()). IRT_1 uses the gap between
+  /// r.time and the last recorded request.
+  void extract(const trace::Request& r, std::span<float> out) const;
+
+  /// Records the request into the per-content history.
+  void record(const trace::Request& r);
+
+  /// Drops contents whose last recorded request is older than `horizon`
+  /// (bounds the history memory; LHR calls this at window boundaries).
+  void prune_older_than(trace::Time horizon);
+
+  [[nodiscard]] std::size_t tracked_contents() const noexcept { return history_.size(); }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+ private:
+  struct History {
+    std::vector<float> irts;   // ring buffer of the last num_irts IRTs
+    std::size_t ring_pos = 0;  // next write slot
+    std::size_t count = 0;     // total recorded requests
+    trace::Time first_time = 0.0;
+    trace::Time last_time = 0.0;
+    std::uint64_t size = 0;
+  };
+
+  FeatureConfig config_;
+  std::unordered_map<trace::Key, History> history_;
+};
+
+}  // namespace lhr::ml

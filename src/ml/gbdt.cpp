@@ -1,0 +1,394 @@
+#include "ml/gbdt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace lhr::ml {
+
+namespace {
+
+constexpr std::uint8_t kMissingBin = 255;
+
+/// Per-feature quantile bin edges. bin(v) = index of first edge >= v;
+/// "value <= edges[b]" is the split predicate for bin b.
+std::vector<std::vector<float>> compute_bin_edges(const Dataset& data,
+                                                  std::size_t max_bins,
+                                                  util::Xoshiro256& rng) {
+  const std::size_t n = data.n_rows();
+  std::vector<std::vector<float>> edges(data.n_features);
+  constexpr std::size_t kEdgeSample = 65'536;
+
+  std::vector<float> sample;
+  for (std::size_t f = 0; f < data.n_features; ++f) {
+    sample.clear();
+    if (n <= kEdgeSample) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const float v = data.values[i * data.n_features + f];
+        if (!std::isnan(v)) sample.push_back(v);
+      }
+    } else {
+      for (std::size_t s = 0; s < kEdgeSample; ++s) {
+        const std::size_t i = rng.next_below(n);
+        const float v = data.values[i * data.n_features + f];
+        if (!std::isnan(v)) sample.push_back(v);
+      }
+    }
+    if (sample.empty()) continue;
+    std::sort(sample.begin(), sample.end());
+    sample.erase(std::unique(sample.begin(), sample.end()), sample.end());
+
+    const std::size_t n_edges = std::min(max_bins - 1, sample.size());
+    auto& e = edges[f];
+    e.reserve(n_edges);
+    for (std::size_t k = 1; k <= n_edges; ++k) {
+      const std::size_t idx =
+          std::min(sample.size() - 1, k * sample.size() / (n_edges + 1));
+      if (e.empty() || sample[idx] > e.back()) e.push_back(sample[idx]);
+    }
+    if (e.empty()) e.push_back(sample.back());
+  }
+  return edges;
+}
+
+std::uint8_t bin_of(float v, const std::vector<float>& edges) {
+  if (std::isnan(v)) return kMissingBin;
+  const auto it = std::lower_bound(edges.begin(), edges.end(), v);
+  return static_cast<std::uint8_t>(it - edges.begin());  // may equal edges.size()
+}
+
+struct SplitCandidate {
+  double gain = 0.0;
+  std::int32_t feature = -1;
+  std::uint8_t bin = 0;
+  bool missing_left = true;
+};
+
+double leaf_objective(double g, double h, double lambda) {
+  return (g * g) / (h + lambda);
+}
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+void Gbdt::fit(const Dataset& data, std::span<const float> targets,
+               const GbdtConfig& config) {
+  const std::size_t n = data.n_rows();
+  if (n == 0 || data.n_features == 0) {
+    throw std::invalid_argument("Gbdt::fit: empty dataset");
+  }
+  if (targets.size() != n) {
+    throw std::invalid_argument("Gbdt::fit: target size mismatch");
+  }
+  if (config.max_bins < 2 || config.max_bins > 250) {
+    throw std::invalid_argument("Gbdt::fit: max_bins must be in [2, 250]");
+  }
+
+  trees_.clear();
+  n_features_ = data.n_features;
+  loss_ = config.loss;
+  importance_gain_.assign(n_features_, 0.0);
+  util::Xoshiro256 rng(config.seed);
+
+  double mean = 0.0;
+  for (const float t : targets) mean += t;
+  mean /= static_cast<double>(n);
+  if (loss_ == GbdtLoss::kLogistic) {
+    const double clamped = std::clamp(mean, 1e-6, 1.0 - 1e-6);
+    base_score_ = std::log(clamped / (1.0 - clamped));  // log-odds prior
+  } else {
+    base_score_ = mean;
+  }
+
+  const auto edges = compute_bin_edges(data, config.max_bins, rng);
+
+  // Pre-bin the whole matrix once.
+  std::vector<std::uint8_t> bins(n * n_features_);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < n_features_; ++f) {
+      bins[i * n_features_ + f] = bin_of(data.values[i * n_features_ + f], edges[f]);
+    }
+  }
+
+  std::vector<double> pred(n, base_score_);
+  std::vector<double> grad(n);
+  std::vector<double> hess(n, 1.0);
+  std::vector<std::uint32_t> rows;
+  rows.reserve(n);
+
+  struct BinStats {
+    double g = 0.0;
+    double h = 0.0;
+  };
+  // One histogram buffer reused across nodes: max_bins+1 slots per feature
+  // (last slot = missing).
+  const std::size_t hist_width = config.max_bins + 1;
+  std::vector<BinStats> hist(n_features_ * hist_width);
+
+  for (std::size_t t = 0; t < config.num_trees; ++t) {
+    // Squared loss: g = pred - y, h = 1. Logistic: g = sigma(pred) - y,
+    // h = sigma(pred)(1 - sigma(pred)).
+    if (loss_ == GbdtLoss::kLogistic) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double p = sigmoid(pred[i]);
+        grad[i] = p - targets[i];
+        hess[i] = std::max(p * (1.0 - p), 1e-9);
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) grad[i] = pred[i] - targets[i];
+    }
+
+    rows.clear();
+    if (config.subsample >= 1.0) {
+      for (std::uint32_t i = 0; i < n; ++i) rows.push_back(i);
+    } else {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (rng.next_double() < config.subsample) rows.push_back(i);
+      }
+      if (rows.empty()) rows.push_back(static_cast<std::uint32_t>(rng.next_below(n)));
+    }
+
+    Tree tree;
+    // Iterative node construction over (node index, row range, depth) using
+    // an explicit stack; rows are partitioned in place within `rows`.
+    struct Work {
+      std::int32_t node;
+      std::size_t begin;
+      std::size_t end;
+      std::size_t depth;
+    };
+    std::vector<Work> stack;
+    tree.nodes.emplace_back();
+    stack.push_back({0, 0, rows.size(), 0});
+
+    while (!stack.empty()) {
+      const Work w = stack.back();
+      stack.pop_back();
+
+      double g_total = 0.0;
+      double h_total = 0.0;
+      for (std::size_t p = w.begin; p < w.end; ++p) {
+        g_total += grad[rows[p]];
+        h_total += hess[rows[p]];
+      }
+
+      const auto make_leaf = [&] {
+        tree.nodes[w.node].feature = -1;
+        tree.nodes[w.node].value = static_cast<float>(
+            -g_total / (h_total + config.reg_lambda) * config.learning_rate);
+      };
+
+      if (w.depth >= config.max_depth ||
+          h_total < 2.0 * config.min_child_weight) {
+        make_leaf();
+        continue;
+      }
+
+      // Build histograms for this node.
+      std::fill(hist.begin(), hist.end(), BinStats{});
+      for (std::size_t p = w.begin; p < w.end; ++p) {
+        const std::uint32_t i = rows[p];
+        const double g = grad[i];
+        const double h = hess[i];
+        const std::uint8_t* row_bins = &bins[static_cast<std::size_t>(i) * n_features_];
+        for (std::size_t f = 0; f < n_features_; ++f) {
+          const std::uint8_t b = row_bins[f];
+          const std::size_t slot =
+              f * hist_width + (b == kMissingBin ? hist_width - 1 : b);
+          hist[slot].g += g;
+          hist[slot].h += h;
+        }
+      }
+
+      const double parent_obj = leaf_objective(g_total, h_total, config.reg_lambda);
+      SplitCandidate best;
+      for (std::size_t f = 0; f < n_features_; ++f) {
+        if (edges[f].empty()) continue;
+        const BinStats miss = hist[f * hist_width + hist_width - 1];
+        double gl = 0.0, hl = 0.0;
+        // Split after bin b: left = bins [0..b], right = rest.
+        const std::size_t usable_bins = edges[f].size();  // bins 0..usable-1 have edges
+        for (std::size_t b = 0; b < usable_bins; ++b) {
+          const BinStats& s = hist[f * hist_width + b];
+          gl += s.g;
+          hl += s.h;
+          const double gr = g_total - miss.g - gl;
+          const double hr = h_total - miss.h - hl;
+          // Try missing-left and missing-right.
+          for (const bool miss_left : {true, false}) {
+            const double gL = gl + (miss_left ? miss.g : 0.0);
+            const double hL = hl + (miss_left ? miss.h : 0.0);
+            const double gR = gr + (miss_left ? 0.0 : miss.g);
+            const double hR = hr + (miss_left ? 0.0 : miss.h);
+            if (hL < config.min_child_weight || hR < config.min_child_weight) continue;
+            const double gain = leaf_objective(gL, hL, config.reg_lambda) +
+                                leaf_objective(gR, hR, config.reg_lambda) - parent_obj;
+            if (gain > best.gain) {
+              best = SplitCandidate{gain, static_cast<std::int32_t>(f),
+                                    static_cast<std::uint8_t>(b), miss_left};
+            }
+          }
+        }
+      }
+
+      if (best.feature < 0 || best.gain <= 1e-10) {
+        make_leaf();
+        continue;
+      }
+      importance_gain_[static_cast<std::size_t>(best.feature)] += best.gain;
+
+      // Partition rows: left = bin <= best.bin (missing per direction).
+      const auto goes_left = [&](std::uint32_t i) {
+        const std::uint8_t b =
+            bins[static_cast<std::size_t>(i) * n_features_ +
+                 static_cast<std::size_t>(best.feature)];
+        if (b == kMissingBin) return best.missing_left;
+        return b <= best.bin;
+      };
+      auto mid_it = std::partition(rows.begin() + static_cast<std::ptrdiff_t>(w.begin),
+                                   rows.begin() + static_cast<std::ptrdiff_t>(w.end),
+                                   goes_left);
+      const auto mid = static_cast<std::size_t>(mid_it - rows.begin());
+      if (mid == w.begin || mid == w.end) {
+        make_leaf();  // degenerate partition (shouldn't happen, but be safe)
+        continue;
+      }
+
+      const auto left = static_cast<std::int32_t>(tree.nodes.size());
+      const auto right = left + 1;
+      tree.nodes.emplace_back();
+      tree.nodes.emplace_back();  // may reallocate: write via index afterwards
+      Node& node = tree.nodes[static_cast<std::size_t>(w.node)];
+      node.feature = best.feature;
+      node.threshold = edges[static_cast<std::size_t>(best.feature)][best.bin];
+      node.missing_left = best.missing_left;
+      node.left = left;
+      node.right = right;
+      stack.push_back({left, w.begin, mid, w.depth + 1});
+      stack.push_back({right, mid, w.end, w.depth + 1});
+    }
+
+    // Update predictions for all rows (not just the subsample).
+    for (std::size_t i = 0; i < n; ++i) {
+      pred[i] += predict_tree(tree, data.row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double Gbdt::predict_tree(const Tree& tree, std::span<const float> x) const {
+  std::int32_t node = 0;
+  while (tree.nodes[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& nd = tree.nodes[static_cast<std::size_t>(node)];
+    const float v = x[static_cast<std::size_t>(nd.feature)];
+    const bool left = std::isnan(v) ? nd.missing_left : (v <= nd.threshold);
+    node = left ? nd.left : nd.right;
+  }
+  return tree.nodes[static_cast<std::size_t>(node)].value;
+}
+
+double Gbdt::predict(std::span<const float> features) const {
+  if (features.size() != n_features_) {
+    throw std::invalid_argument("Gbdt::predict: feature dimension mismatch");
+  }
+  double score = base_score_;
+  for (const Tree& tree : trees_) score += predict_tree(tree, features);
+  return score;
+}
+
+double Gbdt::predict_probability(std::span<const float> features) const {
+  const double raw = predict(features);
+  return loss_ == GbdtLoss::kLogistic ? sigmoid(raw) : std::clamp(raw, 0.0, 1.0);
+}
+
+std::vector<double> Gbdt::feature_importance() const {
+  std::vector<double> normalized = importance_gain_;
+  double total = 0.0;
+  for (const double g : normalized) total += g;
+  if (total > 0.0) {
+    for (double& g : normalized) g /= total;
+  }
+  return normalized;
+}
+
+void Gbdt::save(std::ostream& out) const {
+  out << std::setprecision(17);
+  out << "gbdt-v1 " << n_features_ << ' ' << static_cast<int>(loss_) << ' '
+      << base_score_ << ' ' << trees_.size() << '\n';
+  for (const Tree& tree : trees_) {
+    out << tree.nodes.size() << '\n';
+    for (const Node& node : tree.nodes) {
+      out << node.feature << ' ' << node.threshold << ' '
+          << static_cast<int>(node.missing_left) << ' ' << node.left << ' '
+          << node.right << ' ' << node.value << '\n';
+    }
+  }
+  out << importance_gain_.size();
+  for (const double g : importance_gain_) out << ' ' << g;
+  out << '\n';
+}
+
+void Gbdt::load(std::istream& in) {
+  std::string magic;
+  int loss_int = 0;
+  std::size_t n_trees = 0;
+  if (!(in >> magic >> n_features_ >> loss_int >> base_score_ >> n_trees) ||
+      magic != "gbdt-v1") {
+    throw std::runtime_error("Gbdt::load: bad header");
+  }
+  loss_ = static_cast<GbdtLoss>(loss_int);
+  trees_.assign(n_trees, Tree{});
+  for (Tree& tree : trees_) {
+    std::size_t n_nodes = 0;
+    if (!(in >> n_nodes)) throw std::runtime_error("Gbdt::load: bad tree header");
+    tree.nodes.resize(n_nodes);
+    for (Node& node : tree.nodes) {
+      int missing_left = 0;
+      if (!(in >> node.feature >> node.threshold >> missing_left >> node.left >>
+            node.right >> node.value)) {
+        throw std::runtime_error("Gbdt::load: bad node");
+      }
+      node.missing_left = missing_left != 0;
+      const auto max_node = static_cast<std::int32_t>(n_nodes);
+      if (node.feature >= static_cast<std::int32_t>(n_features_) ||
+          node.left >= max_node || node.right >= max_node) {
+        throw std::runtime_error("Gbdt::load: node out of range");
+      }
+    }
+  }
+  std::size_t n_importance = 0;
+  if (!(in >> n_importance)) throw std::runtime_error("Gbdt::load: bad importance");
+  importance_gain_.assign(n_importance, 0.0);
+  for (double& g : importance_gain_) {
+    if (!(in >> g)) throw std::runtime_error("Gbdt::load: bad importance value");
+  }
+}
+
+void Gbdt::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Gbdt::save_file: cannot open " + path);
+  save(out);
+  if (!out) throw std::runtime_error("Gbdt::save_file: write failed");
+}
+
+void Gbdt::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Gbdt::load_file: cannot open " + path);
+  load(in);
+}
+
+std::size_t Gbdt::memory_bytes() const noexcept {
+  std::size_t bytes = sizeof(Gbdt);
+  for (const Tree& tree : trees_) bytes += tree.nodes.size() * sizeof(Node);
+  return bytes;
+}
+
+}  // namespace lhr::ml

@@ -1,0 +1,105 @@
+// Gradient-boosted regression trees, from scratch.
+//
+// LHR's admission agent is "an XGBM based model" trained with squared loss
+// against HRO's decisions (paper §5.2.4). This is a self-contained
+// reimplementation of the parts of XGBoost that role needs: histogram-based
+// greedy splits, second-order leaf values with L2 regularization, shrinkage,
+// optional row subsampling, and missing-value default directions (IRT_k is
+// missing until a content has been seen k+1 times).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lhr::ml {
+
+/// Training objective. The paper settled on squared error ("it achieves the
+/// best performance ... compared to other loss functions that we explored",
+/// §5.2.4); logistic loss is provided to reproduce that comparison
+/// (bench_ext_loss_ablation).
+enum class GbdtLoss : std::uint8_t { kSquared, kLogistic };
+
+struct GbdtConfig {
+  GbdtLoss loss = GbdtLoss::kSquared;
+  std::size_t num_trees = 30;
+  std::size_t max_depth = 6;
+  double learning_rate = 0.15;
+  double min_child_weight = 8.0;  ///< minimum hessian (≈ samples) per leaf
+  double reg_lambda = 1.0;        ///< L2 penalty on leaf values
+  double subsample = 1.0;         ///< row subsampling per tree
+  std::size_t max_bins = 64;      ///< histogram bins per feature
+  std::uint64_t seed = 13;
+};
+
+/// Row-major dense training matrix; NaN encodes a missing value.
+struct Dataset {
+  std::vector<float> values;  ///< n_rows * n_features
+  std::size_t n_features = 0;
+
+  [[nodiscard]] std::size_t n_rows() const {
+    return n_features ? values.size() / n_features : 0;
+  }
+  [[nodiscard]] std::span<const float> row(std::size_t i) const {
+    return {values.data() + i * n_features, n_features};
+  }
+};
+
+class Gbdt {
+ public:
+  /// Fits squared-error boosting of `config.num_trees` trees.
+  /// Throws std::invalid_argument on shape mismatches or empty data.
+  void fit(const Dataset& data, std::span<const float> targets, const GbdtConfig& config);
+
+  /// Predicts one row (NaN = missing). Returns the raw model output
+  /// (regression value for squared loss, log-odds for logistic); LHR clamps
+  /// it to [0,1] as an admission probability.
+  [[nodiscard]] double predict(std::span<const float> features) const;
+
+  /// Prediction mapped to [0,1]: identity-clamped for squared loss, sigmoid
+  /// for logistic loss.
+  [[nodiscard]] double predict_probability(std::span<const float> features) const;
+
+  /// Total split gain attributed to each feature, normalized to sum to 1
+  /// (empty before training). The standard "gain" importance measure.
+  [[nodiscard]] std::vector<double> feature_importance() const;
+
+  /// Text serialization of the fitted model (portable across processes).
+  void save(std::ostream& out) const;
+  /// Replaces this model with the stream's contents.
+  /// Throws std::runtime_error on malformed input.
+  void load(std::istream& in);
+  void save_file(const std::string& path) const;
+  void load_file(const std::string& path);
+
+  [[nodiscard]] bool trained() const noexcept { return !trees_.empty(); }
+  [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+ private:
+  struct Node {
+    // Leaf iff feature < 0.
+    std::int32_t feature = -1;
+    float threshold = 0.0f;   ///< go left iff value <= threshold
+    bool missing_left = true; ///< direction for NaN
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    float value = 0.0f;       ///< leaf output (already shrunk)
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  [[nodiscard]] double predict_tree(const Tree& tree, std::span<const float> x) const;
+
+  std::vector<Tree> trees_;
+  std::vector<double> importance_gain_;
+  GbdtLoss loss_ = GbdtLoss::kSquared;
+  double base_score_ = 0.0;
+  std::size_t n_features_ = 0;
+};
+
+}  // namespace lhr::ml

@@ -1,0 +1,52 @@
+#include "ml/zipf_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/least_squares.hpp"
+
+namespace lhr::ml {
+
+ZipfDetector::ZipfDetector(const ZipfDetectorConfig& config) : config_(config) {}
+
+void ZipfDetector::record(trace::Key key) { ++counts_[key]; }
+
+ZipfDetector::WindowResult ZipfDetector::close_window() {
+  WindowResult result;
+  result.previous_alpha = prev_alpha_;
+  result.unique_contents = counts_.size();
+
+  std::vector<std::uint32_t> freq;
+  freq.reserve(counts_.size());
+  for (const auto& [key, c] : counts_) freq.push_back(c);
+  std::sort(freq.begin(), freq.end(), std::greater<>());
+
+  const std::size_t n = (config_.max_fit_rank == 0)
+                            ? freq.size()
+                            : std::min(config_.max_fit_rank, freq.size());
+  std::vector<double> log_rank, log_count;
+  log_rank.reserve(n);
+  log_count.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    log_rank.push_back(std::log(static_cast<double>(i + 1)));
+    log_count.push_back(std::log(static_cast<double>(freq[i])));
+  }
+  const auto fit = util::fit_linear(log_rank, log_count);
+  result.alpha = -fit.slope;
+
+  result.change_detected =
+      (windows_ == 0) || std::abs(result.alpha - prev_alpha_) >= config_.epsilon;
+
+  prev_alpha_ = result.alpha;
+  ++windows_;
+  counts_.clear();
+  return result;
+}
+
+std::size_t ZipfDetector::memory_bytes() const noexcept {
+  return counts_.size() *
+         (sizeof(trace::Key) + sizeof(std::uint32_t) + 2 * sizeof(void*));
+}
+
+}  // namespace lhr::ml

@@ -1,0 +1,262 @@
+#include "opt/bounds.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "opt/next_use.hpp"
+#include "util/rng.hpp"
+#include "util/segment_tree.hpp"
+
+namespace lhr::opt {
+
+namespace {
+
+void count_request(BoundResult& result, const trace::Request& r, bool hit) {
+  ++result.requests;
+  result.bytes_requested += static_cast<double>(r.size);
+  if (hit) {
+    ++result.hits;
+    result.bytes_hit += static_cast<double>(r.size);
+  }
+}
+
+}  // namespace
+
+BoundResult belady(std::span<const trace::Request> requests, std::uint64_t capacity_bytes) {
+  BoundResult result{.name = "Belady"};
+  const auto next = next_use_indices(requests);
+
+  // Max-heap of (next use position, key) with lazy invalidation: an entry is
+  // stale when the cached key's current next-use differs.
+  using HeapEntry = std::pair<std::size_t, trace::Key>;
+  std::priority_queue<HeapEntry> heap;
+  std::unordered_map<trace::Key, std::size_t> cached_next;  // key -> next-use pos
+  std::unordered_map<trace::Key, std::uint64_t> cached_size;
+  std::uint64_t used = 0;
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const trace::Request& r = requests[i];
+    const auto it = cached_next.find(r.key);
+    const bool hit = it != cached_next.end();
+    count_request(result, r, hit);
+
+    const std::size_t next_pos = next[i] == kNoNextUse ? kNoNextUse : next[i];
+    if (hit) {
+      it->second = next_pos;
+      heap.emplace(next_pos, r.key);
+      continue;
+    }
+    if (r.size > capacity_bytes) continue;           // can never fit
+    if (next_pos == kNoNextUse) continue;            // OPT never caches dead contents
+
+    // Evict furthest next use until the new content fits — but if the
+    // incoming content itself has the furthest next use, bypassing it is
+    // strictly better than evicting a sooner-needed resident (this is what
+    // makes the policy exactly optimal for equal sizes even though
+    // admission is optional).
+    bool bypass = false;
+    while (used + r.size > capacity_bytes && !heap.empty()) {
+      const auto [pos, key] = heap.top();
+      const auto cit = cached_next.find(key);
+      if (cit == cached_next.end() || cit->second != pos) {
+        heap.pop();  // stale
+        continue;
+      }
+      if (pos < next_pos) {
+        bypass = true;  // every resident is needed sooner than the newcomer
+        break;
+      }
+      heap.pop();
+      used -= cached_size[key];
+      cached_size.erase(key);
+      cached_next.erase(cit);
+    }
+    if (bypass || used + r.size > capacity_bytes) continue;  // bypass/drained
+    cached_next[r.key] = next_pos;
+    cached_size[r.key] = r.size;
+    used += r.size;
+    heap.emplace(next_pos, r.key);
+  }
+  return result;
+}
+
+BoundResult belady_size(std::span<const trace::Request> requests,
+                        std::uint64_t capacity_bytes, std::size_t sample_size,
+                        std::uint64_t seed) {
+  BoundResult result{.name = "Belady-Size"};
+  const auto next = next_use_indices(requests);
+  util::Xoshiro256 rng(seed);
+
+  struct Entry {
+    std::uint64_t size;
+    std::size_t next_pos;
+  };
+  std::unordered_map<trace::Key, Entry> cache;
+  std::vector<trace::Key> keys;  // dense key list for O(1) sampling
+  std::unordered_map<trace::Key, std::size_t> key_slot;
+  std::uint64_t used = 0;
+
+  const auto erase_key = [&](trace::Key key) {
+    const auto it = cache.find(key);
+    used -= it->second.size;
+    cache.erase(it);
+    const std::size_t slot = key_slot[key];
+    key_slot.erase(key);
+    if (slot != keys.size() - 1) {
+      keys[slot] = keys.back();
+      key_slot[keys[slot]] = slot;
+    }
+    keys.pop_back();
+  };
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const trace::Request& r = requests[i];
+    const auto it = cache.find(r.key);
+    const bool hit = it != cache.end();
+    count_request(result, r, hit);
+
+    if (hit) {
+      if (next[i] == kNoNextUse) {
+        erase_key(r.key);  // dead content: free the bytes immediately
+      } else {
+        it->second.next_pos = next[i];
+      }
+      continue;
+    }
+    if (r.size > capacity_bytes || next[i] == kNoNextUse) continue;
+
+    // Incoming content competes in the same size × distance ranking: if it
+    // scores worst, bypass it instead of evicting more useful residents.
+    const double incoming_score =
+        static_cast<double>(r.size) * static_cast<double>(next[i] - i);
+    bool bypass = false;
+    while (used + r.size > capacity_bytes && !keys.empty()) {
+      // Victim: max size × next-use distance among a sample (exact when
+      // sample_size == 0 or exceeds the cache population).
+      const std::size_t n_candidates =
+          (sample_size == 0) ? keys.size() : std::min(sample_size, keys.size());
+      trace::Key victim = keys[0];
+      double worst = -1.0;
+      for (std::size_t s = 0; s < n_candidates; ++s) {
+        const trace::Key candidate =
+            (sample_size == 0 || sample_size >= keys.size())
+                ? keys[s]
+                : keys[rng.next_below(keys.size())];
+        const Entry& e = cache[candidate];
+        const double distance = static_cast<double>(e.next_pos - i);
+        const double score = static_cast<double>(e.size) * distance;
+        if (score > worst) {
+          worst = score;
+          victim = candidate;
+        }
+      }
+      if (worst < incoming_score) {
+        bypass = true;
+        break;
+      }
+      erase_key(victim);
+    }
+    if (bypass || used + r.size > capacity_bytes) continue;
+    cache[r.key] = Entry{r.size, next[i]};
+    key_slot[r.key] = keys.size();
+    keys.push_back(r.key);
+    used += r.size;
+  }
+  return result;
+}
+
+BoundResult infinite_cap(std::span<const trace::Request> requests) {
+  BoundResult result{.name = "InfiniteCap"};
+  std::unordered_map<trace::Key, bool> seen;
+  seen.reserve(requests.size() / 2 + 1);
+  for (const trace::Request& r : requests) {
+    const bool hit = !seen.try_emplace(r.key, true).second;
+    count_request(result, r, hit);
+  }
+  return result;
+}
+
+BoundResult pfoo_l(std::span<const trace::Request> requests, std::uint64_t capacity_bytes) {
+  BoundResult result{.name = "PFOO-L"};
+  const auto next = next_use_indices(requests);
+
+  // A reuse interval [i, next[i]) kept in cache yields one hit and consumes
+  // size × (next[i] - i) units of the space-time resource. OPT has at most
+  // capacity × |trace| of that resource.
+  struct Interval {
+    double footprint;
+    std::size_t request_pos;  // the position of the *hit* (next[i])
+  };
+  std::vector<Interval> intervals;
+  intervals.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (next[i] == kNoNextUse) continue;
+    const double length = static_cast<double>(next[i] - i);
+    intervals.push_back(
+        Interval{static_cast<double>(requests[i].size) * length, next[i]});
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) { return a.footprint < b.footprint; });
+
+  const double budget =
+      static_cast<double>(capacity_bytes) * static_cast<double>(requests.size());
+  double spent = 0.0;
+  std::vector<bool> is_hit(requests.size(), false);
+  for (const Interval& iv : intervals) {
+    if (spent + iv.footprint > budget) break;
+    spent += iv.footprint;
+    is_hit[iv.request_pos] = true;
+  }
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    count_request(result, requests[i], is_hit[i]);
+  }
+  return result;
+}
+
+BoundResult pfoo_u(std::span<const trace::Request> requests,
+                   std::uint64_t capacity_bytes) {
+  BoundResult result{.name = "PFOO-U"};
+  if (requests.empty()) return result;
+  const auto next = next_use_indices(requests);
+
+  struct Interval {
+    double footprint;
+    std::size_t begin;  // request creating the interval
+    std::size_t end;    // the hit if admitted
+    std::uint64_t size;
+  };
+  std::vector<Interval> intervals;
+  intervals.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (next[i] == kNoNextUse || requests[i].size > capacity_bytes) continue;
+    const double length = static_cast<double>(next[i] - i);
+    intervals.push_back(Interval{static_cast<double>(requests[i].size) * length, i,
+                                 next[i], requests[i].size});
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) { return a.footprint < b.footprint; });
+
+  // Occupancy over request slots: admitting [begin, end) holds `size` bytes
+  // through slots begin..end-1. Greedy smallest-footprint-first is feasible
+  // by construction, hence a valid offline schedule and a lower bound on OPT.
+  util::SegmentTree<std::int64_t> occupancy(requests.size());
+  std::vector<bool> is_hit(requests.size(), false);
+  for (const Interval& iv : intervals) {
+    const auto occupied = occupancy.range_max(iv.begin, iv.end - 1);
+    if (occupied + static_cast<std::int64_t>(iv.size) <=
+        static_cast<std::int64_t>(capacity_bytes)) {
+      occupancy.range_add(iv.begin, iv.end - 1, static_cast<std::int64_t>(iv.size));
+      is_hit[iv.end] = true;
+    }
+  }
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    count_request(result, requests[i], is_hit[i]);
+  }
+  return result;
+}
+
+}  // namespace lhr::opt

@@ -1,0 +1,71 @@
+// Offline bounds on OPT (paper §2, §8 "Optimal caching and upper bound on
+// hit probability").
+//
+//  - Belady: evict the content whose next request is furthest in the future.
+//    Exactly optimal for equal sizes; a heuristic (not a bound!) for variable
+//    sizes, which is the paper's point about "false complacency".
+//  - Belady-Size: the community's variable-size variant — prefer evicting
+//    contents with large (size × next-use distance), i.e. the least valuable
+//    bytes. Widely used as an upper bound [34,44,55].
+//  - InfiniteCap: every re-request hits (only compulsory misses). The loosest
+//    upper bound on any caching policy.
+//  - PFOO-L: the practical flow-based relaxation of Berger et al. [11]:
+//    caching reuse intervals consumes (size × interval length) units of the
+//    cache's space-time resource, OPT has at most (capacity × trace length)
+//    of it, so greedily packing the cheapest intervals upper-bounds OPT's
+//    hits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "trace/request.hpp"
+#include "trace/trace.hpp"
+
+namespace lhr::opt {
+
+/// Result of evaluating a bound/offline policy over a trace.
+struct BoundResult {
+  std::string name;
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  double bytes_requested = 0.0;
+  double bytes_hit = 0.0;
+
+  [[nodiscard]] double hit_ratio() const {
+    return requests ? static_cast<double>(hits) / static_cast<double>(requests) : 0.0;
+  }
+  [[nodiscard]] double byte_hit_ratio() const {
+    return bytes_requested > 0.0 ? bytes_hit / bytes_requested : 0.0;
+  }
+};
+
+/// Belady's MIN, generalized to byte capacities by evicting the furthest
+/// next use until the new content fits. Exact for equal sizes.
+[[nodiscard]] BoundResult belady(std::span<const trace::Request> requests,
+                                 std::uint64_t capacity_bytes);
+
+/// Belady-Size: victim = argmax over sampled candidates of
+/// size × (next-use index − now). `sample_size` = 0 means exact (scan all).
+[[nodiscard]] BoundResult belady_size(std::span<const trace::Request> requests,
+                                      std::uint64_t capacity_bytes,
+                                      std::size_t sample_size = 64,
+                                      std::uint64_t seed = 42);
+
+/// Infinite capacity: hits = all non-first requests.
+[[nodiscard]] BoundResult infinite_cap(std::span<const trace::Request> requests);
+
+/// PFOO-L resource relaxation (upper bound on OPT's hit ratio).
+[[nodiscard]] BoundResult pfoo_l(std::span<const trace::Request> requests,
+                                 std::uint64_t capacity_bytes);
+
+/// PFOO-U style *achievable* offline schedule (lower bound on OPT's hit
+/// ratio): greedily admit reuse intervals in footprint order whenever the
+/// cache occupancy stays within capacity over the whole interval (checked
+/// with a range-add/range-max segment tree). Together with pfoo_l this
+/// brackets OPT: pfoo_u.hits <= OPT <= pfoo_l.hits.
+[[nodiscard]] BoundResult pfoo_u(std::span<const trace::Request> requests,
+                                 std::uint64_t capacity_bytes);
+
+}  // namespace lhr::opt

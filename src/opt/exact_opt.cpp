@@ -1,0 +1,88 @@
+#include "opt/exact_opt.hpp"
+
+#include <cstddef>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace lhr::opt {
+
+namespace {
+
+struct Instance {
+  std::vector<std::uint32_t> request_content;  // request -> dense content id
+  std::vector<std::uint64_t> content_size;
+  std::uint64_t capacity;
+};
+
+class Solver {
+ public:
+  explicit Solver(Instance instance) : inst_(std::move(instance)) {}
+
+  std::uint64_t solve() { return best(0, 0); }
+
+ private:
+  // Memo key: request index and cached-content bitmask.
+  std::uint64_t best(std::size_t i, std::uint32_t cached) {
+    if (i == inst_.request_content.size()) return 0;
+    const std::uint64_t memo_key =
+        (static_cast<std::uint64_t>(i) << 32) | cached;
+    if (const auto it = memo_.find(memo_key); it != memo_.end()) return it->second;
+
+    const std::uint32_t content = inst_.request_content[i];
+    const std::uint32_t bit = 1u << content;
+    std::uint64_t result;
+    if (cached & bit) {
+      result = 1 + best(i + 1, cached);
+    } else {
+      // Option 1: bypass (do not admit).
+      result = best(i + 1, cached);
+      // Option 2: admit, evicting any subset of currently cached contents
+      // so that everything fits. Enumerate subsets of `cached` to retain.
+      if (inst_.content_size[content] <= inst_.capacity) {
+        for (std::uint32_t keep = cached;; keep = (keep - 1) & cached) {
+          if (fits(keep | bit)) {
+            result = std::max(result, best(i + 1, keep | bit));
+          }
+          if (keep == 0) break;
+        }
+      }
+    }
+    memo_.emplace(memo_key, result);
+    return result;
+  }
+
+  [[nodiscard]] bool fits(std::uint32_t mask) const {
+    std::uint64_t total = 0;
+    for (std::size_t c = 0; c < inst_.content_size.size(); ++c) {
+      if (mask & (1u << c)) total += inst_.content_size[c];
+    }
+    return total <= inst_.capacity;
+  }
+
+  Instance inst_;
+  std::unordered_map<std::uint64_t, std::uint64_t> memo_;
+};
+
+}  // namespace
+
+std::uint64_t exact_opt_hits(std::span<const trace::Request> requests,
+                             std::uint64_t capacity_bytes) {
+  Instance inst;
+  inst.capacity = capacity_bytes;
+  std::unordered_map<trace::Key, std::uint32_t> dense;
+  for (const trace::Request& r : requests) {
+    auto [it, inserted] =
+        dense.try_emplace(r.key, static_cast<std::uint32_t>(dense.size()));
+    if (inserted) {
+      inst.content_size.push_back(r.size);
+      if (dense.size() > 16) {
+        throw std::invalid_argument("exact_opt_hits: more than 16 distinct keys");
+      }
+    }
+    inst.request_content.push_back(it->second);
+  }
+  return Solver(std::move(inst)).solve();
+}
+
+}  // namespace lhr::opt

@@ -1,0 +1,24 @@
+// Exact offline optimum by exhaustive search — a *test oracle* only.
+//
+// Computing OPT for variable sizes is NP-hard (Chrobak et al., cited as [19]
+// in the paper), so this oracle is restricted to tiny instances (≤ ~16
+// distinct contents, ≤ a few dozen requests). Tests use it to verify that
+//  (a) Belady equals OPT for equal sizes,
+//  (b) every bound in opt/bounds.hpp is ≥ OPT for variable sizes, and
+//  (c) every online policy is ≤ OPT.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "trace/request.hpp"
+
+namespace lhr::opt {
+
+/// Maximum number of hits achievable by any (offline, non-prefetching)
+/// caching schedule. Throws std::invalid_argument when the instance has more
+/// than 16 distinct keys.
+[[nodiscard]] std::uint64_t exact_opt_hits(std::span<const trace::Request> requests,
+                                           std::uint64_t capacity_bytes);
+
+}  // namespace lhr::opt

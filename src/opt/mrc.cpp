@@ -1,0 +1,119 @@
+#include "opt/mrc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/fenwick_tree.hpp"
+
+namespace lhr::opt {
+
+std::vector<double> lru_stack_distances(std::span<const trace::Request> requests) {
+  // Fenwick tree over request positions: slot p holds the size of the
+  // content whose *most recent* access was at p. The unique-byte distance
+  // for a request at i with previous access at p is then the sum over
+  // (p, i) — each distinct content counted once, at its latest position.
+  std::vector<double> distances(requests.size(), kInfiniteDistance);
+  if (requests.empty()) return distances;
+
+  util::FenwickTree<double> bytes_at(requests.size());
+  std::unordered_map<trace::Key, std::size_t> last_pos;
+  last_pos.reserve(requests.size() / 2 + 1);
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const trace::Request& r = requests[i];
+    const auto it = last_pos.find(r.key);
+    if (it != last_pos.end()) {
+      const std::size_t p = it->second;
+      // Sum of sizes of contents last accessed in (p, i).
+      const double upto_i = i > 0 ? bytes_at.prefix_sum(i - 1) : 0.0;
+      const double upto_p = bytes_at.prefix_sum(p);
+      distances[i] = upto_i - upto_p;
+      bytes_at.add(p, -static_cast<double>(requests[p].size));
+      it->second = i;
+    } else {
+      last_pos.emplace(r.key, i);
+    }
+    bytes_at.add(i, static_cast<double>(r.size));
+  }
+  return distances;
+}
+
+std::vector<double> lru_miss_ratio_curve(
+    std::span<const trace::Request> requests,
+    std::span<const std::uint64_t> capacities_bytes) {
+  const auto distances = lru_stack_distances(requests);
+  std::vector<double> hit_ratio(capacities_bytes.size(), 0.0);
+  if (requests.empty()) return hit_ratio;
+
+  for (std::size_t c = 0; c < capacities_bytes.size(); ++c) {
+    const double capacity = static_cast<double>(capacities_bytes[c]);
+    std::uint64_t hits = 0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (distances[i] >= 0.0 &&
+          distances[i] + static_cast<double>(requests[i].size) <= capacity) {
+        ++hits;
+      }
+    }
+    hit_ratio[c] = static_cast<double>(hits) / static_cast<double>(requests.size());
+  }
+  return hit_ratio;
+}
+
+double che_lru_hit_ratio(std::span<const trace::Request> requests,
+                         std::uint64_t capacity_bytes) {
+  if (requests.empty()) return 0.0;
+  struct PerContent {
+    std::uint64_t count = 0;
+    std::uint64_t size = 0;
+  };
+  std::unordered_map<trace::Key, PerContent> per;
+  per.reserve(requests.size() / 2 + 1);
+  for (const trace::Request& r : requests) {
+    auto& pc = per[r.key];
+    ++pc.count;
+    pc.size = r.size;
+  }
+  const double duration =
+      std::max(requests.back().time - requests.front().time, 1e-9);
+
+  // Characteristic time: sum_i s_i (1 - e^{-lambda_i T}) = C, solved by
+  // bisection (the left side is increasing in T).
+  const auto resident_bytes = [&](double T) {
+    double bytes = 0.0;
+    for (const auto& [key, pc] : per) {
+      const double lambda = static_cast<double>(pc.count) / duration;
+      bytes += static_cast<double>(pc.size) * (1.0 - std::exp(-lambda * T));
+    }
+    return bytes;
+  };
+
+  const double capacity = static_cast<double>(capacity_bytes);
+  double lo = 0.0, hi = duration * 1024.0;
+  if (resident_bytes(hi) <= capacity) {
+    // Everything fits: every re-request hits.
+    double weighted = 0.0, total = 0.0;
+    for (const auto& [key, pc] : per) {
+      weighted += static_cast<double>(pc.count - 1);
+      total += static_cast<double>(pc.count);
+    }
+    return total > 0.0 ? weighted / total : 0.0;
+  }
+  for (int iter = 0; iter < 64; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (resident_bytes(mid) > capacity ? hi : lo) = mid;
+  }
+  const double T = 0.5 * (lo + hi);
+
+  // Hit probability of content i per request: 1 - e^{-lambda_i T}; weight by
+  // its share of requests.
+  double weighted = 0.0, total = 0.0;
+  for (const auto& [key, pc] : per) {
+    const double lambda = static_cast<double>(pc.count) / duration;
+    weighted += static_cast<double>(pc.count) * (1.0 - std::exp(-lambda * T));
+    total += static_cast<double>(pc.count);
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+}  // namespace lhr::opt

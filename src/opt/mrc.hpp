@@ -1,0 +1,45 @@
+// Miss-ratio curves and analytic LRU models.
+//
+// Two classic tools the caching literature (and AdaptSize's tuning model)
+// builds on:
+//
+//  * Mattson stack analysis, byte-weighted: one pass computes, for every
+//    request, the LRU stack distance in unique bytes (the total size of
+//    distinct contents touched since this content's previous request).
+//    The distribution of those distances *is* LRU's hit ratio at every
+//    cache size simultaneously — an entire Figure-8-style sweep in O(n log n).
+//
+//  * The Che / characteristic-time approximation: for IRM(-ish) traffic,
+//    LRU behaves like a TTL cache with a single characteristic time T
+//    solving Σ_i s_i (1 - e^{-λ_i T}) = C; the hit ratio follows in closed
+//    form. Used by AdaptSize (§2 of that paper) and validated here against
+//    simulation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/request.hpp"
+
+namespace lhr::opt {
+
+/// Byte-weighted LRU stack distances for each request; kInfiniteDistance for
+/// first-ever requests. distance = unique bytes of *other* contents accessed
+/// since this key's previous request (its own size excluded).
+inline constexpr double kInfiniteDistance = -1.0;
+[[nodiscard]] std::vector<double> lru_stack_distances(
+    std::span<const trace::Request> requests);
+
+/// LRU's exact hit ratio at each capacity of `capacities_bytes` derived from
+/// the stack distances: a request hits iff distance + size <= capacity.
+[[nodiscard]] std::vector<double> lru_miss_ratio_curve(
+    std::span<const trace::Request> requests,
+    std::span<const std::uint64_t> capacities_bytes);
+
+/// Che approximation: analytic LRU hit ratio under IRM with per-content
+/// Poisson rates estimated from the trace. Returns the object hit ratio.
+[[nodiscard]] double che_lru_hit_ratio(std::span<const trace::Request> requests,
+                                       std::uint64_t capacity_bytes);
+
+}  // namespace lhr::opt

@@ -1,0 +1,35 @@
+#include "opt/next_use.hpp"
+
+#include <unordered_map>
+
+namespace lhr::opt {
+
+std::vector<std::size_t> next_use_indices(std::span<const trace::Request> requests) {
+  std::vector<std::size_t> next(requests.size(), kNoNextUse);
+  std::unordered_map<trace::Key, std::size_t> last_pos;
+  last_pos.reserve(requests.size() / 2 + 1);
+  for (std::size_t i = requests.size(); i-- > 0;) {
+    auto [it, inserted] = last_pos.try_emplace(requests[i].key, i);
+    if (!inserted) {
+      next[i] = it->second;
+      it->second = i;
+    }
+  }
+  return next;
+}
+
+std::vector<std::size_t> prev_use_indices(std::span<const trace::Request> requests) {
+  std::vector<std::size_t> prev(requests.size(), kNoNextUse);
+  std::unordered_map<trace::Key, std::size_t> last_pos;
+  last_pos.reserve(requests.size() / 2 + 1);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    auto [it, inserted] = last_pos.try_emplace(requests[i].key, i);
+    if (!inserted) {
+      prev[i] = it->second;
+      it->second = i;
+    }
+  }
+  return prev;
+}
+
+}  // namespace lhr::opt

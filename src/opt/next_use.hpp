@@ -1,0 +1,26 @@
+// Next-use computation: the shared substrate of every offline bound and of
+// the Belady-imitating learners (Hawkeye's OPTgen, LRB's labels).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "trace/request.hpp"
+
+namespace lhr::opt {
+
+/// Sentinel meaning "never requested again".
+inline constexpr std::size_t kNoNextUse = static_cast<std::size_t>(-1);
+
+/// For each request position i, the position of the next request for the
+/// same key (kNoNextUse if none). Single backwards pass, O(n).
+[[nodiscard]] std::vector<std::size_t> next_use_indices(
+    std::span<const trace::Request> requests);
+
+/// For each request position i, the position of the *previous* request for
+/// the same key (kNoNextUse if it is the first).
+[[nodiscard]] std::vector<std::size_t> prev_use_indices(
+    std::span<const trace::Request> requests);
+
+}  // namespace lhr::opt

@@ -1,0 +1,116 @@
+#include "policies/adaptsize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lhr::policy {
+
+AdaptSize::AdaptSize(std::uint64_t capacity_bytes, const AdaptSizeConfig& config)
+    : CacheBase(capacity_bytes), config_(config), rng_(config.seed) {
+  // Initial c: a tenth of the cache, i.e. admit almost everything at first.
+  c_ = static_cast<double>(capacity_bytes) / 10.0;
+}
+
+bool AdaptSize::access(const trace::Request& r) {
+  last_time_ = r.time;
+  auto& ws = window_stats_[r.key];
+  ++ws.count;
+  ws.size = r.size;
+  if (++since_reconfigure_ >= config_.reconfigure_interval) reconfigure();
+
+  const auto it = where_.find(r.key);
+  if (it != where_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+  if (oversized(r.size)) return false;
+
+  // Probabilistic size-based admission.
+  const double p_admit = std::exp(-static_cast<double>(r.size) / c_);
+  if (rng_.next_double() >= p_admit) return false;
+
+  evict_until_fits(r.size);
+  order_.push_front(r.key);
+  where_[r.key] = order_.begin();
+  store_object(r.key, r.size);
+  return false;
+}
+
+void AdaptSize::evict_until_fits(std::uint64_t incoming_size) {
+  while (used_bytes() + incoming_size > capacity_bytes() && !order_.empty()) {
+    const trace::Key victim = order_.back();
+    order_.pop_back();
+    where_.erase(victim);
+    remove_object(victim);
+  }
+}
+
+double AdaptSize::modeled_hit_ratio(double c, double window_seconds) const {
+  // Characteristic time T solves: sum_i s_i p_i (1 - e^{-λ_i T}) = capacity.
+  const auto resident_bytes = [&](double T) {
+    double bytes = 0.0;
+    for (const auto& [key, ws] : window_stats_) {
+      const double lambda = static_cast<double>(ws.count) / window_seconds;
+      const double p = std::exp(-static_cast<double>(ws.size) / c);
+      bytes += static_cast<double>(ws.size) * p * (1.0 - std::exp(-lambda * T));
+    }
+    return bytes;
+  };
+
+  const double cap = static_cast<double>(capacity_bytes());
+  double lo = 1e-6, hi = window_seconds * 64.0;
+  if (resident_bytes(hi) <= cap) {
+    hi = std::numeric_limits<double>::infinity();  // everything fits
+  } else {
+    for (int iter = 0; iter < 50; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      (resident_bytes(mid) > cap ? hi : lo) = mid;
+    }
+  }
+  const double T = std::isinf(hi) ? hi : 0.5 * (lo + hi);
+
+  double weighted_hits = 0.0, total_rate = 0.0;
+  for (const auto& [key, ws] : window_stats_) {
+    const double lambda = static_cast<double>(ws.count) / window_seconds;
+    const double p = std::exp(-static_cast<double>(ws.size) / c);
+    const double in_cache =
+        std::isinf(T) ? p : p * (1.0 - std::exp(-lambda * T));
+    weighted_hits += lambda * in_cache;
+    total_rate += lambda;
+  }
+  return total_rate > 0.0 ? weighted_hits / total_rate : 0.0;
+}
+
+void AdaptSize::reconfigure() {
+  since_reconfigure_ = 0;
+  const double window_seconds = std::max(last_time_ - window_start_, 1e-6);
+  if (window_stats_.size() >= 32) {
+    // Log grid of candidate c values spanning [1 KB, capacity].
+    const double lo = std::log(1024.0);
+    const double hi = std::log(static_cast<double>(capacity_bytes()));
+    double best_c = c_;
+    double best_ohr = -1.0;
+    for (std::size_t g = 0; g < config_.grid_points; ++g) {
+      const double f = static_cast<double>(g) /
+                       static_cast<double>(config_.grid_points - 1);
+      const double c = std::exp(lo + f * (hi - lo));
+      const double ohr = modeled_hit_ratio(c, window_seconds);
+      if (ohr > best_ohr) {
+        best_ohr = ohr;
+        best_c = c;
+      }
+    }
+    c_ = best_c;
+  }
+  window_stats_.clear();
+  window_start_ = last_time_;
+}
+
+std::uint64_t AdaptSize::metadata_bytes() const {
+  return where_.size() * (2 * sizeof(trace::Key) + 4 * sizeof(void*)) +
+         window_stats_.size() *
+             (sizeof(trace::Key) + sizeof(WindowStat) + 2 * sizeof(void*));
+}
+
+}  // namespace lhr::policy

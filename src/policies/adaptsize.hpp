@@ -1,0 +1,63 @@
+// AdaptSize (Berger, Sitaraman, Harchol-Balter, NSDI'17 — paper ref [12]).
+//
+// Admission: a missed object of size s is admitted with probability
+// exp(-s / c). Eviction: LRU. The size threshold c is re-tuned periodically
+// by the paper's Markov-chain model: for an LRU cache, an object requested
+// at Poisson rate λ_i and admitted with probability p_i resides with
+// stationary probability ≈ p_i (1 - e^{-λ_i T}), where the characteristic
+// time T solves  Σ_i s_i p_i (1 - e^{-λ_i T}) = capacity.  AdaptSize scans
+// candidate c values on a log grid, solves T for each by bisection, and
+// keeps the c maximizing the modeled object hit ratio.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "sim/cache_policy.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::policy {
+
+struct AdaptSizeConfig {
+  std::size_t reconfigure_interval = 250'000;  ///< requests between re-tunings
+  std::size_t grid_points = 24;                ///< candidate c values per tuning
+  std::uint64_t seed = 1234;
+};
+
+class AdaptSize final : public sim::CacheBase {
+ public:
+  AdaptSize(std::uint64_t capacity_bytes, const AdaptSizeConfig& config = {});
+
+  [[nodiscard]] std::string name() const override { return "AdaptSize"; }
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+  /// Current admission size parameter (exposed for tests).
+  [[nodiscard]] double threshold_c() const noexcept { return c_; }
+
+ private:
+  struct WindowStat {
+    std::uint64_t count = 0;
+    std::uint64_t size = 0;
+  };
+
+  void evict_until_fits(std::uint64_t incoming_size);
+  void reconfigure();
+  /// Modeled object hit ratio for admission parameter c over the window stats.
+  [[nodiscard]] double modeled_hit_ratio(double c, double window_seconds) const;
+
+  AdaptSizeConfig config_;
+  util::Xoshiro256 rng_;
+  double c_;
+
+  std::list<trace::Key> order_;
+  std::unordered_map<trace::Key, std::list<trace::Key>::iterator> where_;
+
+  std::unordered_map<trace::Key, WindowStat> window_stats_;
+  trace::Time window_start_ = 0.0;
+  trace::Time last_time_ = 0.0;
+  std::size_t since_reconfigure_ = 0;
+};
+
+}  // namespace lhr::policy

@@ -1,0 +1,127 @@
+#include "policies/arc.hpp"
+
+#include <algorithm>
+
+namespace lhr::policy {
+
+std::list<trace::Key>& Arc::list_of(ListId id) {
+  switch (id) {
+    case ListId::kT1: return t1_;
+    case ListId::kT2: return t2_;
+    case ListId::kB1: return b1_;
+    case ListId::kB2: return b2_;
+  }
+  return t1_;
+}
+
+std::uint64_t& Arc::bytes_of(ListId id) {
+  switch (id) {
+    case ListId::kT1: return t1_bytes_;
+    case ListId::kT2: return t2_bytes_;
+    case ListId::kB1: return b1_bytes_;
+    case ListId::kB2: return b2_bytes_;
+  }
+  return t1_bytes_;
+}
+
+void Arc::move_to_front(trace::Key key, ListId to) {
+  Slot& slot = slots_.at(key);
+  list_of(slot.list).erase(slot.it);
+  bytes_of(slot.list) -= slot.size;
+  auto& target = list_of(to);
+  target.push_front(key);
+  slot.it = target.begin();
+  slot.list = to;
+  bytes_of(to) += slot.size;
+}
+
+void Arc::evict_lru(ListId from) {
+  auto& list = list_of(from);
+  if (list.empty()) return;
+  const trace::Key victim = list.back();
+  remove_object(victim);
+  // Resident -> corresponding ghost list (keeps key + size only).
+  move_to_front(victim, from == ListId::kT1 ? ListId::kB1 : ListId::kB2);
+}
+
+void Arc::drop_ghost_lru(ListId from) {
+  auto& list = list_of(from);
+  if (list.empty()) return;
+  const trace::Key victim = list.back();
+  Slot& slot = slots_.at(victim);
+  bytes_of(from) -= slot.size;
+  list.pop_back();
+  slots_.erase(victim);
+}
+
+void Arc::trim_ghosts() {
+  // Ghost entries hold no cache bytes, only metadata; each ghost list is
+  // bounded to one cache's worth of *nominal* bytes, the byte analogue of
+  // ARC's |B1|,|B2| <= c entry bound. (Bounding |T1|+|B1| <= c as in the
+  // slot formulation would drop ghosts the moment T1 fills, killing the
+  // adaptation signal.)
+  const std::uint64_t c = capacity_bytes();
+  while (b1_bytes_ > c && !b1_.empty()) drop_ghost_lru(ListId::kB1);
+  while (b2_bytes_ > c && !b2_.empty()) drop_ghost_lru(ListId::kB2);
+}
+
+void Arc::replace(bool hit_in_b2, std::uint64_t incoming_size) {
+  while (used_bytes() + incoming_size > capacity_bytes() &&
+         (!t1_.empty() || !t2_.empty())) {
+    const bool take_t1 =
+        !t1_.empty() &&
+        (static_cast<double>(t1_bytes_) > p_ ||
+         (hit_in_b2 && static_cast<double>(t1_bytes_) == p_) || t2_.empty());
+    evict_lru(take_t1 ? ListId::kT1 : ListId::kT2);
+  }
+}
+
+bool Arc::access(const trace::Request& r) {
+  const auto it = slots_.find(r.key);
+
+  if (it != slots_.end() &&
+      (it->second.list == ListId::kT1 || it->second.list == ListId::kT2)) {
+    move_to_front(r.key, ListId::kT2);  // Case I: resident hit -> T2 MRU
+    return true;
+  }
+  if (oversized(r.size)) return false;
+
+  const double c = static_cast<double>(capacity_bytes());
+  if (it != slots_.end() && it->second.list == ListId::kB1) {
+    // Case II: ghost hit in B1 -> favor recency.
+    const double delta =
+        std::max(1.0, static_cast<double>(b2_bytes_) / std::max<double>(b1_bytes_, 1.0)) *
+        static_cast<double>(it->second.size);
+    p_ = std::min(p_ + delta, c);
+    replace(false, r.size);
+    move_to_front(r.key, ListId::kT2);
+    store_object(r.key, r.size);
+    return false;
+  }
+  if (it != slots_.end() && it->second.list == ListId::kB2) {
+    // Case III: ghost hit in B2 -> favor frequency.
+    const double delta =
+        std::max(1.0, static_cast<double>(b1_bytes_) / std::max<double>(b2_bytes_, 1.0)) *
+        static_cast<double>(it->second.size);
+    p_ = std::max(p_ - delta, 0.0);
+    replace(true, r.size);
+    move_to_front(r.key, ListId::kT2);
+    store_object(r.key, r.size);
+    return false;
+  }
+
+  // Case IV: brand-new key -> T1 MRU.
+  replace(false, r.size);
+  t1_.push_front(r.key);
+  slots_[r.key] = Slot{ListId::kT1, t1_.begin(), r.size};
+  t1_bytes_ += r.size;
+  store_object(r.key, r.size);
+  trim_ghosts();
+  return false;
+}
+
+std::uint64_t Arc::metadata_bytes() const {
+  return slots_.size() * (sizeof(trace::Key) + sizeof(Slot) + 4 * sizeof(void*));
+}
+
+}  // namespace lhr::policy

@@ -1,0 +1,51 @@
+// ARC: Adaptive Replacement Cache (Megiddo & Modha, FAST'03 — paper ref
+// [48]), generalized from slot counts to byte capacities.
+//
+// Four lists: T1 (recent, resident), T2 (frequent, resident), B1/B2 (ghost
+// histories of evictions from T1/T2). The adaptation target p (in bytes)
+// shifts toward recency when B1 ghosts re-appear and toward frequency when
+// B2 ghosts do; REPLACE evicts from T1 when |T1| > p, else from T2. Ghost
+// lists are bounded to one cache's worth of bytes each, as in the original.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "sim/cache_policy.hpp"
+
+namespace lhr::policy {
+
+class Arc final : public sim::CacheBase {
+ public:
+  explicit Arc(std::uint64_t capacity_bytes) : CacheBase(capacity_bytes) {}
+
+  [[nodiscard]] std::string name() const override { return "ARC"; }
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+  /// Adaptation target in bytes (exposed for tests).
+  [[nodiscard]] double target_p() const noexcept { return p_; }
+
+ private:
+  enum class ListId : std::uint8_t { kT1, kT2, kB1, kB2 };
+  struct Slot {
+    ListId list;
+    std::list<trace::Key>::iterator it;
+    std::uint64_t size;
+  };
+
+  void replace(bool hit_in_b2, std::uint64_t incoming_size);
+  void evict_lru(ListId from);   // resident -> matching ghost list
+  void drop_ghost_lru(ListId from);
+  void trim_ghosts();
+  std::list<trace::Key>& list_of(ListId id);
+  std::uint64_t& bytes_of(ListId id);
+  void move_to_front(trace::Key key, ListId to);
+
+  std::list<trace::Key> t1_, t2_, b1_, b2_;  // front = MRU
+  std::uint64_t t1_bytes_ = 0, t2_bytes_ = 0, b1_bytes_ = 0, b2_bytes_ = 0;
+  std::unordered_map<trace::Key, Slot> slots_;
+  double p_ = 0.0;
+};
+
+}  // namespace lhr::policy

@@ -1,0 +1,43 @@
+#include "policies/b_lru.hpp"
+
+namespace lhr::policy {
+
+BLru::BLru(std::uint64_t capacity_bytes, const BLruConfig& config)
+    : CacheBase(capacity_bytes),
+      config_(config),
+      filter_(config.expected_items, config.false_positive_rate) {}
+
+bool BLru::access(const trace::Request& r) {
+  const auto it = where_.find(r.key);
+  if (it != where_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+  if (oversized(r.size)) return false;
+
+  const bool seen_before = filter_.insert(r.key);
+  if (filter_.inserted() >= config_.expected_items) filter_.clear();  // new epoch
+  if (!seen_before) return false;  // one-hit-wonder shield
+
+  evict_until_fits(r.size);
+  order_.push_front(r.key);
+  where_[r.key] = order_.begin();
+  store_object(r.key, r.size);
+  return false;
+}
+
+void BLru::evict_until_fits(std::uint64_t incoming_size) {
+  while (used_bytes() + incoming_size > capacity_bytes() && !order_.empty()) {
+    const trace::Key victim = order_.back();
+    order_.pop_back();
+    where_.erase(victim);
+    remove_object(victim);
+  }
+}
+
+std::uint64_t BLru::metadata_bytes() const {
+  return filter_.memory_bytes() +
+         where_.size() * (2 * sizeof(trace::Key) + 4 * sizeof(void*));
+}
+
+}  // namespace lhr::policy

@@ -1,0 +1,39 @@
+// B-LRU: Bloom-filter LRU (paper §6.2 footnote 6).
+//
+// "Uses a Bloom filter to prevent one-hit contents from being admitted":
+// a missed object is admitted only if the filter has already seen its key
+// during the current filter epoch, i.e. on its second request. The filter
+// is cleared when it saturates, starting a new epoch.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "sim/cache_policy.hpp"
+#include "util/bloom_filter.hpp"
+
+namespace lhr::policy {
+
+struct BLruConfig {
+  std::size_t expected_items = 1'000'000;  ///< filter sizing
+  double false_positive_rate = 0.01;
+};
+
+class BLru final : public sim::CacheBase {
+ public:
+  explicit BLru(std::uint64_t capacity_bytes, const BLruConfig& config = {});
+
+  [[nodiscard]] std::string name() const override { return "B-LRU"; }
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+ private:
+  void evict_until_fits(std::uint64_t incoming_size);
+
+  BLruConfig config_;
+  util::BloomFilter filter_;
+  std::list<trace::Key> order_;
+  std::unordered_map<trace::Key, std::list<trace::Key>::iterator> where_;
+};
+
+}  // namespace lhr::policy

@@ -1,0 +1,17 @@
+#include "policies/fifo.hpp"
+
+namespace lhr::policy {
+
+bool Fifo::access(const trace::Request& r) {
+  if (contains(r.key)) return true;
+  if (oversized(r.size)) return false;
+  while (used_bytes() + r.size > capacity_bytes() && !queue_.empty()) {
+    remove_object(queue_.front());
+    queue_.pop_front();
+  }
+  queue_.push_back(r.key);
+  store_object(r.key, r.size);
+  return false;
+}
+
+}  // namespace lhr::policy

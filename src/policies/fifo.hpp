@@ -1,0 +1,26 @@
+// FIFO: evicts in insertion order, ignoring recency. A classic baseline
+// (paper §8 "Conventional caching algorithms").
+#pragma once
+
+#include <deque>
+#include <unordered_set>
+
+#include "sim/cache_policy.hpp"
+
+namespace lhr::policy {
+
+class Fifo final : public sim::CacheBase {
+ public:
+  explicit Fifo(std::uint64_t capacity_bytes) : CacheBase(capacity_bytes) {}
+
+  [[nodiscard]] std::string name() const override { return "FIFO"; }
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override {
+    return object_count() * (2 * sizeof(trace::Key) + 2 * sizeof(void*));
+  }
+
+ private:
+  std::deque<trace::Key> queue_;  // front = oldest
+};
+
+}  // namespace lhr::policy

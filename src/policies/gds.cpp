@@ -1,0 +1,41 @@
+#include "policies/gds.hpp"
+
+#include <algorithm>
+
+namespace lhr::policy {
+
+bool Gds::access(const trace::Request& r) {
+  const double size = static_cast<double>(std::max<std::uint64_t>(r.size, 1));
+  const auto it = priority_.find(r.key);
+  if (it != priority_.end()) {
+    it->second = age_ + 1.0 / size;  // refresh on hit
+    heap_.emplace(it->second, r.key);
+    return true;
+  }
+  if (oversized(r.size)) return false;
+
+  evict_until_fits(r.size);
+  priority_[r.key] = age_ + 1.0 / size;
+  heap_.emplace(priority_[r.key], r.key);
+  store_object(r.key, r.size);
+  return false;
+}
+
+void Gds::evict_until_fits(std::uint64_t incoming_size) {
+  while (used_bytes() + incoming_size > capacity_bytes() && !heap_.empty()) {
+    const auto [priority, key] = heap_.top();
+    heap_.pop();
+    const auto it = priority_.find(key);
+    if (it == priority_.end() || it->second != priority) continue;  // stale
+    age_ = priority;
+    priority_.erase(it);
+    remove_object(key);
+  }
+}
+
+std::uint64_t Gds::metadata_bytes() const {
+  return priority_.size() * (sizeof(trace::Key) + sizeof(double) + 2 * sizeof(void*)) +
+         heap_.size() * sizeof(HeapEntry);
+}
+
+}  // namespace lhr::policy

@@ -1,0 +1,32 @@
+// GDS: GreedyDual-Size (Cao & Irani, paper ref [15]).
+//
+// Priority H_i = L + cost / s_i with cost = 1 ("recency-sized" GreedyDual):
+// the frequency-free ancestor of GDSF. Kept separate from GDSF so the
+// benchmarks can show what the frequency term buys.
+#pragma once
+
+#include <queue>
+#include <unordered_map>
+
+#include "sim/cache_policy.hpp"
+
+namespace lhr::policy {
+
+class Gds final : public sim::CacheBase {
+ public:
+  explicit Gds(std::uint64_t capacity_bytes) : CacheBase(capacity_bytes) {}
+
+  [[nodiscard]] std::string name() const override { return "GDS"; }
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+ private:
+  using HeapEntry = std::pair<double, trace::Key>;
+  void evict_until_fits(std::uint64_t incoming_size);
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::unordered_map<trace::Key, double> priority_;
+  double age_ = 0.0;
+};
+
+}  // namespace lhr::policy

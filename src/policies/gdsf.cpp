@@ -1,0 +1,45 @@
+#include "policies/gdsf.hpp"
+
+#include <algorithm>
+
+namespace lhr::policy {
+
+bool Gdsf::access(const trace::Request& r) {
+  const double size = static_cast<double>(std::max<std::uint64_t>(r.size, 1));
+  const auto it = meta_.find(r.key);
+  if (it != meta_.end() && contains(r.key)) {
+    Meta& m = it->second;
+    ++m.count;
+    m.priority = age_ + static_cast<double>(m.count) / size;
+    heap_.emplace(m.priority, r.key);
+    return true;
+  }
+  if (oversized(r.size)) return false;
+
+  evict_until_fits(r.size);
+  Meta& m = meta_[r.key];
+  m.count = 1;
+  m.priority = age_ + 1.0 / size;
+  heap_.emplace(m.priority, r.key);
+  store_object(r.key, r.size);
+  return false;
+}
+
+void Gdsf::evict_until_fits(std::uint64_t incoming_size) {
+  while (used_bytes() + incoming_size > capacity_bytes() && !heap_.empty()) {
+    const auto [priority, key] = heap_.top();
+    heap_.pop();
+    const auto it = meta_.find(key);
+    if (it == meta_.end() || it->second.priority != priority) continue;  // stale
+    age_ = priority;
+    meta_.erase(it);
+    remove_object(key);
+  }
+}
+
+std::uint64_t Gdsf::metadata_bytes() const {
+  return meta_.size() * (sizeof(trace::Key) + sizeof(Meta) + 2 * sizeof(void*)) +
+         heap_.size() * sizeof(HeapEntry);
+}
+
+}  // namespace lhr::policy

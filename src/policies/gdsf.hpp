@@ -1,0 +1,36 @@
+// GDSF: GreedyDual-Size-Frequency (Cherkasova, paper ref [18]).
+//
+// Priority H_i = L + C_i / s_i (cost = 1): frequently requested small
+// objects are protected; large cold objects go first. L ages like LFU-DA.
+#pragma once
+
+#include <queue>
+#include <unordered_map>
+
+#include "sim/cache_policy.hpp"
+
+namespace lhr::policy {
+
+class Gdsf final : public sim::CacheBase {
+ public:
+  explicit Gdsf(std::uint64_t capacity_bytes) : CacheBase(capacity_bytes) {}
+
+  [[nodiscard]] std::string name() const override { return "GDSF"; }
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+ private:
+  struct Meta {
+    double priority = 0.0;
+    std::uint64_t count = 0;
+  };
+  using HeapEntry = std::pair<double, trace::Key>;
+
+  void evict_until_fits(std::uint64_t incoming_size);
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::unordered_map<trace::Key, Meta> meta_;
+  double age_ = 0.0;  // L
+};
+
+}  // namespace lhr::policy

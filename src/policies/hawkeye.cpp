@@ -1,0 +1,139 @@
+#include "policies/hawkeye.hpp"
+
+#include <algorithm>
+
+#include "util/hash.hpp"
+
+namespace lhr::policy {
+
+Hawkeye::Hawkeye(std::uint64_t capacity_bytes, const HawkeyeConfig& config)
+    : CacheBase(capacity_bytes), config_(config), rng_(config.seed) {
+  counters_.assign(1ULL << config_.predictor_bits, config_.friendly_threshold);
+}
+
+std::size_t Hawkeye::counter_slot(trace::Key key) const {
+  return static_cast<std::size_t>(util::mix64(key)) & (counters_.size() - 1);
+}
+
+bool Hawkeye::predicts_friendly(trace::Key key) const {
+  return counters_[counter_slot(key)] >= config_.friendly_threshold;
+}
+
+void Hawkeye::advance_buckets(std::uint64_t now_index) {
+  const std::uint64_t bucket = now_index / config_.bucket_requests;
+  while (first_bucket_ + occupancy_.size() <= bucket) {
+    occupancy_.push_back(0);
+    if (occupancy_.size() > config_.max_buckets) {
+      occupancy_.pop_front();
+      ++first_bucket_;
+    }
+  }
+}
+
+void Hawkeye::train_on_reuse(trace::Key key, std::uint64_t size,
+                             std::uint64_t prev_index, std::uint64_t now_index) {
+  const std::uint64_t prev_bucket = prev_index / config_.bucket_requests;
+  const std::uint64_t now_bucket = now_index / config_.bucket_requests;
+  if (prev_bucket < first_bucket_) return;  // interval fell out of history
+
+  // Would OPT have kept this object across [prev, now)?
+  bool fits = true;
+  for (std::uint64_t b = prev_bucket; b <= now_bucket; ++b) {
+    if (occupancy_[static_cast<std::size_t>(b - first_bucket_)] + size >
+        capacity_bytes()) {
+      fits = false;
+      break;
+    }
+  }
+  std::uint8_t& counter = counters_[counter_slot(key)];
+  if (fits) {
+    for (std::uint64_t b = prev_bucket; b <= now_bucket; ++b) {
+      occupancy_[static_cast<std::size_t>(b - first_bucket_)] += size;
+    }
+    if (counter < 7) ++counter;
+  } else {
+    if (counter > 0) --counter;
+  }
+}
+
+bool Hawkeye::access(const trace::Request& r) {
+  const std::uint64_t now = request_index_++;
+  advance_buckets(now);
+
+  // OPTgen training on the reuse interval.
+  const auto hist = last_index_.find(r.key);
+  if (hist != last_index_.end()) {
+    train_on_reuse(r.key, r.size, hist->second, now);
+    hist->second = now;
+  } else {
+    last_index_.emplace(r.key, now);
+  }
+  if (now % (config_.bucket_requests * config_.max_buckets) == 0) prune_history();
+
+  const bool friendly = predicts_friendly(r.key);
+
+  const auto res = residents_.find(r.key);
+  if (res != residents_.end()) {
+    res->second.rrpv = friendly ? 0 : 7;
+    res->second.last_index = now;
+    return true;
+  }
+
+  if (oversized(r.size)) return false;
+  if (!friendly) return false;  // bypass cache-averse objects
+
+  while (used_bytes() + r.size > capacity_bytes() && !resident_keys_.empty()) {
+    // Sampled victim: max RRPV, then oldest last use.
+    trace::Key victim = resident_keys_.sample(rng_);
+    int victim_rrpv = -1;
+    std::uint64_t victim_age = 0;
+    const std::size_t n = std::min(config_.eviction_sample, resident_keys_.size());
+    for (std::size_t s = 0; s < n; ++s) {
+      const trace::Key candidate = (n == resident_keys_.size())
+                                       ? resident_keys_.at(s)
+                                       : resident_keys_.sample(rng_);
+      const Resident& c = residents_.at(candidate);
+      const std::uint64_t age = now - c.last_index;
+      if (static_cast<int>(c.rrpv) > victim_rrpv ||
+          (static_cast<int>(c.rrpv) == victim_rrpv && age > victim_age)) {
+        victim = candidate;
+        victim_rrpv = static_cast<int>(c.rrpv);
+        victim_age = age;
+      }
+    }
+    // Belady-aware detraining: evicting a friendly line means the predictor
+    // was too optimistic (original Hawkeye decrements on such evictions).
+    if (victim_rrpv == 0) {
+      std::uint8_t& counter = counters_[counter_slot(victim)];
+      if (counter > 0) --counter;
+    }
+    residents_.erase(victim);
+    resident_keys_.erase(victim);
+    remove_object(victim);
+  }
+  residents_[r.key] = Resident{0, now};
+  resident_keys_.insert(r.key);
+  store_object(r.key, r.size);
+  return false;
+}
+
+void Hawkeye::prune_history() {
+  const std::uint64_t horizon =
+      first_bucket_ * config_.bucket_requests;  // oldest tracked index
+  for (auto it = last_index_.begin(); it != last_index_.end();) {
+    if (it->second < horizon && !residents_.contains(it->first)) {
+      it = last_index_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::uint64_t Hawkeye::metadata_bytes() const {
+  return counters_.size() + occupancy_.size() * sizeof(std::uint64_t) +
+         last_index_.size() * (sizeof(trace::Key) + sizeof(std::uint64_t) + 2 * sizeof(void*)) +
+         residents_.size() * (sizeof(trace::Key) + sizeof(Resident) + 2 * sizeof(void*)) +
+         resident_keys_.memory_bytes();
+}
+
+}  // namespace lhr::policy

@@ -1,0 +1,77 @@
+// Hawkeye (Jain & Lin, ISCA'16 — paper ref [36]), adapted from hardware
+// caches to CDN object caching as the paper's §8 suggests ("its idea of
+// applying Bélády to history data ... can be implemented in CDNs").
+//
+// OPTgen: replays recent history against a simulated Belady cache using an
+// occupancy vector — a re-requested object would have been an OPT hit iff
+// its reuse interval can be overlaid on the occupancy profile without
+// exceeding capacity at any point. Each outcome trains a predictor.
+//
+// Predictor: a table of 3-bit saturating counters indexed by content hash
+// (the CDN analogue of Hawkeye's PC-indexed counters). Counter >= threshold
+// means "cache-friendly".
+//
+// Policy: friendly objects are admitted and inserted with RRPV 0; averse
+// objects are bypassed (the object-cache analogue of inserting at RRPV 7,
+// where the line is evicted before being reused). Eviction: highest RRPV
+// first, oldest last-use as a tiebreak, via sampling.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "policies/sampled_set.hpp"
+#include "sim/cache_policy.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::policy {
+
+struct HawkeyeConfig {
+  std::size_t bucket_requests = 1024;   ///< occupancy-vector granularity
+  std::size_t max_buckets = 256;        ///< history length in buckets
+  std::size_t predictor_bits = 14;      ///< 2^bits counters
+  std::uint32_t friendly_threshold = 4; ///< counter >= this => friendly
+  std::size_t eviction_sample = 64;
+  std::uint64_t seed = 777;
+};
+
+class Hawkeye final : public sim::CacheBase {
+ public:
+  explicit Hawkeye(std::uint64_t capacity_bytes, const HawkeyeConfig& config = {});
+
+  [[nodiscard]] std::string name() const override { return "Hawkeye"; }
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+  /// Exposed for tests: predictor state for a key.
+  [[nodiscard]] bool predicts_friendly(trace::Key key) const;
+
+ private:
+  struct Resident {
+    std::uint8_t rrpv;        // 0 = friendly, 7 = averse
+    std::uint64_t last_index; // for LRU tiebreak
+  };
+
+  /// OPTgen outcome for the reuse interval ending now; trains the predictor.
+  void train_on_reuse(trace::Key key, std::uint64_t size, std::uint64_t prev_index,
+                      std::uint64_t now_index);
+  void advance_buckets(std::uint64_t now_index);
+  [[nodiscard]] std::size_t counter_slot(trace::Key key) const;
+  void prune_history();
+
+  HawkeyeConfig config_;
+  util::Xoshiro256 rng_;
+
+  // OPTgen occupancy vector over coarse request-index buckets.
+  std::deque<std::uint64_t> occupancy_;
+  std::uint64_t first_bucket_ = 0;
+
+  std::vector<std::uint8_t> counters_;
+  std::unordered_map<trace::Key, std::uint64_t> last_index_;
+  std::unordered_map<trace::Key, Resident> residents_;
+  SampledKeySet resident_keys_;
+  std::uint64_t request_index_ = 0;
+};
+
+}  // namespace lhr::policy

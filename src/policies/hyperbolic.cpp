@@ -1,0 +1,51 @@
+#include "policies/hyperbolic.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace lhr::policy {
+
+double Hyperbolic::priority(const Meta& m, std::uint64_t size, trace::Time now) const {
+  const double in_cache = std::max(now - m.inserted, 1e-9);
+  return static_cast<double>(m.count) /
+         (in_cache * static_cast<double>(std::max<std::uint64_t>(size, 1)));
+}
+
+bool Hyperbolic::access(const trace::Request& r) {
+  const auto it = meta_.find(r.key);
+  if (it != meta_.end()) {
+    ++it->second.count;
+    return true;
+  }
+  if (oversized(r.size)) return false;
+
+  while (used_bytes() + r.size > capacity_bytes() && !residents_.empty()) {
+    trace::Key victim = residents_.sample(rng_);
+    double worst = std::numeric_limits<double>::infinity();
+    const std::size_t n = std::min(eviction_sample_, residents_.size());
+    for (std::size_t s = 0; s < n; ++s) {
+      const trace::Key candidate =
+          (n == residents_.size()) ? residents_.at(s) : residents_.sample(rng_);
+      const double p =
+          priority(meta_.at(candidate), object_size(candidate), r.time);
+      if (p < worst) {
+        worst = p;
+        victim = candidate;
+      }
+    }
+    meta_.erase(victim);
+    residents_.erase(victim);
+    remove_object(victim);
+  }
+  meta_[r.key] = Meta{1, r.time};
+  residents_.insert(r.key);
+  store_object(r.key, r.size);
+  return false;
+}
+
+std::uint64_t Hyperbolic::metadata_bytes() const {
+  return meta_.size() * (sizeof(trace::Key) + sizeof(Meta) + 2 * sizeof(void*)) +
+         residents_.memory_bytes();
+}
+
+}  // namespace lhr::policy

@@ -1,0 +1,44 @@
+// Hyperbolic caching (Blankstein, Sen, Freedman, ATC'17 — paper ref [13]).
+//
+// Each object's priority is its request count divided by the time it has
+// spent in the cache: p_i = n_i / (now - t_insert). Unlike LRU/LFU this
+// needs no eviction-ordered data structure; victims are found by sampling,
+// exactly as the original system does. We size-weight the priority
+// (n_i / (Δt · s_i)), the paper's cost-aware extension, since our caches
+// are byte-bounded.
+#pragma once
+
+#include <unordered_map>
+
+#include "policies/sampled_set.hpp"
+#include "sim/cache_policy.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::policy {
+
+class Hyperbolic final : public sim::CacheBase {
+ public:
+  explicit Hyperbolic(std::uint64_t capacity_bytes, std::size_t eviction_sample = 64,
+                      std::uint64_t seed = 1717)
+      : CacheBase(capacity_bytes), eviction_sample_(eviction_sample), rng_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "Hyperbolic"; }
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+ private:
+  struct Meta {
+    std::uint64_t count = 0;
+    trace::Time inserted = 0.0;
+  };
+
+  [[nodiscard]] double priority(const Meta& m, std::uint64_t size,
+                                trace::Time now) const;
+
+  std::size_t eviction_sample_;
+  util::Xoshiro256 rng_;
+  std::unordered_map<trace::Key, Meta> meta_;
+  SampledKeySet residents_;
+};
+
+}  // namespace lhr::policy

@@ -1,0 +1,118 @@
+#include "policies/lfo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lhr::policy {
+
+Lfo::Lfo(std::uint64_t capacity_bytes, const LfoConfig& config)
+    : CacheBase(capacity_bytes), config_(config), extractor_(config.features) {
+  train_x_.n_features = extractor_.dim();
+}
+
+void Lfo::add_labeled(std::size_t slot, float label) {
+  const std::size_t dim = extractor_.dim();
+  const std::size_t offset = slot * dim;
+  for (std::size_t f = 0; f < dim; ++f) {
+    train_x_.values.push_back(pending_features_[offset + f]);
+  }
+  train_y_.push_back(label);
+  if (train_y_.size() > config_.max_train_samples) {
+    train_y_.erase(train_y_.begin());
+    train_x_.values.erase(train_x_.values.begin(),
+                          train_x_.values.begin() + static_cast<std::ptrdiff_t>(dim));
+  }
+}
+
+void Lfo::expire_and_train() {
+  const std::size_t dim = extractor_.dim();
+  while (!pending_.empty() &&
+         pending_.front().request_index + config_.window_requests < request_index_) {
+    if (!pending_.front().labeled) {
+      add_labeled(0, 0.0f);  // aged out: OPT would not have cached it
+      const auto lp = last_pending_.find(pending_.front().key);
+      if (lp != last_pending_.end() && lp->second == pending_.front().request_index) {
+        last_pending_.erase(lp);
+      }
+    }
+    pending_.pop_front();
+    pending_features_.erase(pending_features_.begin(),
+                            pending_features_.begin() + static_cast<std::ptrdiff_t>(dim));
+    ++pending_base_;
+  }
+
+  if (request_index_ > 0 && request_index_ % config_.window_requests == 0 &&
+      train_y_.size() >= 1000) {
+    model_.fit(train_x_, train_y_, config_.gbdt);
+  }
+}
+
+bool Lfo::access(const trace::Request& r) {
+  const std::uint64_t idx = request_index_++;
+  bytes_seen_ += static_cast<double>(r.size);
+
+  // Label the outstanding sample: positive iff the approximate reuse
+  // footprint fit in the cache.
+  const auto lp = last_pending_.find(r.key);
+  if (lp != last_pending_.end() && lp->second >= pending_base_) {
+    PendingSample& ps = pending_[static_cast<std::size_t>(lp->second - pending_base_)];
+    if (!ps.labeled) {
+      const double footprint = bytes_seen_ - ps.bytes_seen;
+      add_labeled(static_cast<std::size_t>(lp->second - pending_base_),
+                  footprint <= static_cast<double>(capacity_bytes()) ? 1.0f : 0.0f);
+      ps.labeled = true;
+    }
+  }
+
+  {
+    const std::size_t dim = extractor_.dim();
+    const std::size_t old_size = pending_features_.size();
+    pending_features_.resize(old_size + dim);
+    std::vector<float> features(dim);
+    extractor_.extract(r, features);
+    std::copy(features.begin(), features.end(),
+              pending_features_.begin() + static_cast<std::ptrdiff_t>(old_size));
+    pending_.push_back(PendingSample{r.key, idx, bytes_seen_, false});
+    last_pending_[r.key] = idx;
+  }
+  extractor_.record(r);
+  expire_and_train();
+
+  const auto it = where_.find(r.key);
+  if (it != where_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+  if (oversized(r.size)) return false;
+
+  if (model_.trained()) {
+    std::vector<float> features(extractor_.dim());
+    extractor_.extract(r, features);  // post-record features of the fresh state
+    if (model_.predict(features) < config_.admit_threshold) return false;
+  }
+
+  evict_until_fits(r.size);
+  order_.push_front(r.key);
+  where_[r.key] = order_.begin();
+  store_object(r.key, r.size);
+  return false;
+}
+
+void Lfo::evict_until_fits(std::uint64_t incoming_size) {
+  while (used_bytes() + incoming_size > capacity_bytes() && !order_.empty()) {
+    const trace::Key victim = order_.back();
+    order_.pop_back();
+    where_.erase(victim);
+    remove_object(victim);
+  }
+}
+
+std::uint64_t Lfo::metadata_bytes() const {
+  return extractor_.memory_bytes() + model_.memory_bytes() +
+         pending_.size() * sizeof(PendingSample) +
+         pending_features_.size() * sizeof(float) +
+         train_x_.values.size() * sizeof(float) + train_y_.size() * sizeof(float) +
+         where_.size() * (2 * sizeof(trace::Key) + 4 * sizeof(void*));
+}
+
+}  // namespace lhr::policy

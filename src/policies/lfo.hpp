@@ -1,0 +1,76 @@
+// LFO: Learning From OPT (Berger, HotNets'18 — paper ref [10]).
+//
+// LFO learns an *admission* policy by imitating offline-optimal decisions
+// derived over a past window, then pairs it with LRU eviction. The paper
+// notes LFO "performs even worse than some conventional algorithms on
+// production traces" and excludes it from the top seven; it is included
+// here for completeness of the baseline set.
+//
+// Label derivation (practical OPT proxy): an admission was "good" iff the
+// object was re-requested while its reuse footprint (approximate unique
+// bytes touched in between) still fit in the cache — the byte analogue of
+// a stack-distance test. Samples that age out unlabeled are negatives.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/features.hpp"
+#include "ml/gbdt.hpp"
+#include "sim/cache_policy.hpp"
+
+namespace lhr::policy {
+
+struct LfoConfig {
+  std::size_t window_requests = 100'000;  ///< training window / label horizon
+  double admit_threshold = 0.5;
+  std::size_t max_train_samples = 40'000;
+  ml::FeatureConfig features;
+  ml::GbdtConfig gbdt;
+};
+
+class Lfo final : public sim::CacheBase {
+ public:
+  explicit Lfo(std::uint64_t capacity_bytes, const LfoConfig& config = {});
+
+  [[nodiscard]] std::string name() const override { return "LFO"; }
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+  [[nodiscard]] bool model_trained() const noexcept { return model_.trained(); }
+
+ private:
+  struct PendingSample {
+    trace::Key key;
+    std::uint64_t request_index;
+    double bytes_seen;  ///< cumulative request bytes at sample time
+    bool labeled;
+  };
+
+  void add_labeled(std::size_t slot, float label);
+  void expire_and_train();
+  void evict_until_fits(std::uint64_t incoming_size);
+
+  LfoConfig config_;
+  ml::FeatureExtractor extractor_;
+  ml::Gbdt model_;
+
+  std::deque<PendingSample> pending_;
+  std::deque<float> pending_features_;
+  std::uint64_t pending_base_ = 0;
+  std::unordered_map<trace::Key, std::uint64_t> last_pending_;
+
+  ml::Dataset train_x_;
+  std::vector<float> train_y_;
+
+  std::list<trace::Key> order_;
+  std::unordered_map<trace::Key, std::list<trace::Key>::iterator> where_;
+
+  std::uint64_t request_index_ = 0;
+  double bytes_seen_ = 0.0;
+};
+
+}  // namespace lhr::policy

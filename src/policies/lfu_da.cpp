@@ -1,0 +1,42 @@
+#include "policies/lfu_da.hpp"
+
+namespace lhr::policy {
+
+bool LfuDa::access(const trace::Request& r) {
+  const auto it = meta_.find(r.key);
+  if (it != meta_.end() && contains(r.key)) {
+    Meta& m = it->second;
+    ++m.count;
+    m.priority = static_cast<double>(m.count) + age_;
+    heap_.emplace(m.priority, r.key);
+    return true;
+  }
+  if (oversized(r.size)) return false;
+
+  evict_until_fits(r.size);
+  Meta& m = meta_[r.key];
+  m.count = 1;
+  m.priority = 1.0 + age_;
+  heap_.emplace(m.priority, r.key);
+  store_object(r.key, r.size);
+  return false;
+}
+
+void LfuDa::evict_until_fits(std::uint64_t incoming_size) {
+  while (used_bytes() + incoming_size > capacity_bytes() && !heap_.empty()) {
+    const auto [priority, key] = heap_.top();
+    heap_.pop();
+    const auto it = meta_.find(key);
+    if (it == meta_.end() || it->second.priority != priority) continue;  // stale
+    age_ = priority;  // dynamic aging: L <- priority of the evicted object
+    meta_.erase(it);
+    remove_object(key);
+  }
+}
+
+std::uint64_t LfuDa::metadata_bytes() const {
+  return meta_.size() * (sizeof(trace::Key) + sizeof(Meta) + 2 * sizeof(void*)) +
+         heap_.size() * sizeof(HeapEntry);
+}
+
+}  // namespace lhr::policy

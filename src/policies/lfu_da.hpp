@@ -1,0 +1,40 @@
+// LFU-DA: LFU with Dynamic Aging (Arlitt et al., paper refs [4, 54]).
+//
+// Priority K_i = C_i + L, where C_i is the object's reference count and L is
+// a global "age" set to the priority of the most recently evicted object.
+// Aging prevents formerly popular objects from squatting forever — the
+// classic LFU pathology on drifting workloads.
+#pragma once
+
+#include <queue>
+#include <unordered_map>
+
+#include "sim/cache_policy.hpp"
+
+namespace lhr::policy {
+
+class LfuDa final : public sim::CacheBase {
+ public:
+  explicit LfuDa(std::uint64_t capacity_bytes) : CacheBase(capacity_bytes) {}
+
+  [[nodiscard]] std::string name() const override { return "LFU-DA"; }
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+ private:
+  struct Meta {
+    double priority = 0.0;   // C_i + L at last touch
+    std::uint64_t count = 0;
+  };
+  // Lazy min-heap entries: (priority snapshot, key). Stale when the stored
+  // priority no longer matches Meta::priority.
+  using HeapEntry = std::pair<double, trace::Key>;
+
+  void evict_until_fits(std::uint64_t incoming_size);
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::unordered_map<trace::Key, Meta> meta_;
+  double age_ = 0.0;  // L
+};
+
+}  // namespace lhr::policy

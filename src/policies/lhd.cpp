@@ -1,0 +1,107 @@
+#include "policies/lhd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lhr::policy {
+
+Lhd::Lhd(std::uint64_t capacity_bytes, const LhdConfig& config)
+    : CacheBase(capacity_bytes), config_(config), rng_(config.seed) {
+  classes_.resize(config_.size_classes);
+  for (auto& c : classes_) {
+    c.hits.assign(config_.age_bins, 0.0);
+    c.evictions.assign(config_.age_bins, 0.0);
+    // Optimistic start: young objects assumed dense so the cache can learn.
+    c.density.assign(config_.age_bins, 1.0);
+    for (std::size_t a = 0; a < config_.age_bins; ++a) {
+      c.density[a] = 1.0 / static_cast<double>(a + 1);
+    }
+  }
+}
+
+std::size_t Lhd::age_bin(double age_seconds) const {
+  const double clamped = std::max(age_seconds, 1.0);
+  const auto bin = static_cast<std::size_t>(std::log2(clamped));
+  return std::min(bin, config_.age_bins - 1);
+}
+
+std::size_t Lhd::size_class_of(std::uint64_t size) const {
+  // Log-spaced classes starting at 64 KB.
+  const double ratio = std::max(static_cast<double>(size) / 65'536.0, 1.0);
+  const auto cls = static_cast<std::size_t>(std::log2(ratio) / 2.0);
+  return std::min(cls, config_.size_classes - 1);
+}
+
+double Lhd::hit_density(const Meta& m, std::uint64_t size, trace::Time now) const {
+  const std::size_t bin = age_bin(now - m.last_access);
+  return classes_[m.size_class].density[bin] /
+         static_cast<double>(std::max<std::uint64_t>(size, 1));
+}
+
+void Lhd::reconfigure() {
+  for (auto& c : classes_) {
+    // density[a] = P(hit | alive at age a) / E[remaining lifetime], computed
+    // by a reverse sweep over the age bins (events at age >= a).
+    double hits_beyond = 0.0;
+    double events_beyond = 0.0;
+    double lifetime_beyond = 0.0;
+    for (std::size_t a = c.hits.size(); a-- > 0;) {
+      hits_beyond += c.hits[a];
+      events_beyond += c.hits[a] + c.evictions[a];
+      // Age bins are log-spaced: bin a spans ~2^a seconds of residency.
+      lifetime_beyond +=
+          (c.hits[a] + c.evictions[a]) * static_cast<double>(1ULL << std::min<std::size_t>(a, 40));
+      if (events_beyond > 0.0) {
+        c.density[a] = hits_beyond / std::max(lifetime_beyond, 1.0);
+      }
+      c.hits[a] *= config_.decay;
+      c.evictions[a] *= config_.decay;
+    }
+  }
+}
+
+bool Lhd::access(const trace::Request& r) {
+  if (++accesses_ % config_.reconfigure_interval == 0) reconfigure();
+
+  const auto it = meta_.find(r.key);
+  if (it != meta_.end()) {
+    Meta& m = it->second;
+    classes_[m.size_class].hits[age_bin(r.time - m.last_access)] += 1.0;
+    m.last_access = r.time;
+    return true;
+  }
+  if (oversized(r.size)) return false;
+
+  while (used_bytes() + r.size > capacity_bytes() && !residents_.empty()) {
+    trace::Key victim = residents_.sample(rng_);
+    double worst = std::numeric_limits<double>::infinity();
+    const std::size_t n = std::min(config_.eviction_sample, residents_.size());
+    for (std::size_t s = 0; s < n; ++s) {
+      const trace::Key candidate =
+          (n == residents_.size()) ? residents_.at(s) : residents_.sample(rng_);
+      const double d = hit_density(meta_.at(candidate), object_size(candidate), r.time);
+      if (d < worst) {
+        worst = d;
+        victim = candidate;
+      }
+    }
+    const Meta& vm = meta_.at(victim);
+    classes_[vm.size_class].evictions[age_bin(r.time - vm.last_access)] += 1.0;
+    meta_.erase(victim);
+    residents_.erase(victim);
+    remove_object(victim);
+  }
+  meta_[r.key] = Meta{r.time, size_class_of(r.size)};
+  residents_.insert(r.key);
+  store_object(r.key, r.size);
+  return false;
+}
+
+std::uint64_t Lhd::metadata_bytes() const {
+  return meta_.size() * (sizeof(trace::Key) + sizeof(Meta) + 2 * sizeof(void*)) +
+         residents_.memory_bytes() +
+         classes_.size() * 3 * config_.age_bins * sizeof(double);
+}
+
+}  // namespace lhr::policy

@@ -1,0 +1,67 @@
+// LHD: Least Hit Density (Beckmann, Chen, Cidon, NSDI'18 — paper ref [8]).
+//
+// Evicts the object with the lowest *hit density*: expected hits per byte
+// of cache space per unit time. LHD estimates hit density empirically from
+// the ages at which objects of each class hit or are evicted; we follow the
+// published design with log-spaced age bins and size-based classes, using
+// sampled eviction (the paper's own mechanism).
+//
+// For an object of class c at age bin a:
+//   density(c, a) = E[hits at ages >= a] / E[resource consumed beyond a]
+// estimated from per-class counters with exponential decay, divided by the
+// object's size.
+#pragma once
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "policies/sampled_set.hpp"
+#include "sim/cache_policy.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::policy {
+
+struct LhdConfig {
+  std::size_t age_bins = 32;        ///< log-spaced bins over [1s, ~2^31 s]
+  std::size_t size_classes = 8;     ///< log-spaced size classes
+  double decay = 0.9;               ///< per-reconfiguration EWMA factor
+  std::size_t reconfigure_interval = 50'000;  ///< requests between refits
+  std::size_t eviction_sample = 64;
+  std::uint64_t seed = 909;
+};
+
+class Lhd final : public sim::CacheBase {
+ public:
+  explicit Lhd(std::uint64_t capacity_bytes, const LhdConfig& config = {});
+
+  [[nodiscard]] std::string name() const override { return "LHD"; }
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+ private:
+  struct Meta {
+    trace::Time last_access = 0.0;
+    std::size_t size_class = 0;
+  };
+  struct ClassStats {
+    std::vector<double> hits;       // per age bin
+    std::vector<double> evictions;  // per age bin
+    std::vector<double> density;    // derived: hit density per age bin
+  };
+
+  [[nodiscard]] std::size_t age_bin(double age_seconds) const;
+  [[nodiscard]] std::size_t size_class_of(std::uint64_t size) const;
+  [[nodiscard]] double hit_density(const Meta& m, std::uint64_t size,
+                                   trace::Time now) const;
+  void reconfigure();
+
+  LhdConfig config_;
+  util::Xoshiro256 rng_;
+  std::vector<ClassStats> classes_;
+  std::unordered_map<trace::Key, Meta> meta_;
+  SampledKeySet residents_;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace lhr::policy

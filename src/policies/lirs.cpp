@@ -1,0 +1,200 @@
+#include "policies/lirs.hpp"
+
+#include <algorithm>
+
+namespace lhr::policy {
+
+Lirs::Lirs(std::uint64_t capacity_bytes, const LirsConfig& config)
+    : CacheBase(capacity_bytes), config_(config) {}
+
+void Lirs::stack_push_top(trace::Key key, Entry& e) {
+  if (e.in_stack) stack_.erase(e.stack_it);
+  stack_.push_front(key);
+  e.stack_it = stack_.begin();
+  e.in_stack = true;
+}
+
+void Lirs::stack_remove(trace::Key key, Entry& e) {
+  (void)key;
+  if (!e.in_stack) return;
+  stack_.erase(e.stack_it);
+  e.in_stack = false;
+}
+
+void Lirs::queue_push_back(trace::Key key, Entry& e) {
+  if (e.in_queue) queue_.erase(e.queue_it);
+  queue_.push_back(key);
+  e.queue_it = std::prev(queue_.end());
+  e.in_queue = true;
+}
+
+void Lirs::queue_remove(trace::Key key, Entry& e) {
+  (void)key;
+  if (!e.in_queue) return;
+  queue_.erase(e.queue_it);
+  e.in_queue = false;
+}
+
+void Lirs::prune_stack() {
+  while (!stack_.empty()) {
+    const trace::Key bottom = stack_.back();
+    Entry& e = entries_.at(bottom);
+    if (e.status == Status::kLir) return;
+    // HIR (resident or ghost) at the bottom carries no IRR information.
+    stack_.pop_back();
+    e.in_stack = false;
+    if (e.status == Status::kHirGhost && !e.in_queue) {
+      ghost_bytes_ -= e.size;
+      --ghosts_;
+      entries_.erase(bottom);
+    }
+  }
+}
+
+void Lirs::demote_bottom_lir() {
+  // After prune_stack the bottom is LIR (if any LIR exists).
+  prune_stack();
+  if (stack_.empty()) return;
+  const trace::Key bottom = stack_.back();
+  Entry& e = entries_.at(bottom);
+  if (e.status != Status::kLir) return;
+  stack_.pop_back();
+  e.in_stack = false;
+  e.status = Status::kHirResident;
+  lir_bytes_ -= e.size;
+  queue_push_back(bottom, e);
+  prune_stack();
+}
+
+void Lirs::enforce_lir_budget() {
+  const auto lir_cap = static_cast<std::uint64_t>(
+      config_.lir_fraction * static_cast<double>(capacity_bytes()));
+  while (lir_bytes_ > lir_cap) demote_bottom_lir();
+}
+
+void Lirs::evict_until_fits(std::uint64_t incoming) {
+  while (used_bytes() + incoming > capacity_bytes()) {
+    if (queue_.empty()) {
+      // No resident HIR left: demote a LIR block to make one.
+      demote_bottom_lir();
+      if (queue_.empty()) return;  // cache genuinely empty
+    }
+    const trace::Key victim = queue_.front();
+    Entry& e = entries_.at(victim);
+    queue_remove(victim, e);
+    remove_object(victim);
+    if (e.in_stack) {
+      // Stays in S as a non-resident ghost (its recency is still useful).
+      e.status = Status::kHirGhost;
+      ghost_bytes_ += e.size;
+      ++ghosts_;
+    } else {
+      entries_.erase(victim);
+    }
+  }
+}
+
+void Lirs::bound_ghosts() {
+  const auto ghost_cap = static_cast<std::uint64_t>(
+      config_.ghost_bytes_fraction * static_cast<double>(capacity_bytes()));
+  while (ghost_bytes_ > ghost_cap && !stack_.empty()) {
+    // Drop the oldest ghost in S (scan from the bottom; bounded in practice
+    // because prune_stack keeps HIR runs short).
+    bool dropped = false;
+    for (auto it = std::prev(stack_.end());; --it) {
+      Entry& e = entries_.at(*it);
+      if (e.status == Status::kHirGhost) {
+        const trace::Key key = *it;
+        stack_.erase(it);
+        ghost_bytes_ -= e.size;
+        --ghosts_;
+        entries_.erase(key);
+        dropped = true;
+        break;
+      }
+      if (it == stack_.begin()) break;
+    }
+    if (!dropped) break;
+    prune_stack();
+  }
+}
+
+bool Lirs::access(const trace::Request& r) {
+  const auto lir_cap = static_cast<std::uint64_t>(
+      config_.lir_fraction * static_cast<double>(capacity_bytes()));
+  auto found = entries_.find(r.key);
+
+  // --- Resident hit paths. ---
+  if (found != entries_.end() && found->second.status == Status::kLir) {
+    stack_push_top(r.key, found->second);
+    prune_stack();
+    return true;
+  }
+  if (found != entries_.end() && found->second.status == Status::kHirResident) {
+    Entry& e = found->second;
+    if (e.in_stack) {
+      // Small IRR proven: promote to LIR; rebalance the LIR budget.
+      e.status = Status::kLir;
+      lir_bytes_ += e.size;
+      queue_remove(r.key, e);
+      stack_push_top(r.key, e);
+      enforce_lir_budget();
+    } else {
+      // Long IRR: stay HIR; refresh both recency orders.
+      stack_push_top(r.key, e);
+      queue_push_back(r.key, e);
+    }
+    prune_stack();
+    return true;
+  }
+
+  // --- Miss paths. ---
+  if (oversized(r.size)) return false;
+
+  evict_until_fits(r.size);
+  if (used_bytes() + r.size > capacity_bytes()) return false;  // cannot make room
+
+  // Eviction/pruning may have dropped this key's ghost: re-resolve it.
+  found = entries_.find(r.key);
+  const bool ghost_hit =
+      found != entries_.end() && found->second.status == Status::kHirGhost;
+
+  if (ghost_hit) {
+    Entry& e = found->second;
+    ghost_bytes_ -= e.size;
+    --ghosts_;
+    e.size = r.size;
+    e.status = Status::kLir;  // ghost hit proves small IRR
+    lir_bytes_ += r.size;
+    stack_push_top(r.key, e);
+    store_object(r.key, r.size);
+    enforce_lir_budget();
+  } else if (lir_bytes_ + r.size <= lir_cap && queue_.empty()) {
+    // Cold start: fill the LIR set directly.
+    Entry e;
+    e.status = Status::kLir;
+    e.size = r.size;
+    lir_bytes_ += r.size;
+    auto [it, inserted] = entries_.insert_or_assign(r.key, e);
+    stack_push_top(r.key, it->second);
+    store_object(r.key, r.size);
+  } else {
+    // Ordinary new block: resident HIR at S top and Q tail.
+    Entry e;
+    e.status = Status::kHirResident;
+    e.size = r.size;
+    auto [it, inserted] = entries_.insert_or_assign(r.key, e);
+    stack_push_top(r.key, it->second);
+    queue_push_back(r.key, it->second);
+    store_object(r.key, r.size);
+  }
+  prune_stack();
+  bound_ghosts();
+  return false;
+}
+
+std::uint64_t Lirs::metadata_bytes() const {
+  return entries_.size() * (sizeof(trace::Key) + sizeof(Entry) + 6 * sizeof(void*));
+}
+
+}  // namespace lhr::policy

@@ -1,0 +1,73 @@
+// LIRS: Low Inter-reference Recency Set (Jiang & Zhang, SIGMETRICS'02 —
+// paper ref [38]), generalized to byte capacities.
+//
+// LIRS ranks blocks by their *inter-reference recency* (IRR — the recency of
+// the previous access) rather than plain recency, which makes it immune to
+// the long-scan pollution that defeats LRU. State:
+//   * stack S: recency-ordered entries — resident LIR ("hot") blocks,
+//     resident HIR blocks, and non-resident HIR ghosts;
+//   * queue Q: resident HIR blocks, the eviction source;
+//   * the LIR set is budgeted ~90% of capacity, resident HIR ~10%.
+// Rules: a hit on an HIR entry that is still in S proves a small IRR and
+// promotes it to LIR (demoting the LIR at S's bottom); S is pruned so its
+// bottom is always LIR; evictions take Q's front.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "sim/cache_policy.hpp"
+
+namespace lhr::policy {
+
+struct LirsConfig {
+  double lir_fraction = 0.90;          ///< byte budget of the LIR (hot) set
+  double ghost_bytes_fraction = 2.0;   ///< non-resident ghost budget (× capacity)
+};
+
+class Lirs final : public sim::CacheBase {
+ public:
+  explicit Lirs(std::uint64_t capacity_bytes, const LirsConfig& config = {});
+
+  [[nodiscard]] std::string name() const override { return "LIRS"; }
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+  // Introspection for tests.
+  [[nodiscard]] std::uint64_t lir_bytes() const noexcept { return lir_bytes_; }
+  [[nodiscard]] std::size_t ghost_count() const noexcept { return ghosts_; }
+
+ private:
+  enum class Status : std::uint8_t { kLir, kHirResident, kHirGhost };
+  struct Entry {
+    Status status = Status::kHirGhost;
+    std::uint64_t size = 0;
+    bool in_stack = false;
+    bool in_queue = false;
+    std::list<trace::Key>::iterator stack_it;
+    std::list<trace::Key>::iterator queue_it;
+  };
+
+  void stack_push_top(trace::Key key, Entry& e);
+  void stack_remove(trace::Key key, Entry& e);
+  void queue_push_back(trace::Key key, Entry& e);
+  void queue_remove(trace::Key key, Entry& e);
+  /// Removes trailing non-LIR entries so S's bottom is a LIR block.
+  void prune_stack();
+  /// Demotes the bottom LIR block to resident HIR (tail of Q).
+  void demote_bottom_lir();
+  /// Evicts resident HIR blocks (Q front) until `incoming` fits.
+  void evict_until_fits(std::uint64_t incoming);
+  void enforce_lir_budget();
+  void bound_ghosts();
+
+  LirsConfig config_;
+  std::list<trace::Key> stack_;  // front = most recent
+  std::list<trace::Key> queue_;  // front = eviction candidate
+  std::unordered_map<trace::Key, Entry> entries_;
+  std::uint64_t lir_bytes_ = 0;
+  std::uint64_t ghost_bytes_ = 0;
+  std::size_t ghosts_ = 0;
+};
+
+}  // namespace lhr::policy

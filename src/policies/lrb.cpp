@@ -1,0 +1,159 @@
+#include "policies/lrb.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+namespace lhr::policy {
+
+Lrb::Lrb(std::uint64_t capacity_bytes, const LrbConfig& config)
+    : CacheBase(capacity_bytes),
+      config_(config),
+      rng_(config.seed),
+      extractor_(config.features) {
+  train_x_.n_features = extractor_.dim();
+}
+
+void Lrb::add_labeled(std::size_t pending_slot, float target) {
+  const std::size_t dim = extractor_.dim();
+  const std::size_t offset = pending_slot * dim;
+  for (std::size_t f = 0; f < dim; ++f) {
+    train_x_.values.push_back(pending_features_[offset + f]);
+  }
+  train_y_.push_back(target);
+}
+
+void Lrb::expire_pending() {
+  const std::size_t dim = extractor_.dim();
+  while (!pending_.empty() &&
+         pending_.front().request_index + config_.memory_window < request_index_) {
+    if (!pending_.front().labeled) {
+      // Aged out unlabeled: relaxed-Belady "beyond the boundary" label.
+      const float beyond =
+          static_cast<float>(std::log1p(2.0 * (now_ - pending_.front().time)));
+      add_labeled(0, beyond);
+      const auto lp = last_pending_.find(pending_.front().key);
+      if (lp != last_pending_.end() && lp->second == pending_.front().request_index) {
+        last_pending_.erase(lp);
+      }
+    }
+    pending_.pop_front();
+    pending_features_.erase(pending_features_.begin(),
+                            pending_features_.begin() + static_cast<std::ptrdiff_t>(dim));
+    ++pending_base_index_;
+  }
+}
+
+void Lrb::maybe_train() {
+  if (train_y_.size() < config_.train_interval) return;
+  const std::size_t dim = extractor_.dim();
+
+  // Keep the most recent max_train_samples.
+  if (train_y_.size() > config_.max_train_samples) {
+    const std::size_t drop = train_y_.size() - config_.max_train_samples;
+    train_y_.erase(train_y_.begin(), train_y_.begin() + static_cast<std::ptrdiff_t>(drop));
+    train_x_.values.erase(
+        train_x_.values.begin(),
+        train_x_.values.begin() + static_cast<std::ptrdiff_t>(drop * dim));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  model_.fit(train_x_, train_y_, config_.gbdt);
+  training_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  ++trainings_;
+  train_x_.values.clear();
+  train_y_.clear();
+}
+
+double Lrb::predict_ttnr(const trace::Request& as_of) const {
+  std::vector<float> features(extractor_.dim());
+  extractor_.extract(as_of, features);
+  return model_.predict(features);
+}
+
+bool Lrb::access(const trace::Request& r) {
+  now_ = r.time;
+  const std::uint64_t idx = request_index_++;
+
+  // Label the key's outstanding sample with the realized reuse time.
+  const auto lp = last_pending_.find(r.key);
+  if (lp != last_pending_.end() && lp->second >= pending_base_index_) {
+    const std::size_t slot = static_cast<std::size_t>(lp->second - pending_base_index_);
+    PendingSample& ps = pending_[slot];
+    if (!ps.labeled) {
+      add_labeled(slot, static_cast<float>(std::log1p(r.time - ps.time)));
+      ps.labeled = true;
+    }
+  }
+
+  // Create this request's unlabeled sample (features *before* recording).
+  {
+    const std::size_t dim = extractor_.dim();
+    const std::size_t old_size = pending_features_.size();
+    pending_features_.resize(old_size + dim);
+    std::vector<float> features(dim);
+    extractor_.extract(r, features);
+    std::copy(features.begin(), features.end(),
+              pending_features_.begin() + static_cast<std::ptrdiff_t>(old_size));
+    pending_.push_back(PendingSample{r.key, idx, r.time, false});
+    last_pending_[r.key] = idx;
+  }
+  extractor_.record(r);
+  expire_pending();
+  maybe_train();
+
+  const auto res = resident_last_use_.find(r.key);
+  if (res != resident_last_use_.end()) {
+    res->second = r.time;
+    return true;
+  }
+  if (oversized(r.size)) return false;
+
+  evict_until_fits(r);
+  resident_last_use_[r.key] = r.time;
+  residents_.insert(r.key);
+  store_object(r.key, r.size);
+  return false;
+}
+
+void Lrb::evict_until_fits(const trace::Request& r) {
+  while (used_bytes() + r.size > capacity_bytes() && !residents_.empty()) {
+    trace::Key victim = residents_.sample(rng_);
+    double worst = -std::numeric_limits<double>::infinity();
+    const std::size_t n = std::min(config_.eviction_sample, residents_.size());
+    for (std::size_t s = 0; s < n; ++s) {
+      const trace::Key candidate =
+          (n == residents_.size()) ? residents_.at(s) : residents_.sample(rng_);
+      double score;
+      if (model_.trained()) {
+        // Predicted time to next request, as of now.
+        score = predict_ttnr(
+            trace::Request{now_, candidate, object_size(candidate)});
+      } else {
+        // Cold start: fall back to LRU (largest idle time evicted first).
+        score = now_ - resident_last_use_.at(candidate);
+      }
+      if (score > worst) {
+        worst = score;
+        victim = candidate;
+      }
+    }
+    residents_.erase(victim);
+    resident_last_use_.erase(victim);
+    remove_object(victim);
+  }
+}
+
+std::uint64_t Lrb::metadata_bytes() const {
+  return extractor_.memory_bytes() + model_.memory_bytes() +
+         pending_.size() * sizeof(PendingSample) +
+         pending_features_.size() * sizeof(float) +
+         train_x_.values.size() * sizeof(float) + train_y_.size() * sizeof(float) +
+         last_pending_.size() * (sizeof(trace::Key) + 8 + 2 * sizeof(void*)) +
+         resident_last_use_.size() * (sizeof(trace::Key) + 8 + 2 * sizeof(void*)) +
+         residents_.memory_bytes();
+}
+
+}  // namespace lhr::policy

@@ -1,0 +1,94 @@
+// LRB: Learning Relaxed Belady (Song et al., NSDI'20 — paper ref [56]).
+//
+// LRB learns to imitate a *relaxed* Belady oracle: instead of evicting the
+// farthest-in-future object, it suffices to evict any object whose next
+// request lies beyond the "Belady boundary". Mechanically:
+//   * every request generates an unlabeled sample (features at request time);
+//   * the sample is labeled with the time until the object's next request
+//     when that request arrives, or with "beyond the memory window" when it
+//     ages out unlabeled;
+//   * a GBM regressor is (re)trained on recent labeled samples;
+//   * eviction predicts the time-to-next-request of 64 sampled residents
+//     and evicts the maximum (LRB's published eviction procedure);
+//   * admission is admit-all (LRB is an eviction-side learner).
+//
+// This mirrors the published design with the same feature family the paper's
+// LHR uses (IRTs + static features) so the two learners differ only in what
+// they learn from — LRB from its own past, LHR from HRO's optimal decisions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/features.hpp"
+#include "ml/gbdt.hpp"
+#include "policies/sampled_set.hpp"
+#include "sim/cache_policy.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::policy {
+
+struct LrbConfig {
+  std::size_t memory_window = 1 << 17;    ///< requests a sample may stay unlabeled
+  std::size_t train_interval = 50'000;    ///< labeled samples per retraining
+  std::size_t max_train_samples = 40'000; ///< training batch cap
+  std::size_t eviction_sample = 64;
+  ml::FeatureConfig features;
+  ml::GbdtConfig gbdt;
+  std::uint64_t seed = 31337;
+};
+
+class Lrb final : public sim::CacheBase {
+ public:
+  explicit Lrb(std::uint64_t capacity_bytes, const LrbConfig& config = {});
+
+  [[nodiscard]] std::string name() const override { return "LRB"; }
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+  [[nodiscard]] bool model_trained() const noexcept { return model_.trained(); }
+  [[nodiscard]] std::size_t trainings() const noexcept { return trainings_; }
+  /// Cumulative seconds spent in Gbdt::fit (Figure 9's "running time").
+  [[nodiscard]] double training_seconds() const noexcept { return training_seconds_; }
+
+ private:
+  struct PendingSample {
+    trace::Key key = 0;
+    std::uint64_t request_index = 0;
+    trace::Time time = 0.0;
+    bool labeled = false;
+  };
+
+  void add_labeled(std::size_t pending_slot, float target);
+  void expire_pending();
+  void maybe_train();
+  [[nodiscard]] double predict_ttnr(const trace::Request& as_of) const;
+  void evict_until_fits(const trace::Request& r);
+
+  LrbConfig config_;
+  util::Xoshiro256 rng_;
+  ml::FeatureExtractor extractor_;
+  ml::Gbdt model_;
+
+  // Ring of pending samples; features stored flat alongside.
+  std::deque<PendingSample> pending_;
+  std::deque<float> pending_features_;  // dim() floats per sample
+  std::uint64_t pending_base_index_ = 0;
+
+  std::unordered_map<trace::Key, std::uint64_t> last_pending_;  // key -> request idx
+
+  ml::Dataset train_x_;
+  std::vector<float> train_y_;
+
+  std::unordered_map<trace::Key, trace::Time> resident_last_use_;
+  SampledKeySet residents_;
+
+  std::uint64_t request_index_ = 0;
+  trace::Time now_ = 0.0;
+  std::size_t trainings_ = 0;
+  double training_seconds_ = 0.0;
+};
+
+}  // namespace lhr::policy

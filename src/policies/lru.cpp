@@ -1,0 +1,33 @@
+#include "policies/lru.hpp"
+
+namespace lhr::policy {
+
+bool Lru::access(const trace::Request& r) {
+  const auto it = where_.find(r.key);
+  if (it != where_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+  if (oversized(r.size)) return false;
+  evict_until_fits(r.size);
+  order_.push_front(r.key);
+  where_[r.key] = order_.begin();
+  store_object(r.key, r.size);
+  return false;
+}
+
+void Lru::evict_until_fits(std::uint64_t incoming_size) {
+  while (used_bytes() + incoming_size > capacity_bytes() && !order_.empty()) {
+    const trace::Key victim = order_.back();
+    order_.pop_back();
+    where_.erase(victim);
+    remove_object(victim);
+  }
+}
+
+std::uint64_t Lru::metadata_bytes() const {
+  // list node (key + 2 pointers) + hash map node per object.
+  return object_count() * (sizeof(trace::Key) + 4 * sizeof(void*) + sizeof(trace::Key));
+}
+
+}  // namespace lhr::policy

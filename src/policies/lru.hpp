@@ -1,0 +1,28 @@
+// LRU: the production default the paper repeatedly references (§1: "major
+// CDNs today still employ the classic LRU"; ATS's default policy).
+// Admits everything that fits; evicts the least recently used.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "sim/cache_policy.hpp"
+
+namespace lhr::policy {
+
+class Lru final : public sim::CacheBase {
+ public:
+  explicit Lru(std::uint64_t capacity_bytes) : CacheBase(capacity_bytes) {}
+
+  [[nodiscard]] std::string name() const override { return "LRU"; }
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+ private:
+  void evict_until_fits(std::uint64_t incoming_size);
+
+  std::list<trace::Key> order_;  // front = most recent
+  std::unordered_map<trace::Key, std::list<trace::Key>::iterator> where_;
+};
+
+}  // namespace lhr::policy

@@ -1,0 +1,94 @@
+#include "policies/lru_k.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace lhr::policy {
+
+LruK::LruK(std::uint64_t capacity_bytes, std::size_t k, std::size_t eviction_sample,
+           std::uint64_t seed)
+    : CacheBase(capacity_bytes),
+      k_(std::max<std::size_t>(k, 1)),
+      eviction_sample_(std::max<std::size_t>(eviction_sample, 1)),
+      rng_(seed) {}
+
+std::string LruK::name() const { return "LRU-" + std::to_string(k_); }
+
+void LruK::touch(History& h, trace::Time now) {
+  if (h.times.empty()) h.times.assign(k_, 0.0);
+  h.times[h.pos] = now;
+  h.pos = (h.pos + 1) % k_;
+  h.count = std::min(h.count + 1, k_);
+  h.last = now;
+}
+
+double LruK::backward_k_time(const History& h) const {
+  if (h.count < k_) {
+    // Fewer than K references: maximal backward distance (preferred victim);
+    // the caller breaks ties among these by last-use time.
+    return -std::numeric_limits<double>::infinity();
+  }
+  // Oldest entry in the ring = K-th most recent reference.
+  return h.times[h.pos];
+}
+
+bool LruK::access(const trace::Request& r) {
+  ++accesses_;
+  if (accesses_ % 65'536 == 0) prune_ghosts();
+
+  History& h = history_[r.key];
+  touch(h, r.time);
+
+  if (contains(r.key)) return true;
+  if (oversized(r.size)) return false;
+
+  while (used_bytes() + r.size > capacity_bytes() && !resident_.empty()) {
+    // Sampled victim: minimal (k-th reference time, last-use time).
+    trace::Key victim = resident_.sample(rng_);
+    double victim_kt = std::numeric_limits<double>::infinity();
+    double victim_last = std::numeric_limits<double>::infinity();
+    const std::size_t n = std::min(eviction_sample_, resident_.size());
+    for (std::size_t s = 0; s < n; ++s) {
+      const trace::Key candidate =
+          (n == resident_.size()) ? resident_.at(s) : resident_.sample(rng_);
+      const History& ch = history_[candidate];
+      const double kt = backward_k_time(ch);
+      if (kt < victim_kt || (kt == victim_kt && ch.last < victim_last)) {
+        victim = candidate;
+        victim_kt = kt;
+        victim_last = ch.last;
+      }
+    }
+    resident_.erase(victim);
+    remove_object(victim);
+  }
+  resident_.insert(r.key);
+  store_object(r.key, r.size);
+  return false;
+}
+
+void LruK::prune_ghosts() {
+  // Retain history for residents plus a bounded ghost population: drop the
+  // oldest ghosts when more than 4x the resident count are tracked.
+  const std::size_t limit = std::max<std::size_t>(resident_.size() * 4, 4096);
+  if (history_.size() <= limit) return;
+  std::vector<std::pair<double, trace::Key>> ghosts;
+  ghosts.reserve(history_.size());
+  for (const auto& [key, h] : history_) {
+    if (!resident_.contains(key)) ghosts.emplace_back(h.last, key);
+  }
+  const std::size_t excess = history_.size() - limit;
+  if (ghosts.size() <= excess) return;
+  std::nth_element(ghosts.begin(), ghosts.begin() + static_cast<std::ptrdiff_t>(excess),
+                   ghosts.end());
+  for (std::size_t i = 0; i < excess; ++i) history_.erase(ghosts[i].second);
+}
+
+std::uint64_t LruK::metadata_bytes() const {
+  return history_.size() *
+             (sizeof(trace::Key) + sizeof(History) + k_ * sizeof(trace::Time) +
+              2 * sizeof(void*)) +
+         resident_.memory_bytes();
+}
+
+}  // namespace lhr::policy

@@ -1,0 +1,53 @@
+// LRU-K (O'Neil et al., paper ref [51]): evicts the object with the largest
+// backward K-distance, i.e. whose K-th most recent reference is oldest.
+// The paper's SOTA set uses LRU-4.
+//
+// Reference history is also kept for a bounded ghost population of recently
+// seen non-resident objects (the "retained information" of the original
+// algorithm), so that an object's first K references are not forgotten
+// between insertions. Victim selection uses uniform sampling, the standard
+// production technique for priority-based eviction over byte caches.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "policies/sampled_set.hpp"
+#include "sim/cache_policy.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::policy {
+
+class LruK final : public sim::CacheBase {
+ public:
+  LruK(std::uint64_t capacity_bytes, std::size_t k = 4,
+       std::size_t eviction_sample = 64, std::uint64_t seed = 4242);
+
+  [[nodiscard]] std::string name() const override;
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+ private:
+  struct History {
+    std::vector<trace::Time> times;  // ring buffer of the last k reference times
+    std::size_t pos = 0;
+    std::size_t count = 0;
+    trace::Time last = 0.0;
+  };
+
+  /// K-th most recent reference time; -inf when fewer than K references
+  /// (such objects are preferred victims, ties broken by oldest last use).
+  [[nodiscard]] double backward_k_time(const History& h) const;
+  void touch(History& h, trace::Time now);
+  void prune_ghosts();
+
+  std::size_t k_;
+  std::size_t eviction_sample_;
+  util::Xoshiro256 rng_;
+  std::unordered_map<trace::Key, History> history_;
+  SampledKeySet resident_;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace lhr::policy

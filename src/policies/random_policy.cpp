@@ -1,0 +1,18 @@
+#include "policies/random_policy.hpp"
+
+namespace lhr::policy {
+
+bool RandomPolicy::access(const trace::Request& r) {
+  if (contains(r.key)) return true;
+  if (oversized(r.size)) return false;
+  while (used_bytes() + r.size > capacity_bytes() && !keys_.empty()) {
+    const trace::Key victim = keys_.sample(rng_);
+    keys_.erase(victim);
+    remove_object(victim);
+  }
+  keys_.insert(r.key);
+  store_object(r.key, r.size);
+  return false;
+}
+
+}  // namespace lhr::policy

@@ -1,0 +1,27 @@
+// RANDOM: evicts a uniformly random resident object. The memoryless
+// baseline (paper §8).
+#pragma once
+
+#include "policies/sampled_set.hpp"
+#include "sim/cache_policy.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::policy {
+
+class RandomPolicy final : public sim::CacheBase {
+ public:
+  explicit RandomPolicy(std::uint64_t capacity_bytes, std::uint64_t seed = 99)
+      : CacheBase(capacity_bytes), rng_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "Random"; }
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override {
+    return keys_.memory_bytes();
+  }
+
+ private:
+  SampledKeySet keys_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace lhr::policy

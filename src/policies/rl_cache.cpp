@@ -1,0 +1,119 @@
+#include "policies/rl_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lhr::policy {
+
+namespace {
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+RlCache::RlCache(std::uint64_t capacity_bytes, const RlCacheConfig& config)
+    : CacheBase(capacity_bytes), config_(config), rng_(config.seed) {}
+
+std::size_t RlCache::bucket_of(std::uint64_t size, double irt_seconds,
+                               std::uint64_t count) const {
+  const auto size_cls = std::min<std::size_t>(
+      static_cast<std::size_t>(
+          std::log2(std::max(static_cast<double>(size) / 1024.0, 1.0)) / 2.0),
+      kSizeClasses - 1);
+  const auto rec_cls = std::min<std::size_t>(
+      static_cast<std::size_t>(std::log2(std::max(irt_seconds, 1.0)) / 2.0),
+      kRecencyClasses - 1);
+  const auto freq_cls =
+      std::min<std::size_t>(static_cast<std::size_t>(std::log2(std::max<double>(
+                                static_cast<double>(count), 1.0))),
+                            kFrequencyClasses - 1);
+  return (size_cls * kRecencyClasses + rec_cls) * kFrequencyClasses + freq_cls;
+}
+
+double RlCache::admit_probability(std::uint64_t size, double irt_seconds,
+                                  std::uint64_t count) const {
+  return sigmoid(theta_[bucket_of(size, irt_seconds, count)]);
+}
+
+void RlCache::reinforce(History& h, double reward) {
+  if (!h.pending) return;
+  // REINFORCE for a Bernoulli policy: d log pi / d theta = a - p,
+  // where a = 1 for "admit".
+  const double action = h.admitted ? 1.0 : 0.0;
+  theta_[h.bucket] += config_.learning_rate * reward *
+                      (action - static_cast<double>(h.p_at_decision));
+  theta_[h.bucket] = std::clamp(theta_[h.bucket], -6.0, 6.0);
+  h.pending = false;
+}
+
+bool RlCache::access(const trace::Request& r) {
+  if (++accesses_ % 65'536 == 0) prune_history();
+
+  History& h = history_[r.key];
+  const double irt = h.count > 0 ? std::max(r.time - h.last_seen, 1e-6) : 1e9;
+
+  const auto resident = where_.find(r.key);
+  if (resident != where_.end()) {
+    // Delayed reward: the admission decision paid off.
+    reinforce(h, +1.0);
+    ++h.count;
+    h.last_seen = r.time;
+    order_.splice(order_.begin(), order_, resident->second);
+    return true;
+  }
+
+  // If we bypassed this object earlier and it came back, that was a mistake.
+  if (h.pending && !h.admitted) reinforce(h, -config_.bypass_penalty);
+
+  ++h.count;
+  h.last_seen = r.time;
+  if (oversized(r.size)) return false;
+
+  const std::size_t bucket = bucket_of(r.size, irt, h.count);
+  const double p = sigmoid(theta_[bucket]);
+  const bool admit = rng_.next_double() < p;
+  h.pending = true;
+  h.admitted = admit;
+  h.bucket = static_cast<std::uint16_t>(bucket);
+  h.p_at_decision = static_cast<float>(p);
+  if (!admit) return false;
+
+  evict_until_fits(r.size, r.time);
+  order_.push_front(r.key);
+  where_[r.key] = order_.begin();
+  store_object(r.key, r.size);
+  return false;
+}
+
+void RlCache::evict_until_fits(std::uint64_t incoming_size, trace::Time /*now*/) {
+  while (used_bytes() + incoming_size > capacity_bytes() && !order_.empty()) {
+    const trace::Key victim = order_.back();
+    order_.pop_back();
+    where_.erase(victim);
+    remove_object(victim);
+    // Evicted without a hit since admission: the admission was wasted.
+    const auto h = history_.find(victim);
+    if (h != history_.end() && h->second.pending && h->second.admitted) {
+      reinforce(h->second, -config_.eviction_penalty);
+    }
+  }
+}
+
+void RlCache::prune_history() {
+  // Bound the ghost history to ~4x the resident population.
+  const std::size_t limit = std::max<std::size_t>(where_.size() * 4, 8192);
+  if (history_.size() <= limit) return;
+  for (auto it = history_.begin(); it != history_.end() && history_.size() > limit;) {
+    if (!where_.contains(it->first) && !it->second.pending) {
+      it = history_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::uint64_t RlCache::metadata_bytes() const {
+  return sizeof(theta_) +
+         history_.size() * (sizeof(trace::Key) + sizeof(History) + 2 * sizeof(void*)) +
+         where_.size() * (2 * sizeof(trace::Key) + 4 * sizeof(void*));
+}
+
+}  // namespace lhr::policy

@@ -1,0 +1,77 @@
+// RL-Cache-style learned admission (Kirilin et al., JSAC'20 — paper ref
+// [40]; also the RL line of work the paper's §8 critiques).
+//
+// Admission is a stochastic policy over coarse feature buckets
+// (size class × recency class × frequency class): p_admit = sigmoid(theta_b).
+// The parameters are updated by a REINFORCE-style rule when an admission
+// decision's delayed reward materializes — +1 if the object is re-requested
+// while resident (the admission paid off), -cost if it is evicted unused or
+// a bypassed object is re-requested soon (the decision was wrong).
+//
+// The paper argues such delayed-reward learners adapt slowly compared to
+// LHR's supervised imitation of HRO; this implementation lets the
+// benchmarks make that comparison concrete. Eviction is LRU.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "sim/cache_policy.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::policy {
+
+struct RlCacheConfig {
+  double learning_rate = 0.05;
+  double bypass_penalty = 0.5;   ///< cost of bypassing an object that returns
+  double eviction_penalty = 0.3; ///< cost of admitting an object never reused
+  std::uint64_t seed = 555;
+};
+
+class RlCache final : public sim::CacheBase {
+ public:
+  explicit RlCache(std::uint64_t capacity_bytes, const RlCacheConfig& config = {});
+
+  [[nodiscard]] std::string name() const override { return "RL-Cache"; }
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+  /// Current admission probability for a feature bucket (for tests).
+  [[nodiscard]] double admit_probability(std::uint64_t size, double irt_seconds,
+                                         std::uint64_t count) const;
+
+ private:
+  static constexpr std::size_t kSizeClasses = 8;
+  static constexpr std::size_t kRecencyClasses = 8;
+  static constexpr std::size_t kFrequencyClasses = 4;
+  static constexpr std::size_t kBuckets =
+      kSizeClasses * kRecencyClasses * kFrequencyClasses;
+
+  struct History {
+    trace::Time last_seen = 0.0;
+    std::uint32_t count = 0;
+    // Outstanding decision awaiting its delayed reward:
+    bool pending = false;
+    bool admitted = false;
+    std::uint16_t bucket = 0;
+    float p_at_decision = 0.5f;
+  };
+
+  [[nodiscard]] std::size_t bucket_of(std::uint64_t size, double irt_seconds,
+                                      std::uint64_t count) const;
+  void reinforce(History& h, double reward);
+  void evict_until_fits(std::uint64_t incoming_size, trace::Time now);
+  void prune_history();
+
+  RlCacheConfig config_;
+  util::Xoshiro256 rng_;
+  std::array<double, kBuckets> theta_{};
+  std::unordered_map<trace::Key, History> history_;
+  std::list<trace::Key> order_;
+  std::unordered_map<trace::Key, std::list<trace::Key>::iterator> where_;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace lhr::policy

@@ -1,0 +1,58 @@
+#include "policies/s4lru.hpp"
+
+#include <algorithm>
+
+namespace lhr::policy {
+
+void S4Lru::insert_into(std::size_t segment, trace::Key key, std::uint64_t size) {
+  lists_[segment].push_front(key);
+  slots_[key] = Slot{segment, lists_[segment].begin(), size};
+  bytes_[segment] += size;
+}
+
+void S4Lru::rebalance(std::size_t from_segment) {
+  // Cascade demotions from the touched segment down to L0, then evict.
+  for (std::size_t seg = from_segment + 1; seg-- > 0;) {
+    while (bytes_[seg] > segment_cap() && !lists_[seg].empty()) {
+      const trace::Key victim = lists_[seg].back();
+      Slot slot = slots_.at(victim);
+      lists_[seg].pop_back();
+      bytes_[seg] -= slot.size;
+      if (seg == 0) {
+        slots_.erase(victim);
+        remove_object(victim);
+      } else {
+        // Demote to the MRU end of the segment below.
+        lists_[seg - 1].push_front(victim);
+        slots_[victim] = Slot{seg - 1, lists_[seg - 1].begin(), slot.size};
+        bytes_[seg - 1] += slot.size;
+      }
+    }
+  }
+}
+
+bool S4Lru::access(const trace::Request& r) {
+  const auto it = slots_.find(r.key);
+  if (it != slots_.end()) {
+    // Promote to the next segment (or refresh within L3).
+    const Slot slot = it->second;
+    const std::size_t target = std::min(slot.segment + 1, kSegments - 1);
+    lists_[slot.segment].erase(slot.it);
+    bytes_[slot.segment] -= slot.size;
+    insert_into(target, r.key, slot.size);
+    rebalance(kSegments - 1);  // full cascade: also repairs capacity shrinks
+    return true;
+  }
+  if (r.size > segment_cap()) return false;  // must fit one segment
+
+  insert_into(0, r.key, r.size);
+  store_object(r.key, r.size);
+  rebalance(kSegments - 1);
+  return false;
+}
+
+std::uint64_t S4Lru::metadata_bytes() const {
+  return slots_.size() * (sizeof(trace::Key) + sizeof(Slot) + 4 * sizeof(void*));
+}
+
+}  // namespace lhr::policy

@@ -1,0 +1,46 @@
+// S4LRU: four-segment LRU (Huang et al., "An Analysis of Facebook Photo
+// Caching", SOSP'13 — paper ref [34]).
+//
+// The cache is split into 4 equal-byte segments L0..L3. Misses are admitted
+// to L0's MRU end; a hit in L_i promotes to L_{i+1} (capped at L3);
+// overflow of L_i demotes its LRU tail to L_{i-1}, and L0's tail is evicted.
+#pragma once
+
+#include <array>
+#include <list>
+#include <unordered_map>
+
+#include "sim/cache_policy.hpp"
+
+namespace lhr::policy {
+
+class S4Lru final : public sim::CacheBase {
+ public:
+  explicit S4Lru(std::uint64_t capacity_bytes) : CacheBase(capacity_bytes) {}
+
+  [[nodiscard]] std::string name() const override { return "S4LRU"; }
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+  /// Bytes currently held by segment i (for tests).
+  [[nodiscard]] std::uint64_t segment_bytes(std::size_t i) const { return bytes_[i]; }
+
+ private:
+  static constexpr std::size_t kSegments = 4;
+  struct Slot {
+    std::size_t segment;
+    std::list<trace::Key>::iterator it;
+    std::uint64_t size;
+  };
+
+  [[nodiscard]] std::uint64_t segment_cap() const { return capacity_bytes() / kSegments; }
+  void insert_into(std::size_t segment, trace::Key key, std::uint64_t size);
+  /// Demotes overflow from `segment` downward; evicts from L0.
+  void rebalance(std::size_t from_segment);
+
+  std::array<std::list<trace::Key>, kSegments> lists_;  // front = MRU
+  std::array<std::uint64_t, kSegments> bytes_{};
+  std::unordered_map<trace::Key, Slot> slots_;
+};
+
+}  // namespace lhr::policy

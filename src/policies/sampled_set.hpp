@@ -1,0 +1,53 @@
+// A key set with O(1) insert/erase/uniform-sample — the substrate of every
+// sampled-eviction policy (Random, LRU-K, LRB, LHR's eviction agent).
+#pragma once
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/request.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::policy {
+
+class SampledKeySet {
+ public:
+  void insert(trace::Key key) {
+    if (slot_.contains(key)) return;
+    slot_[key] = keys_.size();
+    keys_.push_back(key);
+  }
+
+  void erase(trace::Key key) {
+    const auto it = slot_.find(key);
+    if (it == slot_.end()) return;
+    const std::size_t s = it->second;
+    slot_.erase(it);
+    if (s != keys_.size() - 1) {
+      keys_[s] = keys_.back();
+      slot_[keys_[s]] = s;
+    }
+    keys_.pop_back();
+  }
+
+  [[nodiscard]] bool contains(trace::Key key) const { return slot_.contains(key); }
+  [[nodiscard]] std::size_t size() const noexcept { return keys_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return keys_.empty(); }
+  [[nodiscard]] trace::Key at(std::size_t i) const { return keys_[i]; }
+
+  [[nodiscard]] trace::Key sample(util::Xoshiro256& rng) const {
+    assert(!keys_.empty());
+    return keys_[rng.next_below(keys_.size())];
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return keys_.size() * (2 * sizeof(trace::Key) + sizeof(std::size_t) + 2 * sizeof(void*));
+  }
+
+ private:
+  std::vector<trace::Key> keys_;
+  std::unordered_map<trace::Key, std::size_t> slot_;
+};
+
+}  // namespace lhr::policy

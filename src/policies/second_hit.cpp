@@ -1,0 +1,58 @@
+#include "policies/second_hit.hpp"
+
+namespace lhr::policy {
+
+SecondHit::SecondHit(std::uint64_t capacity_bytes, const SecondHitConfig& config)
+    : CacheBase(capacity_bytes), config_(config) {}
+
+bool SecondHit::access(const trace::Request& r) {
+  if (++accesses_ % 65'536 == 0) prune_ghosts(r.time);
+
+  const auto it = where_.find(r.key);
+  if (it != where_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+  if (oversized(r.size)) return false;
+
+  const auto ghost = ghosts_.find(r.key);
+  const bool seen_recently =
+      ghost != ghosts_.end() && (r.time - ghost->second) <= config_.history_horizon_s;
+  if (!seen_recently) {
+    if (ghosts_.size() < config_.max_ghosts) ghosts_[r.key] = r.time;
+    return false;  // first sighting: remember, do not admit
+  }
+  ghosts_.erase(ghost);
+
+  evict_until_fits(r.size);
+  order_.push_front(r.key);
+  where_[r.key] = order_.begin();
+  store_object(r.key, r.size);
+  return false;
+}
+
+void SecondHit::evict_until_fits(std::uint64_t incoming_size) {
+  while (used_bytes() + incoming_size > capacity_bytes() && !order_.empty()) {
+    const trace::Key victim = order_.back();
+    order_.pop_back();
+    where_.erase(victim);
+    remove_object(victim);
+  }
+}
+
+void SecondHit::prune_ghosts(trace::Time now) {
+  for (auto it = ghosts_.begin(); it != ghosts_.end();) {
+    if (now - it->second > config_.history_horizon_s) {
+      it = ghosts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::uint64_t SecondHit::metadata_bytes() const {
+  return where_.size() * (2 * sizeof(trace::Key) + 4 * sizeof(void*)) +
+         ghosts_.size() * (sizeof(trace::Key) + sizeof(trace::Time) + 2 * sizeof(void*));
+}
+
+}  // namespace lhr::policy

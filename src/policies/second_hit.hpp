@@ -1,0 +1,41 @@
+// SecondHit: Akamai's cache-on-second-request admission rule (Maggs &
+// Sitaraman, "Algorithmic Nuggets in Content Delivery" — paper ref [46]).
+//
+// A missed object is admitted only if it was requested before within a
+// recent history horizon. Unlike B-LRU's Bloom filter, this keeps an exact
+// (bounded) ghost table of last-seen times, which is how the rule is
+// usually described; eviction is LRU.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "sim/cache_policy.hpp"
+
+namespace lhr::policy {
+
+struct SecondHitConfig {
+  double history_horizon_s = 4.0 * 3600.0;  ///< remember first hits this long
+  std::size_t max_ghosts = 1 << 20;         ///< bound on the ghost table
+};
+
+class SecondHit final : public sim::CacheBase {
+ public:
+  explicit SecondHit(std::uint64_t capacity_bytes, const SecondHitConfig& config = {});
+
+  [[nodiscard]] std::string name() const override { return "SecondHit"; }
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+ private:
+  void evict_until_fits(std::uint64_t incoming_size);
+  void prune_ghosts(trace::Time now);
+
+  SecondHitConfig config_;
+  std::list<trace::Key> order_;
+  std::unordered_map<trace::Key, std::list<trace::Key>::iterator> where_;
+  std::unordered_map<trace::Key, trace::Time> ghosts_;  // first-seen times
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace lhr::policy

@@ -1,0 +1,261 @@
+#include "policies/tinylfu.hpp"
+
+#include <algorithm>
+
+namespace lhr::policy {
+
+// ---------------------------------------------------------------- TinyLfu
+
+TinyLfu::TinyLfu(std::uint64_t capacity_bytes, const TinyLfuConfig& config)
+    : CacheBase(capacity_bytes),
+      config_(config),
+      sketch_(config.sketch_counters, config.sketch_sample),
+      doorkeeper_(config.doorkeeper_items, config.doorkeeper_fpr) {}
+
+std::uint32_t TinyLfu::frequency(trace::Key key) const {
+  return sketch_.estimate(key) + (doorkeeper_.contains(key) ? 1 : 0);
+}
+
+void TinyLfu::on_request_seen(trace::Key key) {
+  // Doorkeeper absorbs the first occurrence; repeats feed the sketch.
+  if (doorkeeper_.insert(key)) sketch_.increment(key);
+  if (doorkeeper_.inserted() >= config_.doorkeeper_items) doorkeeper_.clear();
+}
+
+bool TinyLfu::access(const trace::Request& r) {
+  on_request_seen(r.key);
+  const auto it = where_.find(r.key);
+  if (it != where_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+  if (oversized(r.size)) return false;
+
+  // Frequency duel against every victim the admission would displace.
+  const std::uint32_t incoming = frequency(r.key);
+  std::uint64_t freed = 0;
+  auto victim = order_.rbegin();
+  std::vector<trace::Key> victims;
+  while (used_bytes() - freed + r.size > capacity_bytes()) {
+    if (victim == order_.rend()) return false;  // nothing left to evict
+    if (frequency(*victim) >= incoming) return false;  // victim wins: bypass
+    freed += object_size(*victim);
+    victims.push_back(*victim);
+    ++victim;
+  }
+  for (const trace::Key v : victims) {
+    const auto vit = where_.find(v);
+    order_.erase(vit->second);
+    where_.erase(vit);
+    remove_object(v);
+  }
+  order_.push_front(r.key);
+  where_[r.key] = order_.begin();
+  store_object(r.key, r.size);
+  return false;
+}
+
+void TinyLfu::set_capacity(std::uint64_t bytes) {
+  CacheBase::set_capacity(bytes);
+  while (used_bytes() > capacity_bytes() && !order_.empty()) {
+    const trace::Key victim = order_.back();
+    order_.pop_back();
+    where_.erase(victim);
+    remove_object(victim);
+  }
+}
+
+std::uint64_t TinyLfu::metadata_bytes() const {
+  return sketch_.memory_bytes() + doorkeeper_.memory_bytes() +
+         where_.size() * (2 * sizeof(trace::Key) + 4 * sizeof(void*));
+}
+
+// -------------------------------------------------------------- WTinyLfu
+
+WTinyLfu::WTinyLfu(std::uint64_t capacity_bytes, const WTinyLfuConfig& config)
+    : CacheBase(capacity_bytes),
+      config_(config),
+      sketch_(config.sketch.sketch_counters, config.sketch.sketch_sample),
+      doorkeeper_(config.sketch.doorkeeper_items, config.sketch.doorkeeper_fpr) {}
+
+std::uint32_t WTinyLfu::frequency(trace::Key key) const {
+  return sketch_.estimate(key) + (doorkeeper_.contains(key) ? 1 : 0);
+}
+
+void WTinyLfu::on_request_seen(trace::Key key) {
+  if (doorkeeper_.insert(key)) sketch_.increment(key);
+  if (doorkeeper_.inserted() >= config_.sketch.doorkeeper_items) doorkeeper_.clear();
+}
+
+void WTinyLfu::erase_slot(trace::Key key) {
+  const auto it = slots_.find(key);
+  if (it == slots_.end()) return;
+  switch (it->second.segment) {
+    case Segment::kWindow:
+      window_.erase(it->second.it);
+      window_bytes_ -= it->second.size;
+      break;
+    case Segment::kProbation:
+      probation_.erase(it->second.it);
+      probation_bytes_ -= it->second.size;
+      break;
+    case Segment::kProtected:
+      protected_.erase(it->second.it);
+      protected_bytes_ -= it->second.size;
+      break;
+  }
+  slots_.erase(it);
+  remove_object(key);
+}
+
+bool WTinyLfu::access(const trace::Request& r) {
+  on_request_seen(r.key);
+  ++period_requests_;
+  if (config_.adaptive_window && period_requests_ >= config_.adapt_interval) {
+    maybe_adapt();
+  }
+
+  const auto it = slots_.find(r.key);
+  if (it != slots_.end()) {
+    ++period_hits_;
+    Slot& slot = it->second;
+    switch (slot.segment) {
+      case Segment::kWindow:
+        window_.splice(window_.begin(), window_, slot.it);
+        break;
+      case Segment::kProbation: {
+        // Promote to protected; demote protected overflow back to probation.
+        probation_.erase(slot.it);
+        probation_bytes_ -= slot.size;
+        protected_.push_front(r.key);
+        slot.it = protected_.begin();
+        slot.segment = Segment::kProtected;
+        protected_bytes_ += slot.size;
+        const auto protected_cap = static_cast<std::uint64_t>(
+            config_.protected_fraction * (1.0 - config_.window_fraction) *
+            static_cast<double>(capacity_bytes()));
+        while (protected_bytes_ > protected_cap && protected_.size() > 1) {
+          const trace::Key demoted = protected_.back();
+          protected_.pop_back();
+          Slot& ds = slots_.at(demoted);
+          protected_bytes_ -= ds.size;
+          probation_.push_front(demoted);
+          ds.it = probation_.begin();
+          ds.segment = Segment::kProbation;
+          probation_bytes_ += ds.size;
+        }
+        break;
+      }
+      case Segment::kProtected:
+        protected_.splice(protected_.begin(), protected_, slot.it);
+        break;
+    }
+    return true;
+  }
+
+  if (oversized(r.size)) return false;
+  insert_window(r.key, r.size);
+  drain_window();
+  return false;
+}
+
+void WTinyLfu::insert_window(trace::Key key, std::uint64_t size) {
+  window_.push_front(key);
+  slots_[key] = Slot{Segment::kWindow, window_.begin(), size};
+  window_bytes_ += size;
+  store_object(key, size);
+}
+
+void WTinyLfu::drain_window() {
+  const auto window_cap = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(config_.window_fraction *
+                                    static_cast<double>(capacity_bytes())));
+  while (window_bytes_ > window_cap && !window_.empty()) {
+    const trace::Key candidate = window_.back();
+    window_.pop_back();
+    Slot slot = slots_.at(candidate);
+    window_bytes_ -= slot.size;
+    slots_.erase(candidate);
+    remove_object(candidate);
+
+    // Candidate duels for a place in the main cache.
+    const auto main_cap = static_cast<std::uint64_t>(
+        (1.0 - config_.window_fraction) * static_cast<double>(capacity_bytes()));
+    if (slot.size > main_cap) continue;
+    const std::uint32_t challenger = frequency(candidate);
+    const std::uint64_t main_bytes = probation_bytes_ + protected_bytes_;
+    if (main_bytes + slot.size > main_cap) {
+      if (!make_room_in_main(main_bytes + slot.size - main_cap, challenger)) {
+        continue;  // victims won the duel: drop the candidate
+      }
+    }
+    probation_.push_front(candidate);
+    slots_[candidate] = Slot{Segment::kProbation, probation_.begin(), slot.size};
+    probation_bytes_ += slot.size;
+    store_object(candidate, slot.size);
+  }
+}
+
+bool WTinyLfu::make_room_in_main(std::uint64_t needed, std::uint32_t challenger_freq) {
+  // Victims come from probation LRU first, then protected LRU.
+  std::vector<trace::Key> victims;
+  std::uint64_t freed = 0;
+  const auto consider = [&](const std::list<trace::Key>& seg) {
+    for (auto it = seg.rbegin(); it != seg.rend() && freed < needed; ++it) {
+      if (frequency(*it) >= challenger_freq) return false;  // victim survives
+      freed += slots_.at(*it).size;
+      victims.push_back(*it);
+    }
+    return true;
+  };
+  if (!consider(probation_) && freed < needed) return false;
+  if (freed < needed && !consider(protected_)) return false;
+  if (freed < needed) return false;
+  for (const trace::Key v : victims) erase_slot(v);
+  return true;
+}
+
+void WTinyLfu::maybe_adapt() {
+  // Caffeine-style climber: keep moving the window boundary in the direction
+  // that improved the hit rate, reverse otherwise.
+  const double hit_rate = static_cast<double>(period_hits_) /
+                          static_cast<double>(std::max<std::uint64_t>(period_requests_, 1));
+  if (previous_hit_rate_ >= 0.0 && hit_rate < previous_hit_rate_) {
+    climb_direction_ = -climb_direction_;
+  }
+  previous_hit_rate_ = hit_rate;
+  period_requests_ = 0;
+  period_hits_ = 0;
+  config_.window_fraction = std::clamp(
+      config_.window_fraction + climb_direction_ * config_.adapt_step, 0.01, 0.80);
+  enforce_caps();
+}
+
+void WTinyLfu::enforce_caps() {
+  drain_window();  // shrink the window share first
+  // The main tier must also fit its (possibly reduced) share, or the total
+  // would exceed capacity.
+  const auto main_cap = static_cast<std::uint64_t>(
+      (1.0 - config_.window_fraction) * static_cast<double>(capacity_bytes()));
+  while (probation_bytes_ + protected_bytes_ > main_cap) {
+    if (!probation_.empty()) {
+      erase_slot(probation_.back());
+    } else if (!protected_.empty()) {
+      erase_slot(protected_.back());
+    } else {
+      break;
+    }
+  }
+}
+
+void WTinyLfu::set_capacity(std::uint64_t bytes) {
+  CacheBase::set_capacity(bytes);
+  enforce_caps();
+}
+
+std::uint64_t WTinyLfu::metadata_bytes() const {
+  return sketch_.memory_bytes() + doorkeeper_.memory_bytes() +
+         slots_.size() * (sizeof(trace::Key) + sizeof(Slot) + 4 * sizeof(void*));
+}
+
+}  // namespace lhr::policy

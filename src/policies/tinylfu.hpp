@@ -1,0 +1,124 @@
+// TinyLFU admission (Einziger, Friedman, Manes — paper ref [25]) and
+// W-TinyLFU (Caffeine's baseline policy, paper Appendix A.3 / ref [23-25]).
+//
+// TinyLFU: an LRU cache whose admission is gated by an approximate
+// frequency comparison — a missed object only displaces a victim whose
+// sketch frequency is lower. A Bloom-filter "doorkeeper" absorbs the
+// long tail of singletons before they touch the sketch.
+//
+// W-TinyLFU: a small LRU *window* absorbs bursts of new objects; objects
+// evicted from the window must pass the TinyLFU frequency duel to enter the
+// main SLRU (probation + protected segments), which is how Caffeine ships.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "sim/cache_policy.hpp"
+#include "util/bloom_filter.hpp"
+#include "util/count_min_sketch.hpp"
+
+namespace lhr::policy {
+
+struct TinyLfuConfig {
+  std::size_t sketch_counters = 1 << 18;
+  std::uint64_t sketch_sample = 10ULL << 18;  ///< aging period (increments)
+  std::size_t doorkeeper_items = 1 << 17;
+  double doorkeeper_fpr = 0.02;
+};
+
+class TinyLfu final : public sim::CacheBase {
+ public:
+  explicit TinyLfu(std::uint64_t capacity_bytes, const TinyLfuConfig& config = {});
+
+  [[nodiscard]] std::string name() const override { return "TinyLFU"; }
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+  /// Shrinking evicts LRU victims immediately (no frequency duel: the bytes
+  /// must go regardless of who "deserves" to stay).
+  void set_capacity(std::uint64_t bytes) override;
+
+ private:
+  /// Doorkeeper-boosted frequency estimate.
+  [[nodiscard]] std::uint32_t frequency(trace::Key key) const;
+  void on_request_seen(trace::Key key);
+
+  TinyLfuConfig config_;
+  util::CountMinSketch sketch_;
+  util::BloomFilter doorkeeper_;
+  std::list<trace::Key> order_;
+  std::unordered_map<trace::Key, std::list<trace::Key>::iterator> where_;
+};
+
+struct WTinyLfuConfig {
+  /// Share of capacity for the window LRU. Caffeine uses 1% for slot caches
+  /// with millions of entries; CDN byte caches hold only hundreds-to-
+  /// thousands of large objects, so a 1% window degenerates to a handful of
+  /// slots. 10% keeps the window's role (absorbing bursts of new objects)
+  /// at object-cache scale.
+  double window_fraction = 0.10;
+  double protected_fraction = 0.80;   ///< share of the main cache
+  /// Caffeine's adaptivity (Einziger et al., "Adaptive Software Cache
+  /// Management"): hill-climb the window fraction on the observed hit rate.
+  bool adaptive_window = false;
+  std::size_t adapt_interval = 65'536;  ///< requests per climbing step
+  double adapt_step = 0.05;             ///< window-fraction step size
+  TinyLfuConfig sketch;
+};
+
+class WTinyLfu final : public sim::CacheBase {
+ public:
+  explicit WTinyLfu(std::uint64_t capacity_bytes, const WTinyLfuConfig& config = {});
+
+  [[nodiscard]] std::string name() const override { return "W-TinyLFU"; }
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+  /// Current window fraction (moves only in adaptive mode).
+  [[nodiscard]] double window_fraction() const noexcept {
+    return config_.window_fraction;
+  }
+  void set_capacity(std::uint64_t bytes) override;
+
+ private:
+  enum class Segment : std::uint8_t { kWindow, kProbation, kProtected };
+
+  void maybe_adapt();
+  /// Evicts until window and main both fit their (possibly shrunk) shares.
+  void enforce_caps();
+
+  struct Slot {
+    Segment segment;
+    std::list<trace::Key>::iterator it;
+    std::uint64_t size;
+  };
+
+  [[nodiscard]] std::uint32_t frequency(trace::Key key) const;
+  void on_request_seen(trace::Key key);
+  void insert_window(trace::Key key, std::uint64_t size);
+  /// Moves window overflow through the frequency duel into probation.
+  void drain_window();
+  /// Frees `needed` bytes from probation (duel already won by `challenger`).
+  bool make_room_in_main(std::uint64_t needed, std::uint32_t challenger_freq);
+  void erase_slot(trace::Key key);
+
+  WTinyLfuConfig config_;
+  util::CountMinSketch sketch_;
+  util::BloomFilter doorkeeper_;
+
+  std::list<trace::Key> window_;      // front = MRU
+  std::list<trace::Key> probation_;
+  std::list<trace::Key> protected_;
+  std::unordered_map<trace::Key, Slot> slots_;
+  std::uint64_t window_bytes_ = 0;
+  std::uint64_t probation_bytes_ = 0;
+  std::uint64_t protected_bytes_ = 0;
+
+  // Hill-climbing state (adaptive mode).
+  std::uint64_t period_requests_ = 0;
+  std::uint64_t period_hits_ = 0;
+  double previous_hit_rate_ = -1.0;
+  double climb_direction_ = 1.0;
+};
+
+}  // namespace lhr::policy

@@ -1,0 +1,87 @@
+#include "policies/two_q.hpp"
+
+#include <algorithm>
+
+namespace lhr::policy {
+
+TwoQ::TwoQ(std::uint64_t capacity_bytes, const TwoQConfig& config)
+    : CacheBase(capacity_bytes), config_(config) {}
+
+void TwoQ::ghost_insert(trace::Key key, std::uint64_t size) {
+  a1out_.push_front(key);
+  ghost_[key] = GhostSlot{a1out_.begin(), size};
+  ghost_bytes_ += size;
+  const auto kout = static_cast<std::uint64_t>(
+      config_.kout_fraction * static_cast<double>(capacity_bytes()));
+  while (ghost_bytes_ > kout && !a1out_.empty()) {
+    const trace::Key victim = a1out_.back();
+    a1out_.pop_back();
+    ghost_bytes_ -= ghost_.at(victim).size;
+    ghost_.erase(victim);
+  }
+}
+
+void TwoQ::make_room(std::uint64_t incoming_size) {
+  const auto kin = static_cast<std::uint64_t>(
+      config_.kin_fraction * static_cast<double>(capacity_bytes()));
+  while (used_bytes() + incoming_size > capacity_bytes() && !slots_.empty()) {
+    // 2Q's reclaim: shrink A1in first (its tail moves to the ghost list),
+    // then take from Am's LRU end.
+    const bool take_a1in = !a1in_.empty() && (a1in_bytes_ > kin || am_.empty());
+    if (take_a1in) {
+      const trace::Key victim = a1in_.back();
+      a1in_.pop_back();
+      const Slot slot = slots_.at(victim);
+      slots_.erase(victim);
+      a1in_bytes_ -= slot.size;
+      remove_object(victim);
+      ghost_insert(victim, slot.size);
+    } else if (!am_.empty()) {
+      const trace::Key victim = am_.back();
+      am_.pop_back();
+      slots_.erase(victim);
+      remove_object(victim);
+    } else {
+      break;
+    }
+  }
+}
+
+bool TwoQ::access(const trace::Request& r) {
+  const auto it = slots_.find(r.key);
+  if (it != slots_.end()) {
+    if (it->second.where == Where::kAm) {
+      am_.splice(am_.begin(), am_, it->second.it);  // LRU touch
+    }
+    // A1in hits deliberately do not promote (2Q's correlated-reference rule).
+    return true;
+  }
+  if (oversized(r.size)) return false;
+
+  const auto ghost = ghost_.find(r.key);
+  const bool proven = ghost != ghost_.end();
+  if (proven) {
+    ghost_bytes_ -= ghost->second.size;
+    a1out_.erase(ghost->second.it);
+    ghost_.erase(ghost);
+  }
+
+  make_room(r.size);
+  if (proven) {
+    am_.push_front(r.key);
+    slots_[r.key] = Slot{Where::kAm, am_.begin(), r.size};
+  } else {
+    a1in_.push_front(r.key);
+    slots_[r.key] = Slot{Where::kA1in, a1in_.begin(), r.size};
+    a1in_bytes_ += r.size;
+  }
+  store_object(r.key, r.size);
+  return false;
+}
+
+std::uint64_t TwoQ::metadata_bytes() const {
+  return slots_.size() * (sizeof(trace::Key) + sizeof(Slot) + 4 * sizeof(void*)) +
+         ghost_.size() * (sizeof(trace::Key) + sizeof(GhostSlot) + 4 * sizeof(void*));
+}
+
+}  // namespace lhr::policy

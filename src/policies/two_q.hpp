@@ -1,0 +1,54 @@
+// 2Q (Johnson & Shadmon, VLDB'94): the classic scan-resistant two-queue
+// design that ARC later made adaptive.
+//
+// A1in: FIFO holding first-time objects (kin = 25% of capacity).
+// A1out: ghost FIFO of keys evicted from A1in (kout = 50% nominal bytes).
+// Am: LRU main. A miss whose key sits in A1out is "proven reused" and goes
+// straight to Am; brand-new keys enter A1in and must earn their way back.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "sim/cache_policy.hpp"
+
+namespace lhr::policy {
+
+struct TwoQConfig {
+  double kin_fraction = 0.25;   ///< share of capacity for A1in
+  double kout_fraction = 0.50;  ///< ghost bytes (nominal) for A1out
+};
+
+class TwoQ final : public sim::CacheBase {
+ public:
+  explicit TwoQ(std::uint64_t capacity_bytes, const TwoQConfig& config = {});
+
+  [[nodiscard]] std::string name() const override { return "2Q"; }
+  bool access(const trace::Request& r) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+ private:
+  enum class Where : std::uint8_t { kA1in, kAm };
+  struct Slot {
+    Where where;
+    std::list<trace::Key>::iterator it;
+    std::uint64_t size;
+  };
+
+  void make_room(std::uint64_t incoming_size);
+  void ghost_insert(trace::Key key, std::uint64_t size);
+
+  TwoQConfig config_;
+  std::list<trace::Key> a1in_, am_;          // front = newest / MRU
+  std::list<trace::Key> a1out_;              // ghost keys, front = newest
+  struct GhostSlot {
+    std::list<trace::Key>::iterator it;
+    std::uint64_t size;
+  };
+  std::unordered_map<trace::Key, Slot> slots_;
+  std::unordered_map<trace::Key, GhostSlot> ghost_;
+  std::uint64_t a1in_bytes_ = 0;
+  std::uint64_t ghost_bytes_ = 0;
+};
+
+}  // namespace lhr::policy

@@ -1,0 +1,71 @@
+#include "server/admission_queue.hpp"
+
+#include <stdexcept>
+
+namespace lhr::server {
+
+AdmissionQueue::AdmissionQueue(AdmitFn admit, std::size_t max_depth)
+    : admit_(std::move(admit)), max_depth_(max_depth) {
+  if (!admit_) throw std::invalid_argument("AdmissionQueue: null admit function");
+  if (max_depth_ == 0) throw std::invalid_argument("AdmissionQueue: zero depth");
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+AdmissionQueue::~AdmissionQueue() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+bool AdmissionQueue::enqueue(const trace::Request& r) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.size() >= max_depth_) {
+      ++dropped_;
+      return false;  // shed load instead of stalling the request path
+    }
+    queue_.push_back(r);
+  }
+  work_available_.notify_one();
+  return true;
+}
+
+void AdmissionQueue::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+std::size_t AdmissionQueue::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::size_t AdmissionQueue::processed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return processed_;
+}
+
+void AdmissionQueue::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    const trace::Request r = queue_.front();
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    admit_(r);  // cache mutation happens outside the queue lock
+    lock.lock();
+    --in_flight_;
+    ++processed_;
+    if (queue_.empty() && in_flight_ == 0) drained_.notify_all();
+  }
+}
+
+}  // namespace lhr::server

@@ -1,0 +1,64 @@
+// Asynchronous admission queue.
+//
+// Paper §6.1: "the eviction process is run by scheduling cache admissions in
+// a lock-free queue" — the request path never blocks on disk-cache
+// admission; a background worker drains pending admissions and performs the
+// eviction work. This is the bounded MPSC queue + worker thread realizing
+// that design: producers (request threads) enqueue admissions, one consumer
+// applies them to the cache. When the queue is full the admission is
+// dropped, exactly like a loaded CDN server sheds admission work rather
+// than stall the hot path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "trace/request.hpp"
+
+namespace lhr::server {
+
+class AdmissionQueue {
+ public:
+  using AdmitFn = std::function<void(const trace::Request&)>;
+
+  /// Starts the worker. `admit` runs on the worker thread for each drained
+  /// request; it must synchronize access to the cache itself.
+  AdmissionQueue(AdmitFn admit, std::size_t max_depth = 4096);
+
+  /// Stops and joins the worker after draining outstanding work.
+  ~AdmissionQueue();
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Enqueues an admission; returns false (and drops it) when full.
+  bool enqueue(const trace::Request& r);
+
+  /// Blocks until every admission enqueued so far has been applied.
+  void drain();
+
+  [[nodiscard]] std::size_t dropped() const;
+  [[nodiscard]] std::size_t processed() const;
+
+ private:
+  void worker_loop();
+
+  AdmitFn admit_;
+  std::size_t max_depth_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable drained_;
+  std::deque<trace::Request> queue_;
+  std::size_t dropped_ = 0;
+  std::size_t processed_ = 0;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::thread worker_;
+};
+
+}  // namespace lhr::server

@@ -1,0 +1,155 @@
+#include "server/cdn_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/rng.hpp"
+
+namespace lhr::server {
+
+namespace {
+constexpr double kGB = 1024.0 * 1024.0 * 1024.0;
+
+double transfer_seconds(std::uint64_t bytes, double gbps) {
+  return static_cast<double>(bytes) * 8.0 / (gbps * 1e9);
+}
+}  // namespace
+
+CdnServer::CdnServer(std::unique_ptr<sim::CachePolicy> main_policy,
+                     const ServerConfig& config)
+    : config_(config),
+      main_(std::move(main_policy)),
+      ram_(config.ram_bytes),
+      rng_state_(config.seed) {}
+
+CdnServer::RequestOutcome CdnServer::process(const trace::Request& r) {
+  RequestOutcome out;
+  now_ = r.time;
+
+  // Step 1: index lookup. The policy's real compute time is the CPU cost of
+  // the lookup/admission path (this is what makes LHR's CPU column rise).
+  const auto cpu0 = std::chrono::steady_clock::now();
+  const bool ram_hit = config_.has_disk_tier && ram_.access(r);
+  const bool main_hit = main_->access(r);
+  out.cpu_s = config_.per_request_cpu_s +
+              config_.cpu_per_byte_s * static_cast<double>(r.size) +
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - cpu0).count();
+
+  const double client_time = transfer_seconds(r.size, config_.client_gbps);
+  out.client_s = client_time;
+
+  bool effective_hit = ram_hit || main_hit;
+  bool refetch = false;
+
+  if (effective_hit) {
+    // Step 2: freshness check.
+    const auto adm = admitted_at_.find(r.key);
+    const bool stale =
+        adm == admitted_at_.end() || (r.time - adm->second) > config_.freshness_ttl_s;
+    if (stale) {
+      out.user_latency_s += config_.origin_rtt_s;  // revalidation round trip
+      if (util::splitmix64(rng_state_) % 10'000 <
+          static_cast<std::uint64_t>(config_.revalidate_change_prob * 10'000)) {
+        refetch = true;  // content changed at the origin
+      } else if (adm != admitted_at_.end()) {
+        adm->second = r.time;  // revalidated: freshness clock restarts
+      } else {
+        admitted_at_[r.key] = r.time;
+      }
+    }
+  }
+
+  if (effective_hit && !refetch) {
+    if (ram_hit || !config_.has_disk_tier) {
+      out.user_latency_s += transfer_seconds(r.size, config_.ram_gbps) + client_time;
+    } else {
+      // Flash abstraction layer: random-offset read.
+      const double disk_time =
+          config_.disk_seek_s + transfer_seconds(r.size, config_.disk_read_gbps);
+      out.disk_s += disk_time;
+      out.user_latency_s += disk_time + client_time;
+    }
+    out.hit = true;
+  } else {
+    // Step 3 (or stale-changed refetch): origin fetch, serve, admit.
+    const double origin_time =
+        config_.origin_rtt_s + transfer_seconds(r.size, config_.origin_gbps);
+    out.origin_s += origin_time;
+    out.wan_bytes = static_cast<double>(r.size);
+    out.user_latency_s += origin_time + client_time;
+    out.hit = effective_hit;  // a stale-but-unchanged hit still counts above
+
+    // Sequential write into the flash layer — asynchronous, so it adds
+    // disk busy time but not user latency.
+    if (config_.has_disk_tier) {
+      out.disk_s += transfer_seconds(r.size, config_.disk_write_gbps);
+    }
+    admitted_at_[r.key] = r.time;
+  }
+  out.user_latency_s += out.cpu_s;
+  return out;
+}
+
+ServerReport CdnServer::replay(const trace::Trace& trace, ReplayMode mode,
+                               std::size_t window_requests) {
+  ServerReport report;
+  report.policy_name = main_->name();
+
+  util::QuantileHistogram latency(1e-6, 1e4, 128);
+  double cpu_busy = 0.0, disk_busy = 0.0, origin_busy = 0.0, client_busy = 0.0;
+  double bytes_served = 0.0, wan_bytes = 0.0;
+  std::uint64_t hits = 0;
+  std::uint64_t peak_meta = 0;
+
+  std::uint64_t window_hits = 0, window_count = 0;
+
+  for (const trace::Request& r : trace) {
+    const RequestOutcome out = process(r);
+    latency.add(out.user_latency_s);
+    cpu_busy += out.cpu_s;
+    disk_busy += out.disk_s;
+    origin_busy += out.origin_s;
+    client_busy += out.client_s;
+    bytes_served += static_cast<double>(r.size);
+    wan_bytes += out.wan_bytes;
+    if (out.hit) {
+      ++hits;
+      ++window_hits;
+    }
+    if (++window_count == window_requests) {
+      report.window_hit_ratio.push_back(static_cast<double>(window_hits) /
+                                        static_cast<double>(window_count));
+      window_hits = window_count = 0;
+    }
+    peak_meta = std::max(peak_meta, main_->metadata_bytes());
+  }
+  if (window_count > 0) {
+    report.window_hit_ratio.push_back(static_cast<double>(window_hits) /
+                                      static_cast<double>(window_count));
+  }
+
+  // Duration: wall-clock of the trace in normal mode; the busiest resource's
+  // busy time in max (throughput-bound) mode.
+  const double cores = static_cast<double>(config_.cpu_cores);
+  double duration;
+  if (mode == ReplayMode::kNormal) {
+    duration = std::max(trace.duration(), 1e-6);
+  } else {
+    duration = std::max({cpu_busy / cores, disk_busy, origin_busy, client_busy, 1e-6});
+  }
+
+  report.throughput_gbps = bytes_served * 8.0 / duration / 1e9;
+  report.peak_cpu_pct = 100.0 * cpu_busy / (cores * duration);
+  report.peak_mem_gb =
+      (static_cast<double>(peak_meta) + static_cast<double>(config_.ram_bytes)) / kGB;
+  report.p90_latency_ms = latency.quantile(0.90) * 1e3;
+  report.p99_latency_ms = latency.quantile(0.99) * 1e3;
+  report.avg_latency_ms = latency.mean() * 1e3;
+  report.traffic_gbps = wan_bytes * 8.0 / duration / 1e9;
+  report.content_hit_pct =
+      trace.empty() ? 0.0
+                    : 100.0 * static_cast<double>(hits) / static_cast<double>(trace.size());
+  return report;
+}
+
+}  // namespace lhr::server

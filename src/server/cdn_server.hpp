@@ -1,0 +1,110 @@
+// Emulated CDN caching server (the substitute for the paper's Apache
+// Traffic Server and Caffeine prototypes — §6, §7.2, Appendix A.3).
+//
+// Models the request path of §6.1:
+//   Step 1  index lookup (CPU cost = measured policy time + fixed overhead);
+//   Step 2  hit: serve from RAM or disk tier; stale contents are revalidated
+//           against the origin (extra RTT) and possibly re-fetched;
+//   Step 3  miss: fetch from origin, serve the user, admit into the cache.
+//
+// The disk tier emulates the flash abstraction layer the paper describes
+// ("reading offsets randomly and writing sequentially"): reads pay a seek,
+// writes are sequential-bandwidth-bound and asynchronous (they consume disk
+// time but not user latency). Setting `has_disk_tier = false` turns the
+// server into an in-memory cache à la Caffeine (Appendix A.3).
+//
+// Resource accounting mirrors Tables 2 and 4:
+//   * "max" replay: requests back-to-back; throughput is bound by the
+//     busiest resource (CPU, disk, origin or client link);
+//   * "normal" replay: original trace timestamps; latency percentiles and
+//     average traffic are measured against wall-clock duration.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "policies/lru.hpp"
+#include "sim/cache_policy.hpp"
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+
+namespace lhr::server {
+
+struct ServerConfig {
+  std::uint64_t ram_bytes = 1ULL << 30;  ///< memory tier ("kept unchanged", §6.1)
+  bool has_disk_tier = true;             ///< false = Caffeine-style in-memory cache
+
+  double disk_seek_s = 120e-6;     ///< random-offset read penalty
+  double disk_read_gbps = 20.0;
+  double disk_write_gbps = 8.0;
+  double origin_rtt_s = 0.060;
+  double origin_gbps = 2.0;
+  double client_gbps = 8.0;        ///< §7.3: 8 Gbps transmission rate
+  double ram_gbps = 100.0;
+
+  double freshness_ttl_s = 24 * 3600.0;   ///< contents older than this are stale
+  double revalidate_change_prob = 0.05;   ///< P(stale content actually changed)
+
+  double per_request_cpu_s = 4e-6;        ///< fixed server CPU per request
+  double cpu_per_byte_s = 0.4e-9;         ///< per-byte copy/checksum cost (~1 cycle/B)
+  int cpu_cores = 6;                       ///< matches the paper's i5-10400HQ class
+  std::uint64_t seed = 11;
+};
+
+enum class ReplayMode {
+  kNormal,  ///< original timestamps (latency-oriented, Table 2 "normal")
+  kMax,     ///< back-to-back (throughput-bound, Table 2 "max")
+};
+
+/// One row of Table 2 / Table 4.
+struct ServerReport {
+  std::string policy_name;
+  double throughput_gbps = 0.0;
+  double peak_cpu_pct = 0.0;
+  double peak_mem_gb = 0.0;
+  double p90_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double avg_latency_ms = 0.0;
+  double traffic_gbps = 0.0;     ///< WAN (origin-side) traffic rate
+  double content_hit_pct = 0.0;
+  /// Hit probability per window of `window_requests` (Figures 7/13).
+  std::vector<double> window_hit_ratio;
+};
+
+class CdnServer {
+ public:
+  /// Takes ownership of the main-tier policy (LRU for stock ATS; LhrCache
+  /// for the prototype; WTinyLfu for Caffeine).
+  CdnServer(std::unique_ptr<sim::CachePolicy> main_policy, const ServerConfig& config);
+
+  /// Replays a trace; the server's cache state persists across calls.
+  ServerReport replay(const trace::Trace& trace, ReplayMode mode,
+                      std::size_t window_requests = 50'000);
+
+  [[nodiscard]] const sim::CachePolicy& main_policy() const { return *main_; }
+
+ private:
+  struct RequestOutcome {
+    bool hit = false;
+    double user_latency_s = 0.0;
+    double cpu_s = 0.0;
+    double disk_s = 0.0;
+    double origin_s = 0.0;
+    double client_s = 0.0;
+    double wan_bytes = 0.0;
+  };
+
+  RequestOutcome process(const trace::Request& r);
+
+  ServerConfig config_;
+  std::unique_ptr<sim::CachePolicy> main_;
+  policy::Lru ram_;
+  std::unordered_map<trace::Key, trace::Time> admitted_at_;  // freshness clock
+  std::uint64_t rng_state_;
+  trace::Time now_ = 0.0;
+};
+
+}  // namespace lhr::server

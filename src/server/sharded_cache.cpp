@@ -1,0 +1,59 @@
+#include "server/sharded_cache.hpp"
+
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace lhr::server {
+
+ShardedCache::ShardedCache(std::size_t shards, std::uint64_t capacity_bytes,
+                           const PolicyFactory& factory)
+    : capacity_(capacity_bytes) {
+  if (shards == 0) throw std::invalid_argument("ShardedCache: need >= 1 shard");
+  if (!factory) throw std::invalid_argument("ShardedCache: null factory");
+  shards_.reserve(shards);
+  const std::uint64_t per_shard = capacity_bytes / shards;
+  if (per_shard == 0) throw std::invalid_argument("ShardedCache: capacity too small");
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->policy = factory(per_shard);
+    if (!shard->policy) throw std::invalid_argument("ShardedCache: factory returned null");
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::size_t ShardedCache::shard_of(trace::Key key) const noexcept {
+  return static_cast<std::size_t>(util::mix64(key)) % shards_.size();
+}
+
+bool ShardedCache::access(const trace::Request& r) {
+  Shard& shard = *shards_[shard_of(r.key)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.policy->access(r);
+}
+
+std::uint64_t ShardedCache::used_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->policy->used_bytes();
+  }
+  return total;
+}
+
+std::uint64_t ShardedCache::metadata_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->policy->metadata_bytes();
+  }
+  return total;
+}
+
+std::string ShardedCache::name() const {
+  const std::lock_guard<std::mutex> lock(shards_[0]->mutex);
+  return "Sharded(" + shards_[0]->policy->name() + ")x" +
+         std::to_string(shards_.size());
+}
+
+}  // namespace lhr::server

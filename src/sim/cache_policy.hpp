@@ -1,0 +1,100 @@
+// The cache-policy interface every algorithm in src/policies and src/core
+// implements, plus a small base class with the bookkeeping they all share.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "trace/request.hpp"
+
+namespace lhr::sim {
+
+/// A byte-capacity cache policy driven one request at a time.
+///
+/// The policy owns both decisions the paper separates (§1): *admission*
+/// (whether to cache a missed content) and *eviction* (whom to remove when
+/// full). `access` returns whether the request hit, and internally performs
+/// any admission/eviction.
+class CachePolicy {
+ public:
+  virtual ~CachePolicy() = default;
+
+  CachePolicy(const CachePolicy&) = delete;
+  CachePolicy& operator=(const CachePolicy&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Processes one request; returns true iff it was a cache hit.
+  virtual bool access(const trace::Request& r) = 0;
+
+  [[nodiscard]] virtual std::uint64_t used_bytes() const = 0;
+  [[nodiscard]] virtual std::uint64_t capacity_bytes() const = 0;
+
+  /// Bytes of auxiliary state (indexes, sketches, ML features/models).
+  /// The engine deducts this from the usable capacity so that algorithms
+  /// with heavy metadata do not get a free ride (paper §7.1 "Overhead").
+  [[nodiscard]] virtual std::uint64_t metadata_bytes() const { return 0; }
+
+  /// Shrinks/grows usable capacity (engine fairness accounting). Policies
+  /// must evict down to the new capacity lazily or eagerly.
+  virtual void set_capacity(std::uint64_t bytes) = 0;
+
+ protected:
+  CachePolicy() = default;
+};
+
+/// Shared bookkeeping: the key->size map, used/capacity counters, and the
+/// membership test. Concrete policies layer their replacement state on top.
+class CacheBase : public CachePolicy {
+ public:
+  explicit CacheBase(std::uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  [[nodiscard]] std::uint64_t used_bytes() const final { return used_; }
+  [[nodiscard]] std::uint64_t capacity_bytes() const final { return capacity_; }
+  void set_capacity(std::uint64_t bytes) override { capacity_ = bytes; }
+
+  [[nodiscard]] bool contains(trace::Key key) const { return sizes_.contains(key); }
+  [[nodiscard]] std::size_t object_count() const noexcept { return sizes_.size(); }
+
+ protected:
+  /// Records the object as cached. Caller must have made room first.
+  void store_object(trace::Key key, std::uint64_t size) {
+    auto [it, inserted] = sizes_.try_emplace(key, size);
+    if (inserted) {
+      used_ += size;
+    } else if (it->second != size) {
+      used_ += size - it->second;
+      it->second = size;
+    }
+  }
+
+  /// Removes the object; returns its size (0 if absent).
+  std::uint64_t remove_object(trace::Key key) {
+    const auto it = sizes_.find(key);
+    if (it == sizes_.end()) return 0;
+    const std::uint64_t size = it->second;
+    used_ -= size;
+    sizes_.erase(it);
+    return size;
+  }
+
+  [[nodiscard]] std::uint64_t object_size(trace::Key key) const {
+    const auto it = sizes_.find(key);
+    return it == sizes_.end() ? 0 : it->second;
+  }
+
+  /// True when an object of `size` can never fit (bigger than the cache).
+  [[nodiscard]] bool oversized(std::uint64_t size) const { return size > capacity_; }
+
+  const std::unordered_map<trace::Key, std::uint64_t>& cached_sizes() const {
+    return sizes_;
+  }
+
+ private:
+  std::unordered_map<trace::Key, std::uint64_t> sizes_;
+  std::uint64_t used_ = 0;
+  std::uint64_t capacity_;
+};
+
+}  // namespace lhr::sim

@@ -1,0 +1,57 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace lhr::sim {
+
+SimMetrics simulate(CachePolicy& policy, std::span<const trace::Request> requests,
+                    const SimOptions& options) {
+  SimMetrics m;
+  const std::uint64_t raw_capacity = policy.capacity_bytes();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  WindowPoint window;
+  std::size_t in_window = 0;
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const trace::Request& r = requests[i];
+    const bool hit = policy.access(r);
+
+    if (i >= options.warmup_requests) {
+      ++m.requests;
+      m.bytes_requested += static_cast<double>(r.size);
+      if (hit) {
+        ++m.hits;
+        m.bytes_hit += static_cast<double>(r.size);
+      }
+    }
+
+    ++window.requests;
+    window.bytes_requested += static_cast<double>(r.size);
+    if (hit) {
+      ++window.hits;
+      window.bytes_hit += static_cast<double>(r.size);
+    }
+    if (++in_window == options.window_requests) {
+      m.windows.push_back(window);
+      window = WindowPoint{};
+      in_window = 0;
+    }
+
+    if (options.deduct_metadata && options.capacity_adjust_interval > 0 &&
+        (i + 1) % options.capacity_adjust_interval == 0) {
+      const std::uint64_t meta = policy.metadata_bytes();
+      m.peak_metadata_bytes = std::max(m.peak_metadata_bytes, meta);
+      policy.set_capacity(meta >= raw_capacity ? 0 : raw_capacity - meta);
+    }
+  }
+  if (in_window > 0) m.windows.push_back(window);
+
+  m.peak_metadata_bytes = std::max(m.peak_metadata_bytes, policy.metadata_bytes());
+  m.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return m;
+}
+
+}  // namespace lhr::sim

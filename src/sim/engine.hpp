@@ -1,0 +1,38 @@
+// The trace-driven simulation engine.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "sim/cache_policy.hpp"
+#include "sim/metrics.hpp"
+#include "trace/request.hpp"
+#include "trace/trace.hpp"
+
+namespace lhr::sim {
+
+struct SimOptions {
+  /// Requests per time-series window (Figures 7/13).
+  std::size_t window_requests = 50'000;
+  /// Requests ignored by the aggregate counters (cold-start handling); the
+  /// per-window series still includes them.
+  std::size_t warmup_requests = 0;
+  /// When true, the engine periodically sets the policy's capacity to
+  /// (raw capacity - metadata_bytes), the fairness rule of §7.1.
+  bool deduct_metadata = true;
+  /// How often (in requests) the metadata deduction is refreshed.
+  std::size_t capacity_adjust_interval = 16'384;
+};
+
+/// Replays `requests` through `policy` and gathers metrics.
+/// The policy's initial capacity is treated as the raw cache size.
+[[nodiscard]] SimMetrics simulate(CachePolicy& policy,
+                                  std::span<const trace::Request> requests,
+                                  const SimOptions& options = {});
+
+[[nodiscard]] inline SimMetrics simulate(CachePolicy& policy, const trace::Trace& trace,
+                                         const SimOptions& options = {}) {
+  return simulate(policy, trace.requests(), options);
+}
+
+}  // namespace lhr::sim

@@ -1,0 +1,24 @@
+#include "sim/latency_model.hpp"
+
+namespace lhr::sim {
+
+double LatencyModel::latency_seconds(std::uint64_t size_bytes, bool hit,
+                                     double algo_seconds) const {
+  const double bits = static_cast<double>(size_bytes) * 8.0;
+  const double edge_transfer = bits / (config_.link_gbps * 1e9);
+  double latency = config_.edge_rtt_s + edge_transfer + algo_seconds;
+  if (!hit) {
+    // Miss path: origin round trip plus the slower origin-side transfer.
+    latency += config_.origin_rtt_s + bits / (config_.origin_gbps * 1e9);
+  }
+  return latency;
+}
+
+void LatencyModel::record(std::uint64_t size_bytes, bool hit, double algo_seconds) {
+  const double latency = latency_seconds(size_bytes, hit, algo_seconds);
+  hist_.add(latency);
+  bits_served_ += static_cast<double>(size_bytes) * 8.0;
+  busy_seconds_ += latency;
+}
+
+}  // namespace lhr::sim

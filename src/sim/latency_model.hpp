@@ -1,0 +1,53 @@
+// The idealized latency/throughput model of §7.3 and Table 3.
+//
+// The paper assumes: (a) an 8 Gbps transmission rate; (b) latency dominated
+// by distance (edge vs origin round trip) plus a size-proportional transfer
+// term; (c) the per-request running time of the caching algorithm adds to
+// latency. Throughput is the bits delivered per unit of busy time.
+#pragma once
+
+#include <cstdint>
+
+#include "util/stats.hpp"
+
+namespace lhr::sim {
+
+struct LatencyModelConfig {
+  double link_gbps = 8.0;        ///< §7.3(a): per-content transmission rate
+  double edge_rtt_s = 0.010;     ///< distance term for a hit
+  double origin_rtt_s = 0.060;   ///< distance term for a miss (origin fetch)
+  double origin_gbps = 2.0;      ///< origin-side bottleneck on misses
+};
+
+/// Accumulates per-request latency samples and derives the Table 3 metrics.
+class LatencyModel {
+ public:
+  explicit LatencyModel(const LatencyModelConfig& config = {}) : config_(config) {}
+
+  /// Records one request. `algo_seconds` is the measured compute time spent
+  /// by the caching algorithm on this request (paper: "We also take the
+  /// running time of the ML model into account").
+  void record(std::uint64_t size_bytes, bool hit, double algo_seconds);
+
+  [[nodiscard]] double latency_seconds(std::uint64_t size_bytes, bool hit,
+                                       double algo_seconds) const;
+
+  [[nodiscard]] double mean_latency_ms() const { return hist_.mean() * 1e3; }
+  [[nodiscard]] double p90_latency_ms() const { return hist_.quantile(0.90) * 1e3; }
+  [[nodiscard]] double p99_latency_ms() const { return hist_.quantile(0.99) * 1e3; }
+
+  /// Delivered bits / busy seconds, in Gbps.
+  [[nodiscard]] double throughput_gbps() const {
+    return busy_seconds_ > 0.0 ? (bits_served_ / busy_seconds_) / 1e9 : 0.0;
+  }
+
+  [[nodiscard]] std::uint64_t requests() const { return hist_.count(); }
+
+ private:
+  LatencyModelConfig config_;
+  util::QuantileHistogram hist_{1e-6, 1e4, 128};
+  double bits_served_ = 0.0;
+  double busy_seconds_ = 0.0;
+};
+
+}  // namespace lhr::sim

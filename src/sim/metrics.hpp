@@ -1,0 +1,44 @@
+// Simulation metrics: the quantities reported throughout the paper's
+// evaluation — object hit probability, byte hit ratio, WAN traffic, and
+// per-window time series (Figures 7/13 plot hit probability per window).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lhr::sim {
+
+struct WindowPoint {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  double bytes_requested = 0.0;
+  double bytes_hit = 0.0;
+
+  [[nodiscard]] double hit_ratio() const {
+    return requests ? static_cast<double>(hits) / static_cast<double>(requests) : 0.0;
+  }
+};
+
+struct SimMetrics {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  double bytes_requested = 0.0;
+  double bytes_hit = 0.0;
+  std::vector<WindowPoint> windows;  ///< fixed-request-count windows
+
+  double wall_seconds = 0.0;          ///< wall-clock of the simulation loop
+  std::uint64_t peak_metadata_bytes = 0;
+
+  /// "Content hit probability" in the paper's terminology.
+  [[nodiscard]] double object_hit_ratio() const {
+    return requests ? static_cast<double>(hits) / static_cast<double>(requests) : 0.0;
+  }
+  [[nodiscard]] double byte_hit_ratio() const {
+    return bytes_requested > 0.0 ? bytes_hit / bytes_requested : 0.0;
+  }
+  /// Bytes fetched from the origin over the WAN (the traffic the paper's
+  /// Figure 8 bottom row reports, normalized per unit time by callers).
+  [[nodiscard]] double wan_traffic_bytes() const { return bytes_requested - bytes_hit; }
+};
+
+}  // namespace lhr::sim

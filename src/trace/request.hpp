@@ -1,0 +1,27 @@
+// The request model shared by every layer of the system.
+//
+// All caching algorithms in this repository consume only (time, key, size):
+// the same triple the paper's production traces expose.
+#pragma once
+
+#include <cstdint>
+
+namespace lhr::trace {
+
+/// Seconds since trace start. Double precision keeps microsecond resolution
+/// over multi-week traces.
+using Time = double;
+
+/// Opaque content identifier (hash of the URL in a real CDN).
+using Key = std::uint64_t;
+
+/// A single content request.
+struct Request {
+  Time time = 0.0;
+  Key key = 0;
+  std::uint64_t size = 0;  ///< content size in bytes
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+}  // namespace lhr::trace

@@ -1,0 +1,105 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace lhr::trace {
+
+Time Trace::duration() const noexcept {
+  if (requests_.size() < 2) return 0.0;
+  return requests_.back().time - requests_.front().time;
+}
+
+bool Trace::is_time_ordered() const noexcept {
+  return std::is_sorted(requests_.begin(), requests_.end(),
+                        [](const Request& a, const Request& b) { return a.time < b.time; });
+}
+
+void Trace::sort_by_time() {
+  std::stable_sort(requests_.begin(), requests_.end(),
+                   [](const Request& a, const Request& b) { return a.time < b.time; });
+}
+
+namespace {
+
+// Splits `line` on whitespace and parses exactly three fields.
+// Returns false for blank/comment lines; throws for malformed ones.
+bool parse_line(std::string_view line, std::size_t line_no, Request& out) {
+  // Trim leading whitespace.
+  const auto first = line.find_first_not_of(" \t\r");
+  if (first == std::string_view::npos) return false;
+  line.remove_prefix(first);
+  if (line.front() == '#') return false;
+
+  const auto take_field = [&](std::string_view& rest) -> std::string_view {
+    const auto end = rest.find_first_of(" \t\r");
+    std::string_view field = rest.substr(0, end);
+    rest.remove_prefix(end == std::string_view::npos ? rest.size() : end);
+    const auto next = rest.find_first_not_of(" \t\r");
+    rest.remove_prefix(next == std::string_view::npos ? rest.size() : next);
+    return field;
+  };
+
+  std::string_view rest = line;
+  const std::string_view f_time = take_field(rest);
+  const std::string_view f_key = take_field(rest);
+  const std::string_view f_size = take_field(rest);
+  if (f_time.empty() || f_key.empty() || f_size.empty()) {
+    throw std::runtime_error("trace line " + std::to_string(line_no) +
+                             ": expected 'time key size'");
+  }
+
+  const auto parse_error = [line_no](std::string_view what) {
+    throw std::runtime_error("trace line " + std::to_string(line_no) + ": bad " +
+                             std::string(what));
+  };
+
+  double t = 0.0;
+  if (auto [p, ec] = std::from_chars(f_time.data(), f_time.data() + f_time.size(), t);
+      ec != std::errc{} || p != f_time.data() + f_time.size()) {
+    parse_error("time");
+  }
+  std::uint64_t key = 0;
+  if (auto [p, ec] = std::from_chars(f_key.data(), f_key.data() + f_key.size(), key);
+      ec != std::errc{} || p != f_key.data() + f_key.size()) {
+    parse_error("key");
+  }
+  std::uint64_t size = 0;
+  if (auto [p, ec] = std::from_chars(f_size.data(), f_size.data() + f_size.size(), size);
+      ec != std::errc{} || p != f_size.data() + f_size.size()) {
+    parse_error("size");
+  }
+  out = Request{t, key, size};
+  return true;
+}
+
+}  // namespace
+
+Trace read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+
+  Trace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  Request r;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (parse_line(line, line_no, r)) trace.push_back(r);
+  }
+  return trace;
+}
+
+void write_trace_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace file for writing: " + path);
+  for (const Request& r : trace) {
+    out << r.time << ' ' << r.key << ' ' << r.size << '\n';
+  }
+  if (!out) throw std::runtime_error("failed writing trace file: " + path);
+}
+
+}  // namespace lhr::trace

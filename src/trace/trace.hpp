@@ -1,0 +1,55 @@
+// Trace container and plain-text I/O.
+//
+// On-disk format is webcachesim-compatible: one request per line,
+// whitespace-separated "timestamp key size". This lets users replay public
+// traces (e.g. the Wikipedia CDN trace) through the simulator unchanged.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/request.hpp"
+
+namespace lhr::trace {
+
+/// An in-memory request trace, ordered by time.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<Request> requests) : requests_(std::move(requests)) {}
+
+  void push_back(const Request& r) { requests_.push_back(r); }
+  void reserve(std::size_t n) { requests_.reserve(n); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return requests_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return requests_.empty(); }
+  [[nodiscard]] const Request& operator[](std::size_t i) const noexcept { return requests_[i]; }
+
+  [[nodiscard]] std::span<const Request> requests() const noexcept { return requests_; }
+  [[nodiscard]] auto begin() const noexcept { return requests_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return requests_.end(); }
+
+  /// Duration between first and last request (0 for traces of < 2 requests).
+  [[nodiscard]] Time duration() const noexcept;
+
+  /// True iff request times are non-decreasing.
+  [[nodiscard]] bool is_time_ordered() const noexcept;
+
+  /// Stable-sorts requests by time (repairing an out-of-order trace file).
+  void sort_by_time();
+
+ private:
+  std::vector<Request> requests_;
+};
+
+/// Reads a whitespace-separated "time key size" trace file.
+/// Lines starting with '#' and blank lines are skipped.
+/// Throws std::runtime_error on unopenable files or malformed lines.
+[[nodiscard]] Trace read_trace_file(const std::string& path);
+
+/// Writes the trace in the same format. Throws std::runtime_error on failure.
+void write_trace_file(const Trace& trace, const std::string& path);
+
+}  // namespace lhr::trace

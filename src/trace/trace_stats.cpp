@@ -1,0 +1,143 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/least_squares.hpp"
+
+namespace lhr::trace {
+
+namespace {
+constexpr double kGB = 1024.0 * 1024.0 * 1024.0;
+constexpr double kTB = kGB * 1024.0;
+constexpr double kMB = 1024.0 * 1024.0;
+
+struct PerContent {
+  std::uint64_t count = 0;
+  std::uint64_t size = 0;
+  Time first = 0.0;
+  Time last = 0.0;
+};
+
+std::unordered_map<Key, PerContent> collect(const Trace& trace) {
+  std::unordered_map<Key, PerContent> per;
+  per.reserve(trace.size() / 2 + 1);
+  for (const Request& r : trace) {
+    auto [it, inserted] = per.try_emplace(r.key, PerContent{0, r.size, r.time, r.time});
+    ++it->second.count;
+    it->second.last = r.time;
+    it->second.size = r.size;  // latest size wins if the content changed
+  }
+  return per;
+}
+
+}  // namespace
+
+TraceSummary summarize(const Trace& trace) {
+  TraceSummary s;
+  if (trace.empty()) return s;
+
+  const auto per = collect(trace);
+  s.duration_hours = trace.duration() / 3600.0;
+  s.unique_contents = per.size();
+  s.total_requests = trace.size();
+
+  double total_bytes = 0.0;
+  for (const Request& r : trace) total_bytes += static_cast<double>(r.size);
+  s.total_bytes_requested_tb = total_bytes / kTB;
+
+  double unique_bytes = 0.0;
+  double max_size = 0.0;
+  std::uint64_t one_hit = 0;
+  for (const auto& [key, pc] : per) {
+    unique_bytes += static_cast<double>(pc.size);
+    max_size = std::max(max_size, static_cast<double>(pc.size));
+    if (pc.count == 1) ++one_hit;
+  }
+  s.unique_bytes_gb = unique_bytes / kGB;
+  s.mean_content_size_mb =
+      unique_bytes / static_cast<double>(per.size()) / kMB;
+  s.max_content_size_mb = max_size / kMB;
+  s.one_hit_wonder_fraction =
+      static_cast<double>(one_hit) / static_cast<double>(per.size());
+
+  // Peak active bytes: sweep +size at a content's first request and -size
+  // just after its last request (footnote 2 of the paper).
+  std::vector<std::pair<Time, double>> events;
+  events.reserve(per.size() * 2);
+  for (const auto& [key, pc] : per) {
+    events.emplace_back(pc.first, static_cast<double>(pc.size));
+    events.emplace_back(pc.last, -static_cast<double>(pc.size));
+  }
+  std::sort(events.begin(), events.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second > b.second;  // additions before removals at equal time
+  });
+  double active = 0.0, peak = 0.0;
+  for (const auto& [t, delta] : events) {
+    active += delta;
+    peak = std::max(peak, active);
+  }
+  s.peak_active_bytes_gb = peak / kGB;
+  return s;
+}
+
+std::vector<std::uint64_t> popularity_counts(const Trace& trace) {
+  std::unordered_map<Key, std::uint64_t> counts;
+  counts.reserve(trace.size() / 2 + 1);
+  for (const Request& r : trace) ++counts[r.key];
+  std::vector<std::uint64_t> result;
+  result.reserve(counts.size());
+  for (const auto& [key, c] : counts) result.push_back(c);
+  std::sort(result.begin(), result.end(), std::greater<>());
+  return result;
+}
+
+double fit_zipf_alpha(const std::vector<std::uint64_t>& counts, std::size_t max_rank) {
+  if (counts.size() < 2) return 0.0;
+  const std::size_t n =
+      (max_rank == 0) ? counts.size() : std::min(max_rank, counts.size());
+  std::vector<double> log_rank, log_count;
+  log_rank.reserve(n);
+  log_count.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (counts[i] == 0) break;
+    log_rank.push_back(std::log(static_cast<double>(i + 1)));
+    log_count.push_back(std::log(static_cast<double>(counts[i])));
+  }
+  const auto fit = util::fit_linear(log_rank, log_count);
+  return -fit.slope;  // log p_i = log A - alpha log i
+}
+
+std::vector<double> inter_request_times(const Trace& trace) {
+  std::unordered_map<Key, Time> last_seen;
+  last_seen.reserve(trace.size() / 2 + 1);
+  std::vector<double> irts;
+  irts.reserve(trace.size());
+  for (const Request& r : trace) {
+    auto [it, inserted] = last_seen.try_emplace(r.key, r.time);
+    if (!inserted) {
+      irts.push_back(r.time - it->second);
+      it->second = r.time;
+    }
+  }
+  return irts;
+}
+
+std::vector<double> empirical_cdf(std::vector<double> samples,
+                                  const std::vector<double>& points) {
+  std::sort(samples.begin(), samples.end());
+  std::vector<double> cdf;
+  cdf.reserve(points.size());
+  for (const double p : points) {
+    const auto it = std::upper_bound(samples.begin(), samples.end(), p);
+    cdf.push_back(samples.empty()
+                      ? 0.0
+                      : static_cast<double>(it - samples.begin()) /
+                            static_cast<double>(samples.size()));
+  }
+  return cdf;
+}
+
+}  // namespace lhr::trace

@@ -1,0 +1,46 @@
+// Trace characterization: the columns of Table 1 and the distributions of
+// Figure 1 (content popularity and inter-arrival times).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace lhr::trace {
+
+/// Summary statistics matching Table 1 of the paper.
+struct TraceSummary {
+  double duration_hours = 0.0;
+  std::uint64_t unique_contents = 0;
+  std::uint64_t total_requests = 0;
+  double total_bytes_requested_tb = 0.0;
+  double unique_bytes_gb = 0.0;
+  double peak_active_bytes_gb = 0.0;  ///< max over t of "active bytes" (footnote 2)
+  double mean_content_size_mb = 0.0;
+  double max_content_size_mb = 0.0;
+  double one_hit_wonder_fraction = 0.0;  ///< contents requested exactly once
+};
+
+[[nodiscard]] TraceSummary summarize(const Trace& trace);
+
+/// Rank/frequency pairs sorted by decreasing request count (Figure 1 left).
+/// `points[i]` is the request count of the (i+1)-th most popular content.
+[[nodiscard]] std::vector<std::uint64_t> popularity_counts(const Trace& trace);
+
+/// Fits a Zipf exponent alpha to the rank-frequency curve via least squares
+/// on log-log coordinates (the detection model of §5.2.2, applied offline).
+/// `max_rank` truncates the tail, which is standard practice because the tail
+/// of a finite trace departs from the power law.
+[[nodiscard]] double fit_zipf_alpha(const std::vector<std::uint64_t>& counts,
+                                    std::size_t max_rank = 0);
+
+/// All inter-request times across contents (Figure 1 right). The caller can
+/// histogram or CDF them as needed.
+[[nodiscard]] std::vector<double> inter_request_times(const Trace& trace);
+
+/// Empirical CDF evaluated at each of `points` over `samples`.
+[[nodiscard]] std::vector<double> empirical_cdf(std::vector<double> samples,
+                                                const std::vector<double>& points);
+
+}  // namespace lhr::trace

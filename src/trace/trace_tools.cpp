@@ -1,0 +1,65 @@
+#include "trace/trace_tools.hpp"
+
+#include <algorithm>
+
+#include "util/hash.hpp"
+
+namespace lhr::trace {
+
+Trace head(const Trace& trace, std::size_t n) {
+  Trace out;
+  const std::size_t count = std::min(n, trace.size());
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(trace[i]);
+  return out;
+}
+
+Trace time_slice(const Trace& trace, Time t_begin, Time t_end) {
+  Trace out;
+  for (const Request& r : trace) {
+    if (r.time >= t_begin && r.time < t_end) out.push_back(r);
+  }
+  return out;
+}
+
+Trace sample_keys(const Trace& trace, std::uint64_t rate, std::uint64_t seed) {
+  if (rate <= 1) return trace;
+  Trace out;
+  for (const Request& r : trace) {
+    if (util::mix64(r.key ^ seed) % rate == 0) out.push_back(r);
+  }
+  return out;
+}
+
+Trace merge(const std::vector<Trace>& traces) {
+  // Tag keys with the trace index in the top byte to keep key spaces apart.
+  std::vector<Request> all;
+  std::size_t total = 0;
+  for (const Trace& t : traces) total += t.size();
+  all.reserve(total);
+  for (std::size_t idx = 0; idx < traces.size(); ++idx) {
+    const std::uint64_t tag = static_cast<std::uint64_t>(idx + 1) << 56;
+    for (const Request& r : traces[idx]) {
+      all.push_back(Request{r.time, (r.key & 0x00ffffffffffffffULL) | tag, r.size});
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Request& a, const Request& b) { return a.time < b.time; });
+  return Trace{std::move(all)};
+}
+
+Trace rescale_time(const Trace& trace, Time new_duration) {
+  if (trace.size() < 2 || new_duration <= 0.0) return trace;
+  const Time t0 = trace[0].time;
+  const Time old_duration = trace.duration();
+  if (old_duration <= 0.0) return trace;
+  const double factor = new_duration / old_duration;
+  Trace out;
+  out.reserve(trace.size());
+  for (const Request& r : trace) {
+    out.push_back(Request{(r.time - t0) * factor, r.key, r.size});
+  }
+  return out;
+}
+
+}  // namespace lhr::trace

@@ -1,0 +1,32 @@
+// Trace manipulation utilities: slicing, sampling, merging — the everyday
+// operations for preparing workloads (e.g. taking a spatial sample of a
+// production trace, as trace publishers commonly do).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace lhr::trace {
+
+/// First `n` requests (the whole trace if shorter).
+[[nodiscard]] Trace head(const Trace& trace, std::size_t n);
+
+/// Requests in the time interval [t_begin, t_end).
+[[nodiscard]] Trace time_slice(const Trace& trace, Time t_begin, Time t_end);
+
+/// Spatial sampling: keeps every request whose *key* falls in the sampled
+/// 1-in-`rate` subset (all requests of a kept content are retained, so
+/// per-content statistics like IRTs survive — unlike request sampling).
+[[nodiscard]] Trace sample_keys(const Trace& trace, std::uint64_t rate,
+                                std::uint64_t seed = 0);
+
+/// Merges traces by timestamp (stable for ties). Key spaces are remapped
+/// with per-trace tags so contents from different traces never collide.
+[[nodiscard]] Trace merge(const std::vector<Trace>& traces);
+
+/// Rescales request timestamps so the trace spans `new_duration` seconds.
+[[nodiscard]] Trace rescale_time(const Trace& trace, Time new_duration);
+
+}  // namespace lhr::trace

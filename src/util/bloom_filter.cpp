@@ -1,0 +1,55 @@
+#include "util/bloom_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.hpp"
+
+namespace lhr::util {
+
+BloomFilter::BloomFilter(std::size_t expected_items, double false_positive_rate) {
+  expected_items = std::max<std::size_t>(expected_items, 1);
+  false_positive_rate = std::clamp(false_positive_rate, 1e-9, 0.5);
+  const double ln2 = std::log(2.0);
+  const double bits_per_item = -std::log(false_positive_rate) / (ln2 * ln2);
+  bit_count_ = std::max<std::size_t>(
+      64, static_cast<std::size_t>(std::ceil(bits_per_item * static_cast<double>(expected_items))));
+  hash_count_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(bits_per_item * ln2)));
+  bits_.assign((bit_count_ + 63) / 64, 0);
+}
+
+std::size_t BloomFilter::bit_index(std::uint64_t key, std::size_t i) const noexcept {
+  const auto [h1, h2] = hash_pair(key);
+  return static_cast<std::size_t>((h1 + i * h2) % bit_count_);
+}
+
+bool BloomFilter::insert(std::uint64_t key) {
+  bool all_set = true;
+  for (std::size_t i = 0; i < hash_count_; ++i) {
+    const std::size_t bit = bit_index(key, i);
+    std::uint64_t& word = bits_[bit >> 6];
+    const std::uint64_t mask = 1ULL << (bit & 63);
+    if ((word & mask) == 0) {
+      all_set = false;
+      word |= mask;
+    }
+  }
+  if (!all_set) ++inserted_;
+  return all_set;
+}
+
+bool BloomFilter::contains(std::uint64_t key) const {
+  for (std::size_t i = 0; i < hash_count_; ++i) {
+    const std::size_t bit = bit_index(key, i);
+    if ((bits_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::clear() {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  inserted_ = 0;
+}
+
+}  // namespace lhr::util

@@ -1,0 +1,49 @@
+// Bloom filter: the admission substrate for B-LRU (paper §6.2, footnote 6)
+// and the TinyLFU "doorkeeper".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lhr::util {
+
+/// Classic Bloom filter over 64-bit keys with double hashing.
+///
+/// B-LRU uses it to suppress one-hit wonders: a content is only admitted on
+/// its second occurrence within the filter's epoch. Periodic `clear()` bounds
+/// staleness.
+class BloomFilter {
+ public:
+  /// Sizes the filter for `expected_items` at `false_positive_rate`.
+  BloomFilter(std::size_t expected_items, double false_positive_rate);
+
+  /// Inserts a key. Returns true if the key was (probably) already present,
+  /// which is exactly the "seen before?" test admission filters need.
+  bool insert(std::uint64_t key);
+
+  /// Membership test without mutation.
+  [[nodiscard]] bool contains(std::uint64_t key) const;
+
+  /// Resets the filter to empty (starts a new epoch).
+  void clear();
+
+  [[nodiscard]] std::size_t bit_count() const noexcept { return bit_count_; }
+  [[nodiscard]] std::size_t hash_count() const noexcept { return hash_count_; }
+  [[nodiscard]] std::size_t inserted() const noexcept { return inserted_; }
+
+  /// Memory footprint in bytes (for the fairness accounting of §7.1).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return bits_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  [[nodiscard]] std::size_t bit_index(std::uint64_t key, std::size_t i) const noexcept;
+
+  std::size_t bit_count_;
+  std::size_t hash_count_;
+  std::size_t inserted_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace lhr::util

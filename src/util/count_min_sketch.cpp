@@ -1,0 +1,74 @@
+#include "util/count_min_sketch.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/hash.hpp"
+
+namespace lhr::util {
+
+namespace {
+constexpr std::uint64_t kNibbleMask = 0xfULL;
+}  // namespace
+
+CountMinSketch::CountMinSketch(std::size_t counters, std::uint64_t sample_size)
+    : sample_size_(std::max<std::uint64_t>(sample_size, 16)) {
+  counters = std::max<std::size_t>(counters, 16);
+  const std::size_t per_row = std::bit_ceil(counters);
+  mask_ = per_row - 1;
+  // 16 nibbles per 64-bit word.
+  table_.assign(kRows * (per_row + 15) / 16, 0);
+}
+
+std::size_t CountMinSketch::slot(std::uint64_t key, int row) const noexcept {
+  const std::uint64_t h = mix64(key ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(row) + 1)));
+  const std::size_t col = static_cast<std::size_t>(h) & mask_;
+  return static_cast<std::size_t>(row) * (mask_ + 1) + col;
+}
+
+std::uint32_t CountMinSketch::read_counter(std::size_t slot_index) const noexcept {
+  const std::uint64_t word = table_[slot_index >> 4];
+  const int shift = static_cast<int>((slot_index & 15) * 4);
+  return static_cast<std::uint32_t>((word >> shift) & kNibbleMask);
+}
+
+void CountMinSketch::increment(std::uint64_t key) {
+  // Conservative update: only bump counters equal to the current minimum,
+  // which tightens the overestimate.
+  std::uint32_t min_val = 15;
+  std::size_t slots[kRows];
+  for (int r = 0; r < kRows; ++r) {
+    slots[r] = slot(key, r);
+    min_val = std::min(min_val, read_counter(slots[r]));
+  }
+  if (min_val < 15) {
+    for (int r = 0; r < kRows; ++r) {
+      const std::size_t s = slots[r];
+      if (read_counter(s) == min_val) {
+        std::uint64_t& word = table_[s >> 4];
+        const int shift = static_cast<int>((s & 15) * 4);
+        word += 1ULL << shift;
+      }
+    }
+  }
+  if (++events_ >= sample_size_) age();
+}
+
+std::uint32_t CountMinSketch::estimate(std::uint64_t key) const {
+  std::uint32_t min_val = 15;
+  for (int r = 0; r < kRows; ++r) {
+    min_val = std::min(min_val, read_counter(slot(key, r)));
+  }
+  return min_val;
+}
+
+void CountMinSketch::age() {
+  // Halve each 4-bit counter in parallel within every word:
+  // (word >> 1) keeps the high bit of the neighbour out via the 0x7 mask.
+  for (std::uint64_t& word : table_) {
+    word = (word >> 1) & 0x7777777777777777ULL;
+  }
+  events_ = 0;
+}
+
+}  // namespace lhr::util

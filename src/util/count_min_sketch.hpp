@@ -1,0 +1,50 @@
+// Count-Min sketch with conservative update and periodic aging:
+// the frequency substrate behind TinyLFU / W-TinyLFU (Caffeine's baseline,
+// paper Appendix A.3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lhr::util {
+
+/// 4-bit-counter Count-Min sketch in the style of TinyLFU.
+///
+/// `increment` saturates at 15; when the total number of increments reaches
+/// `sample_size`, every counter is halved ("reset" aging), which keeps the
+/// sketch an estimate of *recent* frequency.
+class CountMinSketch {
+ public:
+  /// `counters` is rounded up to a power of two; typical sizing is the number
+  /// of cache entries × a small factor. `sample_size` controls the aging
+  /// period (TinyLFU uses 10× the cache's entry count).
+  CountMinSketch(std::size_t counters, std::uint64_t sample_size);
+
+  void increment(std::uint64_t key);
+
+  /// Estimated frequency in [0, 15] (min over rows).
+  [[nodiscard]] std::uint32_t estimate(std::uint64_t key) const;
+
+  /// Halve every counter; called automatically by increment() at the sample
+  /// boundary but exposed for tests.
+  void age();
+
+  [[nodiscard]] std::uint64_t increments_since_age() const noexcept { return events_; }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return table_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  static constexpr int kRows = 4;
+
+  [[nodiscard]] std::size_t slot(std::uint64_t key, int row) const noexcept;
+  [[nodiscard]] std::uint32_t read_counter(std::size_t slot_index) const noexcept;
+
+  std::size_t mask_;                 // counters per row - 1 (power of two)
+  std::uint64_t sample_size_;
+  std::uint64_t events_ = 0;
+  std::vector<std::uint64_t> table_;  // kRows rows of 4-bit counters packed 16/word
+};
+
+}  // namespace lhr::util

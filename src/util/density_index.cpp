@@ -1,0 +1,68 @@
+#include "util/density_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lhr::util {
+
+DensityIndex::DensityIndex(double min_density, double max_density,
+                           std::size_t buckets_per_decade)
+    : log_min_(std::log10(std::max(min_density, 1e-300))),
+      per_decade_(static_cast<double>(buckets_per_decade)) {
+  const double decades = std::log10(std::max(max_density, min_density * 10.0)) - log_min_;
+  bucket_count_ = static_cast<std::size_t>(std::ceil(decades * per_decade_)) + 2;
+  bytes_by_bucket_.resize_cleared(bucket_count_);
+}
+
+std::size_t DensityIndex::bucket_of(double density) const noexcept {
+  if (!(density > 0.0)) return 0;
+  const double pos = (std::log10(density) - log_min_) * per_decade_;
+  if (pos <= 0.0) return 0;
+  return std::min(static_cast<std::size_t>(pos) + 1, bucket_count_ - 1);
+}
+
+void DensityIndex::upsert(std::uint64_t id, double density, std::uint64_t bytes) {
+  const std::size_t bucket = bucket_of(density);
+  auto [it, inserted] = items_.try_emplace(id, Item{bucket, bytes});
+  if (!inserted) {
+    bytes_by_bucket_.add(it->second.bucket, ~it->second.bytes + 1);  // subtract (mod 2^64)
+    total_bytes_ -= it->second.bytes;
+    it->second = Item{bucket, bytes};
+  }
+  bytes_by_bucket_.add(bucket, bytes);
+  total_bytes_ += bytes;
+}
+
+void DensityIndex::erase(std::uint64_t id) {
+  const auto it = items_.find(id);
+  if (it == items_.end()) return;
+  bytes_by_bucket_.add(it->second.bucket, ~it->second.bytes + 1);
+  total_bytes_ -= it->second.bytes;
+  items_.erase(it);
+}
+
+std::uint64_t DensityIndex::bytes_above(double density) const {
+  const std::size_t bucket = bucket_of(density);
+  if (bucket >= bucket_count_ - 1) return 0;
+  // Buckets are ascending in density; strictly-above = (bucket, last].
+  return bytes_by_bucket_.range_sum(bucket + 1, bucket_count_ - 1);
+}
+
+bool DensityIndex::in_prefix(std::uint64_t id, std::uint64_t capacity_bytes) const {
+  const auto it = items_.find(id);
+  if (it == items_.end()) return false;
+  const std::size_t bucket = it->second.bucket;
+  std::uint64_t above = 0;
+  if (bucket + 1 <= bucket_count_ - 1) {
+    above = bytes_by_bucket_.range_sum(bucket + 1, bucket_count_ - 1);
+  }
+  return above < capacity_bytes;
+}
+
+std::size_t DensityIndex::memory_bytes() const noexcept {
+  // Fenwick array + hash-map nodes (approximate node footprint).
+  return bucket_count_ * sizeof(std::uint64_t) +
+         items_.size() * (sizeof(std::uint64_t) + sizeof(Item) + 2 * sizeof(void*));
+}
+
+}  // namespace lhr::util

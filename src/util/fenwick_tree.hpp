@@ -1,0 +1,73 @@
+// Fenwick (binary indexed) tree over an arithmetic type.
+//
+// Substrate for HRO's density index: prefix sums of bytes per density bucket,
+// plus a logarithmic "descend" search for the bucket where a running total
+// crosses a target (the fractional-knapsack boundary).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace lhr::util {
+
+template <typename T>
+class FenwickTree {
+ public:
+  explicit FenwickTree(std::size_t size = 0) : tree_(size + 1, T{}) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return tree_.size() - 1; }
+
+  void resize_cleared(std::size_t size) { tree_.assign(size + 1, T{}); }
+
+  /// Adds `delta` at 0-based index `i`.
+  void add(std::size_t i, T delta) {
+    assert(i < size());
+    for (std::size_t j = i + 1; j < tree_.size(); j += j & (~j + 1)) {
+      tree_[j] += delta;
+    }
+  }
+
+  /// Sum of elements [0, i] (0-based, inclusive).
+  [[nodiscard]] T prefix_sum(std::size_t i) const {
+    assert(i < size());
+    T sum{};
+    for (std::size_t j = i + 1; j > 0; j -= j & (~j + 1)) sum += tree_[j];
+    return sum;
+  }
+
+  /// Sum of all elements.
+  [[nodiscard]] T total() const {
+    return size() == 0 ? T{} : prefix_sum(size() - 1);
+  }
+
+  /// Sum of elements [lo, hi] inclusive.
+  [[nodiscard]] T range_sum(std::size_t lo, std::size_t hi) const {
+    assert(lo <= hi && hi < size());
+    const T upper = prefix_sum(hi);
+    return lo == 0 ? upper : upper - prefix_sum(lo - 1);
+  }
+
+  /// Smallest 0-based index `i` such that prefix_sum(i) >= target, or size()
+  /// if the total is below target. Requires all elements non-negative.
+  [[nodiscard]] std::size_t lower_bound(T target) const {
+    if (target <= T{}) return 0;
+    std::size_t pos = 0;
+    std::size_t step = 1;
+    while (step * 2 <= size()) step *= 2;
+    T acc{};
+    for (; step > 0; step /= 2) {
+      const std::size_t next = pos + step;
+      if (next < tree_.size() && acc + tree_[next] < target) {
+        pos = next;
+        acc += tree_[next];
+      }
+    }
+    return pos;  // 0-based index where the crossing happens
+  }
+
+ private:
+  std::vector<T> tree_;
+};
+
+}  // namespace lhr::util

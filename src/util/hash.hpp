@@ -1,0 +1,42 @@
+// Non-cryptographic hashing used by the sketch/filter substrates.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace lhr::util {
+
+/// 64-bit FNV-1a over arbitrary bytes. Stable across platforms.
+constexpr std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Strong 64-bit integer mixer (final stage of MurmurHash3 / SplitMix).
+/// Used to derive independent hash functions h_i(x) = mix(x ^ seed_i).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Two independent hashes for double hashing: h_i = h1 + i * h2.
+struct HashPair {
+  std::uint64_t h1;
+  std::uint64_t h2;
+};
+
+constexpr HashPair hash_pair(std::uint64_t key) noexcept {
+  const std::uint64_t a = mix64(key ^ 0x9e3779b97f4a7c15ULL);
+  const std::uint64_t b = mix64(key + 0x6a09e667f3bcc909ULL) | 1ULL;  // odd => coprime stride
+  return {a, b};
+}
+
+}  // namespace lhr::util

@@ -1,0 +1,23 @@
+// Ordinary least squares for a simple linear model y = a + b x.
+//
+// This is the O(N) "LSM" of paper §5.2.2: fitting log(count) = log A - α log(rank)
+// to estimate the Zipf exponent α per sliding window.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace lhr::util {
+
+struct LinearFit {
+  double intercept = 0.0;  ///< a
+  double slope = 0.0;      ///< b
+  double r2 = 0.0;         ///< coefficient of determination
+  std::size_t n = 0;
+};
+
+/// Fits y = a + b x by ordinary least squares. Returns a zero fit when
+/// fewer than two points or when x is degenerate (zero variance).
+[[nodiscard]] LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+}  // namespace lhr::util

@@ -1,0 +1,76 @@
+// Deterministic, fast pseudo-random number generation for simulations.
+//
+// All stochastic components in this repository (workload generators, sampled
+// eviction, subsampled training) draw from SplitMix64/Xoshiro256** so that
+// every experiment is reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace lhr::util {
+
+/// SplitMix64: used to seed Xoshiro and as a standalone mixer.
+/// Reference: Steele, Lea, Flood. "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Xoshiro256**: general-purpose 64-bit generator with 2^256-1 period.
+/// Satisfies the C++ UniformRandomBitGenerator requirements so it can be
+/// used with <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method,
+  /// simplified: acceptable bias < 2^-64 for simulation purposes).
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    const auto x = (*this)();
+    const auto hi =
+        static_cast<std::uint64_t>((static_cast<unsigned __int128>(x) * bound) >> 64);
+    return hi;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace lhr::util

@@ -1,0 +1,78 @@
+// Segment tree with range-add / range-max over a fixed-size array.
+//
+// Substrate for the PFOO-U style achievable offline schedule (opt/pfoo_u):
+// admitting a reuse interval [i, j) adds `size` bytes to every time slot in
+// the interval, and feasibility is "range max + size <= capacity".
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lhr::util {
+
+/// Lazy-propagation segment tree: range add, range max, O(log n) each.
+template <typename T>
+class SegmentTree {
+ public:
+  explicit SegmentTree(std::size_t size)
+      : size_(std::max<std::size_t>(size, 1)),
+        max_(4 * size_, T{}),
+        lazy_(4 * size_, T{}) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Adds `delta` to every element in [lo, hi] (inclusive, 0-based).
+  void range_add(std::size_t lo, std::size_t hi, T delta) {
+    assert(lo <= hi && hi < size_);
+    add(1, 0, size_ - 1, lo, hi, delta);
+  }
+
+  /// Maximum over [lo, hi] (inclusive).
+  [[nodiscard]] T range_max(std::size_t lo, std::size_t hi) const {
+    assert(lo <= hi && hi < size_);
+    return query(1, 0, size_ - 1, lo, hi);
+  }
+
+  [[nodiscard]] T global_max() const { return max_[1] + lazy_[1]; }
+
+ private:
+  void add(std::size_t node, std::size_t node_lo, std::size_t node_hi, std::size_t lo,
+           std::size_t hi, T delta) {
+    if (hi < node_lo || node_hi < lo) return;
+    if (lo <= node_lo && node_hi <= hi) {
+      lazy_[node] += delta;
+      return;
+    }
+    const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
+    add(2 * node, node_lo, mid, lo, hi, delta);
+    add(2 * node + 1, mid + 1, node_hi, lo, hi, delta);
+    max_[node] = std::max(max_[2 * node] + lazy_[2 * node],
+                          max_[2 * node + 1] + lazy_[2 * node + 1]);
+  }
+
+  [[nodiscard]] T query(std::size_t node, std::size_t node_lo, std::size_t node_hi,
+                        std::size_t lo, std::size_t hi) const {
+    if (lo <= node_lo && node_hi <= hi) return max_[node] + lazy_[node];
+    const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
+    T result{};
+    bool any = false;
+    if (lo <= mid) {
+      result = query(2 * node, node_lo, mid, lo, hi);
+      any = true;
+    }
+    if (hi > mid) {
+      const T right = query(2 * node + 1, mid + 1, node_hi, lo, hi);
+      result = any ? std::max(result, right) : right;
+    }
+    return result + lazy_[node];
+  }
+
+  std::size_t size_;
+  std::vector<T> max_;          // max of subtree, *excluding* own pending lazy
+  std::vector<T> lazy_;         // pending add for entire subtree
+};
+
+}  // namespace lhr::util

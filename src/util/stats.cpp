@@ -1,0 +1,84 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lhr::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+QuantileHistogram::QuantileHistogram(double min_value, double max_value,
+                                     std::size_t buckets_per_decade) {
+  min_value = std::max(min_value, 1e-30);
+  max_value = std::max(max_value, min_value * 10.0);
+  log_min_ = std::log10(min_value);
+  log_step_ = 1.0 / static_cast<double>(buckets_per_decade);
+  inv_log_step_ = static_cast<double>(buckets_per_decade);
+  const double decades = std::log10(max_value) - log_min_;
+  counts_.assign(static_cast<std::size_t>(std::ceil(decades * inv_log_step_)) + 2, 0);
+}
+
+std::size_t QuantileHistogram::bucket_of(double value) const noexcept {
+  if (!(value > 0.0)) return 0;
+  const double pos = (std::log10(value) - log_min_) * inv_log_step_;
+  if (pos <= 0.0) return 0;
+  const auto b = static_cast<std::size_t>(pos) + 1;
+  return std::min(b, counts_.size() - 1);
+}
+
+double QuantileHistogram::bucket_upper_edge(std::size_t b) const noexcept {
+  return std::pow(10.0, log_min_ + static_cast<double>(b) * log_step_);
+}
+
+void QuantileHistogram::add(double value) noexcept {
+  ++counts_[bucket_of(value)];
+  ++total_;
+  sum_ += value;
+}
+
+double QuantileHistogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t acc = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    acc += counts_[b];
+    if (acc >= target && counts_[b] > 0) return bucket_upper_edge(b);
+  }
+  return bucket_upper_edge(counts_.size() - 1);
+}
+
+void QuantileHistogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  sum_ = 0.0;
+}
+
+double exact_percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double raw = std::ceil(q * static_cast<double>(values.size())) - 1.0;
+  const double clamped = std::clamp(raw, 0.0, static_cast<double>(values.size() - 1));
+  return values[static_cast<std::size_t>(clamped)];
+}
+
+}  // namespace lhr::util

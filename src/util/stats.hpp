@@ -1,0 +1,72 @@
+// Streaming statistics substrates: running moments and a log-bucketed
+// percentile histogram (used for the latency P90/P99 rows of Tables 2-4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lhr::util {
+
+/// Welford running mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  // population variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  void reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Log-bucketed histogram over positive values; approximate quantiles with
+/// bounded relative error (~2% with the default 128 buckets/decade).
+///
+/// Chosen over an exact sorted-sample approach because the server emulator
+/// records one latency sample per request (millions), and over P² because we
+/// need several quantiles from one pass.
+class QuantileHistogram {
+ public:
+  /// Values below `min_value` are clamped into the first bucket.
+  explicit QuantileHistogram(double min_value = 1e-9, double max_value = 1e9,
+                             std::size_t buckets_per_decade = 128);
+
+  void add(double value) noexcept;
+
+  /// q in [0,1]; returns an upper-edge estimate of the q-quantile.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return total_; }
+  [[nodiscard]] double mean() const noexcept { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
+
+  void reset() noexcept;
+
+ private:
+  [[nodiscard]] std::size_t bucket_of(double value) const noexcept;
+  [[nodiscard]] double bucket_upper_edge(std::size_t b) const noexcept;
+
+  double log_min_;
+  double inv_log_step_;
+  double log_step_;
+  std::vector<std::uint64_t> counts_;
+  std::size_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Exact percentile of a sample (copies & sorts; for tests and small vectors).
+[[nodiscard]] double exact_percentile(std::vector<double> values, double q);
+
+}  // namespace lhr::util

@@ -1,0 +1,205 @@
+// Tests for the analytic substrates: trace tools, Mattson byte-weighted
+// stack distances / miss-ratio curves, and the Che approximation — plus the
+// LHR model-persistence and byte-hit extensions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/lhr_cache.hpp"
+#include "gen/cdn_model.hpp"
+#include "gen/zipf.hpp"
+#include "opt/mrc.hpp"
+#include "policies/lru.hpp"
+#include "sim/engine.hpp"
+#include "trace/trace_tools.hpp"
+#include "util/rng.hpp"
+
+namespace lhr {
+namespace {
+
+// ------------------------------------------------------------ trace tools
+
+trace::Trace tiny() {
+  return trace::Trace{{{0.0, 1, 10}, {1.0, 2, 20}, {2.0, 3, 30}, {3.0, 1, 10},
+                       {4.0, 2, 20}}};
+}
+
+TEST(TraceTools, Head) {
+  const auto h = trace::head(tiny(), 3);
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h[2].key, 3u);
+  EXPECT_EQ(trace::head(tiny(), 99).size(), 5u);
+}
+
+TEST(TraceTools, TimeSlice) {
+  const auto s = trace::time_slice(tiny(), 1.0, 3.0);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].key, 2u);
+  EXPECT_EQ(s[1].key, 3u);
+}
+
+TEST(TraceTools, SampleKeysKeepsAllRequestsOfKeptContents) {
+  const auto t = gen::make_trace(gen::TraceClass::kCdnA, 20'000, 1);
+  const auto sampled = trace::sample_keys(t, 4, 7);
+  EXPECT_LT(sampled.size(), t.size());
+  EXPECT_GT(sampled.size(), t.size() / 16);  // roughly 1/4 of keys
+  // Per-content request counts must be preserved for sampled keys.
+  std::unordered_map<trace::Key, int> full_counts, sampled_counts;
+  for (const auto& r : t) ++full_counts[r.key];
+  for (const auto& r : sampled) ++sampled_counts[r.key];
+  for (const auto& [key, count] : sampled_counts) {
+    ASSERT_EQ(count, full_counts.at(key));
+  }
+}
+
+TEST(TraceTools, SampleRateOneIsIdentity) {
+  const auto t = tiny();
+  EXPECT_EQ(trace::sample_keys(t, 1).size(), t.size());
+}
+
+TEST(TraceTools, MergeInterleavesByTimeAndSeparatesKeySpaces) {
+  trace::Trace a{{{0.0, 5, 10}, {2.0, 5, 10}}};
+  trace::Trace b{{{1.0, 5, 20}, {3.0, 5, 20}}};
+  const auto merged = trace::merge({a, b});
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_TRUE(merged.is_time_ordered());
+  // Key 5 from trace a and key 5 from trace b must not collide.
+  EXPECT_NE(merged[0].key, merged[1].key);
+  EXPECT_EQ(merged[0].key, merged[2].key);
+}
+
+TEST(TraceTools, RescaleTime) {
+  const auto r = trace::rescale_time(tiny(), 8.0);
+  EXPECT_NEAR(r.duration(), 8.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r[0].time, 0.0);
+}
+
+// ------------------------------------------------- stack distances / MRC
+
+TEST(StackDistances, HandComputed) {
+  // 1(10) 2(20) 3(30) 1(10) 2(20):
+  //   request 3 (key 1): touched 2,3 since -> 50
+  //   request 4 (key 2): touched 3,1 since -> 40
+  const auto d = opt::lru_stack_distances(tiny().requests());
+  EXPECT_EQ(d[0], opt::kInfiniteDistance);
+  EXPECT_EQ(d[1], opt::kInfiniteDistance);
+  EXPECT_EQ(d[2], opt::kInfiniteDistance);
+  EXPECT_DOUBLE_EQ(d[3], 50.0);
+  EXPECT_DOUBLE_EQ(d[4], 40.0);
+}
+
+TEST(StackDistances, RepeatedKeyHasZeroDistance) {
+  trace::Trace t{{{0.0, 1, 10}, {1.0, 1, 10}, {2.0, 1, 10}}};
+  const auto d = opt::lru_stack_distances(t.requests());
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_DOUBLE_EQ(d[2], 0.0);
+}
+
+TEST(Mrc, MatchesSimulatedLru) {
+  // The headline property: the Mattson curve equals byte-LRU simulation.
+  const auto t = gen::make_trace(gen::TraceClass::kCdnC, 30'000, 5);
+  std::vector<std::uint64_t> capacities = {8ULL << 30, 32ULL << 30, 128ULL << 30};
+  const auto curve = opt::lru_miss_ratio_curve(t.requests(), capacities);
+  for (std::size_t c = 0; c < capacities.size(); ++c) {
+    policy::Lru lru(capacities[c]);
+    const double simulated = sim::simulate(lru, t).object_hit_ratio();
+    EXPECT_NEAR(curve[c], simulated, 0.02) << "capacity index " << c;
+  }
+}
+
+TEST(Mrc, MonotoneInCapacity) {
+  const auto t = gen::make_trace(gen::TraceClass::kCdnA, 20'000, 6);
+  std::vector<std::uint64_t> capacities;
+  for (int i = 0; i < 8; ++i) capacities.push_back(1ULL << (28 + i));
+  const auto curve = opt::lru_miss_ratio_curve(t.requests(), capacities);
+  for (std::size_t c = 1; c < curve.size(); ++c) EXPECT_GE(curve[c], curve[c - 1]);
+}
+
+TEST(Che, ApproximatesLruOnIrmTraffic) {
+  // On stationary Zipf/Poisson traffic the characteristic-time formula must
+  // land within a few points of simulation (its classic accuracy regime).
+  gen::ZipfSampler zipf(2'000, 0.8);
+  util::Xoshiro256 rng(8);
+  trace::Trace t;
+  double time = 0.0;
+  for (int i = 0; i < 100'000; ++i) {
+    time += -std::log(std::max(rng.next_double(), 1e-12));
+    t.push_back({time, zipf.sample(rng), 1'000});
+  }
+  const std::uint64_t capacity = 300'000;  // 300 of 2000 objects
+  const double analytic = opt::che_lru_hit_ratio(t.requests(), capacity);
+  policy::Lru lru(capacity);
+  const double simulated = sim::simulate(lru, t).object_hit_ratio();
+  EXPECT_NEAR(analytic, simulated, 0.04);
+}
+
+TEST(Che, HugeCacheHitsEveryReRequest) {
+  trace::Trace t{{{0.0, 1, 10}, {1.0, 1, 10}, {2.0, 2, 10}, {3.0, 2, 10}}};
+  EXPECT_NEAR(opt::che_lru_hit_ratio(t.requests(), 1ULL << 40), 0.5, 1e-9);
+}
+
+// ------------------------------------------------- LHR persistence & bytes
+
+core::LhrConfig small_lhr_config() {
+  core::LhrConfig cfg;
+  cfg.gbdt.num_trees = 8;
+  cfg.min_train_samples = 64;
+  return cfg;
+}
+
+trace::Trace zipf_trace(std::size_t n, std::uint64_t seed) {
+  gen::ZipfSampler zipf(2'000, 0.9);
+  util::Xoshiro256 rng(seed);
+  trace::Trace t;
+  for (std::size_t i = 0; i < n; ++i) {
+    t.push_back({i * 0.1, zipf.sample(rng), 1'000});
+  }
+  return t;
+}
+
+TEST(LhrPersistence, WarmStartSkipsBootstrap) {
+  const auto t = zipf_trace(40'000, 9);
+  core::LhrCache first(50'000, small_lhr_config());
+  (void)sim::simulate(first, t);
+  ASSERT_TRUE(first.model_trained());
+
+  std::stringstream buffer;
+  first.save_model(buffer);
+
+  core::LhrCache second(50'000, small_lhr_config());
+  EXPECT_FALSE(second.model_trained());
+  second.load_model(buffer);
+  EXPECT_TRUE(second.model_trained());
+  EXPECT_NEAR(second.threshold(), first.threshold(), 1e-12);
+
+  // The warm-started cache still works end to end.
+  const auto metrics = sim::simulate(second, t);
+  EXPECT_GT(metrics.object_hit_ratio(), 0.0);
+}
+
+TEST(LhrPersistence, SaveUntrainedThrows) {
+  core::LhrCache cache(50'000, small_lhr_config());
+  std::stringstream buffer;
+  EXPECT_THROW(cache.save_model(buffer), std::runtime_error);
+}
+
+TEST(LhrPersistence, LoadGarbageThrows) {
+  core::LhrCache cache(50'000, small_lhr_config());
+  std::stringstream bad("bogus");
+  EXPECT_THROW(cache.load_model(bad), std::runtime_error);
+}
+
+TEST(LhrByteHit, ByteWeightedVariantRuns) {
+  core::LhrConfig cfg = small_lhr_config();
+  cfg.optimize_byte_hit = true;
+  core::LhrCache cache(50'000, cfg);
+  const auto t = gen::make_trace(gen::TraceClass::kCdnA, 15'000, 10);
+  const auto metrics = sim::simulate(cache, t);
+  EXPECT_GT(metrics.requests, 0u);
+  EXPECT_GE(cache.threshold(), 0.0);
+  EXPECT_LE(cache.threshold(), 1.0);
+}
+
+}  // namespace
+}  // namespace lhr

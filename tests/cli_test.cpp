@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cli.hpp"
+
+namespace lhr::core {
+namespace {
+
+std::optional<CliOptions> parse(std::vector<const char*> args, std::string& error) {
+  args.insert(args.begin(), "lhr_sim");
+  return parse_cli(static_cast<int>(args.size()), args.data(), error);
+}
+
+TEST(Cli, Defaults) {
+  std::string error;
+  const auto options = parse({}, error);
+  ASSERT_TRUE(options.has_value()) << error;
+  EXPECT_EQ(options->policies, (std::vector<std::string>{"LRU", "LHR"}));
+  EXPECT_EQ(options->capacities_gb, std::vector<double>{64.0});
+  EXPECT_EQ(options->synthetic, "cdn-a");
+  EXPECT_FALSE(options->csv);
+}
+
+TEST(Cli, ParsesLists) {
+  std::string error;
+  const auto options =
+      parse({"--policy", "LRU,LHR,ARC", "--capacity-gb", "1,2.5,16"}, error);
+  ASSERT_TRUE(options.has_value()) << error;
+  EXPECT_EQ(options->policies.size(), 3u);
+  EXPECT_EQ(options->policies[2], "ARC");
+  ASSERT_EQ(options->capacities_gb.size(), 3u);
+  EXPECT_DOUBLE_EQ(options->capacities_gb[1], 2.5);
+}
+
+TEST(Cli, HelpSignalsEmptyPolicies) {
+  std::string error;
+  const auto options = parse({"--help"}, error);
+  ASSERT_TRUE(options.has_value());
+  EXPECT_TRUE(options->policies.empty());
+  EXPECT_FALSE(cli_usage().empty());
+}
+
+TEST(Cli, RejectsBadInput) {
+  std::string error;
+  EXPECT_FALSE(parse({"--bogus"}, error).has_value());
+  EXPECT_FALSE(parse({"--policy"}, error).has_value());        // missing value
+  EXPECT_FALSE(parse({"--capacity-gb", "abc"}, error).has_value());
+  EXPECT_FALSE(parse({"--capacity-gb", "-4"}, error).has_value());
+  EXPECT_FALSE(parse({"--requests", "0"}, error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Cli, RunsSyntheticMatrix) {
+  CliOptions options;
+  options.policies = {"LRU", "B-LRU"};
+  options.capacities_gb = {1.0, 4.0};
+  options.synthetic = "wiki";
+  options.requests = 5'000;
+  const auto results = run_cli(options);
+  ASSERT_EQ(results.size(), 4u);  // 2 policies x 2 capacities
+  for (const auto& r : results) {
+    EXPECT_EQ(r.metrics.requests, 5'000u);
+  }
+  // Bigger cache never hurts LRU.
+  EXPECT_GE(results[1].metrics.object_hit_ratio(),
+            results[0].metrics.object_hit_ratio());
+}
+
+TEST(Cli, UnknownPolicyThrows) {
+  CliOptions options;
+  options.policies = {"NoSuchPolicy"};
+  options.capacities_gb = {1.0};
+  options.synthetic = "cdn-a";
+  options.requests = 1'000;
+  EXPECT_THROW((void)run_cli(options), std::invalid_argument);
+}
+
+TEST(Cli, UnknownSyntheticThrows) {
+  CliOptions options;
+  options.policies = {"LRU"};
+  options.capacities_gb = {1.0};
+  options.synthetic = "martian";
+  EXPECT_THROW((void)run_cli(options), std::invalid_argument);
+}
+
+TEST(Cli, CsvFormatHasHeaderAndRows) {
+  CliOptions options;
+  options.policies = {"LRU"};
+  options.capacities_gb = {1.0};
+  options.synthetic = "cdn-c";
+  options.requests = 2'000;
+  const auto results = run_cli(options);
+  const auto csv = format_results(results, true);
+  EXPECT_NE(csv.find("policy,capacity_gb"), std::string::npos);
+  EXPECT_NE(csv.find("LRU,1"), std::string::npos);
+  // One header + one row.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+
+  const auto table = format_results(results, false);
+  EXPECT_NE(table.find("hit(%)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lhr::core

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_set>
+
+#include "core/lhr_cache.hpp"
+#include "core/policy_factory.hpp"
+#include "gen/cdn_model.hpp"
+#include "gen/markov_modulated.hpp"
+#include "gen/zipf.hpp"
+#include "policies/lru.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::core {
+namespace {
+
+/// Small LHR configuration for fast tests: small caches roll windows often.
+LhrConfig test_config() {
+  LhrConfig cfg;
+  cfg.gbdt.num_trees = 10;
+  cfg.gbdt.max_depth = 4;
+  cfg.max_train_samples = 10'000;
+  cfg.min_train_samples = 64;  // test windows are tiny
+  return cfg;
+}
+
+trace::Trace zipf_trace(std::size_t n, std::size_t contents, double alpha,
+                        std::uint64_t obj_size, std::uint64_t seed) {
+  gen::ZipfSampler zipf(contents, alpha);
+  util::Xoshiro256 rng(seed);
+  trace::Trace t;
+  double time = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    time += 0.1;
+    t.push_back({time, zipf.sample(rng), obj_size});
+  }
+  return t;
+}
+
+TEST(LhrCache, NamesReflectAblations) {
+  EXPECT_EQ(make_policy("LHR", 1 << 20)->name(), "LHR");
+  EXPECT_EQ(make_policy("D-LHR", 1 << 20)->name(), "D-LHR");
+  EXPECT_EQ(make_policy("N-LHR", 1 << 20)->name(), "N-LHR");
+}
+
+TEST(LhrCache, CapacityInvariant) {
+  LhrCache lhr(100'000, test_config());
+  const auto t = zipf_trace(30'000, 2'000, 0.9, 1'000, 1);
+  for (const auto& r : t) {
+    lhr.access(r);
+    ASSERT_LE(lhr.used_bytes(), lhr.capacity_bytes());
+  }
+}
+
+TEST(LhrCache, TrainsAfterFirstWindow) {
+  LhrCache lhr(50'000, test_config());
+  // Window = 4 x 50k = 200k unique bytes = 200 contents of 1000 B; a 2000-
+  // content population crosses several windows within 30k requests.
+  const auto t = zipf_trace(30'000, 2'000, 0.9, 1'000, 2);
+  for (const auto& r : t) lhr.access(r);
+  EXPECT_GT(lhr.windows_seen(), 1u);
+  EXPECT_TRUE(lhr.model_trained());
+  EXPECT_GT(lhr.trainings(), 0u);
+  EXPECT_GT(lhr.training_seconds(), 0.0);
+}
+
+TEST(LhrCache, ThresholdStaysInUnitInterval) {
+  LhrCache lhr(50'000, test_config());
+  const auto t = gen::make_trace(gen::TraceClass::kCdnA, 20'000, 3);
+  for (const auto& r : t) {
+    lhr.access(r);
+    ASSERT_GE(lhr.threshold(), 0.0);
+    ASSERT_LE(lhr.threshold(), 1.0);
+  }
+}
+
+TEST(LhrCache, DLhrThresholdNeverMoves) {
+  LhrConfig cfg = test_config();
+  cfg.enable_threshold_estimation = false;
+  LhrCache dlhr(50'000, cfg);
+  const auto t = zipf_trace(40'000, 2'000, 1.0, 1'000, 4);
+  for (const auto& r : t) {
+    dlhr.access(r);
+    ASSERT_DOUBLE_EQ(dlhr.threshold(), 0.5);
+  }
+}
+
+TEST(LhrCache, DetectionReducesTrainings) {
+  // On a stationary workload the detector should skip most retrainings,
+  // while N-LHR retrains every window (the §7.4.2 claim).
+  LhrConfig with_detection = test_config();
+  LhrConfig without = test_config();
+  without.enable_detection = false;
+  without.enable_threshold_estimation = false;
+
+  LhrCache lhr(30'000, with_detection);
+  LhrCache nlhr(30'000, without);
+  const auto t = zipf_trace(60'000, 3'000, 0.9, 1'000, 5);
+  for (const auto& r : t) {
+    lhr.access(r);
+    nlhr.access(r);
+  }
+  ASSERT_GT(nlhr.windows_seen(), 3u);
+  EXPECT_EQ(nlhr.trainings(), nlhr.windows_seen());
+  EXPECT_LT(lhr.trainings(), nlhr.trainings());
+}
+
+TEST(LhrCache, HitsOnlyPreviouslySeenKeys) {
+  LhrCache lhr(80'000, test_config());
+  const auto t = gen::make_trace(gen::TraceClass::kCdnC, 10'000, 6);
+  std::unordered_set<trace::Key> seen;
+  for (const auto& r : t) {
+    if (lhr.access(r)) {
+      EXPECT_TRUE(seen.contains(r.key));
+    }
+    seen.insert(r.key);
+  }
+}
+
+TEST(LhrCache, CompetitiveWithLruOnZipfWorkload) {
+  // LHR must not fall apart on the bread-and-butter workload; on strongly
+  // skewed IRM traces it should be at least LRU-competitive once trained.
+  const auto t = zipf_trace(80'000, 5'000, 1.1, 1'000, 7);
+  const std::uint64_t capacity = 400'000;  // 400 of 5000 objects
+
+  LhrCache lhr(capacity, test_config());
+  policy::Lru lru(capacity);
+  sim::SimOptions opts;
+  opts.warmup_requests = 20'000;  // let the learner bootstrap
+  const double lhr_ratio = sim::simulate(lhr, t, opts).object_hit_ratio();
+  const double lru_ratio = sim::simulate(lru, t, opts).object_hit_ratio();
+  EXPECT_GE(lhr_ratio, lru_ratio - 0.03);
+}
+
+TEST(LhrCache, BeatsLruOnOneHitWonderHeavyWorkload) {
+  // The admission filter is exactly what LRU lacks: a trace dominated by
+  // one-hit wonders plus a hot set. LHR should clearly win after training.
+  util::Xoshiro256 rng(8);
+  gen::ZipfSampler zipf(200, 1.0);
+  trace::Trace t;
+  double time = 0.0;
+  trace::Key fresh = 1'000'000;
+  for (int i = 0; i < 120'000; ++i) {
+    time += 0.05;
+    if (rng.next_double() < 0.6) {
+      t.push_back({time, fresh++, 2'000});  // one-hit wonder
+    } else {
+      t.push_back({time, zipf.sample(rng), 2'000});
+    }
+  }
+  const std::uint64_t capacity = 60'000;  // 30 objects: room for the hot core
+
+  LhrCache lhr(capacity, test_config());
+  policy::Lru lru(capacity);
+  sim::SimOptions opts;
+  opts.warmup_requests = 40'000;
+  const double lhr_ratio = sim::simulate(lhr, t, opts).object_hit_ratio();
+  const double lru_ratio = sim::simulate(lru, t, opts).object_hit_ratio();
+  EXPECT_GT(lhr_ratio, lru_ratio);
+}
+
+TEST(LhrCache, HroLabelSourceIsExposed) {
+  LhrCache lhr(50'000, test_config());
+  const auto t = zipf_trace(20'000, 1'000, 0.9, 1'000, 9);
+  for (const auto& r : t) lhr.access(r);
+  EXPECT_GT(lhr.hro_hit_ratio(), 0.0);
+  EXPECT_LE(lhr.hro_hit_ratio(), 1.0);
+}
+
+TEST(LhrCache, MetadataAccounting) {
+  LhrCache lhr(100'000, test_config());
+  const auto t = zipf_trace(20'000, 2'000, 0.9, 1'000, 10);
+  for (const auto& r : t) lhr.access(r);
+  EXPECT_GT(lhr.metadata_bytes(), 0u);
+  // Metadata should stay far below the multi-GB scale for this tiny setup.
+  EXPECT_LT(lhr.metadata_bytes(), 64u * 1024 * 1024);
+}
+
+TEST(LhrCache, AdaptsToMarkovModulatedWorkload) {
+  // Smoke version of §7.6: LHR keeps functioning across the Syn One state
+  // flips and ends with a sane hit ratio.
+  gen::MarkovModulatedConfig cfg;
+  cfg.num_requests = 60'000;
+  cfg.num_contents = 500;
+  cfg.requests_per_state = 15'000;
+  cfg.size_model = gen::SizeModel::constant(1'000);
+  const auto t = generate_syn_one(cfg);
+
+  LhrCache lhr(100'000, test_config());
+  const auto metrics = sim::simulate(lhr, t);
+  EXPECT_GT(metrics.object_hit_ratio(), 0.1);
+  EXPECT_GT(lhr.windows_seen(), 2u);
+}
+
+}  // namespace
+}  // namespace lhr::core

@@ -1,0 +1,185 @@
+// Tests for the GBDT extensions: logistic loss, feature importance, and
+// model serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+
+#include "ml/gbdt.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::ml {
+namespace {
+
+Dataset make_dataset(const std::vector<std::vector<float>>& rows) {
+  Dataset d;
+  d.n_features = rows.empty() ? 0 : rows[0].size();
+  for (const auto& row : rows) d.values.insert(d.values.end(), row.begin(), row.end());
+  return d;
+}
+
+struct Labeled {
+  Dataset x;
+  std::vector<float> y;
+};
+
+Labeled step_data(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::vector<float>> rows;
+  std::vector<float> y;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float x = static_cast<float>(rng.next_double() * 10.0);
+    rows.push_back({x});
+    y.push_back(x < 5.0f ? 0.0f : 1.0f);
+  }
+  return {make_dataset(rows), y};
+}
+
+// --------------------------------------------------------- logistic loss
+
+TEST(GbdtLogistic, LearnsStepFunctionAsProbability) {
+  const auto data = step_data(4'000, 1);
+  Gbdt model;
+  GbdtConfig cfg;
+  cfg.loss = GbdtLoss::kLogistic;
+  cfg.num_trees = 25;
+  cfg.learning_rate = 0.4;
+  model.fit(data.x, data.y, cfg);
+  EXPECT_LT(model.predict_probability(std::vector<float>{2.0f}), 0.15);
+  EXPECT_GT(model.predict_probability(std::vector<float>{8.0f}), 0.85);
+  // Raw output is log-odds: positive side must be a positive logit.
+  EXPECT_GT(model.predict(std::vector<float>{8.0f}), 0.0);
+  EXPECT_LT(model.predict(std::vector<float>{2.0f}), 0.0);
+}
+
+TEST(GbdtLogistic, ProbabilityAlwaysInUnitInterval) {
+  const auto data = step_data(1'000, 2);
+  Gbdt model;
+  GbdtConfig cfg;
+  cfg.loss = GbdtLoss::kLogistic;
+  cfg.num_trees = 50;
+  cfg.learning_rate = 1.0;  // aggressive: still must stay bounded
+  model.fit(data.x, data.y, cfg);
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double p = model.predict_probability(
+        std::vector<float>{static_cast<float>(rng.next_double() * 10.0)});
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(GbdtLogistic, BaseScoreReflectsClassPrior) {
+  // 90% positives => untrained-tree output should sit near logit(0.9).
+  std::vector<std::vector<float>> rows;
+  std::vector<float> y;
+  util::Xoshiro256 rng(4);
+  for (int i = 0; i < 1'000; ++i) {
+    rows.push_back({static_cast<float>(rng.next_double())});  // uninformative
+    y.push_back(i % 10 == 0 ? 0.0f : 1.0f);
+  }
+  Gbdt model;
+  GbdtConfig cfg;
+  cfg.loss = GbdtLoss::kLogistic;
+  cfg.num_trees = 1;
+  cfg.learning_rate = 0.0;  // keep only the prior
+  model.fit(make_dataset(rows), y, cfg);
+  EXPECT_NEAR(model.predict_probability(std::vector<float>{0.5f}), 0.9, 0.02);
+}
+
+// ----------------------------------------------------- feature importance
+
+TEST(GbdtImportance, IdentifiesInformativeFeature) {
+  // Feature 0: noise. Feature 1: the actual signal.
+  util::Xoshiro256 rng(5);
+  std::vector<std::vector<float>> rows;
+  std::vector<float> y;
+  for (int i = 0; i < 4'000; ++i) {
+    const float noise = static_cast<float>(rng.next_double());
+    const float signal = static_cast<float>(rng.next_double());
+    rows.push_back({noise, signal});
+    y.push_back(signal > 0.5f ? 1.0f : 0.0f);
+  }
+  Gbdt model;
+  GbdtConfig cfg;
+  cfg.num_trees = 15;
+  model.fit(make_dataset(rows), y, cfg);
+  const auto importance = model.feature_importance();
+  ASSERT_EQ(importance.size(), 2u);
+  EXPECT_GT(importance[1], 0.9);
+  EXPECT_NEAR(importance[0] + importance[1], 1.0, 1e-9);
+}
+
+TEST(GbdtImportance, EmptyBeforeTraining) {
+  EXPECT_TRUE(Gbdt{}.feature_importance().empty());
+}
+
+// --------------------------------------------------------- serialization
+
+TEST(GbdtSerialization, RoundTripPreservesPredictions) {
+  const auto data = step_data(2'000, 6);
+  Gbdt original;
+  GbdtConfig cfg;
+  cfg.num_trees = 10;
+  original.fit(data.x, data.y, cfg);
+
+  std::stringstream buffer;
+  original.save(buffer);
+  Gbdt restored;
+  restored.load(buffer);
+
+  EXPECT_EQ(restored.tree_count(), original.tree_count());
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<float> x = {static_cast<float>(rng.next_double() * 10.0)};
+    EXPECT_FLOAT_EQ(static_cast<float>(restored.predict(x)),
+                    static_cast<float>(original.predict(x)));
+  }
+  EXPECT_EQ(restored.feature_importance().size(),
+            original.feature_importance().size());
+}
+
+TEST(GbdtSerialization, RoundTripPreservesLogisticMapping) {
+  const auto data = step_data(1'000, 8);
+  Gbdt original;
+  GbdtConfig cfg;
+  cfg.loss = GbdtLoss::kLogistic;
+  cfg.num_trees = 8;
+  original.fit(data.x, data.y, cfg);
+
+  std::stringstream buffer;
+  original.save(buffer);
+  Gbdt restored;
+  restored.load(buffer);
+  const std::vector<float> x = {8.0f};
+  EXPECT_DOUBLE_EQ(restored.predict_probability(x), original.predict_probability(x));
+}
+
+TEST(GbdtSerialization, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "lhr_gbdt_test.model").string();
+  const auto data = step_data(500, 9);
+  Gbdt original;
+  GbdtConfig cfg;
+  cfg.num_trees = 3;
+  original.fit(data.x, data.y, cfg);
+  original.save_file(path);
+
+  Gbdt restored;
+  restored.load_file(path);
+  EXPECT_EQ(restored.tree_count(), 3u);
+  std::filesystem::remove(path);
+}
+
+TEST(GbdtSerialization, RejectsGarbage) {
+  Gbdt model;
+  std::stringstream bad("not-a-model 1 2 3");
+  EXPECT_THROW(model.load(bad), std::runtime_error);
+  std::stringstream truncated("gbdt-v1 1 0 0.5 3\n2\n");
+  EXPECT_THROW(model.load(truncated), std::runtime_error);
+  EXPECT_THROW(model.load_file("/nonexistent/model"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lhr::ml

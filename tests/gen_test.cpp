@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "gen/cdn_model.hpp"
+#include "gen/markov_modulated.hpp"
+#include "gen/size_model.hpp"
+#include "gen/zipf.hpp"
+#include "trace/trace_stats.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::gen {
+namespace {
+
+// ----------------------------------------------------------------- Zipf
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler zipf(100, 0.9);
+  double total = 0.0;
+  for (std::size_t i = 0; i < 100; ++i) total += zipf.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, PmfMonotonicallyDecreasing) {
+  ZipfSampler zipf(50, 1.1);
+  for (std::size_t i = 1; i < 50; ++i) EXPECT_LE(zipf.pmf(i), zipf.pmf(i - 1));
+}
+
+TEST(ZipfSampler, AlphaZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(zipf.pmf(i), 0.1, 1e-9);
+}
+
+TEST(ZipfSampler, EmpiricalMatchesPmf) {
+  ZipfSampler zipf(20, 0.8);
+  util::Xoshiro256 rng(42);
+  std::vector<int> counts(20, 0);
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kN, zipf.pmf(i), 0.005) << "rank " << i;
+  }
+}
+
+TEST(ZipfSampler, RejectsEmptyPopulation) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ SizeModel
+
+TEST(SizeModel, SamplesWithinRange) {
+  SizeModel model({SizeComponent{1.0, 1 << 20, 1.5}}, 1024, 1 << 24);
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto s = model.sample(rng);
+    EXPECT_GE(s, 1024u);
+    EXPECT_LE(s, static_cast<std::uint64_t>(1 << 24));
+  }
+}
+
+TEST(SizeModel, ConstantModel) {
+  const auto model = SizeModel::constant(4096);
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(model.sample(rng), 4096u);
+}
+
+TEST(SizeModel, MedianApproximatelyCorrect) {
+  SizeModel model({SizeComponent{1.0, 1'000'000, 1.0}}, 1, 1ULL << 40);
+  util::Xoshiro256 rng(19);
+  std::vector<double> samples;
+  for (int i = 0; i < 50'000; ++i) samples.push_back(static_cast<double>(model.sample(rng)));
+  std::nth_element(samples.begin(), samples.begin() + 25'000, samples.end());
+  EXPECT_NEAR(samples[25'000] / 1'000'000.0, 1.0, 0.05);
+}
+
+TEST(SizeModel, RejectsInvalidConfig) {
+  EXPECT_THROW(SizeModel({}, 1, 100), std::invalid_argument);
+  EXPECT_THROW(SizeModel({SizeComponent{1.0, 100, 1.0}}, 0, 100), std::invalid_argument);
+  EXPECT_THROW(SizeModel({SizeComponent{1.0, 100, 1.0}}, 200, 100), std::invalid_argument);
+  EXPECT_THROW(SizeModel({SizeComponent{-1.0, 100, 1.0}}, 1, 100), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ CDN model
+
+TEST(CdnModel, GeneratesRequestedCount) {
+  const auto t = make_trace(TraceClass::kCdnA, 20'000, 1);
+  EXPECT_EQ(t.size(), 20'000u);
+  EXPECT_TRUE(t.is_time_ordered());
+}
+
+TEST(CdnModel, ReproducibleWithSameSeed) {
+  const auto a = make_trace(TraceClass::kWiki, 5'000, 3);
+  const auto b = make_trace(TraceClass::kWiki, 5'000, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(CdnModel, DifferentSeedsDiffer) {
+  const auto a = make_trace(TraceClass::kWiki, 5'000, 3);
+  const auto b = make_trace(TraceClass::kWiki, 5'000, 4);
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) same += (a[i].key == b[i].key);
+  EXPECT_LT(same, 2'000);
+}
+
+TEST(CdnModel, SizesAreStablePerKey) {
+  const auto t = make_trace(TraceClass::kCdnB, 30'000, 5);
+  std::unordered_map<trace::Key, std::uint64_t> size_of;
+  for (const auto& r : t) {
+    auto [it, inserted] = size_of.try_emplace(r.key, r.size);
+    ASSERT_EQ(it->second, r.size) << "key " << r.key << " changed size";
+  }
+}
+
+TEST(CdnModel, CdnCHasNearConstantSizes) {
+  const auto t = make_trace(TraceClass::kCdnC, 20'000, 7);
+  const auto s = trace::summarize(t);
+  // Table 1: CDN-C mean 100 MB, max 101 MB.
+  EXPECT_NEAR(s.mean_content_size_mb, 100.0, 2.0);
+  EXPECT_LE(s.max_content_size_mb, 101.5);
+}
+
+TEST(CdnModel, CdnCIsOneHitWonderHeavy) {
+  const auto c = trace::summarize(make_trace(TraceClass::kCdnC, 50'000, 2));
+  const auto b = trace::summarize(make_trace(TraceClass::kCdnB, 50'000, 2));
+  EXPECT_GT(c.one_hit_wonder_fraction, 0.5);   // "most contents requested once"
+  EXPECT_LT(b.one_hit_wonder_fraction, c.one_hit_wonder_fraction);
+}
+
+TEST(CdnModel, DurationRoughlyMatchesConfig) {
+  const auto cfg = make_config(TraceClass::kCdnA, 50'000, 9);
+  const auto t = generate_cdn_trace(cfg);
+  EXPECT_NEAR(t.duration(), cfg.duration_seconds, cfg.duration_seconds * 0.25);
+}
+
+TEST(CdnModel, PopularityIsZipfLike) {
+  const auto t = make_trace(TraceClass::kCdnA, 100'000, 11);
+  const auto counts = trace::popularity_counts(t);
+  const double alpha = trace::fit_zipf_alpha(counts, 2000);
+  EXPECT_GT(alpha, 0.4);
+  EXPECT_LT(alpha, 1.6);
+}
+
+TEST(CdnModel, ChurnIntroducesNewKeys) {
+  auto cfg = make_config(TraceClass::kCdnB, 40'000, 13);
+  // Keys above the core range appear due to churn + one-hit wonders.
+  const auto t = generate_cdn_trace(cfg);
+  std::unordered_set<trace::Key> beyond_core;
+  for (const auto& r : t) {
+    if (r.key >= cfg.core_contents + cfg.num_requests) beyond_core.insert(r.key);
+  }
+  EXPECT_GT(beyond_core.size(), 0u);
+}
+
+TEST(CdnModel, InvalidConfigThrows) {
+  CdnTraceConfig cfg;
+  cfg.num_requests = 0;
+  EXPECT_THROW(generate_cdn_trace(cfg), std::invalid_argument);
+  cfg = CdnTraceConfig{};
+  cfg.alpha_schedule.clear();
+  EXPECT_THROW(generate_cdn_trace(cfg), std::invalid_argument);
+}
+
+TEST(CdnModel, PaperCacheSizes) {
+  for (const auto c : {TraceClass::kCdnA, TraceClass::kCdnB, TraceClass::kCdnC,
+                       TraceClass::kWiki}) {
+    const auto sizes = paper_cache_sizes(c);
+    ASSERT_EQ(sizes.size(), 4u);
+    for (std::size_t i = 1; i < sizes.size(); ++i) EXPECT_GT(sizes[i], sizes[i - 1]);
+    EXPECT_GT(headline_cache_size(c), 0u);
+    // Scale parameter shrinks sizes proportionally.
+    EXPECT_EQ(headline_cache_size(c, 0.5), headline_cache_size(c) / 2);
+  }
+}
+
+TEST(CdnModel, ToStringNames) {
+  EXPECT_EQ(to_string(TraceClass::kCdnA), "CDN-A");
+  EXPECT_EQ(to_string(TraceClass::kWiki), "Wiki");
+}
+
+// ------------------------------------------------------ MarkovModulated
+
+TEST(SynOne, StateFlipReversesPopularity) {
+  MarkovModulatedConfig cfg;
+  cfg.num_requests = 100'000;
+  cfg.num_contents = 100;
+  cfg.requests_per_state = 50'000;
+  cfg.alpha = 1.0;
+  const auto t = generate_syn_one(cfg);
+  ASSERT_EQ(t.size(), 100'000u);
+
+  // Popularity of content 0 in the first half (state 0) should be much
+  // higher than in the second half (state 1, reversed ranking).
+  std::size_t first_half = 0, second_half = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].key == 0) (i < 50'000 ? first_half : second_half)++;
+  }
+  EXPECT_GT(first_half, second_half * 5);
+
+  // And content N-1 mirrors it.
+  std::size_t last_first = 0, last_second = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].key == 99) (i < 50'000 ? last_first : last_second)++;
+  }
+  EXPECT_GT(last_second, last_first * 5);
+}
+
+TEST(SynTwo, AlphaRisesAcrossStates) {
+  MarkovModulatedConfig cfg;
+  cfg.num_requests = 300'000;
+  cfg.num_contents = 1'000;
+  cfg.requests_per_state = 100'000;
+  const auto t = generate_syn_two(cfg);
+
+  const auto alpha_of_segment = [&](std::size_t begin, std::size_t end) {
+    trace::Trace seg;
+    for (std::size_t i = begin; i < end; ++i) seg.push_back(t[i]);
+    return trace::fit_zipf_alpha(trace::popularity_counts(seg), 300);
+  };
+  const double a0 = alpha_of_segment(0, 100'000);        // state 0: α = 0.7
+  const double a1 = alpha_of_segment(100'000, 200'000);  // state 1: α = 0.9
+  const double a2 = alpha_of_segment(200'000, 300'000);  // state 2: α = 1.1
+  EXPECT_LT(a0, a1);
+  EXPECT_LT(a1, a2);
+}
+
+TEST(SynTwo, StatePathBounces) {
+  // 5 states' worth of requests: states visited are 0,1,2,1,0.
+  MarkovModulatedConfig cfg;
+  cfg.num_requests = 50'000;
+  cfg.num_contents = 500;
+  cfg.requests_per_state = 10'000;
+  const auto t = generate_syn_two(cfg);
+
+  const auto alpha_of_segment = [&](std::size_t begin, std::size_t end) {
+    trace::Trace seg;
+    for (std::size_t i = begin; i < end; ++i) seg.push_back(t[i]);
+    return trace::fit_zipf_alpha(trace::popularity_counts(seg), 200);
+  };
+  const double s0 = alpha_of_segment(0, 10'000);
+  const double s2 = alpha_of_segment(20'000, 30'000);
+  const double s4 = alpha_of_segment(40'000, 50'000);
+  EXPECT_LT(s0, s2);             // 0.7 < 1.1
+  EXPECT_NEAR(s4, s0, 0.15);     // back at state 0
+}
+
+TEST(MarkovModulated, TimeOrderedAndReproducible) {
+  MarkovModulatedConfig cfg;
+  cfg.num_requests = 10'000;
+  const auto a = generate_syn_one(cfg);
+  const auto b = generate_syn_one(cfg);
+  EXPECT_TRUE(a.is_time_ordered());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace lhr::gen

@@ -1,0 +1,185 @@
+// Tests for the beyond-Poisson hazard extension: hyperexponential IRT
+// fitting and the age-decay HRO variant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gen/cdn_model.hpp"
+#include "hazard/hro.hpp"
+#include "hazard/irt_models.hpp"
+#include "policies/lru.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::hazard {
+namespace {
+
+std::vector<double> hyperexp_samples(const HyperExp& model, std::size_t n,
+                                     std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double rate = rng.next_double() < model.p ? model.lambda1 : model.lambda2;
+    samples.push_back(-std::log(std::max(rng.next_double(), 1e-15)) / rate);
+  }
+  return samples;
+}
+
+// ---------------------------------------------------------------- HyperExp
+
+TEST(HyperExp, DistributionIdentities) {
+  const HyperExp m{0.3, 2.0, 0.1};
+  EXPECT_NEAR(m.survival(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(m.mean(), 0.3 / 2.0 + 0.7 / 0.1, 1e-12);
+  // pdf integrates (numerically) to ~1.
+  double integral = 0.0;
+  for (double t = 0.0; t < 200.0; t += 0.01) integral += m.pdf(t) * 0.01;
+  EXPECT_NEAR(integral, 1.0, 0.01);
+}
+
+TEST(HyperExp, HazardDecreasesWithAge) {
+  const HyperExp m{0.5, 5.0, 0.2};
+  double prev = m.hazard(0.0);
+  for (double t = 0.5; t < 30.0; t += 0.5) {
+    const double h = m.hazard(t);
+    EXPECT_LE(h, prev + 1e-12);
+    prev = h;
+  }
+  // Asymptotically the slow phase dominates.
+  EXPECT_NEAR(m.hazard(1e4), 0.2, 1e-6);
+  EXPECT_NEAR(m.hazard_decay(0.0), 1.0, 1e-12);
+  EXPECT_LT(m.hazard_decay(50.0), 0.2);
+}
+
+TEST(HyperExp, PureExponentialHasConstantHazard) {
+  const HyperExp m{1.0, 3.0, 3.0};
+  for (double t = 0.0; t < 10.0; t += 1.0) EXPECT_NEAR(m.hazard(t), 3.0, 1e-9);
+}
+
+// --------------------------------------------------------------------- EM
+
+TEST(HyperExpEm, RecoversWellSeparatedMixture) {
+  const HyperExp truth{0.6, 10.0, 0.1};
+  const auto samples = hyperexp_samples(truth, 50'000, 1);
+  const auto fit = fit_hyperexp_em(samples);
+  EXPECT_NEAR(fit.p, truth.p, 0.05);
+  EXPECT_NEAR(fit.lambda1 / truth.lambda1, 1.0, 0.15);
+  EXPECT_NEAR(fit.lambda2 / truth.lambda2, 1.0, 0.15);
+}
+
+TEST(HyperExpEm, FitsPlainExponentialGracefully) {
+  util::Xoshiro256 rng(2);
+  std::vector<double> samples;
+  for (int i = 0; i < 20'000; ++i) {
+    samples.push_back(-std::log(std::max(rng.next_double(), 1e-15)) / 2.0);
+  }
+  const auto fit = fit_hyperexp_em(samples);
+  // Mean must be preserved regardless of how the phases split.
+  EXPECT_NEAR(fit.mean(), 0.5, 0.05);
+}
+
+TEST(HyperExpEm, DegenerateInputs) {
+  EXPECT_NO_THROW((void)fit_hyperexp_em({}));
+  const auto single = fit_hyperexp_em(std::vector<double>{2.0});
+  EXPECT_NEAR(single.mean(), 2.0, 1e-9);
+  // Negative/zero samples are ignored.
+  const auto mixed = fit_hyperexp_em(std::vector<double>{-1.0, 0.0, 1.0, 1.0, 1.0});
+  EXPECT_GT(mixed.mean(), 0.0);
+}
+
+TEST(HyperExpEm, PhaseOrderingConvention) {
+  const auto fit = fit_hyperexp_em(hyperexp_samples({0.4, 8.0, 0.05}, 20'000, 3));
+  EXPECT_GE(fit.lambda1, fit.lambda2);
+}
+
+// ---------------------------------------------------------- age-decay HRO
+
+trace::Trace heavy_tail_trace(std::size_t n, std::uint64_t seed) {
+  // Hot contents request every ~1s; a churning population appears in bursts
+  // then dies — classic decreasing-hazard traffic.
+  util::Xoshiro256 rng(seed);
+  trace::Trace t;
+  double time = 0.0;
+  trace::Key burst_key = 1'000'000;
+  for (std::size_t i = 0; i < n; ++i) {
+    time += 0.5;
+    if (i % 4 != 0) {
+      t.push_back({time, rng.next_below(50), 1'000});  // hot core
+    } else {
+      // Bursty content: 3 quick requests then never again.
+      const trace::Key k = burst_key++;
+      t.push_back({time, k, 1'000});
+      t.push_back({time + 0.01, k, 1'000});
+      t.push_back({time + 0.02, k, 1'000});
+    }
+  }
+  return t;
+}
+
+TEST(HroAgeDecay, TightensTheBoundOnDecreasingHazardTraffic) {
+  // The extension's purpose: on bursty (decreasing-hazard) traffic, burst
+  // corpses squat in the Poisson ranking; survival decay clears them.
+  const auto t = heavy_tail_trace(20'000, 4);
+  HroConfig poisson{.capacity_bytes = 20'000};
+  HroConfig decayed{.capacity_bytes = 20'000};
+  decayed.age_decay_hazard = true;
+  decayed.hazard_refresh_interval = 1'024;
+  Hro a(poisson), b(decayed);
+  for (const auto& r : t) {
+    a.classify(r);
+    b.classify(r);
+  }
+  EXPECT_GT(b.hit_ratio(), a.hit_ratio() + 0.05);
+  EXPECT_TRUE(b.irt_model_ready());
+  // The fitted mixture must reflect the two IRT scales (0.01 s vs ~25 s).
+  EXPECT_GT(b.irt_model().lambda1, 1.0);
+  EXPECT_LT(b.irt_model().lambda2, 1.0);
+}
+
+TEST(HroAgeDecay, DecaysStaleContentsOutOfThePrefix) {
+  HroConfig cfg{.capacity_bytes = 2'000};
+  cfg.age_decay_hazard = true;
+  cfg.hazard_refresh_interval = 64;
+  cfg.window_unique_bytes_mult = 4.0;
+  Hro hro(cfg);
+  // Phase 1: contents 1..30 hot (fills several windows, trains the model).
+  double time = 0.0;
+  for (int round = 0; round < 60; ++round) {
+    for (trace::Key k = 1; k <= 30; ++k) {
+      time += 0.05;
+      hro.classify({time, k, 100});
+    }
+  }
+  // Phase 2: contents 1..10 go silent; 11..30 stay hot. New content 99
+  // arriving repeatedly must eventually be classified a hit: the stale
+  // contents' decayed hazards no longer block the prefix.
+  std::uint64_t late_hits = 0;
+  for (int round = 0; round < 200; ++round) {
+    for (trace::Key k = 11; k <= 30; ++k) {
+      time += 0.05;
+      hro.classify({time, k, 100});
+    }
+    time += 0.05;
+    if (hro.classify({time, 99, 100}).hit) ++late_hits;
+  }
+  EXPECT_GT(late_hits, 100u);
+}
+
+TEST(HroAgeDecay, ComparableToPoissonOnStationaryTraffic) {
+  // On IRM-ish traffic the extension must not wreck the bound.
+  const auto t = gen::make_trace(gen::TraceClass::kWiki, 20'000, 5);
+  HroConfig poisson{.capacity_bytes = 2ULL << 30};
+  HroConfig decayed{.capacity_bytes = 2ULL << 30};
+  decayed.age_decay_hazard = true;
+  Hro a(poisson), b(decayed);
+  for (const auto& r : t) {
+    a.classify(r);
+    b.classify(r);
+  }
+  EXPECT_NEAR(a.hit_ratio(), b.hit_ratio(), 0.08);
+}
+
+}  // namespace
+}  // namespace lhr::hazard

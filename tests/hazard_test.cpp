@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "gen/cdn_model.hpp"
+#include "gen/zipf.hpp"
+#include "hazard/hro.hpp"
+#include "policies/lfu_da.hpp"
+#include "policies/lru.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::hazard {
+namespace {
+
+trace::Trace zipf_irm_trace(std::size_t n, std::size_t contents, double alpha,
+                            std::uint64_t size, std::uint64_t seed) {
+  gen::ZipfSampler zipf(contents, alpha);
+  util::Xoshiro256 rng(seed);
+  trace::Trace t;
+  double time = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    time += -std::log(std::max(rng.next_double(), 1e-12));
+    t.push_back({time, zipf.sample(rng), size});
+  }
+  return t;
+}
+
+double hro_ratio(const trace::Trace& t, const HroConfig& cfg) {
+  Hro hro(cfg);
+  for (const auto& r : t) hro.classify(r);
+  return hro.hit_ratio();
+}
+
+TEST(Hro, RejectsInvalidConfig) {
+  EXPECT_THROW(Hro(HroConfig{.capacity_bytes = 0}), std::invalid_argument);
+  EXPECT_THROW(Hro(HroConfig{.capacity_bytes = 100, .window_unique_bytes_mult = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(Hro(HroConfig{.size_aware = false, .capacity_objects = 0}),
+               std::invalid_argument);
+}
+
+TEST(Hro, FirstRequestIsAlwaysMiss) {
+  Hro hro(HroConfig{.capacity_bytes = 1 << 20});
+  const auto d = hro.classify({1.0, 42, 100});
+  EXPECT_FALSE(d.hit);
+  EXPECT_TRUE(d.first_ever);
+}
+
+TEST(Hro, OneHitWondersNeverHit) {
+  Hro hro(HroConfig{.capacity_bytes = 1 << 20});
+  for (trace::Key k = 0; k < 1000; ++k) {
+    EXPECT_FALSE(hro.classify({static_cast<double>(k), k, 500}).hit);
+  }
+  EXPECT_EQ(hro.hits(), 0u);
+}
+
+TEST(Hro, HotContentHitsWhenCacheIsLarge) {
+  Hro hro(HroConfig{.capacity_bytes = 1 << 20});
+  for (int i = 0; i < 100; ++i) {
+    hro.classify({static_cast<double>(i), 1, 100});
+  }
+  // After the first request, every request to the single tracked content
+  // must be classified a hit (it trivially tops the ranking).
+  EXPECT_EQ(hro.hits(), 99u);
+}
+
+TEST(Hro, PrefersDenseContents) {
+  // 15 small hot contents (density 1/100) fill the 1500-byte capacity; the
+  // big, less dense content is entirely below the knapsack boundary and
+  // must be classified a miss.
+  Hro hro(HroConfig{.capacity_bytes = 1500, .window_unique_bytes_mult = 1000.0});
+  std::uint64_t small_hits = 0, big_hits = 0;
+  for (int i = 0; i < 200; ++i) {
+    const double t = i * 1.0;
+    for (trace::Key k = 1; k <= 15; ++k) {
+      if (hro.classify({t + 0.01 * static_cast<double>(k), k, 100}).hit) ++small_hits;
+    }
+    if (i % 2 == 0) {
+      if (hro.classify({t + 0.5, 99, 1400}).hit) ++big_hits;  // sparse, big
+    }
+  }
+  EXPECT_GT(small_hits, 15u * 150u);
+  EXPECT_LT(big_hits, 10u);
+}
+
+TEST(Hro, UpperBoundsOnlinePoliciesOnIrmTraces) {
+  // Proposition A.1, checked empirically: HRO's hit ratio dominates LRU and
+  // LFU-DA on stationary Zipf/Poisson (IRM) workloads.
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const auto t = zipf_irm_trace(60'000, 2'000, 0.9, 1'000, seed);
+    const std::uint64_t capacity = 200 * 1'000;  // 10% of population bytes
+
+    const double hro = hro_ratio(t, HroConfig{.capacity_bytes = capacity});
+
+    policy::Lru lru(capacity);
+    const double lru_ratio = sim::simulate(lru, t).object_hit_ratio();
+    policy::LfuDa lfu(capacity);
+    const double lfu_ratio = sim::simulate(lfu, t).object_hit_ratio();
+
+    EXPECT_GE(hro, lru_ratio - 0.01) << "seed " << seed;
+    EXPECT_GE(hro, lfu_ratio - 0.01) << "seed " << seed;
+  }
+}
+
+TEST(Hro, EqualSizeVariantCountsObjects) {
+  // Capacity = 1 object. The hot content (1 req/s) owns the prefix; the
+  // cold one (1 req / 10 s) sits below the boundary and misses.
+  Hro hro(HroConfig{.window_unique_bytes_mult = 1000.0, .size_aware = false,
+                    .capacity_objects = 1});
+  std::uint64_t hot_hits = 0, cold_hits = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (hro.classify({i * 1.0, 1, 777}).hit) ++hot_hits;
+    if (i % 10 == 0) {
+      if (hro.classify({i * 1.0 + 0.4, 2, 777}).hit) ++cold_hits;
+    }
+  }
+  EXPECT_GT(hot_hits, 150u);
+  EXPECT_LT(cold_hits, 5u);
+}
+
+TEST(Hro, WindowRollDropsStaleContents) {
+  HroConfig cfg{.capacity_bytes = 1000, .window_unique_bytes_mult = 1.0};
+  cfg.retention_windows = 1;  // drop anything idle for one full window
+  Hro hro(cfg);
+  // Fill window 1 with contents 1..10 (unique bytes 10*100 = 1000 => roll).
+  for (trace::Key k = 1; k <= 10; ++k) {
+    hro.classify({static_cast<double>(k), k, 100});
+  }
+  EXPECT_EQ(hro.window_index(), 1u);
+  EXPECT_TRUE(hro.window_just_closed());
+  // Window 2 uses different contents; after it rolls, window-1 contents
+  // must be dropped from tracking.
+  for (trace::Key k = 101; k <= 110; ++k) {
+    hro.classify({100.0 + static_cast<double>(k), k, 100});
+  }
+  EXPECT_EQ(hro.window_index(), 2u);
+  EXPECT_LE(hro.tracked_contents(), 10u);
+}
+
+TEST(Hro, MemoryIsBounded) {
+  HroConfig cfg{.capacity_bytes = 100'000, .window_unique_bytes_mult = 2.0};
+  Hro hro(cfg);
+  util::Xoshiro256 rng(55);
+  for (int i = 0; i < 100'000; ++i) {
+    hro.classify({i * 1.0, rng.next_below(1 << 20), 1 + rng.next_below(2000)});
+  }
+  // Tracked contents are bounded by roughly two windows' worth of uniques.
+  EXPECT_LT(hro.memory_bytes(), 10u * 1024 * 1024);
+  EXPECT_GT(hro.window_index(), 10u);
+}
+
+TEST(Hro, TighterThanInfiniteCapOnMixedTrace) {
+  const auto t = gen::make_trace(gen::TraceClass::kCdnA, 30'000, 17);
+  std::uint64_t re_requests = 0;
+  {
+    std::unordered_map<trace::Key, bool> seen;
+    for (const auto& r : t) re_requests += !seen.insert({r.key, true}).second;
+  }
+  Hro hro(HroConfig{.capacity_bytes = 4ULL << 30});
+  for (const auto& r : t) hro.classify(r);
+  // HRO <= InfiniteCap (first requests can never hit).
+  EXPECT_LE(hro.hits(), re_requests);
+}
+
+}  // namespace
+}  // namespace lhr::hazard

@@ -1,0 +1,118 @@
+// Cross-module integration tests: the ordering invariants that make the
+// paper's Figure 2 meaningful, exercised end-to-end on synthetic CDN traces.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/lhr_cache.hpp"
+#include "core/policy_factory.hpp"
+#include "gen/cdn_model.hpp"
+#include "hazard/hro.hpp"
+#include "opt/bounds.hpp"
+#include "sim/engine.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace lhr {
+namespace {
+
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_ = new trace::Trace(gen::make_trace(gen::TraceClass::kCdnA, 40'000, 2024));
+    // Scale the cache to the reduced trace: ~5% of unique bytes.
+    const auto summary = trace::summarize(*trace_);
+    capacity_ = static_cast<std::uint64_t>(summary.unique_bytes_gb * 0.05 *
+                                           1024.0 * 1024.0 * 1024.0);
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    trace_ = nullptr;
+  }
+
+  static trace::Trace* trace_;
+  static std::uint64_t capacity_;
+};
+
+trace::Trace* IntegrationFixture::trace_ = nullptr;
+std::uint64_t IntegrationFixture::capacity_ = 0;
+
+TEST_F(IntegrationFixture, EveryPolicyRunsEndToEnd) {
+  for (const auto& name : core::all_policy_names()) {
+    auto policy = core::make_policy(name, capacity_);
+    const auto metrics = sim::simulate(*policy, *trace_);
+    EXPECT_EQ(metrics.requests, trace_->size()) << name;
+    EXPECT_GE(metrics.object_hit_ratio(), 0.0) << name;
+    EXPECT_LE(metrics.object_hit_ratio(), 1.0) << name;
+  }
+}
+
+TEST_F(IntegrationFixture, BoundsDominateOnlinePolicies) {
+  const auto inf = opt::infinite_cap(trace_->requests());
+  const auto pfoo = opt::pfoo_l(trace_->requests(), capacity_);
+
+  hazard::Hro hro(hazard::HroConfig{.capacity_bytes = capacity_});
+  for (const auto& r : *trace_) hro.classify(r);
+
+  // InfiniteCap dominates everything.
+  EXPECT_GE(inf.hit_ratio(), pfoo.hit_ratio());
+  EXPECT_GE(inf.hit_ratio(), hro.hit_ratio());
+
+  // Figure 2's core claim: the bounds sit above the online SOTAs.
+  for (const auto& name : core::sota_policy_names()) {
+    auto policy = core::make_policy(name, capacity_);
+    const double ratio = sim::simulate(*policy, *trace_).object_hit_ratio();
+    EXPECT_GE(inf.hit_ratio() + 1e-9, ratio) << name;
+    EXPECT_GE(hro.hit_ratio() + 0.02, ratio) << name << " vs HRO";
+  }
+}
+
+TEST_F(IntegrationFixture, LhrIsBelowHro) {
+  core::LhrConfig cfg;
+  cfg.gbdt.num_trees = 10;
+  core::LhrCache lhr(capacity_, cfg);
+  const auto metrics = sim::simulate(lhr, *trace_);
+  EXPECT_LE(metrics.object_hit_ratio(), lhr.hro_hit_ratio() + 0.02);
+}
+
+TEST_F(IntegrationFixture, BeladyVariantsDominateLru) {
+  const auto b = opt::belady(trace_->requests(), capacity_);
+  const auto bs = opt::belady_size(trace_->requests(), capacity_);
+  auto lru = core::make_policy("LRU", capacity_);
+  const double lru_ratio = sim::simulate(*lru, *trace_).object_hit_ratio();
+  EXPECT_GE(b.hit_ratio() + 0.01, lru_ratio);
+  EXPECT_GE(bs.hit_ratio() + 0.01, lru_ratio);
+}
+
+TEST_F(IntegrationFixture, MetadataDeductionKeepsResultsFinite) {
+  // The learning policies must survive the §7.1 fairness accounting.
+  for (const auto& name : {"LRB", "LHR", "Hawkeye"}) {
+    auto policy = core::make_policy(name, capacity_);
+    sim::SimOptions opts;
+    opts.capacity_adjust_interval = 1'000;
+    const auto metrics = sim::simulate(*policy, *trace_, opts);
+    EXPECT_LE(policy->used_bytes(), policy->capacity_bytes()) << name;
+    EXPECT_GT(metrics.requests, 0u) << name;
+  }
+}
+
+TEST(IntegrationSmall, WanTrafficOrderingMatchesHitOrdering) {
+  // For (roughly) size-independent hit patterns, a higher byte hit ratio
+  // means less WAN traffic. Check the accounting is consistent.
+  const auto t = gen::make_trace(gen::TraceClass::kCdnC, 20'000, 5);
+  const std::uint64_t capacity = 64ULL << 30;
+
+  auto lru = core::make_policy("LRU", capacity);
+  auto blru = core::make_policy("B-LRU", capacity);
+  const auto m_lru = sim::simulate(*lru, t);
+  const auto m_blru = sim::simulate(*blru, t);
+
+  EXPECT_DOUBLE_EQ(m_lru.wan_traffic_bytes(),
+                   m_lru.bytes_requested - m_lru.bytes_hit);
+  EXPECT_DOUBLE_EQ(m_blru.wan_traffic_bytes(),
+                   m_blru.bytes_requested - m_blru.bytes_hit);
+  EXPECT_GT(m_lru.bytes_requested, 0.0);
+}
+
+}  // namespace
+}  // namespace lhr

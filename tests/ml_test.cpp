@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "gen/zipf.hpp"
+#include "ml/features.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/zipf_detector.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::ml {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+
+// ------------------------------------------------------------------ GBDT
+
+Dataset make_dataset(const std::vector<std::vector<float>>& rows) {
+  Dataset d;
+  d.n_features = rows.empty() ? 0 : rows[0].size();
+  for (const auto& row : rows) {
+    d.values.insert(d.values.end(), row.begin(), row.end());
+  }
+  return d;
+}
+
+TEST(Gbdt, FitsConstantTarget) {
+  Dataset d = make_dataset({{0.0f}, {1.0f}, {2.0f}, {3.0f}});
+  const std::vector<float> y = {0.7f, 0.7f, 0.7f, 0.7f};
+  Gbdt model;
+  GbdtConfig cfg;
+  cfg.num_trees = 5;
+  cfg.min_child_weight = 1.0;
+  model.fit(d, y, cfg);
+  for (const auto v : {0.0f, 1.5f, 3.0f}) {
+    EXPECT_NEAR(model.predict(std::vector<float>{v}), 0.7, 1e-3);
+  }
+}
+
+TEST(Gbdt, LearnsStepFunction) {
+  util::Xoshiro256 rng(1);
+  std::vector<std::vector<float>> rows;
+  std::vector<float> y;
+  for (int i = 0; i < 4000; ++i) {
+    const float x = static_cast<float>(rng.next_double() * 10.0);
+    rows.push_back({x});
+    y.push_back(x < 5.0f ? 0.0f : 1.0f);
+  }
+  Gbdt model;
+  GbdtConfig cfg;
+  cfg.num_trees = 20;
+  cfg.learning_rate = 0.3;
+  model.fit(make_dataset(rows), y, cfg);
+  EXPECT_LT(model.predict(std::vector<float>{2.0f}), 0.15);
+  EXPECT_GT(model.predict(std::vector<float>{8.0f}), 0.85);
+}
+
+TEST(Gbdt, LearnsTwoFeatureInteraction) {
+  util::Xoshiro256 rng(2);
+  std::vector<std::vector<float>> rows;
+  std::vector<float> y;
+  for (int i = 0; i < 8000; ++i) {
+    const float a = static_cast<float>(rng.next_double());
+    const float b = static_cast<float>(rng.next_double());
+    rows.push_back({a, b});
+    y.push_back((a > 0.5f) != (b > 0.5f) ? 1.0f : 0.0f);  // XOR
+  }
+  Gbdt model;
+  GbdtConfig cfg;
+  cfg.num_trees = 40;
+  cfg.max_depth = 4;
+  cfg.learning_rate = 0.3;
+  model.fit(make_dataset(rows), y, cfg);
+  EXPECT_GT(model.predict(std::vector<float>{0.9f, 0.1f}), 0.7);
+  EXPECT_GT(model.predict(std::vector<float>{0.1f, 0.9f}), 0.7);
+  EXPECT_LT(model.predict(std::vector<float>{0.9f, 0.9f}), 0.3);
+  EXPECT_LT(model.predict(std::vector<float>{0.1f, 0.1f}), 0.3);
+}
+
+TEST(Gbdt, RoutesMissingValuesUsefully) {
+  // Feature is NaN for exactly the positive class: the learned default
+  // direction must separate them.
+  std::vector<std::vector<float>> rows;
+  std::vector<float> y;
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    if (i % 2 == 0) {
+      rows.push_back({static_cast<float>(rng.next_double())});
+      y.push_back(0.0f);
+    } else {
+      rows.push_back({kNaN});
+      y.push_back(1.0f);
+    }
+  }
+  Gbdt model;
+  GbdtConfig cfg;
+  cfg.num_trees = 10;
+  cfg.learning_rate = 0.5;
+  model.fit(make_dataset(rows), y, cfg);
+  EXPECT_GT(model.predict(std::vector<float>{kNaN}), 0.8);
+  EXPECT_LT(model.predict(std::vector<float>{0.5f}), 0.2);
+}
+
+TEST(Gbdt, DeterministicForSameSeed) {
+  util::Xoshiro256 rng(4);
+  std::vector<std::vector<float>> rows;
+  std::vector<float> y;
+  for (int i = 0; i < 500; ++i) {
+    rows.push_back({static_cast<float>(rng.next_double()),
+                    static_cast<float>(rng.next_double())});
+    y.push_back(static_cast<float>(rng.next_double()));
+  }
+  GbdtConfig cfg;
+  cfg.subsample = 0.8;
+  Gbdt a, b;
+  a.fit(make_dataset(rows), y, cfg);
+  b.fit(make_dataset(rows), y, cfg);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<float> x = {static_cast<float>(i) / 20.0f, 0.3f};
+    EXPECT_EQ(a.predict(x), b.predict(x));
+  }
+}
+
+TEST(Gbdt, MoreTreesReduceTrainingError) {
+  util::Xoshiro256 rng(5);
+  std::vector<std::vector<float>> rows;
+  std::vector<float> y;
+  for (int i = 0; i < 3000; ++i) {
+    const float x = static_cast<float>(rng.next_double() * 6.28);
+    rows.push_back({x});
+    y.push_back(std::sin(x));
+  }
+  const Dataset d = make_dataset(rows);
+
+  const auto mse_with_trees = [&](std::size_t n_trees) {
+    Gbdt model;
+    GbdtConfig cfg;
+    cfg.num_trees = n_trees;
+    model.fit(d, y, cfg);
+    double mse = 0.0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const double e = model.predict(rows[i]) - y[i];
+      mse += e * e;
+    }
+    return mse / static_cast<double>(rows.size());
+  };
+  EXPECT_LT(mse_with_trees(30), mse_with_trees(3));
+}
+
+TEST(Gbdt, InputValidation) {
+  Gbdt model;
+  GbdtConfig cfg;
+  EXPECT_THROW(model.fit(Dataset{}, std::vector<float>{}, cfg), std::invalid_argument);
+  Dataset d = make_dataset({{1.0f}});
+  EXPECT_THROW(model.fit(d, std::vector<float>{1.0f, 2.0f}, cfg), std::invalid_argument);
+  cfg.max_bins = 1;
+  EXPECT_THROW(model.fit(d, std::vector<float>{1.0f}, cfg), std::invalid_argument);
+
+  GbdtConfig ok;
+  ok.num_trees = 1;
+  ok.min_child_weight = 1.0;
+  model.fit(d, std::vector<float>{1.0f}, ok);
+  EXPECT_THROW((void)model.predict(std::vector<float>{1.0f, 2.0f}), std::invalid_argument);
+}
+
+TEST(Gbdt, MemoryGrowsWithTrees) {
+  util::Xoshiro256 rng(6);
+  std::vector<std::vector<float>> rows;
+  std::vector<float> y;
+  for (int i = 0; i < 1000; ++i) {
+    rows.push_back({static_cast<float>(rng.next_double())});
+    y.push_back(static_cast<float>(rng.next_double()));
+  }
+  Gbdt small, large;
+  GbdtConfig cfg;
+  cfg.num_trees = 2;
+  small.fit(make_dataset(rows), y, cfg);
+  cfg.num_trees = 30;
+  large.fit(make_dataset(rows), y, cfg);
+  EXPECT_GT(large.memory_bytes(), small.memory_bytes());
+  EXPECT_EQ(large.tree_count(), 30u);
+}
+
+// -------------------------------------------------------------- Features
+
+TEST(Features, DimensionAccounting) {
+  EXPECT_EQ(FeatureExtractor(FeatureConfig{20, true}).dim(), 24u);
+  EXPECT_EQ(FeatureExtractor(FeatureConfig{10, false}).dim(), 10u);
+  EXPECT_THROW(FeatureExtractor(FeatureConfig{0, true}), std::invalid_argument);
+}
+
+TEST(Features, UnseenContentIsAllMissingIrts) {
+  FeatureExtractor fx(FeatureConfig{5, true});
+  std::vector<float> out(fx.dim());
+  fx.extract({10.0, 1, 2048}, out);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_TRUE(std::isnan(out[i])) << i;
+  EXPECT_NEAR(out[5], std::log(2048.0), 1e-5);       // log size
+  EXPECT_NEAR(out[6], 2048.0 / (1024.0 * 1024.0), 1e-9);  // size in MB
+  EXPECT_EQ(out[7], 0.0f);                            // request count
+  EXPECT_EQ(out[8], 0.0f);                            // age
+}
+
+TEST(Features, IrtOrderingIsMostRecentFirst) {
+  FeatureExtractor fx(FeatureConfig{4, false});
+  // Requests at t = 0, 10, 30, 70 => IRTs (newest first at t=100): 30, 40, 20, 10.
+  for (const double t : {0.0, 10.0, 30.0, 70.0}) fx.record({t, 7, 100});
+  std::vector<float> out(fx.dim());
+  fx.extract({100.0, 7, 100}, out);
+  EXPECT_NEAR(out[0], std::log1p(30.0), 1e-5);  // IRT_1: since last request
+  EXPECT_NEAR(out[1], std::log1p(40.0), 1e-5);  // IRT_2: 70-30
+  EXPECT_NEAR(out[2], std::log1p(20.0), 1e-5);  // IRT_3: 30-10
+  EXPECT_NEAR(out[3], std::log1p(10.0), 1e-5);  // IRT_4: 10-0
+}
+
+TEST(Features, RingBufferKeepsOnlyRecentIrts) {
+  FeatureExtractor fx(FeatureConfig{3, false});
+  for (int i = 0; i <= 10; ++i) fx.record({i * 1.0, 1, 100});
+  std::vector<float> out(fx.dim());
+  fx.extract({11.0, 1, 100}, out);
+  // All stored IRTs are 1.0; none missing.
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(out[i], std::log1p(1.0), 1e-5);
+}
+
+TEST(Features, CountAndAgeGrow) {
+  FeatureExtractor fx(FeatureConfig{2, true});
+  fx.record({0.0, 1, 100});
+  fx.record({5.0, 1, 100});
+  std::vector<float> out(fx.dim());
+  fx.extract({20.0, 1, 100}, out);
+  EXPECT_NEAR(out[2 + 2], std::log1p(2.0), 1e-5);   // count
+  EXPECT_NEAR(out[2 + 3], std::log1p(20.0), 1e-5);  // age since first
+}
+
+TEST(Features, PruneDropsIdleContents) {
+  FeatureExtractor fx;
+  fx.record({0.0, 1, 100});
+  fx.record({100.0, 2, 100});
+  EXPECT_EQ(fx.tracked_contents(), 2u);
+  fx.prune_older_than(50.0);
+  EXPECT_EQ(fx.tracked_contents(), 1u);
+  EXPECT_GT(fx.memory_bytes(), 0u);
+}
+
+TEST(Features, ExtractValidatesOutputSize) {
+  FeatureExtractor fx;
+  std::vector<float> wrong(3);
+  EXPECT_THROW(fx.extract({0.0, 1, 1}, wrong), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- ZipfDetector
+
+std::vector<trace::Key> zipf_window(double alpha, std::size_t n, std::uint64_t seed) {
+  gen::ZipfSampler zipf(5'000, alpha);
+  util::Xoshiro256 rng(seed);
+  std::vector<trace::Key> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(zipf.sample(rng));
+  return keys;
+}
+
+TEST(ZipfDetector, RecoversAlpha) {
+  ZipfDetector det;
+  for (const auto k : zipf_window(0.9, 200'000, 1)) det.record(k);
+  const auto r = det.close_window();
+  // Finite-sample rank-frequency fits skew low; 15% accuracy is enough for
+  // change detection.
+  EXPECT_NEAR(r.alpha, 0.9, 0.15);
+  EXPECT_TRUE(r.change_detected);  // first window always triggers
+}
+
+TEST(ZipfDetector, DetectsAlphaShift) {
+  ZipfDetector det(ZipfDetectorConfig{.epsilon = 0.05});
+  for (const auto k : zipf_window(0.7, 100'000, 2)) det.record(k);
+  det.close_window();
+  for (const auto k : zipf_window(1.1, 100'000, 3)) det.record(k);
+  const auto r = det.close_window();
+  EXPECT_TRUE(r.change_detected);
+  EXPECT_GT(r.alpha, r.previous_alpha);
+}
+
+TEST(ZipfDetector, QuietWhenDistributionIsStable) {
+  ZipfDetector det(ZipfDetectorConfig{.epsilon = 0.05});
+  for (const auto k : zipf_window(0.9, 150'000, 4)) det.record(k);
+  det.close_window();
+  int alarms = 0;
+  for (std::uint64_t w = 0; w < 5; ++w) {
+    for (const auto k : zipf_window(0.9, 150'000, 5 + w)) det.record(k);
+    alarms += det.close_window().change_detected;
+  }
+  EXPECT_LE(alarms, 1);  // paper reports ~97-99% accuracy
+}
+
+TEST(ZipfDetector, WindowStateResets) {
+  ZipfDetector det;
+  det.record(1);
+  det.record(1);
+  det.record(2);
+  const auto r1 = det.close_window();
+  EXPECT_EQ(r1.unique_contents, 2u);
+  const auto r2 = det.close_window();  // empty window
+  EXPECT_EQ(r2.unique_contents, 0u);
+  EXPECT_EQ(det.windows_closed(), 2u);
+}
+
+}  // namespace
+}  // namespace lhr::ml

@@ -1,0 +1,120 @@
+// Tests for the PFOO-U achievable schedule and the segment tree beneath it.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/cdn_model.hpp"
+#include "opt/bounds.hpp"
+#include "opt/exact_opt.hpp"
+#include "util/rng.hpp"
+#include "util/segment_tree.hpp"
+
+namespace lhr {
+namespace {
+
+using trace::Request;
+
+// ------------------------------------------------------------ SegmentTree
+
+TEST(SegmentTree, MatchesNaiveRangeAddRangeMax) {
+  util::SegmentTree<std::int64_t> tree(40);
+  std::vector<std::int64_t> shadow(40, 0);
+  util::Xoshiro256 rng(9);
+  for (int step = 0; step < 2'000; ++step) {
+    std::size_t lo = rng.next_below(40);
+    std::size_t hi = rng.next_below(40);
+    if (lo > hi) std::swap(lo, hi);
+    if (rng.next_double() < 0.5) {
+      const auto delta = static_cast<std::int64_t>(rng.next_below(100)) - 50;
+      tree.range_add(lo, hi, delta);
+      for (std::size_t i = lo; i <= hi; ++i) shadow[i] += delta;
+    } else {
+      std::int64_t expected = shadow[lo];
+      for (std::size_t i = lo; i <= hi; ++i) expected = std::max(expected, shadow[i]);
+      ASSERT_EQ(tree.range_max(lo, hi), expected) << "[" << lo << "," << hi << "]";
+    }
+  }
+}
+
+TEST(SegmentTree, GlobalMax) {
+  util::SegmentTree<int> tree(8);
+  tree.range_add(2, 5, 7);
+  tree.range_add(4, 7, 3);
+  EXPECT_EQ(tree.global_max(), 10);
+  EXPECT_EQ(tree.range_max(0, 1), 0);
+}
+
+TEST(SegmentTree, SingleElement) {
+  util::SegmentTree<int> tree(1);
+  tree.range_add(0, 0, 5);
+  EXPECT_EQ(tree.range_max(0, 0), 5);
+}
+
+// ----------------------------------------------------------------- PFOO-U
+
+std::vector<Request> random_instance(util::Xoshiro256& rng, std::size_t n_keys,
+                                     std::size_t n_requests) {
+  std::vector<std::uint64_t> sizes;
+  for (std::size_t k = 0; k < n_keys; ++k) sizes.push_back(1 + rng.next_below(6));
+  std::vector<Request> reqs;
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    const auto k = rng.next_below(n_keys);
+    reqs.push_back({static_cast<double>(i), k, sizes[k]});
+  }
+  return reqs;
+}
+
+TEST(PfooU, NeverExceedsExactOpt) {
+  // PFOO-U is a feasible offline schedule, so its hits lower-bound OPT.
+  util::Xoshiro256 rng(77);
+  for (int instance = 0; instance < 40; ++instance) {
+    const auto reqs = random_instance(rng, 3 + rng.next_below(4), 16);
+    const std::uint64_t capacity = 3 + rng.next_below(8);
+    const auto u = opt::pfoo_u(reqs, capacity);
+    const auto exact = opt::exact_opt_hits(reqs, capacity);
+    ASSERT_LE(u.hits, exact) << "instance " << instance;
+  }
+}
+
+TEST(PfooU, BracketsOptWithPfooL) {
+  util::Xoshiro256 rng(78);
+  for (int instance = 0; instance < 20; ++instance) {
+    const auto reqs = random_instance(rng, 5, 18);
+    const std::uint64_t capacity = 4 + rng.next_below(6);
+    const auto u = opt::pfoo_u(reqs, capacity);
+    const auto l = opt::pfoo_l(reqs, capacity);
+    const auto exact = opt::exact_opt_hits(reqs, capacity);
+    ASSERT_LE(u.hits, exact);
+    ASSERT_GE(l.hits, exact);
+  }
+}
+
+TEST(PfooU, TightOnUncontendedTrace) {
+  // When everything fits, PFOO-U achieves every reuse.
+  std::vector<Request> reqs;
+  for (int i = 0; i < 100; ++i) {
+    reqs.push_back({static_cast<double>(i), static_cast<trace::Key>(i % 10), 10});
+  }
+  const auto u = opt::pfoo_u(reqs, 1'000);
+  EXPECT_EQ(u.hits, 90u);
+}
+
+TEST(PfooU, BracketIsOrderedOnRealisticTrace) {
+  const auto t = gen::make_trace(gen::TraceClass::kCdnA, 20'000, 31);
+  const std::uint64_t capacity = 8ULL << 30;
+  const auto u = opt::pfoo_u(t.requests(), capacity);
+  const auto l = opt::pfoo_l(t.requests(), capacity);
+  EXPECT_LE(u.hits, l.hits);
+  EXPECT_GT(u.hits, 0u);
+  // The bracket should be reasonably tight (within a few percentage points).
+  EXPECT_LT(l.hit_ratio() - u.hit_ratio(), 0.15);
+}
+
+TEST(PfooU, EmptyTrace) {
+  const auto u = opt::pfoo_u({}, 100);
+  EXPECT_EQ(u.requests, 0u);
+  EXPECT_EQ(u.hits, 0u);
+}
+
+}  // namespace
+}  // namespace lhr

@@ -1,0 +1,348 @@
+// Behavioral tests for the extended baseline set: GDS, LHD, Hyperbolic,
+// ARC, S4LRU, SecondHit. (The cross-policy property suite in
+// policies_test.cpp covers them automatically via the factory.)
+#include <gtest/gtest.h>
+
+#include "gen/zipf.hpp"
+#include "policies/arc.hpp"
+#include "policies/gds.hpp"
+#include "policies/hyperbolic.hpp"
+#include "policies/lhd.hpp"
+#include "policies/lirs.hpp"
+#include "policies/lru.hpp"
+#include "policies/s4lru.hpp"
+#include "policies/second_hit.hpp"
+#include "policies/tinylfu.hpp"
+#include "policies/two_q.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::policy {
+namespace {
+
+trace::Trace zipf_trace(std::size_t n, std::size_t contents, double alpha,
+                        std::uint64_t size, std::uint64_t seed) {
+  gen::ZipfSampler zipf(contents, alpha);
+  util::Xoshiro256 rng(seed);
+  trace::Trace t;
+  for (std::size_t i = 0; i < n; ++i) {
+    t.push_back({static_cast<double>(i), zipf.sample(rng), size});
+  }
+  return t;
+}
+
+// ------------------------------------------------------------------- GDS
+
+TEST(GdsPolicy, PrefersEvictingLargeObjects) {
+  Gds gds(1000);
+  gds.access({1.0, 1, 800});
+  gds.access({2.0, 2, 100});
+  gds.access({3.0, 3, 900});  // must displace the 800-byte object
+  EXPECT_TRUE(gds.access({4.0, 2, 100}));
+  EXPECT_FALSE(gds.access({5.0, 1, 800}));
+}
+
+TEST(GdsPolicy, SmallObjectOutranksEqualRecencyLarge) {
+  Gds gds(300);
+  gds.access({1.0, 1, 50});    // priority 1/50
+  gds.access({2.0, 2, 100});   // priority 1/100
+  gds.access({3.0, 3, 100});   // priority 1/100
+  gds.access({4.0, 4, 100});   // needs 50 bytes: evicts a 1/100 object
+  EXPECT_TRUE(gds.access({5.0, 1, 50}));  // the small dense object survives
+}
+
+// ------------------------------------------------------------------- LHD
+
+TEST(LhdPolicy, CapacityInvariantAndLearns) {
+  LhdConfig cfg;
+  cfg.reconfigure_interval = 2'000;
+  Lhd lhd(50'000, cfg);
+  const auto t = zipf_trace(30'000, 1'000, 1.0, 1'000, 3);
+  for (const auto& r : t) {
+    lhd.access(r);
+    ASSERT_LE(lhd.used_bytes(), 50'000u);
+  }
+  EXPECT_GT(lhd.metadata_bytes(), 0u);
+}
+
+TEST(LhdPolicy, BeatsRandomOnSkewedWorkload) {
+  const auto t = zipf_trace(60'000, 2'000, 1.1, 1'000, 5);
+  LhdConfig cfg;
+  cfg.reconfigure_interval = 5'000;
+  Lhd lhd(100'000, cfg);
+  const double lhd_ratio = sim::simulate(lhd, t).object_hit_ratio();
+
+  // LRU as the sanity baseline: LHD should be at least comparable.
+  Lru lru(100'000);
+  const double lru_ratio = sim::simulate(lru, t).object_hit_ratio();
+  EXPECT_GE(lhd_ratio, lru_ratio - 0.05);
+}
+
+// ------------------------------------------------------------ Hyperbolic
+
+TEST(HyperbolicPolicy, KeepsFrequentlyRequestedObjects) {
+  Hyperbolic hyp(300, /*sample=*/1000);
+  for (int i = 0; i < 20; ++i) hyp.access({i * 1.0, 1, 100});  // hot
+  hyp.access({30.0, 2, 100});
+  hyp.access({31.0, 3, 100});
+  hyp.access({32.0, 4, 100});  // evicts one of the cold newcomers
+  EXPECT_TRUE(hyp.access({33.0, 1, 100}));
+}
+
+TEST(HyperbolicPolicy, CapacityInvariant) {
+  Hyperbolic hyp(20'000);
+  const auto t = zipf_trace(20'000, 500, 0.8, 700, 7);
+  for (const auto& r : t) {
+    hyp.access(r);
+    ASSERT_LE(hyp.used_bytes(), 20'000u);
+  }
+}
+
+// ------------------------------------------------------------------- ARC
+
+TEST(ArcPolicy, ResidentHitPromotesToT2) {
+  Arc arc(1000);
+  arc.access({1.0, 1, 100});
+  EXPECT_TRUE(arc.access({2.0, 1, 100}));
+  EXPECT_TRUE(arc.access({3.0, 1, 100}));
+}
+
+TEST(ArcPolicy, GhostHitAdaptsTarget) {
+  Arc arc(300);
+  // Fill T1 with 3 objects, push one out to B1, then re-request it.
+  arc.access({1.0, 1, 100});
+  arc.access({2.0, 2, 100});
+  arc.access({3.0, 3, 100});
+  arc.access({4.0, 4, 100});  // evicts 1 into B1
+  const double p_before = arc.target_p();
+  arc.access({5.0, 1, 100});  // B1 ghost hit: p must increase (favor recency)
+  EXPECT_GT(arc.target_p(), p_before);
+}
+
+TEST(ArcPolicy, ScanResistance) {
+  // A long scan of one-hit wonders must not flush the hot set that ARC has
+  // promoted to T2 — the classic ARC selling point.
+  Arc arc(1'000);
+  for (int rep = 0; rep < 3; ++rep) {
+    for (trace::Key k = 1; k <= 5; ++k) {
+      arc.access({rep * 10.0 + static_cast<double>(k), k, 100});
+    }
+  }
+  // Scan: 200 distinct keys.
+  for (int i = 0; i < 200; ++i) {
+    arc.access({100.0 + i, 10'000 + static_cast<trace::Key>(i), 100});
+  }
+  int hot_still_cached = 0;
+  for (trace::Key k = 1; k <= 5; ++k) {
+    hot_still_cached += arc.access({400.0 + static_cast<double>(k), k, 100});
+  }
+  EXPECT_GE(hot_still_cached, 3);
+}
+
+TEST(ArcPolicy, CapacityInvariant) {
+  Arc arc(30'000);
+  const auto t = zipf_trace(30'000, 800, 0.9, 900, 11);
+  for (const auto& r : t) {
+    arc.access(r);
+    ASSERT_LE(arc.used_bytes(), 30'000u);
+  }
+}
+
+// ----------------------------------------------------------------- S4LRU
+
+TEST(S4LruPolicy, HitsPromoteAcrossSegments) {
+  S4Lru s4(4'000);  // 1000 bytes per segment
+  s4.access({1.0, 1, 500});
+  EXPECT_EQ(s4.segment_bytes(0), 500u);
+  EXPECT_TRUE(s4.access({2.0, 1, 500}));  // promote L0 -> L1
+  EXPECT_EQ(s4.segment_bytes(0), 0u);
+  EXPECT_EQ(s4.segment_bytes(1), 500u);
+  EXPECT_TRUE(s4.access({3.0, 1, 500}));  // L1 -> L2
+  EXPECT_TRUE(s4.access({4.0, 1, 500}));  // L2 -> L3
+  EXPECT_TRUE(s4.access({5.0, 1, 500}));  // stays L3
+  EXPECT_EQ(s4.segment_bytes(3), 500u);
+}
+
+TEST(S4LruPolicy, DemotionCascade) {
+  S4Lru s4(4'000);
+  // Promote key 1 to L1, then overflow L0 with singles: they evict from L0
+  // while key 1 survives in L1.
+  s4.access({1.0, 1, 500});
+  s4.access({2.0, 1, 500});
+  for (trace::Key k = 10; k < 20; ++k) {
+    s4.access({3.0 + static_cast<double>(k), k, 500});
+  }
+  EXPECT_TRUE(s4.access({30.0, 1, 500}));
+}
+
+TEST(S4LruPolicy, ObjectsBiggerThanSegmentBypass) {
+  S4Lru s4(4'000);
+  EXPECT_FALSE(s4.access({1.0, 1, 1'500}));
+  EXPECT_FALSE(s4.access({2.0, 1, 1'500}));  // never cached
+  EXPECT_EQ(s4.used_bytes(), 0u);
+}
+
+TEST(S4LruPolicy, CapacityInvariant) {
+  S4Lru s4(20'000);
+  const auto t = zipf_trace(20'000, 400, 1.0, 800, 13);
+  for (const auto& r : t) {
+    s4.access(r);
+    ASSERT_LE(s4.used_bytes(), 20'000u);
+  }
+}
+
+// ------------------------------------------------------------- SecondHit
+
+TEST(SecondHitPolicy, AdmitsOnSecondRequestWithinHorizon) {
+  SecondHit sh(10'000, SecondHitConfig{.history_horizon_s = 100.0});
+  sh.access({1.0, 1, 500});
+  EXPECT_EQ(sh.used_bytes(), 0u);        // first sighting: remembered only
+  sh.access({50.0, 1, 500});             // second within horizon: admitted
+  EXPECT_EQ(sh.used_bytes(), 500u);
+  EXPECT_TRUE(sh.access({60.0, 1, 500}));
+}
+
+TEST(SecondHitPolicy, ExpiredHistoryDoesNotAdmit) {
+  SecondHit sh(10'000, SecondHitConfig{.history_horizon_s = 10.0});
+  sh.access({1.0, 1, 500});
+  sh.access({100.0, 1, 500});  // horizon long passed: counts as first again
+  EXPECT_EQ(sh.used_bytes(), 0u);
+  sh.access({105.0, 1, 500});  // second sighting of the new epoch
+  EXPECT_EQ(sh.used_bytes(), 500u);
+}
+
+TEST(SecondHitPolicy, OneHitWondersNeverOccupySpace) {
+  SecondHit sh(50'000);
+  for (int i = 0; i < 5'000; ++i) {
+    sh.access({i * 1.0, 1'000'000 + static_cast<trace::Key>(i), 700});
+  }
+  EXPECT_EQ(sh.used_bytes(), 0u);
+}
+
+// ------------------------------------------------------------------ LIRS
+
+TEST(LirsPolicy, GhostHitPromotesToLir) {
+  Lirs lirs(1'000);
+  // Cold start: keys 1..9 fill the LIR budget (900 bytes).
+  for (trace::Key k = 1; k <= 9; ++k) {
+    lirs.access({static_cast<double>(k), k, 100});
+  }
+  EXPECT_EQ(lirs.lir_bytes(), 900u);
+  // Key 50 enters as resident HIR, is evicted by key 51, leaving a ghost.
+  lirs.access({20.0, 50, 100});
+  lirs.access({21.0, 51, 100});
+  EXPECT_GE(lirs.ghost_count(), 1u);
+  // Ghost hit: key 50 returns -> promoted to LIR (a hot LIR demotes).
+  EXPECT_FALSE(lirs.access({22.0, 50, 100}));
+  EXPECT_TRUE(lirs.access({23.0, 50, 100}));
+}
+
+TEST(LirsPolicy, ScanResistance) {
+  Lirs lirs(1'000);
+  // Establish a hot LIR set.
+  for (int round = 0; round < 3; ++round) {
+    for (trace::Key k = 1; k <= 8; ++k) {
+      lirs.access({round * 10.0 + static_cast<double>(k), k, 100});
+    }
+  }
+  // Long scan of singles: must churn through the small HIR queue only.
+  for (int i = 0; i < 300; ++i) {
+    lirs.access({100.0 + i, 10'000 + static_cast<trace::Key>(i), 100});
+  }
+  int hot_hits = 0;
+  for (trace::Key k = 1; k <= 8; ++k) {
+    hot_hits += lirs.access({500.0 + static_cast<double>(k), k, 100});
+  }
+  EXPECT_GE(hot_hits, 6);
+}
+
+TEST(LirsPolicy, CapacityInvariantUnderChurn) {
+  Lirs lirs(30'000);
+  const auto t = zipf_trace(30'000, 800, 0.9, 700, 23);
+  for (const auto& r : t) {
+    lirs.access(r);
+    ASSERT_LE(lirs.used_bytes(), 30'000u);
+  }
+  EXPECT_GT(lirs.metadata_bytes(), 0u);
+}
+
+TEST(LirsPolicy, GhostPopulationIsBounded) {
+  Lirs lirs(10'000, LirsConfig{.lir_fraction = 0.9, .ghost_bytes_fraction = 1.0});
+  // Endless one-hit wonders: ghosts must not grow without bound.
+  for (int i = 0; i < 20'000; ++i) {
+    lirs.access({i * 1.0, 1'000'000 + static_cast<trace::Key>(i), 500});
+  }
+  EXPECT_LE(lirs.ghost_count(), 10'000u / 500 + 4);  // ~ghost byte budget
+}
+
+// ------------------------------------------------- adaptive W-TinyLFU
+
+TEST(WTinyLfuAdaptive, WindowFractionMovesAndCapacityHolds) {
+  WTinyLfuConfig cfg;
+  cfg.adaptive_window = true;
+  cfg.adapt_interval = 2'000;
+  WTinyLfu w(50'000, cfg);
+  const double f0 = w.window_fraction();
+  const auto t = zipf_trace(40'000, 1'500, 0.7, 600, 17);
+  bool moved = false;
+  for (const auto& r : t) {
+    w.access(r);
+    ASSERT_LE(w.used_bytes(), 50'000u);
+    if (w.window_fraction() != f0) moved = true;
+  }
+  EXPECT_TRUE(moved);
+  EXPECT_GE(w.window_fraction(), 0.01);
+  EXPECT_LE(w.window_fraction(), 0.80);
+}
+
+TEST(WTinyLfuAdaptive, DisabledByDefault) {
+  WTinyLfu w(50'000);
+  const double f0 = w.window_fraction();
+  const auto t = zipf_trace(10'000, 500, 0.9, 500, 19);
+  for (const auto& r : t) w.access(r);
+  EXPECT_DOUBLE_EQ(w.window_fraction(), f0);
+}
+
+// -------------------------------------------------------------------- 2Q
+
+TEST(TwoQPolicy, GhostProvenKeysGoToMain) {
+  TwoQ q(1'000);
+  // Key 1 enters A1in (kin = 250 bytes), gets pushed out into the ghost
+  // list by newer singles, then returns: second admission goes to Am.
+  q.access({1.0, 1, 200});
+  for (trace::Key k = 10; k < 16; ++k) {
+    q.access({2.0 + static_cast<double>(k), k, 200});
+  }
+  EXPECT_FALSE(q.access({20.0, 1, 200}));  // miss, but ghost-proven -> Am
+  // Now a scan of singles must NOT evict key 1 (it lives in Am; the scan
+  // churns through A1in).
+  for (trace::Key k = 100; k < 130; ++k) {
+    q.access({30.0 + static_cast<double>(k), k, 200});
+  }
+  EXPECT_TRUE(q.access({100.0, 1, 200}));
+}
+
+TEST(TwoQPolicy, A1inHitDoesNotPromote) {
+  TwoQ q(1'000);
+  q.access({1.0, 1, 100});
+  EXPECT_TRUE(q.access({2.0, 1, 100}));  // hit inside A1in
+  // Push enough singles to flush A1in: key 1 must be evicted (it never
+  // reached Am despite the correlated hit).
+  for (trace::Key k = 10; k < 40; ++k) {
+    q.access({3.0 + static_cast<double>(k), k, 100});
+  }
+  EXPECT_FALSE(q.access({50.0, 1, 100}));
+}
+
+TEST(TwoQPolicy, CapacityInvariant) {
+  TwoQ q(20'000);
+  const auto t = zipf_trace(20'000, 500, 0.9, 700, 21);
+  for (const auto& r : t) {
+    q.access(r);
+    ASSERT_LE(q.used_bytes(), 20'000u);
+  }
+  EXPECT_GT(q.metadata_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace lhr::policy

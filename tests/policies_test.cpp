@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_set>
+
+#include "core/policy_factory.hpp"
+#include "gen/cdn_model.hpp"
+#include "gen/zipf.hpp"
+#include "opt/bounds.hpp"
+#include "policies/adaptsize.hpp"
+#include "policies/b_lru.hpp"
+#include "policies/gdsf.hpp"
+#include "policies/hawkeye.hpp"
+#include "policies/lfu_da.hpp"
+#include "policies/lrb.hpp"
+#include "policies/lru.hpp"
+#include "policies/lru_k.hpp"
+#include "policies/sampled_set.hpp"
+#include "policies/tinylfu.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::policy {
+namespace {
+
+using trace::Request;
+
+// ------------------------------------------------------------ SampledSet
+
+TEST(SampledKeySet, InsertEraseSample) {
+  SampledKeySet set;
+  for (trace::Key k = 0; k < 10; ++k) set.insert(k);
+  EXPECT_EQ(set.size(), 10u);
+  set.insert(5);  // duplicate ignored
+  EXPECT_EQ(set.size(), 10u);
+  set.erase(5);
+  EXPECT_FALSE(set.contains(5));
+  set.erase(5);  // idempotent
+  EXPECT_EQ(set.size(), 9u);
+
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(set.contains(set.sample(rng)));
+}
+
+// ------------------------------------------------------------------- LRU
+
+TEST(LruPolicy, EvictsLeastRecentlyUsed) {
+  Lru lru(300);
+  lru.access({1.0, 1, 100});
+  lru.access({2.0, 2, 100});
+  lru.access({3.0, 3, 100});
+  lru.access({4.0, 1, 100});   // touch 1: order is now 1,3,2
+  lru.access({5.0, 4, 100});   // evicts 2
+  EXPECT_TRUE(lru.access({6.0, 1, 100}));
+  EXPECT_TRUE(lru.access({7.0, 3, 100}));
+  EXPECT_FALSE(lru.access({8.0, 2, 100}));  // 2 was evicted
+}
+
+TEST(LruPolicy, OversizedObjectsBypass) {
+  Lru lru(100);
+  EXPECT_FALSE(lru.access({1.0, 1, 500}));
+  EXPECT_FALSE(lru.access({2.0, 1, 500}));  // still a miss, never cached
+  EXPECT_EQ(lru.used_bytes(), 0u);
+}
+
+TEST(LruPolicy, CapacityShrinkEvicts) {
+  Lru lru(300);
+  for (trace::Key k = 1; k <= 3; ++k) lru.access({static_cast<double>(k), k, 100});
+  lru.set_capacity(100);
+  lru.access({10.0, 9, 100});  // forces eviction down to the new capacity
+  EXPECT_LE(lru.used_bytes(), 100u);
+}
+
+// ----------------------------------------------------------------- LRU-K
+
+TEST(LruKPolicy, NameReflectsK) {
+  EXPECT_EQ(LruK(1000, 4).name(), "LRU-4");
+  EXPECT_EQ(LruK(1000, 2).name(), "LRU-2");
+}
+
+TEST(LruKPolicy, PrefersEvictingSingleReferenceObjects) {
+  LruK lruk(300, 2, 1000 /*sample >= population: exact scan*/);
+  // Build up: key 1 referenced 3 times (has 2-history), keys 2,3 once.
+  lruk.access({1.0, 1, 100});
+  lruk.access({2.0, 1, 100});
+  lruk.access({3.0, 1, 100});
+  lruk.access({4.0, 2, 100});
+  lruk.access({5.0, 3, 100});
+  lruk.access({6.0, 4, 100});  // must evict 2 (oldest with < K refs), not 1
+  EXPECT_TRUE(lruk.access({7.0, 1, 100}));
+  EXPECT_FALSE(lruk.access({8.0, 2, 100}));
+}
+
+// ---------------------------------------------------------------- LFU-DA
+
+TEST(LfuDaPolicy, KeepsFrequentObjects) {
+  LfuDa lfu(300);
+  for (int i = 0; i < 10; ++i) lfu.access({i * 1.0, 1, 100});  // hot
+  lfu.access({20.0, 2, 100});
+  lfu.access({21.0, 3, 100});
+  lfu.access({22.0, 4, 100});  // cache full: must evict 2 or 3, never 1
+  EXPECT_TRUE(lfu.access({23.0, 1, 100}));
+}
+
+TEST(LfuDaPolicy, AgingAllowsNewContentEventually) {
+  LfuDa lfu(200);
+  for (int i = 0; i < 50; ++i) lfu.access({i * 1.0, 1, 100});  // very hot once
+  // New contents keep arriving; dynamic aging must let them displace key 1's
+  // stale priority after enough evictions.
+  bool key1_evicted = false;
+  for (trace::Key k = 10; k < 200; ++k) {
+    lfu.access({100.0 + static_cast<double>(k), k, 100});
+    lfu.access({100.5 + static_cast<double>(k), k, 100});
+    lfu.access({100.7 + static_cast<double>(k), k, 100});
+  }
+  key1_evicted = !lfu.access({1000.0, 1, 100});
+  EXPECT_TRUE(key1_evicted);
+}
+
+// ------------------------------------------------------------------ GDSF
+
+TEST(GdsfPolicy, PrefersEvictingLargeObjects) {
+  Gdsf gdsf(1000);
+  gdsf.access({1.0, 1, 800});  // big
+  gdsf.access({2.0, 2, 100});  // small
+  gdsf.access({3.0, 3, 900});  // needs 900 free: evicts the big one first
+  EXPECT_TRUE(gdsf.access({4.0, 2, 100}));
+  EXPECT_FALSE(gdsf.access({5.0, 1, 800}));
+}
+
+// ------------------------------------------------------------- AdaptSize
+
+TEST(AdaptSizePolicy, AdmitsSmallObjectsPreferentially) {
+  AdaptSizeConfig cfg;
+  AdaptSize as(1'000'000, cfg);
+  util::Xoshiro256 rng(1);
+  // c starts at capacity/10 = 100'000.
+  int small_admitted = 0, huge_admitted = 0;
+  for (int i = 0; i < 200; ++i) {
+    AdaptSize fresh(1'000'000, cfg);
+    fresh.access({1.0, 1, 1'000});
+    small_admitted += fresh.used_bytes() > 0;
+    AdaptSize fresh2(1'000'000, cfg);
+    fresh2.access({1.0, 2, 900'000});
+    huge_admitted += fresh2.used_bytes() > 0;
+  }
+  EXPECT_GT(small_admitted, 190);
+  EXPECT_LT(huge_admitted, 10);
+}
+
+TEST(AdaptSizePolicy, TunesThresholdFromWorkload) {
+  AdaptSizeConfig cfg;
+  cfg.reconfigure_interval = 5'000;
+  AdaptSize as(100'000, cfg);
+  const double c0 = as.threshold_c();
+  // Workload of hot small objects + one-hit large objects: the model should
+  // pick a c below the initial capacity/10.
+  util::Xoshiro256 rng(2);
+  gen::ZipfSampler zipf(50, 1.0);
+  for (int i = 0; i < 12'000; ++i) {
+    if (i % 3 == 0) {
+      as.access({i * 1.0, 100'000 + static_cast<trace::Key>(i), 50'000});  // 1-hit big
+    } else {
+      as.access({i * 1.0, zipf.sample(rng), 500});
+    }
+  }
+  EXPECT_NE(as.threshold_c(), c0);  // reconfiguration actually ran
+}
+
+// ----------------------------------------------------------------- B-LRU
+
+TEST(BLruPolicy, RejectsFirstOccurrence) {
+  BLru blru(1000);
+  blru.access({1.0, 1, 100});
+  EXPECT_EQ(blru.used_bytes(), 0u);   // not admitted on first sight
+  blru.access({2.0, 1, 100});         // second occurrence: admitted
+  EXPECT_EQ(blru.used_bytes(), 100u);
+  EXPECT_TRUE(blru.access({3.0, 1, 100}));
+}
+
+TEST(BLruPolicy, ShieldsAgainstOneHitWonders) {
+  BLru blru(10'000);
+  Lru lru(10'000);
+  // Stream of unique objects + one hot object.
+  util::Xoshiro256 rng(3);
+  std::uint64_t blru_hot_hits = 0;
+  for (int i = 0; i < 2000; ++i) {
+    blru.access({i * 1.0, 1'000'000 + static_cast<trace::Key>(i), 200});
+    lru.access({i * 1.0, 1'000'000 + static_cast<trace::Key>(i), 200});
+    if (i % 5 == 0) {
+      blru_hot_hits += blru.access({i * 1.0 + 0.5, 7, 200});
+      lru.access({i * 1.0 + 0.5, 7, 200});
+    }
+  }
+  // One-hit wonders never occupy B-LRU space.
+  EXPECT_LT(blru.object_count(), 10u);
+  EXPECT_GT(blru_hot_hits, 300u);
+}
+
+// --------------------------------------------------------------- TinyLFU
+
+TEST(TinyLfuPolicy, FrequencyDuelProtectsHotVictims) {
+  TinyLfu tiny(200);
+  // Make key 1 very frequent.
+  for (int i = 0; i < 10; ++i) tiny.access({i * 1.0, 1, 200});
+  // A cold newcomer must lose the duel and be bypassed.
+  tiny.access({20.0, 2, 200});
+  EXPECT_TRUE(tiny.access({21.0, 1, 200}));
+  EXPECT_FALSE(tiny.access({22.0, 2, 200}));
+}
+
+TEST(TinyLfuPolicy, FrequentNewcomerDisplacesColdResident) {
+  TinyLfu tiny(200);
+  tiny.access({1.0, 1, 200});  // resident, frequency 1
+  // Key 2 becomes more frequent than key 1 (requests are counted even
+  // while it is not resident).
+  for (int i = 0; i < 8; ++i) tiny.access({2.0 + i, 2, 200});
+  EXPECT_TRUE(tiny.access({20.0, 2, 200}));  // eventually admitted and hit
+}
+
+TEST(WTinyLfuPolicy, PromotionThroughSegments) {
+  WTinyLfuConfig cfg;
+  cfg.window_fraction = 0.1;
+  WTinyLfu w(10'000, cfg);
+  // New object enters the window.
+  w.access({1.0, 1, 500});
+  EXPECT_EQ(w.used_bytes(), 500u);
+  // Re-requests keep it alive and eventually promoted via probation.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(w.access({2.0 + i, 1, 500}));
+  }
+  // Push enough distinct objects through the window to overflow it.
+  for (trace::Key k = 100; k < 130; ++k) {
+    w.access({50.0 + static_cast<double>(k), k, 500});
+  }
+  // The hot object must still be resident.
+  EXPECT_TRUE(w.access({200.0, 1, 500}));
+}
+
+TEST(WTinyLfuPolicy, CapacityInvariantUnderChurn) {
+  WTinyLfu w(20'000);
+  util::Xoshiro256 rng(4);
+  for (int i = 0; i < 20'000; ++i) {
+    w.access({i * 1.0, rng.next_below(500), 100 + rng.next_below(900)});
+    ASSERT_LE(w.used_bytes(), 20'000u);
+  }
+}
+
+// --------------------------------------------------------------- Hawkeye
+
+TEST(HawkeyePolicy, LearnsFriendlyContents) {
+  HawkeyeConfig cfg;
+  cfg.bucket_requests = 16;
+  Hawkeye hk(10'000, cfg);
+  // Content 1 re-referenced at short intervals with ample capacity: OPTgen
+  // labels it friendly, so it stays admitted and hits.
+  std::uint64_t hits = 0;
+  for (int i = 0; i < 400; ++i) {
+    hits += hk.access({i * 1.0, 1, 100});
+  }
+  EXPECT_TRUE(hk.predicts_friendly(1));
+  EXPECT_GT(hits, 350u);
+}
+
+TEST(HawkeyePolicy, DetrainsThrashingContents) {
+  HawkeyeConfig cfg;
+  cfg.bucket_requests = 4;
+  cfg.max_buckets = 64;
+  Hawkeye hk(1'000, cfg);
+  // 50 contents of 500 bytes cycling: reuse intervals never fit capacity 2
+  // objects => OPTgen labels everything unfriendly.
+  for (int round = 0; round < 40; ++round) {
+    for (trace::Key k = 0; k < 50; ++k) {
+      hk.access({round * 100.0 + static_cast<double>(k), k, 500});
+    }
+  }
+  int friendly = 0;
+  for (trace::Key k = 0; k < 50; ++k) friendly += hk.predicts_friendly(k);
+  EXPECT_LT(friendly, 25);
+}
+
+// ------------------------------------------------------------------- LRB
+
+TEST(LrbPolicy, TrainsAndKeepsCapacityInvariant) {
+  LrbConfig cfg;
+  cfg.memory_window = 4'096;
+  cfg.train_interval = 2'000;
+  cfg.max_train_samples = 2'000;
+  cfg.gbdt.num_trees = 5;
+  Lrb lrb(50'000, cfg);
+  gen::ZipfSampler zipf(300, 1.0);
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 20'000; ++i) {
+    lrb.access({i * 1.0, zipf.sample(rng), 100 + (zipf.sample(rng) % 7) * 100});
+    ASSERT_LE(lrb.used_bytes(), 50'000u);
+  }
+  EXPECT_TRUE(lrb.model_trained());
+  EXPECT_GT(lrb.trainings(), 0u);
+  EXPECT_GT(lrb.training_seconds(), 0.0);
+  EXPECT_GT(lrb.metadata_bytes(), 0u);
+}
+
+// ------------------------------------------- cross-policy property suite
+
+struct PropertyCase {
+  std::string policy;
+  std::uint64_t capacity;
+};
+
+class PolicyProperties : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(PolicyProperties, NeverExceedsCapacityAndOnlyHitsSeenKeys) {
+  const auto& param = GetParam();
+  auto policy = core::make_policy(param.policy, param.capacity);
+  const auto trace = gen::make_trace(gen::TraceClass::kCdnA, 8'000, 99);
+
+  std::unordered_set<trace::Key> seen;
+  for (const auto& r : trace) {
+    const bool hit = policy->access(r);
+    if (hit) {
+      EXPECT_TRUE(seen.contains(r.key)) << param.policy;
+    }
+    seen.insert(r.key);
+    ASSERT_LE(policy->used_bytes(), policy->capacity_bytes()) << param.policy;
+  }
+}
+
+TEST_P(PolicyProperties, DeterministicAcrossRuns) {
+  const auto& param = GetParam();
+  const auto trace = gen::make_trace(gen::TraceClass::kWiki, 5'000, 7);
+  auto a = core::make_policy(param.policy, param.capacity);
+  auto b = core::make_policy(param.policy, param.capacity);
+  for (const auto& r : trace) {
+    ASSERT_EQ(a->access(r), b->access(r)) << param.policy;
+  }
+}
+
+TEST_P(PolicyProperties, DominatedByInfiniteCap) {
+  const auto& param = GetParam();
+  const auto trace = gen::make_trace(gen::TraceClass::kCdnB, 8'000, 3);
+  auto policy = core::make_policy(param.policy, param.capacity);
+  const auto metrics = sim::simulate(*policy, trace);
+  const auto inf = opt::infinite_cap(trace.requests());
+  EXPECT_LE(metrics.hits, inf.hits) << param.policy;
+}
+
+std::vector<PropertyCase> property_cases() {
+  std::vector<PropertyCase> cases;
+  for (const auto& name : core::all_policy_names()) {
+    cases.push_back({name, 2ULL << 30});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyProperties,
+                         ::testing::ValuesIn(property_cases()),
+                         [](const ::testing::TestParamInfo<PropertyCase>& info) {
+                           std::string name = info.param.policy;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// --------------------------------------------------------------- Factory
+
+TEST(PolicyFactory, UnknownNameThrows) {
+  EXPECT_THROW(core::make_policy("NoSuchPolicy", 100), std::invalid_argument);
+}
+
+TEST(PolicyFactory, NamesRoundTrip) {
+  for (const auto& name : core::all_policy_names()) {
+    const auto policy = core::make_policy(name, 1 << 20);
+    EXPECT_EQ(policy->name(), name);
+  }
+}
+
+TEST(PolicyFactory, SotaListIsSevenAlgorithms) {
+  EXPECT_EQ(core::sota_policy_names().size(), 7u);
+}
+
+}  // namespace
+}  // namespace lhr::policy

@@ -1,0 +1,173 @@
+// Parameterized property sweeps across the whole policy/config space:
+// invariants that must hold for every policy, every trace class, and broad
+// ranges of the learners' hyperparameters.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/policy_factory.hpp"
+#include "gen/cdn_model.hpp"
+#include "gen/zipf.hpp"
+#include "hazard/hro.hpp"
+#include "ml/gbdt.hpp"
+#include "opt/bounds.hpp"
+#include "sim/engine.hpp"
+#include "trace/trace_stats.hpp"
+#include "util/rng.hpp"
+
+namespace lhr {
+namespace {
+
+// ------------------------------------------- capacity-shrink robustness
+
+class PolicyShrink : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PolicyShrink, SurvivesCapacityShrinkMidTrace) {
+  auto policy = core::make_policy(GetParam(), 1ULL << 30);
+  const auto t = gen::make_trace(gen::TraceClass::kWiki, 6'000, 77);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    policy->access(t[i]);
+    if (i == t.size() / 2) {
+      policy->set_capacity(policy->capacity_bytes() / 4);
+    }
+    if (i > t.size() / 2 + 64) {
+      // A few requests after the shrink, the invariant must be restored and
+      // hold for good.
+      ASSERT_LE(policy->used_bytes(), policy->capacity_bytes()) << GetParam();
+    }
+  }
+}
+
+TEST_P(PolicyShrink, ZeroCapacityNeverHits) {
+  auto policy = core::make_policy(GetParam(), 1);  // 1 byte: nothing fits
+  const auto t = gen::make_trace(gen::TraceClass::kCdnC, 2'000, 78);
+  for (const auto& r : t) {
+    ASSERT_FALSE(policy->access(r)) << GetParam();
+  }
+  EXPECT_EQ(policy->used_bytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyShrink,
+                         ::testing::ValuesIn(core::all_policy_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------- HRO capacity sweep
+
+class HroCapacitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HroCapacitySweep, HitRatioGrowsWithCapacity) {
+  // HRO at capacity C vs 4C: more room can only raise the knapsack bound
+  // (up to estimation noise).
+  gen::ZipfSampler zipf(2'000, 0.9);
+  util::Xoshiro256 rng(81);
+  trace::Trace t;
+  for (int i = 0; i < 40'000; ++i) {
+    t.push_back({i * 0.1, zipf.sample(rng), 1'000});
+  }
+  const auto base = static_cast<std::uint64_t>(GetParam());
+  hazard::Hro small(hazard::HroConfig{.capacity_bytes = base});
+  hazard::Hro large(hazard::HroConfig{.capacity_bytes = base * 4});
+  for (const auto& r : t) {
+    small.classify(r);
+    large.classify(r);
+  }
+  EXPECT_GE(large.hit_ratio(), small.hit_ratio() - 0.01) << "base " << base;
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, HroCapacitySweep,
+                         ::testing::Values(20'000.0, 100'000.0, 400'000.0));
+
+// -------------------------------------------------- GBDT config sweep
+
+struct GbdtSweepCase {
+  std::size_t trees;
+  std::size_t depth;
+  std::size_t bins;
+};
+
+class GbdtSweep : public ::testing::TestWithParam<GbdtSweepCase> {};
+
+TEST_P(GbdtSweep, LearnsStepFunctionAcrossConfigs) {
+  const auto& param = GetParam();
+  util::Xoshiro256 rng(83);
+  ml::Dataset d;
+  d.n_features = 1;
+  std::vector<float> y;
+  for (int i = 0; i < 3'000; ++i) {
+    const float x = static_cast<float>(rng.next_double() * 10.0);
+    d.values.push_back(x);
+    y.push_back(x < 5.0f ? 0.0f : 1.0f);
+  }
+  ml::GbdtConfig cfg;
+  cfg.num_trees = param.trees;
+  cfg.max_depth = param.depth;
+  cfg.max_bins = param.bins;
+  cfg.learning_rate = 0.4;
+  ml::Gbdt model;
+  model.fit(d, y, cfg);
+  EXPECT_LT(model.predict(std::vector<float>{1.0f}), 0.3);
+  EXPECT_GT(model.predict(std::vector<float>{9.0f}), 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, GbdtSweep,
+    ::testing::Values(GbdtSweepCase{5, 3, 16}, GbdtSweepCase{10, 6, 64},
+                      GbdtSweepCase{40, 2, 32}, GbdtSweepCase{20, 8, 128}),
+    [](const ::testing::TestParamInfo<GbdtSweepCase>& info) {
+      return "t" + std::to_string(info.param.trees) + "_d" +
+             std::to_string(info.param.depth) + "_b" + std::to_string(info.param.bins);
+    });
+
+// ------------------------------------------- trace-class calibration
+
+class TraceCalibration : public ::testing::TestWithParam<gen::TraceClass> {};
+
+TEST_P(TraceCalibration, MeanSizeTracksTable1) {
+  const auto t = gen::make_trace(GetParam(), 40'000, 91);
+  const auto s = trace::summarize(t);
+  double expected_mb = 0.0;
+  switch (GetParam()) {
+    case gen::TraceClass::kCdnA: expected_mb = 25.5; break;
+    case gen::TraceClass::kCdnB: expected_mb = 68.4; break;
+    case gen::TraceClass::kCdnC: expected_mb = 100.0; break;
+    case gen::TraceClass::kWiki: expected_mb = 69.5; break;
+  }
+  EXPECT_NEAR(s.mean_content_size_mb / expected_mb, 1.0, 0.35);
+}
+
+TEST_P(TraceCalibration, DurationMatchesTable1) {
+  const auto cfg = gen::make_config(GetParam(), 30'000, 92);
+  const auto t = gen::generate_cdn_trace(cfg);
+  EXPECT_NEAR(t.duration() / cfg.duration_seconds, 1.0, 0.3);
+}
+
+TEST_P(TraceCalibration, LruDominatedByBounds) {
+  const auto t = gen::make_trace(GetParam(), 15'000, 93);
+  const auto capacity = gen::headline_cache_size(GetParam(), 0.015);
+  auto lru = core::make_policy("LRU", capacity);
+  const double lru_ratio = sim::simulate(*lru, t).object_hit_ratio();
+  const auto pfoo = opt::infinite_cap(t.requests());
+  EXPECT_LE(lru_ratio, pfoo.hit_ratio() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, TraceCalibration,
+                         ::testing::Values(gen::TraceClass::kCdnA,
+                                           gen::TraceClass::kCdnB,
+                                           gen::TraceClass::kCdnC,
+                                           gen::TraceClass::kWiki),
+                         [](const ::testing::TestParamInfo<gen::TraceClass>& info) {
+                           std::string name = gen::to_string(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace lhr

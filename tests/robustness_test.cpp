@@ -1,0 +1,107 @@
+// Failure-injection / hostile-input robustness: the inputs a library meets
+// in the wild — CRLF trace files, zero-size objects, time going backwards,
+// extreme keys — must not crash or corrupt any component.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "core/policy_factory.hpp"
+#include "hazard/hro.hpp"
+#include "sim/engine.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace lhr {
+namespace {
+
+TEST(Robustness, CrlfTraceFilesParse) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "lhr_crlf_test.txt").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "1.0 7 100\r\n2.5 8 200\r\n";
+  }
+  const auto t = trace::read_trace_file(path);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[1].size, 200u);
+  std::filesystem::remove(path);
+}
+
+TEST(Robustness, ScientificNotationTimes) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "lhr_sci_test.txt").string();
+  {
+    std::ofstream out(path);
+    out << "1.5e3 1 100\n2e3 2 100\n";
+  }
+  const auto t = trace::read_trace_file(path);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t[0].time, 1500.0);
+  std::filesystem::remove(path);
+}
+
+trace::Trace hostile_trace() {
+  trace::Trace t;
+  const trace::Key huge = std::numeric_limits<trace::Key>::max();
+  // Duplicate timestamps, zero sizes, time going backwards, extreme keys.
+  t.push_back({10.0, 1, 100});
+  t.push_back({10.0, 2, 0});        // zero-size object
+  t.push_back({10.0, 1, 100});      // duplicate timestamp re-request
+  t.push_back({5.0, huge, 50});     // time goes backwards
+  t.push_back({5.0, huge - 1, 1});
+  t.push_back({6.0, 1, 100});
+  t.push_back({6.0, 2, 0});
+  for (int i = 0; i < 200; ++i) {
+    t.push_back({6.0 + i * 0.001, static_cast<trace::Key>(i % 7), (i % 3) * 100ull});
+  }
+  return t;
+}
+
+class HostileInput : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(HostileInput, PoliciesSurviveHostileTraces) {
+  auto policy = core::make_policy(GetParam(), 10'000);
+  const auto t = hostile_trace();
+  for (const auto& r : t) {
+    (void)policy->access(r);
+    ASSERT_LE(policy->used_bytes(), policy->capacity_bytes()) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, HostileInput,
+                         ::testing::ValuesIn(core::all_policy_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Robustness, HroSurvivesHostileTrace) {
+  hazard::Hro hro(hazard::HroConfig{.capacity_bytes = 10'000});
+  for (const auto& r : hostile_trace()) {
+    const auto d = hro.classify(r);
+    ASSERT_GE(d.rate, 0.0);
+  }
+  EXPECT_LE(hro.hit_ratio(), 1.0);
+}
+
+TEST(Robustness, SummaryOfHostileTraceIsFinite) {
+  const auto s = trace::summarize(hostile_trace());
+  EXPECT_GT(s.total_requests, 0u);
+  EXPECT_GE(s.unique_bytes_gb, 0.0);
+  EXPECT_GE(s.peak_active_bytes_gb, 0.0);
+}
+
+TEST(Robustness, EngineHandlesHostileTrace) {
+  auto policy = core::make_policy("LHR", 10'000);
+  const auto m = sim::simulate(*policy, hostile_trace());
+  EXPECT_EQ(m.requests, hostile_trace().size());
+  EXPECT_LE(m.object_hit_ratio(), 1.0);
+}
+
+}  // namespace
+}  // namespace lhr

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/policy_factory.hpp"
+#include "gen/cdn_model.hpp"
+#include "policies/lru.hpp"
+#include "policies/tinylfu.hpp"
+#include "server/cdn_server.hpp"
+
+namespace lhr::server {
+namespace {
+
+ServerConfig fast_config() {
+  ServerConfig cfg;
+  cfg.ram_bytes = 1 << 20;
+  return cfg;
+}
+
+trace::Trace tiny_trace() {
+  trace::Trace t;
+  double time = 0.0;
+  for (int round = 0; round < 50; ++round) {
+    for (trace::Key k = 1; k <= 5; ++k) {
+      t.push_back({time += 1.0, k, 100'000});
+    }
+  }
+  return t;
+}
+
+TEST(CdnServer, HitRateMatchesExpectation) {
+  CdnServer server(std::make_unique<policy::Lru>(10ULL << 20), fast_config());
+  const auto report = server.replay(tiny_trace(), ReplayMode::kNormal);
+  // 5 contents, 50 rounds: only the first 5 requests miss.
+  EXPECT_NEAR(report.content_hit_pct, 100.0 * 245.0 / 250.0, 0.5);
+  EXPECT_EQ(report.policy_name, "LRU");
+}
+
+TEST(CdnServer, ReportFieldsAreSane) {
+  CdnServer server(std::make_unique<policy::Lru>(10ULL << 20), fast_config());
+  const auto report = server.replay(tiny_trace(), ReplayMode::kNormal);
+  EXPECT_GT(report.throughput_gbps, 0.0);
+  EXPECT_GT(report.avg_latency_ms, 0.0);
+  EXPECT_LE(report.p90_latency_ms, report.p99_latency_ms + 1e-9);
+  EXPECT_GE(report.peak_cpu_pct, 0.0);
+  EXPECT_LE(report.peak_cpu_pct, 100.0);
+  EXPECT_GT(report.peak_mem_gb, 0.0);
+  EXPECT_GE(report.traffic_gbps, 0.0);
+}
+
+TEST(CdnServer, MaxModeThroughputExceedsNormal) {
+  // Back-to-back replay compresses the duration => higher throughput.
+  CdnServer normal_server(std::make_unique<policy::Lru>(10ULL << 20), fast_config());
+  CdnServer max_server(std::make_unique<policy::Lru>(10ULL << 20), fast_config());
+  const auto t = tiny_trace();
+  const auto normal = normal_server.replay(t, ReplayMode::kNormal);
+  const auto max = max_server.replay(t, ReplayMode::kMax);
+  EXPECT_GT(max.throughput_gbps, normal.throughput_gbps);
+  EXPECT_GT(max.peak_cpu_pct, normal.peak_cpu_pct);
+}
+
+TEST(CdnServer, MissesGenerateWanTraffic) {
+  // Cache far too small for the working set: everything misses.
+  ServerConfig cfg = fast_config();
+  cfg.ram_bytes = 1;  // effectively no RAM tier
+  CdnServer server(std::make_unique<policy::Lru>(1), cfg);
+  const auto report = server.replay(tiny_trace(), ReplayMode::kNormal);
+  EXPECT_LT(report.content_hit_pct, 1.0);
+  EXPECT_GT(report.traffic_gbps, 0.0);
+}
+
+TEST(CdnServer, FreshnessRevalidationRaisesLatency) {
+  ServerConfig fresh = fast_config();
+  fresh.freshness_ttl_s = 1e12;  // never stale
+  ServerConfig stale = fast_config();
+  stale.freshness_ttl_s = 0.5;   // always stale (requests are 1 s apart)
+  stale.revalidate_change_prob = 0.0;
+
+  CdnServer fresh_server(std::make_unique<policy::Lru>(10ULL << 20), fresh);
+  CdnServer stale_server(std::make_unique<policy::Lru>(10ULL << 20), stale);
+  const auto t = tiny_trace();
+  const auto fresh_report = fresh_server.replay(t, ReplayMode::kNormal);
+  const auto stale_report = stale_server.replay(t, ReplayMode::kNormal);
+  EXPECT_GT(stale_report.avg_latency_ms, fresh_report.avg_latency_ms);
+  // Revalidation without change keeps contents cached: hit pct unaffected.
+  EXPECT_NEAR(stale_report.content_hit_pct, fresh_report.content_hit_pct, 1.0);
+}
+
+TEST(CdnServer, InMemoryModeSkipsDiskSeek) {
+  ServerConfig disk = fast_config();
+  ServerConfig mem = fast_config();
+  mem.has_disk_tier = false;
+  // Use a RAM tier too small to matter so the disk path dominates.
+  disk.ram_bytes = 1;
+
+  CdnServer disk_server(std::make_unique<policy::Lru>(10ULL << 20), disk);
+  CdnServer mem_server(std::make_unique<policy::Lru>(10ULL << 20), mem);
+  const auto t = tiny_trace();
+  const auto d = disk_server.replay(t, ReplayMode::kNormal);
+  const auto m = mem_server.replay(t, ReplayMode::kNormal);
+  EXPECT_LT(m.avg_latency_ms, d.avg_latency_ms);
+}
+
+TEST(CdnServer, WindowSeriesCoversTrace) {
+  CdnServer server(std::make_unique<policy::Lru>(10ULL << 20), fast_config());
+  const auto report = server.replay(tiny_trace(), ReplayMode::kNormal, 100);
+  ASSERT_EQ(report.window_hit_ratio.size(), 3u);  // 250 requests / 100
+  // Later windows (warm cache) should hit more than the first.
+  EXPECT_GT(report.window_hit_ratio.back(), 0.9);
+}
+
+TEST(CdnServer, WorksWithLhrPolicy) {
+  CdnServer server(core::make_policy("LHR", 4ULL << 20), fast_config());
+  const auto trace = gen::make_trace(gen::TraceClass::kCdnC, 3'000, 21);
+  const auto report = server.replay(trace, ReplayMode::kNormal);
+  EXPECT_EQ(report.policy_name, "LHR");
+  EXPECT_GE(report.content_hit_pct, 0.0);
+}
+
+TEST(CdnServer, CaffeineStyleWTinyLfu) {
+  ServerConfig cfg = fast_config();
+  cfg.has_disk_tier = false;
+  CdnServer server(std::make_unique<policy::WTinyLfu>(8ULL << 20), cfg);
+  const auto report = server.replay(tiny_trace(), ReplayMode::kNormal);
+  EXPECT_EQ(report.policy_name, "W-TinyLFU");
+  EXPECT_GT(report.content_hit_pct, 50.0);
+}
+
+}  // namespace
+}  // namespace lhr::server

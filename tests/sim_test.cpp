@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "sim/cache_policy.hpp"
+#include "sim/engine.hpp"
+#include "sim/latency_model.hpp"
+#include "trace/trace.hpp"
+
+namespace lhr::sim {
+namespace {
+
+/// Test double: hits every request whose key it has seen, never evicts,
+/// reports a configurable metadata footprint.
+class RecordingPolicy final : public CacheBase {
+ public:
+  explicit RecordingPolicy(std::uint64_t capacity, std::uint64_t meta = 0)
+      : CacheBase(capacity), meta_(meta) {}
+
+  [[nodiscard]] std::string name() const override { return "Recording"; }
+  bool access(const trace::Request& r) override {
+    ++accesses_;
+    if (contains(r.key)) return true;
+    store_object(r.key, r.size);
+    return false;
+  }
+  [[nodiscard]] std::uint64_t metadata_bytes() const override { return meta_; }
+
+  std::uint64_t accesses_ = 0;
+  std::vector<std::uint64_t> capacity_history_;
+  void set_capacity(std::uint64_t bytes) override {
+    capacity_history_.push_back(bytes);
+    CacheBase::set_capacity(bytes);
+  }
+
+ private:
+  std::uint64_t meta_;
+};
+
+trace::Trace repeat_trace(std::size_t n) {
+  trace::Trace t;
+  for (std::size_t i = 0; i < n; ++i) {
+    t.push_back({static_cast<double>(i), i % 10, 100});
+  }
+  return t;
+}
+
+TEST(Engine, CountsHitsAndBytes) {
+  RecordingPolicy policy(1 << 20);
+  const auto t = repeat_trace(100);  // 10 distinct keys, requested 10x each
+  const auto m = simulate(policy, t);
+  EXPECT_EQ(m.requests, 100u);
+  EXPECT_EQ(m.hits, 90u);  // first request per key misses
+  EXPECT_DOUBLE_EQ(m.object_hit_ratio(), 0.9);
+  EXPECT_DOUBLE_EQ(m.bytes_requested, 100.0 * 100.0);
+  EXPECT_DOUBLE_EQ(m.bytes_hit, 90.0 * 100.0);
+  EXPECT_DOUBLE_EQ(m.wan_traffic_bytes(), 10.0 * 100.0);
+  EXPECT_EQ(policy.accesses_, 100u);
+}
+
+TEST(Engine, WarmupExcludesEarlyRequests) {
+  RecordingPolicy policy(1 << 20);
+  SimOptions opts;
+  opts.warmup_requests = 10;  // exactly the 10 cold misses
+  const auto m = simulate(policy, repeat_trace(100), opts);
+  EXPECT_EQ(m.requests, 90u);
+  EXPECT_EQ(m.hits, 90u);
+  EXPECT_DOUBLE_EQ(m.object_hit_ratio(), 1.0);
+}
+
+TEST(Engine, WindowSeries) {
+  RecordingPolicy policy(1 << 20);
+  SimOptions opts;
+  opts.window_requests = 30;
+  const auto m = simulate(policy, repeat_trace(100), opts);
+  ASSERT_EQ(m.windows.size(), 4u);  // 30+30+30+10
+  EXPECT_EQ(m.windows[0].requests, 30u);
+  EXPECT_EQ(m.windows[3].requests, 10u);
+  // First window contains all 10 misses.
+  EXPECT_EQ(m.windows[0].hits, 20u);
+  EXPECT_EQ(m.windows[1].hits, 30u);
+  std::uint64_t total_hits = 0;
+  for (const auto& w : m.windows) total_hits += w.hits;
+  EXPECT_EQ(total_hits, m.hits);
+}
+
+TEST(Engine, MetadataDeduction) {
+  RecordingPolicy policy(1'000'000, /*meta=*/250'000);
+  SimOptions opts;
+  opts.capacity_adjust_interval = 50;
+  const auto m = simulate(policy, repeat_trace(200), opts);
+  ASSERT_FALSE(policy.capacity_history_.empty());
+  EXPECT_EQ(policy.capacity_history_.front(), 750'000u);
+  EXPECT_EQ(m.peak_metadata_bytes, 250'000u);
+}
+
+TEST(Engine, MetadataDeductionDisabled) {
+  RecordingPolicy policy(1'000'000, 250'000);
+  SimOptions opts;
+  opts.deduct_metadata = false;
+  (void)simulate(policy, repeat_trace(200), opts);
+  EXPECT_TRUE(policy.capacity_history_.empty());
+}
+
+TEST(Engine, EmptyTrace) {
+  RecordingPolicy policy(100);
+  const auto m = simulate(policy, trace::Trace{});
+  EXPECT_EQ(m.requests, 0u);
+  EXPECT_DOUBLE_EQ(m.object_hit_ratio(), 0.0);
+  EXPECT_TRUE(m.windows.empty());
+}
+
+// --------------------------------------------------------- LatencyModel
+
+TEST(LatencyModel, HitLatencyIsDistancePlusTransfer) {
+  LatencyModelConfig cfg;
+  cfg.link_gbps = 8.0;
+  cfg.edge_rtt_s = 0.01;
+  LatencyModel model(cfg);
+  // 1 MB at 8 Gbps = 8e6 bits / 8e9 bps = 1 ms; plus 10 ms RTT.
+  const double latency = model.latency_seconds(1'000'000, true, 0.0);
+  EXPECT_NEAR(latency, 0.011, 1e-9);
+}
+
+TEST(LatencyModel, MissAddsOriginTerms) {
+  LatencyModelConfig cfg;
+  cfg.link_gbps = 8.0;
+  cfg.edge_rtt_s = 0.01;
+  cfg.origin_rtt_s = 0.06;
+  cfg.origin_gbps = 2.0;
+  LatencyModel model(cfg);
+  const double hit = model.latency_seconds(1'000'000, true, 0.0);
+  const double miss = model.latency_seconds(1'000'000, false, 0.0);
+  EXPECT_NEAR(miss - hit, 0.06 + 8e6 / 2e9, 1e-9);
+}
+
+TEST(LatencyModel, AlgoTimeAddsLinearly) {
+  LatencyModel model;
+  const double base = model.latency_seconds(1000, true, 0.0);
+  const double with_algo = model.latency_seconds(1000, true, 0.002);
+  EXPECT_NEAR(with_algo - base, 0.002, 1e-12);
+}
+
+TEST(LatencyModel, ThroughputImprovesWithHits) {
+  LatencyModel all_hits, all_misses;
+  for (int i = 0; i < 1000; ++i) {
+    all_hits.record(1'000'000, true, 0.0);
+    all_misses.record(1'000'000, false, 0.0);
+  }
+  EXPECT_GT(all_hits.throughput_gbps(), all_misses.throughput_gbps());
+  EXPECT_GT(all_misses.p99_latency_ms(), all_hits.p99_latency_ms());
+}
+
+TEST(LatencyModel, QuantilesOrdered) {
+  LatencyModel model;
+  for (int i = 0; i < 10'000; ++i) {
+    model.record(static_cast<std::uint64_t>(1000 + i * 997 % 5'000'000), i % 3 != 0,
+                 0.0);
+  }
+  EXPECT_LE(model.mean_latency_ms(), model.p99_latency_ms());
+  EXPECT_LE(model.p90_latency_ms(), model.p99_latency_ms());
+}
+
+}  // namespace
+}  // namespace lhr::sim

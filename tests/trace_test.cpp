@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <cmath>
+#include <fstream>
+
+#include "trace/trace.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace lhr::trace {
+namespace {
+
+Trace small_trace() {
+  // key 1 (size 100): t = 0, 10, 30;  key 2 (size 2000): t = 5;  key 3: t = 20.
+  return Trace{{{0.0, 1, 100},
+                {5.0, 2, 2000},
+                {10.0, 1, 100},
+                {20.0, 3, 50},
+                {30.0, 1, 100}}};
+}
+
+TEST(Trace, BasicAccessors) {
+  const Trace t = small_trace();
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_FALSE(t.empty());
+  EXPECT_DOUBLE_EQ(t.duration(), 30.0);
+  EXPECT_TRUE(t.is_time_ordered());
+  EXPECT_EQ(t[1].key, 2u);
+}
+
+TEST(Trace, SortRepairsOrder) {
+  Trace t{{{5.0, 1, 10}, {1.0, 2, 10}, {3.0, 3, 10}}};
+  EXPECT_FALSE(t.is_time_ordered());
+  t.sort_by_time();
+  EXPECT_TRUE(t.is_time_ordered());
+  EXPECT_EQ(t[0].key, 2u);
+}
+
+TEST(Trace, EmptyTraceDuration) {
+  EXPECT_DOUBLE_EQ(Trace{}.duration(), 0.0);
+  EXPECT_TRUE(Trace{}.is_time_ordered());
+}
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_ = std::filesystem::temp_directory_path() / "lhr_trace_test.txt";
+};
+
+TEST_F(TraceIoTest, RoundTrip) {
+  const Trace original = small_trace();
+  write_trace_file(original, path_);
+  const Trace loaded = read_trace_file(path_);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i], original[i]);
+  }
+}
+
+TEST_F(TraceIoTest, SkipsCommentsAndBlanks) {
+  std::ofstream out(path_);
+  out << "# a comment\n\n  \n1.5 7 100\n# another\n2.5 8 200\n";
+  out.close();
+  const Trace t = read_trace_file(path_);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].key, 7u);
+  EXPECT_EQ(t[1].size, 200u);
+}
+
+TEST_F(TraceIoTest, ThrowsOnMalformedLine) {
+  std::ofstream out(path_);
+  out << "1.0 2\n";  // missing size
+  out.close();
+  EXPECT_THROW(read_trace_file(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, ThrowsOnBadNumber) {
+  std::ofstream out(path_);
+  out << "1.0 abc 100\n";
+  out.close();
+  EXPECT_THROW(read_trace_file(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, ThrowsOnMissingFile) {
+  EXPECT_THROW(read_trace_file("/nonexistent/definitely/missing"), std::runtime_error);
+}
+
+// ----------------------------------------------------------- TraceStats
+
+TEST(TraceStats, SummaryColumnsOnHandBuiltTrace) {
+  const Trace t = small_trace();
+  const TraceSummary s = summarize(t);
+  EXPECT_NEAR(s.duration_hours, 30.0 / 3600.0, 1e-12);
+  EXPECT_EQ(s.unique_contents, 3u);
+  EXPECT_EQ(s.total_requests, 5u);
+  const double total_bytes = 100 + 2000 + 100 + 50 + 100;
+  EXPECT_NEAR(s.total_bytes_requested_tb * 1024.0 * 1024.0 * 1024.0 * 1024.0,
+              total_bytes, 1e-6);
+  const double unique_bytes = 100 + 2000 + 50;
+  EXPECT_NEAR(s.unique_bytes_gb * 1024.0 * 1024.0 * 1024.0, unique_bytes, 1e-6);
+  EXPECT_NEAR(s.mean_content_size_mb * 1024.0 * 1024.0, unique_bytes / 3.0, 1e-6);
+  EXPECT_NEAR(s.max_content_size_mb * 1024.0 * 1024.0, 2000.0, 1e-6);
+  // Contents 2 and 3 are one-hit wonders.
+  EXPECT_NEAR(s.one_hit_wonder_fraction, 2.0 / 3.0, 1e-12);
+}
+
+TEST(TraceStats, PeakActiveBytes) {
+  // key 1 active [0,30] (100 B), key 2 active only at t=5 (2000 B, single
+  // request => zero-length interval), key 3 single at t=20.
+  const Trace t = small_trace();
+  const TraceSummary s = summarize(t);
+  const double peak_bytes = s.peak_active_bytes_gb * 1024.0 * 1024.0 * 1024.0;
+  // At t=5 both key 1 and key 2 events coincide: peak = 2100.
+  EXPECT_NEAR(peak_bytes, 2100.0, 1e-6);
+}
+
+TEST(TraceStats, EmptyTraceSummary) {
+  const TraceSummary s = summarize(Trace{});
+  EXPECT_EQ(s.total_requests, 0u);
+  EXPECT_EQ(s.unique_contents, 0u);
+}
+
+TEST(TraceStats, PopularityCountsSorted) {
+  const auto counts = popularity_counts(small_trace());
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(TraceStats, ZipfFitRecoversAlphaFromIdealCounts) {
+  // counts[i] = round(C / (i+1)^0.8)
+  std::vector<std::uint64_t> counts;
+  for (int i = 1; i <= 2000; ++i) {
+    counts.push_back(static_cast<std::uint64_t>(1e6 / std::pow(i, 0.8)));
+  }
+  EXPECT_NEAR(fit_zipf_alpha(counts), 0.8, 0.02);
+}
+
+TEST(TraceStats, ZipfFitHandlesTinyInput) {
+  EXPECT_EQ(fit_zipf_alpha({}), 0.0);
+  EXPECT_EQ(fit_zipf_alpha({5}), 0.0);
+}
+
+TEST(TraceStats, InterRequestTimes) {
+  const auto irts = inter_request_times(small_trace());
+  // Only key 1 repeats: gaps 10 and 20.
+  ASSERT_EQ(irts.size(), 2u);
+  EXPECT_DOUBLE_EQ(irts[0], 10.0);
+  EXPECT_DOUBLE_EQ(irts[1], 20.0);
+}
+
+TEST(TraceStats, EmpiricalCdf) {
+  const auto cdf = empirical_cdf({1.0, 2.0, 3.0, 4.0}, {0.5, 2.0, 10.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.5);
+  EXPECT_DOUBLE_EQ(cdf[2], 1.0);
+}
+
+}  // namespace
+}  // namespace lhr::trace

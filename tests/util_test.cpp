@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "util/bloom_filter.hpp"
+#include "util/count_min_sketch.hpp"
+#include "util/density_index.hpp"
+#include "util/fenwick_tree.hpp"
+#include "util/hash.hpp"
+#include "util/least_squares.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace lhr::util {
+namespace {
+
+// ----------------------------------------------------------------- RNG
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleRoughlyUniform) {
+  Xoshiro256 rng(123);
+  double sum = 0.0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Xoshiro256 rng(5);
+  std::unordered_set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextBelowZeroReturnsZero) {
+  Xoshiro256 rng(5);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+// ----------------------------------------------------------------- Hash
+
+TEST(Hash, Fnv1aMatchesKnownVector) {
+  // FNV-1a("") = offset basis.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+}
+
+TEST(Hash, Mix64IsBijectiveOnSamples) {
+  std::unordered_set<std::uint64_t> outputs;
+  for (std::uint64_t x = 0; x < 10'000; ++x) outputs.insert(mix64(x));
+  EXPECT_EQ(outputs.size(), 10'000u);
+}
+
+TEST(Hash, HashPairStrideIsOdd) {
+  for (std::uint64_t k = 0; k < 100; ++k) EXPECT_EQ(hash_pair(k).h2 & 1, 1u);
+}
+
+// ----------------------------------------------------------- BloomFilter
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter filter(1000, 0.01);
+  for (std::uint64_t k = 0; k < 1000; ++k) filter.insert(k);
+  for (std::uint64_t k = 0; k < 1000; ++k) EXPECT_TRUE(filter.contains(k));
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTarget) {
+  BloomFilter filter(10'000, 0.01);
+  for (std::uint64_t k = 0; k < 10'000; ++k) filter.insert(k);
+  int fp = 0;
+  constexpr int kProbes = 20'000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (filter.contains(1'000'000 + static_cast<std::uint64_t>(i))) ++fp;
+  }
+  EXPECT_LT(static_cast<double>(fp) / kProbes, 0.03);
+}
+
+TEST(BloomFilter, InsertReportsPriorPresence) {
+  BloomFilter filter(1000, 0.01);
+  EXPECT_FALSE(filter.insert(42));
+  EXPECT_TRUE(filter.insert(42));
+}
+
+TEST(BloomFilter, ClearForgetsEverything) {
+  BloomFilter filter(1000, 0.01);
+  for (std::uint64_t k = 0; k < 100; ++k) filter.insert(k);
+  filter.clear();
+  EXPECT_EQ(filter.inserted(), 0u);
+  int present = 0;
+  for (std::uint64_t k = 0; k < 100; ++k) present += filter.contains(k);
+  EXPECT_EQ(present, 0);
+}
+
+TEST(BloomFilter, MemoryScalesWithCapacity) {
+  BloomFilter small(1000, 0.01), large(100'000, 0.01);
+  EXPECT_GT(large.memory_bytes(), small.memory_bytes());
+}
+
+// ------------------------------------------------------- CountMinSketch
+
+TEST(CountMinSketch, NeverUnderestimates) {
+  CountMinSketch sketch(4096, 1'000'000);
+  for (int rep = 0; rep < 7; ++rep) sketch.increment(99);
+  EXPECT_GE(sketch.estimate(99), 7u);
+}
+
+TEST(CountMinSketch, SaturatesAt15) {
+  CountMinSketch sketch(4096, 1'000'000);
+  for (int rep = 0; rep < 100; ++rep) sketch.increment(1);
+  EXPECT_EQ(sketch.estimate(1), 15u);
+}
+
+TEST(CountMinSketch, AgingHalvesCounts) {
+  CountMinSketch sketch(4096, 1'000'000'000);
+  for (int rep = 0; rep < 8; ++rep) sketch.increment(5);
+  const auto before = sketch.estimate(5);
+  sketch.age();
+  EXPECT_EQ(sketch.estimate(5), before / 2);
+}
+
+TEST(CountMinSketch, AutomaticAgingAtSampleBoundary) {
+  CountMinSketch sketch(4096, 32);
+  for (int i = 0; i < 32; ++i) sketch.increment(static_cast<std::uint64_t>(i % 4));
+  EXPECT_EQ(sketch.increments_since_age(), 0u);  // age() fired
+}
+
+TEST(CountMinSketch, ColdKeysStayNearZero) {
+  CountMinSketch sketch(1 << 16, 1'000'000);
+  for (int rep = 0; rep < 15; ++rep) sketch.increment(7);
+  // A sketch this sparse should not alias a cold key to a hot count.
+  int high = 0;
+  for (std::uint64_t k = 1000; k < 1100; ++k) high += (sketch.estimate(k) > 2);
+  EXPECT_LE(high, 2);
+}
+
+// --------------------------------------------------------- FenwickTree
+
+TEST(FenwickTree, PrefixSumsMatchNaive) {
+  FenwickTree<std::int64_t> tree(32);
+  std::vector<std::int64_t> shadow(32, 0);
+  Xoshiro256 rng(3);
+  for (int step = 0; step < 500; ++step) {
+    const std::size_t i = rng.next_below(32);
+    const auto delta = static_cast<std::int64_t>(rng.next_below(100)) - 50;
+    tree.add(i, delta);
+    shadow[i] += delta;
+    const std::size_t q = rng.next_below(32);
+    std::int64_t expected = 0;
+    for (std::size_t j = 0; j <= q; ++j) expected += shadow[j];
+    ASSERT_EQ(tree.prefix_sum(q), expected);
+  }
+}
+
+TEST(FenwickTree, RangeSum) {
+  FenwickTree<int> tree(10);
+  for (std::size_t i = 0; i < 10; ++i) tree.add(i, static_cast<int>(i));
+  EXPECT_EQ(tree.range_sum(2, 4), 2 + 3 + 4);
+  EXPECT_EQ(tree.range_sum(0, 9), 45);
+  EXPECT_EQ(tree.range_sum(5, 5), 5);
+}
+
+TEST(FenwickTree, LowerBoundFindsCrossing) {
+  FenwickTree<std::uint64_t> tree(8);
+  for (std::size_t i = 0; i < 8; ++i) tree.add(i, 10);
+  EXPECT_EQ(tree.lower_bound(1), 0u);
+  EXPECT_EQ(tree.lower_bound(10), 0u);
+  EXPECT_EQ(tree.lower_bound(11), 1u);
+  EXPECT_EQ(tree.lower_bound(80), 7u);
+  EXPECT_EQ(tree.lower_bound(81), 8u);  // beyond total => size()
+}
+
+TEST(FenwickTree, TotalTracksAllAdds) {
+  FenwickTree<std::uint64_t> tree(5);
+  tree.add(0, 7);
+  tree.add(4, 3);
+  EXPECT_EQ(tree.total(), 10u);
+}
+
+// --------------------------------------------------------------- Stats
+
+TEST(RunningStats, MatchesNaiveMoments) {
+  RunningStats s;
+  const std::vector<double> xs = {1.0, 2.0, 2.0, 3.5, -1.0, 8.0};
+  double sum = 0.0;
+  for (const double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_EQ(s.count(), xs.size());
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(QuantileHistogram, ApproximatesExactQuantiles) {
+  QuantileHistogram hist(1e-3, 1e3, 128);
+  std::vector<double> values;
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 50'000; ++i) {
+    const double v = std::exp(rng.next_double() * 6.0 - 3.0);  // log-uniform
+    hist.add(v);
+    values.push_back(v);
+  }
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double exact = exact_percentile(values, q);
+    const double approx = hist.quantile(q);
+    EXPECT_NEAR(approx / exact, 1.0, 0.05) << "q=" << q;
+  }
+}
+
+TEST(QuantileHistogram, MeanIsExact) {
+  QuantileHistogram hist;
+  hist.add(1.0);
+  hist.add(3.0);
+  EXPECT_DOUBLE_EQ(hist.mean(), 2.0);
+}
+
+TEST(ExactPercentile, EdgeCases) {
+  EXPECT_EQ(exact_percentile({}, 0.5), 0.0);
+  EXPECT_EQ(exact_percentile({5.0}, 0.0), 5.0);
+  EXPECT_EQ(exact_percentile({5.0}, 1.0), 5.0);
+  EXPECT_EQ(exact_percentile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.0);
+  EXPECT_EQ(exact_percentile({1.0, 2.0, 3.0, 4.0}, 1.0), 4.0);
+}
+
+// -------------------------------------------------------- LeastSquares
+
+TEST(LeastSquares, RecoversExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 - 0.7 * i);
+  }
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, -0.7, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(LeastSquares, DegenerateInputsGiveZeroFit) {
+  EXPECT_EQ(fit_linear({}, {}).n, 0u);
+  EXPECT_EQ(fit_linear(std::vector<double>{1.0}, std::vector<double>{2.0}).n, 0u);
+  // Zero x-variance.
+  const auto fit = fit_linear(std::vector<double>{2.0, 2.0, 2.0},
+                              std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_EQ(fit.slope, 0.0);
+}
+
+TEST(LeastSquares, NoisyLineApproximatelyRecovered) {
+  std::vector<double> x, y;
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 2000; ++i) {
+    x.push_back(i * 0.01);
+    y.push_back(1.5 + 2.0 * i * 0.01 + (rng.next_double() - 0.5) * 0.1);
+  }
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 0.02);
+  EXPECT_NEAR(fit.intercept, 1.5, 0.05);
+}
+
+// -------------------------------------------------------- DensityIndex
+
+TEST(DensityIndex, BytesAboveMatchesNaive) {
+  DensityIndex index;
+  struct Item {
+    std::uint64_t id;
+    double density;
+    std::uint64_t bytes;
+  };
+  std::vector<Item> items;
+  Xoshiro256 rng(17);
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    const double density = std::pow(10.0, rng.next_double() * 12.0 - 6.0);
+    const std::uint64_t bytes = 1 + rng.next_below(1'000'000);
+    index.upsert(id, density, bytes);
+    items.push_back({id, density, bytes});
+  }
+  // The bucketed query must agree with a naive scan up to one bucket width
+  // (items within ~3.7% in density may be classified either way).
+  for (int probe = 0; probe < 50; ++probe) {
+    const double d = std::pow(10.0, rng.next_double() * 12.0 - 6.0);
+    std::uint64_t strictly_above = 0, near = 0;
+    for (const auto& item : items) {
+      if (item.density > d * 1.04) {
+        strictly_above += item.bytes;
+      } else if (item.density > d * 0.96) {
+        near += item.bytes;
+      }
+    }
+    const std::uint64_t reported = index.bytes_above(d);
+    EXPECT_GE(reported + near, strictly_above);
+    EXPECT_LE(reported, strictly_above + near);
+  }
+}
+
+TEST(DensityIndex, InPrefixForTopItem) {
+  DensityIndex index;
+  index.upsert(1, 100.0, 10);
+  index.upsert(2, 10.0, 10);
+  index.upsert(3, 1.0, 10);
+  // Capacity 15: item 1 fully fits, item 2 straddles (fractional => in),
+  // item 3 is out (20 denser bytes above it, >= 15).
+  EXPECT_TRUE(index.in_prefix(1, 15));
+  EXPECT_TRUE(index.in_prefix(2, 15));
+  EXPECT_FALSE(index.in_prefix(3, 15));
+}
+
+TEST(DensityIndex, UpsertReplacesOldEntry) {
+  DensityIndex index;
+  index.upsert(1, 100.0, 10);
+  index.upsert(1, 0.001, 20);  // moved down, resized
+  EXPECT_EQ(index.total_bytes(), 20u);
+  EXPECT_EQ(index.item_count(), 1u);
+  EXPECT_EQ(index.bytes_above(1.0), 0u);
+}
+
+TEST(DensityIndex, EraseRemoves) {
+  DensityIndex index;
+  index.upsert(1, 5.0, 10);
+  index.erase(1);
+  index.erase(1);  // idempotent
+  EXPECT_EQ(index.item_count(), 0u);
+  EXPECT_EQ(index.total_bytes(), 0u);
+  EXPECT_FALSE(index.in_prefix(1, 100));
+}
+
+TEST(DensityIndex, ZeroDensityNeverBeatsPositive) {
+  DensityIndex index;
+  index.upsert(1, 0.0, 50);
+  index.upsert(2, 1.0, 50);
+  EXPECT_TRUE(index.in_prefix(2, 60));
+  EXPECT_FALSE(index.in_prefix(1, 40));  // 50 denser bytes above >= 40
+}
+
+}  // namespace
+}  // namespace lhr::util
