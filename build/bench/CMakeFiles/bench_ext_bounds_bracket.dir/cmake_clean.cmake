@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_bounds_bracket.dir/bench_ext_bounds_bracket.cpp.o"
+  "CMakeFiles/bench_ext_bounds_bracket.dir/bench_ext_bounds_bracket.cpp.o.d"
+  "bench_ext_bounds_bracket"
+  "bench_ext_bounds_bracket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_bounds_bracket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

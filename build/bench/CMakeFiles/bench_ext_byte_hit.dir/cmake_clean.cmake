@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_byte_hit.dir/bench_ext_byte_hit.cpp.o"
+  "CMakeFiles/bench_ext_byte_hit.dir/bench_ext_byte_hit.cpp.o.d"
+  "bench_ext_byte_hit"
+  "bench_ext_byte_hit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_byte_hit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_mrc.dir/bench_ext_mrc.cpp.o"
+  "CMakeFiles/bench_ext_mrc.dir/bench_ext_mrc.cpp.o.d"
+  "bench_ext_mrc"
+  "bench_ext_mrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_mrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_responsiveness.dir/bench_fig11_responsiveness.cpp.o"
+  "CMakeFiles/bench_fig11_responsiveness.dir/bench_fig11_responsiveness.cpp.o.d"
+  "bench_fig11_responsiveness"
+  "bench_fig11_responsiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_responsiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

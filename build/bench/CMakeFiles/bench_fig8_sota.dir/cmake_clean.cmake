@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_sota.dir/bench_fig8_sota.cpp.o"
+  "CMakeFiles/bench_fig8_sota.dir/bench_fig8_sota.cpp.o.d"
+  "bench_fig8_sota"
+  "bench_fig8_sota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_sota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

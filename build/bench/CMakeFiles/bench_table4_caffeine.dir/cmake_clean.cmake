@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_caffeine.dir/bench_table4_caffeine.cpp.o"
+  "CMakeFiles/bench_table4_caffeine.dir/bench_table4_caffeine.cpp.o.d"
+  "bench_table4_caffeine"
+  "bench_table4_caffeine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_caffeine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_sim_cli.dir/lhr_sim_main.cpp.o"
+  "CMakeFiles/lhr_sim_cli.dir/lhr_sim_main.cpp.o.d"
+  "lhr_sim"
+  "lhr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrc_explorer.dir/mrc_explorer.cpp.o"
+  "CMakeFiles/mrc_explorer.dir/mrc_explorer.cpp.o.d"
+  "mrc_explorer"
+  "mrc_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrc_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

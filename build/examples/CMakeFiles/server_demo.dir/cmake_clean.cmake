@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_demo.dir/server_demo.cpp.o"
+  "CMakeFiles/server_demo.dir/server_demo.cpp.o.d"
+  "server_demo"
+  "server_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sota_comparison.dir/sota_comparison.cpp.o"
+  "CMakeFiles/sota_comparison.dir/sota_comparison.cpp.o.d"
+  "sota_comparison"
+  "sota_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sota_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

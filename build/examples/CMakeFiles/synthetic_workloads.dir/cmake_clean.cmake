@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_workloads.dir/synthetic_workloads.cpp.o"
+  "CMakeFiles/synthetic_workloads.dir/synthetic_workloads.cpp.o.d"
+  "synthetic_workloads"
+  "synthetic_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_core.dir/cli.cpp.o"
+  "CMakeFiles/lhr_core.dir/cli.cpp.o.d"
+  "CMakeFiles/lhr_core.dir/lhr_cache.cpp.o"
+  "CMakeFiles/lhr_core.dir/lhr_cache.cpp.o.d"
+  "CMakeFiles/lhr_core.dir/policy_factory.cpp.o"
+  "CMakeFiles/lhr_core.dir/policy_factory.cpp.o.d"
+  "liblhr_core.a"
+  "liblhr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

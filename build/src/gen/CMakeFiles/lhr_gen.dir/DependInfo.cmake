@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/cdn_model.cpp" "src/gen/CMakeFiles/lhr_gen.dir/cdn_model.cpp.o" "gcc" "src/gen/CMakeFiles/lhr_gen.dir/cdn_model.cpp.o.d"
+  "/root/repo/src/gen/markov_modulated.cpp" "src/gen/CMakeFiles/lhr_gen.dir/markov_modulated.cpp.o" "gcc" "src/gen/CMakeFiles/lhr_gen.dir/markov_modulated.cpp.o.d"
+  "/root/repo/src/gen/size_model.cpp" "src/gen/CMakeFiles/lhr_gen.dir/size_model.cpp.o" "gcc" "src/gen/CMakeFiles/lhr_gen.dir/size_model.cpp.o.d"
+  "/root/repo/src/gen/zipf.cpp" "src/gen/CMakeFiles/lhr_gen.dir/zipf.cpp.o" "gcc" "src/gen/CMakeFiles/lhr_gen.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/lhr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lhr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_gen.dir/cdn_model.cpp.o"
+  "CMakeFiles/lhr_gen.dir/cdn_model.cpp.o.d"
+  "CMakeFiles/lhr_gen.dir/markov_modulated.cpp.o"
+  "CMakeFiles/lhr_gen.dir/markov_modulated.cpp.o.d"
+  "CMakeFiles/lhr_gen.dir/size_model.cpp.o"
+  "CMakeFiles/lhr_gen.dir/size_model.cpp.o.d"
+  "CMakeFiles/lhr_gen.dir/zipf.cpp.o"
+  "CMakeFiles/lhr_gen.dir/zipf.cpp.o.d"
+  "liblhr_gen.a"
+  "liblhr_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_hazard.dir/hro.cpp.o"
+  "CMakeFiles/lhr_hazard.dir/hro.cpp.o.d"
+  "CMakeFiles/lhr_hazard.dir/irt_models.cpp.o"
+  "CMakeFiles/lhr_hazard.dir/irt_models.cpp.o.d"
+  "liblhr_hazard.a"
+  "liblhr_hazard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_hazard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/eval.cpp" "src/ml/CMakeFiles/lhr_ml.dir/eval.cpp.o" "gcc" "src/ml/CMakeFiles/lhr_ml.dir/eval.cpp.o.d"
+  "/root/repo/src/ml/features.cpp" "src/ml/CMakeFiles/lhr_ml.dir/features.cpp.o" "gcc" "src/ml/CMakeFiles/lhr_ml.dir/features.cpp.o.d"
+  "/root/repo/src/ml/gbdt.cpp" "src/ml/CMakeFiles/lhr_ml.dir/gbdt.cpp.o" "gcc" "src/ml/CMakeFiles/lhr_ml.dir/gbdt.cpp.o.d"
+  "/root/repo/src/ml/zipf_detector.cpp" "src/ml/CMakeFiles/lhr_ml.dir/zipf_detector.cpp.o" "gcc" "src/ml/CMakeFiles/lhr_ml.dir/zipf_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/lhr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lhr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

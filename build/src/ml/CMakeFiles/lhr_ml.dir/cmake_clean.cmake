@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_ml.dir/eval.cpp.o"
+  "CMakeFiles/lhr_ml.dir/eval.cpp.o.d"
+  "CMakeFiles/lhr_ml.dir/features.cpp.o"
+  "CMakeFiles/lhr_ml.dir/features.cpp.o.d"
+  "CMakeFiles/lhr_ml.dir/gbdt.cpp.o"
+  "CMakeFiles/lhr_ml.dir/gbdt.cpp.o.d"
+  "CMakeFiles/lhr_ml.dir/zipf_detector.cpp.o"
+  "CMakeFiles/lhr_ml.dir/zipf_detector.cpp.o.d"
+  "liblhr_ml.a"
+  "liblhr_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

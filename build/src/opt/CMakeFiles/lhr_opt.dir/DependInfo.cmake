@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/bounds.cpp" "src/opt/CMakeFiles/lhr_opt.dir/bounds.cpp.o" "gcc" "src/opt/CMakeFiles/lhr_opt.dir/bounds.cpp.o.d"
+  "/root/repo/src/opt/exact_opt.cpp" "src/opt/CMakeFiles/lhr_opt.dir/exact_opt.cpp.o" "gcc" "src/opt/CMakeFiles/lhr_opt.dir/exact_opt.cpp.o.d"
+  "/root/repo/src/opt/mrc.cpp" "src/opt/CMakeFiles/lhr_opt.dir/mrc.cpp.o" "gcc" "src/opt/CMakeFiles/lhr_opt.dir/mrc.cpp.o.d"
+  "/root/repo/src/opt/next_use.cpp" "src/opt/CMakeFiles/lhr_opt.dir/next_use.cpp.o" "gcc" "src/opt/CMakeFiles/lhr_opt.dir/next_use.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/lhr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lhr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

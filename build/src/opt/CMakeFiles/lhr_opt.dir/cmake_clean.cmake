@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_opt.dir/bounds.cpp.o"
+  "CMakeFiles/lhr_opt.dir/bounds.cpp.o.d"
+  "CMakeFiles/lhr_opt.dir/exact_opt.cpp.o"
+  "CMakeFiles/lhr_opt.dir/exact_opt.cpp.o.d"
+  "CMakeFiles/lhr_opt.dir/mrc.cpp.o"
+  "CMakeFiles/lhr_opt.dir/mrc.cpp.o.d"
+  "CMakeFiles/lhr_opt.dir/next_use.cpp.o"
+  "CMakeFiles/lhr_opt.dir/next_use.cpp.o.d"
+  "liblhr_opt.a"
+  "liblhr_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

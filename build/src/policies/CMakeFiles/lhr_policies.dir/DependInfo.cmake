@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/adaptsize.cpp" "src/policies/CMakeFiles/lhr_policies.dir/adaptsize.cpp.o" "gcc" "src/policies/CMakeFiles/lhr_policies.dir/adaptsize.cpp.o.d"
+  "/root/repo/src/policies/arc.cpp" "src/policies/CMakeFiles/lhr_policies.dir/arc.cpp.o" "gcc" "src/policies/CMakeFiles/lhr_policies.dir/arc.cpp.o.d"
+  "/root/repo/src/policies/b_lru.cpp" "src/policies/CMakeFiles/lhr_policies.dir/b_lru.cpp.o" "gcc" "src/policies/CMakeFiles/lhr_policies.dir/b_lru.cpp.o.d"
+  "/root/repo/src/policies/fifo.cpp" "src/policies/CMakeFiles/lhr_policies.dir/fifo.cpp.o" "gcc" "src/policies/CMakeFiles/lhr_policies.dir/fifo.cpp.o.d"
+  "/root/repo/src/policies/gds.cpp" "src/policies/CMakeFiles/lhr_policies.dir/gds.cpp.o" "gcc" "src/policies/CMakeFiles/lhr_policies.dir/gds.cpp.o.d"
+  "/root/repo/src/policies/gdsf.cpp" "src/policies/CMakeFiles/lhr_policies.dir/gdsf.cpp.o" "gcc" "src/policies/CMakeFiles/lhr_policies.dir/gdsf.cpp.o.d"
+  "/root/repo/src/policies/hawkeye.cpp" "src/policies/CMakeFiles/lhr_policies.dir/hawkeye.cpp.o" "gcc" "src/policies/CMakeFiles/lhr_policies.dir/hawkeye.cpp.o.d"
+  "/root/repo/src/policies/hyperbolic.cpp" "src/policies/CMakeFiles/lhr_policies.dir/hyperbolic.cpp.o" "gcc" "src/policies/CMakeFiles/lhr_policies.dir/hyperbolic.cpp.o.d"
+  "/root/repo/src/policies/lfo.cpp" "src/policies/CMakeFiles/lhr_policies.dir/lfo.cpp.o" "gcc" "src/policies/CMakeFiles/lhr_policies.dir/lfo.cpp.o.d"
+  "/root/repo/src/policies/lfu_da.cpp" "src/policies/CMakeFiles/lhr_policies.dir/lfu_da.cpp.o" "gcc" "src/policies/CMakeFiles/lhr_policies.dir/lfu_da.cpp.o.d"
+  "/root/repo/src/policies/lhd.cpp" "src/policies/CMakeFiles/lhr_policies.dir/lhd.cpp.o" "gcc" "src/policies/CMakeFiles/lhr_policies.dir/lhd.cpp.o.d"
+  "/root/repo/src/policies/lirs.cpp" "src/policies/CMakeFiles/lhr_policies.dir/lirs.cpp.o" "gcc" "src/policies/CMakeFiles/lhr_policies.dir/lirs.cpp.o.d"
+  "/root/repo/src/policies/lrb.cpp" "src/policies/CMakeFiles/lhr_policies.dir/lrb.cpp.o" "gcc" "src/policies/CMakeFiles/lhr_policies.dir/lrb.cpp.o.d"
+  "/root/repo/src/policies/lru.cpp" "src/policies/CMakeFiles/lhr_policies.dir/lru.cpp.o" "gcc" "src/policies/CMakeFiles/lhr_policies.dir/lru.cpp.o.d"
+  "/root/repo/src/policies/lru_k.cpp" "src/policies/CMakeFiles/lhr_policies.dir/lru_k.cpp.o" "gcc" "src/policies/CMakeFiles/lhr_policies.dir/lru_k.cpp.o.d"
+  "/root/repo/src/policies/random_policy.cpp" "src/policies/CMakeFiles/lhr_policies.dir/random_policy.cpp.o" "gcc" "src/policies/CMakeFiles/lhr_policies.dir/random_policy.cpp.o.d"
+  "/root/repo/src/policies/rl_cache.cpp" "src/policies/CMakeFiles/lhr_policies.dir/rl_cache.cpp.o" "gcc" "src/policies/CMakeFiles/lhr_policies.dir/rl_cache.cpp.o.d"
+  "/root/repo/src/policies/s4lru.cpp" "src/policies/CMakeFiles/lhr_policies.dir/s4lru.cpp.o" "gcc" "src/policies/CMakeFiles/lhr_policies.dir/s4lru.cpp.o.d"
+  "/root/repo/src/policies/second_hit.cpp" "src/policies/CMakeFiles/lhr_policies.dir/second_hit.cpp.o" "gcc" "src/policies/CMakeFiles/lhr_policies.dir/second_hit.cpp.o.d"
+  "/root/repo/src/policies/tinylfu.cpp" "src/policies/CMakeFiles/lhr_policies.dir/tinylfu.cpp.o" "gcc" "src/policies/CMakeFiles/lhr_policies.dir/tinylfu.cpp.o.d"
+  "/root/repo/src/policies/two_q.cpp" "src/policies/CMakeFiles/lhr_policies.dir/two_q.cpp.o" "gcc" "src/policies/CMakeFiles/lhr_policies.dir/two_q.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lhr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lhr_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lhr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lhr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

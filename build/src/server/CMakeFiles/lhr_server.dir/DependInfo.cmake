@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/admission_queue.cpp" "src/server/CMakeFiles/lhr_server.dir/admission_queue.cpp.o" "gcc" "src/server/CMakeFiles/lhr_server.dir/admission_queue.cpp.o.d"
+  "/root/repo/src/server/cdn_server.cpp" "src/server/CMakeFiles/lhr_server.dir/cdn_server.cpp.o" "gcc" "src/server/CMakeFiles/lhr_server.dir/cdn_server.cpp.o.d"
+  "/root/repo/src/server/sharded_cache.cpp" "src/server/CMakeFiles/lhr_server.dir/sharded_cache.cpp.o" "gcc" "src/server/CMakeFiles/lhr_server.dir/sharded_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/policies/CMakeFiles/lhr_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lhr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lhr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lhr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lhr_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

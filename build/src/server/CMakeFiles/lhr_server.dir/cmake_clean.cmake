@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_server.dir/admission_queue.cpp.o"
+  "CMakeFiles/lhr_server.dir/admission_queue.cpp.o.d"
+  "CMakeFiles/lhr_server.dir/cdn_server.cpp.o"
+  "CMakeFiles/lhr_server.dir/cdn_server.cpp.o.d"
+  "CMakeFiles/lhr_server.dir/sharded_cache.cpp.o"
+  "CMakeFiles/lhr_server.dir/sharded_cache.cpp.o.d"
+  "liblhr_server.a"
+  "liblhr_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

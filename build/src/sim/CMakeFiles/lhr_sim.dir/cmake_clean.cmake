@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_sim.dir/engine.cpp.o"
+  "CMakeFiles/lhr_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/lhr_sim.dir/latency_model.cpp.o"
+  "CMakeFiles/lhr_sim.dir/latency_model.cpp.o.d"
+  "liblhr_sim.a"
+  "liblhr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_trace.dir/trace.cpp.o"
+  "CMakeFiles/lhr_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/lhr_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/lhr_trace.dir/trace_stats.cpp.o.d"
+  "CMakeFiles/lhr_trace.dir/trace_tools.cpp.o"
+  "CMakeFiles/lhr_trace.dir/trace_tools.cpp.o.d"
+  "liblhr_trace.a"
+  "liblhr_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

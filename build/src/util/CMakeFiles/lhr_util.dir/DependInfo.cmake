@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bloom_filter.cpp" "src/util/CMakeFiles/lhr_util.dir/bloom_filter.cpp.o" "gcc" "src/util/CMakeFiles/lhr_util.dir/bloom_filter.cpp.o.d"
+  "/root/repo/src/util/count_min_sketch.cpp" "src/util/CMakeFiles/lhr_util.dir/count_min_sketch.cpp.o" "gcc" "src/util/CMakeFiles/lhr_util.dir/count_min_sketch.cpp.o.d"
+  "/root/repo/src/util/density_index.cpp" "src/util/CMakeFiles/lhr_util.dir/density_index.cpp.o" "gcc" "src/util/CMakeFiles/lhr_util.dir/density_index.cpp.o.d"
+  "/root/repo/src/util/least_squares.cpp" "src/util/CMakeFiles/lhr_util.dir/least_squares.cpp.o" "gcc" "src/util/CMakeFiles/lhr_util.dir/least_squares.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/lhr_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/lhr_util.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhr_util.dir/bloom_filter.cpp.o"
+  "CMakeFiles/lhr_util.dir/bloom_filter.cpp.o.d"
+  "CMakeFiles/lhr_util.dir/count_min_sketch.cpp.o"
+  "CMakeFiles/lhr_util.dir/count_min_sketch.cpp.o.d"
+  "CMakeFiles/lhr_util.dir/density_index.cpp.o"
+  "CMakeFiles/lhr_util.dir/density_index.cpp.o.d"
+  "CMakeFiles/lhr_util.dir/least_squares.cpp.o"
+  "CMakeFiles/lhr_util.dir/least_squares.cpp.o.d"
+  "CMakeFiles/lhr_util.dir/stats.cpp.o"
+  "CMakeFiles/lhr_util.dir/stats.cpp.o.d"
+  "liblhr_util.a"
+  "liblhr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

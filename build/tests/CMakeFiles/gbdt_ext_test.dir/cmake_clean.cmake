@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbdt_ext_test.dir/gbdt_ext_test.cpp.o"
+  "CMakeFiles/gbdt_ext_test.dir/gbdt_ext_test.cpp.o.d"
+  "gbdt_ext_test"
+  "gbdt_ext_test.pdb"
+  "gbdt_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbdt_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hazard_ext_test.dir/hazard_ext_test.cpp.o"
+  "CMakeFiles/hazard_ext_test.dir/hazard_ext_test.cpp.o.d"
+  "hazard_ext_test"
+  "hazard_ext_test.pdb"
+  "hazard_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hazard_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

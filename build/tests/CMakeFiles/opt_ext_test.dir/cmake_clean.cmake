@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_ext_test.dir/opt_ext_test.cpp.o"
+  "CMakeFiles/opt_ext_test.dir/opt_ext_test.cpp.o.d"
+  "opt_ext_test"
+  "opt_ext_test.pdb"
+  "opt_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/policies_ext_test.cpp" "tests/CMakeFiles/policies_ext_test.dir/policies_ext_test.cpp.o" "gcc" "tests/CMakeFiles/policies_ext_test.dir/policies_ext_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lhr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/lhr_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/lhr_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/hazard/CMakeFiles/lhr_hazard.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/lhr_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lhr_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lhr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/lhr_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lhr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lhr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

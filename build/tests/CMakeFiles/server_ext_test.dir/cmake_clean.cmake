@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_ext_test.dir/server_ext_test.cpp.o"
+  "CMakeFiles/server_ext_test.dir/server_ext_test.cpp.o.d"
+  "server_ext_test"
+  "server_ext_test.pdb"
+  "server_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
