@@ -1,40 +1,36 @@
-// Shared infrastructure for the per-table/per-figure experiment harnesses.
+// Shared infrastructure for the per-table/per-figure experiment harnesses:
+// trace calibration knobs, runner glue, and table formatting.
 //
 // Every binary in bench/ regenerates one table or figure of the paper on the
-// calibrated synthetic traces (see DESIGN.md "Substitutions"). Scale knobs:
-//   LHR_BENCH_REQUESTS  requests per trace      (default 200'000)
-//   LHR_BENCH_SEED      generator seed          (default 42)
-// The paper's cache sizes are scaled by (requests / 1e6) so the cache-to-
-// workload ratio matches the original setup.
+// calibrated synthetic traces (see DESIGN.md "Substitutions"). The sweeps
+// themselves all execute through runner::run_all on a fixed thread pool;
+// results come back in job order, so the printed tables are identical to the
+// old serial nested loops no matter how many workers run. Scale knobs:
+//   LHR_BENCH_REQUESTS  requests per trace        (default 200'000)
+//   LHR_BENCH_SEED      generator seed            (default 42)
+//   LHR_BENCH_THREADS   runner worker threads     (default: hardware)
+//   LHR_BENCH_JSONL     append machine-readable results to this file
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/policy_factory.hpp"
 #include "gen/cdn_model.hpp"
+#include "runner/runner.hpp"
+#include "runner/trace_cache.hpp"
 #include "sim/engine.hpp"
 #include "trace/trace.hpp"
 
 namespace lhr::bench {
 
 inline std::size_t requests_per_trace() {
-  if (const char* env = std::getenv("LHR_BENCH_REQUESTS")) {
-    const long value = std::atol(env);
-    if (value > 1000) return static_cast<std::size_t>(value);
-  }
-  return 200'000;
+  return runner::TraceCache::global().requests_per_trace();
 }
 
-inline std::uint64_t bench_seed() {
-  if (const char* env = std::getenv("LHR_BENCH_SEED")) {
-    return static_cast<std::uint64_t>(std::atoll(env));
-  }
-  return 42;
-}
+inline std::uint64_t bench_seed() { return runner::TraceCache::global().seed(); }
 
 /// Cache sizes are scaled to keep the paper's cache:workload ratio.
 inline double cache_scale() {
@@ -48,23 +44,38 @@ inline const std::vector<gen::TraceClass>& all_trace_classes() {
   return classes;
 }
 
-/// Generates (and memoizes per-process) the four paper-calibrated traces.
+/// The memoized paper-calibrated trace for `c` (thread-safe).
 inline const trace::Trace& trace_for(gen::TraceClass c) {
-  static std::vector<std::unique_ptr<trace::Trace>> cache(4);
-  const auto idx = static_cast<std::size_t>(c);
-  if (!cache[idx]) {
-    cache[idx] = std::make_unique<trace::Trace>(
-        gen::make_trace(c, requests_per_trace(), bench_seed()));
-  }
-  return *cache[idx];
+  return runner::TraceCache::global().get(c);
 }
 
-/// Runs one policy over a trace with the §7.1 fairness accounting.
-inline sim::SimMetrics run_policy(const std::string& name, gen::TraceClass c,
-                                  std::uint64_t capacity_bytes) {
-  auto policy = core::make_policy(name, capacity_bytes);
-  return sim::simulate(*policy, trace_for(c));
+// ---------------------------------------------------------------- runner
+
+/// A named-policy simulation job at the given capacity.
+inline runner::Job sim_job(const std::string& policy_name, gen::TraceClass c,
+                           std::uint64_t capacity_bytes,
+                           const sim::SimOptions& options = {}) {
+  runner::Job job;
+  job.policy_name = policy_name;
+  job.trace_class = c;
+  job.capacity_bytes = capacity_bytes;
+  job.options = options;
+  return job;
 }
+
+/// Runs the jobs on the shared thread pool and appends JSONL output when
+/// LHR_BENCH_JSONL is set. Results are in job order.
+inline std::vector<runner::Result> run_jobs(const std::vector<runner::Job>& jobs) {
+  auto results = runner::run_all(jobs);
+  const char* jsonl = std::getenv("LHR_BENCH_JSONL");
+  if (jsonl != nullptr && *jsonl != '\0' &&
+      !runner::append_jsonl_if_configured(results)) {
+    std::fprintf(stderr, "warning: cannot append to LHR_BENCH_JSONL=%s\n", jsonl);
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------- output
 
 /// WAN traffic rate in Gbps over the trace duration (Figure 8 bottom row).
 inline double wan_gbps(const sim::SimMetrics& m, const trace::Trace& t) {
@@ -74,11 +85,11 @@ inline double wan_gbps(const sim::SimMetrics& m, const trace::Trace& t) {
 
 inline double gb(double bytes) { return bytes / (1024.0 * 1024.0 * 1024.0); }
 
-// ---------------------------------------------------------------- output
-
 inline void print_header(const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
+  // Deliberately omits the worker-thread count so output is comparable
+  // across LHR_BENCH_THREADS settings (the determinism guarantee).
   std::printf("(synthetic traces: %zu requests/trace, seed %llu; see DESIGN.md)\n",
               requests_per_trace(),
               static_cast<unsigned long long>(bench_seed()));

@@ -1,6 +1,8 @@
 // Extension: bracketing OPT. PFOO-U (achievable schedule, <= OPT) and
 // PFOO-L (resource relaxation, >= OPT) pin the offline optimum from both
 // sides; HRO and the remaining bounds are placed within that frame.
+// Each bound on each trace is its own runner job (24 jobs), so the offline
+// computations — by far the slowest part — spread across all cores.
 #include "bench/bench_common.hpp"
 #include "hazard/hro.hpp"
 #include "opt/bounds.hpp"
@@ -9,27 +11,61 @@ int main() {
   using namespace lhr;
   bench::print_header("Extension: bracketing OPT (PFOO-U <= OPT <= PFOO-L)");
 
+  using BoundFn = double (*)(const trace::Trace&, std::uint64_t);
+  struct Bound {
+    const char* name;
+    BoundFn fn;
+  };
+  const std::vector<Bound> bounds = {
+      {"pfoo_u", [](const trace::Trace& t, std::uint64_t cap) {
+         return opt::pfoo_u(t.requests(), cap).hit_ratio(); }},
+      {"pfoo_l", [](const trace::Trace& t, std::uint64_t cap) {
+         return opt::pfoo_l(t.requests(), cap).hit_ratio(); }},
+      {"belady", [](const trace::Trace& t, std::uint64_t cap) {
+         return opt::belady(t.requests(), cap).hit_ratio(); }},
+      {"belady_size", [](const trace::Trace& t, std::uint64_t cap) {
+         return opt::belady_size(t.requests(), cap).hit_ratio(); }},
+      {"hro", [](const trace::Trace& t, std::uint64_t cap) {
+         hazard::Hro hro(hazard::HroConfig{.capacity_bytes = cap});
+         for (const auto& r : t) hro.classify(r);
+         return hro.hit_ratio(); }},
+      {"inf_cap", [](const trace::Trace& t, std::uint64_t) {
+         return opt::infinite_cap(t.requests()).hit_ratio(); }},
+  };
+
+  std::vector<runner::Job> jobs;
+  for (const auto c : bench::all_trace_classes()) {
+    const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
+    for (const auto& bound : bounds) {
+      runner::Job job;
+      job.label = std::string(bound.name) + "/" + gen::to_string(c);
+      const BoundFn fn = bound.fn;
+      job.body = [c, capacity, fn](runner::Result& r) {
+        r.set("hit_ratio", fn(bench::trace_for(c), capacity));
+      };
+      jobs.push_back(std::move(job));
+    }
+  }
+  const auto results = bench::run_jobs(jobs);
+
+  std::size_t idx = 0;
   bench::print_row({"Trace", "Cache(GB)", "PFOO-U", "PFOO-L", "gap(pp)", "Belady",
                     "Belady-Sz", "HRO", "InfCap"});
   for (const auto c : bench::all_trace_classes()) {
-    const auto& trace = bench::trace_for(c);
     const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
-
-    const auto u = opt::pfoo_u(trace.requests(), capacity);
-    const auto l = opt::pfoo_l(trace.requests(), capacity);
-    const auto b = opt::belady(trace.requests(), capacity);
-    const auto bs = opt::belady_size(trace.requests(), capacity);
-    const auto inf = opt::infinite_cap(trace.requests());
-    hazard::Hro hro(hazard::HroConfig{.capacity_bytes = capacity});
-    for (const auto& r : trace) hro.classify(r);
+    const double u = results[idx + 0].stat("hit_ratio");
+    const double l = results[idx + 1].stat("hit_ratio");
+    const double b = results[idx + 2].stat("hit_ratio");
+    const double bs = results[idx + 3].stat("hit_ratio");
+    const double hro = results[idx + 4].stat("hit_ratio");
+    const double inf = results[idx + 5].stat("hit_ratio");
+    idx += bounds.size();
 
     bench::print_row(
         {gen::to_string(c),
          bench::fmt(bench::gb(double(capacity)) / bench::cache_scale(), 0),
-         bench::pct(u.hit_ratio()), bench::pct(l.hit_ratio()),
-         bench::fmt(100.0 * (l.hit_ratio() - u.hit_ratio()), 2),
-         bench::pct(b.hit_ratio()), bench::pct(bs.hit_ratio()),
-         bench::pct(hro.hit_ratio()), bench::pct(inf.hit_ratio())});
+         bench::pct(u), bench::pct(l), bench::fmt(100.0 * (l - u), 2),
+         bench::pct(b), bench::pct(bs), bench::pct(hro), bench::pct(inf)});
   }
   std::printf("\nOPT lies inside [PFOO-U, PFOO-L]; a small gap certifies both.\n");
   return 0;

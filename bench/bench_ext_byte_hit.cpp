@@ -10,15 +10,29 @@ int main() {
   using namespace lhr;
   bench::print_header("Extension: LHR tuned for object hits vs byte hits (WAN traffic)");
 
+  std::vector<runner::Job> jobs;
+  for (const auto c : bench::all_trace_classes()) {
+    const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
+    for (const bool byte_hit : {false, true}) {
+      runner::Job job;
+      job.trace_class = c;
+      job.capacity_bytes = capacity;
+      job.make = [capacity, byte_hit]() -> std::unique_ptr<sim::CachePolicy> {
+        core::LhrConfig cfg;
+        cfg.optimize_byte_hit = byte_hit;
+        return std::make_unique<core::LhrCache>(capacity, cfg);
+      };
+      jobs.push_back(std::move(job));
+    }
+  }
+  const auto results = bench::run_jobs(jobs);
+
+  std::size_t idx = 0;
   bench::print_row({"Trace", "Objective", "Hit(%)", "ByteHit(%)", "WAN(Gbps)"});
   for (const auto c : bench::all_trace_classes()) {
     const auto& trace = bench::trace_for(c);
-    const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
     for (const bool byte_hit : {false, true}) {
-      core::LhrConfig cfg;
-      cfg.optimize_byte_hit = byte_hit;
-      core::LhrCache cache(capacity, cfg);
-      const auto m = sim::simulate(cache, trace);
+      const auto& m = results[idx++].metrics;
       bench::print_row({gen::to_string(c), byte_hit ? "byte-hit" : "object-hit",
                         bench::pct(m.object_hit_ratio()), bench::pct(m.byte_hit_ratio()),
                         bench::fmt(bench::wan_gbps(m, trace), 3)});

@@ -2,6 +2,7 @@
 // against the age-decay variant (per-content survival decay + fitted
 // hyperexponential IRT mixture) on all four traces, and reports the fitted
 // mixture parameters that characterize each trace's IRT process.
+// One runner job per (trace, hazard model).
 #include "bench/bench_common.hpp"
 #include "hazard/hro.hpp"
 
@@ -9,27 +10,43 @@ int main() {
   using namespace lhr;
   bench::print_header("Extension: HRO hazard models (Poisson vs age-decay)");
 
+  std::vector<runner::Job> jobs;
+  for (const auto c : bench::all_trace_classes()) {
+    const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
+    for (const bool age_decay : {false, true}) {
+      runner::Job job;
+      job.label = std::string(age_decay ? "age-decay/" : "poisson/") + gen::to_string(c);
+      job.body = [c, capacity, age_decay](runner::Result& r) {
+        hazard::HroConfig cfg{.capacity_bytes = capacity};
+        cfg.age_decay_hazard = age_decay;
+        hazard::Hro hro(cfg);
+        for (const auto& req : bench::trace_for(c)) hro.classify(req);
+        r.set("hit_ratio", hro.hit_ratio());
+        if (age_decay && hro.irt_model_ready()) {
+          const auto& model = hro.irt_model();
+          r.set("fit_p", model.p);
+          r.set("fit_lambda1", model.lambda1);
+          r.set("fit_lambda2", model.lambda2);
+          r.set("model_ready", 1.0);
+        }
+      };
+      jobs.push_back(std::move(job));
+    }
+  }
+  const auto results = bench::run_jobs(jobs);
+
+  std::size_t idx = 0;
   bench::print_row({"Trace", "Poisson(%)", "AgeDecay(%)", "fit p", "fit l1(1/s)",
                     "fit l2(1/s)"});
   for (const auto c : bench::all_trace_classes()) {
-    const auto& trace = bench::trace_for(c);
-    const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
-
-    hazard::HroConfig poisson{.capacity_bytes = capacity};
-    hazard::HroConfig decayed{.capacity_bytes = capacity};
-    decayed.age_decay_hazard = true;
-
-    hazard::Hro a(poisson), b(decayed);
-    for (const auto& r : trace) {
-      a.classify(r);
-      b.classify(r);
-    }
-    const auto& model = b.irt_model();
-    bench::print_row({gen::to_string(c), bench::pct(a.hit_ratio()),
-                      bench::pct(b.hit_ratio()),
-                      b.irt_model_ready() ? bench::fmt(model.p, 2) : "-",
-                      b.irt_model_ready() ? bench::fmt(model.lambda1, 4) : "-",
-                      b.irt_model_ready() ? bench::fmt(model.lambda2, 6) : "-"});
+    const auto& poisson = results[idx++];
+    const auto& decayed = results[idx++];
+    const bool ready = decayed.stat("model_ready") > 0.0;
+    bench::print_row({gen::to_string(c), bench::pct(poisson.stat("hit_ratio")),
+                      bench::pct(decayed.stat("hit_ratio")),
+                      ready ? bench::fmt(decayed.stat("fit_p"), 2) : "-",
+                      ready ? bench::fmt(decayed.stat("fit_lambda1"), 4) : "-",
+                      ready ? bench::fmt(decayed.stat("fit_lambda2"), 6) : "-"});
   }
   std::printf("\nlambda1 >> lambda2 confirms heavy-tailed (decreasing-hazard) IRTs;\n"
               "the age-decay bound reacts to it, the Poisson bound cannot.\n");

@@ -9,18 +9,38 @@ int main() {
   using namespace lhr;
   bench::print_header("Extension: LHR training-loss ablation (squared vs logistic)");
 
-  bench::print_row({"Trace", "Loss", "Hit(%)", "TrainTime(s)"});
+  const std::vector<ml::GbdtLoss> losses = {ml::GbdtLoss::kSquared,
+                                            ml::GbdtLoss::kLogistic};
+  std::vector<runner::Job> jobs;
   for (const auto c : bench::all_trace_classes()) {
     const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
-    for (const auto loss : {ml::GbdtLoss::kSquared, ml::GbdtLoss::kLogistic}) {
-      core::LhrConfig cfg;
-      cfg.gbdt.loss = loss;
-      core::LhrCache cache(capacity, cfg);
-      const auto metrics = sim::simulate(cache, bench::trace_for(c));
+    for (const auto loss : losses) {
+      runner::Job job;
+      job.trace_class = c;
+      job.capacity_bytes = capacity;
+      job.make = [capacity, loss]() -> std::unique_ptr<sim::CachePolicy> {
+        core::LhrConfig cfg;
+        cfg.gbdt.loss = loss;
+        return std::make_unique<core::LhrCache>(capacity, cfg);
+      };
+      job.inspect = [](const sim::CachePolicy& policy, runner::Result& r) {
+        r.set("training_seconds",
+              static_cast<const core::LhrCache&>(policy).training_seconds());
+      };
+      jobs.push_back(std::move(job));
+    }
+  }
+  const auto results = bench::run_jobs(jobs);
+
+  std::size_t idx = 0;
+  bench::print_row({"Trace", "Loss", "Hit(%)", "TrainTime(s)"});
+  for (const auto c : bench::all_trace_classes()) {
+    for (const auto loss : losses) {
+      const auto& r = results[idx++];
       bench::print_row({gen::to_string(c),
                         loss == ml::GbdtLoss::kSquared ? "squared" : "logistic",
-                        bench::pct(metrics.object_hit_ratio()),
-                        bench::fmt(cache.training_seconds(), 3)});
+                        bench::pct(r.metrics.object_hit_ratio()),
+                        bench::fmt(r.stat("training_seconds"), 3)});
     }
   }
   return 0;

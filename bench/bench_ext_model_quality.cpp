@@ -10,18 +10,39 @@ int main() {
   using namespace lhr;
   bench::print_header("Extension: LHR admission-model quality vs the LHR-HRO gap");
 
+  std::vector<runner::Job> jobs;
+  for (const auto c : bench::all_trace_classes()) {
+    const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
+    runner::Job job;
+    job.trace_class = c;
+    job.capacity_bytes = capacity;
+    job.make = [capacity]() -> std::unique_ptr<sim::CachePolicy> {
+      return std::make_unique<core::LhrCache>(capacity, core::LhrConfig{});
+    };
+    job.inspect = [](const sim::CachePolicy& policy, runner::Result& r) {
+      const auto& lhr_cache = static_cast<const core::LhrCache&>(policy);
+      const auto quality = lhr_cache.model_quality();
+      r.set("auc", quality.auc);
+      r.set("accuracy", quality.accuracy);
+      r.set("recall", quality.recall);
+      r.set("brier", quality.brier);
+      r.set("hro_hit_ratio", lhr_cache.hro_hit_ratio());
+    };
+    jobs.push_back(std::move(job));
+  }
+  const auto results = bench::run_jobs(jobs);
+
+  std::size_t idx = 0;
   bench::print_row({"Trace", "AUC", "Acc", "Recall", "Brier", "LHR(%)", "HRO(%)",
                     "gap(pp)"});
   for (const auto c : bench::all_trace_classes()) {
-    const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
-    core::LhrCache lhr(capacity, core::LhrConfig{});
-    const auto metrics = sim::simulate(lhr, bench::trace_for(c));
-    const auto quality = lhr.model_quality();
-    bench::print_row(
-        {gen::to_string(c), bench::fmt(quality.auc, 3), bench::fmt(quality.accuracy, 3),
-         bench::fmt(quality.recall, 3), bench::fmt(quality.brier, 3),
-         bench::pct(metrics.object_hit_ratio()), bench::pct(lhr.hro_hit_ratio()),
-         bench::fmt(100.0 * (lhr.hro_hit_ratio() - metrics.object_hit_ratio()), 2)});
+    const auto& r = results[idx++];
+    const double hit = r.metrics.object_hit_ratio();
+    const double hro = r.stat("hro_hit_ratio");
+    bench::print_row({gen::to_string(c), bench::fmt(r.stat("auc"), 3),
+                      bench::fmt(r.stat("accuracy"), 3), bench::fmt(r.stat("recall"), 3),
+                      bench::fmt(r.stat("brier"), 3), bench::pct(hit), bench::pct(hro),
+                      bench::fmt(100.0 * (hro - hit), 2)});
   }
   std::printf("\nHigher AUC should coincide with a smaller LHR-HRO gap (§7.5).\n");
   return 0;

@@ -1,6 +1,8 @@
 // Extension: analytic LRU miss-ratio curves. The Mattson one-pass curve and
 // the Che approximation, validated against simulation — an entire cache-size
 // sweep (the x-axis of Figure 8) in a single pass over each trace.
+// Per trace: one job for the Mattson curve + Che points, plus one LRU
+// simulation job per cache size.
 #include "bench/bench_common.hpp"
 #include "opt/mrc.hpp"
 #include "policies/lru.hpp"
@@ -9,19 +11,39 @@ int main() {
   using namespace lhr;
   bench::print_header("Extension: LRU miss-ratio curves (Mattson & Che vs simulation)");
 
+  std::vector<runner::Job> jobs;
+  for (const auto c : bench::all_trace_classes()) {
+    const auto sizes = gen::paper_cache_sizes(c, bench::cache_scale());
+
+    runner::Job analytic;
+    analytic.label = "mrc/" + gen::to_string(c);
+    analytic.body = [c, sizes](runner::Result& r) {
+      const auto& trace = bench::trace_for(c);
+      // series = [mattson per size..., che per size...]
+      r.series = opt::lru_miss_ratio_curve(trace.requests(),
+                                           std::span<const std::uint64_t>(sizes));
+      for (const auto s : sizes) {
+        r.series.push_back(opt::che_lru_hit_ratio(trace.requests(), s));
+      }
+    };
+    jobs.push_back(std::move(analytic));
+
+    for (const auto s : sizes) jobs.push_back(bench::sim_job("LRU", c, s));
+  }
+  const auto results = bench::run_jobs(jobs);
+
+  std::size_t idx = 0;
   bench::print_row({"Trace", "Cache(GB)", "Mattson(%)", "Che(%)", "Simulated(%)"});
   for (const auto c : bench::all_trace_classes()) {
-    const auto& trace = bench::trace_for(c);
     const auto sizes = gen::paper_cache_sizes(c, bench::cache_scale());
-    const auto curve = opt::lru_miss_ratio_curve(
-        trace.requests(), std::span<const std::uint64_t>(sizes));
+    const auto& analytic = results[idx++];
     for (std::size_t i = 0; i < sizes.size(); ++i) {
-      const double che = opt::che_lru_hit_ratio(trace.requests(), sizes[i]);
-      policy::Lru lru(sizes[i]);
-      const double simulated = sim::simulate(lru, trace).object_hit_ratio();
+      const double simulated = results[idx++].metrics.object_hit_ratio();
       bench::print_row({gen::to_string(c),
                         bench::fmt(bench::gb(double(sizes[i])) / bench::cache_scale(), 0),
-                        bench::pct(curve[i]), bench::pct(che), bench::pct(simulated)});
+                        bench::pct(analytic.series[i]),
+                        bench::pct(analytic.series[sizes.size() + i]),
+                        bench::pct(simulated)});
     }
   }
   std::printf("\nMattson is exact for byte-LRU; Che is the IRM closed form\n"

@@ -7,6 +7,16 @@ int main() {
   using namespace lhr;
   bench::print_header("Extension: full policy lineup at the headline cache size");
 
+  std::vector<runner::Job> jobs;
+  for (const auto c : bench::all_trace_classes()) {
+    const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
+    for (const auto& name : core::all_policy_names()) {
+      jobs.push_back(bench::sim_job(name, c, capacity));
+    }
+  }
+  const auto results = bench::run_jobs(jobs);
+
+  std::size_t idx = 0;
   for (const auto c : bench::all_trace_classes()) {
     const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
     std::printf("\n-- %s (cache %.0f GB paper-equivalent) --\n",
@@ -14,7 +24,7 @@ int main() {
                 bench::gb(double(capacity)) / bench::cache_scale());
     bench::print_row({"Policy", "Hit(%)", "ByteHit(%)", "Wall(s)"});
     for (const auto& name : core::all_policy_names()) {
-      const auto metrics = bench::run_policy(name, c, capacity);
+      const auto& metrics = results[idx++].metrics;
       bench::print_row({name, bench::pct(metrics.object_hit_ratio()),
                         bench::pct(metrics.byte_hit_ratio()),
                         bench::fmt(metrics.wall_seconds, 2)});

@@ -1,6 +1,5 @@
 // Figure 1: content popularity (rank-frequency) and inter-arrival time CDFs.
-#include <cmath>
-
+// Two free-form runner jobs per trace (popularity fit, IRT CDF).
 #include "bench/bench_common.hpp"
 #include "trace/trace_stats.hpp"
 
@@ -8,26 +7,50 @@ int main() {
   using namespace lhr;
   bench::print_header("Figure 1: content popularity and inter-arrival time");
 
+  const std::vector<double> points = {0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0};
+  const std::vector<std::size_t> ranks = {1, 10, 100, 1000, 10000};
+
+  std::vector<runner::Job> jobs;
+  for (const auto c : bench::all_trace_classes()) {
+    runner::Job pop;
+    pop.label = "popularity/" + gen::to_string(c);
+    pop.body = [c, &ranks](runner::Result& r) {
+      const auto counts = trace::popularity_counts(bench::trace_for(c));
+      for (const auto rank : ranks) {
+        r.series.push_back(rank <= counts.size() ? double(counts[rank - 1]) : -1.0);
+      }
+      r.set("alpha", trace::fit_zipf_alpha(counts, 2000));
+    };
+    jobs.push_back(std::move(pop));
+
+    runner::Job irt;
+    irt.label = "irt_cdf/" + gen::to_string(c);
+    irt.body = [c, &points](runner::Result& r) {
+      auto irts = trace::inter_request_times(bench::trace_for(c));
+      r.series = trace::empirical_cdf(std::move(irts), points);
+    };
+    jobs.push_back(std::move(irt));
+  }
+  const auto results = bench::run_jobs(jobs);
+
   std::printf("\n-- Popularity: request count at log-spaced ranks + fitted Zipf alpha --\n");
   bench::print_row({"Trace", "rank1", "rank10", "rank100", "rank1k", "rank10k", "alpha"});
-  for (const auto c : bench::all_trace_classes()) {
-    const auto counts = trace::popularity_counts(bench::trace_for(c));
-    const auto at = [&](std::size_t rank) {
-      return rank <= counts.size() ? bench::fmt(double(counts[rank - 1]), 0)
-                                   : std::string("-");
-    };
-    bench::print_row({gen::to_string(c), at(1), at(10), at(100), at(1000), at(10000),
-                      bench::fmt(trace::fit_zipf_alpha(counts, 2000), 2)});
+  for (std::size_t t = 0; t < bench::all_trace_classes().size(); ++t) {
+    const auto& r = results[2 * t];
+    std::vector<std::string> cells = {gen::to_string(bench::all_trace_classes()[t])};
+    for (const double count : r.series) {
+      cells.push_back(count < 0.0 ? std::string("-") : bench::fmt(count, 0));
+    }
+    cells.push_back(bench::fmt(r.stat("alpha"), 2));
+    bench::print_row(cells);
   }
 
   std::printf("\n-- Inter-arrival time CDF: P(IRT <= t) --\n");
-  const std::vector<double> points = {0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0};
   bench::print_row({"Trace", "0.1s", "1s", "10s", "100s", "1ks", "10ks"});
-  for (const auto c : bench::all_trace_classes()) {
-    auto irts = trace::inter_request_times(bench::trace_for(c));
-    const auto cdf = trace::empirical_cdf(std::move(irts), points);
-    std::vector<std::string> cells = {gen::to_string(c)};
-    for (const double v : cdf) cells.push_back(bench::fmt(v, 3));
+  for (std::size_t t = 0; t < bench::all_trace_classes().size(); ++t) {
+    const auto& r = results[2 * t + 1];
+    std::vector<std::string> cells = {gen::to_string(bench::all_trace_classes()[t])};
+    for (const double v : r.series) cells.push_back(bench::fmt(v, 3));
     bench::print_row(cells);
   }
   return 0;

@@ -4,8 +4,10 @@
 // The paper's claims to reproduce: a 15-25% gap between the best SOTA and
 // the tighter offline bound; HRO tighter than (below) the offline bounds
 // while still above every online policy; LHR between the best SOTA and HRO.
-#include <algorithm>
-
+//
+// Per (trace, size) the grid is one free-form bounds job (Belady-Size,
+// PFOO-L, HRO share a trace pass each) plus eight policy simulations; all of
+// it runs on the shared pool in a single run_all.
 #include "bench/bench_common.hpp"
 #include "hazard/hro.hpp"
 #include "opt/bounds.hpp"
@@ -15,36 +17,55 @@ int main() {
   bench::print_header(
       "Figure 2: hit probability of offline bounds, HRO, best SOTA, and LHR");
 
+  auto policies = core::sota_policy_names();
+  policies.push_back("LHR");
+
+  std::vector<runner::Job> jobs;
+  for (const auto c : bench::all_trace_classes()) {
+    const auto sizes = gen::paper_cache_sizes(c, bench::cache_scale());
+    for (const auto capacity : {sizes[1], sizes[3]}) {  // two sizes, as in the paper
+      runner::Job bounds;
+      bounds.label = "bounds/" + gen::to_string(c);
+      bounds.body = [c, capacity](runner::Result& r) {
+        const auto& trace = bench::trace_for(c);
+        r.set("belady_size", opt::belady_size(trace.requests(), capacity).hit_ratio());
+        r.set("pfoo_l", opt::pfoo_l(trace.requests(), capacity).hit_ratio());
+        hazard::Hro hro(hazard::HroConfig{.capacity_bytes = capacity});
+        for (const auto& req : trace) hro.classify(req);
+        r.set("hro", hro.hit_ratio());
+      };
+      jobs.push_back(std::move(bounds));
+      for (const auto& name : policies) jobs.push_back(bench::sim_job(name, c, capacity));
+    }
+  }
+  const auto results = bench::run_jobs(jobs);
+
+  std::size_t idx = 0;
   bench::print_row({"Trace", "Cache(GB)", "Belady-Sz", "PFOO-L", "HRO", "BestSOTA",
                     "(which)", "LHR"});
-
   for (const auto c : bench::all_trace_classes()) {
-    const auto& trace = bench::trace_for(c);
     const auto sizes = gen::paper_cache_sizes(c, bench::cache_scale());
-    // The paper shows two cache sizes per trace.
     for (const auto capacity : {sizes[1], sizes[3]}) {
-      const auto bs = opt::belady_size(trace.requests(), capacity);
-      const auto pfoo = opt::pfoo_l(trace.requests(), capacity);
-
-      hazard::Hro hro(hazard::HroConfig{.capacity_bytes = capacity});
-      for (const auto& r : trace) hro.classify(r);
+      const auto& bounds = results[idx++];
 
       double best_sota = 0.0;
       std::string best_name;
-      for (const auto& name : core::sota_policy_names()) {
-        const double ratio = bench::run_policy(name, c, capacity).object_hit_ratio();
-        if (ratio > best_sota) {
+      double lhr = 0.0;
+      for (const auto& name : policies) {
+        const double ratio = results[idx++].metrics.object_hit_ratio();
+        if (name == "LHR") {
+          lhr = ratio;
+        } else if (ratio > best_sota) {
           best_sota = ratio;
           best_name = name;
         }
       }
-      const double lhr = bench::run_policy("LHR", c, capacity).object_hit_ratio();
 
       bench::print_row({gen::to_string(c),
                         bench::fmt(bench::gb(double(capacity)) / bench::cache_scale(), 0),
-                        bench::pct(bs.hit_ratio()), bench::pct(pfoo.hit_ratio()),
-                        bench::pct(hro.hit_ratio()), bench::pct(best_sota), best_name,
-                        bench::pct(lhr)});
+                        bench::pct(bounds.stat("belady_size")),
+                        bench::pct(bounds.stat("pfoo_l")), bench::pct(bounds.stat("hro")),
+                        bench::pct(best_sota), best_name, bench::pct(lhr)});
     }
   }
   std::printf("\nCache(GB) column shows the unscaled paper-equivalent size.\n");

@@ -1,7 +1,5 @@
 // Figure 5: impact of the sliding-window size (unique bytes as a multiple of
 // the cache size) on LHR's hit probability, memory, and running time.
-#include <chrono>
-
 #include "bench/bench_common.hpp"
 #include "core/lhr_cache.hpp"
 
@@ -9,21 +7,33 @@ int main() {
   using namespace lhr;
   bench::print_header("Figure 5: impact of sliding window size on LHR");
 
-  bench::print_row({"Trace", "WindowMult", "Hit(%)", "PeakMeta(MB)", "Time(s)"});
+  const std::vector<double> mults = {1.0, 2.0, 4.0, 8.0};
+  std::vector<runner::Job> jobs;
   for (const auto c : bench::all_trace_classes()) {
     const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
-    for (const double mult : {1.0, 2.0, 4.0, 8.0}) {
-      core::LhrConfig cfg;
-      cfg.window_unique_bytes_mult = mult;
-      core::LhrCache lhr(capacity, cfg);
-      const auto t0 = std::chrono::steady_clock::now();
-      const auto metrics = sim::simulate(lhr, bench::trace_for(c));
-      const double secs =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    for (const double mult : mults) {
+      runner::Job job;
+      job.trace_class = c;
+      job.capacity_bytes = capacity;
+      job.make = [capacity, mult]() -> std::unique_ptr<sim::CachePolicy> {
+        core::LhrConfig cfg;
+        cfg.window_unique_bytes_mult = mult;
+        return std::make_unique<core::LhrCache>(capacity, cfg);
+      };
+      jobs.push_back(std::move(job));
+    }
+  }
+  const auto results = bench::run_jobs(jobs);
+
+  std::size_t idx = 0;
+  bench::print_row({"Trace", "WindowMult", "Hit(%)", "PeakMeta(MB)", "Time(s)"});
+  for (const auto c : bench::all_trace_classes()) {
+    for (const double mult : mults) {
+      const auto& metrics = results[idx++].metrics;
       bench::print_row({gen::to_string(c), bench::fmt(mult, 0) + "x",
                         bench::pct(metrics.object_hit_ratio()),
                         bench::fmt(double(metrics.peak_metadata_bytes) / 1e6, 1),
-                        bench::fmt(secs, 2)});
+                        bench::fmt(metrics.wall_seconds, 2)});
     }
   }
   std::printf("\nPaper default: 4x (the knee of the hit-vs-overhead tradeoff).\n");

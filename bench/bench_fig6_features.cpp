@@ -1,8 +1,6 @@
 // Figure 6: impact of the feature set — static features and the number of
 // IRT features (10/20/30) — on LHR's hit probability and overhead.
 // The paper reports hit improvements relative to the 10-IRT configuration.
-#include <chrono>
-
 #include "bench/bench_common.hpp"
 #include "core/lhr_cache.hpp"
 
@@ -19,25 +17,36 @@ int main() {
       {"10d(base)", 10, false}, {"10d+s", 10, true}, {"20d+s", 20, true},
       {"30d+s", 30, true}};
 
-  bench::print_row({"Trace", "Features", "Hit(%)", "dHit(pp)", "Meta(MB)", "Time(s)"});
+  std::vector<runner::Job> jobs;
   for (const auto c : bench::all_trace_classes()) {
     const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
+    for (const auto& v : variants) {
+      runner::Job job;
+      job.trace_class = c;
+      job.capacity_bytes = capacity;
+      job.make = [capacity, v]() -> std::unique_ptr<sim::CachePolicy> {
+        core::LhrConfig cfg;
+        cfg.features.num_irts = v.irts;
+        cfg.features.include_static = v.statics;
+        return std::make_unique<core::LhrCache>(capacity, cfg);
+      };
+      jobs.push_back(std::move(job));
+    }
+  }
+  const auto results = bench::run_jobs(jobs);
+
+  std::size_t idx = 0;
+  bench::print_row({"Trace", "Features", "Hit(%)", "dHit(pp)", "Meta(MB)", "Time(s)"});
+  for (const auto c : bench::all_trace_classes()) {
     double base_hit = 0.0;
     for (const auto& v : variants) {
-      core::LhrConfig cfg;
-      cfg.features.num_irts = v.irts;
-      cfg.features.include_static = v.statics;
-      core::LhrCache lhr(capacity, cfg);
-      const auto t0 = std::chrono::steady_clock::now();
-      const auto metrics = sim::simulate(lhr, bench::trace_for(c));
-      const double secs =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      const auto& metrics = results[idx++].metrics;
       const double hit = metrics.object_hit_ratio();
       if (v.label == "10d(base)") base_hit = hit;
       bench::print_row({gen::to_string(c), v.label, bench::pct(hit),
                         bench::fmt(100.0 * (hit - base_hit), 2),
                         bench::fmt(double(metrics.peak_metadata_bytes) / 1e6, 1),
-                        bench::fmt(secs, 2)});
+                        bench::fmt(metrics.wall_seconds, 2)});
     }
   }
   std::printf("\nPaper default: 20 IRTs + static features.\n");

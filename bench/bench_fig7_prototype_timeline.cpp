@@ -1,6 +1,9 @@
 // Figure 7: content hit probability over time (per request window) of the
 // LHR prototype vs unmodified ATS. The paper's claim: LHR overtakes ATS
 // within ~5 sliding windows and keeps improving.
+//
+// Server replays are free-form runner jobs (the CdnServer models its own
+// latency/CPU accounting); the per-window series lands in Result::series.
 #include "bench/bench_common.hpp"
 #include "server/cdn_server.hpp"
 
@@ -9,25 +12,38 @@ int main() {
   bench::print_header("Figure 7: hit probability over time, LHR vs ATS");
 
   const std::size_t window = std::max<std::size_t>(bench::requests_per_trace() / 20, 1000);
+  const std::vector<std::string> names = {"LHR", "LRU"};
+
+  std::vector<runner::Job> jobs;
   for (const auto c : bench::all_trace_classes()) {
     const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
-    server::ServerConfig cfg;
-    cfg.ram_bytes = std::max<std::uint64_t>(capacity / 100, 1 << 20);
+    for (const auto& name : names) {
+      runner::Job job;
+      job.label = name + "/" + gen::to_string(c);
+      job.body = [c, capacity, name, window](runner::Result& r) {
+        server::ServerConfig cfg;
+        cfg.ram_bytes = std::max<std::uint64_t>(capacity / 100, 1 << 20);
+        server::CdnServer server(core::make_policy(name, capacity), cfg);
+        const auto report =
+            server.replay(bench::trace_for(c), server::ReplayMode::kNormal, window);
+        r.series = report.window_hit_ratio;
+        r.set("content_hit_pct", report.content_hit_pct);
+      };
+      jobs.push_back(std::move(job));
+    }
+  }
+  const auto results = bench::run_jobs(jobs);
 
-    server::CdnServer lhr_server(core::make_policy("LHR", capacity), cfg);
-    server::CdnServer ats_server(core::make_policy("LRU", capacity), cfg);
-    const auto lhr_report =
-        lhr_server.replay(bench::trace_for(c), server::ReplayMode::kNormal, window);
-    const auto ats_report =
-        ats_server.replay(bench::trace_for(c), server::ReplayMode::kNormal, window);
-
+  std::size_t idx = 0;
+  for (const auto c : bench::all_trace_classes()) {
+    const auto& lhr_series = results[idx++].series;
+    const auto& ats_series = results[idx++].series;
     std::printf("\n-- %s (window = %zu requests) --\n", gen::to_string(c).c_str(),
                 window);
     bench::print_row({"Window", "LHR(%)", "ATS(%)"});
-    for (std::size_t w = 0; w < lhr_report.window_hit_ratio.size(); ++w) {
-      bench::print_row({std::to_string(w + 1),
-                        bench::pct(lhr_report.window_hit_ratio[w]),
-                        bench::pct(ats_report.window_hit_ratio[w])});
+    for (std::size_t w = 0; w < lhr_series.size(); ++w) {
+      bench::print_row({std::to_string(w + 1), bench::pct(lhr_series[w]),
+                        bench::pct(ats_series[w])});
     }
   }
   return 0;

@@ -1,5 +1,8 @@
 // Figure 8: average content hit probability and WAN traffic of LHR vs the
 // seven SOTAs across cache sizes, on all four traces.
+//
+// The full grid (4 traces x 8 policies x 5 sizes = 160 simulations) is one
+// runner::run_all call; rows print in job order, independent of scheduling.
 #include "bench/bench_common.hpp"
 
 int main() {
@@ -9,6 +12,16 @@ int main() {
   auto policies = core::sota_policy_names();
   policies.push_back("LHR");
 
+  std::vector<runner::Job> jobs;
+  for (const auto c : bench::all_trace_classes()) {
+    const auto sizes = gen::paper_cache_sizes(c, bench::cache_scale());
+    for (const auto& name : policies) {
+      for (const auto s : sizes) jobs.push_back(bench::sim_job(name, c, s));
+    }
+  }
+  const auto results = bench::run_jobs(jobs);
+
+  std::size_t idx = 0;
   for (const auto c : bench::all_trace_classes()) {
     const auto& trace = bench::trace_for(c);
     const auto sizes = gen::paper_cache_sizes(c, bench::cache_scale());
@@ -28,7 +41,7 @@ int main() {
       std::vector<std::string> cells = {name};
       sim::SimMetrics at_headline;
       for (std::size_t i = 0; i < sizes.size(); ++i) {
-        const auto metrics = bench::run_policy(name, c, sizes[i]);
+        const auto& metrics = results[idx++].metrics;
         cells.push_back(bench::pct(metrics.object_hit_ratio()));
         if (i == 2) at_headline = metrics;
       }

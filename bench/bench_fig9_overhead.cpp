@@ -3,26 +3,28 @@
 // LRB (whose per-request feature store dominates) but more than Hawkeye,
 // and runs dramatically faster than LRB (no per-eviction model sweep over
 // all cached objects).
-#include <chrono>
-
 #include "bench/bench_common.hpp"
 
 int main() {
   using namespace lhr;
   bench::print_header("Figure 9: peak memory and running time of learning policies");
 
-  bench::print_row({"Trace", "Policy", "PeakMem(MB)", "RunTime(s)"});
+  const std::vector<std::string> names = {"LRB", "Hawkeye", "LHR"};
+  std::vector<runner::Job> jobs;
   for (const auto c : bench::all_trace_classes()) {
     const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
-    for (const std::string name : {"LRB", "Hawkeye", "LHR"}) {
-      auto policy = core::make_policy(name, capacity);
-      const auto t0 = std::chrono::steady_clock::now();
-      const auto metrics = sim::simulate(*policy, bench::trace_for(c));
-      const double secs =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    for (const auto& name : names) jobs.push_back(bench::sim_job(name, c, capacity));
+  }
+  const auto results = bench::run_jobs(jobs);
+
+  std::size_t idx = 0;
+  bench::print_row({"Trace", "Policy", "PeakMem(MB)", "RunTime(s)"});
+  for (const auto c : bench::all_trace_classes()) {
+    for (const auto& name : names) {
+      const auto& metrics = results[idx++].metrics;
       bench::print_row({gen::to_string(c), name,
                         bench::fmt(double(metrics.peak_metadata_bytes) / 1e6, 1),
-                        bench::fmt(secs, 2)});
+                        bench::fmt(metrics.wall_seconds, 2)});
     }
   }
   return 0;

@@ -8,6 +8,8 @@
 
 #include "core/policy_factory.hpp"
 #include "gen/zipf.hpp"
+#include "runner/runner.hpp"
+#include "runner/trace_cache.hpp"
 #include "hazard/hro.hpp"
 #include "ml/features.hpp"
 #include "ml/gbdt.hpp"
@@ -128,6 +130,31 @@ void BM_GbdtTrain(benchmark::State& state) {
   }
 }
 
+// End-to-end cost of a policy sweep on the parallel runner: 8 LRU jobs over
+// a small cached trace, at 1 / 2 / 4 worker threads. The 1-thread run is the
+// serial baseline; the ratio is the sweep speedup bench/ binaries get.
+void BM_RunnerSweep(benchmark::State& state) {
+  static runner::TraceCache traces(20'000, 42);
+  traces.get(gen::TraceClass::kCdnA);  // generate outside the timed region
+
+  std::vector<runner::Job> jobs;
+  for (int i = 0; i < 8; ++i) {
+    runner::Job job;
+    job.policy_name = "LRU";
+    job.trace_class = gen::TraceClass::kCdnA;
+    job.capacity_bytes = (1ULL + i) << 24;
+    jobs.push_back(std::move(job));
+  }
+
+  runner::RunOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  options.traces = &traces;
+  for (auto _ : state) {
+    auto results = runner::run_all(jobs, options);
+    benchmark::DoNotOptimize(results.data());
+  }
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_PolicyAccess, LRU, std::string("LRU"));
@@ -143,5 +170,6 @@ BENCHMARK(BM_CountMinIncrement);
 BENCHMARK(BM_FeatureExtract);
 BENCHMARK(BM_GbdtPredict);
 BENCHMARK(BM_GbdtTrain)->Arg(10'000)->Arg(40'000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RunnerSweep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -1,5 +1,6 @@
 // Table 1: key characteristics of the (synthetic stand-ins for the)
-// production traces.
+// production traces. One free-form runner job per trace: generation and
+// summarization of the four traces proceed in parallel.
 #include "bench/bench_common.hpp"
 #include "trace/trace_stats.hpp"
 
@@ -7,24 +8,40 @@ int main() {
   using namespace lhr;
   bench::print_header("Table 1: trace characteristics");
 
-  bench::print_row({"Metric", "CDN-A", "CDN-B", "CDN-C", "Wiki"}, 16);
-  std::vector<trace::TraceSummary> summaries;
+  std::vector<runner::Job> jobs;
   for (const auto c : bench::all_trace_classes()) {
-    summaries.push_back(trace::summarize(bench::trace_for(c)));
+    runner::Job job;
+    job.label = "summary/" + gen::to_string(c);
+    job.body = [c](runner::Result& r) {
+      const auto s = trace::summarize(bench::trace_for(c));
+      r.set("duration_hours", s.duration_hours);
+      r.set("unique_contents", double(s.unique_contents));
+      r.set("requests_m", double(s.total_requests) / 1e6);
+      r.set("total_bytes_tb", s.total_bytes_requested_tb);
+      r.set("unique_bytes_gb", s.unique_bytes_gb);
+      r.set("active_bytes_gb", s.peak_active_bytes_gb);
+      r.set("mean_size_mb", s.mean_content_size_mb);
+      r.set("max_size_mb", s.max_content_size_mb);
+      r.set("one_hit_wonder_pct", 100.0 * s.one_hit_wonder_fraction);
+    };
+    jobs.push_back(std::move(job));
   }
-  const auto row = [&](const std::string& label, auto getter, int precision) {
+  const auto results = bench::run_jobs(jobs);
+
+  bench::print_row({"Metric", "CDN-A", "CDN-B", "CDN-C", "Wiki"}, 16);
+  const auto row = [&](const std::string& label, const char* key, int precision) {
     std::vector<std::string> cells = {label};
-    for (const auto& s : summaries) cells.push_back(bench::fmt(getter(s), precision));
+    for (const auto& r : results) cells.push_back(bench::fmt(r.stat(key), precision));
     bench::print_row(cells, 16);
   };
-  row("Duration(h)", [](const auto& s) { return s.duration_hours; }, 2);
-  row("UniqueContents", [](const auto& s) { return double(s.unique_contents); }, 0);
-  row("Requests(M)", [](const auto& s) { return double(s.total_requests) / 1e6; }, 2);
-  row("TotalBytes(TB)", [](const auto& s) { return s.total_bytes_requested_tb; }, 2);
-  row("UniqueBytes(GB)", [](const auto& s) { return s.unique_bytes_gb; }, 0);
-  row("ActiveBytes(GB)", [](const auto& s) { return s.peak_active_bytes_gb; }, 0);
-  row("MeanSize(MB)", [](const auto& s) { return s.mean_content_size_mb; }, 1);
-  row("MaxSize(MB)", [](const auto& s) { return s.max_content_size_mb; }, 0);
-  row("OneHitWonder(%)", [](const auto& s) { return 100.0 * s.one_hit_wonder_fraction; }, 1);
+  row("Duration(h)", "duration_hours", 2);
+  row("UniqueContents", "unique_contents", 0);
+  row("Requests(M)", "requests_m", 2);
+  row("TotalBytes(TB)", "total_bytes_tb", 2);
+  row("UniqueBytes(GB)", "unique_bytes_gb", 0);
+  row("ActiveBytes(GB)", "active_bytes_gb", 0);
+  row("MeanSize(MB)", "mean_size_mb", 1);
+  row("MaxSize(MB)", "max_size_mb", 0);
+  row("OneHitWonder(%)", "one_hit_wonder_pct", 1);
   return 0;
 }

@@ -1,18 +1,37 @@
 // Table 2: resource usage of the LHR prototype vs unmodified ATS (LRU index)
 // in "max" (throughput-bound) and "normal" (production-speed) replays.
+// All 16 server replays (4 traces x 2 policies x 2 modes) are independent
+// runner jobs.
 #include "bench/bench_common.hpp"
 #include "server/cdn_server.hpp"
 
 namespace {
 
-lhr::server::ServerReport run(const std::string& policy, lhr::gen::TraceClass c,
-                              lhr::server::ReplayMode mode) {
+void report_to_result(const lhr::server::ServerReport& report, lhr::runner::Result& r) {
+  r.set("throughput_gbps", report.throughput_gbps);
+  r.set("peak_cpu_pct", report.peak_cpu_pct);
+  r.set("peak_mem_gb", report.peak_mem_gb);
+  r.set("p90_latency_ms", report.p90_latency_ms);
+  r.set("p99_latency_ms", report.p99_latency_ms);
+  r.set("avg_latency_ms", report.avg_latency_ms);
+  r.set("traffic_gbps", report.traffic_gbps);
+  r.set("content_hit_pct", report.content_hit_pct);
+}
+
+lhr::runner::Job server_job(const std::string& policy, lhr::gen::TraceClass c,
+                            lhr::server::ReplayMode mode) {
   using namespace lhr;
-  const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
-  server::ServerConfig cfg;
-  cfg.ram_bytes = std::max<std::uint64_t>(capacity / 100, 1 << 20);
-  server::CdnServer server(core::make_policy(policy, capacity), cfg);
-  return server.replay(bench::trace_for(c), mode);
+  runner::Job job;
+  job.label = policy + "/" + gen::to_string(c) +
+              (mode == server::ReplayMode::kMax ? "/max" : "/normal");
+  job.body = [policy, c, mode](runner::Result& r) {
+    const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
+    server::ServerConfig cfg;
+    cfg.ram_bytes = std::max<std::uint64_t>(capacity / 100, 1 << 20);
+    server::CdnServer server(core::make_policy(policy, capacity), cfg);
+    report_to_result(server.replay(bench::trace_for(c), mode), r);
+  };
+  return job;
 }
 
 }  // namespace
@@ -21,43 +40,36 @@ int main() {
   using namespace lhr;
   bench::print_header("Table 2: LHR prototype vs ATS (LRU) resource usage");
 
+  // Job layout: per trace [LHR/max, ATS/max, LHR/normal, ATS/normal].
+  std::vector<runner::Job> jobs;
+  for (const auto c : bench::all_trace_classes()) {
+    jobs.push_back(server_job("LHR", c, server::ReplayMode::kMax));
+    jobs.push_back(server_job("LRU", c, server::ReplayMode::kMax));
+    jobs.push_back(server_job("LHR", c, server::ReplayMode::kNormal));
+    jobs.push_back(server_job("LRU", c, server::ReplayMode::kNormal));
+  }
+  const auto results = bench::run_jobs(jobs);
+
   bench::print_row({"Metric", "Exp", "A:LHR", "A:ATS", "B:LHR", "B:ATS", "C:LHR",
                     "C:ATS", "W:LHR", "W:ATS"}, 10);
 
-  std::vector<server::ServerReport> lhr_max, ats_max, lhr_norm, ats_norm;
-  for (const auto c : bench::all_trace_classes()) {
-    lhr_max.push_back(run("LHR", c, server::ReplayMode::kMax));
-    ats_max.push_back(run("LRU", c, server::ReplayMode::kMax));
-    lhr_norm.push_back(run("LHR", c, server::ReplayMode::kNormal));
-    ats_norm.push_back(run("LRU", c, server::ReplayMode::kNormal));
-  }
-
+  // offset: 0 = LHR/max, 1 = ATS/max, 2 = LHR/normal, 3 = ATS/normal.
   const auto row = [&](const std::string& metric, const std::string& exp,
-                       const std::vector<server::ServerReport>& lhr_reports,
-                       const std::vector<server::ServerReport>& ats_reports,
-                       auto getter, int precision) {
+                       std::size_t offset, const char* key, int precision) {
     std::vector<std::string> cells = {metric, exp};
-    for (std::size_t i = 0; i < 4; ++i) {
-      cells.push_back(bench::fmt(getter(lhr_reports[i]), precision));
-      cells.push_back(bench::fmt(getter(ats_reports[i]), precision));
+    for (std::size_t t = 0; t < 4; ++t) {
+      cells.push_back(bench::fmt(results[4 * t + offset].stat(key), precision));
+      cells.push_back(bench::fmt(results[4 * t + offset + 1].stat(key), precision));
     }
     bench::print_row(cells, 10);
   };
-  row("Thrpt(Gbps)", "max", lhr_max, ats_max,
-      [](const auto& r) { return r.throughput_gbps; }, 2);
-  row("PeakCPU(%)", "max", lhr_max, ats_max,
-      [](const auto& r) { return r.peak_cpu_pct; }, 1);
-  row("PeakMem(GB)", "max", lhr_max, ats_max,
-      [](const auto& r) { return r.peak_mem_gb; }, 2);
-  row("P90Lat(ms)", "norm", lhr_norm, ats_norm,
-      [](const auto& r) { return r.p90_latency_ms; }, 0);
-  row("P99Lat(ms)", "norm", lhr_norm, ats_norm,
-      [](const auto& r) { return r.p99_latency_ms; }, 0);
-  row("AvgLat(ms)", "avg", lhr_norm, ats_norm,
-      [](const auto& r) { return r.avg_latency_ms; }, 0);
-  row("Traffic(Gbps)", "avg", lhr_norm, ats_norm,
-      [](const auto& r) { return r.traffic_gbps; }, 2);
-  row("ContentHit(%)", "norm", lhr_norm, ats_norm,
-      [](const auto& r) { return r.content_hit_pct; }, 2);
+  row("Thrpt(Gbps)", "max", 0, "throughput_gbps", 2);
+  row("PeakCPU(%)", "max", 0, "peak_cpu_pct", 1);
+  row("PeakMem(GB)", "max", 0, "peak_mem_gb", 2);
+  row("P90Lat(ms)", "norm", 2, "p90_latency_ms", 0);
+  row("P99Lat(ms)", "norm", 2, "p99_latency_ms", 0);
+  row("AvgLat(ms)", "avg", 2, "avg_latency_ms", 0);
+  row("Traffic(Gbps)", "avg", 2, "traffic_gbps", 2);
+  row("ContentHit(%)", "norm", 2, "content_hit_pct", 2);
   return 0;
 }

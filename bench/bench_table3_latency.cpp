@@ -1,33 +1,57 @@
 // Table 3: estimated average latency (ms) and throughput (Gbps) for LHR,
 // Hawkeye, LRB and LRU under the idealized §7.3 model (8 Gbps link,
 // distance + size terms, algorithm compute time included).
-#include <chrono>
-
+//
+// The per-request algorithm time now comes from the engine's SimObserver
+// hook (the engine times each access() when an observer is attached), so
+// this bench is a plain simulation sweep feeding a LatencyModel per job.
 #include "bench/bench_common.hpp"
 #include "sim/latency_model.hpp"
+
+namespace {
+
+/// Feeds every replayed request into the §7.3 latency model.
+class LatencyObserver : public lhr::sim::SimObserver {
+ public:
+  void on_request(std::size_t, const lhr::trace::Request& r, bool hit,
+                  double access_seconds) override {
+    model.record(r.size, hit, access_seconds);
+  }
+
+  lhr::sim::LatencyModel model;
+};
+
+}  // namespace
 
 int main() {
   using namespace lhr;
   bench::print_header("Table 3: estimated latency (ms) and throughput (Gbps)");
 
-  bench::print_row({"Trace", "Metric", "LHR", "Hawkeye", "LRB", "LRU"});
+  const std::vector<std::string> names = {"LHR", "Hawkeye", "LRB", "LRU"};
+  std::vector<runner::Job> jobs;
+  // One observer per job, alive for the whole run (SimOptions::observer is
+  // not owned by the engine).
+  std::vector<std::unique_ptr<LatencyObserver>> observers;
   for (const auto c : bench::all_trace_classes()) {
     const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
-    const auto& trace = bench::trace_for(c);
+    for (const auto& name : names) {
+      observers.push_back(std::make_unique<LatencyObserver>());
+      auto job = bench::sim_job(name, c, capacity);
+      job.options.observer = observers.back().get();
+      job.options.deduct_metadata = false;  // the original loop did not adjust capacity
+      jobs.push_back(std::move(job));
+    }
+  }
+  const auto results = bench::run_jobs(jobs);
+  (void)results;  // latency numbers live in the observers
 
+  std::size_t idx = 0;
+  bench::print_row({"Trace", "Metric", "LHR", "Hawkeye", "LRB", "LRU"});
+  for (const auto c : bench::all_trace_classes()) {
     std::vector<std::string> lat_cells = {gen::to_string(c), "Latency"};
     std::vector<std::string> thr_cells = {gen::to_string(c), "Throughput"};
-    for (const std::string name : {"LHR", "Hawkeye", "LRB", "LRU"}) {
-      auto policy = core::make_policy(name, capacity);
-      sim::LatencyModel model;
-      for (const auto& r : trace) {
-        const auto t0 = std::chrono::steady_clock::now();
-        const bool hit = policy->access(r);
-        const double algo_s =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-                .count();
-        model.record(r.size, hit, algo_s);
-      }
+    for (std::size_t p = 0; p < names.size(); ++p) {
+      const auto& model = observers[idx++]->model;
       lat_cells.push_back(bench::fmt(model.mean_latency_ms(), 1));
       thr_cells.push_back(bench::fmt(model.throughput_gbps(), 2));
     }

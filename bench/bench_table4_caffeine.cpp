@@ -1,6 +1,7 @@
 // Table 4 + Figure 13 (Appendix A.3): LHR vs Caffeine (W-TinyLFU) as an
 // in-memory cache. Caches are an order of magnitude smaller than the disk
-// experiments (paper: 64/128/16/128 GB).
+// experiments (paper: 64/128/16/128 GB). All 16 replays run as independent
+// runner jobs; the Figure 13 window series travels in Result::series.
 #include "bench/bench_common.hpp"
 #include "server/cdn_server.hpp"
 
@@ -20,14 +21,29 @@ std::uint64_t caffeine_cache_size(lhr::gen::TraceClass c, double scale) {
   return gb(64);
 }
 
-lhr::server::ServerReport run(const std::string& policy, lhr::gen::TraceClass c,
-                              lhr::server::ReplayMode mode, std::size_t window) {
+lhr::runner::Job server_job(const std::string& policy, lhr::gen::TraceClass c,
+                            lhr::server::ReplayMode mode, std::size_t window) {
   using namespace lhr;
-  server::ServerConfig cfg;
-  cfg.has_disk_tier = false;  // Caffeine-style in-memory cache
-  const auto capacity = caffeine_cache_size(c, bench::cache_scale());
-  server::CdnServer server(core::make_policy(policy, capacity), cfg);
-  return server.replay(bench::trace_for(c), mode, window);
+  runner::Job job;
+  job.label = policy + "/" + gen::to_string(c) +
+              (mode == server::ReplayMode::kMax ? "/max" : "/normal");
+  job.body = [policy, c, mode, window](runner::Result& r) {
+    server::ServerConfig cfg;
+    cfg.has_disk_tier = false;  // Caffeine-style in-memory cache
+    const auto capacity = caffeine_cache_size(c, bench::cache_scale());
+    server::CdnServer server(core::make_policy(policy, capacity), cfg);
+    const auto report = server.replay(bench::trace_for(c), mode, window);
+    r.set("throughput_gbps", report.throughput_gbps);
+    r.set("peak_cpu_pct", report.peak_cpu_pct);
+    r.set("peak_mem_gb", report.peak_mem_gb);
+    r.set("p90_latency_ms", report.p90_latency_ms);
+    r.set("p99_latency_ms", report.p99_latency_ms);
+    r.set("avg_latency_ms", report.avg_latency_ms);
+    r.set("traffic_gbps", report.traffic_gbps);
+    r.set("content_hit_pct", report.content_hit_pct);
+    r.series = report.window_hit_ratio;
+  };
+  return job;
 }
 
 }  // namespace
@@ -36,54 +52,48 @@ int main() {
   using namespace lhr;
   bench::print_header("Table 4 + Figure 13: LHR vs Caffeine (W-TinyLFU), in-memory");
 
+  const std::size_t window = std::max<std::size_t>(bench::requests_per_trace() / 10, 1000);
+
+  // Job layout: per trace [LHR/max, Caf/max, LHR/normal, Caf/normal].
+  std::vector<runner::Job> jobs;
+  for (const auto c : bench::all_trace_classes()) {
+    jobs.push_back(server_job("LHR", c, server::ReplayMode::kMax, window));
+    jobs.push_back(server_job("W-TinyLFU", c, server::ReplayMode::kMax, window));
+    jobs.push_back(server_job("LHR", c, server::ReplayMode::kNormal, window));
+    jobs.push_back(server_job("W-TinyLFU", c, server::ReplayMode::kNormal, window));
+  }
+  const auto results = bench::run_jobs(jobs);
+
   bench::print_row({"Metric", "Exp", "A:LHR", "A:Caf", "B:LHR", "B:Caf", "C:LHR",
                     "C:Caf", "W:LHR", "W:Caf"}, 10);
 
-  const std::size_t window = std::max<std::size_t>(bench::requests_per_trace() / 10, 1000);
-  std::vector<server::ServerReport> lhr_max, caf_max, lhr_norm, caf_norm;
-  for (const auto c : bench::all_trace_classes()) {
-    lhr_max.push_back(run("LHR", c, server::ReplayMode::kMax, window));
-    caf_max.push_back(run("W-TinyLFU", c, server::ReplayMode::kMax, window));
-    lhr_norm.push_back(run("LHR", c, server::ReplayMode::kNormal, window));
-    caf_norm.push_back(run("W-TinyLFU", c, server::ReplayMode::kNormal, window));
-  }
-
   const auto row = [&](const std::string& metric, const std::string& exp,
-                       const std::vector<server::ServerReport>& a,
-                       const std::vector<server::ServerReport>& b, auto getter,
-                       int precision) {
+                       std::size_t offset, const char* key, int precision) {
     std::vector<std::string> cells = {metric, exp};
-    for (std::size_t i = 0; i < 4; ++i) {
-      cells.push_back(bench::fmt(getter(a[i]), precision));
-      cells.push_back(bench::fmt(getter(b[i]), precision));
+    for (std::size_t t = 0; t < 4; ++t) {
+      cells.push_back(bench::fmt(results[4 * t + offset].stat(key), precision));
+      cells.push_back(bench::fmt(results[4 * t + offset + 1].stat(key), precision));
     }
     bench::print_row(cells, 10);
   };
-  row("Thrpt(Gbps)", "max", lhr_max, caf_max,
-      [](const auto& r) { return r.throughput_gbps; }, 2);
-  row("PeakCPU(%)", "max", lhr_max, caf_max,
-      [](const auto& r) { return r.peak_cpu_pct; }, 1);
-  row("PeakMem(GB)", "max", lhr_max, caf_max,
-      [](const auto& r) { return r.peak_mem_gb; }, 2);
-  row("P90Lat(ms)", "norm", lhr_norm, caf_norm,
-      [](const auto& r) { return r.p90_latency_ms; }, 1);
-  row("P99Lat(ms)", "norm", lhr_norm, caf_norm,
-      [](const auto& r) { return r.p99_latency_ms; }, 1);
-  row("AvgLat(ms)", "avg", lhr_norm, caf_norm,
-      [](const auto& r) { return r.avg_latency_ms; }, 1);
-  row("Traffic(Gbps)", "avg", lhr_norm, caf_norm,
-      [](const auto& r) { return r.traffic_gbps; }, 2);
-  row("ContentHit(%)", "norm", lhr_norm, caf_norm,
-      [](const auto& r) { return r.content_hit_pct; }, 2);
+  row("Thrpt(Gbps)", "max", 0, "throughput_gbps", 2);
+  row("PeakCPU(%)", "max", 0, "peak_cpu_pct", 1);
+  row("PeakMem(GB)", "max", 0, "peak_mem_gb", 2);
+  row("P90Lat(ms)", "norm", 2, "p90_latency_ms", 1);
+  row("P99Lat(ms)", "norm", 2, "p99_latency_ms", 1);
+  row("AvgLat(ms)", "avg", 2, "avg_latency_ms", 1);
+  row("Traffic(Gbps)", "avg", 2, "traffic_gbps", 2);
+  row("ContentHit(%)", "norm", 2, "content_hit_pct", 2);
 
   std::printf("\n-- Figure 13: hit probability per window (normal replay) --\n");
-  for (std::size_t i = 0; i < 4; ++i) {
-    std::printf("\n%s:\n", gen::to_string(bench::all_trace_classes()[i]).c_str());
+  for (std::size_t t = 0; t < 4; ++t) {
+    std::printf("\n%s:\n", gen::to_string(bench::all_trace_classes()[t]).c_str());
     bench::print_row({"Window", "LHR(%)", "Caffeine(%)"});
-    for (std::size_t w = 0; w < lhr_norm[i].window_hit_ratio.size(); ++w) {
-      bench::print_row({std::to_string(w + 1),
-                        bench::pct(lhr_norm[i].window_hit_ratio[w]),
-                        bench::pct(caf_norm[i].window_hit_ratio[w])});
+    const auto& lhr_series = results[4 * t + 2].series;
+    const auto& caf_series = results[4 * t + 3].series;
+    for (std::size_t w = 0; w < lhr_series.size(); ++w) {
+      bench::print_row({std::to_string(w + 1), bench::pct(lhr_series[w]),
+                        bench::pct(caf_series[w])});
     }
   }
   return 0;

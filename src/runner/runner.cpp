@@ -1,0 +1,155 @@
+#include "runner/runner.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "core/policy_factory.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lhr::runner {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("LHR_BENCH_THREADS")) {
+    const long value = std::atol(env);
+    if (value >= 1) return static_cast<std::size_t>(value);
+  }
+  return util::ThreadPool::hardware_threads();
+}
+
+Result run_one(const Job& job, TraceCache& traces) {
+  Result result;
+  result.label = job.label;
+
+  if (job.body) {
+    job.body(result);
+    return result;
+  }
+
+  const trace::Trace& trace = job.trace ? *job.trace : traces.get(job.trace_class);
+  auto policy = job.make ? job.make() : core::make_policy(job.policy_name, job.capacity_bytes);
+  result.policy = policy->name();
+  result.trace = job.trace ? "custom" : gen::to_string(job.trace_class);
+  result.capacity_bytes = job.capacity_bytes ? job.capacity_bytes : policy->capacity_bytes();
+  if (result.label.empty()) result.label = result.policy + "/" + result.trace;
+  result.metrics = sim::simulate(*policy, trace, job.options);
+  if (job.inspect) job.inspect(*policy, result);
+  return result;
+}
+
+std::vector<Result> run_all(const std::vector<Job>& jobs, const RunOptions& options) {
+  TraceCache& traces = options.traces ? *options.traces : TraceCache::global();
+  const std::size_t threads =
+      options.threads ? options.threads : default_thread_count();
+
+  std::vector<Result> results(jobs.size());
+  if (threads <= 1 || jobs.size() <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = run_one(jobs[i], traces);
+    return results;
+  }
+
+  std::vector<std::exception_ptr> errors(jobs.size());
+  {
+    util::ThreadPool pool(std::min(threads, jobs.size()));
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      pool.submit([&, i] {
+        try {
+          results[i] = run_one(jobs[i], traces);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
+}
+
+// ------------------------------------------------------------------ JSONL
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_field(std::string& out, const char* key, const std::string& value,
+                  bool trailing_comma = true) {
+  out += '"';
+  out += key;
+  out += "\":\"";
+  append_escaped(out, value);
+  out += trailing_comma ? "\"," : "\"";
+}
+
+std::string number(double v) {
+  // JSON has no NaN/Inf; clamp to null.
+  if (!(v == v) || v > 1e308 || v < -1e308) return "null";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_jsonl(const Result& r) {
+  std::string out = "{";
+  append_field(out, "label", r.label);
+  append_field(out, "policy", r.policy);
+  append_field(out, "trace", r.trace);
+  out += "\"capacity_bytes\":" + std::to_string(r.capacity_bytes) + ",";
+  out += "\"requests\":" + std::to_string(r.metrics.requests) + ",";
+  out += "\"hits\":" + std::to_string(r.metrics.hits) + ",";
+  out += "\"object_hit_ratio\":" + number(r.metrics.object_hit_ratio()) + ",";
+  out += "\"byte_hit_ratio\":" + number(r.metrics.byte_hit_ratio()) + ",";
+  out += "\"wan_traffic_bytes\":" + number(r.metrics.wan_traffic_bytes()) + ",";
+  out += "\"wall_seconds\":" + number(r.metrics.wall_seconds) + ",";
+  out += "\"requests_per_second\":" + number(r.metrics.requests_per_second()) + ",";
+  out += "\"windows\":" + std::to_string(r.metrics.windows.size()) + ",";
+  out += "\"peak_metadata_bytes\":" + std::to_string(r.metrics.peak_metadata_bytes) + ",";
+  out += "\"stats\":{";
+  for (std::size_t i = 0; i < r.stats.size(); ++i) {
+    if (i) out += ',';
+    out += '"';
+    append_escaped(out, r.stats[i].first);
+    out += "\":" + number(r.stats[i].second);
+  }
+  out += "}}";
+  return out;
+}
+
+void write_jsonl(std::ostream& out, const std::vector<Result>& results) {
+  for (const auto& r : results) out << to_jsonl(r) << '\n';
+}
+
+bool append_jsonl_if_configured(const std::vector<Result>& results) {
+  const char* path = std::getenv("LHR_BENCH_JSONL");
+  if (path == nullptr || *path == '\0' || results.empty()) return false;
+  std::ofstream out(path, std::ios::app);
+  if (!out) return false;
+  write_jsonl(out, results);
+  return true;
+}
+
+}  // namespace lhr::runner

@@ -1,0 +1,129 @@
+// The parallel experiment runner: one sweep substrate for bench/, examples/
+// and tests/.
+//
+// Every experiment in this repository is a grid of independent jobs —
+// policy × trace × capacity (× config variant). The runner executes such a
+// grid on a fixed thread pool and returns results in *job order*, so output
+// is bitwise-identical to the serial nested loops it replaces regardless of
+// how the OS schedules the workers:
+//
+//   * each job constructs its own policy instance and only reads the shared
+//     immutable trace, so jobs cannot observe each other;
+//   * results[i] always corresponds to jobs[i]; worker scheduling decides
+//     only *when* a slot is filled, never *which* slot.
+//
+// Three job flavours cover the whole bench suite:
+//   1. named-policy simulation:  {policy_name, trace_class, capacity}
+//   2. custom-policy simulation: same, with `make` building the policy
+//      (LhrConfig variants, sharded caches, ...); an optional `inspect`
+//      hook runs while the policy is still alive to pull extra numbers out
+//      of it (training time, model quality, ...);
+//   3. free-form: `body` runs arbitrary work (offline bounds, server
+//      replays, trace statistics) and fills the Result itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gen/cdn_model.hpp"
+#include "runner/trace_cache.hpp"
+#include "sim/cache_policy.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+
+namespace lhr::runner {
+
+/// What one job produced. `metrics` is filled by simulation jobs; free-form
+/// jobs and `inspect` hooks record additional numbers in `stats` (insertion
+/// order is preserved for JSONL emission) and optional curves in `series`.
+struct Result {
+  std::string label;
+  std::string policy;
+  std::string trace;
+  std::uint64_t capacity_bytes = 0;
+  sim::SimMetrics metrics;
+  std::vector<std::pair<std::string, double>> stats;
+  std::vector<double> series;
+
+  void set(const std::string& key, double value) {
+    for (auto& [k, v] : stats) {
+      if (k == key) {
+        v = value;
+        return;
+      }
+    }
+    stats.emplace_back(key, value);
+  }
+
+  [[nodiscard]] double stat(const std::string& key, double fallback = 0.0) const {
+    for (const auto& [k, v] : stats) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
+};
+
+/// One cell of an experiment grid. See the file comment for the flavours;
+/// exactly one of {policy_name, make, body} drives the job.
+struct Job {
+  std::string label;  ///< defaults to "<policy>/<trace>" when empty
+
+  // Simulation jobs.
+  std::string policy_name;  ///< resolved via core::make_policy
+  std::function<std::unique_ptr<sim::CachePolicy>()> make;  ///< overrides policy_name
+  gen::TraceClass trace_class = gen::TraceClass::kCdnA;
+  const trace::Trace* trace = nullptr;  ///< overrides trace_class (not owned)
+  std::uint64_t capacity_bytes = 0;
+  sim::SimOptions options{};
+  /// Runs after simulate() while the policy instance is still alive; use it
+  /// to pull policy-specific numbers into the Result.
+  std::function<void(const sim::CachePolicy&, Result&)> inspect;
+
+  // Free-form jobs: when set, everything above except `label` is ignored.
+  std::function<void(Result&)> body;
+};
+
+struct RunOptions {
+  /// 0 = default_thread_count() (LHR_BENCH_THREADS env, else hardware).
+  std::size_t threads = 0;
+  /// Trace store for jobs addressed by trace_class; defaults to the
+  /// process-wide TraceCache::global().
+  TraceCache* traces = nullptr;
+};
+
+/// Worker count used when RunOptions::threads is 0: the LHR_BENCH_THREADS
+/// environment variable if set (>= 1), otherwise std::thread::hardware_concurrency.
+[[nodiscard]] std::size_t default_thread_count();
+
+/// Executes every job (in parallel unless the effective thread count is 1)
+/// and returns results in job order. A throwing job aborts the run: the
+/// first exception in job order is rethrown after all workers finish.
+[[nodiscard]] std::vector<Result> run_all(const std::vector<Job>& jobs,
+                                          const RunOptions& options = {});
+
+/// Runs a single job synchronously on the calling thread (the unit the pool
+/// executes; exposed for tests and for serial baselines).
+[[nodiscard]] Result run_one(const Job& job, TraceCache& traces);
+
+// ------------------------------------------------------------------ JSONL
+
+/// One JSON object (single line, no trailing newline) per result: label,
+/// policy, trace, capacity and the SimMetrics aggregates, plus every
+/// `stats` entry under "stats".
+[[nodiscard]] std::string to_jsonl(const Result& r);
+
+/// Writes to_jsonl(r) + '\n' for every result.
+void write_jsonl(std::ostream& out, const std::vector<Result>& results);
+
+/// Appends all results to the file named by the LHR_BENCH_JSONL environment
+/// variable, if set. Returns true if anything was written. The bench
+/// harnesses call this after every run_all so sweeps are machine-readable
+/// next to the human-readable tables.
+bool append_jsonl_if_configured(const std::vector<Result>& results);
+
+}  // namespace lhr::runner

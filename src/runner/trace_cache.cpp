@@ -1,0 +1,40 @@
+#include "runner/trace_cache.hpp"
+
+#include <cstdlib>
+
+namespace lhr::runner {
+
+namespace {
+
+std::size_t env_requests_per_trace() {
+  if (const char* env = std::getenv("LHR_BENCH_REQUESTS")) {
+    const long value = std::atol(env);
+    if (value > 1000) return static_cast<std::size_t>(value);
+  }
+  return 200'000;
+}
+
+std::uint64_t env_bench_seed() {
+  if (const char* env = std::getenv("LHR_BENCH_SEED")) {
+    return static_cast<std::uint64_t>(std::atoll(env));
+  }
+  return 42;
+}
+
+}  // namespace
+
+const trace::Trace& TraceCache::get(gen::TraceClass c) {
+  Entry& entry = entries_[static_cast<std::size_t>(c)];
+  std::call_once(entry.once, [&] {
+    entry.trace = std::make_unique<trace::Trace>(
+        gen::make_trace(c, requests_per_trace_, seed_));
+  });
+  return *entry.trace;
+}
+
+TraceCache& TraceCache::global() {
+  static TraceCache cache(env_requests_per_trace(), env_bench_seed());
+  return cache;
+}
+
+}  // namespace lhr::runner

@@ -1,0 +1,58 @@
+// Thread-safe, memoized generation of the paper-calibrated traces.
+//
+// Replaces the lazily-initialized static vector that used to live in
+// bench/bench_common.hpp (`trace_for`), which raced as soon as two runner
+// jobs requested the same trace class concurrently. Each class is generated
+// exactly once behind a std::once_flag; different classes can generate in
+// parallel, and every caller gets a reference to the same immutable Trace.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "gen/cdn_model.hpp"
+#include "trace/trace.hpp"
+
+namespace lhr::runner {
+
+/// Number of values in gen::TraceClass (kCdnA..kWiki).
+inline constexpr std::size_t kTraceClassCount = 4;
+
+class TraceCache {
+ public:
+  /// Traces are generated on first use with `requests_per_trace` requests
+  /// and the given generator seed (same knobs as gen::make_trace).
+  TraceCache(std::size_t requests_per_trace, std::uint64_t seed)
+      : requests_per_trace_(requests_per_trace), seed_(seed) {}
+
+  TraceCache(const TraceCache&) = delete;
+  TraceCache& operator=(const TraceCache&) = delete;
+
+  /// Returns the memoized trace for `c`, generating it on first call.
+  /// Safe to call from any number of threads.
+  const trace::Trace& get(gen::TraceClass c);
+
+  [[nodiscard]] std::size_t requests_per_trace() const noexcept {
+    return requests_per_trace_;
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// The process-wide cache the bench harnesses share, sized from the
+  /// LHR_BENCH_REQUESTS / LHR_BENCH_SEED environment knobs.
+  static TraceCache& global();
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    std::unique_ptr<trace::Trace> trace;
+  };
+
+  std::size_t requests_per_trace_;
+  std::uint64_t seed_;
+  std::array<Entry, kTraceClassCount> entries_;
+};
+
+}  // namespace lhr::runner

@@ -13,13 +13,29 @@ ShardedCache::ShardedCache(std::size_t shards, std::uint64_t capacity_bytes,
   if (!factory) throw std::invalid_argument("ShardedCache: null factory");
   shards_.reserve(shards);
   const std::uint64_t per_shard = capacity_bytes / shards;
+  const std::uint64_t remainder = capacity_bytes % shards;
   if (per_shard == 0) throw std::invalid_argument("ShardedCache: capacity too small");
   for (std::size_t i = 0; i < shards; ++i) {
     auto shard = std::make_unique<Shard>();
-    shard->policy = factory(per_shard);
+    shard->policy = factory(per_shard + (i < remainder ? 1 : 0));
     if (!shard->policy) throw std::invalid_argument("ShardedCache: factory returned null");
     shards_.push_back(std::move(shard));
   }
+}
+
+void ShardedCache::set_capacity(std::uint64_t bytes) {
+  capacity_ = bytes;
+  const std::uint64_t per_shard = bytes / shards_.size();
+  const std::uint64_t remainder = bytes % shards_.size();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::lock_guard<std::mutex> lock(shards_[i]->mutex);
+    shards_[i]->policy->set_capacity(per_shard + (i < remainder ? 1 : 0));
+  }
+}
+
+std::uint64_t ShardedCache::shard_capacity_bytes(std::size_t shard) const {
+  const std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
+  return shards_[shard]->policy->capacity_bytes();
 }
 
 std::size_t ShardedCache::shard_of(trace::Key key) const noexcept {

@@ -10,8 +10,16 @@
 // Sharding is also semantically faithful to how CDN software scales a cache
 // across threads (per-shard LRU is what ATS, Varnish and NGINX do), at the
 // usual cost: per-shard capacity fragmentation, measured by the tests.
+//
+// ShardedCache is itself a sim::CachePolicy, so the concurrent server path
+// is drivable by the same engine, runner and metrics as every
+// single-threaded policy: sim::simulate replays a trace through it,
+// runner::Job::make can build one, and the engine's §7.1 metadata
+// deduction works via set_capacity (which re-splits capacity across
+// shards, remainder bytes going to the lowest-index shards).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -23,26 +31,37 @@
 
 namespace lhr::server {
 
-class ShardedCache {
+class ShardedCache : public sim::CachePolicy {
  public:
   using PolicyFactory =
       std::function<std::unique_ptr<sim::CachePolicy>(std::uint64_t capacity)>;
 
-  /// Builds `shards` policies, each with capacity/shards bytes.
+  /// Builds `shards` policies, each with capacity/shards bytes (remainder
+  /// bytes go to the lowest-index shards).
   ShardedCache(std::size_t shards, std::uint64_t capacity_bytes,
                const PolicyFactory& factory);
 
   /// Thread-safe request processing. Returns true on hit.
-  bool access(const trace::Request& r);
+  bool access(const trace::Request& r) override;
 
   [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
-  [[nodiscard]] std::uint64_t used_bytes() const;
-  [[nodiscard]] std::uint64_t capacity_bytes() const noexcept { return capacity_; }
-  [[nodiscard]] std::uint64_t metadata_bytes() const;
-  [[nodiscard]] std::string name() const;
+  [[nodiscard]] std::uint64_t used_bytes() const override;
+  [[nodiscard]] std::uint64_t capacity_bytes() const noexcept override {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Re-splits the new total capacity across shards: shard i receives
+  /// bytes/N, plus one extra byte for i < bytes%N. Thread-safe; used by the
+  /// engine's metadata-deduction fairness rule.
+  void set_capacity(std::uint64_t bytes) override;
 
   /// Index of the shard a key maps to (exposed for tests).
   [[nodiscard]] std::size_t shard_of(trace::Key key) const noexcept;
+
+  /// Capacity currently assigned to one shard (exposed for tests).
+  [[nodiscard]] std::uint64_t shard_capacity_bytes(std::size_t shard) const;
 
  private:
   struct Shard {
@@ -50,7 +69,7 @@ class ShardedCache {
     mutable std::mutex mutex;
   };
 
-  std::uint64_t capacity_;
+  std::atomic<std::uint64_t> capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

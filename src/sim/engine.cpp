@@ -13,10 +13,22 @@ SimMetrics simulate(CachePolicy& policy, std::span<const trace::Request> request
 
   WindowPoint window;
   std::size_t in_window = 0;
+  std::size_t window_index = 0;
+  SimObserver* const observer = options.observer;
 
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const trace::Request& r = requests[i];
-    const bool hit = policy.access(r);
+    bool hit;
+    if (observer != nullptr) {
+      // Per-request timing is only paid when someone is listening.
+      const auto a0 = std::chrono::steady_clock::now();
+      hit = policy.access(r);
+      const double access_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - a0).count();
+      observer->on_request(i, r, hit, access_seconds);
+    } else {
+      hit = policy.access(r);
+    }
 
     if (i >= options.warmup_requests) {
       ++m.requests;
@@ -35,6 +47,8 @@ SimMetrics simulate(CachePolicy& policy, std::span<const trace::Request> request
     }
     if (++in_window == options.window_requests) {
       m.windows.push_back(window);
+      if (observer != nullptr) observer->on_window(window_index, window);
+      ++window_index;
       window = WindowPoint{};
       in_window = 0;
     }
@@ -46,7 +60,10 @@ SimMetrics simulate(CachePolicy& policy, std::span<const trace::Request> request
       policy.set_capacity(meta >= raw_capacity ? 0 : raw_capacity - meta);
     }
   }
-  if (in_window > 0) m.windows.push_back(window);
+  if (in_window > 0) {
+    m.windows.push_back(window);
+    if (observer != nullptr) observer->on_window(window_index, window);
+  }
 
   m.peak_metadata_bytes = std::max(m.peak_metadata_bytes, policy.metadata_bytes());
   m.wall_seconds =

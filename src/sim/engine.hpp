@@ -11,6 +11,33 @@
 
 namespace lhr::sim {
 
+/// Observation hooks into the replay loop. Attach one via
+/// `SimOptions::observer` to watch progress, collect per-request latency
+/// samples, or export per-window series without patching any policy.
+///
+/// Callbacks run synchronously on the simulating thread; an observer
+/// attached to a job running on the parallel runner is only ever invoked
+/// from that job's worker thread, so observers need no locking unless they
+/// are shared across jobs.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  /// Called after every request. `access_seconds` is the wall-clock cost of
+  /// the policy's `access()` call; per-request timing is only measured when
+  /// an observer is attached, so unobserved runs pay no clock overhead.
+  virtual void on_request(std::size_t index, const trace::Request& r, bool hit,
+                          double access_seconds) {
+    (void)index, (void)r, (void)hit, (void)access_seconds;
+  }
+
+  /// Called each time a window of `SimOptions::window_requests` closes
+  /// (including the final partial window).
+  virtual void on_window(std::size_t window_index, const WindowPoint& window) {
+    (void)window_index, (void)window;
+  }
+};
+
 struct SimOptions {
   /// Requests per time-series window (Figures 7/13).
   std::size_t window_requests = 50'000;
@@ -22,6 +49,9 @@ struct SimOptions {
   bool deduct_metadata = true;
   /// How often (in requests) the metadata deduction is refreshed.
   std::size_t capacity_adjust_interval = 16'384;
+  /// Optional replay hooks (progress, per-request timing, window series).
+  /// Not owned; must outlive the simulate() call.
+  SimObserver* observer = nullptr;
 };
 
 /// Replays `requests` through `policy` and gathers metrics.

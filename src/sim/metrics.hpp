@@ -39,6 +39,15 @@ struct SimMetrics {
   /// Bytes fetched from the origin over the WAN (the traffic the paper's
   /// Figure 8 bottom row reports, normalized per unit time by callers).
   [[nodiscard]] double wan_traffic_bytes() const { return bytes_requested - bytes_hit; }
+
+  // Simulation throughput (replay speed of the engine itself, not of the
+  // modeled server) — the runner reports these per job.
+  [[nodiscard]] double requests_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(requests) / wall_seconds : 0.0;
+  }
+  [[nodiscard]] double mbytes_per_second() const {
+    return wall_seconds > 0.0 ? bytes_requested / wall_seconds / 1e6 : 0.0;
+  }
 };
 
 }  // namespace lhr::sim

@@ -1,0 +1,94 @@
+// A fixed-size thread pool (no work stealing, no task priorities).
+//
+// The experiment runner (src/runner) schedules independent simulation jobs
+// onto this pool; each job writes into its own pre-allocated result slot, so
+// the pool needs nothing fancier than submit + wait_idle. Tasks may be
+// submitted from any thread, including from inside a running task.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace lhr::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    task_ready_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  void submit(std::function<void()> task) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(task));
+      ++unfinished_;
+    }
+    task_ready_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished. The pool stays usable;
+  /// further submit/wait_idle rounds are allowed.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return unfinished_ == 0; });
+  }
+
+  /// Reasonable default parallelism for this machine.
+  [[nodiscard]] static std::size_t hardware_threads() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (--unfinished_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t unfinished_ = 0;  ///< queued + currently running tasks
+  bool stopping_ = false;
+};
+
+}  // namespace lhr::util

@@ -17,8 +17,26 @@
 #include "policies/lru_k.hpp"
 #include "policies/sampled_set.hpp"
 #include "policies/tinylfu.hpp"
+#include "policy_conformance.hpp"
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
+
+namespace lhr::testing {
+
+// Every policy the factory can build must satisfy the shared conformance
+// suite (capacity invariant, determinism, dominated by infinite cap).
+std::vector<ConformanceCase> factory_cases() {
+  std::vector<ConformanceCase> cases;
+  for (const auto& name : core::all_policy_names()) {
+    cases.push_back({name, [name] { return core::make_policy(name, 2ULL << 30); }});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyConformance,
+                         ::testing::ValuesIn(factory_cases()), conformance_name);
+
+}  // namespace lhr::testing
 
 namespace lhr::policy {
 namespace {
@@ -300,67 +318,9 @@ TEST(LrbPolicy, TrainsAndKeepsCapacityInvariant) {
   EXPECT_GT(lrb.metadata_bytes(), 0u);
 }
 
-// ------------------------------------------- cross-policy property suite
-
-struct PropertyCase {
-  std::string policy;
-  std::uint64_t capacity;
-};
-
-class PolicyProperties : public ::testing::TestWithParam<PropertyCase> {};
-
-TEST_P(PolicyProperties, NeverExceedsCapacityAndOnlyHitsSeenKeys) {
-  const auto& param = GetParam();
-  auto policy = core::make_policy(param.policy, param.capacity);
-  const auto trace = gen::make_trace(gen::TraceClass::kCdnA, 8'000, 99);
-
-  std::unordered_set<trace::Key> seen;
-  for (const auto& r : trace) {
-    const bool hit = policy->access(r);
-    if (hit) {
-      EXPECT_TRUE(seen.contains(r.key)) << param.policy;
-    }
-    seen.insert(r.key);
-    ASSERT_LE(policy->used_bytes(), policy->capacity_bytes()) << param.policy;
-  }
-}
-
-TEST_P(PolicyProperties, DeterministicAcrossRuns) {
-  const auto& param = GetParam();
-  const auto trace = gen::make_trace(gen::TraceClass::kWiki, 5'000, 7);
-  auto a = core::make_policy(param.policy, param.capacity);
-  auto b = core::make_policy(param.policy, param.capacity);
-  for (const auto& r : trace) {
-    ASSERT_EQ(a->access(r), b->access(r)) << param.policy;
-  }
-}
-
-TEST_P(PolicyProperties, DominatedByInfiniteCap) {
-  const auto& param = GetParam();
-  const auto trace = gen::make_trace(gen::TraceClass::kCdnB, 8'000, 3);
-  auto policy = core::make_policy(param.policy, param.capacity);
-  const auto metrics = sim::simulate(*policy, trace);
-  const auto inf = opt::infinite_cap(trace.requests());
-  EXPECT_LE(metrics.hits, inf.hits) << param.policy;
-}
-
-std::vector<PropertyCase> property_cases() {
-  std::vector<PropertyCase> cases;
-  for (const auto& name : core::all_policy_names()) {
-    cases.push_back({name, 2ULL << 30});
-  }
-  return cases;
-}
-
-INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyProperties,
-                         ::testing::ValuesIn(property_cases()),
-                         [](const ::testing::TestParamInfo<PropertyCase>& info) {
-                           std::string name = info.param.policy;
-                           for (char& c : name) {
-                             if (c == '-') c = '_';
-                           }
-                           return name;
-                         });
+// The cross-policy property suite lives in policy_conformance.hpp and is
+// instantiated above (namespace lhr::testing) for every factory policy;
+// server_ext_test instantiates the same suite for ShardedCache.
 
 // --------------------------------------------------------------- Factory
 

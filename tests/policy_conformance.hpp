@@ -1,0 +1,79 @@
+// Cross-policy conformance suite, shared by policies_test (every name the
+// factory knows) and server_ext_test (ShardedCache driven through the same
+// sim::CachePolicy interface).
+//
+// Each test binary instantiates PolicyConformance with its own list of
+// ConformanceCase values; a case is a label plus a factory closure so the
+// suite can exercise policies that are not constructible by name alone.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "gen/cdn_model.hpp"
+#include "opt/bounds.hpp"
+#include "sim/cache_policy.hpp"
+#include "sim/engine.hpp"
+
+namespace lhr::testing {
+
+struct ConformanceCase {
+  std::string label;  ///< gtest parameter name ([A-Za-z0-9_] only)
+  std::function<std::unique_ptr<sim::CachePolicy>()> make;
+};
+
+/// gtest name sanitizer for policy names like "LRU-4" or "Sharded(LRU)x8".
+inline std::string conformance_name(
+    const ::testing::TestParamInfo<ConformanceCase>& info) {
+  std::string name = info.param.label;
+  for (char& c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    if (!ok) c = '_';
+  }
+  return name;
+}
+
+class PolicyConformance : public ::testing::TestWithParam<ConformanceCase> {};
+
+TEST_P(PolicyConformance, NeverExceedsCapacityAndOnlyHitsSeenKeys) {
+  const auto& param = GetParam();
+  auto policy = param.make();
+  const auto trace = gen::make_trace(gen::TraceClass::kCdnA, 8'000, 99);
+
+  std::unordered_set<trace::Key> seen;
+  for (const auto& r : trace) {
+    const bool hit = policy->access(r);
+    if (hit) {
+      EXPECT_TRUE(seen.contains(r.key)) << param.label;
+    }
+    seen.insert(r.key);
+    ASSERT_LE(policy->used_bytes(), policy->capacity_bytes()) << param.label;
+  }
+}
+
+TEST_P(PolicyConformance, DeterministicAcrossRuns) {
+  const auto& param = GetParam();
+  const auto trace = gen::make_trace(gen::TraceClass::kWiki, 5'000, 7);
+  auto a = param.make();
+  auto b = param.make();
+  for (const auto& r : trace) {
+    ASSERT_EQ(a->access(r), b->access(r)) << param.label;
+  }
+}
+
+TEST_P(PolicyConformance, DominatedByInfiniteCap) {
+  const auto& param = GetParam();
+  const auto trace = gen::make_trace(gen::TraceClass::kCdnB, 8'000, 3);
+  auto policy = param.make();
+  const auto metrics = sim::simulate(*policy, trace);
+  const auto inf = opt::infinite_cap(trace.requests());
+  EXPECT_LE(metrics.hits, inf.hits) << param.label;
+}
+
+}  // namespace lhr::testing

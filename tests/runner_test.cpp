@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/policy_factory.hpp"
+#include "gen/cdn_model.hpp"
+#include "runner/runner.hpp"
+#include "runner/trace_cache.hpp"
+#include "sim/engine.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lhr::runner {
+namespace {
+
+// A small trace store shared by the tests in this binary (cheap to fill,
+// independent of the LHR_BENCH_* environment).
+TraceCache& test_traces() {
+  static TraceCache traces(6'000, 13);
+  return traces;
+}
+
+// -------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsEveryTask) {
+  util::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ReusableAcrossRounds) {
+  util::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) pool.submit([&count] { ++count; });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 10 * (round + 1));
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    util::ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&count] { ++count; });
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  util::ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ActuallyParallel) {
+  // With 4 workers, 4 tasks that each wait for the others must all be in
+  // flight at once; a serial pool would deadlock (guarded by a timeout).
+  util::ThreadPool pool(4);
+  std::atomic<int> arrived{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&arrived] {
+      ++arrived;
+      const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while (arrived.load() < 4 && std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(arrived.load(), 4);
+}
+
+// -------------------------------------------------------------- TraceCache
+
+TEST(TraceCache, MemoizesPerClass) {
+  TraceCache cache(2'000, 5);
+  const auto& a = cache.get(gen::TraceClass::kCdnA);
+  const auto& again = cache.get(gen::TraceClass::kCdnA);
+  EXPECT_EQ(&a, &again);
+  EXPECT_EQ(a.size(), 2'000u);
+}
+
+TEST(TraceCache, MatchesDirectGeneration) {
+  TraceCache cache(1'500, 21);
+  const auto& cached = cache.get(gen::TraceClass::kWiki);
+  const auto direct = gen::make_trace(gen::TraceClass::kWiki, 1'500, 21);
+  ASSERT_EQ(cached.size(), direct.size());
+  for (std::size_t i = 0; i < cached.size(); ++i) {
+    EXPECT_EQ(cached.requests()[i].key, direct.requests()[i].key);
+    EXPECT_EQ(cached.requests()[i].size, direct.requests()[i].size);
+  }
+}
+
+TEST(TraceCache, ConcurrentGetIsSafeAndConsistent) {
+  // The satellite fix for the old racy lazy-static trace_for: many threads
+  // requesting the same (and different) classes must agree on one instance
+  // per class and never crash. Run under TSan in CI.
+  TraceCache cache(2'000, 9);
+  constexpr int kThreads = 16;
+  std::vector<const trace::Trace*> seen(kThreads * 2, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &seen, t] {
+      seen[2 * t] = &cache.get(gen::TraceClass::kCdnB);
+      seen[2 * t + 1] = &cache.get(t % 2 ? gen::TraceClass::kCdnC
+                                         : gen::TraceClass::kWiki);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[0], seen[2 * t]);
+  std::set<const trace::Trace*> others(seen.begin() + 1, seen.end());
+  // kCdnB + kCdnC + kWiki pointers only.
+  EXPECT_LE(others.size(), 3u);
+  EXPECT_EQ(cache.get(gen::TraceClass::kCdnB).size(), 2'000u);
+}
+
+// ------------------------------------------------------------ SimObserver
+
+struct CountingObserver : sim::SimObserver {
+  std::size_t requests = 0;
+  std::size_t hits = 0;
+  std::size_t windows = 0;
+  std::size_t last_window_index = 0;
+  double access_seconds = 0.0;
+
+  void on_request(std::size_t, const trace::Request&, bool hit,
+                  double seconds) override {
+    ++requests;
+    hits += hit;
+    access_seconds += seconds;
+    EXPECT_GE(seconds, 0.0);
+  }
+  void on_window(std::size_t index, const sim::WindowPoint& w) override {
+    ++windows;
+    last_window_index = index;
+    EXPECT_GT(w.requests, 0u);
+  }
+};
+
+TEST(SimObserver, SeesEveryRequestAndWindow) {
+  const auto& trace = test_traces().get(gen::TraceClass::kCdnA);
+  auto policy = core::make_policy("LRU", 64ULL << 20);
+
+  CountingObserver observer;
+  sim::SimOptions options;
+  options.window_requests = 1'000;
+  options.observer = &observer;
+  const auto metrics = sim::simulate(*policy, trace, options);
+
+  EXPECT_EQ(observer.requests, trace.size());
+  EXPECT_EQ(observer.hits, metrics.hits);
+  EXPECT_EQ(observer.windows, metrics.windows.size());
+  EXPECT_EQ(observer.last_window_index, metrics.windows.size() - 1);
+  EXPECT_GT(observer.access_seconds, 0.0);
+  EXPECT_GT(metrics.requests_per_second(), 0.0);
+}
+
+TEST(SimObserver, ObservedRunMatchesUnobservedRun) {
+  const auto& trace = test_traces().get(gen::TraceClass::kCdnA);
+  auto plain = core::make_policy("GDSF", 64ULL << 20);
+  auto observed = core::make_policy("GDSF", 64ULL << 20);
+
+  const auto baseline = sim::simulate(*plain, trace);
+  CountingObserver observer;
+  sim::SimOptions options;
+  options.observer = &observer;
+  const auto metrics = sim::simulate(*observed, trace, options);
+
+  EXPECT_EQ(metrics.hits, baseline.hits);
+  EXPECT_EQ(metrics.requests, baseline.requests);
+  EXPECT_EQ(metrics.bytes_hit, baseline.bytes_hit);
+}
+
+// ----------------------------------------------------------------- runner
+
+std::vector<Job> determinism_jobs() {
+  std::vector<Job> jobs;
+  for (const std::string name : {"LRU", "GDSF", "LHR"}) {
+    for (const auto c : {gen::TraceClass::kCdnA, gen::TraceClass::kCdnB,
+                         gen::TraceClass::kCdnC, gen::TraceClass::kWiki}) {
+      Job job;
+      job.policy_name = name;
+      job.trace_class = c;
+      job.capacity_bytes = 32ULL << 20;
+      job.options.window_requests = 1'000;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+void expect_metrics_identical(const sim::SimMetrics& a, const sim::SimMetrics& b,
+                              const std::string& label) {
+  EXPECT_EQ(a.requests, b.requests) << label;
+  EXPECT_EQ(a.hits, b.hits) << label;
+  EXPECT_EQ(a.bytes_requested, b.bytes_requested) << label;
+  EXPECT_EQ(a.bytes_hit, b.bytes_hit) << label;
+  ASSERT_EQ(a.windows.size(), b.windows.size()) << label;
+  for (std::size_t w = 0; w < a.windows.size(); ++w) {
+    EXPECT_EQ(a.windows[w].requests, b.windows[w].requests) << label;
+    EXPECT_EQ(a.windows[w].hits, b.windows[w].hits) << label;
+    EXPECT_EQ(a.windows[w].bytes_hit, b.windows[w].bytes_hit) << label;
+  }
+}
+
+TEST(Runner, ParallelMatchesSerialBitwise) {
+  // The acceptance bar for the whole refactor: a parallel run_all over >= 8
+  // jobs (12 here: LRU/GDSF/LHR x 4 traces) produces bitwise-identical
+  // metrics, in identical order, to the serial loop it replaced.
+  const auto jobs = determinism_jobs();
+
+  std::vector<sim::SimMetrics> serial;
+  for (const auto& job : jobs) {
+    auto policy = core::make_policy(job.policy_name, job.capacity_bytes);
+    serial.push_back(
+        sim::simulate(*policy, test_traces().get(job.trace_class), job.options));
+  }
+
+  RunOptions parallel;
+  parallel.threads = 4;
+  parallel.traces = &test_traces();
+  const auto results = run_all(jobs, parallel);
+
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    expect_metrics_identical(results[i].metrics, serial[i], results[i].label);
+    EXPECT_EQ(results[i].policy, jobs[i].policy_name);
+  }
+}
+
+TEST(Runner, ParallelMatchesSingleThreadRunAll) {
+  const auto jobs = determinism_jobs();
+  RunOptions one, many;
+  one.threads = 1;
+  one.traces = &test_traces();
+  many.threads = 8;
+  many.traces = &test_traces();
+  const auto a = run_all(jobs, one);
+  const auto b = run_all(jobs, many);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_metrics_identical(a[i].metrics, b[i].metrics, a[i].label);
+  }
+}
+
+TEST(Runner, LabelsAndMetadataFilledIn) {
+  Job job;
+  job.policy_name = "LRU";
+  job.trace_class = gen::TraceClass::kCdnB;
+  job.capacity_bytes = 8ULL << 20;
+  const auto result = run_one(job, test_traces());
+  EXPECT_EQ(result.policy, "LRU");
+  EXPECT_EQ(result.trace, gen::to_string(gen::TraceClass::kCdnB));
+  EXPECT_EQ(result.label, "LRU/" + gen::to_string(gen::TraceClass::kCdnB));
+  EXPECT_EQ(result.capacity_bytes, 8ULL << 20);
+  EXPECT_GT(result.metrics.requests, 0u);
+}
+
+TEST(Runner, CustomFactoryAndInspectHook) {
+  Job job;
+  job.label = "custom";
+  job.trace_class = gen::TraceClass::kCdnA;
+  job.capacity_bytes = 8ULL << 20;
+  job.make = [] { return core::make_policy("GDSF", 8ULL << 20); };
+  job.inspect = [](const sim::CachePolicy& policy, Result& r) {
+    r.set("object_count_hint", double(policy.used_bytes() > 0));
+  };
+  const auto result = run_one(job, test_traces());
+  EXPECT_EQ(result.policy, "GDSF");
+  EXPECT_EQ(result.label, "custom");
+  EXPECT_EQ(result.stat("object_count_hint"), 1.0);
+}
+
+TEST(Runner, FreeFormBodyJob) {
+  Job job;
+  job.label = "free-form";
+  job.body = [](Result& r) {
+    r.set("answer", 42.0);
+    r.series = {1.0, 2.0};
+  };
+  const auto results = run_all({job}, {});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].stat("answer"), 42.0);
+  EXPECT_EQ(results[0].series.size(), 2u);
+  EXPECT_EQ(results[0].metrics.requests, 0u);
+}
+
+TEST(Runner, ExplicitTraceOverridesClass) {
+  const auto trace = gen::make_trace(gen::TraceClass::kCdnC, 500, 3);
+  Job job;
+  job.policy_name = "LRU";
+  job.capacity_bytes = 1ULL << 20;
+  job.trace = &trace;
+  const auto result = run_one(job, test_traces());
+  EXPECT_EQ(result.trace, "custom");
+  EXPECT_EQ(result.metrics.requests, 500u);
+}
+
+TEST(Runner, JobExceptionPropagates) {
+  std::vector<Job> jobs(3);
+  for (auto& job : jobs) {
+    job.body = [](Result&) {};
+  }
+  jobs[1].body = [](Result&) { throw std::runtime_error("boom"); };
+  RunOptions options;
+  options.threads = 2;
+  EXPECT_THROW({ auto r = run_all(jobs, options); }, std::runtime_error);
+}
+
+TEST(Runner, UnknownPolicyThrows) {
+  Job job;
+  job.policy_name = "NoSuchPolicy";
+  job.capacity_bytes = 1 << 20;
+  RunOptions options;
+  options.threads = 4;
+  options.traces = &test_traces();
+  EXPECT_THROW({ auto r = run_all({job}, options); }, std::invalid_argument);
+}
+
+TEST(Runner, ResultStatUpsertAndFallback) {
+  Result r;
+  r.set("x", 1.0);
+  r.set("x", 2.0);
+  EXPECT_EQ(r.stat("x"), 2.0);
+  EXPECT_EQ(r.stats.size(), 1u);
+  EXPECT_EQ(r.stat("missing", -1.0), -1.0);
+}
+
+// ------------------------------------------------------------------ JSONL
+
+TEST(Jsonl, ContainsCoreFieldsAndStats) {
+  Result r;
+  r.label = "LRU/CDN-A";
+  r.policy = "LRU";
+  r.trace = "CDN-A";
+  r.capacity_bytes = 123;
+  r.metrics.requests = 10;
+  r.metrics.hits = 4;
+  r.metrics.bytes_requested = 1000.0;
+  r.metrics.bytes_hit = 400.0;
+  r.set("extra", 1.5);
+
+  const auto line = to_jsonl(r);
+  EXPECT_NE(line.find("\"label\":\"LRU/CDN-A\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"policy\":\"LRU\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"capacity_bytes\":123"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"requests\":10"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"hits\":4"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"object_hit_ratio\":0.4"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"stats\":{\"extra\":1.5}"), std::string::npos) << line;
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(Jsonl, EscapesStringsAndClampsNonFinite) {
+  Result r;
+  r.label = "quote\"back\\slash\nnewline";
+  r.set("nan", std::nan(""));
+  const auto line = to_jsonl(r);
+  EXPECT_NE(line.find("quote\\\"back\\\\slash\\nnewline"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"nan\":null"), std::string::npos) << line;
+}
+
+TEST(Jsonl, WritesOneLinePerResult) {
+  std::vector<Result> results(3);
+  results[0].label = "a";
+  results[1].label = "b";
+  results[2].label = "c";
+  std::ostringstream out;
+  write_jsonl(out, results);
+  const auto text = out.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace lhr::runner

@@ -8,12 +8,47 @@
 #include <vector>
 
 #include "gen/zipf.hpp"
+#include "policies/gdsf.hpp"
 #include "policies/lru.hpp"
 #include "policies/rl_cache.hpp"
+#include "policy_conformance.hpp"
 #include "server/admission_queue.hpp"
 #include "server/sharded_cache.hpp"
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
+
+namespace lhr::testing {
+
+// ShardedCache is a sim::CachePolicy: it must pass the same conformance
+// suite as every single-threaded policy, for several shard counts and
+// inner policies.
+INSTANTIATE_TEST_SUITE_P(
+    ShardedCaches, PolicyConformance,
+    ::testing::Values(
+        ConformanceCase{"Sharded_LRU_x1",
+                        [] {
+                          return std::make_unique<server::ShardedCache>(
+                              1, 2ULL << 30, [](std::uint64_t cap) {
+                                return std::make_unique<policy::Lru>(cap);
+                              });
+                        }},
+        ConformanceCase{"Sharded_LRU_x8",
+                        [] {
+                          return std::make_unique<server::ShardedCache>(
+                              8, 2ULL << 30, [](std::uint64_t cap) {
+                                return std::make_unique<policy::Lru>(cap);
+                              });
+                        }},
+        ConformanceCase{"Sharded_GDSF_x7",
+                        [] {
+                          return std::make_unique<server::ShardedCache>(
+                              7, 2ULL << 30, [](std::uint64_t cap) {
+                                return std::make_unique<policy::Gdsf>(cap);
+                              });
+                        }}),
+    conformance_name);
+
+}  // namespace lhr::testing
 
 namespace lhr::server {
 namespace {
@@ -96,6 +131,94 @@ TEST(ShardedCache, KeysStayInTheirShard) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(misses.load(), 0);
+}
+
+// ------------------------------------- ShardedCache as a sim::CachePolicy
+
+TEST(ShardedCachePolicy, EngineReplayMatchesDirectAccess) {
+  // Driving the sharded cache through sim::simulate must agree with calling
+  // access() by hand (same hits, same per-request outcomes).
+  const auto trace = gen::make_trace(gen::TraceClass::kCdnA, 6'000, 17);
+
+  ShardedCache direct(4, 64ULL << 20, lru_factory());
+  std::uint64_t direct_hits = 0;
+  for (const auto& r : trace) direct_hits += direct.access(r);
+
+  ShardedCache driven(4, 64ULL << 20, lru_factory());
+  sim::SimOptions options;
+  options.deduct_metadata = false;  // pure replay, no capacity adjustments
+  const auto metrics = sim::simulate(driven, trace, options);
+
+  EXPECT_EQ(metrics.hits, direct_hits);
+  EXPECT_EQ(metrics.requests, trace.size());
+  EXPECT_EQ(driven.used_bytes(), direct.used_bytes());
+}
+
+TEST(ShardedCachePolicy, EngineMetadataDeductionAppliesToShards) {
+  // With deduct_metadata on, the engine periodically calls set_capacity;
+  // the shards must re-split and the invariant used <= capacity must hold.
+  const auto trace = gen::make_trace(gen::TraceClass::kCdnB, 40'000, 23);
+  ShardedCache cache(8, 64ULL << 20, lru_factory());
+  sim::SimOptions options;
+  options.capacity_adjust_interval = 4'096;
+  const auto metrics = sim::simulate(cache, trace, options);
+
+  EXPECT_GT(metrics.requests, 0u);
+  EXPECT_LE(cache.used_bytes(), cache.capacity_bytes());
+  std::uint64_t shard_sum = 0;
+  for (std::size_t i = 0; i < cache.shard_count(); ++i) {
+    shard_sum += cache.shard_capacity_bytes(i);
+  }
+  EXPECT_EQ(shard_sum, cache.capacity_bytes());
+}
+
+TEST(ShardedCachePolicy, SetCapacitySplitsEvenlyWithRemainder) {
+  ShardedCache cache(4, 4'000, lru_factory());
+  cache.set_capacity(1'003);  // 250 each + 3 remainder bytes
+  EXPECT_EQ(cache.capacity_bytes(), 1'003u);
+  EXPECT_EQ(cache.shard_capacity_bytes(0), 251u);
+  EXPECT_EQ(cache.shard_capacity_bytes(1), 251u);
+  EXPECT_EQ(cache.shard_capacity_bytes(2), 251u);
+  EXPECT_EQ(cache.shard_capacity_bytes(3), 250u);
+
+  cache.set_capacity(4'000);  // exact split, remainder 0
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(cache.shard_capacity_bytes(i), 1'000u);
+  }
+}
+
+TEST(ShardedCachePolicy, ConstructorDistributesRemainder) {
+  ShardedCache cache(3, 1'000, lru_factory());
+  EXPECT_EQ(cache.shard_capacity_bytes(0), 334u);
+  EXPECT_EQ(cache.shard_capacity_bytes(1), 333u);
+  EXPECT_EQ(cache.shard_capacity_bytes(2), 333u);
+  EXPECT_EQ(cache.capacity_bytes(), 1'000u);
+}
+
+TEST(ShardedCachePolicy, ShrinkEvictsDownToNewCapacity) {
+  ShardedCache cache(2, 2'000, lru_factory());
+  for (trace::Key k = 0; k < 20; ++k) {
+    cache.access({double(k), k, 100});
+  }
+  cache.set_capacity(400);
+  // LRU evicts lazily: each shard enforces the shrunken budget on the next
+  // access it serves. Touch every shard once, then the invariant must hold.
+  bool touched[2] = {false, false};
+  for (trace::Key k = 100; !(touched[0] && touched[1]); ++k) {
+    touched[cache.shard_of(k)] = true;
+    cache.access({static_cast<double>(k), k, 50});
+  }
+  EXPECT_LE(cache.used_bytes(), 400u);
+}
+
+TEST(ShardedCachePolicy, UsableViaPolicyPointer) {
+  std::unique_ptr<sim::CachePolicy> policy =
+      std::make_unique<ShardedCache>(4, 40'000, lru_factory());
+  EXPECT_EQ(policy->name(), "Sharded(LRU)x4");
+  EXPECT_FALSE(policy->access({0.0, 1, 100}));
+  EXPECT_TRUE(policy->access({1.0, 1, 100}));
+  EXPECT_EQ(policy->used_bytes(), 100u);
+  EXPECT_GT(policy->metadata_bytes(), 0u);
 }
 
 // --------------------------------------------------------- AdmissionQueue
