@@ -3,28 +3,69 @@
 // LRB (whose per-request feature store dominates) but more than Hawkeye,
 // and runs dramatically faster than LRB (no per-eviction model sweep over
 // all cached objects).
+//
+// Extended with the training-overhead split: LHR is run both with the
+// default synchronous retraining (the request path stalls at window
+// boundaries) and with the background trainer ("LHR-Async"), reporting
+// foreground stall seconds vs background wall-clock, model swaps, and the
+// number of requests served on a stale model while a retrain was in flight.
 #include "bench/bench_common.hpp"
+#include "core/lhr_cache.hpp"
+
+namespace {
+
+/// Pulls the training-pipeline counters out of an LHR policy into the
+/// result stats (no-op for the other learning policies).
+void inspect_training(const lhr::sim::CachePolicy& policy, lhr::runner::Result& r) {
+  const auto* lhr_cache = dynamic_cast<const lhr::core::LhrCache*>(&policy);
+  if (lhr_cache == nullptr) return;
+  // The engine is done with the policy here, and the inspect hook runs on
+  // the job's own worker thread; joining the background trainer (so the
+  // final window's train lands in the numbers) is safe despite the cast.
+  const_cast<lhr::core::LhrCache*>(lhr_cache)->drain_training();
+  r.set("trainings", static_cast<double>(lhr_cache->trainings()));
+  r.set("train_foreground_seconds", lhr_cache->training_seconds());
+  r.set("train_background_seconds", lhr_cache->background_train_seconds());
+  r.set("model_swaps", static_cast<double>(lhr_cache->model_swaps()));
+  r.set("stale_requests", static_cast<double>(lhr_cache->stale_requests()));
+  r.set("deferred_trainings", static_cast<double>(lhr_cache->deferred_trainings()));
+}
+
+}  // namespace
 
 int main() {
   using namespace lhr;
   bench::print_header("Figure 9: peak memory and running time of learning policies");
 
-  const std::vector<std::string> names = {"LRB", "Hawkeye", "LHR"};
+  const std::vector<std::string> names = {"LRB", "Hawkeye", "LHR", "LHR-Async"};
   std::vector<runner::Job> jobs;
   for (const auto c : bench::all_trace_classes()) {
     const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
-    for (const auto& name : names) jobs.push_back(bench::sim_job(name, c, capacity));
+    for (const auto& name : names) {
+      auto job = bench::sim_job(name, c, capacity);
+      job.inspect = inspect_training;
+      jobs.push_back(std::move(job));
+    }
   }
   const auto results = bench::run_jobs(jobs);
 
   std::size_t idx = 0;
-  bench::print_row({"Trace", "Policy", "PeakMem(MB)", "RunTime(s)"});
+  bench::print_row({"Trace", "Policy", "PeakMem(MB)", "RunTime(s)", "TrainFG(s)",
+                    "TrainBG(s)", "Swaps", "Stale"});
   for (const auto c : bench::all_trace_classes()) {
     for (const auto& name : names) {
-      const auto& metrics = results[idx++].metrics;
+      const auto& result = results[idx++];
+      const auto& metrics = result.metrics;
+      const bool is_lhr = result.stat("trainings", -1.0) >= 0.0;
       bench::print_row({gen::to_string(c), name,
                         bench::fmt(double(metrics.peak_metadata_bytes) / 1e6, 1),
-                        bench::fmt(metrics.wall_seconds, 2)});
+                        bench::fmt(metrics.wall_seconds, 2),
+                        is_lhr ? bench::fmt(result.stat("train_foreground_seconds"), 3)
+                               : "-",
+                        is_lhr ? bench::fmt(result.stat("train_background_seconds"), 3)
+                               : "-",
+                        is_lhr ? bench::fmt(result.stat("model_swaps"), 0) : "-",
+                        is_lhr ? bench::fmt(result.stat("stale_requests"), 0) : "-"});
     }
   }
   return 0;

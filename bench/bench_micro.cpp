@@ -1,9 +1,22 @@
 // Microbenchmarks (google-benchmark): per-request cost of the data
 // structures and policies, backing the running-time claims of Figure 9 and
 // the latency-model inputs of Table 3.
+//
+// main() first runs the GBDT training-throughput suite (fit rows/s at
+// 1/2/4/8 threads, predict vs predict_many) through the experiment runner so
+// the numbers land in LHR_BENCH_JSONL like every other bench, then hands the
+// remaining argv to google-benchmark. LHR_MICRO_GBDT_ROWS overrides the
+// 50'000-row training batch (CI smoke runs use a small value).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <limits>
 #include <memory>
+#include <sstream>
 #include <vector>
 
 #include "core/policy_factory.hpp"
@@ -130,6 +143,166 @@ void BM_GbdtTrain(benchmark::State& state) {
   }
 }
 
+// ----------------------------------------------------------------- GBDT
+// Training-batch generator shaped like an LHR retraining window: `dim`
+// features, ~15% missing cells (IRT_k features are NaN until a content has
+// been seen k+1 times), HRO-style {0,1}-leaning targets.
+ml::Dataset gbdt_batch(std::size_t rows, std::size_t dim, std::vector<float>& y) {
+  util::Xoshiro256 rng(17);
+  ml::Dataset d;
+  d.n_features = dim;
+  d.values.reserve(rows * dim);
+  y.clear();
+  y.reserve(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    double acc = 0.0;
+    for (std::size_t f = 0; f < dim; ++f) {
+      if (rng.next_double() < 0.15) {
+        d.values.push_back(std::numeric_limits<float>::quiet_NaN());
+      } else {
+        const float v = static_cast<float>(rng.next_double());
+        d.values.push_back(v);
+        acc += v;
+      }
+    }
+    y.push_back(acc / static_cast<double>(dim) > 0.42 ? 1.0f : 0.0f);
+  }
+  return d;
+}
+
+std::size_t micro_gbdt_rows() {
+  if (const char* env = std::getenv("LHR_MICRO_GBDT_ROWS")) {
+    const long value = std::atol(env);
+    if (value >= 1) return static_cast<std::size_t>(value);
+  }
+  return 50'000;
+}
+
+std::uint64_t model_fingerprint(const ml::Gbdt& model) {
+  std::ostringstream os;
+  model.save(os);
+  return std::hash<std::string>{}(os.str());
+}
+
+void BM_GbdtFitThreads(benchmark::State& state) {
+  static std::vector<float> y;
+  static const ml::Dataset d = gbdt_batch(micro_gbdt_rows(), 12, y);
+  ml::GbdtConfig cfg;
+  cfg.n_threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ml::Gbdt model;
+    model.fit(d, y, cfg);
+    benchmark::DoNotOptimize(model.tree_count());
+  }
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(d.n_rows()), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_GbdtPredictMany(benchmark::State& state) {
+  static std::vector<float> y;
+  static const ml::Dataset d = gbdt_batch(20'000, 12, y);
+  static const ml::Gbdt model = [] {
+    ml::Gbdt m;
+    m.fit(d, y, ml::GbdtConfig{});
+    return m;
+  }();
+  std::vector<double> out(d.n_rows());
+  for (auto _ : state) {
+    model.predict_many(d, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(d.n_rows()), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+// The headline GBDT suite, run through the experiment runner (serially: the
+// jobs themselves own the thread scaling under test) so the numbers are
+// appended to LHR_BENCH_JSONL like every other bench table.
+void run_gbdt_suite() {
+  const std::size_t rows = micro_gbdt_rows();
+  const std::size_t dim = 12;
+  std::vector<float> y;
+  const ml::Dataset d = gbdt_batch(rows, dim, y);
+  const ml::GbdtConfig base_config;
+
+  std::vector<runner::Job> jobs;
+  for (const std::size_t threads : {1, 2, 4, 8}) {
+    runner::Job job;
+    job.label = "gbdt_fit/threads=" + std::to_string(threads);
+    job.body = [&, threads](runner::Result& r) {
+      ml::GbdtConfig cfg = base_config;
+      cfg.n_threads = threads;
+      ml::Gbdt model;
+      const auto t0 = std::chrono::steady_clock::now();
+      model.fit(d, y, cfg);
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      r.set("threads", static_cast<double>(threads));
+      r.set("rows", static_cast<double>(rows));
+      r.set("fit_seconds", seconds);
+      r.set("rows_per_second", seconds > 0.0 ? static_cast<double>(rows) / seconds : 0.0);
+      // Low 32 bits of the serialized-model hash: every thread count must
+      // produce the same value (the fit determinism guarantee).
+      r.set("model_fingerprint",
+            static_cast<double>(model_fingerprint(model) & 0xffffffffULL));
+    };
+    jobs.push_back(std::move(job));
+  }
+
+  {
+    runner::Job job;
+    job.label = "gbdt_predict/one_vs_many";
+    job.body = [&](runner::Result& r) {
+      ml::Gbdt model;
+      model.fit(d, y, base_config);
+      const std::size_t n = d.n_rows();
+      std::vector<double> out(n);
+
+      auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < n; ++i) out[i] = model.predict(d.row(i));
+      const double loop_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      benchmark::DoNotOptimize(out.data());
+
+      t0 = std::chrono::steady_clock::now();
+      model.predict_many(d, out);
+      const double many_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      benchmark::DoNotOptimize(out.data());
+
+      r.set("rows", static_cast<double>(n));
+      r.set("predict_ns_per_row", 1e9 * loop_seconds / static_cast<double>(n));
+      r.set("predict_many_ns_per_row", 1e9 * many_seconds / static_cast<double>(n));
+    };
+    jobs.push_back(std::move(job));
+  }
+
+  runner::RunOptions options;
+  options.threads = 1;  // each job scales its own workers; don't stack pools
+  const auto results = runner::run_all(jobs, options);
+  runner::append_jsonl_if_configured(results);
+
+  std::printf("GBDT fit throughput (%zu rows x %zu features, %zu trees):\n", rows, dim,
+              base_config.num_trees);
+  double fingerprint = -1.0;
+  bool identical = true;
+  for (const auto& r : results) {
+    if (r.label.rfind("gbdt_fit/", 0) == 0) {
+      std::printf("  %-24s %10.0f rows/s  (%.3f s)\n", r.label.c_str(),
+                  r.stat("rows_per_second"), r.stat("fit_seconds"));
+      const double fp = r.stat("model_fingerprint");
+      if (fingerprint < 0.0) fingerprint = fp;
+      identical = identical && fp == fingerprint;
+    } else {
+      std::printf("  %-24s predict %.0f ns/row, predict_many %.0f ns/row\n",
+                  r.label.c_str(), r.stat("predict_ns_per_row"),
+                  r.stat("predict_many_ns_per_row"));
+    }
+  }
+  std::printf("  models byte-identical across thread counts: %s\n",
+              identical ? "yes" : "NO -- DETERMINISM BUG");
+}
+
 // End-to-end cost of a policy sweep on the parallel runner: 8 LRU jobs over
 // a small cached trace, at 1 / 2 / 4 worker threads. The 1-thread run is the
 // serial baseline; the ratio is the sweep speedup bench/ binaries get.
@@ -169,7 +342,16 @@ BENCHMARK(BM_DensityIndexUpsert);
 BENCHMARK(BM_CountMinIncrement);
 BENCHMARK(BM_FeatureExtract);
 BENCHMARK(BM_GbdtPredict);
+BENCHMARK(BM_GbdtPredictMany)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_GbdtTrain)->Arg(10'000)->Arg(40'000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GbdtFitThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RunnerSweep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  run_gbdt_suite();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -27,7 +27,7 @@ int main() {
   using namespace lhr;
   bench::print_header("Table 3: estimated latency (ms) and throughput (Gbps)");
 
-  const std::vector<std::string> names = {"LHR", "Hawkeye", "LRB", "LRU"};
+  const std::vector<std::string> names = {"LHR", "LHR-Async", "Hawkeye", "LRB", "LRU"};
   std::vector<runner::Job> jobs;
   // One observer per job, alive for the whole run (SimOptions::observer is
   // not owned by the engine).
@@ -43,20 +43,28 @@ int main() {
     }
   }
   const auto results = bench::run_jobs(jobs);
-  (void)results;  // latency numbers live in the observers
 
   std::size_t idx = 0;
-  bench::print_row({"Trace", "Metric", "LHR", "Hawkeye", "LRB", "LRU"});
+  std::vector<std::string> header = {"Trace", "Metric"};
+  header.insert(header.end(), names.begin(), names.end());
+  bench::print_row(header);
   for (const auto c : bench::all_trace_classes()) {
     std::vector<std::string> lat_cells = {gen::to_string(c), "Latency"};
     std::vector<std::string> thr_cells = {gen::to_string(c), "Throughput"};
+    // Worst single access() — the request-path stall ceiling. Synchronous
+    // LHR pays a whole retrain here at window boundaries; LHR-Async should
+    // collapse to O(model swap).
+    std::vector<std::string> stall_cells = {gen::to_string(c), "MaxStall(ms)"};
     for (std::size_t p = 0; p < names.size(); ++p) {
-      const auto& model = observers[idx++]->model;
+      const auto& model = observers[idx]->model;
       lat_cells.push_back(bench::fmt(model.mean_latency_ms(), 1));
       thr_cells.push_back(bench::fmt(model.throughput_gbps(), 2));
+      stall_cells.push_back(bench::fmt(results[idx].metrics.max_access_seconds * 1e3, 2));
+      ++idx;
     }
     bench::print_row(lat_cells);
     bench::print_row(thr_cells);
+    bench::print_row(stall_cells);
   }
   return 0;
 }

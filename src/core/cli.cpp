@@ -35,6 +35,9 @@ std::string cli_usage() {
       "  --requests N         synthetic trace length (default 200000)\n"
       "  --seed S             generator seed (default 42)\n"
       "  --warmup N           requests excluded from the aggregate metrics\n"
+      "  --train-threads N    LHR: worker threads for GBDT training (default 1)\n"
+      "  --async-train        LHR: retrain in the background instead of stalling\n"
+      "                       the request path at window boundaries\n"
       "  --csv                machine-readable output\n"
       "  --help               this text\n";
 }
@@ -112,6 +115,16 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
       const char* v = need_value(i, arg);
       if (!v) return std::nullopt;
       options.warmup = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--train-threads") {
+      const char* v = need_value(i, arg);
+      if (!v) return std::nullopt;
+      options.train_threads = static_cast<std::size_t>(std::atoll(v));
+      if (options.train_threads == 0) {
+        error = "--train-threads must be positive";
+        return std::nullopt;
+      }
+    } else if (arg == "--async-train") {
+      options.async_train = true;
     } else {
       error = "unknown option: " + arg;
       return std::nullopt;
@@ -144,12 +157,16 @@ std::vector<CliRunResult> run_cli(const CliOptions& options) {
   sim::SimOptions sim_options;
   sim_options.warmup_requests = options.warmup;
 
+  PolicyTuning tuning;
+  tuning.lhr_train_threads = options.train_threads;
+  if (options.async_train) tuning.lhr_async_train = 1;
+
   std::vector<CliRunResult> results;
   for (const auto& policy_name : options.policies) {
     for (const double gb : options.capacities_gb) {
       const auto capacity =
           static_cast<std::uint64_t>(gb * 1024.0 * 1024.0 * 1024.0);
-      auto policy = make_policy(policy_name, capacity);  // throws on typo
+      auto policy = make_policy(policy_name, capacity, tuning);  // throws on typo
       CliRunResult result;
       result.policy = policy_name;
       result.capacity_gb = gb;

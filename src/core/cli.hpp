@@ -24,6 +24,8 @@ struct CliOptions {
   std::uint64_t seed = 42;                  ///< --seed S
   std::size_t warmup = 0;                   ///< --warmup N
   bool csv = false;                         ///< --csv (machine-readable output)
+  std::size_t train_threads = 0;            ///< --train-threads N (LHR family)
+  bool async_train = false;                 ///< --async-train (LHR family)
 };
 
 /// Parses argv. Returns std::nullopt and fills `error` on bad input;

@@ -24,6 +24,9 @@ LhrCache::LhrCache(std::uint64_t capacity_bytes, const LhrConfig& config)
       extractor_(config.features),
       detector_(ml::ZipfDetectorConfig{.epsilon = config.detection_epsilon}),
       threshold_(config.initial_threshold) {
+  if (!config_.train_synchronously) {
+    trainer_ = std::make_unique<ml::AsyncTrainer>(config_.gbdt.n_threads);
+  }
   train_x_.n_features = extractor_.dim();
   feature_buf_.resize(extractor_.dim());
   candidate_thresholds_ = {0.0, 0.5, threshold_ - config_.threshold_step,
@@ -32,19 +35,39 @@ LhrCache::LhrCache(std::uint64_t capacity_bytes, const LhrConfig& config)
 }
 
 std::string LhrCache::name() const {
-  if (!config_.enable_threshold_estimation && !config_.enable_detection) return "N-LHR";
-  if (!config_.enable_threshold_estimation) return "D-LHR";
-  return "LHR";
+  std::string base = "LHR";
+  if (!config_.enable_threshold_estimation && !config_.enable_detection) {
+    base = "N-LHR";
+  } else if (!config_.enable_threshold_estimation) {
+    base = "D-LHR";
+  }
+  return config_.train_synchronously ? base : base + "-Async";
 }
 
 double LhrCache::predict_probability(std::span<const float> features) const {
-  if (!model_.trained()) return 1.0;  // bootstrap: admit-all until trained (§5.1)
+  if (!model_) return 1.0;  // bootstrap: admit-all until trained (§5.1)
   // Squared loss (the paper's choice) clamps the regression output to [0,1];
   // the logistic option maps through a sigmoid instead.
-  return model_.predict_probability(features);
+  return model_->predict_probability(features);
+}
+
+void LhrCache::adopt_finished_model() {
+  if (auto fresh = trainer_->collect()) {
+    model_ = std::move(fresh);
+    ++model_swaps_;
+  }
 }
 
 bool LhrCache::access(const trace::Request& r) {
+  // Async retraining: swap a finished background model in the moment it is
+  // ready (result_ready() is a lock-free flag, so the common case costs one
+  // atomic load). The swap itself is the entire foreground cost of a
+  // retrain — no request ever blocks on Gbdt::fit.
+  if (trainer_) {
+    if (trainer_->result_ready()) adopt_finished_model();
+    if (trainer_->busy()) ++stale_requests_;  // serving on the old model
+  }
+
   bytes_marker_ += static_cast<double>(r.size);
 
   // 1. Features as of this request (§5.2.1).
@@ -77,7 +100,7 @@ bool LhrCache::access(const trace::Request& r) {
 
   // Track prediction quality against the HRO label (only once the model is
   // live; bootstrap predictions of 1.0 would just measure the class prior).
-  if (model_.trained()) {
+  if (model_) {
     constexpr std::size_t kEvalRing = 65'536;
     if (eval_preds_.size() < kEvalRing) {
       eval_preds_.push_back(static_cast<float>(p));
@@ -261,12 +284,36 @@ void LhrCache::on_window_closed(trace::Time now) {
 void LhrCache::train_model() {
   if (train_y_.size() < config_.min_train_samples) return;  // not enough signal
   const auto t0 = std::chrono::steady_clock::now();
-  model_.fit(train_x_, train_y_, config_.gbdt);
+  if (trainer_ == nullptr) {
+    // Synchronous: the fit runs inline and its full wall-clock is a
+    // request-path stall.
+    auto fresh = std::make_shared<ml::Gbdt>();
+    fresh->fit(train_x_, train_y_, config_.gbdt);
+    model_ = std::move(fresh);
+    ++trainings_;
+    train_x_.values.clear();
+    train_y_.clear();
+  } else if (trainer_->submit(std::move(train_x_), std::move(train_y_),
+                              config_.gbdt)) {
+    // Asynchronous: the foreground cost is just the batch handoff; the fit
+    // itself runs on the trainer thread (background_train_seconds()).
+    ++trainings_;
+    train_x_ = ml::Dataset{};
+    train_x_.n_features = extractor_.dim();
+    train_y_.clear();
+  } else {
+    // A previous training is still in flight: skip this window's retrain
+    // and keep the batch (it stays subject to the caller's cap handling).
+    ++deferred_trainings_;
+  }
   training_seconds_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  ++trainings_;
-  train_x_.values.clear();
-  train_y_.clear();
+}
+
+void LhrCache::drain_training() {
+  if (trainer_ == nullptr) return;
+  trainer_->wait();
+  if (trainer_->result_ready()) adopt_finished_model();
 }
 
 ml::BinaryMetrics LhrCache::model_quality() const {
@@ -274,16 +321,16 @@ ml::BinaryMetrics LhrCache::model_quality() const {
 }
 
 void LhrCache::save_model(std::ostream& out) const {
-  if (!model_.trained()) throw std::runtime_error("LhrCache::save_model: untrained");
+  if (!model_) throw std::runtime_error("LhrCache::save_model: untrained");
   out << threshold_ << '\n';
-  model_.save(out);
+  model_->save(out);
 }
 
 void LhrCache::load_model(std::istream& in) {
   double threshold = 0.0;
   if (!(in >> threshold)) throw std::runtime_error("LhrCache::load_model: bad header");
-  ml::Gbdt restored;
-  restored.load(in);
+  auto restored = std::make_shared<ml::Gbdt>();
+  restored->load(in);
   model_ = std::move(restored);
   threshold_ = std::clamp(threshold, 0.0, 1.0);
 }
@@ -302,7 +349,9 @@ void LhrCache::load_model_file(const std::string& path) {
 
 std::uint64_t LhrCache::metadata_bytes() const {
   return hro_.memory_bytes() + extractor_.memory_bytes() + detector_.memory_bytes() +
-         model_.memory_bytes() + train_x_.values.size() * sizeof(float) +
+         (model_ ? model_->memory_bytes() : 0) +
+         (trainer_ ? trainer_->memory_bytes() : 0) +
+         train_x_.values.size() * sizeof(float) +
          train_y_.size() * sizeof(float) +
          estimation_last_.size() *
              (sizeof(trace::Key) + sizeof(LastSeen) + 2 * sizeof(void*)) +

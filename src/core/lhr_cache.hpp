@@ -29,11 +29,13 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "hazard/hro.hpp"
+#include "ml/async_trainer.hpp"
 #include "ml/eval.hpp"
 #include "ml/features.hpp"
 #include "ml/gbdt.hpp"
@@ -73,6 +75,15 @@ struct LhrConfig {
   std::size_t eviction_sample = 64;
   std::size_t max_train_samples = 50'000;  ///< training-batch cap per window
   std::size_t min_train_samples = 256;     ///< skip training on thinner windows
+  /// When true (the default), window-close retraining runs inline on the
+  /// request path — fully reproducible, but every window boundary stalls for
+  /// the whole Gbdt::fit. When false, the batch is snapshotted and handed to
+  /// a background ml::AsyncTrainer; admissions keep using the current model
+  /// until the fresh one is swapped in (an O(shared_ptr) operation), so the
+  /// per-request stall is bounded by the swap, not the fit. The async path
+  /// trades exact reproducibility (swap timing is scheduling-dependent) for
+  /// request-path latency; see training_seconds()/background_train_seconds().
+  bool train_synchronously = true;
   /// Per-content feature history is dropped after this many windows of
   /// idleness. Must cover the hot set's inter-request times, which on
   /// long-duration traces (CDN-C) exceed several windows.
@@ -91,14 +102,37 @@ class LhrCache final : public sim::CacheBase {
 
   // --- introspection for tests/benches ---
   [[nodiscard]] double threshold() const noexcept { return threshold_; }
-  [[nodiscard]] bool model_trained() const noexcept { return model_.trained(); }
+  [[nodiscard]] bool model_trained() const noexcept { return model_ != nullptr; }
   [[nodiscard]] std::size_t windows_seen() const noexcept { return windows_seen_; }
+  /// Trainings started (inline fits, or batches handed to the background
+  /// trainer; windows skipped because the trainer was busy count under
+  /// deferred_trainings() instead).
   [[nodiscard]] std::size_t trainings() const noexcept { return trainings_; }
+  /// Foreground (request-path) training stall: the whole fit when training
+  /// synchronously, just the snapshot + submit + swap when asynchronous.
   [[nodiscard]] double training_seconds() const noexcept { return training_seconds_; }
+  /// Wall-clock spent fitting on the background trainer thread (0 when
+  /// training synchronously). Not request-path time.
+  [[nodiscard]] double background_train_seconds() const noexcept {
+    return trainer_ ? trainer_->background_seconds() : 0.0;
+  }
+  /// Background-trained models swapped in, and requests served while a
+  /// newer model was still training (staleness of the async path).
+  [[nodiscard]] std::size_t model_swaps() const noexcept { return model_swaps_; }
+  [[nodiscard]] std::size_t stale_requests() const noexcept { return stale_requests_; }
+  /// Window-close retrains skipped because the background trainer was busy.
+  [[nodiscard]] std::size_t deferred_trainings() const noexcept {
+    return deferred_trainings_;
+  }
   [[nodiscard]] double hro_hit_ratio() const noexcept { return hro_.hit_ratio(); }
   [[nodiscard]] std::size_t eviction_candidates() const noexcept {
     return candidates_.size();
   }
+
+  /// Blocks until an in-flight background training finishes and swaps the
+  /// result in (no-op when training synchronously). Shutdown paths call this
+  /// before save_model so the freshest model is the one persisted.
+  void drain_training();
 
   /// Prediction quality of the admission model against HRO's labels over a
   /// sliding sample of recent requests (§7.5: the LHR-HRO gap is "mainly due
@@ -131,13 +165,18 @@ class LhrCache final : public sim::CacheBase {
   [[nodiscard]] double eviction_value(const Resident& res, trace::Time now) const;
   void on_window_closed(trace::Time now);
   void train_model();
+  void adopt_finished_model();
 
   LhrConfig config_;
   util::Xoshiro256 rng_;
   hazard::Hro hro_;
   ml::FeatureExtractor extractor_;
   ml::ZipfDetector detector_;
-  ml::Gbdt model_;
+  /// The live admission model (null until first trained). Only the request
+  /// thread reads or swaps this pointer; the background trainer builds a
+  /// separate object, so concurrent predict-during-retrain is race-free.
+  std::shared_ptr<const ml::Gbdt> model_;
+  std::unique_ptr<ml::AsyncTrainer> trainer_;  ///< null in synchronous mode
 
   double threshold_;
   double prev_alpha_ = 0.0;
@@ -173,7 +212,10 @@ class LhrCache final : public sim::CacheBase {
   trace::Time last_window_close_ = 0.0;
   std::size_t windows_seen_ = 0;
   std::size_t trainings_ = 0;
-  double training_seconds_ = 0.0;
+  double training_seconds_ = 0.0;  ///< foreground stall only (see accessor)
+  std::size_t model_swaps_ = 0;
+  std::size_t stale_requests_ = 0;
+  std::size_t deferred_trainings_ = 0;
 };
 
 }  // namespace lhr::core

@@ -1,5 +1,6 @@
 #include "core/policy_factory.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "core/lhr_cache.hpp"
@@ -27,8 +28,37 @@
 
 namespace lhr::core {
 
+namespace {
+
+/// LhrConfig with the process-wide training knobs applied: explicit tuning
+/// wins, then the LHR_TRAIN_THREADS / LHR_TRAIN_ASYNC environment variables,
+/// then the struct defaults (sequential, synchronous).
+LhrConfig tuned_lhr_config(const PolicyTuning& tuning) {
+  LhrConfig config;
+  if (tuning.lhr_train_threads >= 1) {
+    config.gbdt.n_threads = tuning.lhr_train_threads;
+  } else if (const char* env = std::getenv("LHR_TRAIN_THREADS")) {
+    const long value = std::atol(env);
+    if (value >= 1) config.gbdt.n_threads = static_cast<std::size_t>(value);
+  }
+  if (tuning.lhr_async_train >= 0) {
+    config.train_synchronously = tuning.lhr_async_train == 0;
+  } else if (const char* env = std::getenv("LHR_TRAIN_ASYNC")) {
+    if (*env != '\0' && std::string(env) != "0") config.train_synchronously = false;
+  }
+  return config;
+}
+
+}  // namespace
+
 std::unique_ptr<sim::CachePolicy> make_policy(const std::string& name,
                                               std::uint64_t capacity_bytes) {
+  return make_policy(name, capacity_bytes, PolicyTuning{});
+}
+
+std::unique_ptr<sim::CachePolicy> make_policy(const std::string& name,
+                                              std::uint64_t capacity_bytes,
+                                              const PolicyTuning& tuning) {
   if (name == "LRU") return std::make_unique<policy::Lru>(capacity_bytes);
   if (name == "FIFO") return std::make_unique<policy::Fifo>(capacity_bytes);
   if (name == "Random") return std::make_unique<policy::RandomPolicy>(capacity_bytes);
@@ -51,14 +81,25 @@ std::unique_ptr<sim::CachePolicy> make_policy(const std::string& name,
   if (name == "Hawkeye") return std::make_unique<policy::Hawkeye>(capacity_bytes);
   if (name == "LRB") return std::make_unique<policy::Lrb>(capacity_bytes);
   if (name == "LFO") return std::make_unique<policy::Lfo>(capacity_bytes);
-  if (name == "LHR") return std::make_unique<LhrCache>(capacity_bytes);
+  if (name == "LHR") {
+    return std::make_unique<LhrCache>(capacity_bytes, tuned_lhr_config(tuning));
+  }
+  if (name == "LHR-Async") {
+    // LHR with background retraining forced on: same algorithm, but window
+    // boundaries no longer stall the request path on Gbdt::fit. Kept out of
+    // all_policy_names() because its model-swap timing is scheduling-
+    // dependent, which would make the deterministic policy sweeps flaky.
+    LhrConfig config = tuned_lhr_config(tuning);
+    config.train_synchronously = false;
+    return std::make_unique<LhrCache>(capacity_bytes, config);
+  }
   if (name == "D-LHR") {
-    LhrConfig config;
+    LhrConfig config = tuned_lhr_config(tuning);
     config.enable_threshold_estimation = false;
     return std::make_unique<LhrCache>(capacity_bytes, config);
   }
   if (name == "N-LHR") {
-    LhrConfig config;
+    LhrConfig config = tuned_lhr_config(tuning);
     config.enable_threshold_estimation = false;
     config.enable_detection = false;
     return std::make_unique<LhrCache>(capacity_bytes, config);

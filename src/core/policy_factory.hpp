@@ -11,9 +11,23 @@
 
 namespace lhr::core {
 
+/// Cross-cutting tuning applied to the LHR-family policies built by
+/// make_policy (other policies ignore it). Field defaults mean "keep the
+/// policy default, unless the corresponding environment knob overrides it":
+/// LHR_TRAIN_THREADS (intra-fit worker count) and LHR_TRAIN_ASYNC (any value
+/// but "0" moves retraining off the request path).
+struct PolicyTuning {
+  std::size_t lhr_train_threads = 0;  ///< 0 = default/env; >=1 forces a value
+  int lhr_async_train = -1;           ///< -1 = default/env; 0/1 force sync/async
+};
+
 /// Known names: "LRU", "FIFO", "Random", "LRU-4", "LFU-DA", "GDSF",
 /// "AdaptSize", "B-LRU", "TinyLFU", "W-TinyLFU", "Hawkeye", "LRB", "LFO",
-/// "LHR", "D-LHR", "N-LHR". Throws std::invalid_argument for unknown names.
+/// "LHR", "LHR-Async", "D-LHR", "N-LHR". Throws std::invalid_argument for
+/// unknown names.
+[[nodiscard]] std::unique_ptr<sim::CachePolicy> make_policy(const std::string& name,
+                                                            std::uint64_t capacity_bytes,
+                                                            const PolicyTuning& tuning);
 [[nodiscard]] std::unique_ptr<sim::CachePolicy> make_policy(const std::string& name,
                                                             std::uint64_t capacity_bytes);
 

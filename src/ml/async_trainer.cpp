@@ -1,0 +1,123 @@
+#include "ml/async_trainer.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace lhr::ml {
+
+AsyncTrainer::AsyncTrainer(std::size_t fit_threads) {
+  if (fit_threads > 1) {
+    fit_pool_ = std::make_unique<util::ThreadPool>(fit_threads - 1);
+  }
+  worker_ = std::thread([this] { trainer_loop(); });
+}
+
+AsyncTrainer::~AsyncTrainer() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;  // a pending-but-unstarted batch is discarded
+  }
+  work_cv_.notify_all();
+  worker_.join();  // an in-flight fit runs to completion first
+}
+
+bool AsyncTrainer::submit(Dataset&& x, std::vector<float>&& y,
+                          const GbdtConfig& config) {
+  if (busy_.load(std::memory_order_acquire)) return false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (has_work_ || stopping_) return false;
+    pending_bytes_.store(x.values.size() * sizeof(float) + y.size() * sizeof(float),
+                         std::memory_order_relaxed);
+    pending_ = Pending{std::move(x), std::move(y), config};
+    has_work_ = true;
+    busy_.store(true, std::memory_order_release);
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+std::shared_ptr<const Gbdt> AsyncTrainer::collect() {
+  if (!ready_.load(std::memory_order_acquire)) return nullptr;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_ptr<const Gbdt> out = std::move(result_);
+  result_.reset();
+  ready_.store(false, std::memory_order_release);
+  busy_.store(false, std::memory_order_release);
+  pending_bytes_.store(0, std::memory_order_relaxed);
+  return out;
+}
+
+void AsyncTrainer::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] {
+    return !busy_.load(std::memory_order_acquire) ||
+           ready_.load(std::memory_order_acquire);
+  });
+}
+
+std::size_t AsyncTrainer::completed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+std::size_t AsyncTrainer::failed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return failed_;
+}
+
+double AsyncTrainer::background_seconds() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return background_seconds_;
+}
+
+double AsyncTrainer::last_train_seconds() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return last_train_seconds_;
+}
+
+void AsyncTrainer::trainer_loop() {
+  for (;;) {
+    Pending job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || has_work_; });
+      if (stopping_) return;
+      job = std::move(pending_);
+      has_work_ = false;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::shared_ptr<Gbdt> model;
+    bool ok = true;
+    try {
+      model = std::make_shared<Gbdt>();
+      model->fit(job.x, job.y, job.config, fit_pool_.get());
+    } catch (...) {
+      ok = false;  // bad batch: drop it, keep serving the old model
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      background_seconds_ += seconds;
+      last_train_seconds_ = seconds;
+      if (ok) {
+        ++completed_;
+        pending_bytes_.store(model->memory_bytes(), std::memory_order_relaxed);
+        result_ = std::move(model);
+        ready_.store(true, std::memory_order_release);
+      } else {
+        ++failed_;
+        pending_bytes_.store(0, std::memory_order_relaxed);
+        busy_.store(false, std::memory_order_release);
+      }
+    }
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace lhr::ml

@@ -1,0 +1,110 @@
+// Background GBDT training for LHR's asynchronous retraining path (the
+// paper's prototype trains "in a separate thread", §6; Table 3's latency
+// numbers depend on the request path never blocking on a full fit).
+//
+// One dedicated trainer thread accepts at most one batch at a time. The
+// caller keeps serving predictions from its current model while the trainer
+// fits a fresh one; when the fit finishes, `result_ready()` flips (a
+// lock-free flag, safe to poll per request) and the caller swaps the new
+// model in with `collect()` — an O(shared_ptr) operation, so the only
+// foreground cost of retraining is the batch snapshot and the pointer swap.
+//
+// Thread-safety: submit/collect/result_ready/busy may be called from one
+// caller thread concurrently with the trainer thread. The trainer only ever
+// touches the in-flight batch and the model under construction, never the
+// caller's live model, so concurrent predict() on the old model is race-free
+// by construction (async_train_test runs this under TSan).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ml/gbdt.hpp"
+
+namespace lhr::util {
+class ThreadPool;
+}
+
+namespace lhr::ml {
+
+class AsyncTrainer {
+ public:
+  /// `fit_threads` is the intra-fit parallelism: the trainer thread plus a
+  /// persistent inner pool of fit_threads-1 workers (see Gbdt::fit).
+  explicit AsyncTrainer(std::size_t fit_threads = 1);
+  ~AsyncTrainer();
+
+  AsyncTrainer(const AsyncTrainer&) = delete;
+  AsyncTrainer& operator=(const AsyncTrainer&) = delete;
+
+  /// Hands a training batch to the background thread. Returns false — and
+  /// leaves the arguments untouched — when a previous training is still in
+  /// flight or its result has not been collected yet.
+  bool submit(Dataset&& x, std::vector<float>&& y, const GbdtConfig& config);
+
+  /// Lock-free: a finished model is waiting to be collected.
+  [[nodiscard]] bool result_ready() const noexcept {
+    return ready_.load(std::memory_order_acquire);
+  }
+
+  /// True from a successful submit() until collect() takes the result (or
+  /// the fit failed). While busy, requests are being served by a stale model.
+  [[nodiscard]] bool busy() const noexcept {
+    return busy_.load(std::memory_order_acquire);
+  }
+
+  /// Takes the finished model; null when none is ready.
+  [[nodiscard]] std::shared_ptr<const Gbdt> collect();
+
+  /// Blocks until the in-flight training (if any) has finished; the result,
+  /// if successful, is then available via collect().
+  void wait();
+
+  /// Completed background fits.
+  [[nodiscard]] std::size_t completed() const;
+  /// Fits that threw (bad batch); the model is left unchanged.
+  [[nodiscard]] std::size_t failed() const;
+  /// Total background fit wall-clock, and the most recent fit's.
+  [[nodiscard]] double background_seconds() const;
+  [[nodiscard]] double last_train_seconds() const;
+  /// Approximate heap held by the in-flight batch / uncollected model, for
+  /// metadata accounting.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return pending_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void trainer_loop();
+
+  struct Pending {
+    Dataset x;
+    std::vector<float> y;
+    GbdtConfig config;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< trainer waits for a batch
+  std::condition_variable done_cv_;  ///< wait() waits for fit completion
+  bool has_work_ = false;
+  bool stopping_ = false;
+  Pending pending_;
+  std::shared_ptr<const Gbdt> result_;
+  std::size_t completed_ = 0;
+  std::size_t failed_ = 0;
+  double background_seconds_ = 0.0;
+  double last_train_seconds_ = 0.0;
+
+  std::atomic<bool> ready_{false};
+  std::atomic<bool> busy_{false};
+  std::atomic<std::size_t> pending_bytes_{0};
+
+  std::unique_ptr<util::ThreadPool> fit_pool_;
+  std::thread worker_;  ///< last member: starts after everything above exists
+};
+
+}  // namespace lhr::ml

@@ -1,15 +1,19 @@
 #include "ml/gbdt.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <istream>
 #include <limits>
+#include <memory>
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lhr::ml {
 
@@ -17,31 +21,120 @@ namespace {
 
 constexpr std::uint8_t kMissingBin = 255;
 
+// Rows per work chunk for the parallel loops. Chunk boundaries are a
+// function of the row count only — never of the thread count — which is the
+// backbone of the determinism guarantee: every floating-point reduction
+// computes per-chunk partials on these fixed boundaries and reduces them in
+// chunk-index order, so the arithmetic is the same sequence of operations no
+// matter how many workers execute the chunks or in what order they finish.
+constexpr std::size_t kRowChunk = 4096;
+
+/// Work scheduler for fit(): distributes chunk jobs over an optional
+/// ThreadPool with the calling thread participating. With no pool (or one
+/// worker) everything runs inline, in chunk order, on the caller.
+class Executor {
+ public:
+  Executor(util::ThreadPool* pool, std::size_t n_threads) {
+    if (pool == nullptr && n_threads > 1) {
+      owned_ = std::make_unique<util::ThreadPool>(n_threads - 1);
+      pool = owned_.get();
+    }
+    pool_ = pool;
+    const std::size_t available = pool_ != nullptr ? pool_->thread_count() + 1 : 1;
+    workers_ = n_threads == 0 ? available : std::min(n_threads, available);
+    if (workers_ == 0) workers_ = 1;
+  }
+
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
+
+  /// Calls fn(c) exactly once for every c in [0, n_chunks). Which worker
+  /// runs which chunk is scheduling-dependent; callers must keep their
+  /// results independent of that assignment (disjoint writes, or per-chunk
+  /// partials reduced in index order afterwards).
+  template <typename Fn>
+  void for_chunks(std::size_t n_chunks, const Fn& fn) {
+    const std::size_t helpers =
+        n_chunks > 1 ? std::min(workers_ - 1, n_chunks - 1) : 0;
+    if (helpers == 0 || pool_ == nullptr) {
+      for (std::size_t c = 0; c < n_chunks; ++c) fn(c);
+      return;
+    }
+    std::atomic<std::size_t> next{0};
+    const auto drain = [&] {
+      for (std::size_t c;
+           (c = next.fetch_add(1, std::memory_order_relaxed)) < n_chunks;) {
+        fn(c);
+      }
+    };
+    util::TaskGroup group(pool_);
+    for (std::size_t t = 0; t < helpers; ++t) group.run(drain);
+    drain();
+    group.wait();
+  }
+
+  /// Elementwise parallel-for over [0, n) in kRowChunk-sized ranges.
+  template <typename Fn>
+  void for_ranges(std::size_t n, const Fn& fn) {
+    if (n == 0) return;
+    for_chunks((n + kRowChunk - 1) / kRowChunk, [&](std::size_t c) {
+      const std::size_t begin = c * kRowChunk;
+      fn(begin, std::min(begin + kRowChunk, n));
+    });
+  }
+
+ private:
+  std::unique_ptr<util::ThreadPool> owned_;
+  util::ThreadPool* pool_ = nullptr;
+  std::size_t workers_ = 1;
+};
+
 /// Per-feature quantile bin edges. bin(v) = index of first edge >= v;
 /// "value <= edges[b]" is the split predicate for bin b.
+///
+/// Datasets above kEdgeSample rows are subsampled per feature. The sampled
+/// row indices are deduped before use: with-replacement draws repeat rows
+/// (~37% of draws are duplicates when n is just above the sample size),
+/// which silently shrank the effective sample and biased the quantiles on
+/// mid-sized datasets. All rng draws happen on the calling thread so the
+/// stream — and therefore the edges — depend only on the config seed.
 std::vector<std::vector<float>> compute_bin_edges(const Dataset& data,
                                                   std::size_t max_bins,
-                                                  util::Xoshiro256& rng) {
+                                                  util::Xoshiro256& rng,
+                                                  Executor& exec) {
   const std::size_t n = data.n_rows();
   std::vector<std::vector<float>> edges(data.n_features);
   constexpr std::size_t kEdgeSample = 65'536;
 
-  std::vector<float> sample;
-  for (std::size_t f = 0; f < data.n_features; ++f) {
-    sample.clear();
+  std::vector<std::vector<std::uint32_t>> sampled;
+  if (n > kEdgeSample) {
+    sampled.resize(data.n_features);
+    for (auto& idx : sampled) {
+      idx.reserve(kEdgeSample);
+      for (std::size_t s = 0; s < kEdgeSample; ++s) {
+        idx.push_back(static_cast<std::uint32_t>(rng.next_below(n)));
+      }
+      std::sort(idx.begin(), idx.end());
+      idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+    }
+  }
+
+  // Each task touches only edges[f] / sampled[f]: no shared writes.
+  exec.for_chunks(data.n_features, [&](std::size_t f) {
+    std::vector<float> sample;
     if (n <= kEdgeSample) {
+      sample.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
         const float v = data.values[i * data.n_features + f];
         if (!std::isnan(v)) sample.push_back(v);
       }
     } else {
-      for (std::size_t s = 0; s < kEdgeSample; ++s) {
-        const std::size_t i = rng.next_below(n);
-        const float v = data.values[i * data.n_features + f];
+      sample.reserve(sampled[f].size());
+      for (const std::uint32_t i : sampled[f]) {
+        const float v = data.values[static_cast<std::size_t>(i) * data.n_features + f];
         if (!std::isnan(v)) sample.push_back(v);
       }
     }
-    if (sample.empty()) continue;
+    if (sample.empty()) return;
     std::sort(sample.begin(), sample.end());
     sample.erase(std::unique(sample.begin(), sample.end()), sample.end());
 
@@ -54,7 +147,7 @@ std::vector<std::vector<float>> compute_bin_edges(const Dataset& data,
       if (e.empty() || sample[idx] > e.back()) e.push_back(sample[idx]);
     }
     if (e.empty()) e.push_back(sample.back());
-  }
+  });
   return edges;
 }
 
@@ -64,11 +157,21 @@ std::uint8_t bin_of(float v, const std::vector<float>& edges) {
   return static_cast<std::uint8_t>(it - edges.begin());  // may equal edges.size()
 }
 
+struct BinStats {
+  double g = 0.0;
+  double h = 0.0;
+};
+
 struct SplitCandidate {
   double gain = 0.0;
   std::int32_t feature = -1;
   std::uint8_t bin = 0;
   bool missing_left = true;
+  // Child totals of the winning split (histogram sums, missing side
+  // included). They seed the children's Work items, so no per-child row
+  // re-summation is needed.
+  double g_left = 0.0, h_left = 0.0;
+  double g_right = 0.0, h_right = 0.0;
 };
 
 double leaf_objective(double g, double h, double lambda) {
@@ -77,10 +180,88 @@ double leaf_objective(double g, double h, double lambda) {
 
 double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
 
+void accumulate_rows(const std::uint32_t* rows, std::size_t count, const double* grad,
+                     const double* hess, const std::uint8_t* bins,
+                     std::size_t n_features, std::size_t hist_width, BinStats* out) {
+  for (std::size_t p = 0; p < count; ++p) {
+    const std::uint32_t i = rows[p];
+    const double g = grad[i];
+    const double h = hess[i];
+    const std::uint8_t* row_bins = bins + static_cast<std::size_t>(i) * n_features;
+    for (std::size_t f = 0; f < n_features; ++f) {
+      const std::uint8_t b = row_bins[f];
+      BinStats& s = out[f * hist_width + (b == kMissingBin ? hist_width - 1 : b)];
+      s.g += g;
+      s.h += h;
+    }
+  }
+}
+
+/// Fills `out` with the histogram of rows[0, count): fixed-boundary chunk
+/// partials accumulated in parallel, then reduced in chunk order (see the
+/// kRowChunk comment for why this is thread-count-invariant). Single-chunk
+/// nodes skip the partial buffers entirely.
+void build_histogram(const std::uint32_t* rows, std::size_t count, const double* grad,
+                     const double* hess, const std::uint8_t* bins,
+                     std::size_t n_features, std::size_t hist_width,
+                     std::vector<BinStats>& out, Executor& exec,
+                     std::vector<std::vector<BinStats>>& scratch) {
+  std::fill(out.begin(), out.end(), BinStats{});
+  const std::size_t n_chunks = (count + kRowChunk - 1) / kRowChunk;
+  if (n_chunks <= 1) {
+    accumulate_rows(rows, count, grad, hess, bins, n_features, hist_width, out.data());
+    return;
+  }
+  if (scratch.size() < n_chunks) scratch.resize(n_chunks);
+  const std::size_t width = out.size();
+  exec.for_chunks(n_chunks, [&](std::size_t c) {
+    auto& part = scratch[c];
+    part.assign(width, BinStats{});
+    const std::size_t begin = c * kRowChunk;
+    accumulate_rows(rows + begin, std::min(kRowChunk, count - begin), grad, hess,
+                    bins, n_features, hist_width, part.data());
+  });
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    const auto& part = scratch[c];
+    for (std::size_t s = 0; s < width; ++s) {
+      out[s].g += part[s].g;
+      out[s].h += part[s].h;
+    }
+  }
+}
+
+/// Fixed-width histogram buffers with a free list; at most O(tree depth)
+/// buffers are live at once (one per pending sibling pair).
+class HistArena {
+ public:
+  explicit HistArena(std::size_t width) : width_(width) {}
+
+  std::int32_t alloc() {
+    if (!free_.empty()) {
+      const std::int32_t id = free_.back();
+      free_.pop_back();
+      return id;
+    }
+    buffers_.emplace_back(width_);
+    return static_cast<std::int32_t>(buffers_.size() - 1);
+  }
+  void release(std::int32_t id) {
+    if (id >= 0) free_.push_back(id);
+  }
+  std::vector<BinStats>& at(std::int32_t id) {
+    return buffers_[static_cast<std::size_t>(id)];
+  }
+
+ private:
+  std::size_t width_;
+  std::vector<std::vector<BinStats>> buffers_;
+  std::vector<std::int32_t> free_;
+};
+
 }  // namespace
 
 void Gbdt::fit(const Dataset& data, std::span<const float> targets,
-               const GbdtConfig& config) {
+               const GbdtConfig& config, util::ThreadPool* pool) {
   const std::size_t n = data.n_rows();
   if (n == 0 || data.n_features == 0) {
     throw std::invalid_argument("Gbdt::fit: empty dataset");
@@ -97,6 +278,7 @@ void Gbdt::fit(const Dataset& data, std::span<const float> targets,
   loss_ = config.loss;
   importance_gain_.assign(n_features_, 0.0);
   util::Xoshiro256 rng(config.seed);
+  Executor exec(pool, config.n_threads);
 
   double mean = 0.0;
   for (const float t : targets) mean += t;
@@ -108,15 +290,17 @@ void Gbdt::fit(const Dataset& data, std::span<const float> targets,
     base_score_ = mean;
   }
 
-  const auto edges = compute_bin_edges(data, config.max_bins, rng);
+  const auto edges = compute_bin_edges(data, config.max_bins, rng, exec);
 
-  // Pre-bin the whole matrix once.
+  // Pre-bin the whole matrix once (elementwise: disjoint writes per chunk).
   std::vector<std::uint8_t> bins(n * n_features_);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t f = 0; f < n_features_; ++f) {
-      bins[i * n_features_ + f] = bin_of(data.values[i * n_features_ + f], edges[f]);
+  exec.for_ranges(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      for (std::size_t f = 0; f < n_features_; ++f) {
+        bins[i * n_features_ + f] = bin_of(data.values[i * n_features_ + f], edges[f]);
+      }
     }
-  }
+  });
 
   std::vector<double> pred(n, base_score_);
   std::vector<double> grad(n);
@@ -124,66 +308,79 @@ void Gbdt::fit(const Dataset& data, std::span<const float> targets,
   std::vector<std::uint32_t> rows;
   rows.reserve(n);
 
-  struct BinStats {
-    double g = 0.0;
-    double h = 0.0;
-  };
-  // One histogram buffer reused across nodes: max_bins+1 slots per feature
-  // (last slot = missing).
+  // Histogram slots: max_bins+1 per feature (last slot = missing).
   const std::size_t hist_width = config.max_bins + 1;
-  std::vector<BinStats> hist(n_features_ * hist_width);
+  HistArena arena(n_features_ * hist_width);
+  std::vector<std::vector<BinStats>> scratch;
 
   for (std::size_t t = 0; t < config.num_trees; ++t) {
     // Squared loss: g = pred - y, h = 1. Logistic: g = sigma(pred) - y,
-    // h = sigma(pred)(1 - sigma(pred)).
+    // h = sigma(pred)(1 - sigma(pred)). Elementwise: deterministic under
+    // any chunk-to-worker assignment.
     if (loss_ == GbdtLoss::kLogistic) {
-      for (std::size_t i = 0; i < n; ++i) {
-        const double p = sigmoid(pred[i]);
-        grad[i] = p - targets[i];
-        hess[i] = std::max(p * (1.0 - p), 1e-9);
-      }
+      exec.for_ranges(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const double p = sigmoid(pred[i]);
+          grad[i] = p - targets[i];
+          hess[i] = std::max(p * (1.0 - p), 1e-9);
+        }
+      });
     } else {
-      for (std::size_t i = 0; i < n; ++i) grad[i] = pred[i] - targets[i];
+      exec.for_ranges(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) grad[i] = pred[i] - targets[i];
+      });
     }
 
     rows.clear();
     if (config.subsample >= 1.0) {
       for (std::uint32_t i = 0; i < n; ++i) rows.push_back(i);
     } else {
+      // rng-driven: stays on the calling thread to keep the stream fixed.
       for (std::uint32_t i = 0; i < n; ++i) {
         if (rng.next_double() < config.subsample) rows.push_back(i);
       }
       if (rows.empty()) rows.push_back(static_cast<std::uint32_t>(rng.next_below(n)));
     }
 
+    // Root totals: a single in-order pass on the calling thread (O(n), cheap
+    // relative to histogram work, and trivially thread-count-invariant).
+    double root_g = 0.0;
+    double root_h = 0.0;
+    for (const std::uint32_t i : rows) {
+      root_g += grad[i];
+      root_h += hess[i];
+    }
+
     Tree tree;
     // Iterative node construction over (node index, row range, depth) using
-    // an explicit stack; rows are partitioned in place within `rows`.
+    // an explicit stack; rows are partitioned in place within `rows`. Each
+    // Work item carries its g/h totals (seeded from the parent's winning
+    // split) and, when already derived, its histogram arena buffer.
     struct Work {
       std::int32_t node;
       std::size_t begin;
       std::size_t end;
       std::size_t depth;
+      double g_total;
+      double h_total;
+      std::int32_t hist = -1;
     };
     std::vector<Work> stack;
     tree.nodes.emplace_back();
-    stack.push_back({0, 0, rows.size(), 0});
+    stack.push_back({0, 0, rows.size(), 0, root_g, root_h, -1});
 
     while (!stack.empty()) {
       const Work w = stack.back();
       stack.pop_back();
+      const double g_total = w.g_total;
+      const double h_total = w.h_total;
 
-      double g_total = 0.0;
-      double h_total = 0.0;
-      for (std::size_t p = w.begin; p < w.end; ++p) {
-        g_total += grad[rows[p]];
-        h_total += hess[rows[p]];
-      }
-
+      std::int32_t hist_id = w.hist;  // this node's arena buffer, if any
       const auto make_leaf = [&] {
         tree.nodes[w.node].feature = -1;
         tree.nodes[w.node].value = static_cast<float>(
             -g_total / (h_total + config.reg_lambda) * config.learning_rate);
+        arena.release(hist_id);
       };
 
       if (w.depth >= config.max_depth ||
@@ -192,21 +389,15 @@ void Gbdt::fit(const Dataset& data, std::span<const float> targets,
         continue;
       }
 
-      // Build histograms for this node.
-      std::fill(hist.begin(), hist.end(), BinStats{});
-      for (std::size_t p = w.begin; p < w.end; ++p) {
-        const std::uint32_t i = rows[p];
-        const double g = grad[i];
-        const double h = hess[i];
-        const std::uint8_t* row_bins = &bins[static_cast<std::size_t>(i) * n_features_];
-        for (std::size_t f = 0; f < n_features_; ++f) {
-          const std::uint8_t b = row_bins[f];
-          const std::size_t slot =
-              f * hist_width + (b == kMissingBin ? hist_width - 1 : b);
-          hist[slot].g += g;
-          hist[slot].h += h;
-        }
+      // This node's histogram: either inherited from the parent's split
+      // (subtraction trick) or accumulated from its rows here.
+      if (hist_id < 0) {
+        hist_id = arena.alloc();
+        build_histogram(rows.data() + w.begin, w.end - w.begin, grad.data(),
+                        hess.data(), bins.data(), n_features_, hist_width,
+                        arena.at(hist_id), exec, scratch);
       }
+      std::vector<BinStats>& hist = arena.at(hist_id);
 
       const double parent_obj = leaf_objective(g_total, h_total, config.reg_lambda);
       SplitCandidate best;
@@ -232,8 +423,9 @@ void Gbdt::fit(const Dataset& data, std::span<const float> targets,
             const double gain = leaf_objective(gL, hL, config.reg_lambda) +
                                 leaf_objective(gR, hR, config.reg_lambda) - parent_obj;
             if (gain > best.gain) {
-              best = SplitCandidate{gain, static_cast<std::int32_t>(f),
-                                    static_cast<std::uint8_t>(b), miss_left};
+              best = SplitCandidate{gain,      static_cast<std::int32_t>(f),
+                                    static_cast<std::uint8_t>(b),
+                                    miss_left, gL, hL, gR, hR};
             }
           }
         }
@@ -243,7 +435,6 @@ void Gbdt::fit(const Dataset& data, std::span<const float> targets,
         make_leaf();
         continue;
       }
-      importance_gain_[static_cast<std::size_t>(best.feature)] += best.gain;
 
       // Partition rows: left = bin <= best.bin (missing per direction).
       const auto goes_left = [&](std::uint32_t i) {
@@ -261,6 +452,7 @@ void Gbdt::fit(const Dataset& data, std::span<const float> targets,
         make_leaf();  // degenerate partition (shouldn't happen, but be safe)
         continue;
       }
+      importance_gain_[static_cast<std::size_t>(best.feature)] += best.gain;
 
       const auto left = static_cast<std::int32_t>(tree.nodes.size());
       const auto right = left + 1;
@@ -272,14 +464,79 @@ void Gbdt::fit(const Dataset& data, std::span<const float> targets,
       node.missing_left = best.missing_left;
       node.left = left;
       node.right = right;
-      stack.push_back({left, w.begin, mid, w.depth + 1});
-      stack.push_back({right, mid, w.end, w.depth + 1});
+
+      // Subtraction trick: a child that will itself be split needs a
+      // histogram; accumulate the smaller child's and derive the other as
+      // parent - smaller (O(bins) instead of O(rows)), reusing the parent's
+      // buffer in place. All choices below depend only on the data, so they
+      // are identical for every thread count.
+      const std::size_t left_len = mid - w.begin;
+      const std::size_t right_len = w.end - mid;
+      const std::size_t child_depth = w.depth + 1;
+      const auto will_split = [&](double h_child) {
+        return child_depth < config.max_depth &&
+               h_child >= 2.0 * config.min_child_weight;
+      };
+      const bool left_needs = will_split(best.h_left);
+      const bool right_needs = will_split(best.h_right);
+
+      std::int32_t left_hist = -1;
+      std::int32_t right_hist = -1;
+      const bool left_smaller = left_len <= right_len;
+      const auto accumulate_child = [&](std::size_t begin, std::size_t len) {
+        const std::int32_t id = arena.alloc();
+        build_histogram(rows.data() + begin, len, grad.data(), hess.data(),
+                        bins.data(), n_features_, hist_width, arena.at(id), exec,
+                        scratch);
+        return id;
+      };
+      const auto subtract_into_parent = [&](std::int32_t small_id) {
+        // Fetched fresh: accumulate_child's alloc may have grown the arena,
+        // invalidating any previously held buffer reference.
+        std::vector<BinStats>& parent = arena.at(hist_id);
+        const std::vector<BinStats>& small = arena.at(small_id);
+        for (std::size_t s = 0; s < parent.size(); ++s) {
+          parent[s].g -= small[s].g;
+          parent[s].h -= small[s].h;
+        }
+      };
+
+      if (left_needs || right_needs) {
+        const std::size_t small_begin = left_smaller ? w.begin : mid;
+        const std::size_t small_len = left_smaller ? left_len : right_len;
+        const bool small_needs = left_smaller ? left_needs : right_needs;
+        const bool large_needs = left_smaller ? right_needs : left_needs;
+        if (large_needs) {
+          const std::int32_t small_id = accumulate_child(small_begin, small_len);
+          subtract_into_parent(small_id);
+          (left_smaller ? right_hist : left_hist) = hist_id;  // parent buffer reused
+          if (small_needs) {
+            (left_smaller ? left_hist : right_hist) = small_id;
+          } else {
+            arena.release(small_id);
+          }
+        } else {
+          // Only the smaller child splits: accumulate it directly.
+          (left_smaller ? left_hist : right_hist) =
+              accumulate_child(small_begin, small_len);
+          arena.release(hist_id);
+        }
+      } else {
+        arena.release(hist_id);
+      }
+
+      stack.push_back({left, w.begin, mid, child_depth, best.g_left, best.h_left,
+                       left_hist});
+      stack.push_back({right, mid, w.end, child_depth, best.g_right, best.h_right,
+                       right_hist});
     }
 
-    // Update predictions for all rows (not just the subsample).
-    for (std::size_t i = 0; i < n; ++i) {
-      pred[i] += predict_tree(tree, data.row(i));
-    }
+    // Update predictions for all rows (not just the subsample); elementwise.
+    exec.for_ranges(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        pred[i] += predict_tree(tree, data.row(i));
+      }
+    });
     trees_.push_back(std::move(tree));
   }
 }
@@ -307,6 +564,27 @@ double Gbdt::predict(std::span<const float> features) const {
 double Gbdt::predict_probability(std::span<const float> features) const {
   const double raw = predict(features);
   return loss_ == GbdtLoss::kLogistic ? sigmoid(raw) : std::clamp(raw, 0.0, 1.0);
+}
+
+void Gbdt::predict_many(const Dataset& data, std::span<double> out) const {
+  if (data.n_features != n_features_) {
+    throw std::invalid_argument("Gbdt::predict_many: feature dimension mismatch");
+  }
+  if (out.size() != data.n_rows()) {
+    throw std::invalid_argument("Gbdt::predict_many: output size mismatch");
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    double score = base_score_;
+    const std::span<const float> x = data.row(i);
+    for (const Tree& tree : trees_) score += predict_tree(tree, x);
+    out[i] = score;
+  }
+}
+
+std::vector<double> Gbdt::predict_many(const Dataset& data) const {
+  std::vector<double> out(data.n_rows());
+  predict_many(data, out);
+  return out;
 }
 
 std::vector<double> Gbdt::feature_importance() const {

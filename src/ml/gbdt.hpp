@@ -15,6 +15,10 @@
 #include <string>
 #include <vector>
 
+namespace lhr::util {
+class ThreadPool;
+}
+
 namespace lhr::ml {
 
 /// Training objective. The paper settled on squared error ("it achieves the
@@ -33,6 +37,11 @@ struct GbdtConfig {
   double subsample = 1.0;         ///< row subsampling per tree
   std::size_t max_bins = 64;      ///< histogram bins per feature
   std::uint64_t seed = 13;
+  /// Worker parallelism for fit(): 1 = sequential on the calling thread;
+  /// N > 1 uses N workers (the caller plus N-1 pool threads). The fitted
+  /// model is bit-identical for every value — see gbdt.cpp's determinism
+  /// notes — so this is purely a wall-clock knob.
+  std::size_t n_threads = 1;
 };
 
 /// Row-major dense training matrix; NaN encodes a missing value.
@@ -52,7 +61,16 @@ class Gbdt {
  public:
   /// Fits squared-error boosting of `config.num_trees` trees.
   /// Throws std::invalid_argument on shape mismatches or empty data.
-  void fit(const Dataset& data, std::span<const float> targets, const GbdtConfig& config);
+  ///
+  /// Parallelism: with `config.n_threads > 1` the heavy loops (pre-binning,
+  /// gradient refresh, histogram accumulation, prediction update) run on
+  /// `pool` plus the calling thread. When `pool` is null and n_threads > 1 a
+  /// transient pool of n_threads-1 workers is created for the call. The
+  /// result is bit-identical for any thread count and any pool size: all
+  /// floating-point reductions are chunked on boundaries that depend only on
+  /// the data and reduced in fixed index order.
+  void fit(const Dataset& data, std::span<const float> targets, const GbdtConfig& config,
+           util::ThreadPool* pool = nullptr);
 
   /// Predicts one row (NaN = missing). Returns the raw model output
   /// (regression value for squared loss, log-odds for logistic); LHR clamps
@@ -62,6 +80,13 @@ class Gbdt {
   /// Prediction mapped to [0,1]: identity-clamped for squared loss, sigmoid
   /// for logistic loss.
   [[nodiscard]] double predict_probability(std::span<const float> features) const;
+
+  /// Batch prediction: raw model output for every row of `data`, written to
+  /// `out` (out.size() must equal data.n_rows()). Hoists the per-call
+  /// argument checks out of the row loop; bench_micro's GbdtPredictMany /
+  /// gbdt_predict suite compares it against row-by-row predict().
+  void predict_many(const Dataset& data, std::span<double> out) const;
+  [[nodiscard]] std::vector<double> predict_many(const Dataset& data) const;
 
   /// Total split gain attributed to each feature, normalized to sum to 1
   /// (empty before training). The standard "gain" importance measure.

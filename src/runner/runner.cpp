@@ -125,6 +125,7 @@ std::string to_jsonl(const Result& r) {
   out += "\"byte_hit_ratio\":" + number(r.metrics.byte_hit_ratio()) + ",";
   out += "\"wan_traffic_bytes\":" + number(r.metrics.wan_traffic_bytes()) + ",";
   out += "\"wall_seconds\":" + number(r.metrics.wall_seconds) + ",";
+  out += "\"max_access_seconds\":" + number(r.metrics.max_access_seconds) + ",";
   out += "\"requests_per_second\":" + number(r.metrics.requests_per_second()) + ",";
   out += "\"windows\":" + std::to_string(r.metrics.windows.size()) + ",";
   out += "\"peak_metadata_bytes\":" + std::to_string(r.metrics.peak_metadata_bytes) + ",";

@@ -16,16 +16,18 @@ SimMetrics simulate(CachePolicy& policy, std::span<const trace::Request> request
   std::size_t window_index = 0;
   SimObserver* const observer = options.observer;
 
+  const bool timed = observer != nullptr || options.time_accesses;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const trace::Request& r = requests[i];
     bool hit;
-    if (observer != nullptr) {
+    if (timed) {
       // Per-request timing is only paid when someone is listening.
       const auto a0 = std::chrono::steady_clock::now();
       hit = policy.access(r);
       const double access_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - a0).count();
-      observer->on_request(i, r, hit, access_seconds);
+      m.max_access_seconds = std::max(m.max_access_seconds, access_seconds);
+      if (observer != nullptr) observer->on_request(i, r, hit, access_seconds);
     } else {
       hit = policy.access(r);
     }

@@ -52,6 +52,9 @@ struct SimOptions {
   /// Optional replay hooks (progress, per-request timing, window series).
   /// Not owned; must outlive the simulate() call.
   SimObserver* observer = nullptr;
+  /// Time every access() even without an observer, filling
+  /// SimMetrics::max_access_seconds (the per-request stall ceiling).
+  bool time_accesses = false;
 };
 
 /// Replays `requests` through `policy` and gathers metrics.

@@ -27,6 +27,10 @@ struct SimMetrics {
   std::vector<WindowPoint> windows;  ///< fixed-request-count windows
 
   double wall_seconds = 0.0;          ///< wall-clock of the simulation loop
+  /// Worst single access() wall-clock — the per-request stall ceiling (e.g.
+  /// a window-boundary retrain). Only measured when the engine times
+  /// accesses (observer attached or SimOptions::time_accesses); 0 otherwise.
+  double max_access_seconds = 0.0;
   std::uint64_t peak_metadata_bytes = 0;
 
   /// "Content hit probability" in the paper's terminology.

@@ -91,4 +91,55 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
+/// A waitable subset of tasks on a shared ThreadPool.
+///
+/// ThreadPool::wait_idle blocks until *every* queued task finishes, which is
+/// wrong when independent clients (e.g. a background trainer and the bench
+/// runner) share one pool. A TaskGroup counts only its own tasks, so each
+/// client can wait for just the work it submitted. With a null pool the
+/// group degrades to running tasks inline on the calling thread, which lets
+/// parallel code keep a single code path for the sequential case.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  /// Not copyable/movable: tasks capture `this`.
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  ~TaskGroup() { wait(); }
+
+  /// Runs `task` on the pool (or inline when the group has no pool).
+  /// Tasks must not throw.
+  void run(std::function<void()> task) {
+    if (pool_ == nullptr) {
+      task();
+      return;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++pending_;
+    }
+    pool_->submit([this, task = std::move(task)] {
+      task();
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_ == 0) done_.notify_all();
+      }
+    });
+  }
+
+  /// Blocks until every task run() through this group has finished.
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mutex_;
+  std::condition_variable done_;
+  std::size_t pending_ = 0;
+};
+
 }  // namespace lhr::util

@@ -1,0 +1,278 @@
+// ml::AsyncTrainer and LhrCache's asynchronous retraining path. The
+// concurrent-predict tests are the repository's TSan targets for the
+// model-swap design: readers keep predicting on the old model (a
+// shared_ptr<const Gbdt>) while the trainer fits a fresh object.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/lhr_cache.hpp"
+#include "gen/zipf.hpp"
+#include "ml/async_trainer.hpp"
+#include "ml/gbdt.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace lhr {
+namespace {
+
+struct Labeled {
+  ml::Dataset x;
+  std::vector<float> y;
+};
+
+Labeled make_batch(std::size_t rows, std::size_t dim, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Labeled out;
+  out.x.n_features = dim;
+  out.x.values.reserve(rows * dim);
+  out.y.reserve(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    double acc = 0.0;
+    for (std::size_t f = 0; f < dim; ++f) {
+      const float v = static_cast<float>(rng.next_double());
+      out.x.values.push_back(v);
+      acc += v;
+    }
+    out.y.push_back(static_cast<float>(acc / static_cast<double>(dim)));
+  }
+  return out;
+}
+
+ml::GbdtConfig small_config() {
+  ml::GbdtConfig cfg;
+  cfg.num_trees = 6;
+  cfg.max_depth = 4;
+  return cfg;
+}
+
+std::string serialized(const ml::Gbdt& model) {
+  std::ostringstream os;
+  model.save(os);
+  return os.str();
+}
+
+// -------------------------------------------------------------- AsyncTrainer
+
+TEST(AsyncTrainer, BackgroundFitMatchesSynchronousFit) {
+  const auto data = make_batch(4'000, 6, 11);
+
+  ml::Gbdt sync_model;
+  sync_model.fit(data.x, data.y, small_config());
+
+  ml::AsyncTrainer trainer(2);
+  Labeled copy = data;  // submit consumes its batch
+  ASSERT_TRUE(trainer.submit(std::move(copy.x), std::move(copy.y), small_config()));
+  trainer.wait();
+  ASSERT_TRUE(trainer.result_ready());
+  const auto async_model = trainer.collect();
+  ASSERT_NE(async_model, nullptr);
+  EXPECT_EQ(serialized(*async_model), serialized(sync_model));
+  EXPECT_EQ(trainer.completed(), 1u);
+  EXPECT_EQ(trainer.failed(), 0u);
+  EXPECT_GT(trainer.background_seconds(), 0.0);
+}
+
+TEST(AsyncTrainer, SubmitWhileBusyIsRejected) {
+  const auto data = make_batch(2'000, 6, 22);
+  ml::AsyncTrainer trainer(1);
+
+  Labeled first = data;
+  ASSERT_TRUE(trainer.submit(std::move(first.x), std::move(first.y), small_config()));
+  // busy() holds from submit until collect() — even after the fit finishes —
+  // so this rejection is deterministic, not a race on fit duration.
+  Labeled second = data;
+  EXPECT_FALSE(trainer.submit(std::move(second.x), std::move(second.y), small_config()));
+  // A rejected submit leaves its arguments untouched.
+  EXPECT_EQ(second.x.n_rows(), data.x.n_rows());
+  EXPECT_EQ(second.y.size(), data.y.size());
+
+  trainer.wait();
+  EXPECT_TRUE(trainer.busy());  // still busy: result not collected yet
+  EXPECT_NE(trainer.collect(), nullptr);
+  EXPECT_FALSE(trainer.busy());
+
+  // After collect the trainer accepts work again.
+  Labeled third = data;
+  EXPECT_TRUE(trainer.submit(std::move(third.x), std::move(third.y), small_config()));
+  trainer.wait();
+  EXPECT_NE(trainer.collect(), nullptr);
+  EXPECT_EQ(trainer.completed(), 2u);
+}
+
+TEST(AsyncTrainer, CollectWithoutResultReturnsNull) {
+  ml::AsyncTrainer trainer(1);
+  EXPECT_EQ(trainer.collect(), nullptr);
+  EXPECT_FALSE(trainer.result_ready());
+  EXPECT_FALSE(trainer.busy());
+}
+
+TEST(AsyncTrainer, FailedFitCountsAndFreesTheTrainer) {
+  ml::AsyncTrainer trainer(1);
+  ml::Dataset empty;  // n_features = 0: Gbdt::fit throws
+  std::vector<float> y;
+  ASSERT_TRUE(trainer.submit(std::move(empty), std::move(y), small_config()));
+  trainer.wait();
+  EXPECT_EQ(trainer.failed(), 1u);
+  EXPECT_EQ(trainer.collect(), nullptr);
+  EXPECT_FALSE(trainer.busy());
+
+  // The trainer survives a bad batch and still fits the next one.
+  Labeled good = make_batch(1'000, 6, 33);
+  ASSERT_TRUE(trainer.submit(std::move(good.x), std::move(good.y), small_config()));
+  trainer.wait();
+  EXPECT_NE(trainer.collect(), nullptr);
+}
+
+TEST(AsyncTrainer, DestructorJoinsInFlightTraining) {
+  const auto data = make_batch(8'000, 8, 44);
+  {
+    ml::AsyncTrainer trainer(2);
+    Labeled copy = data;
+    ASSERT_TRUE(trainer.submit(std::move(copy.x), std::move(copy.y), small_config()));
+    // Destroy while (probably) mid-fit: must join cleanly, not crash.
+  }
+  SUCCEED();
+}
+
+// The TSan target: request threads keep predicting on the current model
+// while the background trainer fits a replacement, then the swap happens
+// and the readers continue on the new model.
+TEST(AsyncTrainer, ConcurrentPredictDuringRetrainAndSwap) {
+  const auto data = make_batch(6'000, 6, 55);
+
+  auto live = std::make_shared<const ml::Gbdt>([&] {
+    ml::Gbdt m;
+    m.fit(data.x, data.y, small_config());
+    return m;
+  }());
+
+  ml::AsyncTrainer trainer(2);
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> reads{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    // Each reader gets its own reference, copied on this thread before the
+    // swap — mirroring LhrCache, where only the request thread ever touches
+    // the live pointer and in-flight readers keep the old model alive.
+    readers.emplace_back([&, t, model = live] {
+      std::size_t i = static_cast<std::size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const double p = model->predict(data.x.row(i % data.x.n_rows()));
+        ASSERT_TRUE(std::isfinite(p));
+        i += 7;
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  Labeled retrain = make_batch(6'000, 6, 66);
+  ASSERT_TRUE(
+      trainer.submit(std::move(retrain.x), std::move(retrain.y), small_config()));
+  trainer.wait();
+  const auto fresh = trainer.collect();
+  ASSERT_NE(fresh, nullptr);
+  live = fresh;  // the swap: readers created before still use the old model
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& r : readers) r.join();
+  EXPECT_GT(reads.load(), 0u);
+}
+
+// ------------------------------------------------------- LhrCache async mode
+
+trace::Trace zipf_trace(std::size_t n, std::size_t contents, double alpha,
+                        std::uint64_t obj_size, std::uint64_t seed) {
+  gen::ZipfSampler zipf(contents, alpha);
+  util::Xoshiro256 rng(seed);
+  trace::Trace t;
+  double time = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    time += 0.1;
+    t.push_back({time, zipf.sample(rng), obj_size});
+  }
+  return t;
+}
+
+core::LhrConfig async_config() {
+  core::LhrConfig cfg;
+  cfg.gbdt.num_trees = 10;
+  cfg.gbdt.max_depth = 4;
+  cfg.max_train_samples = 10'000;
+  cfg.min_train_samples = 64;
+  cfg.train_synchronously = false;
+  return cfg;
+}
+
+TEST(LhrCacheAsync, TrainsInBackgroundAndSwapsModelsIn) {
+  core::LhrCache lhr(50'000, async_config());
+  EXPECT_EQ(lhr.name(), "LHR-Async");
+
+  const auto t = zipf_trace(30'000, 2'000, 0.9, 1'000, 7);
+  for (const auto& r : t) lhr.access(r);
+  lhr.drain_training();
+
+  EXPECT_GT(lhr.windows_seen(), 1u);
+  // Trainings started + windows skipped while busy account for every
+  // window-close retrain decision; at least one must have started.
+  EXPECT_GT(lhr.trainings(), 0u);
+  EXPECT_TRUE(lhr.model_trained());
+  EXPECT_GT(lhr.model_swaps(), 0u);
+  EXPECT_GT(lhr.background_train_seconds(), 0.0);
+  // Foreground stall is snapshot + submit + swap — it must not contain the
+  // background fit time.
+  EXPECT_LT(lhr.training_seconds(),
+            lhr.background_train_seconds() + lhr.trainings() * 0.05 + 0.5);
+}
+
+TEST(LhrCacheAsync, DrainTrainingIsIdempotentAndSafeWhenIdle) {
+  core::LhrCache lhr(50'000, async_config());
+  lhr.drain_training();  // nothing in flight
+  const auto t = zipf_trace(5'000, 500, 0.9, 1'000, 8);
+  for (const auto& r : t) lhr.access(r);
+  lhr.drain_training();
+  lhr.drain_training();
+  SUCCEED();
+}
+
+TEST(LhrCacheAsync, SynchronousModeHasNoAsyncCounters) {
+  core::LhrConfig cfg = async_config();
+  cfg.train_synchronously = true;
+  core::LhrCache lhr(50'000, cfg);
+  EXPECT_EQ(lhr.name(), "LHR");
+
+  const auto t = zipf_trace(20'000, 2'000, 0.9, 1'000, 9);
+  for (const auto& r : t) lhr.access(r);
+  lhr.drain_training();  // no-op in sync mode
+
+  EXPECT_GT(lhr.trainings(), 0u);
+  EXPECT_TRUE(lhr.model_trained());
+  EXPECT_EQ(lhr.background_train_seconds(), 0.0);
+  EXPECT_EQ(lhr.model_swaps(), 0u);
+  EXPECT_EQ(lhr.stale_requests(), 0u);
+  EXPECT_EQ(lhr.deferred_trainings(), 0u);
+  EXPECT_GT(lhr.training_seconds(), 0.0);
+}
+
+TEST(LhrCacheAsync, SaveAfterDrainPersistsTheFreshModel) {
+  core::LhrCache lhr(50'000, async_config());
+  const auto t = zipf_trace(30'000, 2'000, 0.9, 1'000, 10);
+  for (const auto& r : t) lhr.access(r);
+  lhr.drain_training();
+  if (!lhr.model_trained()) GTEST_SKIP() << "trace too thin to train";
+
+  std::stringstream buf;
+  lhr.save_model(buf);
+  core::LhrCache restored(50'000, async_config());
+  restored.load_model(buf);
+  EXPECT_TRUE(restored.model_trained());
+}
+
+}  // namespace
+}  // namespace lhr
