@@ -17,10 +17,13 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "core/policy_factory.hpp"
 #include "gen/cdn_model.hpp"
 #include "runner/runner.hpp"
 #include "runner/trace_cache.hpp"
+#include "server/sharded_cache.hpp"
 #include "sim/engine.hpp"
 #include "trace/trace.hpp"
 
@@ -47,6 +50,39 @@ inline const std::vector<gen::TraceClass>& all_trace_classes() {
 /// The memoized paper-calibrated trace for `c` (thread-safe).
 inline const trace::Trace& trace_for(gen::TraceClass c) {
   return runner::TraceCache::global().get(c);
+}
+
+// ------------------------------------------------------------ serving path
+
+/// LHR_SERVE_THREADS: worker threads for the concurrent CdnServer replay in
+/// bench_table2/bench_table3. 0 (the default) keeps the classic
+/// single-threaded replay, so default bench output is unchanged.
+inline std::size_t serve_threads() {
+  if (const char* env = std::getenv("LHR_SERVE_THREADS")) {
+    const long value = std::atol(env);
+    if (value >= 1) return static_cast<std::size_t>(value);
+  }
+  return 0;
+}
+
+/// LHR_SERVE_SHARDS: ShardedCache shard count for the serving path (default
+/// 64). Fixed independently of the thread count so aggregate hit ratios are
+/// identical for every LHR_SERVE_THREADS value.
+inline std::size_t serve_shards() {
+  if (const char* env = std::getenv("LHR_SERVE_SHARDS")) {
+    const long value = std::atol(env);
+    if (value >= 1) return static_cast<std::size_t>(value);
+  }
+  return 64;
+}
+
+/// A ShardedCache whose shards are factory-built `policy_name` slices.
+inline std::unique_ptr<server::ShardedCache> make_sharded_policy(
+    const std::string& policy_name, std::size_t shards, std::uint64_t capacity_bytes) {
+  return std::make_unique<server::ShardedCache>(
+      shards, capacity_bytes, [policy_name](std::uint64_t cap) {
+        return core::make_policy(policy_name, cap);
+      });
 }
 
 // ---------------------------------------------------------------- runner

@@ -3,12 +3,16 @@
 // the latency-model inputs of Table 3.
 //
 // main() first runs the GBDT training-throughput suite (fit rows/s at
-// 1/2/4/8 threads, predict vs predict_many) through the experiment runner so
-// the numbers land in LHR_BENCH_JSONL like every other bench, then hands the
-// remaining argv to google-benchmark. LHR_MICRO_GBDT_ROWS overrides the
-// 50'000-row training batch (CI smoke runs use a small value).
+// 1/2/4/8 threads, predict vs predict_many) and the serving-throughput
+// suite (CdnServer::replay_concurrent req/s at 1/2/4/8 threads over a
+// ShardedCache(LRU) backend) through the experiment runner so the numbers
+// land in LHR_BENCH_JSONL like every other bench, then hands the remaining
+// argv to google-benchmark. LHR_MICRO_GBDT_ROWS overrides the 50'000-row
+// training batch; LHR_MICRO_SERVE_REQUESTS / LHR_MICRO_SERVE_THREADS scale
+// the serving suite (CI smoke runs use small values).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -20,12 +24,16 @@
 #include <vector>
 
 #include "core/policy_factory.hpp"
+#include "gen/cdn_model.hpp"
 #include "gen/zipf.hpp"
+#include "policies/lru.hpp"
 #include "runner/runner.hpp"
 #include "runner/trace_cache.hpp"
 #include "hazard/hro.hpp"
 #include "ml/features.hpp"
 #include "ml/gbdt.hpp"
+#include "server/cdn_server.hpp"
+#include "server/sharded_cache.hpp"
 #include "util/count_min_sketch.hpp"
 #include "util/density_index.hpp"
 #include "util/rng.hpp"
@@ -303,6 +311,97 @@ void run_gbdt_suite() {
               identical ? "yes" : "NO -- DETERMINISM BUG");
 }
 
+// ---------------------------------------------------------------- serving
+// The serving-throughput suite: requests/s of CdnServer::replay_concurrent
+// over a ShardedCache(LRU) backend at 1/2/4/8 threads (the Table 2 request
+// path under concurrency). Run through the experiment runner (serially —
+// each job owns its thread scaling) so results land in LHR_BENCH_JSONL.
+//   LHR_MICRO_SERVE_REQUESTS  trace length (default 200'000; CI uses less)
+//   LHR_MICRO_SERVE_THREADS   comma list of thread counts (default 1,2,4,8)
+std::size_t micro_serve_requests() {
+  if (const char* env = std::getenv("LHR_MICRO_SERVE_REQUESTS")) {
+    const long value = std::atol(env);
+    if (value >= 1) return static_cast<std::size_t>(value);
+  }
+  return 200'000;
+}
+
+std::vector<std::size_t> micro_serve_threads() {
+  std::vector<std::size_t> threads;
+  const char* env = std::getenv("LHR_MICRO_SERVE_THREADS");
+  std::stringstream ss(env != nullptr && *env != '\0' ? env : "1,2,4,8");
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const long value = std::atol(item.c_str());
+    if (value >= 1) threads.push_back(static_cast<std::size_t>(value));
+  }
+  if (threads.empty()) threads = {1, 2, 4, 8};
+  return threads;
+}
+
+void run_serve_suite() {
+  constexpr std::size_t kShards = 64;
+  const std::size_t n = micro_serve_requests();
+  const trace::Trace trace = gen::make_trace(gen::TraceClass::kCdnA, n, 42);
+  const auto capacity =
+      gen::headline_cache_size(gen::TraceClass::kCdnA, static_cast<double>(n) / 1e6);
+
+  std::vector<runner::Job> jobs;
+  for (const std::size_t threads : micro_serve_threads()) {
+    runner::Job job;
+    job.label = "serve/threads=" + std::to_string(threads);
+    job.body = [&, threads](runner::Result& r) {
+      server::ServerConfig cfg;
+      cfg.ram_bytes = std::max<std::uint64_t>(capacity / 100, 1 << 20);
+      auto backend = std::make_unique<server::ShardedCache>(
+          kShards, capacity, [](std::uint64_t cap) {
+            return std::make_unique<policy::Lru>(cap);
+          });
+      server::CdnServer server(std::move(backend), cfg);
+      const auto report =
+          server.replay_concurrent(trace, server::ReplayMode::kMax, threads);
+      r.set("threads", static_cast<double>(report.replay_threads));
+      r.set("requests", static_cast<double>(report.requests));
+      r.set("replay_wall_seconds", report.replay_wall_seconds);
+      r.set("requests_per_second",
+            report.replay_wall_seconds > 0.0
+                ? static_cast<double>(report.requests) / report.replay_wall_seconds
+                : 0.0);
+      // Integer aggregates: must be identical at every thread count (the
+      // shard-ownership determinism guarantee).
+      r.set("hits", static_cast<double>(report.hits));
+      r.set("wan_bytes", static_cast<double>(report.wan_bytes));
+      r.set("object_hit_pct", report.content_hit_pct);
+      r.set("byte_hit_pct", 100.0 * report.byte_hit_ratio());
+      r.set("lock_contentions", static_cast<double>(report.lock_contentions));
+    };
+    jobs.push_back(std::move(job));
+  }
+
+  runner::RunOptions options;
+  options.threads = 1;  // each job scales its own workers; don't stack pools
+  const auto results = runner::run_all(jobs, options);
+  runner::append_jsonl_if_configured(results);
+
+  std::printf("Serving throughput (CdnServer::replay_concurrent, %zu requests, "
+              "Sharded(LRU)x%zu):\n", n, kShards);
+  bool identical = true;
+  double hits0 = -1.0, wan0 = -1.0;
+  for (const auto& r : results) {
+    std::printf("  %-24s %10.0f req/s  (%.3f s, hit %.2f%%, byte-hit %.2f%%)\n",
+                r.label.c_str(), r.stat("requests_per_second"),
+                r.stat("replay_wall_seconds"), r.stat("object_hit_pct"),
+                r.stat("byte_hit_pct"));
+    if (hits0 < 0.0) {
+      hits0 = r.stat("hits");
+      wan0 = r.stat("wan_bytes");
+    }
+    identical = identical && r.stat("hits") == hits0 && r.stat("wan_bytes") == wan0;
+  }
+  std::printf("  serving aggregates identical across thread counts: %s\n",
+              identical ? "yes" : "NO -- DETERMINISM BUG");
+}
+
 // End-to-end cost of a policy sweep on the parallel runner: 8 LRU jobs over
 // a small cached trace, at 1 / 2 / 4 worker threads. The 1-thread run is the
 // serial baseline; the ratio is the sweep speedup bench/ binaries get.
@@ -349,6 +448,7 @@ BENCHMARK(BM_RunnerSweep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)
 
 int main(int argc, char** argv) {
   run_gbdt_suite();
+  run_serve_suite();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -16,8 +16,15 @@ void report_to_result(const lhr::server::ServerReport& report, lhr::runner::Resu
   r.set("avg_latency_ms", report.avg_latency_ms);
   r.set("traffic_gbps", report.traffic_gbps);
   r.set("content_hit_pct", report.content_hit_pct);
+  r.set("serve_threads", static_cast<double>(report.replay_threads));
+  r.set("replay_wall_seconds", report.replay_wall_seconds);
+  r.set("lock_contentions", static_cast<double>(report.lock_contentions));
 }
 
+// LHR_SERVE_THREADS > 0 switches every replay onto the concurrent serving
+// path: a ShardedCache backend (LHR_SERVE_SHARDS slices of the named
+// policy) driven by CdnServer::replay_concurrent. Hit/byte/WAN aggregates
+// are identical for every thread count; only wall clock changes.
 lhr::runner::Job server_job(const std::string& policy, lhr::gen::TraceClass c,
                             lhr::server::ReplayMode mode) {
   using namespace lhr;
@@ -28,8 +35,16 @@ lhr::runner::Job server_job(const std::string& policy, lhr::gen::TraceClass c,
     const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
     server::ServerConfig cfg;
     cfg.ram_bytes = std::max<std::uint64_t>(capacity / 100, 1 << 20);
-    server::CdnServer server(core::make_policy(policy, capacity), cfg);
-    report_to_result(server.replay(bench::trace_for(c), mode), r);
+    const std::size_t threads = bench::serve_threads();
+    if (threads > 0) {
+      server::CdnServer server(
+          bench::make_sharded_policy(policy, bench::serve_shards(), capacity), cfg);
+      report_to_result(
+          server.replay_concurrent(bench::trace_for(c), mode, threads), r);
+    } else {
+      server::CdnServer server(core::make_policy(policy, capacity), cfg);
+      report_to_result(server.replay(bench::trace_for(c), mode), r);
+    }
   };
   return job;
 }

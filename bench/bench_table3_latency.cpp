@@ -6,6 +6,7 @@
 // hook (the engine times each access() when an observer is attached), so
 // this bench is a plain simulation sweep feeding a LatencyModel per job.
 #include "bench/bench_common.hpp"
+#include "server/cdn_server.hpp"
 #include "sim/latency_model.hpp"
 
 namespace {
@@ -20,6 +21,71 @@ class LatencyObserver : public lhr::sim::SimObserver {
 
   lhr::sim::LatencyModel model;
 };
+
+// Optional LHR_SERVE_THREADS sweep: measured (not modeled) percentile
+// latency of the concurrent CdnServer serving path at 1 and N worker
+// threads, over a ShardedCache backend. Jobs run serially (each owns its
+// thread scaling); aggregates are thread-count-invariant by construction,
+// so the extra rows compare wall clock, not hit ratios.
+void run_serve_sweep(std::size_t serve_threads) {
+  using namespace lhr;
+  const std::vector<std::string> policies = {"LRU", "LHR"};
+  std::vector<std::size_t> thread_counts = {1};
+  if (serve_threads > 1) thread_counts.push_back(serve_threads);
+
+  std::vector<runner::Job> jobs;
+  for (const auto c : bench::all_trace_classes()) {
+    for (const auto& policy : policies) {
+      for (const std::size_t threads : thread_counts) {
+        runner::Job job;
+        job.label = "serve/" + policy + "/" + gen::to_string(c) + "/threads=" +
+                    std::to_string(threads);
+        job.body = [policy, c, threads](runner::Result& r) {
+          const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
+          server::ServerConfig cfg;
+          cfg.ram_bytes = std::max<std::uint64_t>(capacity / 100, 1 << 20);
+          server::CdnServer server(
+              bench::make_sharded_policy(policy, bench::serve_shards(), capacity), cfg);
+          const auto report = server.replay_concurrent(
+              bench::trace_for(c), server::ReplayMode::kNormal, threads);
+          r.set("serve_threads", static_cast<double>(report.replay_threads));
+          r.set("p90_latency_ms", report.p90_latency_ms);
+          r.set("p99_latency_ms", report.p99_latency_ms);
+          r.set("avg_latency_ms", report.avg_latency_ms);
+          r.set("content_hit_pct", report.content_hit_pct);
+          r.set("replay_wall_seconds", report.replay_wall_seconds);
+          r.set("requests_per_second",
+                report.replay_wall_seconds > 0.0
+                    ? static_cast<double>(report.requests) / report.replay_wall_seconds
+                    : 0.0);
+          r.set("lock_contentions", static_cast<double>(report.lock_contentions));
+        };
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+
+  runner::RunOptions options;
+  options.threads = 1;  // each job scales its own workers; don't stack pools
+  const auto results = runner::run_all(jobs, options);
+  runner::append_jsonl_if_configured(results);
+
+  std::printf("\n-- Serving path (CdnServer::replay_concurrent, %zu-shard backend) --\n",
+              bench::serve_shards());
+  const auto row = [](const std::string& label, const std::vector<std::string>& cells) {
+    std::printf("%-30s", label.c_str());
+    for (const auto& cell : cells) std::printf("%-12s", cell.c_str());
+    std::printf("\n");
+  };
+  row("Job", {"Hit(%)", "P90(ms)", "P99(ms)", "Req/s", "Wall(s)"});
+  for (const auto& r : results) {
+    row(r.label, {bench::fmt(r.stat("content_hit_pct"), 2),
+                  bench::fmt(r.stat("p90_latency_ms"), 1),
+                  bench::fmt(r.stat("p99_latency_ms"), 1),
+                  bench::fmt(r.stat("requests_per_second"), 0),
+                  bench::fmt(r.stat("replay_wall_seconds"), 3)});
+  }
+}
 
 }  // namespace
 
@@ -65,6 +131,12 @@ int main() {
     bench::print_row(lat_cells);
     bench::print_row(thr_cells);
     bench::print_row(stall_cells);
+  }
+
+  // Additive only: default output stays byte-identical when the env knob is
+  // unset (the bench determinism guarantee).
+  if (const std::size_t threads = bench::serve_threads(); threads > 0) {
+    run_serve_sweep(threads);
   }
   return 0;
 }

@@ -1,11 +1,14 @@
 #include "core/cli.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/policy_factory.hpp"
 #include "gen/cdn_model.hpp"
+#include "server/cdn_server.hpp"
+#include "server/sharded_cache.hpp"
 #include "sim/engine.hpp"
 #include "trace/trace.hpp"
 
@@ -23,6 +26,33 @@ std::vector<std::string> split_commas(const std::string& value) {
   return out;
 }
 
+/// --serve-threads: shard count of the ShardedCache backend. Fixed (not
+/// tied to the thread count) so hit ratios are identical for every N.
+constexpr std::size_t kServeShards = 16;
+
+sim::SimMetrics serve_replay(const std::string& policy_name, std::uint64_t capacity,
+                             const PolicyTuning& tuning, const trace::Trace& trace,
+                             std::size_t threads) {
+  auto backend = std::make_unique<server::ShardedCache>(
+      kServeShards, capacity, [&](std::uint64_t cap) {
+        return make_policy(policy_name, cap, tuning);
+      });
+  server::ServerConfig cfg;
+  cfg.ram_bytes = std::max<std::uint64_t>(capacity / 100, 1ULL << 20);
+  server::CdnServer server(std::move(backend), cfg);
+  const auto report =
+      server.replay_concurrent(trace, server::ReplayMode::kNormal, threads);
+
+  sim::SimMetrics m;
+  m.requests = report.requests;
+  m.hits = report.hits;
+  m.bytes_requested = static_cast<double>(report.bytes_served);
+  m.bytes_hit = static_cast<double>(report.bytes_served - report.wan_bytes);
+  m.wall_seconds = report.replay_wall_seconds;
+  m.peak_metadata_bytes = report.peak_metadata_bytes;
+  return m;
+}
+
 }  // namespace
 
 std::string cli_usage() {
@@ -38,6 +68,9 @@ std::string cli_usage() {
       "  --train-threads N    LHR: worker threads for GBDT training (default 1)\n"
       "  --async-train        LHR: retrain in the background instead of stalling\n"
       "                       the request path at window boundaries\n"
+      "  --serve-threads N    replay through the concurrent CdnServer serving path\n"
+      "                       (16-shard ShardedCache backend) with N worker threads;\n"
+      "                       hit ratios are identical for every N\n"
       "  --csv                machine-readable output\n"
       "  --help               this text\n";
 }
@@ -123,6 +156,14 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
         error = "--train-threads must be positive";
         return std::nullopt;
       }
+    } else if (arg == "--serve-threads") {
+      const char* v = need_value(i, arg);
+      if (!v) return std::nullopt;
+      options.serve_threads = static_cast<std::size_t>(std::atoll(v));
+      if (options.serve_threads == 0) {
+        error = "--serve-threads must be positive";
+        return std::nullopt;
+      }
     } else if (arg == "--async-train") {
       options.async_train = true;
     } else {
@@ -166,11 +207,16 @@ std::vector<CliRunResult> run_cli(const CliOptions& options) {
     for (const double gb : options.capacities_gb) {
       const auto capacity =
           static_cast<std::uint64_t>(gb * 1024.0 * 1024.0 * 1024.0);
-      auto policy = make_policy(policy_name, capacity, tuning);  // throws on typo
       CliRunResult result;
       result.policy = policy_name;
       result.capacity_gb = gb;
-      result.metrics = sim::simulate(*policy, trace, sim_options);
+      if (options.serve_threads > 0) {
+        result.metrics =
+            serve_replay(policy_name, capacity, tuning, trace, options.serve_threads);
+      } else {
+        auto policy = make_policy(policy_name, capacity, tuning);  // throws on typo
+        result.metrics = sim::simulate(*policy, trace, sim_options);
+      }
       results.push_back(std::move(result));
     }
   }

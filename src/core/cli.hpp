@@ -26,6 +26,10 @@ struct CliOptions {
   bool csv = false;                         ///< --csv (machine-readable output)
   std::size_t train_threads = 0;            ///< --train-threads N (LHR family)
   bool async_train = false;                 ///< --async-train (LHR family)
+  /// --serve-threads N: replay through the concurrent CdnServer serving
+  /// path (a ShardedCache backend over the named policy) with N workers
+  /// instead of the single-threaded simulator. 0 = plain sim::simulate.
+  std::size_t serve_threads = 0;
 };
 
 /// Parses argv. Returns std::nullopt and fills `error` on bad input;

@@ -1,5 +1,6 @@
 #include "server/admission_queue.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace lhr::server {
@@ -28,6 +29,7 @@ bool AdmissionQueue::enqueue(const trace::Request& r) {
       return false;  // shed load instead of stalling the request path
     }
     queue_.push_back(r);
+    max_depth_seen_ = std::max(max_depth_seen_, queue_.size());
   }
   work_available_.notify_one();
   return true;
@@ -46,6 +48,11 @@ std::size_t AdmissionQueue::dropped() const {
 std::size_t AdmissionQueue::processed() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return processed_;
+}
+
+std::size_t AdmissionQueue::max_depth_seen() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return max_depth_seen_;
 }
 
 void AdmissionQueue::worker_loop() {

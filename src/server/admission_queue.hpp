@@ -44,6 +44,12 @@ class AdmissionQueue {
   [[nodiscard]] std::size_t dropped() const;
   [[nodiscard]] std::size_t processed() const;
 
+  /// Deepest the queue has ever been (high-water mark; <= max_depth). A
+  /// mark pinned at max_depth means the consumer cannot keep up and
+  /// admissions are being shed — the back-pressure signal a production
+  /// deployment would alarm on.
+  [[nodiscard]] std::size_t max_depth_seen() const;
+
  private:
   void worker_loop();
 
@@ -56,6 +62,7 @@ class AdmissionQueue {
   std::deque<trace::Request> queue_;
   std::size_t dropped_ = 0;
   std::size_t processed_ = 0;
+  std::size_t max_depth_seen_ = 0;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
   std::thread worker_;

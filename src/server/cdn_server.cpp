@@ -2,13 +2,26 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <stdexcept>
 
-#include "util/rng.hpp"
+#include "server/sharded_cache.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lhr::server {
 
 namespace {
 constexpr double kGB = 1024.0 * 1024.0 * 1024.0;
+
+// Resolution of the revalidation coin flip. 1e9 buckets keep change
+// probabilities as small as ~1e-9 representable (the old %10'000 scheme
+// silently floored anything below 1e-4 to "never changes").
+constexpr std::uint64_t kRevalidateScale = 1'000'000'000ULL;
+
+// How often concurrent workers sample metadata peaks: sampling the sharded
+// main index locks every shard, so doing it per request would serialize the
+// replay it is meant to observe.
+constexpr std::size_t kConcurrentMetaSampleEvery = 1024;
 
 double transfer_seconds(std::uint64_t bytes, double gbps) {
   return static_cast<double>(bytes) * 8.0 / (gbps * 1e9);
@@ -19,17 +32,35 @@ CdnServer::CdnServer(std::unique_ptr<sim::CachePolicy> main_policy,
                      const ServerConfig& config)
     : config_(config),
       main_(std::move(main_policy)),
-      ram_(config.ram_bytes),
-      rng_state_(config.seed) {}
+      sharded_(dynamic_cast<ShardedCache*>(main_.get())) {
+  const double rounded =
+      std::round(config.revalidate_change_prob * static_cast<double>(kRevalidateScale));
+  revalidate_threshold_ = static_cast<std::uint64_t>(
+      std::clamp(rounded, 0.0, static_cast<double>(kRevalidateScale)));
 
-CdnServer::RequestOutcome CdnServer::process(const trace::Request& r) {
+  const std::size_t shards = sharded_ != nullptr ? sharded_->shard_count() : 1;
+  const std::uint64_t ram_per_shard = config.ram_bytes / shards;
+  const std::uint64_t ram_remainder = config.ram_bytes % shards;
+  fresh_.reserve(shards);
+  std::uint64_t seed_state = config.seed;
+  for (std::size_t i = 0; i < shards; ++i) {
+    fresh_.push_back(std::make_unique<FreshnessShard>(
+        ram_per_shard + (i < ram_remainder ? 1 : 0), util::splitmix64(seed_state)));
+  }
+}
+
+std::size_t CdnServer::freshness_shard_of(trace::Key key) const {
+  return sharded_ != nullptr ? sharded_->shard_of(key) : 0;
+}
+
+CdnServer::RequestOutcome CdnServer::process(const trace::Request& r,
+                                             FreshnessShard& fs) {
   RequestOutcome out;
-  now_ = r.time;
 
   // Step 1: index lookup. The policy's real compute time is the CPU cost of
   // the lookup/admission path (this is what makes LHR's CPU column rise).
   const auto cpu0 = std::chrono::steady_clock::now();
-  const bool ram_hit = config_.has_disk_tier && ram_.access(r);
+  const bool ram_hit = config_.has_disk_tier && fs.ram.access(r);
   const bool main_hit = main_->access(r);
   out.cpu_s = config_.per_request_cpu_s +
               config_.cpu_per_byte_s * static_cast<double>(r.size) +
@@ -43,18 +74,17 @@ CdnServer::RequestOutcome CdnServer::process(const trace::Request& r) {
 
   if (effective_hit) {
     // Step 2: freshness check.
-    const auto adm = admitted_at_.find(r.key);
+    const auto adm = fs.admitted_at.find(r.key);
     const bool stale =
-        adm == admitted_at_.end() || (r.time - adm->second) > config_.freshness_ttl_s;
+        adm == fs.admitted_at.end() || (r.time - adm->second) > config_.freshness_ttl_s;
     if (stale) {
       out.user_latency_s += config_.origin_rtt_s;  // revalidation round trip
-      if (util::splitmix64(rng_state_) % 10'000 <
-          static_cast<std::uint64_t>(config_.revalidate_change_prob * 10'000)) {
+      if (fs.rng.next_below(kRevalidateScale) < revalidate_threshold_) {
         refetch = true;  // content changed at the origin
-      } else if (adm != admitted_at_.end()) {
+      } else if (adm != fs.admitted_at.end()) {
         adm->second = r.time;  // revalidated: freshness clock restarts
       } else {
-        admitted_at_[r.key] = r.time;
+        fs.admitted_at[r.key] = r.time;
       }
     }
   }
@@ -75,57 +105,110 @@ CdnServer::RequestOutcome CdnServer::process(const trace::Request& r) {
     const double origin_time =
         config_.origin_rtt_s + transfer_seconds(r.size, config_.origin_gbps);
     out.origin_s += origin_time;
-    out.wan_bytes = static_cast<double>(r.size);
+    out.wan_bytes = r.size;
     out.user_latency_s += origin_time + client_time;
     out.hit = effective_hit;  // a stale-but-unchanged hit still counts above
-
     // Sequential write into the flash layer — asynchronous, so it adds
     // disk busy time but not user latency.
     if (config_.has_disk_tier) {
       out.disk_s += transfer_seconds(r.size, config_.disk_write_gbps);
     }
-    admitted_at_[r.key] = r.time;
+    fs.admitted_at[r.key] = r.time;
   }
   out.user_latency_s += out.cpu_s;
   return out;
 }
 
-ServerReport CdnServer::replay(const trace::Trace& trace, ReplayMode mode,
-                               std::size_t window_requests) {
+void CdnServer::ReplayAccumulator::merge(const ReplayAccumulator& other) {
+  latency.merge(other.latency);
+  cpu_busy += other.cpu_busy;
+  disk_busy += other.disk_busy;
+  origin_busy += other.origin_busy;
+  client_busy += other.client_busy;
+  bytes_served += other.bytes_served;
+  wan_bytes += other.wan_bytes;
+  hits += other.hits;
+  requests += other.requests;
+  // RAM-tier slices are disjoint across workers, so their peaks add; the
+  // main-index peak is sampled by worker 0 only (see replay_partition).
+  peak_meta += other.peak_meta;
+  if (window_hits.size() < other.window_hits.size()) {
+    window_hits.resize(other.window_hits.size(), 0);
+    window_counts.resize(other.window_counts.size(), 0);
+  }
+  for (std::size_t w = 0; w < other.window_hits.size(); ++w) {
+    window_hits[w] += other.window_hits[w];
+    window_counts[w] += other.window_counts[w];
+  }
+}
+
+void CdnServer::replay_partition(const trace::Trace& trace, std::size_t worker,
+                                 std::size_t n_workers, std::size_t window_requests,
+                                 std::size_t meta_sample_every,
+                                 ReplayAccumulator& acc) {
+  const std::size_t n_windows =
+      window_requests > 0 ? (trace.size() + window_requests - 1) / window_requests : 0;
+  acc.window_hits.assign(n_windows, 0);
+  acc.window_counts.assign(n_windows, 0);
+
+  const auto sample_metadata = [&] {
+    // The sharded main index is safe to read from any thread; the RAM-tier
+    // slices are lock-free, so each worker sums only the shards it owns.
+    std::uint64_t meta = worker == 0 ? main_->metadata_bytes() : 0;
+    if (config_.has_disk_tier) {
+      for (std::size_t s = worker; s < fresh_.size(); s += n_workers) {
+        meta += fresh_[s]->ram.metadata_bytes();
+      }
+    }
+    acc.peak_meta = std::max(acc.peak_meta, meta);
+  };
+
+  std::size_t processed = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const trace::Request& r = trace[i];
+    const std::size_t shard = freshness_shard_of(r.key);
+    if (shard % n_workers != worker) continue;
+
+    const RequestOutcome out = process(r, *fresh_[shard]);
+    acc.latency.add(out.user_latency_s);
+    acc.cpu_busy += out.cpu_s;
+    acc.disk_busy += out.disk_s;
+    acc.origin_busy += out.origin_s;
+    acc.client_busy += out.client_s;
+    acc.bytes_served += r.size;
+    acc.wan_bytes += out.wan_bytes;
+    ++acc.requests;
+    if (n_windows > 0) {
+      ++acc.window_counts[i / window_requests];
+      acc.window_hits[i / window_requests] += static_cast<std::uint64_t>(out.hit);
+    }
+    acc.hits += static_cast<std::uint64_t>(out.hit);
+    if (++processed % meta_sample_every == 0) sample_metadata();
+  }
+  sample_metadata();
+}
+
+ServerReport CdnServer::finalize(const trace::Trace& trace, ReplayMode mode,
+                                 const ReplayAccumulator& total, std::size_t threads,
+                                 double wall_seconds,
+                                 std::uint64_t contentions_before) const {
   ServerReport report;
   report.policy_name = main_->name();
-
-  util::QuantileHistogram latency(1e-6, 1e4, 128);
-  double cpu_busy = 0.0, disk_busy = 0.0, origin_busy = 0.0, client_busy = 0.0;
-  double bytes_served = 0.0, wan_bytes = 0.0;
-  std::uint64_t hits = 0;
-  std::uint64_t peak_meta = 0;
-
-  std::uint64_t window_hits = 0, window_count = 0;
-
-  for (const trace::Request& r : trace) {
-    const RequestOutcome out = process(r);
-    latency.add(out.user_latency_s);
-    cpu_busy += out.cpu_s;
-    disk_busy += out.disk_s;
-    origin_busy += out.origin_s;
-    client_busy += out.client_s;
-    bytes_served += static_cast<double>(r.size);
-    wan_bytes += out.wan_bytes;
-    if (out.hit) {
-      ++hits;
-      ++window_hits;
-    }
-    if (++window_count == window_requests) {
-      report.window_hit_ratio.push_back(static_cast<double>(window_hits) /
-                                        static_cast<double>(window_count));
-      window_hits = window_count = 0;
-    }
-    peak_meta = std::max(peak_meta, main_->metadata_bytes());
+  report.requests = total.requests;
+  report.hits = total.hits;
+  report.bytes_served = total.bytes_served;
+  report.wan_bytes = total.wan_bytes;
+  report.peak_metadata_bytes = total.peak_meta;
+  report.replay_wall_seconds = wall_seconds;
+  report.replay_threads = threads;
+  if (sharded_ != nullptr) {
+    report.lock_contentions = sharded_->lock_contentions() - contentions_before;
   }
-  if (window_count > 0) {
-    report.window_hit_ratio.push_back(static_cast<double>(window_hits) /
-                                      static_cast<double>(window_count));
+
+  for (std::size_t w = 0; w < total.window_counts.size(); ++w) {
+    if (total.window_counts[w] == 0) continue;
+    report.window_hit_ratio.push_back(static_cast<double>(total.window_hits[w]) /
+                                      static_cast<double>(total.window_counts[w]));
   }
 
   // Duration: wall-clock of the trace in normal mode; the busiest resource's
@@ -135,21 +218,75 @@ ServerReport CdnServer::replay(const trace::Trace& trace, ReplayMode mode,
   if (mode == ReplayMode::kNormal) {
     duration = std::max(trace.duration(), 1e-6);
   } else {
-    duration = std::max({cpu_busy / cores, disk_busy, origin_busy, client_busy, 1e-6});
+    duration = std::max({total.cpu_busy / cores, total.disk_busy, total.origin_busy,
+                         total.client_busy, 1e-6});
   }
 
-  report.throughput_gbps = bytes_served * 8.0 / duration / 1e9;
-  report.peak_cpu_pct = 100.0 * cpu_busy / (cores * duration);
+  report.throughput_gbps =
+      static_cast<double>(total.bytes_served) * 8.0 / duration / 1e9;
+  report.peak_cpu_pct = 100.0 * total.cpu_busy / (cores * duration);
   report.peak_mem_gb =
-      (static_cast<double>(peak_meta) + static_cast<double>(config_.ram_bytes)) / kGB;
-  report.p90_latency_ms = latency.quantile(0.90) * 1e3;
-  report.p99_latency_ms = latency.quantile(0.99) * 1e3;
-  report.avg_latency_ms = latency.mean() * 1e3;
-  report.traffic_gbps = wan_bytes * 8.0 / duration / 1e9;
+      (static_cast<double>(total.peak_meta) + static_cast<double>(config_.ram_bytes)) /
+      kGB;
+  report.p90_latency_ms = total.latency.quantile(0.90) * 1e3;
+  report.p99_latency_ms = total.latency.quantile(0.99) * 1e3;
+  report.avg_latency_ms = total.latency.mean() * 1e3;
+  report.traffic_gbps = static_cast<double>(total.wan_bytes) * 8.0 / duration / 1e9;
   report.content_hit_pct =
-      trace.empty() ? 0.0
-                    : 100.0 * static_cast<double>(hits) / static_cast<double>(trace.size());
+      trace.empty()
+          ? 0.0
+          : 100.0 * static_cast<double>(total.hits) / static_cast<double>(trace.size());
   return report;
+}
+
+ServerReport CdnServer::replay(const trace::Trace& trace, ReplayMode mode,
+                               std::size_t window_requests) {
+  const std::uint64_t contentions_before =
+      sharded_ != nullptr ? sharded_->lock_contentions() : 0;
+  ReplayAccumulator acc;
+  const auto t0 = std::chrono::steady_clock::now();
+  // Unsharded backends keep the classic per-request metadata sampling; a
+  // sharded backend's metadata_bytes() locks every shard, so sample it at
+  // the same cadence as the concurrent path.
+  replay_partition(trace, /*worker=*/0, /*n_workers=*/1, window_requests,
+                   fresh_.size() == 1 ? 1 : kConcurrentMetaSampleEvery, acc);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return finalize(trace, mode, acc, /*threads=*/1, wall, contentions_before);
+}
+
+ServerReport CdnServer::replay_concurrent(const trace::Trace& trace, ReplayMode mode,
+                                          std::size_t n_threads,
+                                          std::size_t window_requests) {
+  if (sharded_ == nullptr) {
+    throw std::invalid_argument(
+        "CdnServer::replay_concurrent: main policy must be a server::ShardedCache");
+  }
+  const std::size_t workers = std::clamp<std::size_t>(n_threads, 1, fresh_.size());
+  const std::uint64_t contentions_before = sharded_->lock_contentions();
+
+  std::vector<ReplayAccumulator> acc(workers);
+  const auto t0 = std::chrono::steady_clock::now();
+  if (workers == 1) {
+    replay_partition(trace, 0, 1, window_requests, kConcurrentMetaSampleEvery, acc[0]);
+  } else {
+    util::ThreadPool pool(workers);
+    util::TaskGroup group(&pool);
+    for (std::size_t t = 0; t < workers; ++t) {
+      group.run([this, &trace, t, workers, window_requests, &acc] {
+        replay_partition(trace, t, workers, window_requests,
+                         kConcurrentMetaSampleEvery, acc[t]);
+      });
+    }
+    group.wait();
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  // Deterministic reduction in worker-index order (the Gbdt chunk-reduction
+  // discipline): integer counters merge exactly; double sums are ordered.
+  for (std::size_t t = 1; t < workers; ++t) acc[0].merge(acc[t]);
+  return finalize(trace, mode, acc[0], workers, wall, contentions_before);
 }
 
 }  // namespace lhr::server

@@ -18,6 +18,18 @@
 //     busiest resource (CPU, disk, origin or client link);
 //   * "normal" replay: original trace timestamps; latency percentiles and
 //     average traffic are measured against wall-clock duration.
+//
+// Threading model (see DESIGN.md "Serving layer"). All per-request server
+// state — the freshness clock, the RAM-tier slice, and the revalidation RNG
+// — is sharded by the same key hash the ShardedCache backend uses, and
+// replay_concurrent assigns each shard to exactly one worker (shard s is
+// owned by worker s mod n). Every worker scans the shared immutable trace
+// and processes only the requests it owns, so each shard sees exactly the
+// subsequence of its keys in trace order no matter how many workers run:
+// aggregate hits, bytes and WAN traffic are *identical* to the
+// single-threaded replay, and the shard mutexes are never contended by the
+// replay itself (they still protect against external concurrent users of
+// the backend).
 #pragma once
 
 #include <cstdint>
@@ -29,9 +41,12 @@
 #include "policies/lru.hpp"
 #include "sim/cache_policy.hpp"
 #include "trace/trace.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace lhr::server {
+
+class ShardedCache;
 
 struct ServerConfig {
   std::uint64_t ram_bytes = 1ULL << 30;  ///< memory tier ("kept unchanged", §6.1)
@@ -72,19 +87,59 @@ struct ServerReport {
   double content_hit_pct = 0.0;
   /// Hit probability per window of `window_requests` (Figures 7/13).
   std::vector<double> window_hit_ratio;
+
+  // Raw aggregate counters (integer sums, so they are exactly equal across
+  // replay thread counts) plus serving observability.
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t bytes_served = 0;       ///< client-side bytes (= requested)
+  std::uint64_t wan_bytes = 0;          ///< origin-side (miss + refetch) bytes
+  std::uint64_t peak_metadata_bytes = 0;
+  double replay_wall_seconds = 0.0;     ///< real wall-clock of this replay call
+  std::size_t replay_threads = 1;       ///< workers the replay actually used
+  /// Shard-mutex contention events of a ShardedCache backend during this
+  /// replay (0 for unsharded backends; 0 under replay_concurrent's
+  /// shard-ownership partition unless the backend is shared externally).
+  std::uint64_t lock_contentions = 0;
+
+  [[nodiscard]] double byte_hit_ratio() const {
+    return bytes_served > 0
+               ? static_cast<double>(bytes_served - wan_bytes) /
+                     static_cast<double>(bytes_served)
+               : 0.0;
+  }
 };
 
 class CdnServer {
  public:
   /// Takes ownership of the main-tier policy (LRU for stock ATS; LhrCache
-  /// for the prototype; WTinyLfu for Caffeine).
+  /// for the prototype; WTinyLfu for Caffeine; a ShardedCache of any of
+  /// them for the concurrent serving path). When the policy is a
+  /// ShardedCache the freshness metadata, revalidation RNG and RAM tier are
+  /// sharded to match (one slice per cache shard); otherwise a single slice
+  /// preserves the classic single-threaded behaviour.
   CdnServer(std::unique_ptr<sim::CachePolicy> main_policy, const ServerConfig& config);
 
-  /// Replays a trace; the server's cache state persists across calls.
+  /// Replays a trace on the calling thread; the server's cache state
+  /// persists across calls.
   ServerReport replay(const trace::Trace& trace, ReplayMode mode,
                       std::size_t window_requests = 50'000);
 
+  /// Replays a trace on `n_threads` workers against a ShardedCache backend
+  /// (throws std::invalid_argument for any other backend). Work is
+  /// partitioned by shard ownership (header comment), so hits/bytes/WAN
+  /// aggregates are identical to replay() for every thread count; latency
+  /// quantiles are exact too (integer bucket merges), while double-sum
+  /// fields (busy times, averages) may differ in the last few ulps.
+  /// `n_threads` is clamped to [1, shard_count].
+  ServerReport replay_concurrent(const trace::Trace& trace, ReplayMode mode,
+                                 std::size_t n_threads,
+                                 std::size_t window_requests = 50'000);
+
   [[nodiscard]] const sim::CachePolicy& main_policy() const { return *main_; }
+
+  /// Number of freshness/RAM/RNG slices (= backend shard count, or 1).
+  [[nodiscard]] std::size_t freshness_shard_count() const { return fresh_.size(); }
 
  private:
   struct RequestOutcome {
@@ -94,17 +149,55 @@ class CdnServer {
     double disk_s = 0.0;
     double origin_s = 0.0;
     double client_s = 0.0;
-    double wan_bytes = 0.0;
+    std::uint64_t wan_bytes = 0;
   };
 
-  RequestOutcome process(const trace::Request& r);
+  /// One worker-owned slice of the server's per-request state. During
+  /// replay_concurrent, shard s is touched only by worker s mod n_workers —
+  /// that ownership discipline is what makes the struct lock-free.
+  struct FreshnessShard {
+    FreshnessShard(std::uint64_t ram_capacity, std::uint64_t rng_seed)
+        : ram(ram_capacity), rng(rng_seed) {}
+
+    policy::Lru ram;  ///< this slice of the RAM tier (disk-tier configs)
+    std::unordered_map<trace::Key, trace::Time> admitted_at;  ///< freshness clock
+    util::Xoshiro256 rng;  ///< revalidation coin flips
+  };
+
+  /// Per-worker replay accumulator, reduced in worker-index order.
+  struct ReplayAccumulator {
+    util::QuantileHistogram latency{1e-6, 1e4, 128};
+    double cpu_busy = 0.0, disk_busy = 0.0, origin_busy = 0.0, client_busy = 0.0;
+    std::uint64_t bytes_served = 0, wan_bytes = 0, hits = 0, requests = 0;
+    std::uint64_t peak_meta = 0;
+    std::vector<std::uint64_t> window_hits, window_counts;
+
+    void merge(const ReplayAccumulator& other);
+  };
+
+  RequestOutcome process(const trace::Request& r, FreshnessShard& shard);
+
+  [[nodiscard]] std::size_t freshness_shard_of(trace::Key key) const;
+
+  /// Processes the sub-stream of `trace` owned by `worker` (shards s with
+  /// s % n_workers == worker), accumulating into `acc`. Metadata peaks are
+  /// sampled every `meta_sample_every` processed requests plus once at the
+  /// end; worker 0 samples the (thread-safe) main index, every worker sums
+  /// only the RAM slices it owns.
+  void replay_partition(const trace::Trace& trace, std::size_t worker,
+                        std::size_t n_workers, std::size_t window_requests,
+                        std::size_t meta_sample_every, ReplayAccumulator& acc);
+
+  [[nodiscard]] ServerReport finalize(const trace::Trace& trace, ReplayMode mode,
+                                      const ReplayAccumulator& total,
+                                      std::size_t threads, double wall_seconds,
+                                      std::uint64_t contentions_before) const;
 
   ServerConfig config_;
   std::unique_ptr<sim::CachePolicy> main_;
-  policy::Lru ram_;
-  std::unordered_map<trace::Key, trace::Time> admitted_at_;  // freshness clock
-  std::uint64_t rng_state_;
-  trace::Time now_ = 0.0;
+  ShardedCache* sharded_ = nullptr;  ///< main_ downcast, null if unsharded
+  std::uint64_t revalidate_threshold_ = 0;  ///< of kRevalidateScale
+  std::vector<std::unique_ptr<FreshnessShard>> fresh_;
 };
 
 }  // namespace lhr::server

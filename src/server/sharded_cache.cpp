@@ -24,11 +24,16 @@ ShardedCache::ShardedCache(std::size_t shards, std::uint64_t capacity_bytes,
 }
 
 void ShardedCache::set_capacity(std::uint64_t bytes) {
-  capacity_ = bytes;
+  // Take every shard lock up front (index order) so the re-split is atomic
+  // with respect to access(): no request can run against a shard whose
+  // budget is mid-update. See the header for the aggregate-reader caveat.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
+  capacity_.store(bytes, std::memory_order_relaxed);
   const std::uint64_t per_shard = bytes / shards_.size();
   const std::uint64_t remainder = bytes % shards_.size();
   for (std::size_t i = 0; i < shards_.size(); ++i) {
-    const std::lock_guard<std::mutex> lock(shards_[i]->mutex);
     shards_[i]->policy->set_capacity(per_shard + (i < remainder ? 1 : 0));
   }
 }
@@ -44,8 +49,15 @@ std::size_t ShardedCache::shard_of(trace::Key key) const noexcept {
 
 bool ShardedCache::access(const trace::Request& r) {
   Shard& shard = *shards_[shard_of(r.key)];
-  const std::lock_guard<std::mutex> lock(shard.mutex);
-  return shard.policy->access(r);
+  std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    shard.contended.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  const bool hit = shard.policy->access(r);
+  ++shard.accesses;
+  shard.hits += static_cast<std::uint64_t>(hit);
+  return hit;
 }
 
 std::uint64_t ShardedCache::used_bytes() const {
@@ -62,6 +74,37 @@ std::uint64_t ShardedCache::metadata_bytes() const {
   for (const auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mutex);
     total += shard->policy->metadata_bytes();
+  }
+  return total;
+}
+
+ShardedCache::ShardStats ShardedCache::shard_stats(std::size_t shard) const {
+  const Shard& s = *shards_[shard];
+  ShardStats stats;
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    stats.accesses = s.accesses;
+    stats.hits = s.hits;
+  }
+  stats.lock_contentions = s.contended.load(std::memory_order_relaxed);
+  return stats;
+}
+
+ShardedCache::ShardStats ShardedCache::total_stats() const {
+  ShardStats total;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const ShardStats s = shard_stats(i);
+    total.accesses += s.accesses;
+    total.hits += s.hits;
+    total.lock_contentions += s.lock_contentions;
+  }
+  return total;
+}
+
+std::uint64_t ShardedCache::lock_contentions() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->contended.load(std::memory_order_relaxed);
   }
   return total;
 }

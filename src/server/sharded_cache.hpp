@@ -36,6 +36,15 @@ class ShardedCache : public sim::CachePolicy {
   using PolicyFactory =
       std::function<std::unique_ptr<sim::CachePolicy>(std::uint64_t capacity)>;
 
+  /// Per-shard serving counters (observability for the concurrent request
+  /// path): how many requests the shard served, how many hit, and how often
+  /// a caller found the shard mutex already held (lock contention).
+  struct ShardStats {
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t lock_contentions = 0;
+  };
+
   /// Builds `shards` policies, each with capacity/shards bytes (remainder
   /// bytes go to the lowest-index shards).
   ShardedCache(std::size_t shards, std::uint64_t capacity_bytes,
@@ -53,8 +62,20 @@ class ShardedCache : public sim::CachePolicy {
   [[nodiscard]] std::string name() const override;
 
   /// Re-splits the new total capacity across shards: shard i receives
-  /// bytes/N, plus one extra byte for i < bytes%N. Thread-safe; used by the
-  /// engine's metadata-deduction fairness rule.
+  /// bytes/N, plus one extra byte for i < bytes%N. Holds every shard lock
+  /// (acquired in index order; the only multi-lock path in this class, so
+  /// no deadlock is possible) for the duration of the re-split, so access()
+  /// never runs against a shard whose budget is mid-update, and `capacity_`
+  /// is stored atomically so capacity_bytes() never reads a torn value.
+  ///
+  /// Quiescence caveat: aggregate readers (used_bytes, metadata_bytes) lock
+  /// shards one at a time, so a total observed *concurrently* with a
+  /// re-split may mix old- and new-budget shards. The invariants — sum of
+  /// shard capacities == capacity_bytes(), used <= capacity — are guaranteed
+  /// only once set_capacity has returned; callers that need a consistent
+  /// total must not overlap it with set_capacity. Concurrent set_capacity
+  /// calls serialize on the shard locks but may interleave their capacity_
+  /// stores; run capacity changes from one thread at a time.
   void set_capacity(std::uint64_t bytes) override;
 
   /// Index of the shard a key maps to (exposed for tests).
@@ -63,10 +84,24 @@ class ShardedCache : public sim::CachePolicy {
   /// Capacity currently assigned to one shard (exposed for tests).
   [[nodiscard]] std::uint64_t shard_capacity_bytes(std::size_t shard) const;
 
+  /// Serving counters for one shard (thread-safe snapshot).
+  [[nodiscard]] ShardStats shard_stats(std::size_t shard) const;
+
+  /// Sum of shard_stats over all shards.
+  [[nodiscard]] ShardStats total_stats() const;
+
+  /// Total lock-contention events across shards (cheap relaxed read).
+  [[nodiscard]] std::uint64_t lock_contentions() const noexcept;
+
  private:
   struct Shard {
     std::unique_ptr<sim::CachePolicy> policy;
     mutable std::mutex mutex;
+    // accesses/hits are guarded by `mutex`; `contended` is bumped while the
+    // lock is still held by someone else, so it must be atomic.
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::atomic<std::uint64_t> contended{0};
   };
 
   std::atomic<std::uint64_t> capacity_;

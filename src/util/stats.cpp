@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace lhr::util {
 
@@ -52,6 +53,20 @@ void QuantileHistogram::add(double value) noexcept {
   ++counts_[bucket_of(value)];
   ++total_;
   sum_ += value;
+}
+
+bool QuantileHistogram::same_layout(const QuantileHistogram& other) const noexcept {
+  return log_min_ == other.log_min_ && log_step_ == other.log_step_ &&
+         counts_.size() == other.counts_.size();
+}
+
+void QuantileHistogram::merge(const QuantileHistogram& other) {
+  if (!same_layout(other)) {
+    throw std::invalid_argument("QuantileHistogram::merge: bucket layouts differ");
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  total_ += other.total_;
+  sum_ += other.sum_;
 }
 
 double QuantileHistogram::quantile(double q) const noexcept {

@@ -46,6 +46,16 @@ class QuantileHistogram {
 
   void add(double value) noexcept;
 
+  /// Adds every sample recorded by `other` into this histogram. Both must
+  /// have been constructed with the same bucket layout (min/max/buckets);
+  /// throws std::invalid_argument otherwise. Counts merge exactly, so
+  /// quantiles of a merged histogram equal quantiles of one histogram fed
+  /// all samples — the reduction step of the concurrent server replay.
+  void merge(const QuantileHistogram& other);
+
+  /// True when `other` shares this histogram's bucket layout (mergeable).
+  [[nodiscard]] bool same_layout(const QuantileHistogram& other) const noexcept;
+
   /// q in [0,1]; returns an upper-edge estimate of the q-quantile.
   [[nodiscard]] double quantile(double q) const noexcept;
 

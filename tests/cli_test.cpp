@@ -84,6 +84,42 @@ TEST(Cli, UnknownSyntheticThrows) {
   EXPECT_THROW((void)run_cli(options), std::invalid_argument);
 }
 
+TEST(Cli, ParsesServeThreads) {
+  std::string error;
+  const auto options = parse({"--serve-threads", "4"}, error);
+  ASSERT_TRUE(options.has_value()) << error;
+  EXPECT_EQ(options->serve_threads, 4u);
+  EXPECT_EQ(parse({}, error)->serve_threads, 0u);  // default: classic path
+  EXPECT_NE(cli_usage().find("--serve-threads"), std::string::npos);
+}
+
+TEST(Cli, RejectsBadServeThreads) {
+  std::string error;
+  EXPECT_FALSE(parse({"--serve-threads"}, error).has_value());  // missing value
+  EXPECT_FALSE(parse({"--serve-threads", "0"}, error).has_value());
+  EXPECT_FALSE(parse({"--serve-threads", "abc"}, error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Cli, ServeThreadsRunIsDeterministicAcrossThreadCounts) {
+  CliOptions options;
+  options.policies = {"LRU"};
+  options.capacities_gb = {0.05};
+  options.synthetic = "cdn-a";
+  options.requests = 5'000;
+  options.serve_threads = 1;
+  const auto one = run_cli(options);
+  options.serve_threads = 2;
+  const auto two = run_cli(options);
+  ASSERT_EQ(one.size(), 1u);
+  ASSERT_EQ(two.size(), 1u);
+  EXPECT_EQ(one[0].metrics.requests, 5'000u);
+  // Shard-ownership partitioning: aggregates are thread-count-invariant.
+  EXPECT_EQ(one[0].metrics.hits, two[0].metrics.hits);
+  EXPECT_EQ(one[0].metrics.bytes_hit, two[0].metrics.bytes_hit);
+  EXPECT_LE(one[0].metrics.hits, one[0].metrics.requests);
+}
+
 TEST(Cli, CsvFormatHasHeaderAndRows) {
   CliOptions options;
   options.policies = {"LRU"};

@@ -1,0 +1,255 @@
+// Concurrent serving-path tests: replay_concurrent equivalence across
+// thread counts, AdmissionQueue drain/drop stress, ShardedCache
+// set_capacity + counter races. All tests here are meant to run (and stay
+// clean) under ThreadSanitizer — they are part of the CI TSan job.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "gen/cdn_model.hpp"
+#include "policies/lru.hpp"
+#include "server/admission_queue.hpp"
+#include "server/cdn_server.hpp"
+#include "server/sharded_cache.hpp"
+
+namespace lhr::server {
+namespace {
+
+constexpr std::size_t kShards = 16;
+
+std::unique_ptr<ShardedCache> make_sharded_lru(std::uint64_t capacity) {
+  return std::make_unique<ShardedCache>(kShards, capacity, [](std::uint64_t cap) {
+    return std::make_unique<policy::Lru>(cap);
+  });
+}
+
+trace::Trace test_trace() { return gen::make_trace(gen::TraceClass::kCdnA, 20'000, 7); }
+
+ServerConfig serve_config() {
+  ServerConfig cfg;
+  cfg.ram_bytes = 4 << 20;
+  return cfg;
+}
+
+void expect_same_aggregates(const ServerReport& base, const ServerReport& got,
+                            std::size_t threads) {
+  SCOPED_TRACE("threads=" + std::to_string(threads));
+  EXPECT_EQ(got.requests, base.requests);
+  EXPECT_EQ(got.hits, base.hits);
+  EXPECT_EQ(got.bytes_served, base.bytes_served);
+  EXPECT_EQ(got.wan_bytes, base.wan_bytes);
+  // Quantiles come from exact integer bucket merges, so they match too.
+  EXPECT_DOUBLE_EQ(got.p90_latency_ms, base.p90_latency_ms);
+  EXPECT_DOUBLE_EQ(got.p99_latency_ms, base.p99_latency_ms);
+  ASSERT_EQ(got.window_hit_ratio.size(), base.window_hit_ratio.size());
+  for (std::size_t w = 0; w < base.window_hit_ratio.size(); ++w) {
+    EXPECT_DOUBLE_EQ(got.window_hit_ratio[w], base.window_hit_ratio[w]) << "window " << w;
+  }
+}
+
+TEST(ConcurrentReplay, AggregatesMatchSingleThreadedReplay) {
+  const auto trace = test_trace();
+  const std::uint64_t capacity = 64ULL << 20;
+
+  CdnServer baseline(make_sharded_lru(capacity), serve_config());
+  const auto base = baseline.replay(trace, ReplayMode::kNormal, 2'000);
+  EXPECT_GT(base.hits, 0u);
+  EXPECT_GT(base.wan_bytes, 0u);
+
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    CdnServer server(make_sharded_lru(capacity), serve_config());
+    EXPECT_EQ(server.freshness_shard_count(), kShards);
+    const auto report = server.replay_concurrent(trace, ReplayMode::kNormal, threads, 2'000);
+    EXPECT_EQ(report.replay_threads, std::min<std::size_t>(threads, kShards));
+    expect_same_aggregates(base, report, threads);
+  }
+}
+
+TEST(ConcurrentReplay, DeterministicWithRevalidationActive) {
+  // Short TTL + a change probability exercises the per-shard revalidation
+  // RNG: coin flips must land identically for every worker count because
+  // each shard owns a private deterministic stream.
+  auto cfg = serve_config();
+  cfg.freshness_ttl_s = 50.0;
+  cfg.revalidate_change_prob = 0.3;
+  const auto trace = test_trace();
+  const std::uint64_t capacity = 64ULL << 20;
+
+  CdnServer baseline(make_sharded_lru(capacity), cfg);
+  const auto base = baseline.replay(trace, ReplayMode::kNormal, 2'000);
+
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    CdnServer server(make_sharded_lru(capacity), cfg);
+    const auto report = server.replay_concurrent(trace, ReplayMode::kNormal, threads, 2'000);
+    expect_same_aggregates(base, report, threads);
+  }
+}
+
+TEST(ConcurrentReplay, MaxModeMatchesToo) {
+  const auto trace = test_trace();
+  const std::uint64_t capacity = 32ULL << 20;
+
+  CdnServer baseline(make_sharded_lru(capacity), serve_config());
+  const auto base = baseline.replay(trace, ReplayMode::kMax);
+  CdnServer server(make_sharded_lru(capacity), serve_config());
+  const auto report = server.replay_concurrent(trace, ReplayMode::kMax, 4);
+  expect_same_aggregates(base, report, 4);
+  EXPECT_GT(report.throughput_gbps, 0.0);
+  EXPECT_GT(report.replay_wall_seconds, 0.0);
+}
+
+TEST(ConcurrentReplay, ReportObservabilityFields) {
+  const auto trace = test_trace();
+  CdnServer server(make_sharded_lru(32ULL << 20), serve_config());
+  const auto report = server.replay_concurrent(trace, ReplayMode::kNormal, 4);
+  EXPECT_EQ(report.requests, trace.size());
+  EXPECT_GT(report.peak_metadata_bytes, 0u);
+  // Shard ownership means the replay itself never contends the shard locks.
+  EXPECT_EQ(report.lock_contentions, 0u);
+  EXPECT_GT(report.byte_hit_ratio(), 0.0);
+  EXPECT_LT(report.byte_hit_ratio(), 1.0);
+}
+
+TEST(ConcurrentReplay, ThreadCountClampedToShardCount) {
+  const auto trace = test_trace();
+  CdnServer server(make_sharded_lru(32ULL << 20), serve_config());
+  const auto report = server.replay_concurrent(trace, ReplayMode::kNormal, 99);
+  EXPECT_EQ(report.replay_threads, kShards);
+}
+
+TEST(ConcurrentReplay, ThrowsOnUnshardedBackend) {
+  CdnServer server(std::make_unique<policy::Lru>(32ULL << 20), serve_config());
+  EXPECT_EQ(server.freshness_shard_count(), 1u);
+  EXPECT_THROW(server.replay_concurrent(test_trace(), ReplayMode::kNormal, 2),
+               std::invalid_argument);
+}
+
+TEST(ConcurrentReplay, StatePersistsAcrossCalls) {
+  // Second replay of the same trace starts warm: strictly more hits.
+  const auto trace = test_trace();
+  CdnServer server(make_sharded_lru(64ULL << 20), serve_config());
+  const auto cold = server.replay_concurrent(trace, ReplayMode::kNormal, 4);
+  const auto warm = server.replay_concurrent(trace, ReplayMode::kNormal, 4);
+  EXPECT_GT(warm.hits, cold.hits);
+}
+
+// ---------------------------------------------------------- AdmissionQueue
+
+TEST(AdmissionQueueStress, MultiProducerDrainAccountsForEveryRequest) {
+  std::atomic<std::uint64_t> admitted{0};
+  AdmissionQueue queue([&](const trace::Request&) {
+    admitted.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 5'000;
+  std::atomic<std::uint64_t> accepted{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        const trace::Request r{static_cast<double>(i), p * kPerProducer + i, 1'000};
+        if (queue.enqueue(r)) accepted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.drain();
+
+  EXPECT_EQ(accepted.load() + queue.dropped(), kProducers * kPerProducer);
+  EXPECT_EQ(queue.processed(), accepted.load());
+  EXPECT_EQ(admitted.load(), queue.processed());
+  EXPECT_GT(queue.max_depth_seen(), 0u);
+  EXPECT_LE(queue.max_depth_seen(), 4096u);
+}
+
+TEST(AdmissionQueueStress, SlowConsumerShedsAndRecordsHighWaterMark) {
+  // A tiny queue with a slow admit function must shed load rather than
+  // stall producers, and the high-water mark must pin at the cap.
+  AdmissionQueue queue(
+      [](const trace::Request&) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      },
+      /*max_depth=*/8);
+  for (std::size_t i = 0; i < 2'000; ++i) {
+    queue.enqueue({static_cast<double>(i), i, 1'000});
+  }
+  queue.drain();
+  EXPECT_GT(queue.dropped(), 0u);
+  EXPECT_EQ(queue.max_depth_seen(), 8u);
+  EXPECT_EQ(queue.processed() + queue.dropped(), 2'000u);
+}
+
+// ------------------------------------------------------------ ShardedCache
+
+TEST(ShardedCacheConcurrency, SetCapacityRacesWithAccessors) {
+  // TSan regression for the set_capacity data race: readers and writers
+  // hammer the cache while capacity is re-split repeatedly.
+  auto cache = make_sharded_lru(8ULL << 20);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < 3; ++t) {
+    workers.emplace_back([&, t] {
+      std::uint64_t key = t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        cache->access({0.0, key, 10'000});
+        key += 7;
+        (void)cache->used_bytes();
+        (void)cache->capacity_bytes();
+        (void)cache->metadata_bytes();
+      }
+    });
+  }
+  for (int round = 0; round < 200; ++round) {
+    cache->set_capacity((4ULL + static_cast<std::uint64_t>(round % 8)) << 20);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+
+  // Post-quiescence invariants: budgets sum to the stored capacity.
+  std::uint64_t shard_sum = 0;
+  for (std::size_t s = 0; s < cache->shard_count(); ++s) {
+    shard_sum += cache->shard_capacity_bytes(s);
+  }
+  EXPECT_EQ(shard_sum, cache->capacity_bytes());
+  EXPECT_LE(cache->used_bytes(), cache->capacity_bytes());
+}
+
+TEST(ShardedCacheConcurrency, ServingCountersSumToRequests) {
+  auto cache = make_sharded_lru(8ULL << 20);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 10'000;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        cache->access({0.0, (t * kPerThread + i) % 500, 10'000});
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto total = cache->total_stats();
+  EXPECT_EQ(total.accesses, kThreads * kPerThread);
+  EXPECT_LE(total.hits, total.accesses);
+  EXPECT_GT(total.hits, 0u);
+  EXPECT_EQ(total.lock_contentions, cache->lock_contentions());
+
+  std::uint64_t per_shard_sum = 0;
+  for (std::size_t s = 0; s < cache->shard_count(); ++s) {
+    per_shard_sum += cache->shard_stats(s).accesses;
+  }
+  EXPECT_EQ(per_shard_sum, total.accesses);
+}
+
+}  // namespace
+}  // namespace lhr::server

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <unordered_set>
 #include <vector>
 
@@ -252,6 +253,49 @@ TEST(QuantileHistogram, MeanIsExact) {
   hist.add(1.0);
   hist.add(3.0);
   EXPECT_DOUBLE_EQ(hist.mean(), 2.0);
+}
+
+TEST(QuantileHistogram, MergeEqualsCombinedAdds) {
+  // merge() is the reduction step of the concurrent server replay: the
+  // merged histogram must be bucket-for-bucket identical to adding every
+  // sample into one histogram, so quantiles match exactly.
+  QuantileHistogram combined(1e-3, 1e3, 128);
+  QuantileHistogram a(1e-3, 1e3, 128);
+  QuantileHistogram b(1e-3, 1e3, 128);
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = std::exp(rng.next_double() * 6.0 - 3.0);
+    combined.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  // Bucket counts are integers, so quantiles are exactly equal; the mean is
+  // a double sum whose addition order differs, so only near-equality holds.
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9 * combined.mean());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), combined.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileHistogram, MergeEmptyIsIdentity) {
+  QuantileHistogram a(1e-3, 1e3, 128);
+  a.add(2.0);
+  QuantileHistogram empty(1e-3, 1e3, 128);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(QuantileHistogram, MergeRejectsMismatchedLayout) {
+  QuantileHistogram a(1e-3, 1e3, 128);
+  QuantileHistogram buckets(1e-3, 1e3, 64);
+  QuantileHistogram range(1e-6, 1e3, 128);
+  EXPECT_FALSE(a.same_layout(buckets));
+  EXPECT_FALSE(a.same_layout(range));
+  EXPECT_THROW(a.merge(buckets), std::invalid_argument);
+  EXPECT_THROW(a.merge(range), std::invalid_argument);
+  EXPECT_TRUE(a.same_layout(a));
 }
 
 TEST(ExactPercentile, EdgeCases) {
