@@ -23,6 +23,7 @@
 #include "gen/cdn_model.hpp"
 #include "runner/runner.hpp"
 #include "runner/trace_cache.hpp"
+#include "server/cdn_server.hpp"
 #include "server/sharded_cache.hpp"
 #include "sim/engine.hpp"
 #include "trace/trace.hpp"
@@ -74,6 +75,55 @@ inline std::size_t serve_shards() {
     if (value >= 1) return static_cast<std::size_t>(value);
   }
   return 64;
+}
+
+/// LHR_ORIGIN_PROFILE: origin latency model + fetch policy for the serving
+/// path, parsed by server::parse_origin_profile (e.g.
+/// "lognormal:sigma=0.5,timeout=0.25,retries=3"). Empty = classic
+/// infallible fixed-latency origin, default output unchanged.
+inline std::string origin_profile_spec() {
+  const char* env = std::getenv("LHR_ORIGIN_PROFILE");
+  return env != nullptr ? env : "";
+}
+
+/// LHR_FAULT_SCHEDULE: deterministic origin fault episodes for the serving
+/// path, parsed by server::FaultSchedule::parse (e.g.
+/// "outage:100-160;error:200-400@0.5;slow:500-800@x4"). Empty = no faults.
+inline std::string fault_schedule_spec() {
+  const char* env = std::getenv("LHR_FAULT_SCHEDULE");
+  return env != nullptr ? env : "";
+}
+
+/// Applies LHR_ORIGIN_PROFILE / LHR_FAULT_SCHEDULE to a server config.
+/// Throws std::invalid_argument on a malformed spec (benches fail loudly
+/// rather than silently sweep the wrong scenario).
+inline void apply_resilience_env(server::ServerConfig& cfg) {
+  if (const std::string spec = origin_profile_spec(); !spec.empty()) {
+    const auto settings = server::parse_origin_profile(spec);
+    cfg.origin_profile = settings.profile;
+    cfg.fetch = settings.fetch;
+  }
+  if (const std::string spec = fault_schedule_spec(); !spec.empty()) {
+    cfg.fault_schedule = server::FaultSchedule::parse(spec);
+  }
+}
+
+/// Copies a report's origin-resilience counters into a runner result (the
+/// JSONL schema rows every serving bench emits).
+inline void set_resilience_stats(const server::ServerReport& report,
+                                 runner::Result& r) {
+  r.set("origin_fetches", static_cast<double>(report.origin_fetches));
+  r.set("origin_retries", static_cast<double>(report.origin_retries));
+  r.set("origin_timeouts", static_cast<double>(report.origin_timeouts));
+  r.set("origin_errors", static_cast<double>(report.origin_errors));
+  r.set("origin_hedges", static_cast<double>(report.origin_hedges));
+  r.set("hedge_cancels", static_cast<double>(report.hedge_cancels));
+  r.set("stale_serves", static_cast<double>(report.stale_serves));
+  r.set("failed_requests", static_cast<double>(report.failed_requests));
+  r.set("fetch_p50_ms", report.fetch_p50_ms);
+  r.set("fetch_p90_ms", report.fetch_p90_ms);
+  r.set("fetch_p99_ms", report.fetch_p99_ms);
+  r.set("fetch_avg_ms", report.fetch_avg_ms);
 }
 
 /// A ShardedCache whose shards are factory-built `policy_name` slices.

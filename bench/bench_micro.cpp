@@ -402,6 +402,96 @@ void run_serve_suite() {
               identical ? "yes" : "NO -- DETERMINISM BUG");
 }
 
+// ------------------------------------------------------- fault injection
+// The fault-injected serving suite: the same replay_concurrent sweep, but
+// against a lognormal origin with a built-in outage/error/slow schedule, a
+// short TTL (so revalidations flow through the faults) and a fetch policy
+// with timeout/retries/hedging. Every stochastic draw comes from per-shard
+// streams, so ALL aggregates — including retries, stale serves and 5xx
+// counts — must be identical at every thread count. CI greps the verdict
+// line.
+void run_fault_serve_suite() {
+  constexpr std::size_t kShards = 64;
+  const std::size_t n = micro_serve_requests();
+  const trace::Trace trace = gen::make_trace(gen::TraceClass::kCdnA, n, 42);
+  const auto capacity =
+      gen::headline_cache_size(gen::TraceClass::kCdnA, static_cast<double>(n) / 1e6);
+  const double duration = std::max(trace.duration(), 1.0);
+
+  std::vector<runner::Job> jobs;
+  for (const std::size_t threads : micro_serve_threads()) {
+    runner::Job job;
+    job.label = "serve-faults/threads=" + std::to_string(threads);
+    job.body = [&, threads](runner::Result& r) {
+      server::ServerConfig cfg;
+      cfg.ram_bytes = std::max<std::uint64_t>(capacity / 100, 1 << 20);
+      // Short TTL + grace spanning the trace: revalidations and
+      // serve-stale-on-error both exercise the fault windows.
+      cfg.freshness_ttl_s = duration / 10.0;
+      cfg.origin_profile.kind = server::OriginLatencyKind::kLognormal;
+      cfg.origin_profile.sigma = 0.5;
+      cfg.fetch.timeout_s = 0.25;
+      cfg.fetch.retry_budget = 3;
+      cfg.fetch.hedge_delay_s = 0.08;
+      cfg.fetch.stale_grace_s = duration;
+      cfg.fault_schedule = server::FaultSchedule(
+          {{server::FaultEpisode::Kind::kOutage, 0.10 * duration, 0.20 * duration, 1.0, 1.0},
+           {server::FaultEpisode::Kind::kError, 0.30 * duration, 0.50 * duration, 0.5, 1.0},
+           {server::FaultEpisode::Kind::kSlow, 0.60 * duration, 0.80 * duration, 1.0, 8.0}});
+      auto backend = std::make_unique<server::ShardedCache>(
+          kShards, capacity, [](std::uint64_t cap) {
+            return std::make_unique<policy::Lru>(cap);
+          });
+      server::CdnServer server(std::move(backend), cfg);
+      const auto report =
+          server.replay_concurrent(trace, server::ReplayMode::kMax, threads);
+      r.set("threads", static_cast<double>(report.replay_threads));
+      r.set("hits", static_cast<double>(report.hits));
+      r.set("bytes_served", static_cast<double>(report.bytes_served));
+      r.set("wan_bytes", static_cast<double>(report.wan_bytes));
+      r.set("origin_fetches", static_cast<double>(report.origin_fetches));
+      r.set("origin_retries", static_cast<double>(report.origin_retries));
+      r.set("origin_timeouts", static_cast<double>(report.origin_timeouts));
+      r.set("origin_errors", static_cast<double>(report.origin_errors));
+      r.set("origin_hedges", static_cast<double>(report.origin_hedges));
+      r.set("hedge_cancels", static_cast<double>(report.hedge_cancels));
+      r.set("stale_serves", static_cast<double>(report.stale_serves));
+      r.set("failed_requests", static_cast<double>(report.failed_requests));
+      r.set("p99_latency_ms", report.p99_latency_ms);
+      r.set("fetch_p99_ms", report.fetch_p99_ms);
+      r.set("replay_wall_seconds", report.replay_wall_seconds);
+    };
+    jobs.push_back(std::move(job));
+  }
+
+  runner::RunOptions options;
+  options.threads = 1;  // each job scales its own workers; don't stack pools
+  const auto results = runner::run_all(jobs, options);
+  runner::append_jsonl_if_configured(results);
+
+  std::printf("Fault-injected serving (lognormal origin, outage/error/slow schedule, "
+              "%zu requests, Sharded(LRU)x%zu):\n", n, kShards);
+  static const char* const kKeys[] = {
+      "hits",          "bytes_served",  "wan_bytes",      "origin_fetches",
+      "origin_retries", "origin_timeouts", "origin_errors", "origin_hedges",
+      "hedge_cancels", "stale_serves",  "failed_requests", "p99_latency_ms",
+      "fetch_p99_ms"};
+  bool identical = true;
+  for (const auto& r : results) {
+    std::printf("  %-24s hit %.0f, retries %.0f, timeouts %.0f, stale %.0f, "
+                "5xx %.0f, fetch-p99 %.1f ms (%.3f s)\n",
+                r.label.c_str(), r.stat("hits"), r.stat("origin_retries"),
+                r.stat("origin_timeouts"), r.stat("stale_serves"),
+                r.stat("failed_requests"), r.stat("fetch_p99_ms"),
+                r.stat("replay_wall_seconds"));
+    for (const char* key : kKeys) {
+      identical = identical && r.stat(key) == results.front().stat(key);
+    }
+  }
+  std::printf("  fault-injected aggregates identical across thread counts: %s\n",
+              identical ? "yes" : "NO -- DETERMINISM BUG");
+}
+
 // End-to-end cost of a policy sweep on the parallel runner: 8 LRU jobs over
 // a small cached trace, at 1 / 2 / 4 worker threads. The 1-thread run is the
 // serial baseline; the ratio is the sweep speedup bench/ binaries get.
@@ -449,6 +539,7 @@ BENCHMARK(BM_RunnerSweep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)
 int main(int argc, char** argv) {
   run_gbdt_suite();
   run_serve_suite();
+  run_fault_serve_suite();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -19,6 +19,7 @@ void report_to_result(const lhr::server::ServerReport& report, lhr::runner::Resu
   r.set("serve_threads", static_cast<double>(report.replay_threads));
   r.set("replay_wall_seconds", report.replay_wall_seconds);
   r.set("lock_contentions", static_cast<double>(report.lock_contentions));
+  lhr::bench::set_resilience_stats(report, r);
 }
 
 // LHR_SERVE_THREADS > 0 switches every replay onto the concurrent serving
@@ -35,6 +36,7 @@ lhr::runner::Job server_job(const std::string& policy, lhr::gen::TraceClass c,
     const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
     server::ServerConfig cfg;
     cfg.ram_bytes = std::max<std::uint64_t>(capacity / 100, 1 << 20);
+    bench::apply_resilience_env(cfg);
     const std::size_t threads = bench::serve_threads();
     if (threads > 0) {
       server::CdnServer server(

@@ -44,6 +44,7 @@ void run_serve_sweep(std::size_t serve_threads) {
           const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
           server::ServerConfig cfg;
           cfg.ram_bytes = std::max<std::uint64_t>(capacity / 100, 1 << 20);
+          bench::apply_resilience_env(cfg);
           server::CdnServer server(
               bench::make_sharded_policy(policy, bench::serve_shards(), capacity), cfg);
           const auto report = server.replay_concurrent(
@@ -59,6 +60,7 @@ void run_serve_sweep(std::size_t serve_threads) {
                     ? static_cast<double>(report.requests) / report.replay_wall_seconds
                     : 0.0);
           r.set("lock_contentions", static_cast<double>(report.lock_contentions));
+          bench::set_resilience_stats(report, r);
         };
         jobs.push_back(std::move(job));
       }
@@ -77,13 +79,29 @@ void run_serve_sweep(std::size_t serve_threads) {
     for (const auto& cell : cells) std::printf("%-12s", cell.c_str());
     std::printf("\n");
   };
-  row("Job", {"Hit(%)", "P90(ms)", "P99(ms)", "Req/s", "Wall(s)"});
+  // With LHR_ORIGIN_PROFILE / LHR_FAULT_SCHEDULE set, append the resilience
+  // columns; without them the classic table is printed unchanged.
+  const bool resilience =
+      !bench::origin_profile_spec().empty() || !bench::fault_schedule_spec().empty();
+  std::vector<std::string> header = {"Hit(%)", "P90(ms)", "P99(ms)", "Req/s", "Wall(s)"};
+  if (resilience) {
+    header.insert(header.end(),
+                  {"Retries", "Stale", "5xx", "FetchP99(ms)"});
+  }
+  row("Job", header);
   for (const auto& r : results) {
-    row(r.label, {bench::fmt(r.stat("content_hit_pct"), 2),
-                  bench::fmt(r.stat("p90_latency_ms"), 1),
-                  bench::fmt(r.stat("p99_latency_ms"), 1),
-                  bench::fmt(r.stat("requests_per_second"), 0),
-                  bench::fmt(r.stat("replay_wall_seconds"), 3)});
+    std::vector<std::string> cells = {bench::fmt(r.stat("content_hit_pct"), 2),
+                                      bench::fmt(r.stat("p90_latency_ms"), 1),
+                                      bench::fmt(r.stat("p99_latency_ms"), 1),
+                                      bench::fmt(r.stat("requests_per_second"), 0),
+                                      bench::fmt(r.stat("replay_wall_seconds"), 3)};
+    if (resilience) {
+      cells.push_back(bench::fmt(r.stat("origin_retries"), 0));
+      cells.push_back(bench::fmt(r.stat("stale_serves"), 0));
+      cells.push_back(bench::fmt(r.stat("failed_requests"), 0));
+      cells.push_back(bench::fmt(r.stat("fetch_p99_ms"), 1));
+    }
+    row(r.label, cells);
   }
 }
 

@@ -32,13 +32,22 @@ constexpr std::size_t kServeShards = 16;
 
 sim::SimMetrics serve_replay(const std::string& policy_name, std::uint64_t capacity,
                              const PolicyTuning& tuning, const trace::Trace& trace,
-                             std::size_t threads) {
+                             const CliOptions& options) {
+  const std::size_t threads = options.serve_threads;
   auto backend = std::make_unique<server::ShardedCache>(
       kServeShards, capacity, [&](std::uint64_t cap) {
         return make_policy(policy_name, cap, tuning);
       });
   server::ServerConfig cfg;
   cfg.ram_bytes = std::max<std::uint64_t>(capacity / 100, 1ULL << 20);
+  if (!options.origin_profile.empty()) {
+    const auto settings = server::parse_origin_profile(options.origin_profile);
+    cfg.origin_profile = settings.profile;
+    cfg.fetch = settings.fetch;
+  }
+  if (!options.fault_schedule.empty()) {
+    cfg.fault_schedule = server::FaultSchedule::parse(options.fault_schedule);
+  }
   server::CdnServer server(std::move(backend), cfg);
   const auto report =
       server.replay_concurrent(trace, server::ReplayMode::kNormal, threads);
@@ -71,6 +80,12 @@ std::string cli_usage() {
       "  --serve-threads N    replay through the concurrent CdnServer serving path\n"
       "                       (16-shard ShardedCache backend) with N worker threads;\n"
       "                       hit ratios are identical for every N\n"
+      "  --origin-profile S   serving-path origin latency model + fetch policy, e.g.\n"
+      "                       lognormal:sigma=0.5,timeout=0.25,retries=3,hedge=0.08\n"
+      "                       (requires --serve-threads)\n"
+      "  --fault-schedule S   deterministic origin fault episodes, e.g.\n"
+      "                       'outage:100-160;error:200-400@0.5;slow:500-800@x4'\n"
+      "                       (requires --serve-threads)\n"
       "  --csv                machine-readable output\n"
       "  --help               this text\n";
 }
@@ -164,10 +179,40 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
         error = "--serve-threads must be positive";
         return std::nullopt;
       }
+    } else if (arg == "--origin-profile") {
+      const char* v = need_value(i, arg);
+      if (!v) return std::nullopt;
+      options.origin_profile = v;
+    } else if (arg == "--fault-schedule") {
+      const char* v = need_value(i, arg);
+      if (!v) return std::nullopt;
+      options.fault_schedule = v;
     } else if (arg == "--async-train") {
       options.async_train = true;
     } else {
       error = "unknown option: " + arg;
+      return std::nullopt;
+    }
+  }
+  if ((!options.origin_profile.empty() || !options.fault_schedule.empty()) &&
+      options.serve_threads == 0) {
+    error = "--origin-profile/--fault-schedule require --serve-threads";
+    return std::nullopt;
+  }
+  // Fail on malformed specs at parse time, not mid-run.
+  if (!options.origin_profile.empty()) {
+    try {
+      (void)server::parse_origin_profile(options.origin_profile);
+    } catch (const std::exception& e) {
+      error = e.what();
+      return std::nullopt;
+    }
+  }
+  if (!options.fault_schedule.empty()) {
+    try {
+      (void)server::FaultSchedule::parse(options.fault_schedule);
+    } catch (const std::exception& e) {
+      error = e.what();
       return std::nullopt;
     }
   }
@@ -211,8 +256,7 @@ std::vector<CliRunResult> run_cli(const CliOptions& options) {
       result.policy = policy_name;
       result.capacity_gb = gb;
       if (options.serve_threads > 0) {
-        result.metrics =
-            serve_replay(policy_name, capacity, tuning, trace, options.serve_threads);
+        result.metrics = serve_replay(policy_name, capacity, tuning, trace, options);
       } else {
         auto policy = make_policy(policy_name, capacity, tuning);  // throws on typo
         result.metrics = sim::simulate(*policy, trace, sim_options);

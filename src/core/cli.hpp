@@ -30,6 +30,14 @@ struct CliOptions {
   /// path (a ShardedCache backend over the named policy) with N workers
   /// instead of the single-threaded simulator. 0 = plain sim::simulate.
   std::size_t serve_threads = 0;
+  /// --origin-profile SPEC: origin latency model + fetch policy for the
+  /// serving path, e.g. "lognormal:sigma=0.5,timeout=0.25,retries=3"
+  /// (see server::parse_origin_profile). Requires --serve-threads.
+  std::string origin_profile;
+  /// --fault-schedule SPEC: deterministic origin fault episodes, e.g.
+  /// "outage:100-160;error:200-400@0.5;slow:500-800@x4" (see
+  /// server::FaultSchedule::parse). Requires --serve-threads.
+  std::string fault_schedule;
 };
 
 /// Parses argv. Returns std::nullopt and fills `error` on bad input;

@@ -25,10 +25,14 @@ bool AdmissionQueue::enqueue(const trace::Request& r) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (queue_.size() >= max_depth_) {
-      ++dropped_;
-      return false;  // shed load instead of stalling the request path
+      // Shed load instead of stalling the request path. Count each shed
+      // admission once: a retry re-enqueueing a key we already dropped is
+      // the same admission, not a new one.
+      if (dropped_keys_.insert(r.key).second) ++dropped_;
+      return false;
     }
     queue_.push_back(r);
+    dropped_keys_.erase(r.key);  // the admission made it in after all
     max_depth_seen_ = std::max(max_depth_seen_, queue_.size());
   }
   work_available_.notify_one();

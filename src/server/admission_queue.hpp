@@ -16,6 +16,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 
 #include "trace/request.hpp"
 
@@ -41,6 +42,10 @@ class AdmissionQueue {
   /// Blocks until every admission enqueued so far has been applied.
   void drain();
 
+  /// Distinct admissions shed so far. A retry that re-enqueues a key whose
+  /// admission was already dropped (the origin fetch path re-enqueues on
+  /// retry) is the *same* shed admission and is counted once; once the key
+  /// makes it into the queue, a later drop of it counts anew.
   [[nodiscard]] std::size_t dropped() const;
   [[nodiscard]] std::size_t processed() const;
 
@@ -60,6 +65,9 @@ class AdmissionQueue {
   std::condition_variable work_available_;
   std::condition_variable drained_;
   std::deque<trace::Request> queue_;
+  /// Keys whose most recent enqueue was shed; membership keeps a retried
+  /// re-enqueue of the same key from double-counting in dropped_.
+  std::unordered_set<trace::Key> dropped_keys_;
   std::size_t dropped_ = 0;
   std::size_t processed_ = 0;
   std::size_t max_depth_seen_ = 0;

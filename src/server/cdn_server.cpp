@@ -32,7 +32,8 @@ CdnServer::CdnServer(std::unique_ptr<sim::CachePolicy> main_policy,
                      const ServerConfig& config)
     : config_(config),
       main_(std::move(main_policy)),
-      sharded_(dynamic_cast<ShardedCache*>(main_.get())) {
+      sharded_(dynamic_cast<ShardedCache*>(main_.get())),
+      fetch_policy_(config.fetch) {
   const double rounded =
       std::round(config.revalidate_change_prob * static_cast<double>(kRevalidateScale));
   revalidate_threshold_ = static_cast<std::uint64_t>(
@@ -47,6 +48,12 @@ CdnServer::CdnServer(std::unique_ptr<sim::CachePolicy> main_policy,
     fresh_.push_back(std::make_unique<FreshnessShard>(
         ram_per_shard + (i < ram_remainder ? 1 : 0), util::splitmix64(seed_state)));
   }
+  // One origin draw stream per freshness shard: the shard-ownership
+  // discipline that makes the revalidation RNG lock-free covers the origin's
+  // latency/error/jitter draws too, so fault-injected replays stay
+  // byte-identical at any thread count.
+  origin_ = std::make_unique<Origin>(config.origin_profile, config.origin_rtt_s,
+                                     config.origin_gbps, config.fault_schedule, shards);
 }
 
 std::size_t CdnServer::freshness_shard_of(trace::Key key) const {
@@ -54,7 +61,9 @@ std::size_t CdnServer::freshness_shard_of(trace::Key key) const {
 }
 
 CdnServer::RequestOutcome CdnServer::process(const trace::Request& r,
-                                             FreshnessShard& fs) {
+                                             std::size_t shard_idx,
+                                             ReplayAccumulator& acc) {
+  FreshnessShard& fs = *fresh_[shard_idx];
   RequestOutcome out;
 
   // Step 1: index lookup. The policy's real compute time is the CPU cost of
@@ -67,29 +76,38 @@ CdnServer::RequestOutcome CdnServer::process(const trace::Request& r,
               std::chrono::duration<double>(std::chrono::steady_clock::now() - cpu0).count();
 
   const double client_time = transfer_seconds(r.size, config_.client_gbps);
-  out.client_s = client_time;
 
-  bool effective_hit = ram_hit || main_hit;
+  const bool effective_hit = ram_hit || main_hit;
   bool refetch = false;
 
-  if (effective_hit) {
-    // Step 2: freshness check.
-    const auto adm = fs.admitted_at.find(r.key);
-    const bool stale =
-        adm == fs.admitted_at.end() || (r.time - adm->second) > config_.freshness_ttl_s;
-    if (stale) {
-      out.user_latency_s += config_.origin_rtt_s;  // revalidation round trip
-      if (fs.rng.next_below(kRevalidateScale) < revalidate_threshold_) {
-        refetch = true;  // content changed at the origin
-      } else if (adm != fs.admitted_at.end()) {
-        adm->second = r.time;  // revalidated: freshness clock restarts
-      } else {
-        fs.admitted_at[r.key] = r.time;
-      }
-    }
-  }
+  // One logical origin fetch (miss, revalidation, or refetch) through the
+  // retry/backoff/hedge policy, accounted into this worker's accumulator.
+  const auto do_fetch = [&](std::uint64_t bytes) {
+    const FetchOutcome f = fetch_policy_.fetch(*origin_, shard_idx, r.time, bytes);
+    ++acc.origin_fetches;
+    acc.origin_retries += f.retries;
+    acc.origin_timeouts += f.timeouts;
+    acc.origin_errors += f.errors;
+    acc.origin_hedges += f.hedges;
+    acc.hedge_cancels += f.hedge_cancels;
+    acc.fetch_latency.add(f.latency_s);
+    out.origin_s += f.origin_busy_s;
+    out.user_latency_s += f.latency_s;
+    return f.ok;
+  };
 
-  if (effective_hit && !refetch) {
+  const auto adm = fs.admitted_at.find(r.key);
+  const bool have_clock = adm != fs.admitted_at.end();
+
+  // A stale cached copy may be served when the origin fails, as long as its
+  // age is still inside the TTL + grace window (serve-stale-on-error).
+  const auto stale_serveable = [&] {
+    return effective_hit && have_clock &&
+           (r.time - adm->second) <=
+               config_.freshness_ttl_s + fetch_policy_.config().stale_grace_s;
+  };
+
+  const auto serve_from_cache = [&] {
     if (ram_hit || !config_.has_disk_tier) {
       out.user_latency_s += transfer_seconds(r.size, config_.ram_gbps) + client_time;
     } else {
@@ -99,14 +117,43 @@ CdnServer::RequestOutcome CdnServer::process(const trace::Request& r,
       out.disk_s += disk_time;
       out.user_latency_s += disk_time + client_time;
     }
+    out.client_s = client_time;
     out.hit = true;
-  } else {
+  };
+
+  if (effective_hit) {
+    // Step 2: freshness check.
+    const bool stale =
+        !have_clock || (r.time - adm->second) > config_.freshness_ttl_s;
+    if (stale) {
+      // Revalidation round trip (conditional GET, no body).
+      if (!do_fetch(0)) {
+        if (stale_serveable()) {
+          serve_from_cache();
+          out.stale_serve = true;  // degraded: freshness clock not restarted
+        } else {
+          out.failed = true;
+        }
+        out.user_latency_s += out.cpu_s;
+        return out;
+      }
+      if (fs.rng.next_below(kRevalidateScale) < revalidate_threshold_) {
+        refetch = true;  // content changed at the origin
+      } else if (have_clock) {
+        adm->second = r.time;  // revalidated: freshness clock restarts
+      } else {
+        fs.admitted_at[r.key] = r.time;
+      }
+    }
+  }
+
+  if (effective_hit && !refetch) {
+    serve_from_cache();
+  } else if (do_fetch(r.size)) {
     // Step 3 (or stale-changed refetch): origin fetch, serve, admit.
-    const double origin_time =
-        config_.origin_rtt_s + transfer_seconds(r.size, config_.origin_gbps);
-    out.origin_s += origin_time;
     out.wan_bytes = r.size;
-    out.user_latency_s += origin_time + client_time;
+    out.user_latency_s += client_time;
+    out.client_s = client_time;
     out.hit = effective_hit;  // a stale-but-unchanged hit still counts above
     // Sequential write into the flash layer — asynchronous, so it adds
     // disk busy time but not user latency.
@@ -114,6 +161,13 @@ CdnServer::RequestOutcome CdnServer::process(const trace::Request& r,
       out.disk_s += transfer_seconds(r.size, config_.disk_write_gbps);
     }
     fs.admitted_at[r.key] = r.time;
+  } else if (refetch && stale_serveable()) {
+    // Changed at the origin but unfetchable: the old copy is still within
+    // the grace window, so degrade to serving it.
+    serve_from_cache();
+    out.stale_serve = true;
+  } else {
+    out.failed = true;  // 5xx: retry budget exhausted, nothing serveable
   }
   out.user_latency_s += out.cpu_s;
   return out;
@@ -121,6 +175,15 @@ CdnServer::RequestOutcome CdnServer::process(const trace::Request& r,
 
 void CdnServer::ReplayAccumulator::merge(const ReplayAccumulator& other) {
   latency.merge(other.latency);
+  fetch_latency.merge(other.fetch_latency);
+  origin_fetches += other.origin_fetches;
+  origin_retries += other.origin_retries;
+  origin_timeouts += other.origin_timeouts;
+  origin_errors += other.origin_errors;
+  origin_hedges += other.origin_hedges;
+  hedge_cancels += other.hedge_cancels;
+  stale_serves += other.stale_serves;
+  failures += other.failures;
   cpu_busy += other.cpu_busy;
   disk_busy += other.disk_busy;
   origin_busy += other.origin_busy;
@@ -169,14 +232,16 @@ void CdnServer::replay_partition(const trace::Trace& trace, std::size_t worker,
     const std::size_t shard = freshness_shard_of(r.key);
     if (shard % n_workers != worker) continue;
 
-    const RequestOutcome out = process(r, *fresh_[shard]);
+    const RequestOutcome out = process(r, shard, acc);
     acc.latency.add(out.user_latency_s);
     acc.cpu_busy += out.cpu_s;
     acc.disk_busy += out.disk_s;
     acc.origin_busy += out.origin_s;
     acc.client_busy += out.client_s;
-    acc.bytes_served += r.size;
+    if (!out.failed) acc.bytes_served += r.size;  // a 5xx serves no content
     acc.wan_bytes += out.wan_bytes;
+    acc.stale_serves += static_cast<std::uint64_t>(out.stale_serve);
+    acc.failures += static_cast<std::uint64_t>(out.failed);
     ++acc.requests;
     if (n_windows > 0) {
       ++acc.window_counts[i / window_requests];
@@ -203,6 +268,20 @@ ServerReport CdnServer::finalize(const trace::Trace& trace, ReplayMode mode,
   report.replay_threads = threads;
   if (sharded_ != nullptr) {
     report.lock_contentions = sharded_->lock_contentions() - contentions_before;
+  }
+  report.origin_fetches = total.origin_fetches;
+  report.origin_retries = total.origin_retries;
+  report.origin_timeouts = total.origin_timeouts;
+  report.origin_errors = total.origin_errors;
+  report.origin_hedges = total.origin_hedges;
+  report.hedge_cancels = total.hedge_cancels;
+  report.stale_serves = total.stale_serves;
+  report.failed_requests = total.failures;
+  if (total.fetch_latency.count() > 0) {
+    report.fetch_p50_ms = total.fetch_latency.quantile(0.50) * 1e3;
+    report.fetch_p90_ms = total.fetch_latency.quantile(0.90) * 1e3;
+    report.fetch_p99_ms = total.fetch_latency.quantile(0.99) * 1e3;
+    report.fetch_avg_ms = total.fetch_latency.mean() * 1e3;
   }
 
   for (std::size_t w = 0; w < total.window_counts.size(); ++w) {

@@ -7,6 +7,15 @@
 //           against the origin (extra RTT) and possibly re-fetched;
 //   Step 3  miss: fetch from origin, serve the user, admit into the cache.
 //
+// Every miss and revalidation goes through the origin resilience layer
+// (origin.hpp): a simulated Origin with configurable latency models and a
+// deterministic FaultSchedule, fronted by a FetchPolicy with timeout,
+// capped exponential backoff, a bounded retry budget and optional hedging.
+// When the origin fails, a stale cached copy within the TTL grace window is
+// served (stale_serves); otherwise the request returns a 5xx
+// (failed_requests). The defaults reproduce the classic infallible origin
+// byte-for-byte.
+//
 // The disk tier emulates the flash abstraction layer the paper describes
 // ("reading offsets randomly and writing sequentially"): reads pay a seek,
 // writes are sequential-bandwidth-bound and asynchronous (they consume disk
@@ -39,6 +48,7 @@
 #include <vector>
 
 #include "policies/lru.hpp"
+#include "server/origin.hpp"
 #include "sim/cache_policy.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
@@ -67,6 +77,14 @@ struct ServerConfig {
   double cpu_per_byte_s = 0.4e-9;         ///< per-byte copy/checksum cost (~1 cycle/B)
   int cpu_cores = 6;                       ///< matches the paper's i5-10400HQ class
   std::uint64_t seed = 11;
+
+  // Origin resilience layer (see origin.hpp). The defaults — fixed latency
+  // model, no fault schedule, timeouts disabled — reproduce the classic
+  // infallible origin byte-for-byte; origin_rtt_s/origin_gbps above remain
+  // the base numbers unless the profile overrides them.
+  OriginProfile origin_profile;   ///< latency shape + per-shard draw-stream seed
+  FetchPolicyConfig fetch;        ///< timeout/retry/backoff/hedge/grace knobs
+  FaultSchedule fault_schedule;   ///< empty = fault-free origin
 };
 
 enum class ReplayMode {
@@ -92,7 +110,7 @@ struct ServerReport {
   // replay thread counts) plus serving observability.
   std::uint64_t requests = 0;
   std::uint64_t hits = 0;
-  std::uint64_t bytes_served = 0;       ///< client-side bytes (= requested)
+  std::uint64_t bytes_served = 0;       ///< client-side bytes served (5xx excluded)
   std::uint64_t wan_bytes = 0;          ///< origin-side (miss + refetch) bytes
   std::uint64_t peak_metadata_bytes = 0;
   double replay_wall_seconds = 0.0;     ///< real wall-clock of this replay call
@@ -101,6 +119,24 @@ struct ServerReport {
   /// replay (0 for unsharded backends; 0 under replay_concurrent's
   /// shard-ownership partition unless the backend is shared externally).
   std::uint64_t lock_contentions = 0;
+
+  // Origin resilience counters — integer sums, identical across replay
+  // thread counts like the aggregates above. `origin_fetches` counts
+  // logical fetches (misses, revalidations, refetches); retries/timeouts/
+  // errors/hedges count individual attempts inside them.
+  std::uint64_t origin_fetches = 0;
+  std::uint64_t origin_retries = 0;
+  std::uint64_t origin_timeouts = 0;
+  std::uint64_t origin_errors = 0;       ///< 5xx + refused-connection attempts
+  std::uint64_t origin_hedges = 0;       ///< hedged second requests issued
+  std::uint64_t hedge_cancels = 0;       ///< hedge losers cancelled in flight
+  std::uint64_t stale_serves = 0;        ///< stale copies served on origin error
+  std::uint64_t failed_requests = 0;     ///< 5xx returned to the client
+  // Per-fetch latency distribution (0 when the replay made no fetches).
+  double fetch_p50_ms = 0.0;
+  double fetch_p90_ms = 0.0;
+  double fetch_p99_ms = 0.0;
+  double fetch_avg_ms = 0.0;
 
   [[nodiscard]] double byte_hit_ratio() const {
     return bytes_served > 0
@@ -141,9 +177,14 @@ class CdnServer {
   /// Number of freshness/RAM/RNG slices (= backend shard count, or 1).
   [[nodiscard]] std::size_t freshness_shard_count() const { return fresh_.size(); }
 
+  /// The simulated origin behind this server (exposed for tests).
+  [[nodiscard]] const Origin& origin() const { return *origin_; }
+
  private:
   struct RequestOutcome {
     bool hit = false;
+    bool stale_serve = false;  ///< stale copy served because the origin failed
+    bool failed = false;       ///< 5xx: origin failed and no serveable copy
     double user_latency_s = 0.0;
     double cpu_s = 0.0;
     double disk_s = 0.0;
@@ -167,15 +208,23 @@ class CdnServer {
   /// Per-worker replay accumulator, reduced in worker-index order.
   struct ReplayAccumulator {
     util::QuantileHistogram latency{1e-6, 1e4, 128};
+    util::QuantileHistogram fetch_latency{1e-6, 1e4, 128};
     double cpu_busy = 0.0, disk_busy = 0.0, origin_busy = 0.0, client_busy = 0.0;
     std::uint64_t bytes_served = 0, wan_bytes = 0, hits = 0, requests = 0;
     std::uint64_t peak_meta = 0;
+    std::uint64_t origin_fetches = 0, origin_retries = 0, origin_timeouts = 0,
+                  origin_errors = 0, origin_hedges = 0, hedge_cancels = 0,
+                  stale_serves = 0, failures = 0;
     std::vector<std::uint64_t> window_hits, window_counts;
 
     void merge(const ReplayAccumulator& other);
   };
 
-  RequestOutcome process(const trace::Request& r, FreshnessShard& shard);
+  /// Processes one request against shard `shard_idx`. Origin fetch counters
+  /// and per-fetch latencies go straight into `acc` (a request can make up
+  /// to two logical fetches: revalidation then refetch).
+  RequestOutcome process(const trace::Request& r, std::size_t shard_idx,
+                         ReplayAccumulator& acc);
 
   [[nodiscard]] std::size_t freshness_shard_of(trace::Key key) const;
 
@@ -198,6 +247,8 @@ class CdnServer {
   ShardedCache* sharded_ = nullptr;  ///< main_ downcast, null if unsharded
   std::uint64_t revalidate_threshold_ = 0;  ///< of kRevalidateScale
   std::vector<std::unique_ptr<FreshnessShard>> fresh_;
+  std::unique_ptr<Origin> origin_;  ///< one draw stream per freshness shard
+  FetchPolicy fetch_policy_;
 };
 
 }  // namespace lhr::server

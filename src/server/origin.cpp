@@ -1,0 +1,357 @@
+#include "server/origin.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace lhr::server {
+
+namespace {
+
+double transfer_seconds(std::uint64_t bytes, double gbps) {
+  return static_cast<double>(bytes) * 8.0 / (gbps * 1e9);
+}
+
+double parse_number(const std::string& text, const std::string& what) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument("trailing junk");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad " + what + ": '" + text + "'");
+  }
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, sep)) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Standard normal via Box-Muller; always consumes exactly two draws.
+double standard_normal(util::Xoshiro256& rng) {
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  // Nudge u1 away from 0 so the log is finite.
+  const double u1 = std::max(rng.next_double(), 1e-300);
+  const double u2 = rng.next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ OriginSettings
+
+OriginSettings parse_origin_profile(const std::string& spec) {
+  OriginSettings settings;
+  if (spec.empty()) return settings;
+
+  const std::size_t colon = spec.find(':');
+  const std::string head = spec.substr(0, colon);
+  if (head == "fixed") {
+    settings.profile.kind = OriginLatencyKind::kFixed;
+  } else if (head == "lognormal") {
+    settings.profile.kind = OriginLatencyKind::kLognormal;
+  } else {
+    throw std::invalid_argument("origin profile must start with 'fixed' or 'lognormal', got '" +
+                                head + "'");
+  }
+
+  if (colon == std::string::npos) return settings;
+  for (const auto& pair : split(spec.substr(colon + 1), ',')) {
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("origin profile expects key=value pairs, got '" + pair + "'");
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    if (key == "sigma") {
+      settings.profile.sigma = parse_number(value, "sigma");
+      if (settings.profile.sigma < 0.0) throw std::invalid_argument("sigma must be >= 0");
+    } else if (key == "rtt") {
+      settings.profile.rtt_s = parse_number(value, "rtt");
+    } else if (key == "gbps") {
+      settings.profile.gbps = parse_number(value, "gbps");
+    } else if (key == "seed") {
+      settings.profile.seed = static_cast<std::uint64_t>(parse_number(value, "seed"));
+    } else if (key == "timeout") {
+      settings.fetch.timeout_s = parse_number(value, "timeout");
+    } else if (key == "retries") {
+      const double n = parse_number(value, "retries");
+      if (n < 0.0) throw std::invalid_argument("retries must be >= 0");
+      settings.fetch.retry_budget = static_cast<std::size_t>(n);
+    } else if (key == "backoff") {
+      settings.fetch.backoff_base_s = parse_number(value, "backoff");
+    } else if (key == "cap") {
+      settings.fetch.backoff_cap_s = parse_number(value, "cap");
+    } else if (key == "jitter") {
+      settings.fetch.backoff_jitter = parse_number(value, "jitter");
+      if (settings.fetch.backoff_jitter < 0.0 || settings.fetch.backoff_jitter > 1.0) {
+        throw std::invalid_argument("jitter must be in [0, 1]");
+      }
+    } else if (key == "hedge") {
+      settings.fetch.hedge_delay_s = parse_number(value, "hedge");
+    } else if (key == "grace") {
+      settings.fetch.stale_grace_s = parse_number(value, "grace");
+    } else {
+      throw std::invalid_argument("unknown origin profile key: '" + key + "'");
+    }
+  }
+  return settings;
+}
+
+// ------------------------------------------------------------ FaultSchedule
+
+FaultSchedule::FaultSchedule(std::vector<FaultEpisode> episodes)
+    : episodes_(std::move(episodes)) {
+  for (const auto& e : episodes_) {
+    if (e.start_s < 0.0 || e.end_s <= e.start_s) {
+      throw std::invalid_argument("fault episode needs 0 <= start < end");
+    }
+    if (e.error_prob < 0.0 || e.error_prob > 1.0) {
+      throw std::invalid_argument("fault episode error probability must be in [0, 1]");
+    }
+    if (e.slow_factor <= 0.0) {
+      throw std::invalid_argument("fault episode slow factor must be > 0");
+    }
+  }
+}
+
+FaultSchedule FaultSchedule::parse(const std::string& spec) {
+  std::vector<FaultEpisode> episodes;
+  for (const auto& clause : split(spec, ';')) {
+    const std::size_t colon = clause.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("fault clause needs 'kind:start-end', got '" + clause + "'");
+    }
+    FaultEpisode episode;
+    const std::string kind = clause.substr(0, colon);
+    if (kind == "outage") {
+      episode.kind = FaultEpisode::Kind::kOutage;
+    } else if (kind == "error") {
+      episode.kind = FaultEpisode::Kind::kError;
+    } else if (kind == "slow") {
+      episode.kind = FaultEpisode::Kind::kSlow;
+    } else {
+      throw std::invalid_argument("fault kind must be outage|error|slow, got '" + kind + "'");
+    }
+
+    std::string window = clause.substr(colon + 1);
+    const std::size_t at = window.find('@');
+    std::string arg;
+    if (at != std::string::npos) {
+      arg = window.substr(at + 1);
+      window = window.substr(0, at);
+    }
+    const std::size_t dash = window.find('-');
+    if (dash == std::string::npos) {
+      throw std::invalid_argument("fault window needs 'start-end', got '" + window + "'");
+    }
+    episode.start_s = parse_number(window.substr(0, dash), "fault window start");
+    episode.end_s = parse_number(window.substr(dash + 1), "fault window end");
+
+    if (!arg.empty()) {
+      if (episode.kind == FaultEpisode::Kind::kError) {
+        episode.error_prob = parse_number(arg, "error probability");
+      } else if (episode.kind == FaultEpisode::Kind::kSlow) {
+        // Accept both "@x4" and "@4".
+        episode.slow_factor =
+            parse_number(arg.front() == 'x' ? arg.substr(1) : arg, "slow factor");
+      } else {
+        throw std::invalid_argument("outage episodes take no '@' argument");
+      }
+    }
+    episodes.push_back(episode);
+  }
+  return FaultSchedule(std::move(episodes));
+}
+
+bool FaultSchedule::in_outage(double t) const noexcept {
+  for (const auto& e : episodes_) {
+    if (e.kind == FaultEpisode::Kind::kOutage && t >= e.start_s && t < e.end_s) return true;
+  }
+  return false;
+}
+
+double FaultSchedule::error_prob(double t) const noexcept {
+  double p = 0.0;
+  for (const auto& e : episodes_) {
+    if (e.kind == FaultEpisode::Kind::kError && t >= e.start_s && t < e.end_s) {
+      p = std::max(p, e.error_prob);
+    }
+  }
+  return p;
+}
+
+double FaultSchedule::slow_factor(double t) const noexcept {
+  double factor = 1.0;
+  for (const auto& e : episodes_) {
+    if (e.kind == FaultEpisode::Kind::kSlow && t >= e.start_s && t < e.end_s) {
+      factor *= e.slow_factor;
+    }
+  }
+  return factor;
+}
+
+// -------------------------------------------------------------------- Origin
+
+Origin::Origin(const OriginProfile& profile, double rtt_s, double gbps,
+               FaultSchedule schedule, std::size_t streams)
+    : profile_(profile),
+      rtt_s_(profile.rtt_s >= 0.0 ? profile.rtt_s : rtt_s),
+      gbps_(profile.gbps > 0.0 ? profile.gbps : gbps),
+      schedule_(std::move(schedule)) {
+  if (streams == 0) throw std::invalid_argument("Origin: need at least one stream");
+  if (rtt_s_ < 0.0 || gbps_ <= 0.0) {
+    throw std::invalid_argument("Origin: rtt must be >= 0 and bandwidth > 0");
+  }
+  streams_.resize(streams);
+  std::uint64_t seed_state = profile_.seed;
+  for (auto& stream : streams_) {
+    stream.rng = util::Xoshiro256(util::splitmix64(seed_state));
+  }
+}
+
+OriginAttempt Origin::attempt(std::size_t stream, double now, std::uint64_t bytes,
+                              double timeout_s) {
+  OriginAttempt out;
+  util::Xoshiro256& rng = streams_[stream].rng;
+
+  if (schedule_.in_outage(now)) {
+    // Connection refused: one RTT to learn the origin is down. No RNG draw,
+    // so an outage window does not shift the stream for later requests.
+    out.latency_s = timeout_s > 0.0 ? std::min(rtt_s_, timeout_s) : rtt_s_;
+    out.timed_out = false;
+    return out;  // ok = false
+  }
+
+  double latency = rtt_s_ + transfer_seconds(bytes, gbps_);
+  if (profile_.kind == OriginLatencyKind::kLognormal && profile_.sigma > 0.0) {
+    // Mean-preserving multiplier: E[exp(sigma z - sigma^2/2)] = 1, so the
+    // lognormal profile reshapes the tail without moving the average.
+    const double z = standard_normal(rng);
+    latency *= std::exp(profile_.sigma * z - 0.5 * profile_.sigma * profile_.sigma);
+  }
+  latency *= schedule_.slow_factor(now);
+
+  bool errored = false;
+  const double p = schedule_.error_prob(now);
+  if (p > 0.0) errored = rng.next_double() < p;
+
+  if (timeout_s > 0.0 && latency > timeout_s) {
+    out.timed_out = true;
+    out.latency_s = timeout_s;
+    return out;  // ok = false
+  }
+  out.latency_s = latency;
+  out.ok = !errored;
+  return out;
+}
+
+// --------------------------------------------------------------- FetchPolicy
+
+FetchOutcome FetchPolicy::fetch(Origin& origin, std::size_t stream, double now,
+                                std::uint64_t bytes) const {
+  FetchOutcome out;
+  const auto count_failure = [&out](const OriginAttempt& a) {
+    if (a.timed_out) {
+      ++out.timeouts;
+    } else {
+      ++out.errors;
+    }
+  };
+
+  double elapsed = 0.0;  // simulated seconds since the fetch was issued
+  const std::size_t rounds = 1 + config_.retry_budget;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    if (round > 0) {
+      ++out.retries;
+      double delay = std::min(config_.backoff_cap_s,
+                              config_.backoff_base_s * std::pow(2.0, static_cast<double>(round - 1)));
+      if (config_.backoff_jitter > 0.0) {
+        // Deterministic jitter: scale into [1-j, 1] with a draw from the
+        // shard's stream (the same stream the attempts draw from, so the
+        // whole per-shard sequence is reproducible).
+        delay *= (1.0 - config_.backoff_jitter) +
+                 config_.backoff_jitter * origin.stream_rng(stream).next_double();
+      }
+      out.backoffs.push_back(delay);
+      elapsed += delay;
+    }
+
+    const OriginAttempt primary = origin.attempt(stream, now + elapsed, bytes,
+                                                 config_.timeout_s);
+    ++out.attempts;
+
+    double round_time;
+    bool round_ok;
+    // Hedge: issue a racing second attempt if the primary has not completed
+    // after hedge_delay_s.
+    if (config_.hedge_delay_s > 0.0 && primary.latency_s > config_.hedge_delay_s) {
+      const OriginAttempt hedge = origin.attempt(
+          stream, now + elapsed + config_.hedge_delay_s, bytes, config_.timeout_s);
+      ++out.attempts;
+      ++out.hedges;
+      const double primary_done = primary.latency_s;
+      const double hedge_done = config_.hedge_delay_s + hedge.latency_s;
+
+      if (primary.ok && (!hedge.ok || primary_done <= hedge_done)) {
+        round_ok = true;
+        round_time = primary_done;
+        out.origin_busy_s += primary_done;
+        if (hedge_done > primary_done) {
+          // Loser still in flight when the primary won: cancel it once; it
+          // consumed origin time from issue until the cancellation point.
+          ++out.hedge_cancels;
+          out.origin_busy_s += primary_done - config_.hedge_delay_s;
+        } else {
+          // The hedge already completed (in failure) before the primary won.
+          out.origin_busy_s += hedge_done - config_.hedge_delay_s;
+          count_failure(hedge);
+        }
+      } else if (hedge.ok) {
+        round_ok = true;
+        round_time = hedge_done;
+        out.origin_busy_s += hedge_done - config_.hedge_delay_s;
+        if (primary_done > hedge_done) {
+          ++out.hedge_cancels;
+          out.origin_busy_s += hedge_done;
+        } else {
+          out.origin_busy_s += primary_done;
+          count_failure(primary);
+        }
+      } else {
+        // Both sides failed; the round fails when the last one does.
+        round_ok = false;
+        round_time = std::max(primary_done, hedge_done);
+        out.origin_busy_s += primary_done + (hedge_done - config_.hedge_delay_s);
+        count_failure(primary);
+        count_failure(hedge);
+      }
+    } else {
+      round_ok = primary.ok;
+      round_time = primary.latency_s;
+      out.origin_busy_s += primary.latency_s;
+      if (!primary.ok) count_failure(primary);
+    }
+
+    if (round_ok) {
+      out.ok = true;
+      out.latency_s = elapsed + round_time;
+      return out;
+    }
+    elapsed += round_time;
+  }
+
+  // Retry budget exhausted: a terminal failure, never a hang — the caller
+  // serves stale within the grace window or returns a 5xx.
+  out.latency_s = elapsed;
+  return out;
+}
+
+}  // namespace lhr::server

@@ -1,0 +1,228 @@
+// Simulated origin server with configurable latency models and
+// deterministic fault injection, plus the client-side FetchPolicy
+// (timeout, capped exponential backoff with deterministic jitter, bounded
+// retry budget, optional hedged second request) every CdnServer miss and
+// revalidation is routed through.
+//
+// Real CDNs spend most of their tail latency and failure budget on origin
+// fetches; an implicit, infallible, zero-latency origin hides exactly the
+// regime where admission policies and retries interact. This module makes
+// the origin a first-class simulated component:
+//
+//   * latency: fixed (rtt + size/bandwidth, the classic §6.1 model) or
+//     lognormal (a mean-preserving multiplier on the RTT, the heavy-tailed
+//     shape measured on production origin connections);
+//   * faults: a FaultSchedule of time-windowed episodes — outage
+//     (connections refused), error (5xx with probability p), slow
+//     (latency multiplied by a factor) — evaluated against *trace* time,
+//     so an episode hits the same requests no matter how fast the replay
+//     host is;
+//   * determinism: every stochastic draw (lognormal latency, error coin,
+//     backoff jitter) comes from a per-shard Xoshiro256 stream seeded from
+//     a single profile seed. CdnServer partitions replay work by shard
+//     ownership (shard s is touched by exactly one worker, in trace
+//     order), so fault-injected replays are byte-identical at any thread
+//     count — the same guarantee the serving layer already makes for
+//     hit/byte aggregates.
+//
+// The FetchPolicy executes in *simulated* time: an attempt's latency is
+// sampled, compared against the timeout, and the retry clock (backoff
+// included) advances `now` so a retry can straddle an episode boundary and
+// succeed where the first attempt failed. A hedged request races a second
+// attempt after `hedge_delay_s`; the losing side is cancelled exactly once
+// and its consumed time still counts against origin busy time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lhr::server {
+
+/// Distribution of an origin attempt's latency.
+enum class OriginLatencyKind {
+  kFixed,      ///< rtt + bytes/bandwidth, exactly (no RNG draw)
+  kLognormal,  ///< fixed latency times a mean-preserving lognormal multiplier
+};
+
+/// Shape of the simulated origin. `rtt_s`/`gbps` default to the negative
+/// sentinel "inherit from ServerConfig::origin_rtt_s / origin_gbps", so a
+/// profile can reshape latency without repeating the server's base numbers.
+struct OriginProfile {
+  OriginLatencyKind kind = OriginLatencyKind::kFixed;
+  double rtt_s = -1.0;   ///< base round-trip seconds (<0 = inherit)
+  double gbps = -1.0;    ///< origin link bandwidth (<0 = inherit)
+  double sigma = 0.4;    ///< lognormal shape (kLognormal only)
+  std::uint64_t seed = 1729;  ///< base of the per-shard draw streams
+};
+
+/// Client-side resilience knobs for origin fetches.
+struct FetchPolicyConfig {
+  /// Per-attempt timeout; <= 0 disables timeouts (an attempt always
+  /// completes), which keeps the default serving path byte-identical to
+  /// the pre-origin-layer behaviour.
+  double timeout_s = 0.0;
+  std::size_t retry_budget = 2;   ///< retries after the first attempt
+  double backoff_base_s = 0.050;  ///< first retry delay
+  double backoff_cap_s = 1.0;     ///< exponential growth is capped here
+  /// Jitter fraction j in [0, 1]: each backoff delay is scaled by a
+  /// deterministic uniform draw in [1-j, 1] from the shard's stream.
+  double backoff_jitter = 0.5;
+  /// > 0 issues a hedged second attempt when the primary has not completed
+  /// after this many seconds; 0 disables hedging.
+  double hedge_delay_s = 0.0;
+  /// Serve-stale-on-error window: a stale cached copy no older than
+  /// freshness_ttl_s + stale_grace_s may be served when the origin fails.
+  double stale_grace_s = 4.0 * 3600.0;
+};
+
+/// A parsed --origin-profile / LHR_ORIGIN_PROFILE spec: the origin shape
+/// plus the client fetch policy (one spec string configures both sides).
+struct OriginSettings {
+  OriginProfile profile;
+  FetchPolicyConfig fetch;
+};
+
+/// Parses "fixed" or "lognormal", optionally followed by ":key=value"
+/// pairs (comma-separated): sigma, rtt, gbps, seed, timeout, retries,
+/// backoff, cap, jitter, hedge, grace. Examples:
+///   "fixed"
+///   "lognormal:sigma=0.5"
+///   "lognormal:sigma=0.5,timeout=0.25,retries=3,hedge=0.08,grace=7200"
+/// Throws std::invalid_argument on malformed input.
+[[nodiscard]] OriginSettings parse_origin_profile(const std::string& spec);
+
+/// One time-windowed fault episode, in trace-time seconds.
+struct FaultEpisode {
+  enum class Kind {
+    kOutage,  ///< connections refused: every attempt fails after one RTT
+    kError,   ///< attempt returns 5xx with probability `error_prob`
+    kSlow,    ///< attempt latency multiplied by `slow_factor`
+  };
+  Kind kind = Kind::kOutage;
+  double start_s = 0.0;
+  double end_s = 0.0;  ///< half-open window [start_s, end_s)
+  double error_prob = 1.0;
+  double slow_factor = 1.0;
+};
+
+/// A deterministic, time-windowed schedule of origin fault episodes.
+/// Episode membership depends only on trace time, so the schedule itself
+/// holds no mutable state and is safely shared across replay workers.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+  explicit FaultSchedule(std::vector<FaultEpisode> episodes);
+
+  /// Parses "kind:start-end[@arg]" clauses separated by ';':
+  ///   outage:100-160            connections refused in [100, 160)
+  ///   error:200-400@0.5         5xx with p=0.5 in [200, 400)
+  ///   slow:500-800@x4           latency x4 in [500, 800)
+  /// An empty spec yields an empty (fault-free) schedule. Throws
+  /// std::invalid_argument on malformed input.
+  static FaultSchedule parse(const std::string& spec);
+
+  [[nodiscard]] bool empty() const noexcept { return episodes_.empty(); }
+  [[nodiscard]] const std::vector<FaultEpisode>& episodes() const noexcept {
+    return episodes_;
+  }
+
+  [[nodiscard]] bool in_outage(double t) const noexcept;
+  /// Highest error probability among error episodes covering `t` (0 if none).
+  [[nodiscard]] double error_prob(double t) const noexcept;
+  /// Product of slow factors covering `t` (1 if none; overlaps compound).
+  [[nodiscard]] double slow_factor(double t) const noexcept;
+
+ private:
+  std::vector<FaultEpisode> episodes_;
+};
+
+/// Outcome of a single origin attempt (before retry policy).
+struct OriginAttempt {
+  bool ok = false;
+  bool timed_out = false;
+  /// Seconds the attempt consumed (capped at the timeout when timed out).
+  double latency_s = 0.0;
+};
+
+/// The simulated origin. Holds one Xoshiro256 draw stream per shard;
+/// stream `s` must only ever be used by the worker that owns shard `s`
+/// (the CdnServer ownership discipline), which makes the class lock-free.
+class Origin {
+ public:
+  /// `rtt_s`/`gbps` are the effective base numbers after profile
+  /// inheritance; `streams` is the freshness-shard count.
+  Origin(const OriginProfile& profile, double rtt_s, double gbps,
+         FaultSchedule schedule, std::size_t streams);
+
+  /// One fetch attempt of `bytes` issued at trace-time `now` on `stream`.
+  /// `timeout_s <= 0` disables the timeout.
+  OriginAttempt attempt(std::size_t stream, double now, std::uint64_t bytes,
+                        double timeout_s);
+
+  /// The stream's RNG, for draws that must interleave with attempt draws
+  /// on the same deterministic sequence (backoff jitter).
+  [[nodiscard]] util::Xoshiro256& stream_rng(std::size_t stream) noexcept {
+    return streams_[stream].rng;
+  }
+
+  [[nodiscard]] std::size_t stream_count() const noexcept { return streams_.size(); }
+  [[nodiscard]] const FaultSchedule& schedule() const noexcept { return schedule_; }
+  [[nodiscard]] double base_rtt_s() const noexcept { return rtt_s_; }
+  [[nodiscard]] double base_gbps() const noexcept { return gbps_; }
+
+ private:
+  // Padded so adjacent streams (owned by different replay workers) never
+  // share a cache line.
+  struct alignas(64) Stream {
+    util::Xoshiro256 rng;
+  };
+
+  OriginProfile profile_;
+  double rtt_s_;
+  double gbps_;
+  FaultSchedule schedule_;
+  std::vector<Stream> streams_;
+};
+
+/// What one FetchPolicy execution (all attempts of one logical fetch)
+/// produced.
+struct FetchOutcome {
+  bool ok = false;
+  /// User-visible seconds from issue to success or final failure
+  /// (attempt latencies + backoff waits; hedged rounds end at the winner).
+  double latency_s = 0.0;
+  /// Origin resource-seconds consumed across all attempts, including the
+  /// cancelled side of a hedged round up to its cancellation point.
+  double origin_busy_s = 0.0;
+  std::uint64_t attempts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t errors = 0;        ///< 5xx + refused-connection attempts
+  std::uint64_t hedges = 0;        ///< hedged (second) requests issued
+  std::uint64_t hedge_cancels = 0; ///< losing sides cancelled (<= hedges)
+  /// Backoff delays actually waited, in order — exposed so tests can
+  /// assert the deterministic backoff sequence directly.
+  std::vector<double> backoffs;
+};
+
+/// Executes fetches against an Origin with timeout/retry/backoff/hedging.
+/// Stateless apart from its config: all randomness lives in the origin's
+/// per-shard streams, so outcomes are deterministic per shard sequence.
+class FetchPolicy {
+ public:
+  explicit FetchPolicy(const FetchPolicyConfig& config) : config_(config) {}
+
+  /// Runs one logical fetch of `bytes` at trace-time `now` on `stream`.
+  FetchOutcome fetch(Origin& origin, std::size_t stream, double now,
+                     std::uint64_t bytes) const;
+
+  [[nodiscard]] const FetchPolicyConfig& config() const noexcept { return config_; }
+
+ private:
+  FetchPolicyConfig config_;
+};
+
+}  // namespace lhr::server

@@ -101,6 +101,53 @@ TEST(Cli, RejectsBadServeThreads) {
   EXPECT_FALSE(error.empty());
 }
 
+TEST(Cli, ParsesOriginProfileAndFaultSchedule) {
+  std::string error;
+  const auto options = parse({"--serve-threads", "2", "--origin-profile",
+                              "lognormal:sigma=0.5,timeout=0.25", "--fault-schedule",
+                              "outage:100-160;error:200-400@0.5"},
+                             error);
+  ASSERT_TRUE(options.has_value()) << error;
+  EXPECT_EQ(options->origin_profile, "lognormal:sigma=0.5,timeout=0.25");
+  EXPECT_EQ(options->fault_schedule, "outage:100-160;error:200-400@0.5");
+  EXPECT_TRUE(parse({}, error)->origin_profile.empty());  // default: infallible
+  EXPECT_NE(cli_usage().find("--origin-profile"), std::string::npos);
+  EXPECT_NE(cli_usage().find("--fault-schedule"), std::string::npos);
+}
+
+TEST(Cli, ResilienceFlagsRequireServeThreads) {
+  std::string error;
+  EXPECT_FALSE(parse({"--origin-profile", "fixed"}, error).has_value());
+  EXPECT_NE(error.find("--serve-threads"), std::string::npos);
+  EXPECT_FALSE(parse({"--fault-schedule", "outage:0-1"}, error).has_value());
+}
+
+TEST(Cli, RejectsMalformedResilienceSpecs) {
+  std::string error;
+  EXPECT_FALSE(parse({"--serve-threads", "2", "--origin-profile", "pareto"}, error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse({"--serve-threads", "2", "--fault-schedule", "meteor:0-1"}, error)
+                   .has_value());
+  EXPECT_FALSE(parse({"--serve-threads", "2", "--fault-schedule", "outage:9-3"}, error)
+                   .has_value());
+}
+
+TEST(Cli, FaultInjectedServeRunServesStaleAndFails) {
+  CliOptions options;
+  options.policies = {"LRU"};
+  options.capacities_gb = {0.05};
+  options.synthetic = "cdn-a";
+  options.requests = 5'000;
+  options.serve_threads = 2;
+  options.origin_profile = "fixed:retries=1,grace=1e9";
+  options.fault_schedule = "outage:0-1e12";  // origin is down for the whole trace
+  const auto results = run_cli(options);
+  ASSERT_EQ(results.size(), 1u);
+  // Every miss fails (nothing cached to degrade to), so hit == served bytes.
+  EXPECT_LT(results[0].metrics.hits, results[0].metrics.requests);
+}
+
 TEST(Cli, ServeThreadsRunIsDeterministicAcrossThreadCounts) {
   CliOptions options;
   options.policies = {"LRU"};

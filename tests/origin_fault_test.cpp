@@ -1,0 +1,400 @@
+// Origin resilience layer tests: profile/schedule parsing, FetchPolicy
+// retry/backoff/timeout/hedging semantics, serve-stale-on-error at the
+// CdnServer level, and — the headline guarantee — byte-identical
+// fault-injected replay_concurrent aggregates at every thread count.
+// The concurrency tests here run under TSan in CI alongside
+// server_concurrency_test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gen/cdn_model.hpp"
+#include "policies/lru.hpp"
+#include "server/cdn_server.hpp"
+#include "server/origin.hpp"
+#include "server/sharded_cache.hpp"
+
+namespace lhr::server {
+namespace {
+
+constexpr double kRtt = 0.2;
+
+OriginProfile fixed_profile() {
+  OriginProfile p;
+  p.rtt_s = kRtt;
+  p.gbps = 1000.0;  // transfer time negligible next to the RTT
+  return p;
+}
+
+FaultSchedule outage(double start, double end) {
+  return FaultSchedule({{FaultEpisode::Kind::kOutage, start, end, 1.0, 1.0}});
+}
+
+// ------------------------------------------------------------------ parsing
+
+TEST(OriginProfileParse, KindsAndKeys) {
+  const auto fixed = parse_origin_profile("fixed");
+  EXPECT_EQ(fixed.profile.kind, OriginLatencyKind::kFixed);
+
+  const auto full = parse_origin_profile(
+      "lognormal:sigma=0.5,rtt=0.1,gbps=4,seed=99,timeout=0.25,retries=3,"
+      "backoff=0.02,cap=0.5,jitter=0.25,hedge=0.08,grace=7200");
+  EXPECT_EQ(full.profile.kind, OriginLatencyKind::kLognormal);
+  EXPECT_DOUBLE_EQ(full.profile.sigma, 0.5);
+  EXPECT_DOUBLE_EQ(full.profile.rtt_s, 0.1);
+  EXPECT_DOUBLE_EQ(full.profile.gbps, 4.0);
+  EXPECT_EQ(full.profile.seed, 99u);
+  EXPECT_DOUBLE_EQ(full.fetch.timeout_s, 0.25);
+  EXPECT_EQ(full.fetch.retry_budget, 3u);
+  EXPECT_DOUBLE_EQ(full.fetch.backoff_base_s, 0.02);
+  EXPECT_DOUBLE_EQ(full.fetch.backoff_cap_s, 0.5);
+  EXPECT_DOUBLE_EQ(full.fetch.backoff_jitter, 0.25);
+  EXPECT_DOUBLE_EQ(full.fetch.hedge_delay_s, 0.08);
+  EXPECT_DOUBLE_EQ(full.fetch.stale_grace_s, 7200.0);
+
+  // The empty spec is the default (fixed, infallible-compatible) profile.
+  const auto empty = parse_origin_profile("");
+  EXPECT_EQ(empty.profile.kind, OriginLatencyKind::kFixed);
+  EXPECT_DOUBLE_EQ(empty.fetch.timeout_s, 0.0);
+}
+
+TEST(OriginProfileParse, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)parse_origin_profile("pareto"), std::invalid_argument);
+  EXPECT_THROW((void)parse_origin_profile("fixed:sigma"), std::invalid_argument);
+  EXPECT_THROW((void)parse_origin_profile("fixed:bogus=1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_origin_profile("lognormal:sigma=-1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_origin_profile("fixed:jitter=2"), std::invalid_argument);
+  EXPECT_THROW((void)parse_origin_profile("fixed:timeout=abc"), std::invalid_argument);
+}
+
+TEST(FaultScheduleParse, ClausesAndQueries) {
+  const auto schedule =
+      FaultSchedule::parse("outage:100-160;error:200-400@0.5;slow:500-800@x4;slow:600-700@2");
+  ASSERT_EQ(schedule.episodes().size(), 4u);
+
+  EXPECT_FALSE(schedule.in_outage(99.9));
+  EXPECT_TRUE(schedule.in_outage(100.0));  // half-open [start, end)
+  EXPECT_TRUE(schedule.in_outage(159.9));
+  EXPECT_FALSE(schedule.in_outage(160.0));
+
+  EXPECT_DOUBLE_EQ(schedule.error_prob(300.0), 0.5);
+  EXPECT_DOUBLE_EQ(schedule.error_prob(450.0), 0.0);
+
+  EXPECT_DOUBLE_EQ(schedule.slow_factor(550.0), 4.0);
+  EXPECT_DOUBLE_EQ(schedule.slow_factor(650.0), 8.0);  // overlaps compound
+  EXPECT_DOUBLE_EQ(schedule.slow_factor(900.0), 1.0);
+
+  EXPECT_TRUE(FaultSchedule::parse("").empty());
+}
+
+TEST(FaultScheduleParse, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)FaultSchedule::parse("meteor:0-1"), std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::parse("outage:5"), std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::parse("outage:9-3"), std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::parse("outage:0-1@0.5"), std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::parse("error:0-1@1.5"), std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::parse("slow:0-1@x0"), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- FetchPolicy
+
+TEST(FetchPolicy, SucceedsFirstTryWithoutFaults) {
+  Origin origin(fixed_profile(), kRtt, 1000.0, FaultSchedule{}, 1);
+  FetchPolicyConfig cfg;
+  const auto out = FetchPolicy(cfg).fetch(origin, 0, 0.0, 0);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.attempts, 1u);
+  EXPECT_EQ(out.retries, 0u);
+  EXPECT_DOUBLE_EQ(out.latency_s, kRtt);
+  EXPECT_DOUBLE_EQ(out.origin_busy_s, kRtt);
+  EXPECT_TRUE(out.backoffs.empty());
+}
+
+TEST(FetchPolicy, RetryBudgetExhaustionYieldsFailureNotHang) {
+  Origin origin(fixed_profile(), kRtt, 1000.0, outage(0.0, 1e12), 1);
+  FetchPolicyConfig cfg;
+  cfg.retry_budget = 3;
+  cfg.backoff_base_s = 0.05;
+  cfg.backoff_cap_s = 0.15;
+  cfg.backoff_jitter = 0.0;  // exact arithmetic below
+  const auto out = FetchPolicy(cfg).fetch(origin, 0, 0.0, 1000);
+
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.attempts, 4u);  // 1 + retry budget, then a terminal failure
+  EXPECT_EQ(out.retries, 3u);
+  EXPECT_EQ(out.errors, 4u);  // refused connections count as errors
+  EXPECT_EQ(out.timeouts, 0u);
+  // Capped exponential backoff: 0.05, 0.10, then capped at 0.15.
+  ASSERT_EQ(out.backoffs.size(), 3u);
+  EXPECT_DOUBLE_EQ(out.backoffs[0], 0.05);
+  EXPECT_DOUBLE_EQ(out.backoffs[1], 0.10);
+  EXPECT_DOUBLE_EQ(out.backoffs[2], 0.15);
+  // Total time: 4 refused connections (1 RTT each) + the backoffs.
+  EXPECT_NEAR(out.latency_s, 4 * kRtt + 0.30, 1e-12);
+}
+
+TEST(FetchPolicy, BackoffJitterIsDeterministicPerStream) {
+  FetchPolicyConfig cfg;
+  cfg.retry_budget = 4;
+  cfg.backoff_jitter = 0.5;
+
+  OriginProfile profile = fixed_profile();
+  profile.seed = 7;
+  Origin a(profile, kRtt, 1000.0, outage(0.0, 1e12), 4);
+  Origin b(profile, kRtt, 1000.0, outage(0.0, 1e12), 4);
+
+  const auto out_a = FetchPolicy(cfg).fetch(a, 2, 0.0, 0);
+  const auto out_b = FetchPolicy(cfg).fetch(b, 2, 0.0, 0);
+  ASSERT_EQ(out_a.backoffs.size(), 4u);
+  ASSERT_EQ(out_b.backoffs.size(), 4u);
+  for (std::size_t i = 0; i < out_a.backoffs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out_a.backoffs[i], out_b.backoffs[i]) << "backoff " << i;
+    // Jitter keeps each delay within [1-j, 1] of the nominal exponential.
+    const double nominal = std::min(cfg.backoff_cap_s,
+                                    cfg.backoff_base_s * std::pow(2.0, double(i)));
+    EXPECT_LE(out_a.backoffs[i], nominal + 1e-12);
+    EXPECT_GE(out_a.backoffs[i], (1.0 - cfg.backoff_jitter) * nominal - 1e-12);
+  }
+
+  // Different streams draw different jitter (independent shard sequences).
+  Origin c(profile, kRtt, 1000.0, outage(0.0, 1e12), 4);
+  const auto out_c = FetchPolicy(cfg).fetch(c, 3, 0.0, 0);
+  bool any_different = false;
+  for (std::size_t i = 0; i < out_c.backoffs.size(); ++i) {
+    any_different = any_different || out_c.backoffs[i] != out_a.backoffs[i];
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(FetchPolicy, TimeoutConvertsSlowAttemptsIntoRetries) {
+  // Slow window multiplies latency past the timeout; the attempt charges
+  // exactly the timeout and retries.
+  FaultSchedule slow({{FaultEpisode::Kind::kSlow, 0.0, 10.0, 1.0, 100.0}});
+  Origin origin(fixed_profile(), kRtt, 1000.0, std::move(slow), 1);
+  FetchPolicyConfig cfg;
+  cfg.timeout_s = 0.5;
+  cfg.retry_budget = 1;
+  cfg.backoff_jitter = 0.0;
+  const auto out = FetchPolicy(cfg).fetch(origin, 0, 0.0, 0);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.timeouts, 2u);
+  EXPECT_EQ(out.errors, 0u);
+  EXPECT_NEAR(out.latency_s, 2 * cfg.timeout_s + cfg.backoff_base_s, 1e-12);
+}
+
+TEST(FetchPolicy, RetryStraddlesEpisodeBoundaryAndSucceeds) {
+  // The first attempt hits the tail of an outage; the backoff pushes the
+  // retry past the boundary, where it succeeds: graceful recovery, not a
+  // failed request.
+  Origin origin(fixed_profile(), kRtt, 1000.0, outage(0.0, 0.1), 1);
+  FetchPolicyConfig cfg;
+  cfg.retry_budget = 2;
+  cfg.backoff_base_s = 0.05;
+  cfg.backoff_jitter = 0.0;
+  const auto out = FetchPolicy(cfg).fetch(origin, 0, 0.05, 0);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.attempts, 2u);
+  EXPECT_EQ(out.retries, 1u);
+  EXPECT_EQ(out.errors, 1u);
+  // Failed attempt (1 RTT) + backoff + successful attempt.
+  EXPECT_NEAR(out.latency_s, kRtt + 0.05 + kRtt, 1e-12);
+}
+
+TEST(FetchPolicy, HedgeCancelsTheLoserExactlyOnce) {
+  // No faults: primary and hedge both succeed; the primary (issued first)
+  // wins and the hedge is cancelled exactly once.
+  Origin origin(fixed_profile(), kRtt, 1000.0, FaultSchedule{}, 1);
+  FetchPolicyConfig cfg;
+  cfg.hedge_delay_s = 0.05;  // < kRtt, so the hedge fires
+  const auto out = FetchPolicy(cfg).fetch(origin, 0, 0.0, 0);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.attempts, 2u);
+  EXPECT_EQ(out.hedges, 1u);
+  EXPECT_EQ(out.hedge_cancels, 1u);  // exactly once
+  EXPECT_EQ(out.errors, 0u);
+  EXPECT_DOUBLE_EQ(out.latency_s, kRtt);  // winner's completion time
+  // Cancelled hedge consumed origin time only until the cancellation point.
+  EXPECT_NEAR(out.origin_busy_s, kRtt + (kRtt - cfg.hedge_delay_s), 1e-12);
+}
+
+TEST(FetchPolicy, HedgeWinsWhenPrimaryIsSlowedAndCancelsPrimary) {
+  // A slow window covers the primary's issue time but ends before the hedge
+  // is issued: the hedge completes first and the still-in-flight primary is
+  // the one cancelled — again exactly once.
+  FaultSchedule slow({{FaultEpisode::Kind::kSlow, 0.0, 0.04, 1.0, 10.0}});
+  Origin origin(fixed_profile(), kRtt, 1000.0, std::move(slow), 1);
+  FetchPolicyConfig cfg;
+  cfg.hedge_delay_s = 0.05;
+  const auto out = FetchPolicy(cfg).fetch(origin, 0, 0.0, 0);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.hedges, 1u);
+  EXPECT_EQ(out.hedge_cancels, 1u);
+  // Winner: hedge issued at 0.05 completing at 0.05 + kRtt.
+  EXPECT_NEAR(out.latency_s, cfg.hedge_delay_s + kRtt, 1e-12);
+}
+
+TEST(FetchPolicy, HedgeLoserThatAlreadyFailedIsNotCancelled) {
+  // An error window covers the primary but not the hedge: the primary
+  // completes (in failure) before the hedge wins, so nothing is in flight
+  // to cancel.
+  FaultSchedule errors({{FaultEpisode::Kind::kError, 0.0, 0.04, 1.0, 1.0}});
+  Origin origin(fixed_profile(), kRtt, 1000.0, std::move(errors), 1);
+  FetchPolicyConfig cfg;
+  cfg.hedge_delay_s = 0.05;
+  const auto out = FetchPolicy(cfg).fetch(origin, 0, 0.0, 0);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.hedges, 1u);
+  EXPECT_EQ(out.hedge_cancels, 0u);
+  EXPECT_EQ(out.errors, 1u);  // the failed primary is accounted as an error
+}
+
+// ------------------------------------------------------- CdnServer serving
+
+ServerConfig resilient_config() {
+  ServerConfig cfg;
+  cfg.ram_bytes = 1 << 20;
+  cfg.freshness_ttl_s = 10.0;
+  cfg.revalidate_change_prob = 0.0;  // isolate staleness from refetch churn
+  cfg.fetch.stale_grace_s = 100.0;
+  cfg.fetch.retry_budget = 1;
+  cfg.fetch.backoff_base_s = 0.01;
+  return cfg;
+}
+
+TEST(CdnServerResilience, ServesStaleWithinGraceWindowOnOriginFailure) {
+  ServerConfig cfg = resilient_config();
+  cfg.fault_schedule = outage(12.0, 1e12);  // origin dies at t=12 forever
+
+  CdnServer server(std::make_unique<policy::Lru>(1 << 20), cfg);
+  trace::Trace t;
+  t.push_back({0.0, 1, 1000});    // miss, fetched before the outage
+  t.push_back({15.0, 1, 1000});   // stale (age 15 > ttl 10), within grace
+  t.push_back({150.0, 1, 1000});  // stale beyond ttl+grace=110: 5xx
+  const auto report = server.replay(t, ReplayMode::kNormal);
+
+  EXPECT_EQ(report.requests, 3u);
+  EXPECT_EQ(report.stale_serves, 1u);
+  EXPECT_EQ(report.failed_requests, 1u);
+  EXPECT_EQ(report.hits, 1u);  // the admit miss is not a hit; the stale serve is
+  // The 5xx served no bytes.
+  EXPECT_EQ(report.bytes_served, 2000u);
+  // Only the initial miss reached the origin successfully.
+  EXPECT_EQ(report.wan_bytes, 1000u);
+  EXPECT_GT(report.origin_retries, 0u);
+}
+
+TEST(CdnServerResilience, MissDuringOutageFailsInsteadOfHanging) {
+  ServerConfig cfg = resilient_config();
+  cfg.fault_schedule = outage(0.0, 1e12);
+
+  CdnServer server(std::make_unique<policy::Lru>(1 << 20), cfg);
+  trace::Trace t;
+  t.push_back({0.0, 1, 1000});
+  t.push_back({1.0, 2, 500});
+  const auto report = server.replay(t, ReplayMode::kNormal);
+
+  EXPECT_EQ(report.failed_requests, 2u);
+  EXPECT_EQ(report.hits, 0u);
+  EXPECT_EQ(report.bytes_served, 0u);
+  EXPECT_EQ(report.wan_bytes, 0u);
+  // Each miss exhausted its retry budget: 1 + retry_budget attempts.
+  EXPECT_EQ(report.origin_fetches, 2u);
+  EXPECT_EQ(report.origin_retries, 2u);
+  EXPECT_EQ(report.origin_errors, 4u);
+}
+
+TEST(CdnServerResilience, DefaultConfigKeepsTheInfallibleOrigin) {
+  ServerConfig cfg;
+  cfg.ram_bytes = 1 << 20;
+  CdnServer server(std::make_unique<policy::Lru>(8 << 20), cfg);
+  const auto trace = gen::make_trace(gen::TraceClass::kCdnA, 5'000, 11);
+  const auto report = server.replay(trace, ReplayMode::kNormal);
+
+  EXPECT_EQ(report.failed_requests, 0u);
+  EXPECT_EQ(report.stale_serves, 0u);
+  EXPECT_EQ(report.origin_retries, 0u);
+  EXPECT_EQ(report.origin_timeouts, 0u);
+  EXPECT_EQ(report.origin_hedges, 0u);
+  EXPECT_GT(report.origin_fetches, 0u);  // every miss went through the layer
+  EXPECT_GT(report.fetch_p99_ms, 0.0);
+}
+
+// ------------------------------------------- concurrent replay determinism
+
+ServerConfig fault_injected_config(double duration) {
+  ServerConfig cfg;
+  cfg.ram_bytes = 4 << 20;
+  cfg.freshness_ttl_s = duration / 10.0;  // staleness + revalidation traffic
+  cfg.origin_profile.kind = OriginLatencyKind::kLognormal;
+  cfg.origin_profile.sigma = 0.5;
+  cfg.fetch.timeout_s = 0.25;
+  cfg.fetch.retry_budget = 3;
+  cfg.fetch.hedge_delay_s = 0.08;
+  cfg.fetch.stale_grace_s = duration;
+  cfg.fault_schedule = FaultSchedule(
+      {{FaultEpisode::Kind::kOutage, 0.10 * duration, 0.20 * duration, 1.0, 1.0},
+       {FaultEpisode::Kind::kError, 0.30 * duration, 0.50 * duration, 0.5, 1.0},
+       {FaultEpisode::Kind::kSlow, 0.60 * duration, 0.80 * duration, 1.0, 8.0}});
+  return cfg;
+}
+
+std::unique_ptr<ShardedCache> sharded_lru(std::uint64_t capacity) {
+  return std::make_unique<ShardedCache>(16, capacity, [](std::uint64_t cap) {
+    return std::make_unique<policy::Lru>(cap);
+  });
+}
+
+TEST(CdnServerResilience, FaultInjectedAggregatesIdenticalAcrossThreadCounts) {
+  const auto trace = gen::make_trace(gen::TraceClass::kCdnA, 20'000, 7);
+  const double duration = trace.duration();
+  const std::uint64_t capacity = 64ULL << 20;
+
+  CdnServer baseline(sharded_lru(capacity), fault_injected_config(duration));
+  const auto base = baseline.replay(trace, ReplayMode::kMax);
+  // The schedule actually bites in this replay — otherwise the test would
+  // vacuously pass on an idle fault path.
+  EXPECT_GT(base.origin_retries, 0u);
+  EXPECT_GT(base.origin_timeouts, 0u);
+  EXPECT_GT(base.origin_hedges, 0u);
+  EXPECT_GT(base.hedge_cancels, 0u);
+  EXPECT_GT(base.stale_serves, 0u);
+  EXPECT_GT(base.failed_requests, 0u);
+
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    CdnServer server(sharded_lru(capacity), fault_injected_config(duration));
+    const auto got = server.replay_concurrent(trace, ReplayMode::kMax, threads);
+
+    EXPECT_EQ(got.requests, base.requests);
+    EXPECT_EQ(got.hits, base.hits);
+    EXPECT_EQ(got.bytes_served, base.bytes_served);
+    EXPECT_EQ(got.wan_bytes, base.wan_bytes);
+    EXPECT_EQ(got.origin_fetches, base.origin_fetches);
+    EXPECT_EQ(got.origin_retries, base.origin_retries);
+    EXPECT_EQ(got.origin_timeouts, base.origin_timeouts);
+    EXPECT_EQ(got.origin_errors, base.origin_errors);
+    EXPECT_EQ(got.origin_hedges, base.origin_hedges);
+    EXPECT_EQ(got.hedge_cancels, base.hedge_cancels);
+    EXPECT_EQ(got.stale_serves, base.stale_serves);
+    EXPECT_EQ(got.failed_requests, base.failed_requests);
+    // Latency quantiles merge from exact integer bucket counts, so both the
+    // user-latency and fetch-latency distributions match to the last bit.
+    EXPECT_DOUBLE_EQ(got.p90_latency_ms, base.p90_latency_ms);
+    EXPECT_DOUBLE_EQ(got.p99_latency_ms, base.p99_latency_ms);
+    EXPECT_DOUBLE_EQ(got.fetch_p50_ms, base.fetch_p50_ms);
+    EXPECT_DOUBLE_EQ(got.fetch_p90_ms, base.fetch_p90_ms);
+    EXPECT_DOUBLE_EQ(got.fetch_p99_ms, base.fetch_p99_ms);
+    // The mean is a running double sum; float addition is not associative
+    // across worker partitions, so it agrees to ~1 ulp per add, not bit-exact.
+    EXPECT_NEAR(got.fetch_avg_ms, base.fetch_avg_ms, 1e-9 * base.fetch_avg_ms);
+  }
+}
+
+}  // namespace
+}  // namespace lhr::server

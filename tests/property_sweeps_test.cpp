@@ -120,8 +120,15 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(GbdtSweepCase{5, 3, 16}, GbdtSweepCase{10, 6, 64},
                       GbdtSweepCase{40, 2, 32}, GbdtSweepCase{20, 8, 128}),
     [](const ::testing::TestParamInfo<GbdtSweepCase>& info) {
-      return "t" + std::to_string(info.param.trees) + "_d" +
-             std::to_string(info.param.depth) + "_b" + std::to_string(info.param.bins);
+      // Built with += (not operator+ chains) to dodge GCC 12's spurious
+      // -Wrestrict warning on `const char* + std::string&&` (GCC PR105651).
+      std::string name = "t";
+      name += std::to_string(info.param.trees);
+      name += "_d";
+      name += std::to_string(info.param.depth);
+      name += "_b";
+      name += std::to_string(info.param.bins);
+      return name;
     });
 
 // ------------------------------------------- trace-class calibration

@@ -259,6 +259,63 @@ TEST(AdmissionQueue, ShedsLoadWhenFull) {
   queue.drain();
 }
 
+// Regression: a retry that re-enqueues the same key while the queue is
+// still full used to bump dropped() every time, so one shed admission
+// could be counted arbitrarily often. Dropped admissions must be counted
+// once per shed admission, and count anew only after the key has actually
+// made it into the queue.
+TEST(AdmissionQueue, DropAccountingIsOncePerShedAdmission) {
+  std::mutex gate;
+  std::atomic<int> entered{0};
+  gate.lock();  // block the worker inside admit_
+  AdmissionQueue queue(
+      [&](const trace::Request&) {
+        ++entered;
+        const std::lock_guard<std::mutex> lock(gate);
+      },
+      /*max_depth=*/2);
+
+  // Park the worker: once it is inside admit_ the queue cannot drain, so
+  // every capacity decision below is deterministic. Only call with the
+  // queue empty and the worker idle.
+  const auto park_worker = [&](trace::Key plug) {
+    const int before = entered.load();
+    ASSERT_TRUE(queue.enqueue({0.0, plug, 1}));
+    while (entered.load() <= before) std::this_thread::yield();
+  };
+
+  park_worker(/*plug=*/1);
+  EXPECT_TRUE(queue.enqueue({0.0, 2, 1}));
+  EXPECT_TRUE(queue.enqueue({0.0, 3, 1}));  // queue now full (depth 2)
+
+  // The same key re-enqueued by retries while full: ONE shed admission.
+  for (int retry = 0; retry < 5; ++retry) {
+    EXPECT_FALSE(queue.enqueue({1.0, 99, 1}));
+  }
+  EXPECT_EQ(queue.dropped(), 1u);
+
+  // A different key is a different admission.
+  EXPECT_FALSE(queue.enqueue({1.0, 100, 1}));
+  EXPECT_EQ(queue.dropped(), 2u);
+
+  // Once the key finally gets in, its shed state is cleared...
+  gate.unlock();
+  queue.drain();
+  EXPECT_TRUE(queue.enqueue({2.0, 99, 1}));
+  queue.drain();
+  EXPECT_EQ(queue.dropped(), 2u);  // a successful enqueue added nothing
+
+  // ...so a later shed of the same key is a new drop.
+  gate.lock();
+  park_worker(/*plug=*/1);
+  EXPECT_TRUE(queue.enqueue({3.0, 2, 1}));
+  EXPECT_TRUE(queue.enqueue({3.0, 3, 1}));
+  EXPECT_FALSE(queue.enqueue({3.0, 99, 1}));
+  EXPECT_EQ(queue.dropped(), 3u);
+  gate.unlock();
+  queue.drain();
+}
+
 TEST(AdmissionQueue, MultipleProducers) {
   std::atomic<std::uint64_t> applied{0};
   AdmissionQueue queue([&](const trace::Request&) { ++applied; }, 1 << 16);
