@@ -3,13 +3,16 @@
 // the latency-model inputs of Table 3.
 //
 // main() first runs the GBDT training-throughput suite (fit rows/s at
-// 1/2/4/8 threads, predict vs predict_many) and the serving-throughput
-// suite (CdnServer::replay_concurrent req/s at 1/2/4/8 threads over a
+// 1/2/4/8 threads, predict vs predict_many), the GBDT inference suite
+// (ns/row of node-walk vs FlatForest vs score_block, with the exact-
+// equivalence verdict CI greps) and the serving-throughput suite
+// (CdnServer::replay_concurrent req/s at 1/2/4/8 threads over a
 // ShardedCache(LRU) backend) through the experiment runner so the numbers
 // land in LHR_BENCH_JSONL like every other bench, then hands the remaining
 // argv to google-benchmark. LHR_MICRO_GBDT_ROWS overrides the 50'000-row
-// training batch; LHR_MICRO_SERVE_REQUESTS / LHR_MICRO_SERVE_THREADS scale
-// the serving suite (CI smoke runs use small values).
+// training batch; LHR_MICRO_INFER_ROWS the 20'000 scored rows;
+// LHR_MICRO_SERVE_REQUESTS / LHR_MICRO_SERVE_THREADS scale the serving
+// suite (CI smoke runs use small values).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -31,6 +34,7 @@
 #include "runner/trace_cache.hpp"
 #include "hazard/hro.hpp"
 #include "ml/features.hpp"
+#include "ml/flat_forest.hpp"
 #include "ml/gbdt.hpp"
 #include "server/cdn_server.hpp"
 #include "server/sharded_cache.hpp"
@@ -223,6 +227,40 @@ void BM_GbdtPredictMany(benchmark::State& state) {
       static_cast<double>(d.n_rows()), benchmark::Counter::kIsIterationInvariantRate);
 }
 
+void BM_FlatForestScoreRow(benchmark::State& state) {
+  static std::vector<float> y;
+  static const ml::Dataset d = gbdt_batch(20'000, 12, y);
+  static const ml::Gbdt model = [] {
+    ml::Gbdt m;
+    m.fit(d, y, ml::GbdtConfig{});
+    return m;
+  }();
+  static const ml::FlatForest forest(model);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.score_row(d.row(i)));
+    i = (i + 1) % d.n_rows();
+  }
+}
+
+void BM_FlatForestScoreBlock(benchmark::State& state) {
+  static std::vector<float> y;
+  static const ml::Dataset d = gbdt_batch(20'000, 12, y);
+  static const ml::Gbdt model = [] {
+    ml::Gbdt m;
+    m.fit(d, y, ml::GbdtConfig{});
+    return m;
+  }();
+  static const ml::FlatForest forest(model);
+  std::vector<double> out(d.n_rows());
+  for (auto _ : state) {
+    forest.score_block(d, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(d.n_rows()), benchmark::Counter::kIsIterationInvariantRate);
+}
+
 // The headline GBDT suite, run through the experiment runner (serially: the
 // jobs themselves own the thread scaling under test) so the numbers are
 // appended to LHR_BENCH_JSONL like every other bench table.
@@ -309,6 +347,131 @@ void run_gbdt_suite() {
   }
   std::printf("  models byte-identical across thread counts: %s\n",
               identical ? "yes" : "NO -- DETERMINISM BUG");
+}
+
+// -------------------------------------------------------------- inference
+// The GBDT inference suite: ns/row of the three scoring paths over the same
+// trained model — Gbdt::predict (pointer-chasing node walk), FlatForest::
+// score_row (SoA walk), and FlatForest::score_block at caller-side block
+// sizes 1/4/16 (16 = kBlockRows, the shipped configuration). Every path
+// must produce bit-identical doubles; the suite prints the max |dscore|
+// across all paths and rows, and CI greps the "= 0 (exact)" verdict.
+//   LHR_MICRO_INFER_ROWS  rows scored per path (default 20'000)
+std::size_t micro_infer_rows() {
+  if (const char* env = std::getenv("LHR_MICRO_INFER_ROWS")) {
+    const long value = std::atol(env);
+    if (value >= 1) return static_cast<std::size_t>(value);
+  }
+  return 20'000;
+}
+
+void run_inference_suite() {
+  const std::size_t rows = micro_infer_rows();
+  const std::size_t dim = 24;
+  std::vector<float> y;
+  const ml::Dataset d = gbdt_batch(rows, dim, y);
+  ml::Gbdt model;
+  model.fit(d, y, ml::GbdtConfig{});
+  const ml::FlatForest forest(model);
+
+  // Node-walk reference scores: every flat path is compared against these.
+  std::vector<double> reference(rows);
+  for (std::size_t i = 0; i < rows; ++i) reference[i] = model.predict(d.row(i));
+
+  // Scoring loops are repeated until the timed region is long enough to
+  // trust (tiny CI row counts would otherwise measure clock noise).
+  const auto time_ns_per_row = [&](const std::function<void()>& pass) {
+    constexpr double kMinSeconds = 0.02;
+    double seconds = 0.0;
+    std::size_t passes = 0;
+    while (seconds < kMinSeconds) {
+      const auto t0 = std::chrono::steady_clock::now();
+      pass();
+      seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      ++passes;
+    }
+    return 1e9 * seconds / (static_cast<double>(passes) * static_cast<double>(rows));
+  };
+
+  std::vector<double> out(rows);
+  const auto max_abs_delta = [&] {
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < rows; ++i) {
+      max_delta = std::max(max_delta, std::abs(out[i] - reference[i]));
+    }
+    return max_delta;
+  };
+
+  std::vector<runner::Job> jobs;
+  {
+    runner::Job job;
+    job.label = "gbdt_infer/node_walk";
+    job.body = [&](runner::Result& r) {
+      r.set("rows", static_cast<double>(rows));
+      r.set("ns_per_row", time_ns_per_row([&] {
+              for (std::size_t i = 0; i < rows; ++i) out[i] = model.predict(d.row(i));
+              benchmark::DoNotOptimize(out.data());
+            }));
+      r.set("max_abs_delta", max_abs_delta());
+    };
+    jobs.push_back(std::move(job));
+  }
+  {
+    runner::Job job;
+    job.label = "gbdt_infer/flat_row";
+    job.body = [&](runner::Result& r) {
+      r.set("rows", static_cast<double>(rows));
+      r.set("ns_per_row", time_ns_per_row([&] {
+              for (std::size_t i = 0; i < rows; ++i) out[i] = forest.score_row(d.row(i));
+              benchmark::DoNotOptimize(out.data());
+            }));
+      r.set("max_abs_delta", max_abs_delta());
+    };
+    jobs.push_back(std::move(job));
+  }
+  for (const std::size_t block : {std::size_t{1}, std::size_t{4}, ml::FlatForest::kBlockRows}) {
+    runner::Job job;
+    job.label = "gbdt_infer/flat_block=" + std::to_string(block);
+    job.body = [&, block](runner::Result& r) {
+      r.set("rows", static_cast<double>(rows));
+      r.set("ns_per_row", time_ns_per_row([&] {
+              for (std::size_t i = 0; i < rows; i += block) {
+                const std::size_t n = std::min(block, rows - i);
+                forest.score_block({d.values.data() + i * dim, n * dim}, n,
+                                   {out.data() + i, n});
+              }
+              benchmark::DoNotOptimize(out.data());
+            }));
+      r.set("max_abs_delta", max_abs_delta());
+    };
+    jobs.push_back(std::move(job));
+  }
+
+  runner::RunOptions options;
+  options.threads = 1;  // sequential: the jobs time single-thread scoring
+  const auto results = runner::run_all(jobs, options);
+  runner::append_jsonl_if_configured(results);
+
+  std::printf("GBDT inference (%zu rows x %zu features, %zu trees):\n", rows, dim,
+              forest.tree_count());
+  double node_walk_ns = 0.0, block_ns = 0.0, worst_delta = 0.0;
+  for (const auto& r : results) {
+    std::printf("  %-24s %8.0f ns/row\n", r.label.c_str(), r.stat("ns_per_row"));
+    if (r.label == "gbdt_infer/node_walk") node_walk_ns = r.stat("ns_per_row");
+    if (r.label == "gbdt_infer/flat_block=" + std::to_string(ml::FlatForest::kBlockRows)) {
+      block_ns = r.stat("ns_per_row");
+    }
+    worst_delta = std::max(worst_delta, r.stat("max_abs_delta"));
+  }
+  std::printf("  score_block speedup vs node-walk: %.2fx\n",
+              block_ns > 0.0 ? node_walk_ns / block_ns : 0.0);
+  if (worst_delta == 0.0) {
+    std::printf("  FlatForest equivalence: max |dscore| = 0 (exact)\n");
+  } else {
+    std::printf("  FlatForest equivalence: max |dscore| = %.17g -- EQUIVALENCE BUG\n",
+                worst_delta);
+  }
 }
 
 // ---------------------------------------------------------------- serving
@@ -532,12 +695,15 @@ BENCHMARK(BM_CountMinIncrement);
 BENCHMARK(BM_FeatureExtract);
 BENCHMARK(BM_GbdtPredict);
 BENCHMARK(BM_GbdtPredictMany)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FlatForestScoreRow);
+BENCHMARK(BM_FlatForestScoreBlock)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_GbdtTrain)->Arg(10'000)->Arg(40'000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GbdtFitThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RunnerSweep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   run_gbdt_suite();
+  run_inference_suite();
   run_serve_suite();
   run_fault_serve_suite();
   benchmark::Initialize(&argc, argv);

@@ -47,8 +47,9 @@ std::string LhrCache::name() const {
 double LhrCache::predict_probability(std::span<const float> features) const {
   if (!model_) return 1.0;  // bootstrap: admit-all until trained (§5.1)
   // Squared loss (the paper's choice) clamps the regression output to [0,1];
-  // the logistic option maps through a sigmoid instead.
-  return model_->predict_probability(features);
+  // the logistic option maps through a sigmoid instead. Scored through the
+  // compiled FlatForest, which is exactly equivalent to Gbdt::predict.
+  return model_->forest.probability(features);
 }
 
 void LhrCache::adopt_finished_model() {
@@ -287,9 +288,9 @@ void LhrCache::train_model() {
   if (trainer_ == nullptr) {
     // Synchronous: the fit runs inline and its full wall-clock is a
     // request-path stall.
-    auto fresh = std::make_shared<ml::Gbdt>();
-    fresh->fit(train_x_, train_y_, config_.gbdt);
-    model_ = std::move(fresh);
+    ml::Gbdt fresh;
+    fresh.fit(train_x_, train_y_, config_.gbdt);
+    model_ = std::make_shared<ml::CompiledModel>(std::move(fresh));
     ++trainings_;
     train_x_.values.clear();
     train_y_.clear();
@@ -323,15 +324,15 @@ ml::BinaryMetrics LhrCache::model_quality() const {
 void LhrCache::save_model(std::ostream& out) const {
   if (!model_) throw std::runtime_error("LhrCache::save_model: untrained");
   out << threshold_ << '\n';
-  model_->save(out);
+  model_->gbdt.save(out);
 }
 
 void LhrCache::load_model(std::istream& in) {
   double threshold = 0.0;
   if (!(in >> threshold)) throw std::runtime_error("LhrCache::load_model: bad header");
-  auto restored = std::make_shared<ml::Gbdt>();
-  restored->load(in);
-  model_ = std::move(restored);
+  ml::Gbdt restored;
+  restored.load(in);
+  model_ = std::make_shared<ml::CompiledModel>(std::move(restored));
   threshold_ = std::clamp(threshold, 0.0, 1.0);
 }
 
@@ -349,7 +350,10 @@ void LhrCache::load_model_file(const std::string& path) {
 
 std::uint64_t LhrCache::metadata_bytes() const {
   return hro_.memory_bytes() + extractor_.memory_bytes() + detector_.memory_bytes() +
-         (model_ ? model_->memory_bytes() : 0) +
+         // The FlatForest is the same model in a different layout; counting
+         // gbdt.memory_bytes() alone keeps the capacity deduction (and every
+         // downstream sim output) identical to the pre-forest accounting.
+         (model_ ? model_->gbdt.memory_bytes() : 0) +
          (trainer_ ? trainer_->memory_bytes() : 0) +
          train_x_.values.size() * sizeof(float) +
          train_y_.size() * sizeof(float) +

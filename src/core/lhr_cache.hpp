@@ -172,10 +172,12 @@ class LhrCache final : public sim::CacheBase {
   hazard::Hro hro_;
   ml::FeatureExtractor extractor_;
   ml::ZipfDetector detector_;
-  /// The live admission model (null until first trained). Only the request
-  /// thread reads or swaps this pointer; the background trainer builds a
-  /// separate object, so concurrent predict-during-retrain is race-free.
-  std::shared_ptr<const ml::Gbdt> model_;
+  /// The live admission model (null until first trained): the fitted Gbdt
+  /// plus its compiled FlatForest, scored through the forest on the request
+  /// path. Only the request thread reads or swaps this pointer; the
+  /// background trainer builds (and compiles) a separate object, so
+  /// concurrent predict-during-retrain is race-free.
+  std::shared_ptr<const ml::CompiledModel> model_;
   std::unique_ptr<ml::AsyncTrainer> trainer_;  ///< null in synchronous mode
 
   double threshold_;

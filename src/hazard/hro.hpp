@@ -19,12 +19,12 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "trace/request.hpp"
 #include "hazard/irt_models.hpp"
 #include "util/density_index.hpp"
+#include "util/flat_hash_map.hpp"
 #include "util/rng.hpp"
 
 namespace lhr::hazard {
@@ -99,7 +99,7 @@ class Hro {
 
   HroConfig config_;
   util::DensityIndex index_;
-  std::unordered_map<trace::Key, ContentState> contents_;
+  util::FlatHashMap<trace::Key, ContentState> contents_;
 
   // Age-decay extension state.
   HyperExp irt_model_{1.0, 1.0, 1.0};

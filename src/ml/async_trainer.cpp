@@ -39,10 +39,10 @@ bool AsyncTrainer::submit(Dataset&& x, std::vector<float>&& y,
   return true;
 }
 
-std::shared_ptr<const Gbdt> AsyncTrainer::collect() {
+std::shared_ptr<const CompiledModel> AsyncTrainer::collect() {
   if (!ready_.load(std::memory_order_acquire)) return nullptr;
   const std::lock_guard<std::mutex> lock(mutex_);
-  std::shared_ptr<const Gbdt> out = std::move(result_);
+  std::shared_ptr<const CompiledModel> out = std::move(result_);
   result_.reset();
   ready_.store(false, std::memory_order_release);
   busy_.store(false, std::memory_order_release);
@@ -90,11 +90,14 @@ void AsyncTrainer::trainer_loop() {
     }
 
     const auto t0 = std::chrono::steady_clock::now();
-    std::shared_ptr<Gbdt> model;
+    std::shared_ptr<CompiledModel> model;
     bool ok = true;
     try {
-      model = std::make_shared<Gbdt>();
-      model->fit(job.x, job.y, job.config, fit_pool_.get());
+      Gbdt gbdt;
+      gbdt.fit(job.x, job.y, job.config, fit_pool_.get());
+      // Compile the FlatForest here, on the trainer thread, so the caller's
+      // collect()/swap never pays for it on the request path.
+      model = std::make_shared<CompiledModel>(std::move(gbdt));
     } catch (...) {
       ok = false;  // bad batch: drop it, keep serving the old model
     }
@@ -107,7 +110,7 @@ void AsyncTrainer::trainer_loop() {
       last_train_seconds_ = seconds;
       if (ok) {
         ++completed_;
-        pending_bytes_.store(model->memory_bytes(), std::memory_order_relaxed);
+        pending_bytes_.store(model->gbdt.memory_bytes(), std::memory_order_relaxed);
         result_ = std::move(model);
         ready_.store(true, std::memory_order_release);
       } else {

@@ -9,6 +9,11 @@
 // model in with `collect()` — an O(shared_ptr) operation, so the only
 // foreground cost of retraining is the batch snapshot and the pointer swap.
 //
+// The result is a CompiledModel: the trainer builds the FlatForest
+// inference representation on its own thread, after the fit and before the
+// result is published, so forest compilation never stalls the request path
+// either — the caller always swaps in a ready-to-score object.
+//
 // Thread-safety: submit/collect/result_ready/busy may be called from one
 // caller thread concurrently with the trainer thread. The trainer only ever
 // touches the in-flight batch and the model under construction, never the
@@ -24,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "ml/flat_forest.hpp"
 #include "ml/gbdt.hpp"
 
 namespace lhr::util {
@@ -58,8 +64,9 @@ class AsyncTrainer {
     return busy_.load(std::memory_order_acquire);
   }
 
-  /// Takes the finished model; null when none is ready.
-  [[nodiscard]] std::shared_ptr<const Gbdt> collect();
+  /// Takes the finished model (with its FlatForest already compiled); null
+  /// when none is ready.
+  [[nodiscard]] std::shared_ptr<const CompiledModel> collect();
 
   /// Blocks until the in-flight training (if any) has finished; the result,
   /// if successful, is then available via collect().
@@ -93,7 +100,7 @@ class AsyncTrainer {
   bool has_work_ = false;
   bool stopping_ = false;
   Pending pending_;
-  std::shared_ptr<const Gbdt> result_;
+  std::shared_ptr<const CompiledModel> result_;
   std::size_t completed_ = 0;
   std::size_t failed_ = 0;
   double background_seconds_ = 0.0;

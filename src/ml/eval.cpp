@@ -1,6 +1,7 @@
 #include "ml/eval.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
@@ -60,6 +61,24 @@ BinaryMetrics evaluate_binary(std::span<const float> predictions,
   m.auc = (rank_sum_pos - static_cast<double>(n_pos) * (static_cast<double>(n_pos) + 1.0) / 2.0) /
           (static_cast<double>(n_pos) * static_cast<double>(n_neg));
   return m;
+}
+
+BinaryMetrics evaluate_model(const Gbdt& model, const Dataset& data,
+                             std::span<const float> labels, std::size_t n_threads,
+                             util::ThreadPool* pool) {
+  if (labels.size() != data.n_rows()) {
+    throw std::invalid_argument("evaluate_model: size mismatch");
+  }
+  std::vector<double> raw(data.n_rows());
+  model.predict_many(data, raw, pool, n_threads);
+  std::vector<float> predictions(raw.size());
+  const bool logistic = model.loss() == GbdtLoss::kLogistic;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const double p =
+        logistic ? 1.0 / (1.0 + std::exp(-raw[i])) : std::clamp(raw[i], 0.0, 1.0);
+    predictions[i] = static_cast<float>(p);
+  }
+  return evaluate_binary(predictions, labels);
 }
 
 }  // namespace lhr::ml

@@ -8,6 +8,8 @@
 #include <cstddef>
 #include <span>
 
+#include "ml/gbdt.hpp"
+
 namespace lhr::ml {
 
 struct BinaryMetrics {
@@ -25,5 +27,16 @@ struct BinaryMetrics {
 /// Sizes must match; empty input returns a zero struct.
 [[nodiscard]] BinaryMetrics evaluate_binary(std::span<const float> predictions,
                                             std::span<const float> labels);
+
+/// Offline model evaluation: scores every row of `data` with `model`
+/// (through the parallel Gbdt::predict_many — `n_threads` workers on `pool`
+/// plus the caller; results are bit-identical for any thread count), maps
+/// the raw outputs to probabilities per the model's loss, and returns
+/// evaluate_binary against `labels`. The batch analogue of LhrCache's
+/// online model_quality() ring.
+[[nodiscard]] BinaryMetrics evaluate_model(const Gbdt& model, const Dataset& data,
+                                           std::span<const float> labels,
+                                           std::size_t n_threads = 1,
+                                           util::ThreadPool* pool = nullptr);
 
 }  // namespace lhr::ml

@@ -11,10 +11,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "trace/request.hpp"
+#include "util/flat_hash_map.hpp"
 
 namespace lhr::ml {
 
@@ -59,7 +59,7 @@ class FeatureExtractor {
   };
 
   FeatureConfig config_;
-  std::unordered_map<trace::Key, History> history_;
+  util::FlatHashMap<trace::Key, History> history_;
 };
 
 }  // namespace lhr::ml

@@ -1,0 +1,200 @@
+#include "ml/flat_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lhr::ml {
+
+FlatForest::FlatForest(const Gbdt& model)
+    : base_score_(model.base_score_),
+      loss_(model.loss_),
+      n_features_(model.n_features_) {
+  std::size_t n_nodes = 0;
+  for (const Gbdt::Tree& tree : model.trees_) n_nodes += tree.nodes.size();
+  feature_.reserve(n_nodes);
+  threshold_.reserve(n_nodes);
+  missing_left_.reserve(n_nodes);
+  child_.reserve(n_nodes * 2);
+  value_.reserve(n_nodes);
+  roots_.reserve(model.trees_.size());
+  depth_.reserve(model.trees_.size());
+
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+
+  // Renumber each tree's nodes in their stored order, keeping every tree's
+  // nodes contiguous so a traversal's working set stays local. Leaves become
+  // absorbing pseudo-nodes: threshold +inf with missing-left set routes
+  // every value (NaN included) to the left child, which is the leaf itself,
+  // so walks past a shallow leaf spin in place instead of branching out.
+  // Deepest leaf level of a tree (0 when the root is already a leaf) —
+  // the fixed trip count of the branch-free walk.
+  std::vector<std::pair<std::int32_t, std::int32_t>> stack;
+  const auto tree_depth = [&stack](const Gbdt::Tree& tree) {
+    if (tree.nodes.empty()) return std::int32_t{0};
+    std::int32_t deepest = 0;
+    stack.assign(1, {0, 0});
+    while (!stack.empty()) {
+      const auto [node, depth] = stack.back();
+      stack.pop_back();
+      const Gbdt::Node& nd = tree.nodes[static_cast<std::size_t>(node)];
+      if (nd.feature < 0) {
+        deepest = std::max(deepest, depth);
+      } else {
+        stack.emplace_back(nd.left, depth + 1);
+        stack.emplace_back(nd.right, depth + 1);
+      }
+    }
+    return deepest;
+  };
+
+  std::vector<std::int32_t> remap;  // original node index -> flat node index
+  for (const Gbdt::Tree& tree : model.trees_) {
+    const std::int32_t base = static_cast<std::int32_t>(feature_.size());
+    remap.assign(tree.nodes.size(), 0);
+    for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+      remap[i] = base + static_cast<std::int32_t>(i);
+    }
+    for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+      const Gbdt::Node& node = tree.nodes[i];
+      const std::int32_t self = remap[i];
+      if (node.feature >= 0) {
+        feature_.push_back(node.feature);
+        threshold_.push_back(node.threshold);
+        missing_left_.push_back(node.missing_left ? 1 : 0);
+        child_.push_back(remap[static_cast<std::size_t>(node.left)]);
+        child_.push_back(remap[static_cast<std::size_t>(node.right)]);
+        value_.push_back(0.0f);
+      } else {
+        feature_.push_back(0);
+        threshold_.push_back(kInf);
+        missing_left_.push_back(1);
+        child_.push_back(self);
+        child_.push_back(self);
+        value_.push_back(node.value);
+      }
+    }
+    if (tree.nodes.empty()) {
+      // A fitted tree always has at least one node; keep the defensive
+      // branch as a zero-valued absorbing leaf so roots_ stays aligned.
+      feature_.push_back(0);
+      threshold_.push_back(kInf);
+      missing_left_.push_back(1);
+      child_.push_back(base);
+      child_.push_back(base);
+      value_.push_back(0.0f);
+    }
+    roots_.push_back(base);
+    depth_.push_back(tree_depth(tree));
+  }
+}
+
+double FlatForest::score_row(std::span<const float> x) const {
+  const float* xs = x.data();
+  const std::int32_t* feature = feature_.data();
+  const float* threshold = threshold_.data();
+  const std::uint8_t* missing_left = missing_left_.data();
+  const std::int32_t* child = child_.data();
+  double score = base_score_;
+  const std::size_t n_trees = roots_.size();
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    std::size_t idx = static_cast<std::size_t>(roots_[t]);
+    // Fixed-trip walk: absorbing leaves make every path exactly depth_[t]
+    // steps long, so there is no data-dependent loop exit to mispredict.
+    for (std::int32_t d = depth_[t]; d > 0; --d) {
+      const float v = xs[static_cast<std::size_t>(feature[idx])];
+      const float thr = threshold[idx];
+      // Missing-left nodes test !(v > t): NaN fails the >, so it goes
+      // left. Missing-right nodes test v <= t: NaN fails that too, so it
+      // goes right. For non-NaN values both forms agree with v <= t, which
+      // makes the traversal isnan-free yet bit-identical to Gbdt::predict.
+      const bool go_left =
+          missing_left[idx] ? !(v > thr) : (v <= thr);
+      // Direction folds into the load index — no branch, no cmov on a
+      // pointer, just child_[2*idx] or child_[2*idx + 1].
+      idx = static_cast<std::size_t>(
+          child[2 * idx + static_cast<std::size_t>(!go_left)]);
+    }
+    score += value_[idx];
+  }
+  return score;
+}
+
+double FlatForest::probability(std::span<const float> x) const {
+  const double raw = score_row(x);
+  if (loss_ == GbdtLoss::kLogistic) return 1.0 / (1.0 + std::exp(-raw));
+  return std::clamp(raw, 0.0, 1.0);
+}
+
+void FlatForest::score_span(const float* rows, std::size_t n_rows,
+                            double* out) const {
+  const std::int32_t* feature = feature_.data();
+  const float* threshold = threshold_.data();
+  const std::uint8_t* missing_left = missing_left_.data();
+  const std::int32_t* child = child_.data();
+  const float* value = value_.data();
+  const std::size_t n_trees = roots_.size();
+  for (std::size_t begin = 0; begin < n_rows; begin += kBlockRows) {
+    const std::size_t block = std::min(kBlockRows, n_rows - begin);
+    double acc[kBlockRows];
+    const float* x[kBlockRows];
+    std::size_t idx[kBlockRows];
+    for (std::size_t r = 0; r < block; ++r) {
+      acc[r] = base_score_;
+      x[r] = rows + (begin + r) * n_features_;
+    }
+    // Tree-outer, level-inner: per tree, all rows of the block step down
+    // one level per pass. A single walk is a chain of dependent loads
+    // (node -> feature -> child), so walking rows one at a time serializes
+    // on load latency; stepping kBlockRows independent, branch-free walks
+    // in lockstep keeps that many chains in flight in the memory pipeline,
+    // while the tree's arrays stay cache-hot across the whole block.
+    for (std::size_t t = 0; t < n_trees; ++t) {
+      const auto root = static_cast<std::size_t>(roots_[t]);
+      for (std::size_t r = 0; r < block; ++r) idx[r] = root;
+      for (std::int32_t d = depth_[t]; d > 0; --d) {
+        for (std::size_t r = 0; r < block; ++r) {
+          const std::size_t node = idx[r];
+          const float v = x[r][static_cast<std::size_t>(feature[node])];
+          const float thr = threshold[node];
+          const bool go_left =
+              missing_left[node] ? !(v > thr) : (v <= thr);
+          idx[r] = static_cast<std::size_t>(
+              child[2 * node + static_cast<std::size_t>(!go_left)]);
+        }
+      }
+      // Per-row accumulation order is unchanged (base_score_, then trees in
+      // training order), preserving bit-identity with score_row.
+      for (std::size_t r = 0; r < block; ++r) acc[r] += value[idx[r]];
+    }
+    for (std::size_t r = 0; r < block; ++r) out[begin + r] = acc[r];
+  }
+}
+
+void FlatForest::score_block(std::span<const float> rows, std::size_t n_rows,
+                             std::span<double> out) const {
+  if (rows.size() != n_rows * n_features_) {
+    throw std::invalid_argument("FlatForest::score_block: row-buffer size mismatch");
+  }
+  if (out.size() != n_rows) {
+    throw std::invalid_argument("FlatForest::score_block: output size mismatch");
+  }
+  score_span(rows.data(), n_rows, out.data());
+}
+
+void FlatForest::score_block(const Dataset& data, std::span<double> out) const {
+  if (data.n_features != n_features_) {
+    throw std::invalid_argument("FlatForest::score_block: feature dimension mismatch");
+  }
+  score_block(data.values, data.n_rows(), out);
+}
+
+std::size_t FlatForest::memory_bytes() const noexcept {
+  return feature_.size() * (sizeof(std::int32_t) + sizeof(float) +
+                            sizeof(std::uint8_t) + sizeof(float)) +
+         child_.size() * sizeof(std::int32_t) +
+         roots_.size() * sizeof(std::int32_t) * 2;
+}
+
+}  // namespace lhr::ml

@@ -1,0 +1,112 @@
+// Compiled GBDT inference: the request-path representation of a trained
+// ml::Gbdt.
+//
+// Gbdt::predict walks one tree at a time through pointer-addressed Node
+// structs (24 bytes each, AoS), so every level of every tree is a dependent
+// cache miss into a different vector — and every level ends in a
+// data-dependent branch ("which child? is it a leaf?") the predictor gets
+// wrong about half the time. A FlatForest re-packs the whole forest once,
+// after training, into structure-of-arrays buffers with *no* leaf test in
+// the walk at all:
+//
+//     feature_[i]       int32   split feature of node i (leaf: 0)
+//     threshold_[i]     float   split threshold          (leaf: +inf)
+//     missing_left_[i]  uint8   NaN default direction    (leaf: 1)
+//     child_[2i], [2i+1] int32  left/right child         (leaf: i, i)
+//     value_[i]         float   leaf output              (internal: 0)
+//     roots_[t], depth_[t]      per-tree root node and max leaf depth
+//
+// Leaves are absorbing pseudo-nodes: threshold +inf with missing-left set
+// means every value (NaN included) "goes left", and the left child is the
+// leaf itself, so once a walk reaches its leaf it stays there for free.
+// Each tree's walk therefore runs a *fixed* depth_[t] iterations — one
+// indexed child load per level, direction folded into the index
+// (child_[2*node + !go_left]) — with zero unpredictable branches. Nodes of
+// each tree are contiguous, so the working set per tree is a handful of
+// cache lines instead of a node heap. This is the blocked, branch-free
+// layout XGBoost uses for its own inference path.
+//
+// Equivalence guarantee: score_row / score_block return bit-identical
+// doubles to Gbdt::predict for every input, including NaN features. Same
+// thresholds, same NaN default directions (missing-left nodes test
+// !(v > t), which routes NaN left without a separate isnan branch;
+// missing-right nodes test v <= t, which routes NaN right), same float
+// leaf values accumulated in the same double order (base_score first, then
+// trees in training order). flat_forest_test asserts exact equality across
+// random forests; bench_micro prints the max |Δscore| line CI greps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ml/gbdt.hpp"
+
+namespace lhr::ml {
+
+class FlatForest {
+ public:
+  /// An empty forest scores nothing; trained() is false.
+  FlatForest() = default;
+
+  /// Compiles `model`'s trees. An untrained model yields an empty forest.
+  explicit FlatForest(const Gbdt& model);
+
+  [[nodiscard]] bool trained() const noexcept { return !roots_.empty(); }
+  [[nodiscard]] std::size_t tree_count() const noexcept { return roots_.size(); }
+  [[nodiscard]] std::size_t n_features() const noexcept { return n_features_; }
+
+  /// Raw model output for one row (bit-identical to Gbdt::predict).
+  /// Precondition: x.size() == n_features(); unchecked on this hot path.
+  [[nodiscard]] double score_row(std::span<const float> x) const;
+
+  /// score_row mapped to [0,1] exactly like Gbdt::predict_probability
+  /// (identity-clamp for squared loss, sigmoid for logistic).
+  [[nodiscard]] double probability(std::span<const float> x) const;
+
+  /// Scores `n_rows` row-major rows (n_features() floats each), writing one
+  /// raw score per row. Processes rows in blocks of kBlockRows with the
+  /// tree loop outside the row loop, so each tree's arrays are touched once
+  /// per block while the block's independent walks overlap in the memory
+  /// pipeline. Results are bit-identical to score_row on each row.
+  /// Throws std::invalid_argument on shape mismatches.
+  void score_block(std::span<const float> rows, std::size_t n_rows,
+                   std::span<double> out) const;
+
+  /// Convenience overload over a Dataset.
+  void score_block(const Dataset& data, std::span<double> out) const;
+
+  /// Rows kept in flight per tree by score_block.
+  static constexpr std::size_t kBlockRows = 16;
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+ private:
+  void score_span(const float* rows, std::size_t n_rows, double* out) const;
+
+  std::vector<std::int32_t> feature_;
+  std::vector<float> threshold_;
+  std::vector<std::uint8_t> missing_left_;
+  std::vector<std::int32_t> child_;  ///< 2 per node: [2i] left, [2i+1] right
+  std::vector<float> value_;         ///< leaf output; 0 for internal nodes
+  std::vector<std::int32_t> roots_;  ///< per tree: root node index
+  std::vector<std::int32_t> depth_;  ///< per tree: deepest leaf level (0 = root is leaf)
+  double base_score_ = 0.0;
+  GbdtLoss loss_ = GbdtLoss::kSquared;
+  std::size_t n_features_ = 0;
+};
+
+/// A trained model bundled with its compiled inference representation.
+/// This is what flows through model swaps: the background trainer builds
+/// the FlatForest *before* the shared_ptr swap, so compilation cost never
+/// lands on the request path, and save/load keep using the Gbdt half.
+struct CompiledModel {
+  Gbdt gbdt;
+  FlatForest forest;
+
+  explicit CompiledModel(Gbdt model) : gbdt(std::move(model)), forest(gbdt) {}
+};
+
+}  // namespace lhr::ml

@@ -587,6 +587,27 @@ std::vector<double> Gbdt::predict_many(const Dataset& data) const {
   return out;
 }
 
+void Gbdt::predict_many(const Dataset& data, std::span<double> out,
+                        util::ThreadPool* pool, std::size_t n_threads) const {
+  if (data.n_features != n_features_) {
+    throw std::invalid_argument("Gbdt::predict_many: feature dimension mismatch");
+  }
+  if (out.size() != data.n_rows()) {
+    throw std::invalid_argument("Gbdt::predict_many: output size mismatch");
+  }
+  // Rows are scored independently into disjoint out slots, so any chunk
+  // assignment yields the same bits as the serial overload.
+  Executor exec(pool, n_threads);
+  exec.for_ranges(out.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      double score = base_score_;
+      const std::span<const float> x = data.row(i);
+      for (const Tree& tree : trees_) score += predict_tree(tree, x);
+      out[i] = score;
+    }
+  });
+}
+
 std::vector<double> Gbdt::feature_importance() const {
   std::vector<double> normalized = importance_gain_;
   double total = 0.0;

@@ -88,6 +88,15 @@ class Gbdt {
   void predict_many(const Dataset& data, std::span<double> out) const;
   [[nodiscard]] std::vector<double> predict_many(const Dataset& data) const;
 
+  /// Parallel batch prediction for the offline label/eval paths: rows are
+  /// chunked on fixed boundaries and scored on `pool` plus the calling
+  /// thread (n_threads = 0 uses everything the pool offers; a null pool
+  /// with n_threads > 1 spins up a transient pool). Rows are independent,
+  /// so the output is bit-identical to the serial overload for any thread
+  /// count.
+  void predict_many(const Dataset& data, std::span<double> out,
+                    util::ThreadPool* pool, std::size_t n_threads = 0) const;
+
   /// Total split gain attributed to each feature, normalized to sum to 1
   /// (empty before training). The standard "gain" importance measure.
   [[nodiscard]] std::vector<double> feature_importance() const;
@@ -102,9 +111,13 @@ class Gbdt {
 
   [[nodiscard]] bool trained() const noexcept { return !trees_.empty(); }
   [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
+  [[nodiscard]] GbdtLoss loss() const noexcept { return loss_; }
   [[nodiscard]] std::size_t memory_bytes() const noexcept;
 
  private:
+  /// FlatForest (ml/flat_forest.hpp) compiles trees_ into its SoA inference
+  /// layout; it is the only external reader of the tree internals.
+  friend class FlatForest;
   struct Node {
     // Leaf iff feature < 0.
     std::int32_t feature = -1;

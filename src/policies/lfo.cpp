@@ -8,6 +8,7 @@ namespace lhr::policy {
 Lfo::Lfo(std::uint64_t capacity_bytes, const LfoConfig& config)
     : CacheBase(capacity_bytes), config_(config), extractor_(config.features) {
   train_x_.n_features = extractor_.dim();
+  feature_scratch_.resize(extractor_.dim());
 }
 
 void Lfo::add_labeled(std::size_t slot, float label) {
@@ -44,6 +45,7 @@ void Lfo::expire_and_train() {
   if (request_index_ > 0 && request_index_ % config_.window_requests == 0 &&
       train_y_.size() >= 1000) {
     model_.fit(train_x_, train_y_, config_.gbdt);
+    forest_ = ml::FlatForest(model_);
   }
 }
 
@@ -68,9 +70,8 @@ bool Lfo::access(const trace::Request& r) {
     const std::size_t dim = extractor_.dim();
     const std::size_t old_size = pending_features_.size();
     pending_features_.resize(old_size + dim);
-    std::vector<float> features(dim);
-    extractor_.extract(r, features);
-    std::copy(features.begin(), features.end(),
+    extractor_.extract(r, feature_scratch_);
+    std::copy(feature_scratch_.begin(), feature_scratch_.end(),
               pending_features_.begin() + static_cast<std::ptrdiff_t>(old_size));
     pending_.push_back(PendingSample{r.key, idx, bytes_seen_, false});
     last_pending_[r.key] = idx;
@@ -85,10 +86,9 @@ bool Lfo::access(const trace::Request& r) {
   }
   if (oversized(r.size)) return false;
 
-  if (model_.trained()) {
-    std::vector<float> features(extractor_.dim());
-    extractor_.extract(r, features);  // post-record features of the fresh state
-    if (model_.predict(features) < config_.admit_threshold) return false;
+  if (forest_.trained()) {
+    extractor_.extract(r, feature_scratch_);  // post-record features of the fresh state
+    if (forest_.score_row(feature_scratch_) < config_.admit_threshold) return false;
   }
 
   evict_until_fits(r.size);

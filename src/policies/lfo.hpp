@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "ml/features.hpp"
+#include "ml/flat_forest.hpp"
 #include "ml/gbdt.hpp"
 #include "sim/cache_policy.hpp"
 
@@ -57,6 +58,8 @@ class Lfo final : public sim::CacheBase {
   LfoConfig config_;
   ml::FeatureExtractor extractor_;
   ml::Gbdt model_;
+  ml::FlatForest forest_;  ///< compiled from model_ after every fit
+  std::vector<float> feature_scratch_;  ///< per-request extraction buffer
 
   std::deque<PendingSample> pending_;
   std::deque<float> pending_features_;

@@ -13,6 +13,7 @@ Lrb::Lrb(std::uint64_t capacity_bytes, const LrbConfig& config)
       rng_(config.seed),
       extractor_(config.features) {
   train_x_.n_features = extractor_.dim();
+  feature_scratch_.resize(extractor_.dim());
 }
 
 void Lrb::add_labeled(std::size_t pending_slot, float target) {
@@ -60,17 +61,12 @@ void Lrb::maybe_train() {
 
   const auto t0 = std::chrono::steady_clock::now();
   model_.fit(train_x_, train_y_, config_.gbdt);
+  forest_ = ml::FlatForest(model_);
   training_seconds_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   ++trainings_;
   train_x_.values.clear();
   train_y_.clear();
-}
-
-double Lrb::predict_ttnr(const trace::Request& as_of) const {
-  std::vector<float> features(extractor_.dim());
-  extractor_.extract(as_of, features);
-  return model_.predict(features);
 }
 
 bool Lrb::access(const trace::Request& r) {
@@ -93,9 +89,8 @@ bool Lrb::access(const trace::Request& r) {
     const std::size_t dim = extractor_.dim();
     const std::size_t old_size = pending_features_.size();
     pending_features_.resize(old_size + dim);
-    std::vector<float> features(dim);
-    extractor_.extract(r, features);
-    std::copy(features.begin(), features.end(),
+    extractor_.extract(r, feature_scratch_);
+    std::copy(feature_scratch_.begin(), feature_scratch_.end(),
               pending_features_.begin() + static_cast<std::ptrdiff_t>(old_size));
     pending_.push_back(PendingSample{r.key, idx, r.time, false});
     last_pending_[r.key] = idx;
@@ -119,25 +114,45 @@ bool Lrb::access(const trace::Request& r) {
 }
 
 void Lrb::evict_until_fits(const trace::Request& r) {
+  const std::size_t dim = extractor_.dim();
   while (used_bytes() + r.size > capacity_bytes() && !residents_.empty()) {
     trace::Key victim = residents_.sample(rng_);
     double worst = -std::numeric_limits<double>::infinity();
     const std::size_t n = std::min(config_.eviction_sample, residents_.size());
-    for (std::size_t s = 0; s < n; ++s) {
-      const trace::Key candidate =
-          (n == residents_.size()) ? residents_.at(s) : residents_.sample(rng_);
-      double score;
-      if (model_.trained()) {
-        // Predicted time to next request, as of now.
-        score = predict_ttnr(
-            trace::Request{now_, candidate, object_size(candidate)});
-      } else {
-        // Cold start: fall back to LRU (largest idle time evicted first).
-        score = now_ - resident_last_use_.at(candidate);
+    if (forest_.trained()) {
+      // Gather the sample's feature rows (same RNG draw order as the old
+      // per-candidate loop) and score them in one blocked forest pass:
+      // predicted time to next request, as of now, for every candidate.
+      candidate_keys_.clear();
+      candidate_rows_.resize(n * dim);
+      candidate_scores_.resize(n);
+      for (std::size_t s = 0; s < n; ++s) {
+        const trace::Key candidate =
+            (n == residents_.size()) ? residents_.at(s) : residents_.sample(rng_);
+        candidate_keys_.push_back(candidate);
+        extractor_.extract(trace::Request{now_, candidate, object_size(candidate)},
+                           std::span<float>(candidate_rows_.data() + s * dim, dim));
       }
-      if (score > worst) {
-        worst = score;
-        victim = candidate;
+      forest_.score_block(candidate_rows_, n, candidate_scores_);
+      // score_block is bit-identical to per-candidate predict, and the
+      // strict > argmax visits candidates in the same order, so the victim
+      // choice matches the pre-forest implementation exactly.
+      for (std::size_t s = 0; s < n; ++s) {
+        if (candidate_scores_[s] > worst) {
+          worst = candidate_scores_[s];
+          victim = candidate_keys_[s];
+        }
+      }
+    } else {
+      // Cold start: fall back to LRU (largest idle time evicted first).
+      for (std::size_t s = 0; s < n; ++s) {
+        const trace::Key candidate =
+            (n == residents_.size()) ? residents_.at(s) : residents_.sample(rng_);
+        const double score = now_ - resident_last_use_.at(candidate);
+        if (score > worst) {
+          worst = score;
+          victim = candidate;
+        }
       }
     }
     residents_.erase(victim);

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "ml/features.hpp"
+#include "ml/flat_forest.hpp"
 #include "ml/gbdt.hpp"
 #include "policies/sampled_set.hpp"
 #include "sim/cache_policy.hpp"
@@ -64,13 +65,13 @@ class Lrb final : public sim::CacheBase {
   void add_labeled(std::size_t pending_slot, float target);
   void expire_pending();
   void maybe_train();
-  [[nodiscard]] double predict_ttnr(const trace::Request& as_of) const;
   void evict_until_fits(const trace::Request& r);
 
   LrbConfig config_;
   util::Xoshiro256 rng_;
   ml::FeatureExtractor extractor_;
   ml::Gbdt model_;
+  ml::FlatForest forest_;  ///< compiled from model_ after every fit
 
   // Ring of pending samples; features stored flat alongside.
   std::deque<PendingSample> pending_;
@@ -84,6 +85,13 @@ class Lrb final : public sim::CacheBase {
 
   std::unordered_map<trace::Key, trace::Time> resident_last_use_;
   SampledKeySet residents_;
+
+  // Per-request / per-eviction scratch (avoids allocation churn on the hot
+  // path; sized once per use, capacity persists).
+  std::vector<float> feature_scratch_;
+  std::vector<trace::Key> candidate_keys_;
+  std::vector<float> candidate_rows_;    ///< eviction_sample rows, row-major
+  std::vector<double> candidate_scores_;
 
   std::uint64_t request_index_ = 0;
   trace::Time now_ = 0.0;

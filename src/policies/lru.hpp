@@ -4,9 +4,9 @@
 #pragma once
 
 #include <list>
-#include <unordered_map>
 
 #include "sim/cache_policy.hpp"
+#include "util/flat_hash_map.hpp"
 
 namespace lhr::policy {
 
@@ -22,7 +22,7 @@ class Lru final : public sim::CacheBase {
   void evict_until_fits(std::uint64_t incoming_size);
 
   std::list<trace::Key> order_;  // front = most recent
-  std::unordered_map<trace::Key, std::list<trace::Key>::iterator> where_;
+  util::FlatHashMap<trace::Key, std::list<trace::Key>::iterator> where_;
 };
 
 }  // namespace lhr::policy

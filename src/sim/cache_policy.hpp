@@ -4,9 +4,9 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 
 #include "trace/request.hpp"
+#include "util/flat_hash_map.hpp"
 
 namespace lhr::sim {
 
@@ -87,12 +87,12 @@ class CacheBase : public CachePolicy {
   /// True when an object of `size` can never fit (bigger than the cache).
   [[nodiscard]] bool oversized(std::uint64_t size) const { return size > capacity_; }
 
-  const std::unordered_map<trace::Key, std::uint64_t>& cached_sizes() const {
+  const util::FlatHashMap<trace::Key, std::uint64_t>& cached_sizes() const {
     return sizes_;
   }
 
  private:
-  std::unordered_map<trace::Key, std::uint64_t> sizes_;
+  util::FlatHashMap<trace::Key, std::uint64_t> sizes_;
   std::uint64_t used_ = 0;
   std::uint64_t capacity_;
 };

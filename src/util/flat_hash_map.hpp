@@ -1,0 +1,272 @@
+// Open-addressing hash map for the per-request hot paths.
+//
+// std::unordered_map pays one heap allocation plus two pointer
+// indirections per lookup (bucket array -> node -> next) and scatters nodes
+// across the heap, so every find on the request path is a couple of
+// dependent cache misses. This map stores entries inline in one flat,
+// power-of-two-sized array probed linearly, which turns the common lookup
+// into a single indexed load plus a short sequential scan — the layout
+// Table 3's per-request latency budget wants.
+//
+// Design points:
+//   * Linear probing over a power-of-two capacity (mask, no modulo). The
+//     default hasher finishes keys with util::mix64, because std::hash on
+//     libstdc++ is the identity for integers and CDN content ids are not
+//     uniformly distributed.
+//   * Tombstone-free backward-shift deletion: erase() re-packs the probe
+//     cluster after the hole instead of leaving DELETED markers, so probe
+//     sequences never grow with churn and load stays exactly size/capacity.
+//   * Max load factor 3/4, growth by doubling; entries live in
+//     std::vector storage (Key and Value must be default-constructible and
+//     move-assignable — true for every per-request map in this repo).
+//
+// Iteration visits entries in slot order, which is hash-dependent — exactly
+// as unspecified as unordered_map's order. Callers that iterate (window
+// pruning, density refreshes) must already be order-independent, and are.
+//
+// Erase-during-iteration: `it = map.erase(it)` works like unordered_map for
+// predicate sweeps, with one documented wrinkle inherited from backward
+// shifting: an entry whose cluster wraps the end of the table can be
+// visited twice (never skipped). Predicate sweeps are therefore required to
+// be idempotent — erase entries the predicate rejects, leave the rest —
+// which all in-repo sweeps are. util_test fuzzes this against
+// std::unordered_map.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace lhr::util {
+
+/// Default hasher: the mix64 finalizer (invertible, full-avalanche).
+struct MixHash {
+  [[nodiscard]] std::size_t operator()(std::uint64_t key) const noexcept {
+    return static_cast<std::size_t>(mix64(key));
+  }
+};
+
+template <typename Key, typename Value, typename Hash = MixHash>
+class FlatHashMap {
+ public:
+  /// Entry layout mirrors std::pair so call sites keep `it->first` /
+  /// `it->second` and structured bindings. `first` stays non-const so the
+  /// map can move entries during rehash and backward-shift deletion; do not
+  /// mutate it through an iterator.
+  struct Entry {
+    Key first{};
+    Value second{};
+  };
+  using value_type = Entry;
+
+  template <bool Const>
+  class Iter {
+    using MapPtr = std::conditional_t<Const, const FlatHashMap*, FlatHashMap*>;
+    using Ref = std::conditional_t<Const, const Entry&, Entry&>;
+    using Ptr = std::conditional_t<Const, const Entry*, Entry*>;
+
+   public:
+    Iter() = default;
+    [[nodiscard]] Ref operator*() const { return map_->slots_[index_]; }
+    [[nodiscard]] Ptr operator->() const { return &map_->slots_[index_]; }
+    Iter& operator++() {
+      ++index_;
+      skip_empty();
+      return *this;
+    }
+    friend bool operator==(const Iter&, const Iter&) = default;
+
+    // iterator -> const_iterator conversion.
+    operator Iter<true>() const
+      requires(!Const)
+    {
+      return Iter<true>(map_, index_);
+    }
+
+   private:
+    friend class FlatHashMap;
+    Iter(MapPtr map, std::size_t index) : map_(map), index_(index) {}
+    void skip_empty() {
+      while (index_ < map_->used_.size() && !map_->used_[index_]) ++index_;
+    }
+
+    MapPtr map_ = nullptr;
+    std::size_t index_ = 0;
+  };
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  FlatHashMap() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  [[nodiscard]] iterator begin() {
+    iterator it(this, 0);
+    it.skip_empty();
+    return it;
+  }
+  [[nodiscard]] iterator end() { return iterator(this, slots_.size()); }
+  [[nodiscard]] const_iterator begin() const {
+    const_iterator it(this, 0);
+    it.skip_empty();
+    return it;
+  }
+  [[nodiscard]] const_iterator end() const {
+    return const_iterator(this, slots_.size());
+  }
+
+  [[nodiscard]] iterator find(const Key& key) {
+    const std::size_t i = find_index(key);
+    return i == kNotFound ? end() : iterator(this, i);
+  }
+  [[nodiscard]] const_iterator find(const Key& key) const {
+    const std::size_t i = find_index(key);
+    return i == kNotFound ? end() : const_iterator(this, i);
+  }
+  [[nodiscard]] bool contains(const Key& key) const {
+    return find_index(key) != kNotFound;
+  }
+
+  [[nodiscard]] Value& at(const Key& key) {
+    const std::size_t i = find_index(key);
+    if (i == kNotFound) throw std::out_of_range("FlatHashMap::at: missing key");
+    return slots_[i].second;
+  }
+  [[nodiscard]] const Value& at(const Key& key) const {
+    const std::size_t i = find_index(key);
+    if (i == kNotFound) throw std::out_of_range("FlatHashMap::at: missing key");
+    return slots_[i].second;
+  }
+
+  /// Inserts Value(args...) under `key` unless present (unordered_map
+  /// semantics: value-initialized with no args, untouched when found).
+  template <typename... Args>
+  std::pair<iterator, bool> try_emplace(const Key& key, Args&&... args) {
+    grow_if_needed();
+    std::size_t i = home_of(key);
+    while (used_[i]) {
+      if (slots_[i].first == key) return {iterator(this, i), false};
+      i = (i + 1) & mask_;
+    }
+    slots_[i].first = key;
+    slots_[i].second = Value(std::forward<Args>(args)...);
+    used_[i] = 1;
+    ++size_;
+    return {iterator(this, i), true};
+  }
+
+  Value& operator[](const Key& key) { return try_emplace(key).first->second; }
+
+  std::pair<iterator, bool> insert_or_assign(const Key& key, Value value) {
+    auto [it, inserted] = try_emplace(key);
+    it->second = std::move(value);
+    return {it, inserted};
+  }
+
+  /// Backward-shift deletion: re-packs the probe cluster after the hole so
+  /// no tombstone is left behind. Returns an iterator positioned at the
+  /// erased slot (it may now hold an entry shifted back from later in the
+  /// cluster), advanced to the next occupied slot when the hole stayed
+  /// empty — the `it = map.erase(it)` sweep pattern.
+  iterator erase(const_iterator pos) {
+    std::size_t hole = pos.index_;
+    std::size_t i = hole;
+    for (;;) {
+      i = (i + 1) & mask_;
+      if (!used_[i]) break;
+      // The entry at i can fill the hole iff the hole lies on its probe
+      // path, i.e. its home bucket is cyclically at or before the hole.
+      const std::size_t home = home_of(slots_[i].first);
+      if (((i - home) & mask_) >= ((i - hole) & mask_)) {
+        slots_[hole] = std::move(slots_[i]);
+        hole = i;
+      }
+    }
+    slots_[hole] = Entry{};  // release resources held by the vacated slot
+    used_[hole] = 0;
+    --size_;
+    iterator next(this, pos.index_);
+    next.skip_empty();
+    return next;
+  }
+
+  std::size_t erase(const Key& key) {
+    const std::size_t i = find_index(key);
+    if (i == kNotFound) return 0;
+    erase(const_iterator(this, i));
+    return 1;
+  }
+
+  void clear() {
+    slots_.clear();
+    used_.clear();
+    mask_ = 0;
+    size_ = 0;
+  }
+
+  /// Pre-sizes the table for `n` entries without exceeding the load cap.
+  void reserve(std::size_t n) {
+    std::size_t cap = slots_.empty() ? kMinCapacity : slots_.size();
+    while (n * 4 > cap * 3) cap *= 2;
+    if (cap > slots_.size()) rehash_to(cap);
+  }
+
+  /// Actual heap footprint of the flat table (entries stored inline).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return slots_.size() * (sizeof(Entry) + sizeof(std::uint8_t));
+  }
+
+ private:
+  static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kMinCapacity = 16;  // power of two
+
+  [[nodiscard]] std::size_t home_of(const Key& key) const {
+    return Hash{}(key) & mask_;
+  }
+
+  [[nodiscard]] std::size_t find_index(const Key& key) const {
+    if (slots_.empty()) return kNotFound;
+    std::size_t i = home_of(key);
+    while (used_[i]) {
+      if (slots_[i].first == key) return i;
+      i = (i + 1) & mask_;
+    }
+    return kNotFound;
+  }
+
+  void grow_if_needed() {
+    if (slots_.empty()) {
+      rehash_to(kMinCapacity);
+    } else if ((size_ + 1) * 4 > slots_.size() * 3) {
+      rehash_to(slots_.size() * 2);
+    }
+  }
+
+  void rehash_to(std::size_t new_capacity) {
+    std::vector<Entry> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_used = std::move(used_);
+    slots_.assign(new_capacity, Entry{});
+    used_.assign(new_capacity, 0);
+    mask_ = new_capacity - 1;
+    for (std::size_t s = 0; s < old_slots.size(); ++s) {
+      if (!old_used[s]) continue;
+      std::size_t i = home_of(old_slots[s].first);
+      while (used_[i]) i = (i + 1) & mask_;  // keys unique: no equality checks
+      slots_[i] = std::move(old_slots[s]);
+      used_[i] = 1;
+    }
+  }
+
+  std::vector<Entry> slots_;
+  std::vector<std::uint8_t> used_;  ///< separate byte array: probe scans stay dense
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lhr::util

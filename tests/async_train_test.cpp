@@ -1,7 +1,8 @@
 // ml::AsyncTrainer and LhrCache's asynchronous retraining path. The
 // concurrent-predict tests are the repository's TSan targets for the
 // model-swap design: readers keep predicting on the old model (a
-// shared_ptr<const Gbdt>) while the trainer fits a fresh object.
+// shared_ptr<const CompiledModel>) while the trainer fits — and compiles
+// the FlatForest of — a fresh object.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -72,7 +73,10 @@ TEST(AsyncTrainer, BackgroundFitMatchesSynchronousFit) {
   ASSERT_TRUE(trainer.result_ready());
   const auto async_model = trainer.collect();
   ASSERT_NE(async_model, nullptr);
-  EXPECT_EQ(serialized(*async_model), serialized(sync_model));
+  EXPECT_EQ(serialized(async_model->gbdt), serialized(sync_model));
+  // The trainer compiled the inference forest before publishing the result.
+  EXPECT_TRUE(async_model->forest.trained());
+  EXPECT_EQ(async_model->forest.tree_count(), sync_model.tree_count());
   EXPECT_EQ(trainer.completed(), 1u);
   EXPECT_EQ(trainer.failed(), 0u);
   EXPECT_GT(trainer.background_seconds(), 0.0);
@@ -146,7 +150,7 @@ TEST(AsyncTrainer, DestructorJoinsInFlightTraining) {
 TEST(AsyncTrainer, ConcurrentPredictDuringRetrainAndSwap) {
   const auto data = make_batch(6'000, 6, 55);
 
-  auto live = std::make_shared<const ml::Gbdt>([&] {
+  auto live = std::make_shared<const ml::CompiledModel>([&] {
     ml::Gbdt m;
     m.fit(data.x, data.y, small_config());
     return m;
@@ -164,8 +168,12 @@ TEST(AsyncTrainer, ConcurrentPredictDuringRetrainAndSwap) {
     readers.emplace_back([&, t, model = live] {
       std::size_t i = static_cast<std::size_t>(t);
       while (!stop.load(std::memory_order_relaxed)) {
-        const double p = model->predict(data.x.row(i % data.x.n_rows()));
+        // Score through the compiled forest — the request path's read — and
+        // cross-check the node-walk on the same model object.
+        const auto row = data.x.row(i % data.x.n_rows());
+        const double p = model->forest.score_row(row);
         ASSERT_TRUE(std::isfinite(p));
+        ASSERT_EQ(p, model->gbdt.predict(row));
         i += 7;
         reads.fetch_add(1, std::memory_order_relaxed);
       }

@@ -1,0 +1,318 @@
+// ml::FlatForest: the compiled inference representation must be *exactly*
+// equivalent to Gbdt::predict — same doubles, bit for bit, for every input
+// including NaN features — across forest shapes, loss functions, block
+// sizes and save/load round trips. EXPECT_EQ on doubles below is
+// deliberate: the layout change is only safe to ship because it changes
+// nothing numerically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "ml/async_trainer.hpp"
+#include "ml/eval.hpp"
+#include "ml/flat_forest.hpp"
+#include "ml/gbdt.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lhr {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+
+struct Labeled {
+  ml::Dataset x;
+  std::vector<float> y;
+};
+
+/// Random batch with `nan_fraction` missing cells and a nonlinear target,
+/// so fitted trees exercise both NaN default directions at varied depths.
+Labeled make_batch(std::size_t rows, std::size_t dim, double nan_fraction,
+                   std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Labeled out;
+  out.x.n_features = dim;
+  out.x.values.reserve(rows * dim);
+  out.y.reserve(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    double acc = 0.0;
+    for (std::size_t f = 0; f < dim; ++f) {
+      if (rng.next_double() < nan_fraction) {
+        out.x.values.push_back(kNaN);
+      } else {
+        const float v = static_cast<float>(rng.next_double());
+        out.x.values.push_back(v);
+        acc += (f % 2 == 0) ? v : v * v;
+      }
+    }
+    out.y.push_back(static_cast<float>(acc / static_cast<double>(dim) > 0.3 ? 1.0 : 0.0));
+  }
+  return out;
+}
+
+void expect_exact_equivalence(const ml::Gbdt& model, const ml::Dataset& data) {
+  const ml::FlatForest forest(model);
+  ASSERT_TRUE(forest.trained());
+  EXPECT_EQ(forest.tree_count(), model.tree_count());
+  EXPECT_EQ(forest.n_features(), data.n_features);
+
+  // Row path.
+  std::vector<double> expected(data.n_rows());
+  for (std::size_t i = 0; i < data.n_rows(); ++i) {
+    expected[i] = model.predict(data.row(i));
+    EXPECT_EQ(forest.score_row(data.row(i)), expected[i]) << "row " << i;
+    EXPECT_EQ(forest.probability(data.row(i)), model.predict_probability(data.row(i)))
+        << "row " << i;
+  }
+
+  // Block path, at sizes around and away from kBlockRows (odd sizes cover
+  // the partial-block tail).
+  std::vector<double> out(data.n_rows());
+  for (const std::size_t block : {std::size_t{1}, std::size_t{3}, std::size_t{7},
+                                  ml::FlatForest::kBlockRows,
+                                  ml::FlatForest::kBlockRows + 1, data.n_rows()}) {
+    std::fill(out.begin(), out.end(), -1.0);
+    for (std::size_t i = 0; i < data.n_rows(); i += block) {
+      const std::size_t n = std::min(block, data.n_rows() - i);
+      forest.score_block({data.values.data() + i * data.n_features, n * data.n_features},
+                         n, {out.data() + i, n});
+    }
+    for (std::size_t i = 0; i < data.n_rows(); ++i) {
+      EXPECT_EQ(out[i], expected[i]) << "block " << block << " row " << i;
+    }
+  }
+
+  // Dataset convenience overload.
+  std::fill(out.begin(), out.end(), -1.0);
+  forest.score_block(data, out);
+  for (std::size_t i = 0; i < data.n_rows(); ++i) EXPECT_EQ(out[i], expected[i]);
+}
+
+TEST(FlatForest, UntrainedModelYieldsEmptyForest) {
+  const ml::Gbdt model;
+  const ml::FlatForest forest(model);
+  EXPECT_FALSE(forest.trained());
+  EXPECT_EQ(forest.tree_count(), 0u);
+  const ml::FlatForest defaulted;
+  EXPECT_FALSE(defaulted.trained());
+}
+
+TEST(FlatForest, ExactEquivalenceDeepTrees) {
+  const auto batch = make_batch(3'000, 16, 0.2, 101);
+  ml::GbdtConfig cfg;
+  cfg.num_trees = 20;
+  cfg.max_depth = 8;
+  cfg.min_child_weight = 1.0;
+  ml::Gbdt model;
+  model.fit(batch.x, batch.y, cfg);
+  expect_exact_equivalence(model, batch.x);
+}
+
+TEST(FlatForest, ExactEquivalenceShallowStumps) {
+  const auto batch = make_batch(2'000, 8, 0.1, 202);
+  ml::GbdtConfig cfg;
+  cfg.num_trees = 40;
+  cfg.max_depth = 1;  // stumps: every tree is a root with two leaves
+  ml::Gbdt model;
+  model.fit(batch.x, batch.y, cfg);
+  expect_exact_equivalence(model, batch.x);
+}
+
+TEST(FlatForest, ExactEquivalenceHeavyNaN) {
+  // Half the cells missing: the NaN default directions carry the scores.
+  const auto batch = make_batch(2'000, 12, 0.5, 303);
+  ml::GbdtConfig cfg;
+  cfg.num_trees = 15;
+  cfg.max_depth = 5;
+  ml::Gbdt model;
+  model.fit(batch.x, batch.y, cfg);
+  expect_exact_equivalence(model, batch.x);
+
+  // Including rows that are entirely missing.
+  ml::Dataset all_nan;
+  all_nan.n_features = batch.x.n_features;
+  all_nan.values.assign(batch.x.n_features * 32, kNaN);
+  expect_exact_equivalence(model, all_nan);
+}
+
+TEST(FlatForest, ExactEquivalenceLogisticLoss) {
+  const auto batch = make_batch(2'500, 10, 0.15, 404);
+  ml::GbdtConfig cfg;
+  cfg.loss = ml::GbdtLoss::kLogistic;
+  cfg.num_trees = 12;
+  cfg.max_depth = 4;
+  ml::Gbdt model;
+  model.fit(batch.x, batch.y, cfg);
+  expect_exact_equivalence(model, batch.x);
+}
+
+TEST(FlatForest, ExactEquivalenceAfterSaveLoadRoundTrip) {
+  const auto batch = make_batch(2'000, 12, 0.2, 505);
+  ml::Gbdt model;
+  model.fit(batch.x, batch.y, ml::GbdtConfig{});
+
+  std::stringstream buf;
+  model.save(buf);
+  ml::Gbdt restored;
+  restored.load(buf);
+
+  const ml::FlatForest original(model);
+  const ml::FlatForest reloaded(restored);
+  for (std::size_t i = 0; i < batch.x.n_rows(); ++i) {
+    EXPECT_EQ(reloaded.score_row(batch.x.row(i)), original.score_row(batch.x.row(i)));
+  }
+  expect_exact_equivalence(restored, batch.x);
+}
+
+TEST(FlatForest, ScoreBlockRejectsShapeMismatches) {
+  const auto batch = make_batch(512, 6, 0.1, 606);
+  ml::Gbdt model;
+  model.fit(batch.x, batch.y, ml::GbdtConfig{});
+  const ml::FlatForest forest(model);
+
+  std::vector<double> out(4);
+  const std::vector<float> rows(4 * 6, 0.5f);
+  EXPECT_NO_THROW(forest.score_block(rows, 4, out));
+  // rows buffer too small for the claimed row count.
+  EXPECT_THROW(forest.score_block({rows.data(), 3 * 6}, 4, out), std::invalid_argument);
+  // output span doesn't match the row count.
+  std::vector<double> short_out(3);
+  EXPECT_THROW(forest.score_block(rows, 4, short_out), std::invalid_argument);
+  // Dataset with the wrong feature dimension.
+  ml::Dataset wrong;
+  wrong.n_features = 5;
+  wrong.values.assign(5 * 4, 0.5f);
+  std::vector<double> out4(4);
+  EXPECT_THROW(forest.score_block(wrong, out4), std::invalid_argument);
+}
+
+TEST(FlatForest, MemoryBytesIsPositiveForTrainedForest) {
+  const auto batch = make_batch(1'000, 8, 0.1, 707);
+  ml::Gbdt model;
+  model.fit(batch.x, batch.y, ml::GbdtConfig{});
+  const ml::FlatForest forest(model);
+  EXPECT_GT(forest.memory_bytes(), 0u);
+}
+
+TEST(CompiledModel, BundlesGbdtWithItsForest) {
+  const auto batch = make_batch(1'500, 8, 0.1, 808);
+  ml::Gbdt model;
+  model.fit(batch.x, batch.y, ml::GbdtConfig{});
+  const ml::CompiledModel compiled(model);  // copy in; the bundle owns both
+  ASSERT_TRUE(compiled.forest.trained());
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(compiled.forest.score_row(batch.x.row(i)),
+              compiled.gbdt.predict(batch.x.row(i)));
+  }
+}
+
+// TSan target: readers score through the compiled forest of the live model
+// while the background trainer fits and compiles a replacement, then the
+// swap happens — mirroring LhrCache's request path exactly.
+TEST(FlatForest, ConcurrentScoreDuringAsyncRetrainAndSwap) {
+  const auto batch = make_batch(4'000, 8, 0.15, 909);
+  ml::GbdtConfig cfg;
+  cfg.num_trees = 8;
+  cfg.max_depth = 4;
+
+  auto live = std::make_shared<const ml::CompiledModel>([&] {
+    ml::Gbdt m;
+    m.fit(batch.x, batch.y, cfg);
+    return m;
+  }());
+
+  ml::AsyncTrainer trainer(2);
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t, model = live] {
+      std::size_t i = static_cast<std::size_t>(t);
+      std::vector<double> block_out(ml::FlatForest::kBlockRows);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto row = batch.x.row(i % batch.x.n_rows());
+        ASSERT_EQ(model->forest.score_row(row), model->gbdt.predict(row));
+        // Blocked reads race-free too: score a window starting at row 0.
+        const std::size_t n = ml::FlatForest::kBlockRows;
+        model->forest.score_block({batch.x.values.data(), n * batch.x.n_features}, n,
+                                  block_out);
+        i += 13;
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  Labeled retrain = make_batch(4'000, 8, 0.15, 910);
+  ASSERT_TRUE(trainer.submit(std::move(retrain.x), std::move(retrain.y), cfg));
+  trainer.wait();
+  const auto fresh = trainer.collect();
+  ASSERT_NE(fresh, nullptr);
+  ASSERT_TRUE(fresh->forest.trained());
+  live = fresh;  // the swap; in-flight readers keep the old bundle alive
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& r : readers) r.join();
+  EXPECT_GT(reads.load(), 0u);
+}
+
+// ------------------------------------------- threaded predict_many / eval
+
+TEST(GbdtPredictManyThreaded, BitIdenticalAcrossThreadCounts) {
+  const auto batch = make_batch(6'000, 10, 0.15, 111);
+  ml::Gbdt model;
+  model.fit(batch.x, batch.y, ml::GbdtConfig{});
+
+  std::vector<double> serial(batch.x.n_rows());
+  model.predict_many(batch.x, serial);
+
+  util::ThreadPool pool(3);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    std::vector<double> out(batch.x.n_rows());
+    model.predict_many(batch.x, out, &pool, threads);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], serial[i]) << "threads=" << threads << " row " << i;
+    }
+  }
+  // Null pool with n_threads > 1: transient pool, same answer.
+  std::vector<double> out(batch.x.n_rows());
+  model.predict_many(batch.x, out, nullptr, 4);
+  for (std::size_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], serial[i]);
+}
+
+TEST(EvaluateModel, MatchesManualPredictionLoopAndIsThreadInvariant) {
+  const auto batch = make_batch(5'000, 10, 0.1, 222);
+  ml::Gbdt model;
+  model.fit(batch.x, batch.y, ml::GbdtConfig{});
+
+  std::vector<float> manual(batch.x.n_rows());
+  for (std::size_t i = 0; i < manual.size(); ++i) {
+    manual[i] = static_cast<float>(model.predict_probability(batch.x.row(i)));
+  }
+  const auto expected = ml::evaluate_binary(manual, batch.y);
+
+  const auto serial = ml::evaluate_model(model, batch.x, batch.y);
+  EXPECT_EQ(serial.accuracy, expected.accuracy);
+  EXPECT_EQ(serial.auc, expected.auc);
+  EXPECT_EQ(serial.brier, expected.brier);
+
+  util::ThreadPool pool(3);
+  const auto threaded = ml::evaluate_model(model, batch.x, batch.y, 4, &pool);
+  EXPECT_EQ(threaded.accuracy, serial.accuracy);
+  EXPECT_EQ(threaded.auc, serial.auc);
+  EXPECT_EQ(threaded.brier, serial.brier);
+
+  std::vector<float> short_labels(3);
+  EXPECT_THROW(static_cast<void>(ml::evaluate_model(model, batch.x, short_labels)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lhr

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -10,6 +12,7 @@
 #include "util/count_min_sketch.hpp"
 #include "util/density_index.hpp"
 #include "util/fenwick_tree.hpp"
+#include "util/flat_hash_map.hpp"
 #include "util/hash.hpp"
 #include "util/least_squares.hpp"
 #include "util/rng.hpp"
@@ -413,6 +416,192 @@ TEST(DensityIndex, ZeroDensityNeverBeatsPositive) {
   index.upsert(2, 1.0, 50);
   EXPECT_TRUE(index.in_prefix(2, 60));
   EXPECT_FALSE(index.in_prefix(1, 40));  // 50 denser bytes above >= 40
+}
+
+// ----------------------------------------------------------- FlatHashMap
+
+TEST(FlatHashMap, InsertFindEraseConformance) {
+  FlatHashMap<std::uint64_t, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.find(1), map.end());
+  EXPECT_FALSE(map.contains(1));
+  EXPECT_EQ(map.erase(1), 0u);
+
+  auto [it, inserted] = map.try_emplace(1, 10);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(it->first, 1u);
+  EXPECT_EQ(it->second, 10);
+  // try_emplace on a present key leaves the value untouched.
+  auto [it2, inserted2] = map.try_emplace(1, 99);
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(it2->second, 10);
+
+  map[2] = 20;                 // operator[] inserts value-initialized then assigns
+  map.insert_or_assign(1, 11); // overwrites
+  EXPECT_EQ(map.at(1), 11);
+  EXPECT_EQ(map.at(2), 20);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_THROW(static_cast<void>(map.at(3)), std::out_of_range);
+
+  EXPECT_EQ(map.erase(1), 1u);
+  EXPECT_FALSE(map.contains(1));
+  EXPECT_EQ(map.size(), 1u);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(2), map.end());
+}
+
+TEST(FlatHashMap, GrowsThroughRehashAndKeepsEveryEntry) {
+  FlatHashMap<std::uint64_t, std::uint64_t> map;
+  map.reserve(100);  // pre-size; must still be correct when exceeded
+  constexpr std::uint64_t kN = 10'000;
+  for (std::uint64_t k = 0; k < kN; ++k) map[k * 2'654'435'761ULL] = k;
+  EXPECT_EQ(map.size(), kN);
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    ASSERT_EQ(map.at(k * 2'654'435'761ULL), k);
+  }
+  EXPECT_GT(map.memory_bytes(), 0u);
+  // Iteration visits each entry exactly once (no wrap double-visit without
+  // concurrent erasure).
+  std::size_t visited = 0;
+  std::uint64_t sum = 0;
+  for (const auto& [key, value] : map) {
+    ++visited;
+    sum += value;
+  }
+  EXPECT_EQ(visited, kN);
+  EXPECT_EQ(sum, kN * (kN - 1) / 2);
+}
+
+/// Pathological hasher: everything lands in 8 home buckets, producing long
+/// probe clusters that wrap the table end — the worst case for
+/// backward-shift deletion.
+struct ClusterHash {
+  [[nodiscard]] std::size_t operator()(std::uint64_t key) const noexcept {
+    return static_cast<std::size_t>(key & 7);
+  }
+};
+
+TEST(FlatHashMap, BackwardShiftEraseSurvivesPathologicalClustering) {
+  FlatHashMap<std::uint64_t, std::uint64_t, ClusterHash> map;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Xoshiro256 rng(2024);
+  // Interleave inserts and erases so clusters form, wrap and re-pack.
+  for (int round = 0; round < 20'000; ++round) {
+    const std::uint64_t key = rng.next_below(512);
+    if (rng.next_double() < 0.6) {
+      map[key] = static_cast<std::uint64_t>(round);
+      ref[key] = static_cast<std::uint64_t>(round);
+    } else {
+      EXPECT_EQ(map.erase(key), ref.erase(key));
+    }
+    if (round % 1'000 == 0) {
+      ASSERT_EQ(map.size(), ref.size());
+    }
+  }
+  ASSERT_EQ(map.size(), ref.size());
+  for (const auto& [key, value] : ref) {
+    ASSERT_TRUE(map.contains(key)) << key;
+    ASSERT_EQ(map.at(key), value) << key;
+  }
+}
+
+TEST(FlatHashMap, FuzzAgainstUnorderedMap) {
+  FlatHashMap<std::uint64_t, std::uint64_t> map;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Xoshiro256 rng(777);
+  for (int op = 0; op < 100'000; ++op) {
+    const std::uint64_t key = rng.next_below(4'096);
+    const double dice = rng.next_double();
+    if (dice < 0.45) {
+      const std::uint64_t value = rng();
+      map.insert_or_assign(key, value);
+      ref[key] = value;
+    } else if (dice < 0.7) {
+      auto [it, inserted] = map.try_emplace(key, static_cast<std::uint64_t>(op));
+      auto [rit, rinserted] = ref.try_emplace(key, static_cast<std::uint64_t>(op));
+      ASSERT_EQ(inserted, rinserted);
+      ASSERT_EQ(it->second, rit->second);
+    } else if (dice < 0.9) {
+      ASSERT_EQ(map.erase(key), ref.erase(key));
+    } else {
+      const auto it = map.find(key);
+      const auto rit = ref.find(key);
+      ASSERT_EQ(it != map.end(), rit != ref.end());
+      if (rit != ref.end()) {
+        ASSERT_EQ(it->second, rit->second);
+      }
+    }
+  }
+  ASSERT_EQ(map.size(), ref.size());
+  std::size_t visited = 0;
+  for (const auto& [key, value] : map) {
+    ++visited;
+    const auto rit = ref.find(key);
+    ASSERT_NE(rit, ref.end());
+    ASSERT_EQ(value, rit->second);
+  }
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatHashMap, IterateEraseSweepMatchesUnorderedMap) {
+  // The `it = map.erase(it)` predicate-sweep pattern used by the feature
+  // pruner and HRO's window roll. The predicate is idempotent (depends only
+  // on the entry), so wrap-around double-visits cannot change the outcome.
+  for (const std::uint64_t seed : {1ULL, 42ULL, 913ULL}) {
+    FlatHashMap<std::uint64_t, std::uint64_t, ClusterHash> map;  // worst case
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    Xoshiro256 rng(seed);
+    for (int i = 0; i < 2'000; ++i) {
+      const std::uint64_t key = rng.next_below(1'024);
+      const std::uint64_t value = rng.next_below(100);
+      map.insert_or_assign(key, value);
+      ref[key] = value;
+    }
+    const auto drop = [](std::uint64_t value) { return value < 60; };
+    for (auto it = map.begin(); it != map.end();) {
+      if (drop(it->second)) {
+        it = map.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = ref.begin(); it != ref.end();) {
+      if (drop(it->second)) {
+        it = ref.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ASSERT_EQ(map.size(), ref.size());
+    for (const auto& [key, value] : ref) {
+      ASSERT_TRUE(map.contains(key));
+      ASSERT_EQ(map.at(key), value);
+    }
+  }
+}
+
+TEST(FlatHashMap, EraseDuringIterationNeverSkipsAnEntry) {
+  // Erase a subset mid-sweep and verify every surviving entry was visited
+  // at least once (double-visits allowed, misses are not).
+  FlatHashMap<std::uint64_t, int, ClusterHash> map;
+  for (std::uint64_t k = 0; k < 300; ++k) map[k] = 0;
+  for (auto it = map.begin(); it != map.end();) {
+    if (it->first % 3 == 0) {
+      it = map.erase(it);
+    } else {
+      ++it->second;  // mark visited
+      ++it;
+    }
+  }
+  std::size_t survivors = 0;
+  for (const auto& [key, visits] : map) {
+    EXPECT_NE(key % 3, 0u);
+    EXPECT_GE(visits, 1) << key;
+    ++survivors;
+  }
+  EXPECT_EQ(survivors, 200u);
 }
 
 }  // namespace
