@@ -10,6 +10,10 @@
 //   LHR_BENCH_SEED      generator seed            (default 42)
 //   LHR_BENCH_THREADS   runner worker threads     (default: hardware)
 //   LHR_BENCH_JSONL     append machine-readable results to this file
+//   LHR_TRACE_FILE      replay this .lhrt file instead of generating
+//   LHR_TRACE_SPILL_MB  spill generated traces to disk past this size
+//                       and mmap them back (default 1024)
+//   LHR_TRACE_CACHE_DIR where spilled .lhrt files live (default: temp dir)
 #pragma once
 
 #include <cstdio>
@@ -48,8 +52,9 @@ inline const std::vector<gen::TraceClass>& all_trace_classes() {
   return classes;
 }
 
-/// The memoized paper-calibrated trace for `c` (thread-safe).
-inline const trace::Trace& trace_for(gen::TraceClass c) {
+/// The memoized paper-calibrated trace for `c` (thread-safe). In-memory,
+/// mmapped-from-spill, or an LHR_TRACE_FILE override — see runner::TraceCache.
+inline const trace::TraceSource& trace_for(gen::TraceClass c) {
   return runner::TraceCache::global().get(c);
 }
 
@@ -164,7 +169,7 @@ inline std::vector<runner::Result> run_jobs(const std::vector<runner::Job>& jobs
 // ---------------------------------------------------------------- output
 
 /// WAN traffic rate in Gbps over the trace duration (Figure 8 bottom row).
-inline double wan_gbps(const sim::SimMetrics& m, const trace::Trace& t) {
+inline double wan_gbps(const sim::SimMetrics& m, const trace::TraceSource& t) {
   const double duration = t.duration() > 0.0 ? t.duration() : 1.0;
   return m.wan_traffic_bytes() * 8.0 / duration / 1e9;
 }

@@ -11,26 +11,26 @@ int main() {
   using namespace lhr;
   bench::print_header("Extension: bracketing OPT (PFOO-U <= OPT <= PFOO-L)");
 
-  using BoundFn = double (*)(const trace::Trace&, std::uint64_t);
+  using BoundFn = double (*)(const trace::TraceSource&, std::uint64_t);
   struct Bound {
     const char* name;
     BoundFn fn;
   };
   const std::vector<Bound> bounds = {
-      {"pfoo_u", [](const trace::Trace& t, std::uint64_t cap) {
-         return opt::pfoo_u(t.requests(), cap).hit_ratio(); }},
-      {"pfoo_l", [](const trace::Trace& t, std::uint64_t cap) {
-         return opt::pfoo_l(t.requests(), cap).hit_ratio(); }},
-      {"belady", [](const trace::Trace& t, std::uint64_t cap) {
-         return opt::belady(t.requests(), cap).hit_ratio(); }},
-      {"belady_size", [](const trace::Trace& t, std::uint64_t cap) {
-         return opt::belady_size(t.requests(), cap).hit_ratio(); }},
-      {"hro", [](const trace::Trace& t, std::uint64_t cap) {
+      {"pfoo_u", [](const trace::TraceSource& t, std::uint64_t cap) {
+         return opt::pfoo_u(t, cap).hit_ratio(); }},
+      {"pfoo_l", [](const trace::TraceSource& t, std::uint64_t cap) {
+         return opt::pfoo_l(t, cap).hit_ratio(); }},
+      {"belady", [](const trace::TraceSource& t, std::uint64_t cap) {
+         return opt::belady(t, cap).hit_ratio(); }},
+      {"belady_size", [](const trace::TraceSource& t, std::uint64_t cap) {
+         return opt::belady_size(t, cap).hit_ratio(); }},
+      {"hro", [](const trace::TraceSource& t, std::uint64_t cap) {
          hazard::Hro hro(hazard::HroConfig{.capacity_bytes = cap});
          for (const auto& r : t) hro.classify(r);
          return hro.hit_ratio(); }},
-      {"inf_cap", [](const trace::Trace& t, std::uint64_t) {
-         return opt::infinite_cap(t.requests()).hit_ratio(); }},
+      {"inf_cap", [](const trace::TraceSource& t, std::uint64_t) {
+         return opt::infinite_cap(t).hit_ratio(); }},
   };
 
   std::vector<runner::Job> jobs;

@@ -20,10 +20,10 @@ int main() {
     analytic.body = [c, sizes](runner::Result& r) {
       const auto& trace = bench::trace_for(c);
       // series = [mattson per size..., che per size...]
-      r.series = opt::lru_miss_ratio_curve(trace.requests(),
+      r.series = opt::lru_miss_ratio_curve(trace,
                                            std::span<const std::uint64_t>(sizes));
       for (const auto s : sizes) {
-        r.series.push_back(opt::che_lru_hit_ratio(trace.requests(), s));
+        r.series.push_back(opt::che_lru_hit_ratio(trace, s));
       }
     };
     jobs.push_back(std::move(analytic));

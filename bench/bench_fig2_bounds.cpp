@@ -28,8 +28,8 @@ int main() {
       bounds.label = "bounds/" + gen::to_string(c);
       bounds.body = [c, capacity](runner::Result& r) {
         const auto& trace = bench::trace_for(c);
-        r.set("belady_size", opt::belady_size(trace.requests(), capacity).hit_ratio());
-        r.set("pfoo_l", opt::pfoo_l(trace.requests(), capacity).hit_ratio());
+        r.set("belady_size", opt::belady_size(trace, capacity).hit_ratio());
+        r.set("pfoo_l", opt::pfoo_l(trace, capacity).hit_ratio());
         hazard::Hro hro(hazard::HroConfig{.capacity_bytes = capacity});
         for (const auto& req : trace) hro.classify(req);
         r.set("hro", hro.hit_ratio());

@@ -10,6 +10,7 @@
 #include "server/cdn_server.hpp"
 #include "server/sharded_cache.hpp"
 #include "sim/engine.hpp"
+#include "trace/lhrt.hpp"
 #include "trace/trace.hpp"
 
 namespace lhr::core {
@@ -31,7 +32,7 @@ std::vector<std::string> split_commas(const std::string& value) {
 constexpr std::size_t kServeShards = 16;
 
 sim::SimMetrics serve_replay(const std::string& policy_name, std::uint64_t capacity,
-                             const PolicyTuning& tuning, const trace::Trace& trace,
+                             const PolicyTuning& tuning, const trace::TraceSource& trace,
                              const CliOptions& options) {
   const std::size_t threads = options.serve_threads;
   auto backend = std::make_unique<server::ShardedCache>(
@@ -70,6 +71,8 @@ std::string cli_usage() {
       "  --policy NAMES       comma-separated policies (default LRU,LHR)\n"
       "  --capacity-gb LIST   comma-separated cache sizes in GB (default 64)\n"
       "  --trace FILE         replay a 'time key size' trace file\n"
+      "  --trace-file FILE    replay a packed binary .lhrt trace via mmap\n"
+      "                       (zero-copy; see tools/trace_convert)\n"
       "  --synthetic CLASS    cdn-a | cdn-b | cdn-c | wiki (default cdn-a)\n"
       "  --requests N         synthetic trace length (default 200000)\n"
       "  --seed S             generator seed (default 42)\n"
@@ -143,6 +146,10 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
       const char* v = need_value(i, arg);
       if (!v) return std::nullopt;
       options.trace_path = v;
+    } else if (arg == "--trace-file") {
+      const char* v = need_value(i, arg);
+      if (!v) return std::nullopt;
+      options.trace_file = v;
     } else if (arg == "--synthetic") {
       const char* v = need_value(i, arg);
       if (!v) return std::nullopt;
@@ -199,6 +206,20 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
     error = "--origin-profile/--fault-schedule require --serve-threads";
     return std::nullopt;
   }
+  if (!options.trace_path.empty() && !options.trace_file.empty()) {
+    error = "--trace and --trace-file are mutually exclusive";
+    return std::nullopt;
+  }
+  // Probe the binary trace now so a bad magic, wrong version or truncated
+  // file is a clear CLI error instead of a mid-run throw.
+  if (!options.trace_file.empty()) {
+    try {
+      (void)trace::MappedTrace(options.trace_file);
+    } catch (const std::exception& e) {
+      error = e.what();
+      return std::nullopt;
+    }
+  }
   // Fail on malformed specs at parse time, not mid-run.
   if (!options.origin_profile.empty()) {
     try {
@@ -221,7 +242,10 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
 
 std::vector<CliRunResult> run_cli(const CliOptions& options) {
   trace::Trace trace;
-  if (!options.trace_path.empty()) {
+  std::unique_ptr<trace::MappedTrace> mapped;
+  if (!options.trace_file.empty()) {
+    mapped = std::make_unique<trace::MappedTrace>(options.trace_file);
+  } else if (!options.trace_path.empty()) {
     trace = trace::read_trace_file(options.trace_path);
     if (!trace.is_time_ordered()) trace.sort_by_time();
   } else {
@@ -239,6 +263,8 @@ std::vector<CliRunResult> run_cli(const CliOptions& options) {
     }
     trace = gen::make_trace(cls, options.requests, options.seed);
   }
+  const trace::TraceSource& source =
+      mapped ? static_cast<const trace::TraceSource&>(*mapped) : trace;
 
   sim::SimOptions sim_options;
   sim_options.warmup_requests = options.warmup;
@@ -256,10 +282,10 @@ std::vector<CliRunResult> run_cli(const CliOptions& options) {
       result.policy = policy_name;
       result.capacity_gb = gb;
       if (options.serve_threads > 0) {
-        result.metrics = serve_replay(policy_name, capacity, tuning, trace, options);
+        result.metrics = serve_replay(policy_name, capacity, tuning, source, options);
       } else {
         auto policy = make_policy(policy_name, capacity, tuning);  // throws on typo
-        result.metrics = sim::simulate(*policy, trace, sim_options);
+        result.metrics = sim::simulate(*policy, source, sim_options);
       }
       results.push_back(std::move(result));
     }

@@ -19,6 +19,10 @@ struct CliOptions {
   std::vector<std::string> policies;        ///< --policy A,B,...
   std::vector<double> capacities_gb;        ///< --capacity-gb 16,64,...
   std::string trace_path;                   ///< --trace FILE (exclusive with synthetic)
+  /// --trace-file FILE: a packed binary `.lhrt` trace, replayed zero-copy
+  /// via mmap (O(chunk) resident memory). Validated at parse time: a bad
+  /// magic/version or truncated file is a CLI error, not a mid-run throw.
+  std::string trace_file;
   std::string synthetic;                    ///< --synthetic cdn-a|cdn-b|cdn-c|wiki
   std::size_t requests = 200'000;           ///< --requests N (synthetic only)
   std::uint64_t seed = 42;                  ///< --seed S

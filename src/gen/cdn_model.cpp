@@ -1,12 +1,8 @@
 #include "gen/cdn_model.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <stdexcept>
-#include <unordered_map>
 
-#include "gen/zipf.hpp"
-#include "util/rng.hpp"
+#include "gen/streaming.hpp"
 
 namespace lhr::gen {
 
@@ -27,77 +23,13 @@ std::string to_string(TraceClass c) {
 }
 
 trace::Trace generate_cdn_trace(const CdnTraceConfig& config) {
-  if (config.num_requests == 0 || config.core_contents == 0) {
-    throw std::invalid_argument("generate_cdn_trace: empty workload");
-  }
-  if (config.alpha_schedule.empty()) {
-    throw std::invalid_argument("generate_cdn_trace: empty alpha schedule");
-  }
-
-  util::Xoshiro256 rng(config.seed);
+  // One generation code path: materialize the incremental generator that
+  // StreamingGenerator and generate_lhrt_file also run on (streaming.hpp).
+  CdnTraceGenerator gen(config);
   trace::Trace out;
   out.reserve(config.num_requests);
-
-  // rank -> key indirection lets churn retire popular keys for fresh ones.
-  std::vector<trace::Key> rank_to_key(config.core_contents);
-  trace::Key next_key = 0;
-  for (auto& k : rank_to_key) k = next_key++;
-  trace::Key fresh_key = static_cast<trace::Key>(config.core_contents) +
-                         static_cast<trace::Key>(config.num_requests);  // disjoint range
-
-  // Sizes are fixed per key: memoize the first draw.
-  std::unordered_map<trace::Key, std::uint64_t> size_of;
-  size_of.reserve(config.core_contents * 2);
-  const auto key_size = [&](trace::Key k) {
-    auto [it, inserted] = size_of.try_emplace(k, 0);
-    if (inserted) it->second = config.size_model.sample(rng);
-    return it->second;
-  };
-
-  const double mean_gap =
-      config.duration_seconds / static_cast<double>(config.num_requests);
-
-  std::size_t schedule_pos = 0;
-  ZipfSampler zipf(config.core_contents, config.alpha_schedule[0].alpha);
-
-  double t = 0.0;
-  for (std::size_t i = 0; i < config.num_requests; ++i) {
-    // Advance the alpha schedule.
-    const double frac = static_cast<double>(i) / static_cast<double>(config.num_requests);
-    while (schedule_pos + 1 < config.alpha_schedule.size() &&
-           frac >= config.alpha_schedule[schedule_pos + 1].at_fraction) {
-      ++schedule_pos;
-      zipf = ZipfSampler(config.core_contents, config.alpha_schedule[schedule_pos].alpha);
-    }
-
-    // Popularity churn: retire the hottest ranks for brand-new keys.
-    if (config.churn_period > 0 && i > 0 && i % config.churn_period == 0 &&
-        config.churn_fraction > 0.0) {
-      const auto n_churn = static_cast<std::size_t>(
-          config.churn_fraction * static_cast<double>(config.core_contents));
-      for (std::size_t r = 0; r < n_churn; ++r) rank_to_key[r] = fresh_key++;
-    }
-
-    // Arrival time: exponential gap, optionally lognormally modulated.
-    double gap = -mean_gap * std::log(std::max(rng.next_double(), 1e-12));
-    if (config.burstiness_sigma > 0.0) {
-      const double u1 = std::max(rng.next_double(), 1e-12);
-      const double u2 = rng.next_double();
-      const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
-      // exp(sigma*z - sigma^2/2) has mean 1: modulates gaps without changing rate.
-      gap *= std::exp(config.burstiness_sigma * z -
-                      config.burstiness_sigma * config.burstiness_sigma / 2.0);
-    }
-    t += gap;
-
-    trace::Key key;
-    if (rng.next_double() < config.one_hit_wonder_rate) {
-      key = fresh_key++;
-    } else {
-      key = rank_to_key[zipf.sample(rng)];
-    }
-    out.push_back(trace::Request{t, key, key_size(key)});
-  }
+  trace::Request r;
+  while (gen.next(r)) out.push_back(r);
   return out;
 }
 

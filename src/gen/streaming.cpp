@@ -1,0 +1,183 @@
+#include "gen/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "trace/lhrt.hpp"
+
+namespace lhr::gen {
+
+CdnTraceGenerator::CdnTraceGenerator(const CdnTraceConfig& config)
+    : config_(config), rng_(config.seed),
+      rank_to_key_(config.core_contents),
+      fresh_key_(static_cast<trace::Key>(config.core_contents) +
+                 static_cast<trace::Key>(config.num_requests)),  // disjoint range
+      zipf_(std::max<std::size_t>(config.core_contents, 1),
+            config.alpha_schedule.empty() ? 1.0 : config.alpha_schedule[0].alpha) {
+  if (config.num_requests == 0 || config.core_contents == 0) {
+    throw std::invalid_argument("generate_cdn_trace: empty workload");
+  }
+  if (config.alpha_schedule.empty()) {
+    throw std::invalid_argument("generate_cdn_trace: empty alpha schedule");
+  }
+  trace::Key next_key = 0;
+  for (auto& k : rank_to_key_) k = next_key++;
+  size_of_.reserve(config.core_contents * 2);
+}
+
+bool CdnTraceGenerator::next(trace::Request& out) {
+  if (produced_ >= config_.num_requests) return false;
+  const std::size_t i = produced_;
+
+  // Advance the alpha schedule.
+  const double frac = static_cast<double>(i) / static_cast<double>(config_.num_requests);
+  while (schedule_pos_ + 1 < config_.alpha_schedule.size() &&
+         frac >= config_.alpha_schedule[schedule_pos_ + 1].at_fraction) {
+    ++schedule_pos_;
+    zipf_ = ZipfSampler(config_.core_contents, config_.alpha_schedule[schedule_pos_].alpha);
+  }
+
+  // Popularity churn: retire the hottest ranks for brand-new keys.
+  if (config_.churn_period > 0 && i > 0 && i % config_.churn_period == 0 &&
+      config_.churn_fraction > 0.0) {
+    const auto n_churn = static_cast<std::size_t>(
+        config_.churn_fraction * static_cast<double>(config_.core_contents));
+    for (std::size_t r = 0; r < n_churn; ++r) rank_to_key_[r] = fresh_key_++;
+  }
+
+  // Arrival time: exponential gap, optionally lognormally modulated.
+  const double mean_gap =
+      config_.duration_seconds / static_cast<double>(config_.num_requests);
+  double gap = -mean_gap * std::log(std::max(rng_.next_double(), 1e-12));
+  if (config_.burstiness_sigma > 0.0) {
+    const double u1 = std::max(rng_.next_double(), 1e-12);
+    const double u2 = rng_.next_double();
+    const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    // exp(sigma*z - sigma^2/2) has mean 1: modulates gaps without changing rate.
+    gap *= std::exp(config_.burstiness_sigma * z -
+                    config_.burstiness_sigma * config_.burstiness_sigma / 2.0);
+  }
+  t_ += gap;
+
+  trace::Key key;
+  std::uint64_t size;
+  if (rng_.next_double() < config_.one_hit_wonder_rate) {
+    // A one-hit wonder is never requested again, so its size needs no memo
+    // entry — that keeps size_of_ at O(contents), not O(requests). The RNG
+    // draw order matches the memoized path exactly (one size sample).
+    key = fresh_key_++;
+    size = config_.size_model.sample(rng_);
+  } else {
+    // Sizes are fixed per key: memoize the first draw. Churned-in keys can
+    // recur, so they go through the memo like core keys.
+    key = rank_to_key_[zipf_.sample(rng_)];
+    auto [it, inserted] = size_of_.try_emplace(key, 0);
+    if (inserted) it->second = config_.size_model.sample(rng_);
+    size = it->second;
+  }
+
+  out = trace::Request{t_, key, size};
+  ++produced_;
+  return true;
+}
+
+// ------------------------------------------------------ StreamingGenerator
+
+namespace {
+
+class GeneratorCursor final : public trace::TraceCursor {
+ public:
+  GeneratorCursor(const CdnTraceConfig& config, std::size_t begin, std::size_t end)
+      : gen_(config), end_(std::min(end, config.num_requests)) {
+    // Fast-forward: the generator must replay every draw up to `begin`.
+    trace::Request discard;
+    for (std::size_t i = 0; i < std::min(begin, end_); ++i) gen_.next(discard);
+  }
+
+  [[nodiscard]] std::size_t position() const noexcept override {
+    return gen_.produced();
+  }
+
+  [[nodiscard]] std::span<const trace::Request> next_chunk(
+      std::size_t max_requests) override {
+    const std::size_t remaining = end_ - std::min(gen_.produced(), end_);
+    const std::size_t n = std::min(max_requests, remaining);
+    buffer_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) gen_.next(buffer_[i]);
+    return buffer_;
+  }
+
+ private:
+  CdnTraceGenerator gen_;
+  std::size_t end_;
+  std::vector<trace::Request> buffer_;
+};
+
+}  // namespace
+
+StreamingGenerator::StreamingGenerator(CdnTraceConfig config)
+    : config_(std::move(config)) {
+  // Surface bad configurations at construction, not first iteration (the
+  // same checks CdnTraceGenerator performs, without its O(contents) state).
+  if (config_.num_requests == 0 || config_.core_contents == 0) {
+    throw std::invalid_argument("generate_cdn_trace: empty workload");
+  }
+  if (config_.alpha_schedule.empty()) {
+    throw std::invalid_argument("generate_cdn_trace: empty alpha schedule");
+  }
+}
+
+StreamingGenerator::StreamingGenerator(TraceClass c, std::size_t num_requests,
+                                       std::uint64_t seed)
+    : StreamingGenerator(make_config(c, num_requests, seed)) {}
+
+trace::Time StreamingGenerator::duration() const {
+  std::lock_guard<std::mutex> lock(duration_mutex_);
+  if (!duration_known_) {
+    CdnTraceGenerator gen(config_);
+    trace::Request r;
+    trace::Time first = 0.0, last = 0.0;
+    for (std::size_t i = 0; gen.next(r); ++i) {
+      if (i == 0) first = r.time;
+      last = r.time;
+    }
+    duration_ = config_.num_requests < 2 ? 0.0 : last - first;
+    duration_known_ = true;
+  }
+  return duration_;
+}
+
+std::unique_ptr<trace::TraceCursor> StreamingGenerator::make_cursor(
+    std::size_t begin, std::size_t end) const {
+  return std::make_unique<GeneratorCursor>(config_, begin, end);
+}
+
+void generate_lhrt_file(const CdnTraceConfig& config, const std::string& path,
+                        std::size_t chunk_requests) {
+  if (chunk_requests == 0) {
+    throw std::invalid_argument("generate_lhrt_file: chunk_requests must be > 0");
+  }
+  std::int32_t trace_class = trace::kLhrtClassUnknown;
+  for (const TraceClass c : {TraceClass::kCdnA, TraceClass::kCdnB,
+                             TraceClass::kCdnC, TraceClass::kWiki}) {
+    if (config.name == to_string(c)) trace_class = static_cast<std::int32_t>(c);
+  }
+
+  trace::LhrtWriter writer(path, config.seed, trace_class);
+  CdnTraceGenerator gen(config);
+  std::vector<trace::Request> buffer;
+  buffer.reserve(std::min(chunk_requests, config.num_requests));
+  trace::Request r;
+  while (gen.next(r)) {
+    buffer.push_back(r);
+    if (buffer.size() == chunk_requests) {
+      writer.append(buffer);
+      buffer.clear();
+    }
+  }
+  writer.append(buffer);
+  writer.finish();
+}
+
+}  // namespace lhr::gen

@@ -1,0 +1,88 @@
+// Bounded-memory synthetic trace generation.
+//
+// CdnTraceGenerator is the incremental form of generate_cdn_trace: it holds
+// the generator state (RNG, rank→key table, per-key size memo, alpha
+// schedule, arrival clock) and yields one request at a time, producing the
+// *identical* byte sequence at any chunking. generate_cdn_trace itself runs
+// on top of it, so there is exactly one generation code path.
+//
+// StreamingGenerator wraps a configuration as a trace::TraceSource whose
+// cursors each own a private generator: memory is O(core_contents + chunk)
+// instead of O(num_requests), so billion-request workloads (the paper's real
+// CDN-A scale) never materialize. generate_lhrt_file streams the same
+// sequence straight to a packed .lhrt file for mmap replay.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gen/cdn_model.hpp"
+#include "gen/zipf.hpp"
+#include "trace/trace_source.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::gen {
+
+/// Pull-based generator over a CdnTraceConfig. next() returns requests in
+/// trace order; the sequence is byte-identical to generate_cdn_trace.
+class CdnTraceGenerator {
+ public:
+  /// Throws std::invalid_argument for empty workloads/schedules (the same
+  /// validation generate_cdn_trace performs).
+  explicit CdnTraceGenerator(const CdnTraceConfig& config);
+
+  /// Fills `out` with the next request; false once num_requests were yielded.
+  bool next(trace::Request& out);
+
+  [[nodiscard]] std::size_t produced() const noexcept { return produced_; }
+
+ private:
+  const CdnTraceConfig config_;
+  util::Xoshiro256 rng_;
+  std::vector<trace::Key> rank_to_key_;
+  trace::Key fresh_key_;
+  std::unordered_map<trace::Key, std::uint64_t> size_of_;
+  std::size_t schedule_pos_ = 0;
+  ZipfSampler zipf_;
+  double t_ = 0.0;
+  std::size_t produced_ = 0;
+};
+
+/// A trace::TraceSource that regenerates the workload on demand. Each
+/// cursor owns an independent CdnTraceGenerator, so concurrent cursors (the
+/// replay_concurrent worker pattern) are safe; a cursor starting at index
+/// `begin` pays O(begin) generation to fast-forward.
+class StreamingGenerator final : public trace::TraceSource {
+ public:
+  explicit StreamingGenerator(CdnTraceConfig config);
+  StreamingGenerator(TraceClass c, std::size_t num_requests, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t size() const override { return config_.num_requests; }
+
+  /// First call pays one full generation pass (cached thereafter).
+  [[nodiscard]] trace::Time duration() const override;
+
+  [[nodiscard]] const CdnTraceConfig& config() const noexcept { return config_; }
+
+ protected:
+  [[nodiscard]] std::unique_ptr<trace::TraceCursor> make_cursor(
+      std::size_t begin, std::size_t end) const override;
+
+ private:
+  CdnTraceConfig config_;
+  mutable std::mutex duration_mutex_;
+  mutable bool duration_known_ = false;
+  mutable trace::Time duration_ = 0.0;
+};
+
+/// Streams generate_cdn_trace(config) to `path` in .lhrt format using
+/// O(core_contents + chunk_requests) memory. The resulting file is
+/// byte-identical for every chunk size and mmap-replays through
+/// trace::MappedTrace.
+void generate_lhrt_file(const CdnTraceConfig& config, const std::string& path,
+                        std::size_t chunk_requests = trace::kDefaultChunkRequests);
+
+}  // namespace lhr::gen

@@ -167,11 +167,11 @@ BoundResult belady_size(std::span<const trace::Request> requests,
   return result;
 }
 
-BoundResult infinite_cap(std::span<const trace::Request> requests) {
+BoundResult infinite_cap(const trace::TraceSource& source) {
   BoundResult result{.name = "InfiniteCap"};
   std::unordered_map<trace::Key, bool> seen;
-  seen.reserve(requests.size() / 2 + 1);
-  for (const trace::Request& r : requests) {
+  seen.reserve(source.size() / 2 + 1);
+  for (const trace::Request& r : source) {
     const bool hit = !seen.try_emplace(r.key, true).second;
     count_request(result, r, hit);
   }

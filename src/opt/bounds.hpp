@@ -22,6 +22,7 @@
 
 #include "trace/request.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
 
 namespace lhr::opt {
 
@@ -53,8 +54,13 @@ struct BoundResult {
                                       std::size_t sample_size = 64,
                                       std::uint64_t seed = 42);
 
-/// Infinite capacity: hits = all non-first requests.
-[[nodiscard]] BoundResult infinite_cap(std::span<const trace::Request> requests);
+/// Infinite capacity: hits = all non-first requests. Genuinely streaming:
+/// state is O(unique keys) regardless of the source.
+[[nodiscard]] BoundResult infinite_cap(const trace::TraceSource& source);
+
+[[nodiscard]] inline BoundResult infinite_cap(std::span<const trace::Request> requests) {
+  return infinite_cap(trace::TraceView(requests));
+}
 
 /// PFOO-L resource relaxation (upper bound on OPT's hit ratio).
 [[nodiscard]] BoundResult pfoo_l(std::span<const trace::Request> requests,
@@ -67,5 +73,37 @@ struct BoundResult {
 /// brackets OPT: pfoo_u.hits <= OPT <= pfoo_l.hits.
 [[nodiscard]] BoundResult pfoo_u(std::span<const trace::Request> requests,
                                  std::uint64_t capacity_bytes);
+
+// ---- TraceSource adapters -------------------------------------------------
+// Belady and the PFOO bounds need random access to future requests, so a
+// non-contiguous source (a streaming generator) is materialized once; a
+// Trace or MappedTrace passes through zero-copy.
+
+[[nodiscard]] inline BoundResult belady(const trace::TraceSource& source,
+                                        std::uint64_t capacity_bytes) {
+  trace::Trace storage;
+  return belady(trace::contiguous_or_materialize(source, storage), capacity_bytes);
+}
+
+[[nodiscard]] inline BoundResult belady_size(const trace::TraceSource& source,
+                                             std::uint64_t capacity_bytes,
+                                             std::size_t sample_size = 64,
+                                             std::uint64_t seed = 42) {
+  trace::Trace storage;
+  return belady_size(trace::contiguous_or_materialize(source, storage),
+                     capacity_bytes, sample_size, seed);
+}
+
+[[nodiscard]] inline BoundResult pfoo_l(const trace::TraceSource& source,
+                                        std::uint64_t capacity_bytes) {
+  trace::Trace storage;
+  return pfoo_l(trace::contiguous_or_materialize(source, storage), capacity_bytes);
+}
+
+[[nodiscard]] inline BoundResult pfoo_u(const trace::TraceSource& source,
+                                        std::uint64_t capacity_bytes) {
+  trace::Trace storage;
+  return pfoo_u(trace::contiguous_or_materialize(source, storage), capacity_bytes);
+}
 
 }  // namespace lhr::opt

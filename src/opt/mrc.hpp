@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "trace/request.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
 
 namespace lhr::opt {
 
@@ -41,5 +43,29 @@ inline constexpr double kInfiniteDistance = -1.0;
 /// Poisson rates estimated from the trace. Returns the object hit ratio.
 [[nodiscard]] double che_lru_hit_ratio(std::span<const trace::Request> requests,
                                        std::uint64_t capacity_bytes);
+
+// ---- TraceSource adapters -------------------------------------------------
+// The Mattson pass emits an O(n) distance vector anyway, so a streaming
+// source is materialized once; contiguous sources pass through zero-copy.
+
+[[nodiscard]] inline std::vector<double> lru_stack_distances(
+    const trace::TraceSource& source) {
+  trace::Trace storage;
+  return lru_stack_distances(trace::contiguous_or_materialize(source, storage));
+}
+
+[[nodiscard]] inline std::vector<double> lru_miss_ratio_curve(
+    const trace::TraceSource& source, std::span<const std::uint64_t> capacities_bytes) {
+  trace::Trace storage;
+  return lru_miss_ratio_curve(trace::contiguous_or_materialize(source, storage),
+                              capacities_bytes);
+}
+
+[[nodiscard]] inline double che_lru_hit_ratio(const trace::TraceSource& source,
+                                              std::uint64_t capacity_bytes) {
+  trace::Trace storage;
+  return che_lru_hit_ratio(trace::contiguous_or_materialize(source, storage),
+                           capacity_bytes);
+}
 
 }  // namespace lhr::opt

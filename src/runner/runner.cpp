@@ -28,7 +28,7 @@ Result run_one(const Job& job, TraceCache& traces) {
     return result;
   }
 
-  const trace::Trace& trace = job.trace ? *job.trace : traces.get(job.trace_class);
+  const trace::TraceSource& trace = job.trace ? *job.trace : traces.get(job.trace_class);
   auto policy = job.make ? job.make() : core::make_policy(job.policy_name, job.capacity_bytes);
   result.policy = policy->name();
   result.trace = job.trace ? "custom" : gen::to_string(job.trace_class);

@@ -77,7 +77,7 @@ struct Job {
   std::string policy_name;  ///< resolved via core::make_policy
   std::function<std::unique_ptr<sim::CachePolicy>()> make;  ///< overrides policy_name
   gen::TraceClass trace_class = gen::TraceClass::kCdnA;
-  const trace::Trace* trace = nullptr;  ///< overrides trace_class (not owned)
+  const trace::TraceSource* trace = nullptr;  ///< overrides trace_class (not owned)
   std::uint64_t capacity_bytes = 0;
   sim::SimOptions options{};
   /// Runs after simulate() while the policy instance is still alive; use it

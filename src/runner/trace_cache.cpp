@@ -1,6 +1,12 @@
 #include "runner/trace_cache.hpp"
 
+#include <unistd.h>
+
 #include <cstdlib>
+#include <filesystem>
+
+#include "gen/streaming.hpp"
+#include "trace/lhrt.hpp"
 
 namespace lhr::runner {
 
@@ -21,19 +27,88 @@ std::uint64_t env_bench_seed() {
   return 42;
 }
 
+std::size_t env_spill_mb() {
+  if (const char* env = std::getenv("LHR_TRACE_SPILL_MB")) {
+    const long value = std::atol(env);
+    if (value >= 0) return static_cast<std::size_t>(value);
+  }
+  return 1024;
+}
+
+std::string env_string(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr ? std::string(env) : std::string();
+}
+
 }  // namespace
 
-const trace::Trace& TraceCache::get(gen::TraceClass c) {
+const trace::TraceSource& TraceCache::get(gen::TraceClass c) {
   Entry& entry = entries_[static_cast<std::size_t>(c)];
-  std::call_once(entry.once, [&] {
-    entry.trace = std::make_unique<trace::Trace>(
-        gen::make_trace(c, requests_per_trace_, seed_));
-  });
-  return *entry.trace;
+  std::call_once(entry.once, [&] { entry.source = build(c); });
+  return *entry.source;
+}
+
+std::unique_ptr<trace::TraceSource> TraceCache::build(gen::TraceClass c) const {
+  if (!options_.trace_file.empty()) {
+    // A real (or pre-converted) trace replaces every generated class.
+    return std::make_unique<trace::MappedTrace>(options_.trace_file);
+  }
+
+  const std::size_t record_bytes =
+      options_.requests_per_trace * trace::kLhrtRecordBytes;
+  const std::size_t spill_bytes = options_.spill_mb * (std::size_t{1} << 20);
+  if (record_bytes <= spill_bytes && options_.spill_mb != 0) {
+    return std::make_unique<trace::Trace>(
+        gen::make_trace(c, options_.requests_per_trace, options_.seed));
+  }
+
+  // Past the spill threshold: stream the trace to disk in bounded chunks
+  // and serve it back through the mapping. The file is keyed by everything
+  // that determines its contents, so a matching header means a previous run
+  // (or another class-entry in this process) already paid the generation.
+  namespace fs = std::filesystem;
+  const fs::path dir = options_.cache_dir.empty()
+                           ? fs::temp_directory_path() / "lhr-trace-cache"
+                           : fs::path(options_.cache_dir);
+  fs::create_directories(dir);
+  const fs::path path =
+      dir / (std::string("lhr-") + gen::to_string(c) + "-" +
+             std::to_string(options_.requests_per_trace) + "-" +
+             std::to_string(options_.seed) + ".lhrt");
+
+  if (fs::exists(path)) {
+    try {
+      auto mapped = std::make_unique<trace::MappedTrace>(path.string());
+      if (mapped->size() == options_.requests_per_trace &&
+          mapped->seed() == options_.seed &&
+          mapped->trace_class() == static_cast<int>(c)) {
+        return mapped;
+      }
+    } catch (const std::exception&) {
+      // Stale or unfinished file from a crashed run; regenerate below.
+    }
+  }
+
+  // Write under a temporary name and rename into place so concurrent
+  // processes spilling the same trace never map each other's half-files.
+  const fs::path tmp = path.string() + ".tmp." + std::to_string(::getpid());
+  gen::generate_lhrt_file(gen::make_config(c, options_.requests_per_trace,
+                                           options_.seed),
+                          tmp.string());
+  fs::rename(tmp, path);
+  return std::make_unique<trace::MappedTrace>(path.string());
 }
 
 TraceCache& TraceCache::global() {
-  static TraceCache cache(env_requests_per_trace(), env_bench_seed());
+  static TraceCache cache([] {
+    Options o;
+    o.requests_per_trace = env_requests_per_trace();
+    o.seed = env_bench_seed();
+    o.spill_mb = env_spill_mb();
+    o.trace_file = env_string("LHR_TRACE_FILE");
+    o.cache_dir = env_string("LHR_TRACE_CACHE_DIR");
+    return o;
+  }());
   return cache;
 }
 

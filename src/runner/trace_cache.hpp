@@ -4,7 +4,20 @@
 // bench/bench_common.hpp (`trace_for`), which raced as soon as two runner
 // jobs requested the same trace class concurrently. Each class is generated
 // exactly once behind a std::once_flag; different classes can generate in
-// parallel, and every caller gets a reference to the same immutable Trace.
+// parallel, and every caller gets a reference to the same immutable source.
+//
+// The cache hands out `trace::TraceSource` handles, not concrete Traces:
+//  * small traces are generated in memory exactly as before;
+//  * traces whose record footprint exceeds `Options::spill_mb` are streamed
+//    to an `.lhrt` file in the cache directory and served back through a
+//    zero-copy `trace::MappedTrace`, so a huge sweep keeps O(chunk) trace
+//    bytes resident per job instead of requests*24;
+//  * spilled files are named by (class, requests, seed) and reused across
+//    processes when the header matches, so repeated bench runs skip
+//    regeneration entirely;
+//  * `Options::trace_file` (the LHR_TRACE_FILE env knob) short-circuits
+//    generation and serves that `.lhrt` file for every class — the hook the
+//    bench harnesses use to replay a real production trace.
 #pragma once
 
 #include <array>
@@ -12,9 +25,11 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 
 #include "gen/cdn_model.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
 
 namespace lhr::runner {
 
@@ -23,35 +38,62 @@ inline constexpr std::size_t kTraceClassCount = 4;
 
 class TraceCache {
  public:
-  /// Traces are generated on first use with `requests_per_trace` requests
-  /// and the given generator seed (same knobs as gen::make_trace).
+  struct Options {
+    /// Requests per generated trace (gen::make_trace's `n`).
+    std::size_t requests_per_trace = 200'000;
+    /// Generator seed (gen::make_trace's `seed`).
+    std::uint64_t seed = 42;
+    /// Traces whose records exceed this many MiB are generated straight to
+    /// disk and mmapped instead of held in memory. 0 spills everything.
+    /// Env: LHR_TRACE_SPILL_MB (default 1024).
+    std::size_t spill_mb = 1024;
+    /// Non-empty: serve this `.lhrt` file for every class instead of
+    /// generating. Env: LHR_TRACE_FILE.
+    std::string trace_file;
+    /// Directory for spilled traces; empty means the system temp dir.
+    /// Env: LHR_TRACE_CACHE_DIR.
+    std::string cache_dir;
+  };
+
+  explicit TraceCache(Options options) : options_(std::move(options)) {}
+
+  /// Back-compat convenience: in-memory cache with the default spill knobs.
   TraceCache(std::size_t requests_per_trace, std::uint64_t seed)
-      : requests_per_trace_(requests_per_trace), seed_(seed) {}
+      : TraceCache([&] {
+          Options o;
+          o.requests_per_trace = requests_per_trace;
+          o.seed = seed;
+          return o;
+        }()) {}
 
   TraceCache(const TraceCache&) = delete;
   TraceCache& operator=(const TraceCache&) = delete;
 
-  /// Returns the memoized trace for `c`, generating it on first call.
-  /// Safe to call from any number of threads.
-  const trace::Trace& get(gen::TraceClass c);
+  /// Returns the memoized source for `c`, generating (or mapping) it on
+  /// first call. Safe to call from any number of threads.
+  const trace::TraceSource& get(gen::TraceClass c);
 
   [[nodiscard]] std::size_t requests_per_trace() const noexcept {
-    return requests_per_trace_;
+    return options_.requests_per_trace;
   }
-  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return options_.seed; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
 
-  /// The process-wide cache the bench harnesses share, sized from the
-  /// LHR_BENCH_REQUESTS / LHR_BENCH_SEED environment knobs.
+  /// The process-wide cache the bench harnesses share, configured from the
+  /// LHR_BENCH_REQUESTS / LHR_BENCH_SEED / LHR_TRACE_FILE /
+  /// LHR_TRACE_SPILL_MB / LHR_TRACE_CACHE_DIR environment knobs.
   static TraceCache& global();
 
  private:
   struct Entry {
     std::once_flag once;
-    std::unique_ptr<trace::Trace> trace;
+    std::unique_ptr<trace::TraceSource> source;
   };
 
-  std::size_t requests_per_trace_;
-  std::uint64_t seed_;
+  /// Builds the source for `c`: file override, spill-to-disk, or in-memory.
+  std::unique_ptr<trace::TraceSource> build(gen::TraceClass c) const;
+
+  Options options_;
   std::array<Entry, kTraceClassCount> entries_;
 };
 

@@ -205,7 +205,7 @@ void CdnServer::ReplayAccumulator::merge(const ReplayAccumulator& other) {
   }
 }
 
-void CdnServer::replay_partition(const trace::Trace& trace, std::size_t worker,
+void CdnServer::replay_partition(const trace::TraceSource& trace, std::size_t worker,
                                  std::size_t n_workers, std::size_t window_requests,
                                  std::size_t meta_sample_every,
                                  ReplayAccumulator& acc) {
@@ -226,34 +226,45 @@ void CdnServer::replay_partition(const trace::Trace& trace, std::size_t worker,
     acc.peak_meta = std::max(acc.peak_meta, meta);
   };
 
+  // Each worker walks its own cursor over the shared source: zero-copy
+  // subspans for in-memory/mmap traces, a private bounded re-generation for
+  // streaming ones. The shard filter below keeps ownership identical to the
+  // classic indexed loop.
   std::size_t processed = 0;
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    const trace::Request& r = trace[i];
-    const std::size_t shard = freshness_shard_of(r.key);
-    if (shard % n_workers != worker) continue;
+  auto cursor = trace.cursor();
+  std::span<const trace::Request> chunk;
+  for (std::size_t base = cursor->position();
+       !(chunk = cursor->next_chunk(trace::kDefaultChunkRequests)).empty();
+       base = cursor->position()) {
+    for (std::size_t j = 0; j < chunk.size(); ++j) {
+      const std::size_t i = base + j;
+      const trace::Request& r = chunk[j];
+      const std::size_t shard = freshness_shard_of(r.key);
+      if (shard % n_workers != worker) continue;
 
-    const RequestOutcome out = process(r, shard, acc);
-    acc.latency.add(out.user_latency_s);
-    acc.cpu_busy += out.cpu_s;
-    acc.disk_busy += out.disk_s;
-    acc.origin_busy += out.origin_s;
-    acc.client_busy += out.client_s;
-    if (!out.failed) acc.bytes_served += r.size;  // a 5xx serves no content
-    acc.wan_bytes += out.wan_bytes;
-    acc.stale_serves += static_cast<std::uint64_t>(out.stale_serve);
-    acc.failures += static_cast<std::uint64_t>(out.failed);
-    ++acc.requests;
-    if (n_windows > 0) {
-      ++acc.window_counts[i / window_requests];
-      acc.window_hits[i / window_requests] += static_cast<std::uint64_t>(out.hit);
+      const RequestOutcome out = process(r, shard, acc);
+      acc.latency.add(out.user_latency_s);
+      acc.cpu_busy += out.cpu_s;
+      acc.disk_busy += out.disk_s;
+      acc.origin_busy += out.origin_s;
+      acc.client_busy += out.client_s;
+      if (!out.failed) acc.bytes_served += r.size;  // a 5xx serves no content
+      acc.wan_bytes += out.wan_bytes;
+      acc.stale_serves += static_cast<std::uint64_t>(out.stale_serve);
+      acc.failures += static_cast<std::uint64_t>(out.failed);
+      ++acc.requests;
+      if (n_windows > 0) {
+        ++acc.window_counts[i / window_requests];
+        acc.window_hits[i / window_requests] += static_cast<std::uint64_t>(out.hit);
+      }
+      acc.hits += static_cast<std::uint64_t>(out.hit);
+      if (++processed % meta_sample_every == 0) sample_metadata();
     }
-    acc.hits += static_cast<std::uint64_t>(out.hit);
-    if (++processed % meta_sample_every == 0) sample_metadata();
   }
   sample_metadata();
 }
 
-ServerReport CdnServer::finalize(const trace::Trace& trace, ReplayMode mode,
+ServerReport CdnServer::finalize(const trace::TraceSource& trace, ReplayMode mode,
                                  const ReplayAccumulator& total, std::size_t threads,
                                  double wall_seconds,
                                  std::uint64_t contentions_before) const {
@@ -318,7 +329,7 @@ ServerReport CdnServer::finalize(const trace::Trace& trace, ReplayMode mode,
   return report;
 }
 
-ServerReport CdnServer::replay(const trace::Trace& trace, ReplayMode mode,
+ServerReport CdnServer::replay(const trace::TraceSource& trace, ReplayMode mode,
                                std::size_t window_requests) {
   const std::uint64_t contentions_before =
       sharded_ != nullptr ? sharded_->lock_contentions() : 0;
@@ -334,7 +345,7 @@ ServerReport CdnServer::replay(const trace::Trace& trace, ReplayMode mode,
   return finalize(trace, mode, acc, /*threads=*/1, wall, contentions_before);
 }
 
-ServerReport CdnServer::replay_concurrent(const trace::Trace& trace, ReplayMode mode,
+ServerReport CdnServer::replay_concurrent(const trace::TraceSource& trace, ReplayMode mode,
                                           std::size_t n_threads,
                                           std::size_t window_requests) {
   if (sharded_ == nullptr) {

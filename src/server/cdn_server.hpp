@@ -50,7 +50,7 @@
 #include "policies/lru.hpp"
 #include "server/origin.hpp"
 #include "sim/cache_policy.hpp"
-#include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -156,19 +156,22 @@ class CdnServer {
   /// preserves the classic single-threaded behaviour.
   CdnServer(std::unique_ptr<sim::CachePolicy> main_policy, const ServerConfig& config);
 
-  /// Replays a trace on the calling thread; the server's cache state
-  /// persists across calls.
-  ServerReport replay(const trace::Trace& trace, ReplayMode mode,
+  /// Replays a trace source on the calling thread; the server's cache state
+  /// persists across calls. The trace is walked through a bounded-chunk
+  /// cursor, so mmap- or generator-backed sources replay in O(chunk)
+  /// resident trace memory.
+  ServerReport replay(const trace::TraceSource& trace, ReplayMode mode,
                       std::size_t window_requests = 50'000);
 
-  /// Replays a trace on `n_threads` workers against a ShardedCache backend
-  /// (throws std::invalid_argument for any other backend). Work is
-  /// partitioned by shard ownership (header comment), so hits/bytes/WAN
-  /// aggregates are identical to replay() for every thread count; latency
-  /// quantiles are exact too (integer bucket merges), while double-sum
-  /// fields (busy times, averages) may differ in the last few ulps.
-  /// `n_threads` is clamped to [1, shard_count].
-  ServerReport replay_concurrent(const trace::Trace& trace, ReplayMode mode,
+  /// Replays a trace source on `n_threads` workers against a ShardedCache
+  /// backend (throws std::invalid_argument for any other backend). Work is
+  /// partitioned by shard ownership (header comment): every worker walks its
+  /// own shard-filtered cursor over the same source/mapping, so hits/bytes/
+  /// WAN aggregates are identical to replay() for every thread count;
+  /// latency quantiles are exact too (integer bucket merges), while
+  /// double-sum fields (busy times, averages) may differ in the last few
+  /// ulps. `n_threads` is clamped to [1, shard_count].
+  ServerReport replay_concurrent(const trace::TraceSource& trace, ReplayMode mode,
                                  std::size_t n_threads,
                                  std::size_t window_requests = 50'000);
 
@@ -229,15 +232,15 @@ class CdnServer {
   [[nodiscard]] std::size_t freshness_shard_of(trace::Key key) const;
 
   /// Processes the sub-stream of `trace` owned by `worker` (shards s with
-  /// s % n_workers == worker), accumulating into `acc`. Metadata peaks are
-  /// sampled every `meta_sample_every` processed requests plus once at the
-  /// end; worker 0 samples the (thread-safe) main index, every worker sums
-  /// only the RAM slices it owns.
-  void replay_partition(const trace::Trace& trace, std::size_t worker,
+  /// s % n_workers == worker) through a private cursor, accumulating into
+  /// `acc`. Metadata peaks are sampled every `meta_sample_every` processed
+  /// requests plus once at the end; worker 0 samples the (thread-safe) main
+  /// index, every worker sums only the RAM slices it owns.
+  void replay_partition(const trace::TraceSource& trace, std::size_t worker,
                         std::size_t n_workers, std::size_t window_requests,
                         std::size_t meta_sample_every, ReplayAccumulator& acc);
 
-  [[nodiscard]] ServerReport finalize(const trace::Trace& trace, ReplayMode mode,
+  [[nodiscard]] ServerReport finalize(const trace::TraceSource& trace, ReplayMode mode,
                                       const ReplayAccumulator& total,
                                       std::size_t threads, double wall_seconds,
                                       std::uint64_t contentions_before) const;

@@ -5,7 +5,7 @@
 
 namespace lhr::sim {
 
-SimMetrics simulate(CachePolicy& policy, std::span<const trace::Request> requests,
+SimMetrics simulate(CachePolicy& policy, const trace::TraceSource& source,
                     const SimOptions& options) {
   SimMetrics m;
   const std::uint64_t raw_capacity = policy.capacity_bytes();
@@ -17,49 +17,58 @@ SimMetrics simulate(CachePolicy& policy, std::span<const trace::Request> request
   SimObserver* const observer = options.observer;
 
   const bool timed = observer != nullptr || options.time_accesses;
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    const trace::Request& r = requests[i];
-    bool hit;
-    if (timed) {
-      // Per-request timing is only paid when someone is listening.
-      const auto a0 = std::chrono::steady_clock::now();
-      hit = policy.access(r);
-      const double access_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - a0).count();
-      m.max_access_seconds = std::max(m.max_access_seconds, access_seconds);
-      if (observer != nullptr) observer->on_request(i, r, hit, access_seconds);
-    } else {
-      hit = policy.access(r);
-    }
-
-    if (i >= options.warmup_requests) {
-      ++m.requests;
-      m.bytes_requested += static_cast<double>(r.size);
-      if (hit) {
-        ++m.hits;
-        m.bytes_hit += static_cast<double>(r.size);
+  // Chunked iteration: contiguous sources hand out zero-copy subspans, and
+  // mmap/generator-backed sources keep resident trace memory at O(chunk).
+  auto cursor = source.cursor();
+  std::span<const trace::Request> chunk;
+  for (std::size_t base = cursor->position();
+       !(chunk = cursor->next_chunk(trace::kDefaultChunkRequests)).empty();
+       base = cursor->position()) {
+    for (std::size_t j = 0; j < chunk.size(); ++j) {
+      const std::size_t i = base + j;
+      const trace::Request& r = chunk[j];
+      bool hit;
+      if (timed) {
+        // Per-request timing is only paid when someone is listening.
+        const auto a0 = std::chrono::steady_clock::now();
+        hit = policy.access(r);
+        const double access_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - a0).count();
+        m.max_access_seconds = std::max(m.max_access_seconds, access_seconds);
+        if (observer != nullptr) observer->on_request(i, r, hit, access_seconds);
+      } else {
+        hit = policy.access(r);
       }
-    }
 
-    ++window.requests;
-    window.bytes_requested += static_cast<double>(r.size);
-    if (hit) {
-      ++window.hits;
-      window.bytes_hit += static_cast<double>(r.size);
-    }
-    if (++in_window == options.window_requests) {
-      m.windows.push_back(window);
-      if (observer != nullptr) observer->on_window(window_index, window);
-      ++window_index;
-      window = WindowPoint{};
-      in_window = 0;
-    }
+      if (i >= options.warmup_requests) {
+        ++m.requests;
+        m.bytes_requested += static_cast<double>(r.size);
+        if (hit) {
+          ++m.hits;
+          m.bytes_hit += static_cast<double>(r.size);
+        }
+      }
 
-    if (options.deduct_metadata && options.capacity_adjust_interval > 0 &&
-        (i + 1) % options.capacity_adjust_interval == 0) {
-      const std::uint64_t meta = policy.metadata_bytes();
-      m.peak_metadata_bytes = std::max(m.peak_metadata_bytes, meta);
-      policy.set_capacity(meta >= raw_capacity ? 0 : raw_capacity - meta);
+      ++window.requests;
+      window.bytes_requested += static_cast<double>(r.size);
+      if (hit) {
+        ++window.hits;
+        window.bytes_hit += static_cast<double>(r.size);
+      }
+      if (++in_window == options.window_requests) {
+        m.windows.push_back(window);
+        if (observer != nullptr) observer->on_window(window_index, window);
+        ++window_index;
+        window = WindowPoint{};
+        in_window = 0;
+      }
+
+      if (options.deduct_metadata && options.capacity_adjust_interval > 0 &&
+          (i + 1) % options.capacity_adjust_interval == 0) {
+        const std::uint64_t meta = policy.metadata_bytes();
+        m.peak_metadata_bytes = std::max(m.peak_metadata_bytes, meta);
+        policy.set_capacity(meta >= raw_capacity ? 0 : raw_capacity - meta);
+      }
     }
   }
   if (in_window > 0) {

@@ -7,7 +7,7 @@
 #include "sim/cache_policy.hpp"
 #include "sim/metrics.hpp"
 #include "trace/request.hpp"
-#include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
 
 namespace lhr::sim {
 
@@ -57,15 +57,17 @@ struct SimOptions {
   bool time_accesses = false;
 };
 
-/// Replays `requests` through `policy` and gathers metrics.
-/// The policy's initial capacity is treated as the raw cache size.
-[[nodiscard]] SimMetrics simulate(CachePolicy& policy,
-                                  std::span<const trace::Request> requests,
+/// Replays `source` through `policy` and gathers metrics, iterating the
+/// trace in bounded chunks: an mmap-backed or generator-backed source is
+/// simulated in O(chunk) resident trace memory. The policy's initial
+/// capacity is treated as the raw cache size.
+[[nodiscard]] SimMetrics simulate(CachePolicy& policy, const trace::TraceSource& source,
                                   const SimOptions& options = {});
 
-[[nodiscard]] inline SimMetrics simulate(CachePolicy& policy, const trace::Trace& trace,
+[[nodiscard]] inline SimMetrics simulate(CachePolicy& policy,
+                                         std::span<const trace::Request> requests,
                                          const SimOptions& options = {}) {
-  return simulate(policy, trace.requests(), options);
+  return simulate(policy, trace::TraceView(requests), options);
 }
 
 }  // namespace lhr::sim

@@ -1,0 +1,232 @@
+#include "trace/lhrt.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <type_traits>
+
+namespace lhr::trace {
+
+// The format stores raw little-endian Request records; a big-endian build
+// would need a byte-swapping read path that nothing here targets.
+static_assert(std::endian::native == std::endian::little,
+              ".lhrt I/O requires a little-endian target");
+static_assert(std::is_trivially_copyable_v<Request>);
+static_assert(alignof(Request) <= 8, "records are 8-byte aligned after the header");
+
+namespace {
+
+struct LhrtHeader {
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  std::uint64_t seed = 0;
+  std::int32_t trace_class = kLhrtClassUnknown;
+  std::uint32_t reserved0 = 0;
+  std::uint8_t reserved[32] = {};
+};
+static_assert(sizeof(LhrtHeader) == kLhrtHeaderBytes);
+static_assert(std::is_trivially_copyable_v<LhrtHeader>);
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error(path + ": " + what);
+}
+
+/// Cursor over a large mapping that releases the pages it has consumed.
+/// POSIX_MADV_SEQUENTIAL alone only tunes readahead — consumed pages stay
+/// resident until global memory pressure evicts them, so a huge replay's
+/// RSS would grow to the file size. Trimming a lagging page-aligned prefix
+/// with MADV_DONTNEED (clean file-backed pages: dropped, re-faulted from
+/// the page cache/disk if touched again) keeps resident trace memory at
+/// O(chunk + lag) however long the trace is. The lag keeps pages other
+/// concurrent cursors (replay workers drift slightly) are likely still
+/// reading; a drifted worker just re-faults, which is correct, only slower.
+class TrimmingMappedCursor final : public TraceCursor {
+ public:
+  TrimmingMappedCursor(std::span<const Request> all, std::size_t begin,
+                       std::size_t end, char* map_base, std::size_t map_bytes)
+      : inner_(all, begin, end), map_base_(map_base), map_bytes_(map_bytes),
+        trimmed_(0) {}
+
+  [[nodiscard]] std::size_t position() const noexcept override {
+    return inner_.position();
+  }
+
+  [[nodiscard]] std::span<const Request> next_chunk(std::size_t max_requests) override {
+    const auto chunk = inner_.next_chunk(max_requests);
+    maybe_trim();
+    return chunk;
+  }
+
+ private:
+  static constexpr std::size_t kTrimLagBytes = 32u << 20;   // keep this much behind
+  static constexpr std::size_t kTrimStepBytes = 16u << 20;  // trim in these steps
+
+  void maybe_trim() {
+    const std::size_t consumed_bytes =
+        kLhrtHeaderBytes + inner_.position() * sizeof(Request);
+    if (consumed_bytes < kTrimLagBytes) return;
+    const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    const std::size_t target = (consumed_bytes - kTrimLagBytes) / page * page;
+    if (target < trimmed_ + kTrimStepBytes || target > map_bytes_) return;
+    (void)::madvise(map_base_ + trimmed_, target - trimmed_, MADV_DONTNEED);
+    trimmed_ = target;
+  }
+
+  SpanCursor inner_;
+  char* map_base_;
+  std::size_t map_bytes_;
+  std::size_t trimmed_;
+};
+
+}  // namespace
+
+// --------------------------------------------------------------- LhrtWriter
+
+LhrtWriter::LhrtWriter(const std::string& path, std::uint64_t seed,
+                       std::int32_t trace_class)
+    : path_(path), out_(path, std::ios::binary | std::ios::trunc), seed_(seed),
+      trace_class_(trace_class) {
+  if (!out_) fail(path_, "cannot open .lhrt file for writing");
+  // Placeholder header: zero magic marks the file invalid until finish().
+  const LhrtHeader placeholder{};
+  out_.write(reinterpret_cast<const char*>(&placeholder), sizeof(placeholder));
+  if (!out_) fail(path_, "failed writing .lhrt header");
+}
+
+LhrtWriter::~LhrtWriter() = default;
+
+void LhrtWriter::append(std::span<const Request> records) {
+  if (records.empty()) return;
+  out_.write(reinterpret_cast<const char*>(records.data()),
+             static_cast<std::streamsize>(records.size() * sizeof(Request)));
+  if (!out_) fail(path_, "failed writing .lhrt records");
+  count_ += records.size();
+}
+
+void LhrtWriter::finish() {
+  if (finished_) return;
+  LhrtHeader header;
+  header.magic = kLhrtMagic;
+  header.version = kLhrtVersion;
+  header.count = count_;
+  header.seed = seed_;
+  header.trace_class = trace_class_;
+  out_.seekp(0);
+  out_.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out_.flush();
+  if (!out_) fail(path_, "failed finalizing .lhrt header");
+  out_.close();
+  if (out_.fail()) fail(path_, "failed closing .lhrt file");
+  finished_ = true;
+}
+
+void write_lhrt_file(const TraceSource& source, const std::string& path,
+                     std::uint64_t seed, std::int32_t trace_class) {
+  LhrtWriter writer(path, seed, trace_class);
+  auto cur = source.cursor();
+  while (true) {
+    const auto chunk = cur->next_chunk(kDefaultChunkRequests);
+    if (chunk.empty()) break;
+    writer.append(chunk);
+  }
+  writer.finish();
+}
+
+// -------------------------------------------------------------- MappedTrace
+
+MappedTrace::MappedTrace(const std::string& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail(path_, std::string("cannot open .lhrt file: ") + std::strerror(errno));
+
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    fail(path_, std::string("cannot stat .lhrt file: ") + std::strerror(err));
+  }
+  const auto file_bytes = static_cast<std::uint64_t>(st.st_size);
+  if (file_bytes < kLhrtHeaderBytes) {
+    ::close(fd);
+    fail(path_, "truncated .lhrt file: " + std::to_string(file_bytes) +
+                    " bytes is smaller than the " +
+                    std::to_string(kLhrtHeaderBytes) + "-byte header");
+  }
+
+  void* map = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    fail(path_, std::string("mmap failed: ") + std::strerror(errno));
+  }
+  map_ = map;
+  map_bytes_ = file_bytes;
+
+  LhrtHeader header;
+  std::memcpy(&header, map_, sizeof(header));
+  if (header.magic != kLhrtMagic) {
+    char got[16];
+    std::snprintf(got, sizeof(got), "0x%08x", header.magic);
+    const std::string why = "bad magic " + std::string(got) +
+                            " (not an .lhrt trace, or an unfinished write)";
+    ::munmap(map_, map_bytes_);
+    map_ = nullptr;
+    fail(path_, why);
+  }
+  if (header.version != kLhrtVersion) {
+    const std::string why = "unsupported .lhrt version " +
+                            std::to_string(header.version) + " (expected " +
+                            std::to_string(kLhrtVersion) + ")";
+    ::munmap(map_, map_bytes_);
+    map_ = nullptr;
+    fail(path_, why);
+  }
+  const std::uint64_t expected =
+      kLhrtHeaderBytes + header.count * static_cast<std::uint64_t>(kLhrtRecordBytes);
+  if (file_bytes != expected) {
+    const std::string why = "corrupt .lhrt file: header promises " +
+                            std::to_string(header.count) + " records (" +
+                            std::to_string(expected) + " bytes) but the file is " +
+                            std::to_string(file_bytes) + " bytes";
+    ::munmap(map_, map_bytes_);
+    map_ = nullptr;
+    fail(path_, why);
+  }
+
+  // Replays walk the records front to back: let the kernel read ahead
+  // aggressively and drop cold pages behind the cursor.
+  (void)::posix_madvise(map_, map_bytes_, POSIX_MADV_SEQUENTIAL);
+
+  count_ = header.count;
+  seed_ = header.seed;
+  trace_class_ = header.trace_class;
+  // Request is an implicit-lifetime type; reading it straight out of the
+  // mapping is the whole point of the fixed-width format.
+  records_ = reinterpret_cast<const Request*>(static_cast<const char*>(map_) +
+                                              kLhrtHeaderBytes);
+}
+
+MappedTrace::~MappedTrace() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+}
+
+std::unique_ptr<TraceCursor> MappedTrace::make_cursor(std::size_t begin,
+                                                      std::size_t end) const {
+  // Mappings comfortably smaller than RAM don't need page trimming (and
+  // tests re-walk them, so keeping pages hot is a win).
+  constexpr std::size_t kTrimThresholdBytes = 64u << 20;
+  if (map_bytes_ >= kTrimThresholdBytes) {
+    return std::make_unique<TrimmingMappedCursor>(requests(), begin, end,
+                                                  static_cast<char*>(map_),
+                                                  map_bytes_);
+  }
+  return std::make_unique<SpanCursor>(requests(), begin, end);
+}
+
+}  // namespace lhr::trace

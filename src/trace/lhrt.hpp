@@ -1,0 +1,131 @@
+// The packed binary trace format (.lhrt) and its zero-copy mmap reader.
+//
+// Layout (all integers little-endian; see DESIGN.md "Trace I/O & streaming"):
+//
+//   offset  0  u32  magic   "LHRT" (0x5452484C)
+//   offset  4  u32  version (currently 1)
+//   offset  8  u64  count   number of records
+//   offset 16  u64  seed    generator seed (0 when unknown)
+//   offset 24  i32  trace_class  gen::TraceClass value, -1 when unknown
+//   offset 28  u32  reserved (0)
+//   offset 32  u8[32] reserved (0)
+//   offset 64  count × 24-byte records: f64 time, u64 key, u64 size
+//
+// The 64-byte header keeps records 8-byte aligned in the mapping, so the
+// reader can expose them as a `span<const Request>` with no copy or decode
+// step. Records are exactly the in-memory trace::Request layout; a file is
+// valid iff its size is exactly 64 + 24*count bytes — a partially written
+// file is rejected, never silently truncated.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "trace/request.hpp"
+#include "trace/trace_source.hpp"
+
+namespace lhr::trace {
+
+inline constexpr std::uint32_t kLhrtMagic = 0x5452484Cu;  // "LHRT" when read LE
+inline constexpr std::uint32_t kLhrtVersion = 1;
+inline constexpr std::size_t kLhrtHeaderBytes = 64;
+inline constexpr std::size_t kLhrtRecordBytes = 24;
+inline constexpr std::int32_t kLhrtClassUnknown = -1;
+
+static_assert(sizeof(Request) == kLhrtRecordBytes,
+              "Request must pack to the 24-byte .lhrt record");
+
+/// Streaming .lhrt writer: append records in any chunking, then finish().
+/// The header is written last (the placeholder carries a zero magic), so a
+/// crashed or abandoned write is rejected by every reader instead of being
+/// read as a shorter trace.
+class LhrtWriter {
+ public:
+  /// Opens `path` for writing and reserves the header. Throws
+  /// std::runtime_error if the file cannot be created.
+  explicit LhrtWriter(const std::string& path, std::uint64_t seed = 0,
+                      std::int32_t trace_class = kLhrtClassUnknown);
+
+  LhrtWriter(const LhrtWriter&) = delete;
+  LhrtWriter& operator=(const LhrtWriter&) = delete;
+
+  /// Closes the file. A writer destroyed without finish() leaves an invalid
+  /// (zero-magic) file behind by design.
+  ~LhrtWriter();
+
+  void append(std::span<const Request> records);
+  void append(const Request& r) { append({&r, 1}); }
+
+  /// Seals the file: writes the real header with the final record count and
+  /// flushes. Throws std::runtime_error on any I/O failure. Idempotent.
+  void finish();
+
+  [[nodiscard]] std::uint64_t written() const noexcept { return count_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t seed_;
+  std::int32_t trace_class_;
+  std::uint64_t count_ = 0;
+  bool finished_ = false;
+};
+
+/// Writes every record of `source` to `path` in .lhrt format, streaming
+/// through bounded chunks (never materializing the source).
+void write_lhrt_file(const TraceSource& source, const std::string& path,
+                     std::uint64_t seed = 0,
+                     std::int32_t trace_class = kLhrtClassUnknown);
+
+/// Zero-copy reader over an .lhrt file: validates the header, maps the file
+/// read-only and exposes the records directly from the page cache, so
+/// resident memory is O(touched pages) however large the trace is.
+///
+/// The constructor throws std::runtime_error with a precise reason for a
+/// missing file, short/invalid header, bad magic, unsupported version, or a
+/// file whose size disagrees with its record count (truncation/corruption).
+class MappedTrace final : public TraceSource {
+ public:
+  explicit MappedTrace(const std::string& path);
+  ~MappedTrace() override;
+
+  MappedTrace(const MappedTrace&) = delete;
+  MappedTrace& operator=(const MappedTrace&) = delete;
+
+  [[nodiscard]] std::size_t size() const override { return count_; }
+  [[nodiscard]] Time duration() const override {
+    if (count_ < 2) return 0.0;
+    return records_[count_ - 1].time - records_[0].time;
+  }
+  [[nodiscard]] std::optional<std::span<const Request>> contiguous() const override {
+    return requests();
+  }
+
+  [[nodiscard]] std::span<const Request> requests() const noexcept {
+    return {records_, count_};
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] std::int32_t trace_class() const noexcept { return trace_class_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ protected:
+  /// Plain zero-copy subspans for small mappings; for large ones the cursor
+  /// additionally releases consumed pages (a lagging MADV_DONTNEED prefix),
+  /// so replay RSS stays O(chunk + lag) however long the trace is.
+  [[nodiscard]] std::unique_ptr<TraceCursor> make_cursor(
+      std::size_t begin, std::size_t end) const override;
+
+ private:
+  std::string path_;
+  void* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  const Request* records_ = nullptr;
+  std::size_t count_ = 0;
+  std::uint64_t seed_ = 0;
+  std::int32_t trace_class_ = kLhrtClassUnknown;
+};
+
+}  // namespace lhr::trace

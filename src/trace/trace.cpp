@@ -23,11 +23,9 @@ void Trace::sort_by_time() {
                    [](const Request& a, const Request& b) { return a.time < b.time; });
 }
 
-namespace {
-
 // Splits `line` on whitespace and parses exactly three fields.
 // Returns false for blank/comment lines; throws for malformed ones.
-bool parse_line(std::string_view line, std::size_t line_no, Request& out) {
+bool parse_trace_line(std::string_view line, std::size_t line_no, Request& out) {
   // Trim leading whitespace.
   const auto first = line.find_first_not_of(" \t\r");
   if (first == std::string_view::npos) return false;
@@ -76,8 +74,6 @@ bool parse_line(std::string_view line, std::size_t line_no, Request& out) {
   return true;
 }
 
-}  // namespace
-
 Trace read_trace_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open trace file: " + path);
@@ -86,11 +82,42 @@ Trace read_trace_file(const std::string& path) {
   std::string line;
   std::size_t line_no = 0;
   Request r;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (parse_line(line, line_no, r)) trace.push_back(r);
+  try {
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (parse_trace_line(line, line_no, r)) trace.push_back(r);
+    }
+  } catch (const std::runtime_error& e) {
+    // parse_trace_line reports the line; add which file it came from.
+    throw std::runtime_error(path + ": " + e.what());
+  }
+  // getline stops on EOF *or* on a stream error; returning the prefix of a
+  // half-read file would silently change every downstream result, so fail.
+  if (in.bad()) {
+    throw std::runtime_error(path + ": I/O error after line " +
+                             std::to_string(line_no) +
+                             " (refusing to return a partially read trace)");
   }
   return trace;
+}
+
+Trace materialize(const TraceSource& source) {
+  Trace out;
+  out.reserve(source.size());
+  auto cur = source.cursor();
+  while (true) {
+    const auto chunk = cur->next_chunk(kDefaultChunkRequests);
+    if (chunk.empty()) break;
+    for (const Request& r : chunk) out.push_back(r);
+  }
+  return out;
+}
+
+std::span<const Request> contiguous_or_materialize(const TraceSource& source,
+                                                   Trace& storage) {
+  if (const auto span = source.contiguous()) return *span;
+  storage = materialize(source);
+  return storage.requests();
 }
 
 void write_trace_file(const Trace& trace, const std::string& path) {

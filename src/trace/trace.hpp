@@ -6,16 +6,19 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "trace/request.hpp"
+#include "trace/trace_source.hpp"
 
 namespace lhr::trace {
 
-/// An in-memory request trace, ordered by time.
-class Trace {
+/// An in-memory request trace, ordered by time — the contiguous
+/// TraceSource implementation.
+class Trace : public TraceSource {
  public:
   Trace() = default;
   explicit Trace(std::vector<Request> requests) : requests_(std::move(requests)) {}
@@ -23,16 +26,22 @@ class Trace {
   void push_back(const Request& r) { requests_.push_back(r); }
   void reserve(std::size_t n) { requests_.reserve(n); }
 
-  [[nodiscard]] std::size_t size() const noexcept { return requests_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept override { return requests_.size(); }
   [[nodiscard]] bool empty() const noexcept { return requests_.empty(); }
   [[nodiscard]] const Request& operator[](std::size_t i) const noexcept { return requests_[i]; }
 
   [[nodiscard]] std::span<const Request> requests() const noexcept { return requests_; }
+  // Fast vector iterators (hiding the chunked TraceSource ones, which remain
+  // available through a TraceSource&).
   [[nodiscard]] auto begin() const noexcept { return requests_.begin(); }
   [[nodiscard]] auto end() const noexcept { return requests_.end(); }
 
   /// Duration between first and last request (0 for traces of < 2 requests).
-  [[nodiscard]] Time duration() const noexcept;
+  [[nodiscard]] Time duration() const noexcept override;
+
+  [[nodiscard]] std::optional<std::span<const Request>> contiguous() const override {
+    return std::span<const Request>(requests_);
+  }
 
   /// True iff request times are non-decreasing.
   [[nodiscard]] bool is_time_ordered() const noexcept;
@@ -40,13 +49,37 @@ class Trace {
   /// Stable-sorts requests by time (repairing an out-of-order trace file).
   void sort_by_time();
 
+ protected:
+  [[nodiscard]] std::unique_ptr<TraceCursor> make_cursor(
+      std::size_t begin, std::size_t end) const override {
+    return std::make_unique<SpanCursor>(requests_, begin, end);
+  }
+
  private:
   std::vector<Request> requests_;
 };
 
+/// Copies every record of `source` into an in-memory Trace (O(n) memory —
+/// the explicit escape hatch for consumers that genuinely need it).
+[[nodiscard]] Trace materialize(const TraceSource& source);
+
+/// A contiguous view of `source`: zero-copy when the source exposes one
+/// (Trace, MappedTrace), otherwise materialized into `storage`, which must
+/// outlive the returned span.
+[[nodiscard]] std::span<const Request> contiguous_or_materialize(
+    const TraceSource& source, Trace& storage);
+
+/// Parses one "time key size" text-trace line into `out`. Returns false for
+/// blank/comment lines; throws std::runtime_error (with the line number) on
+/// malformed input. Exposed so tools can stream-convert text traces without
+/// materializing them.
+bool parse_trace_line(std::string_view line, std::size_t line_no, Request& out);
+
 /// Reads a whitespace-separated "time key size" trace file.
 /// Lines starting with '#' and blank lines are skipped.
-/// Throws std::runtime_error on unopenable files or malformed lines.
+/// Throws std::runtime_error — naming the file and failing line — on
+/// unopenable files, malformed lines, or a read error partway through (a
+/// partially read trace is never returned silently).
 [[nodiscard]] Trace read_trace_file(const std::string& path);
 
 /// Writes the trace in the same format. Throws std::runtime_error on failure.

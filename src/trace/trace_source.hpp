@@ -1,0 +1,180 @@
+// The streaming trace abstraction: cursor/chunk iteration over Request
+// records, decoupling every consumer from "the whole trace is a vector in
+// RAM".
+//
+// A TraceSource knows its length and hands out independent TraceCursors;
+// each cursor yields the requests of a half-open index range in order, one
+// bounded chunk at a time. Three implementations cover the repository:
+//
+//   * trace::Trace        — the classic in-memory vector (contiguous);
+//   * trace::MappedTrace  — zero-copy mmap over a packed .lhrt file
+//                           (lhrt.hpp), resident memory O(touched pages);
+//   * gen::StreamingGenerator — regenerates the synthetic workload chunk by
+//                           chunk in O(contents + chunk) memory.
+//
+// Cursors are independent objects: any number of them may walk the same
+// source concurrently (the replay_concurrent worker pattern), and a source
+// is never mutated by reads. Contiguous sources additionally expose their
+// whole record array through contiguous(), which the offline-optimal
+// analyses use for zero-copy random access.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "trace/request.hpp"
+
+namespace lhr::trace {
+
+/// "To the end of the source" for TraceSource::cursor.
+inline constexpr std::size_t kTraceNpos = std::numeric_limits<std::size_t>::max();
+
+/// Default requests per chunk (24 B/request -> 1.5 MiB per chunk): large
+/// enough to amortize virtual dispatch, small enough to stay cache-friendly
+/// and keep streaming sources' buffers bounded.
+inline constexpr std::size_t kDefaultChunkRequests = 1 << 16;
+
+/// A forward cursor over a request range. Not thread-safe itself; create one
+/// cursor per thread instead.
+class TraceCursor {
+ public:
+  virtual ~TraceCursor() = default;
+
+  /// Global index (within the source) of the next request next_chunk()
+  /// will yield.
+  [[nodiscard]] virtual std::size_t position() const noexcept = 0;
+
+  /// The next run of at most `max_requests` requests; empty at end of range.
+  /// The returned span is valid until the next next_chunk() call or cursor
+  /// destruction (contiguous sources keep it valid for the source lifetime).
+  [[nodiscard]] virtual std::span<const Request> next_chunk(
+      std::size_t max_requests = kDefaultChunkRequests) = 0;
+};
+
+/// Cursor over a contiguous in-memory record array: every chunk is a
+/// zero-copy subspan. Shared by Trace, TraceView and MappedTrace.
+class SpanCursor final : public TraceCursor {
+ public:
+  SpanCursor(std::span<const Request> all, std::size_t begin, std::size_t end)
+      : all_(all), pos_(std::min(begin, all.size())),
+        end_(std::min(end, all.size())) {
+    if (pos_ > end_) pos_ = end_;
+  }
+
+  [[nodiscard]] std::size_t position() const noexcept override { return pos_; }
+
+  [[nodiscard]] std::span<const Request> next_chunk(std::size_t max_requests) override {
+    const std::size_t n = std::min(max_requests, end_ - pos_);
+    const auto chunk = all_.subspan(pos_, n);
+    pos_ += n;
+    return chunk;
+  }
+
+ private:
+  std::span<const Request> all_;
+  std::size_t pos_;
+  std::size_t end_;
+};
+
+/// Abstract ordered request stream of known length.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Duration between first and last request (0 for < 2 requests). O(1) for
+  /// contiguous sources; streaming sources may pay one generation pass on
+  /// first call (they cache the answer).
+  [[nodiscard]] virtual Time duration() const = 0;
+
+  /// A fresh cursor over requests [begin, min(end, size())). Cursors are
+  /// independent; creating and using one per thread is safe.
+  [[nodiscard]] std::unique_ptr<TraceCursor> cursor(
+      std::size_t begin = 0, std::size_t end = kTraceNpos) const {
+    return make_cursor(begin, end);
+  }
+
+  /// The whole record array, when this source is backed by contiguous
+  /// memory (Trace, TraceView, MappedTrace); std::nullopt for streaming
+  /// sources. Zero-copy — for mmap-backed sources residency is still
+  /// demand-paged by the kernel.
+  [[nodiscard]] virtual std::optional<std::span<const Request>> contiguous() const {
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  // ---- range-for support (input iteration via chunks) -------------------
+  struct sentinel {};
+
+  class iterator {
+   public:
+    using value_type = Request;
+    using reference = const Request&;
+    using difference_type = std::ptrdiff_t;
+
+    explicit iterator(std::unique_ptr<TraceCursor> cursor)
+        : cursor_(std::move(cursor)) {
+      refill();
+    }
+
+    reference operator*() const { return chunk_[idx_]; }
+    iterator& operator++() {
+      if (++idx_ == chunk_.size()) refill();
+      return *this;
+    }
+    bool operator==(sentinel) const { return done_; }
+
+   private:
+    void refill() {
+      chunk_ = cursor_->next_chunk(kDefaultChunkRequests);
+      idx_ = 0;
+      done_ = chunk_.empty();
+    }
+
+    std::unique_ptr<TraceCursor> cursor_;
+    std::span<const Request> chunk_;
+    std::size_t idx_ = 0;
+    bool done_ = false;
+  };
+
+  [[nodiscard]] iterator begin() const { return iterator(cursor()); }
+  [[nodiscard]] sentinel end() const { return {}; }
+
+ protected:
+  [[nodiscard]] virtual std::unique_ptr<TraceCursor> make_cursor(
+      std::size_t begin, std::size_t end) const = 0;
+};
+
+/// Non-owning contiguous view over an existing record array (the adapter the
+/// span-based simulate() overload rides on). The viewed storage must outlive
+/// the view.
+class TraceView final : public TraceSource {
+ public:
+  explicit TraceView(std::span<const Request> requests) : requests_(requests) {}
+
+  [[nodiscard]] std::size_t size() const override { return requests_.size(); }
+  [[nodiscard]] Time duration() const override {
+    if (requests_.size() < 2) return 0.0;
+    return requests_.back().time - requests_.front().time;
+  }
+  [[nodiscard]] std::optional<std::span<const Request>> contiguous() const override {
+    return requests_;
+  }
+
+ protected:
+  [[nodiscard]] std::unique_ptr<TraceCursor> make_cursor(
+      std::size_t begin, std::size_t end) const override {
+    return std::make_unique<SpanCursor>(requests_, begin, end);
+  }
+
+ private:
+  std::span<const Request> requests_;
+};
+
+}  // namespace lhr::trace

@@ -20,7 +20,7 @@ struct PerContent {
   Time last = 0.0;
 };
 
-std::unordered_map<Key, PerContent> collect(const Trace& trace) {
+std::unordered_map<Key, PerContent> collect(const TraceSource& trace) {
   std::unordered_map<Key, PerContent> per;
   per.reserve(trace.size() / 2 + 1);
   for (const Request& r : trace) {
@@ -34,7 +34,7 @@ std::unordered_map<Key, PerContent> collect(const Trace& trace) {
 
 }  // namespace
 
-TraceSummary summarize(const Trace& trace) {
+TraceSummary summarize(const TraceSource& trace) {
   TraceSummary s;
   if (trace.empty()) return s;
 
@@ -83,7 +83,7 @@ TraceSummary summarize(const Trace& trace) {
   return s;
 }
 
-std::vector<std::uint64_t> popularity_counts(const Trace& trace) {
+std::vector<std::uint64_t> popularity_counts(const TraceSource& trace) {
   std::unordered_map<Key, std::uint64_t> counts;
   counts.reserve(trace.size() / 2 + 1);
   for (const Request& r : trace) ++counts[r.key];
@@ -110,7 +110,7 @@ double fit_zipf_alpha(const std::vector<std::uint64_t>& counts, std::size_t max_
   return -fit.slope;  // log p_i = log A - alpha log i
 }
 
-std::vector<double> inter_request_times(const Trace& trace) {
+std::vector<double> inter_request_times(const TraceSource& trace) {
   std::unordered_map<Key, Time> last_seen;
   last_seen.reserve(trace.size() / 2 + 1);
   std::vector<double> irts;

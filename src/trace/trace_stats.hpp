@@ -5,7 +5,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
 
 namespace lhr::trace {
 
@@ -22,11 +22,13 @@ struct TraceSummary {
   double one_hit_wonder_fraction = 0.0;  ///< contents requested exactly once
 };
 
-[[nodiscard]] TraceSummary summarize(const Trace& trace);
+/// Streams `trace` once per pass; works unchanged over in-memory, mmapped
+/// and generator-backed sources (per-content state is O(unique contents)).
+[[nodiscard]] TraceSummary summarize(const TraceSource& trace);
 
 /// Rank/frequency pairs sorted by decreasing request count (Figure 1 left).
 /// `points[i]` is the request count of the (i+1)-th most popular content.
-[[nodiscard]] std::vector<std::uint64_t> popularity_counts(const Trace& trace);
+[[nodiscard]] std::vector<std::uint64_t> popularity_counts(const TraceSource& trace);
 
 /// Fits a Zipf exponent alpha to the rank-frequency curve via least squares
 /// on log-log coordinates (the detection model of §5.2.2, applied offline).
@@ -37,7 +39,7 @@ struct TraceSummary {
 
 /// All inter-request times across contents (Figure 1 right). The caller can
 /// histogram or CDF them as needed.
-[[nodiscard]] std::vector<double> inter_request_times(const Trace& trace);
+[[nodiscard]] std::vector<double> inter_request_times(const TraceSource& trace);
 
 /// Empirical CDF evaluated at each of `points` over `samples`.
 [[nodiscard]] std::vector<double> empirical_cdf(std::vector<double> samples,

@@ -15,6 +15,7 @@
 #include "policies/tinylfu.hpp"
 #include "policies/two_q.hpp"
 #include "sim/engine.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 
 namespace lhr::policy {

@@ -101,9 +101,11 @@ TEST(TraceCache, MatchesDirectGeneration) {
   const auto& cached = cache.get(gen::TraceClass::kWiki);
   const auto direct = gen::make_trace(gen::TraceClass::kWiki, 1'500, 21);
   ASSERT_EQ(cached.size(), direct.size());
-  for (std::size_t i = 0; i < cached.size(); ++i) {
-    EXPECT_EQ(cached.requests()[i].key, direct.requests()[i].key);
-    EXPECT_EQ(cached.requests()[i].size, direct.requests()[i].size);
+  const auto records = cached.contiguous();
+  ASSERT_TRUE(records.has_value());  // in-memory below the spill threshold
+  for (std::size_t i = 0; i < records->size(); ++i) {
+    EXPECT_EQ((*records)[i].key, direct.requests()[i].key);
+    EXPECT_EQ((*records)[i].size, direct.requests()[i].size);
   }
 }
 
@@ -113,7 +115,7 @@ TEST(TraceCache, ConcurrentGetIsSafeAndConsistent) {
   // per class and never crash. Run under TSan in CI.
   TraceCache cache(2'000, 9);
   constexpr int kThreads = 16;
-  std::vector<const trace::Trace*> seen(kThreads * 2, nullptr);
+  std::vector<const trace::TraceSource*> seen(kThreads * 2, nullptr);
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&cache, &seen, t] {
@@ -125,7 +127,7 @@ TEST(TraceCache, ConcurrentGetIsSafeAndConsistent) {
   for (auto& t : threads) t.join();
 
   for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[0], seen[2 * t]);
-  std::set<const trace::Trace*> others(seen.begin() + 1, seen.end());
+  std::set<const trace::TraceSource*> others(seen.begin() + 1, seen.end());
   // kCdnB + kCdnC + kWiki pointers only.
   EXPECT_LE(others.size(), 3u);
   EXPECT_EQ(cache.get(gen::TraceClass::kCdnB).size(), 2'000u);

@@ -1,0 +1,392 @@
+// The streaming trace layer: TraceSource cursors, the packed .lhrt binary
+// format and its mmap reader, the bounded-memory generator, and the spill
+// behaviour of runner::TraceCache. Includes the concurrency equivalence
+// suite (replay over a shared mapping at 1/2/4/8 workers) run under TSan
+// in CI.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/policy_factory.hpp"
+#include "gen/cdn_model.hpp"
+#include "gen/streaming.hpp"
+#include "runner/trace_cache.hpp"
+#include "server/cdn_server.hpp"
+#include "server/sharded_cache.hpp"
+#include "sim/engine.hpp"
+#include "trace/lhrt.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
+
+namespace lhr {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "lhr_trace_source_test_" + name;
+}
+
+trace::Trace small_trace() {
+  trace::Trace t;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    t.push_back({0.25 * static_cast<double>(i), i % 37, 100 + i % 7});
+  }
+  return t;
+}
+
+bool same_records(std::span<const trace::Request> a,
+                  std::span<const trace::Request> b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].time != b[i].time || a[i].key != b[i].key || a[i].size != b[i].size) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ----------------------------------------------------------- cursors
+
+TEST(TraceSource, CursorWalksWholeTraceInChunks) {
+  const trace::Trace t = small_trace();
+  auto cursor = t.cursor();
+  std::size_t seen = 0;
+  std::span<const trace::Request> chunk;
+  while (!(chunk = cursor->next_chunk(64)).empty()) {
+    for (const auto& r : chunk) {
+      EXPECT_EQ(r.key, seen % 37);
+      ++seen;
+    }
+    EXPECT_EQ(cursor->position(), seen);
+  }
+  EXPECT_EQ(seen, t.size());
+}
+
+TEST(TraceSource, CursorHonorsBeginEndWindow) {
+  const trace::Trace t = small_trace();
+  auto cursor = t.cursor(100, 230);
+  EXPECT_EQ(cursor->position(), 100u);
+  std::size_t seen = 0;
+  std::span<const trace::Request> chunk;
+  while (!(chunk = cursor->next_chunk(33)).empty()) {
+    EXPECT_EQ(chunk.front().key, (100 + seen) % 37);
+    seen += chunk.size();
+  }
+  EXPECT_EQ(seen, 130u);
+  // Degenerate and clamped windows.
+  EXPECT_TRUE(t.cursor(500, 500)->next_chunk(16).empty());
+  EXPECT_TRUE(t.cursor(5000, trace::kTraceNpos)->next_chunk(16).empty());
+}
+
+TEST(TraceSource, RangeForIterationMatchesVector) {
+  const trace::Trace t = small_trace();
+  const trace::TraceSource& src = t;  // force the chunked base iterator
+  std::size_t i = 0;
+  for (const trace::Request& r : src) {
+    EXPECT_EQ(r.key, t.requests()[i].key);
+    ++i;
+  }
+  EXPECT_EQ(i, t.size());
+}
+
+TEST(TraceSource, MaterializeCopiesStreamedSource) {
+  const trace::Trace t = small_trace();
+  const trace::Trace copy = trace::materialize(t);
+  EXPECT_TRUE(same_records(copy.requests(), t.requests()));
+
+  trace::Trace storage;
+  const auto span = trace::contiguous_or_materialize(t, storage);
+  EXPECT_EQ(span.data(), t.requests().data());  // zero-copy for contiguous
+  EXPECT_TRUE(storage.empty());
+}
+
+// ----------------------------------------------------------- .lhrt format
+
+TEST(Lhrt, RoundTripsRecordsAndMetadata) {
+  const std::string path = temp_path("roundtrip.lhrt");
+  const trace::Trace t = small_trace();
+  trace::write_lhrt_file(t, path, /*seed=*/77,
+                         static_cast<std::int32_t>(gen::TraceClass::kCdnB));
+
+  const trace::MappedTrace mapped(path);
+  EXPECT_EQ(mapped.size(), t.size());
+  EXPECT_EQ(mapped.seed(), 77u);
+  EXPECT_EQ(mapped.trace_class(), static_cast<std::int32_t>(gen::TraceClass::kCdnB));
+  EXPECT_DOUBLE_EQ(mapped.duration(), t.duration());
+  ASSERT_TRUE(mapped.contiguous().has_value());
+  EXPECT_TRUE(same_records(*mapped.contiguous(), t.requests()));
+  std::remove(path.c_str());
+}
+
+TEST(Lhrt, RoundTripsEmptyTrace) {
+  const std::string path = temp_path("empty.lhrt");
+  trace::write_lhrt_file(trace::Trace{}, path);
+  const trace::MappedTrace mapped(path);
+  EXPECT_EQ(mapped.size(), 0u);
+  EXPECT_EQ(mapped.duration(), 0.0);
+  EXPECT_TRUE(mapped.cursor()->next_chunk(16).empty());
+  std::remove(path.c_str());
+}
+
+TEST(Lhrt, WriterChunkingDoesNotChangeTheFile) {
+  const trace::Trace t = small_trace();
+  const std::string one = temp_path("chunk1.lhrt");
+  const std::string big = temp_path("chunkbig.lhrt");
+  {
+    trace::LhrtWriter w(one, 5, 2);
+    for (const auto& r : t.requests()) w.append(r);
+    w.finish();
+  }
+  {
+    trace::LhrtWriter w(big, 5, 2);
+    w.append(t.requests());
+    w.finish();
+  }
+  std::ifstream a(one, std::ios::binary), b(big, std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(a)), {});
+  const std::string bytes_b((std::istreambuf_iterator<char>(b)), {});
+  EXPECT_EQ(bytes_a.size(),
+            trace::kLhrtHeaderBytes + t.size() * trace::kLhrtRecordBytes);
+  EXPECT_EQ(bytes_a, bytes_b);
+  std::remove(one.c_str());
+  std::remove(big.c_str());
+}
+
+TEST(Lhrt, RejectsMissingShortAndCorruptFiles) {
+  EXPECT_THROW(trace::MappedTrace("/nonexistent/dir/missing.lhrt"),
+               std::runtime_error);
+
+  const std::string path = temp_path("corrupt.lhrt");
+
+  // Empty file: shorter than a header.
+  { std::ofstream out(path, std::ios::binary | std::ios::trunc); }
+  EXPECT_THROW(trace::MappedTrace{path}, std::runtime_error);
+
+  // Bad magic (a text file, say).
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << std::string(200, 'x');
+  }
+  EXPECT_THROW(trace::MappedTrace{path}, std::runtime_error);
+
+  // Valid write, then truncate a few bytes off the tail.
+  trace::write_lhrt_file(small_trace(), path, 1, 0);
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)), {});
+    in.close();
+    bytes.resize(bytes.size() - 5);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  try {
+    trace::MappedTrace mapped(path);
+    FAIL() << "truncated file must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("corrupt"), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Lhrt, RejectsUnfinishedWrite) {
+  const std::string path = temp_path("unfinished.lhrt");
+  {
+    trace::LhrtWriter w(path, 1, 0);
+    w.append(small_trace().requests());
+    // No finish(): the placeholder header (zero magic) stays in place.
+  }
+  try {
+    trace::MappedTrace mapped(path);
+    FAIL() << "unfinished file must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------- streaming generation
+
+TEST(StreamingGenerator, MatchesInMemoryGeneratorAtEveryChunkSize) {
+  const auto config = gen::make_config(gen::TraceClass::kCdnB, 20'000, 31);
+  const trace::Trace reference = gen::generate_cdn_trace(config);
+  const gen::StreamingGenerator streaming(config);
+  ASSERT_EQ(streaming.size(), reference.size());
+  EXPECT_DOUBLE_EQ(streaming.duration(), reference.duration());
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{4093},
+                                  std::size_t{1} << 20}) {
+    auto cursor = streaming.cursor();
+    std::size_t i = 0;
+    std::span<const trace::Request> got;
+    while (!(got = cursor->next_chunk(chunk)).empty()) {
+      for (const auto& r : got) {
+        ASSERT_LT(i, reference.size());
+        const auto& want = reference.requests()[i];
+        ASSERT_EQ(r.time, want.time) << "chunk=" << chunk << " i=" << i;
+        ASSERT_EQ(r.key, want.key) << "chunk=" << chunk << " i=" << i;
+        ASSERT_EQ(r.size, want.size) << "chunk=" << chunk << " i=" << i;
+        ++i;
+      }
+    }
+    EXPECT_EQ(i, reference.size()) << "chunk=" << chunk;
+  }
+}
+
+TEST(StreamingGenerator, MidTraceCursorFastForwards) {
+  const auto config = gen::make_config(gen::TraceClass::kWiki, 5'000, 9);
+  const trace::Trace reference = gen::generate_cdn_trace(config);
+  const gen::StreamingGenerator streaming(config);
+  auto cursor = streaming.cursor(4'321);
+  const auto chunk = cursor->next_chunk(100);
+  ASSERT_EQ(chunk.size(), 100u);
+  EXPECT_TRUE(same_records(chunk, reference.requests().subspan(4'321, 100)));
+}
+
+TEST(StreamingGenerator, GeneratedLhrtFileIsChunkInvariantAndMatchesMemory) {
+  const auto config = gen::make_config(gen::TraceClass::kCdnA, 10'000, 123);
+  const std::string a = temp_path("gen_a.lhrt");
+  const std::string b = temp_path("gen_b.lhrt");
+  gen::generate_lhrt_file(config, a, /*chunk_requests=*/1);
+  gen::generate_lhrt_file(config, b, /*chunk_requests=*/1 << 20);
+
+  std::ifstream fa(a, std::ios::binary), fb(b, std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(fa)), {});
+  const std::string bytes_b((std::istreambuf_iterator<char>(fb)), {});
+  EXPECT_EQ(bytes_a, bytes_b);
+
+  const trace::MappedTrace mapped(a);
+  EXPECT_EQ(mapped.seed(), config.seed);
+  EXPECT_EQ(mapped.trace_class(), static_cast<std::int32_t>(gen::TraceClass::kCdnA));
+  const trace::Trace reference = gen::generate_cdn_trace(config);
+  EXPECT_TRUE(same_records(mapped.requests(), reference.requests()));
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+// ------------------------------------------------- end-to-end equivalence
+
+TEST(TraceSourceEquivalence, SimulateIsIdenticalAcrossSourceKinds) {
+  const auto config = gen::make_config(gen::TraceClass::kCdnA, 30'000, 7);
+  const trace::Trace in_memory = gen::generate_cdn_trace(config);
+  const std::string path = temp_path("sim_equiv.lhrt");
+  gen::generate_lhrt_file(config, path);
+  const trace::MappedTrace mapped(path);
+  const gen::StreamingGenerator streaming(config);
+  const std::uint64_t capacity = 1ULL << 24;
+
+  const auto run = [&](const trace::TraceSource& src) {
+    auto policy = core::make_policy("LRU", capacity);
+    return sim::simulate(*policy, src);
+  };
+  const auto a = run(in_memory);
+  const auto b = run(mapped);
+  const auto c = run(streaming);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.bytes_hit, b.bytes_hit);
+  EXPECT_EQ(a.hits, c.hits);
+  EXPECT_EQ(a.bytes_hit, c.bytes_hit);
+  EXPECT_EQ(a.windows.size(), b.windows.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceSourceEquivalence, ConcurrentReplayOverMappedTraceMatchesEveryThreadCount) {
+  const auto config = gen::make_config(gen::TraceClass::kCdnB, 20'000, 11);
+  const std::string path = temp_path("replay_equiv.lhrt");
+  gen::generate_lhrt_file(config, path);
+  const trace::MappedTrace mapped(path);
+  const trace::Trace in_memory = gen::generate_cdn_trace(config);
+  const std::uint64_t capacity = 1ULL << 24;
+
+  const auto replay = [&](const trace::TraceSource& src, std::size_t threads) {
+    auto backend = std::make_unique<server::ShardedCache>(
+        16, capacity, [](std::uint64_t cap) { return core::make_policy("LRU", cap); });
+    server::CdnServer server(std::move(backend), server::ServerConfig{});
+    return threads == 0
+               ? server.replay(src, server::ReplayMode::kNormal)
+               : server.replay_concurrent(src, server::ReplayMode::kNormal, threads);
+  };
+
+  const auto reference = replay(in_memory, 0);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}}) {
+    const auto got = replay(mapped, threads);
+    EXPECT_EQ(got.requests, reference.requests) << threads << " threads";
+    EXPECT_EQ(got.hits, reference.hits) << threads << " threads";
+    EXPECT_EQ(got.bytes_served, reference.bytes_served) << threads << " threads";
+    EXPECT_EQ(got.wan_bytes, reference.wan_bytes) << threads << " threads";
+  }
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------ TraceCache spill
+
+TEST(TraceCacheSpill, SpillsToDiskAndServesMappedTrace) {
+  const std::string dir = temp_path("spill_cache_dir");
+  runner::TraceCache::Options opts;
+  opts.requests_per_trace = 3'000;
+  opts.seed = 17;
+  opts.spill_mb = 0;  // spill everything
+  opts.cache_dir = dir;
+  runner::TraceCache cache(opts);
+  const trace::TraceSource& src = cache.get(gen::TraceClass::kCdnC);
+  const auto* mapped = dynamic_cast<const trace::MappedTrace*>(&src);
+  ASSERT_NE(mapped, nullptr);
+  EXPECT_EQ(mapped->seed(), 17u);
+
+  const trace::Trace direct = gen::make_trace(gen::TraceClass::kCdnC, 3'000, 17);
+  EXPECT_TRUE(same_records(mapped->requests(), direct.requests()));
+
+  // A second cache with the same knobs reuses the spilled file (same path).
+  runner::TraceCache cache2(opts);
+  const auto* mapped2 =
+      dynamic_cast<const trace::MappedTrace*>(&cache2.get(gen::TraceClass::kCdnC));
+  ASSERT_NE(mapped2, nullptr);
+  EXPECT_EQ(mapped2->path(), mapped->path());
+  EXPECT_TRUE(same_records(mapped2->requests(), direct.requests()));
+
+  std::remove(mapped->path().c_str());
+}
+
+TEST(TraceCacheSpill, TraceFileOverrideServesTheSameMappingForEveryClass) {
+  const std::string path = temp_path("override.lhrt");
+  trace::write_lhrt_file(small_trace(), path, 3, trace::kLhrtClassUnknown);
+  runner::TraceCache::Options opts;
+  opts.requests_per_trace = 50'000;  // ignored by the override
+  opts.seed = 99;
+  opts.trace_file = path;
+  runner::TraceCache cache(opts);
+  const auto& a = cache.get(gen::TraceClass::kCdnA);
+  const auto& b = cache.get(gen::TraceClass::kWiki);
+  EXPECT_EQ(a.size(), 1000u);
+  EXPECT_EQ(b.size(), 1000u);
+  EXPECT_NE(dynamic_cast<const trace::MappedTrace*>(&a), nullptr);
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------- text loader hardening
+
+TEST(TraceTextLoader, ReportsPathAndLineNumberOnMalformedLine) {
+  const std::string path = temp_path("bad_line.txt");
+  {
+    std::ofstream out(path);
+    out << "1.0 10 100\n";
+    out << "2.0 11 100\n";
+    out << "3.0 banana 100\n";
+  }
+  try {
+    (void)trace::read_trace_file(path);
+    FAIL() << "malformed line must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lhr
