@@ -36,6 +36,7 @@
 #include "ml/features.hpp"
 #include "ml/flat_forest.hpp"
 #include "ml/gbdt.hpp"
+#include "ml/simd_dispatch.hpp"
 #include "server/cdn_server.hpp"
 #include "server/sharded_cache.hpp"
 #include "util/count_min_sketch.hpp"
@@ -430,6 +431,14 @@ void run_inference_suite() {
     };
     jobs.push_back(std::move(job));
   }
+  const auto block_pass = [&] {
+    constexpr std::size_t block = ml::FlatForest::kBlockRows;
+    for (std::size_t i = 0; i < rows; i += block) {
+      const std::size_t n = std::min(block, rows - i);
+      forest.score_block({d.values.data() + i * dim, n * dim}, n, {out.data() + i, n});
+    }
+    benchmark::DoNotOptimize(out.data());
+  };
   for (const std::size_t block : {std::size_t{1}, std::size_t{4}, ml::FlatForest::kBlockRows}) {
     runner::Job job;
     job.label = "gbdt_infer/flat_block=" + std::to_string(block);
@@ -447,25 +456,62 @@ void run_inference_suite() {
     };
     jobs.push_back(std::move(job));
   }
+  // Forced-level rows: the same kBlockRows pass pinned to each SIMD level,
+  // so the scalar/AVX2 delta is measured head-to-head regardless of what
+  // the auto dispatch picked for the flat_block rows above.
+  {
+    runner::Job job;
+    job.label = "gbdt_infer/flat_scalar";
+    job.body = [&](runner::Result& r) {
+      const ml::simd::ScopedForceLevel force(ml::simd::Level::kScalar);
+      r.set("rows", static_cast<double>(rows));
+      r.set("walk_bytes_per_row", static_cast<double>(forest.walk_bytes_per_row()));
+      r.set("ns_per_row", time_ns_per_row(block_pass));
+      r.set("max_abs_delta", max_abs_delta());
+    };
+    jobs.push_back(std::move(job));
+  }
+  const bool simd_available = ml::simd::avx2_compiled() && ml::simd::avx2_runtime();
+  if (simd_available) {
+    runner::Job job;
+    job.label = "gbdt_infer/flat_simd";
+    job.body = [&](runner::Result& r) {
+      const ml::simd::ScopedForceLevel force(ml::simd::Level::kAvx2);
+      r.set("rows", static_cast<double>(rows));
+      r.set("walk_bytes_per_row", static_cast<double>(forest.walk_bytes_per_row()));
+      r.set("ns_per_row", time_ns_per_row(block_pass));
+      r.set("max_abs_delta", max_abs_delta());
+    };
+    jobs.push_back(std::move(job));
+  }
 
   runner::RunOptions options;
   options.threads = 1;  // sequential: the jobs time single-thread scoring
   const auto results = runner::run_all(jobs, options);
   runner::append_jsonl_if_configured(results);
 
-  std::printf("GBDT inference (%zu rows x %zu features, %zu trees):\n", rows, dim,
-              forest.tree_count());
+  std::printf("GBDT inference (%zu rows x %zu features, %zu trees, %zu walk bytes/row):\n",
+              rows, dim, forest.tree_count(), forest.walk_bytes_per_row());
   double node_walk_ns = 0.0, block_ns = 0.0, worst_delta = 0.0;
+  double scalar_ns = 0.0, simd_ns = 0.0;
   for (const auto& r : results) {
     std::printf("  %-24s %8.0f ns/row\n", r.label.c_str(), r.stat("ns_per_row"));
     if (r.label == "gbdt_infer/node_walk") node_walk_ns = r.stat("ns_per_row");
     if (r.label == "gbdt_infer/flat_block=" + std::to_string(ml::FlatForest::kBlockRows)) {
       block_ns = r.stat("ns_per_row");
     }
+    if (r.label == "gbdt_infer/flat_scalar") scalar_ns = r.stat("ns_per_row");
+    if (r.label == "gbdt_infer/flat_simd") simd_ns = r.stat("ns_per_row");
     worst_delta = std::max(worst_delta, r.stat("max_abs_delta"));
   }
   std::printf("  score_block speedup vs node-walk: %.2fx\n",
               block_ns > 0.0 ? node_walk_ns / block_ns : 0.0);
+  if (simd_available && simd_ns > 0.0) {
+    std::printf("  SIMD (%s) speedup vs scalar block: %.2fx\n",
+                ml::simd::level_name(ml::simd::Level::kAvx2), scalar_ns / simd_ns);
+  } else {
+    std::printf("  SIMD speedup vs scalar block: skipped (AVX2 unavailable)\n");
+  }
   if (worst_delta == 0.0) {
     std::printf("  FlatForest equivalence: max |dscore| = 0 (exact)\n");
   } else {

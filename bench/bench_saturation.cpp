@@ -1,0 +1,209 @@
+// Saturation sweep: open-loop offered load vs achieved throughput and
+// sojourn-time percentiles for the CdnServer request path.
+//
+// Each sweep point rewrites the calibrated trace onto a deterministic
+// Poisson arrival schedule at a target rate (bench/load_gen.hpp) and replays
+// it through CdnServer::replay_open_loop, which wall-clock-times every
+// request and pushes it through per-worker virtual queues. Because the
+// schedule never slows down with the server, the p99/p999 sojourn columns
+// include queueing delay — the knee (achieved < 0.95 × offered) is where
+// the hot path stops keeping up, and the tail explodes just before it.
+//
+// Knobs (besides the bench_common ones):
+//   LHR_SAT_TARGET_RPS  comma-separated offered loads in req/s
+//                       (default: auto-calibrate peak rate, sweep
+//                        0.5/0.7/0.85/0.95/1.05/1.2/1.5 × peak)
+//   LHR_SAT_POLICIES    comma-separated policy names (default "LRU,LHR")
+//   LHR_SERVE_THREADS   replay workers (default 1)
+//   LHR_PERF_COUNTERS   "1" → add cycles/req + LLC-miss/req columns via
+//                       perf_event_open (Linux; silently "-" when the PMU
+//                       is unavailable, e.g. perf_event_paranoid >= 2)
+#include <cstring>
+
+#include "bench/bench_common.hpp"
+#include "bench/load_gen.hpp"
+#include "util/perf_counters.hpp"
+
+namespace {
+
+using namespace lhr;
+
+bool perf_requested() {
+  const char* env = std::getenv("LHR_PERF_COUNTERS");
+  return env != nullptr && std::strcmp(env, "1") == 0;
+}
+
+std::vector<std::string> split_csv(const char* s) {
+  std::vector<std::string> out;
+  if (s == nullptr) return out;
+  const std::string str(s);
+  std::size_t start = 0;
+  while (start <= str.size()) {
+    const std::size_t comma = str.find(',', start);
+    const std::string tok =
+        str.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!tok.empty()) out.push_back(tok);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<double> target_rps_env() {
+  std::vector<double> out;
+  for (const auto& tok : split_csv(std::getenv("LHR_SAT_TARGET_RPS"))) {
+    const double v = std::atof(tok.c_str());
+    if (v > 0.0) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::string> policies_env() {
+  auto out = split_csv(std::getenv("LHR_SAT_POLICIES"));
+  if (out.empty()) out = {"LRU", "LHR"};
+  return out;
+}
+
+struct PointResult {
+  double offered = 0.0;
+  double achieved = 0.0;
+  runner::Result result;
+};
+
+/// One sweep point: fresh server, Poisson-rescheduled trace, open-loop
+/// replay. Runs on the calling thread — saturation points measure wall
+/// clock, so they must never share the machine with each other.
+PointResult run_point(const std::string& policy, gen::TraceClass c,
+                      double offered_rps, std::size_t workers, bool with_perf) {
+  const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
+  const trace::Trace scheduled = bench::poisson_schedule(
+      bench::trace_for(c), {.target_rps = offered_rps, .seed = bench::bench_seed()});
+
+  server::ServerConfig cfg;
+  cfg.ram_bytes = std::max<std::uint64_t>(capacity / 100, 1 << 20);
+  bench::apply_resilience_env(cfg);
+  server::CdnServer server(
+      bench::make_sharded_policy(policy, bench::serve_shards(), capacity), cfg);
+
+  util::PerfCounters perf;
+  if (with_perf) perf.start();
+  const server::ServerReport report = server.replay_open_loop(scheduled, workers);
+  if (with_perf) perf.stop();
+
+  PointResult point;
+  point.offered = report.offered_rps;
+  point.achieved = report.achieved_rps;
+  runner::Result& r = point.result;
+  r.label = "saturation/" + policy + "/" + gen::to_string(c);
+  r.policy = policy;
+  r.trace = gen::to_string(c);
+  r.capacity_bytes = capacity;
+  r.set("offered_rps", report.offered_rps);
+  r.set("achieved_rps", report.achieved_rps);
+  r.set("sojourn_p50_ms", report.sojourn_p50_ms);
+  r.set("sojourn_p99_ms", report.sojourn_p99_ms);
+  r.set("sojourn_p999_ms", report.sojourn_p999_ms);
+  r.set("sojourn_avg_ms", report.sojourn_avg_ms);
+  r.set("queue_wait_p99_ms", report.queue_wait_p99_ms);
+  r.set("service_avg_us", report.service_avg_us);
+  r.set("queued_requests", static_cast<double>(report.queued_requests));
+  r.set("content_hit_pct", report.content_hit_pct);
+  r.set("serve_threads", static_cast<double>(report.replay_threads));
+  r.set("saturated",
+        report.achieved_rps < 0.95 * report.offered_rps ? 1.0 : 0.0);
+  if (with_perf) {
+    const util::PerfReading reading = perf.read();
+    const double n = std::max<double>(1.0, static_cast<double>(report.requests));
+    r.set("perf_valid", reading.valid ? 1.0 : 0.0);
+    r.set("cycles_per_req",
+          reading.valid ? static_cast<double>(reading.cycles) / n : 0.0);
+    r.set("llc_miss_per_req",
+          reading.valid ? static_cast<double>(reading.llc_misses) / n : 0.0);
+  }
+  return point;
+}
+
+/// Peak service rate: offer an absurd load so arrivals are effectively
+/// back-to-back; the achieved rate then measures pure service capacity.
+double calibrate_peak_rps(const std::string& policy, gen::TraceClass c,
+                          std::size_t workers) {
+  const PointResult p = run_point(policy, c, 1e9, workers, /*with_perf=*/false);
+  return std::max(p.achieved, 1.0);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Saturation: open-loop offered load vs achieved throughput (CdnServer)");
+
+  const std::size_t workers = std::max<std::size_t>(1, bench::serve_threads());
+  const bool with_perf = perf_requested();
+  const std::vector<double> fixed_rates = target_rps_env();
+  const auto c = gen::TraceClass::kCdnA;
+
+  if (with_perf && !util::PerfCounters().available()) {
+    std::printf("(LHR_PERF_COUNTERS=1 but perf_event_open is unavailable; "
+                "cycle/LLC columns will print \"-\")\n");
+  }
+
+  std::vector<runner::Result> all_results;
+  for (const auto& policy : policies_env()) {
+    std::vector<double> rates = fixed_rates;
+    if (rates.empty()) {
+      const double peak = calibrate_peak_rps(policy, c, workers);
+      std::printf("\n%s: calibrated peak ≈ %.0f req/s (%zu worker%s)\n",
+                  policy.c_str(), peak, workers, workers == 1 ? "" : "s");
+      for (const double f : {0.5, 0.7, 0.85, 0.95, 1.05, 1.2, 1.5}) {
+        rates.push_back(peak * f);
+      }
+    } else {
+      std::printf("\n%s: LHR_SAT_TARGET_RPS sweep (%zu worker%s)\n",
+                  policy.c_str(), workers, workers == 1 ? "" : "s");
+    }
+
+    std::vector<std::string> header = {"Offered/s", "Achieved/s", "p50(ms)",
+                                       "p99(ms)",   "p999(ms)",   "QueueP99",
+                                       "Svc(us)",   "Queued"};
+    if (with_perf) {
+      header.push_back("Cyc/req");
+      header.push_back("LLCm/req");
+    }
+    bench::print_row(header, 12);
+
+    double knee_rps = 0.0;
+    for (const double rate : rates) {
+      PointResult p = run_point(policy, c, rate, workers, with_perf);
+      std::vector<std::string> cells = {
+          bench::fmt(p.offered, 0),
+          bench::fmt(p.achieved, 0),
+          bench::fmt(p.result.stat("sojourn_p50_ms"), 3),
+          bench::fmt(p.result.stat("sojourn_p99_ms"), 3),
+          bench::fmt(p.result.stat("sojourn_p999_ms"), 3),
+          bench::fmt(p.result.stat("queue_wait_p99_ms"), 3),
+          bench::fmt(p.result.stat("service_avg_us"), 2),
+          bench::fmt(p.result.stat("queued_requests"), 0)};
+      if (with_perf) {
+        if (p.result.stat("perf_valid") == 1.0) {
+          cells.push_back(bench::fmt(p.result.stat("cycles_per_req"), 0));
+          cells.push_back(bench::fmt(p.result.stat("llc_miss_per_req"), 1));
+        } else {
+          cells.push_back("-");
+          cells.push_back("-");
+        }
+      }
+      bench::print_row(cells, 12);
+      if (knee_rps == 0.0 && p.achieved < 0.95 * p.offered) knee_rps = p.offered;
+      all_results.push_back(std::move(p.result));
+    }
+    if (knee_rps > 0.0) {
+      std::printf("%s knee: offered %.0f req/s (achieved < 0.95 x offered)\n",
+                  policy.c_str(), knee_rps);
+    } else {
+      std::printf("%s knee: not reached in this sweep\n", policy.c_str());
+    }
+  }
+
+  runner::append_jsonl_if_configured(all_results);
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include "bench/load_gen.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace lhr::bench {
+
+trace::Trace poisson_schedule(const trace::TraceSource& source,
+                              const LoadGenConfig& cfg) {
+  if (!(cfg.target_rps > 0.0)) {
+    throw std::invalid_argument("poisson_schedule: target_rps must be > 0");
+  }
+  trace::Trace out;
+  out.reserve(source.size());
+  util::Xoshiro256 rng(cfg.seed);
+  const double inv_rate = 1.0 / cfg.target_rps;
+  double t = 0.0;
+  for (const trace::Request& r : source) {
+    // Exp(λ) via inverse transform; 1 - U keeps the argument in (0, 1] so
+    // log() never sees 0. Summing gaps (instead of spacing a uniform grid)
+    // is what makes bursts appear: a Poisson process at rate λ has
+    // coefficient-of-variation 1, so transient arrival clusters exercise
+    // the queue even below the knee.
+    t += -std::log(1.0 - rng.next_double()) * inv_rate;
+    out.push_back({t, r.key, r.size});
+  }
+  return out;
+}
+
+}  // namespace lhr::bench

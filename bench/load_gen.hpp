@@ -1,0 +1,41 @@
+// Open-loop load generation for the saturation bench.
+//
+// A closed-loop replay (issue a request, wait for it to finish, issue the
+// next) can never observe a saturated server: when the server slows down the
+// generator slows down with it, and the latency numbers silently omit every
+// request that *would* have queued — the classic coordinated-omission trap.
+// An open-loop generator instead fixes the arrival schedule up front: a
+// deterministic Poisson process at a target rate, independent of how fast
+// the server drains it. Requests that arrive while the server is busy are
+// charged their full queueing delay.
+//
+// This module produces the schedule. It rewrites a trace's timestamps onto
+// exponential inter-arrival gaps (keys and sizes untouched, order
+// preserved), so the cache dynamics — reuse distances, working set — stay
+// those of the calibrated workload while the *rate* becomes the experiment
+// variable. The schedule is a pure function of (seed, rate, request count):
+// the same sweep replays bit-identically on any machine.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
+
+namespace lhr::bench {
+
+struct LoadGenConfig {
+  double target_rps = 100'000.0;  ///< mean offered load (Poisson rate λ)
+  std::uint64_t seed = 1;         ///< drives the inter-arrival draws only
+};
+
+/// Rewrites `source` onto a deterministic Poisson arrival schedule at
+/// `cfg.target_rps`. The i-th output request keeps the i-th input key/size;
+/// its time is the cumulative sum of i.i.d. Exp(λ) gaps drawn from
+/// Xoshiro256**(seed). The first arrival is at t = first gap (not 0), so
+/// duration() ≈ n/λ for large n. Throws std::invalid_argument for a
+/// non-positive rate.
+[[nodiscard]] trace::Trace poisson_schedule(const trace::TraceSource& source,
+                                            const LoadGenConfig& cfg);
+
+}  // namespace lhr::bench

@@ -184,8 +184,17 @@ void LhrCache::evict_one(trace::Time now) {
   const std::size_t n = std::min(config_.eviction_sample, pool.size());
   trace::Key victim = pool.sample(rng_);
   double worst = std::numeric_limits<double>::infinity();
+  // Draw the candidate keys first (identical sample() sequence, so the
+  // victim choice is unchanged), then score with the next candidate's
+  // resident entry prefetched: the gather's 64 dependent map lookups
+  // overlap in the memory pipeline instead of serializing.
+  eviction_scratch_.clear();
   for (std::size_t s = 0; s < n; ++s) {
-    const trace::Key candidate = (n == pool.size()) ? pool.at(s) : pool.sample(rng_);
+    eviction_scratch_.push_back((n == pool.size()) ? pool.at(s) : pool.sample(rng_));
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    if (s + 1 < n) residents_.prefetch(eviction_scratch_[s + 1]);
+    const trace::Key candidate = eviction_scratch_[s];
     const double q = eviction_value(residents_.at(candidate), now);
     if (q < worst) {
       worst = q;
@@ -359,7 +368,7 @@ std::uint64_t LhrCache::metadata_bytes() const {
          train_y_.size() * sizeof(float) +
          estimation_last_.size() *
              (sizeof(trace::Key) + sizeof(LastSeen) + 2 * sizeof(void*)) +
-         residents_.size() * (sizeof(trace::Key) + sizeof(Resident) + 2 * sizeof(void*)) +
+         residents_.memory_bytes() +
          resident_keys_.memory_bytes() + candidates_.memory_bytes();
 }
 

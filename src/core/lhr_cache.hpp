@@ -42,6 +42,7 @@
 #include "ml/zipf_detector.hpp"
 #include "policies/sampled_set.hpp"
 #include "sim/cache_policy.hpp"
+#include "util/flat_hash_map.hpp"
 #include "util/rng.hpp"
 
 namespace lhr::core {
@@ -200,7 +201,10 @@ class LhrCache final : public sim::CacheBase {
   std::unordered_map<trace::Key, LastSeen> estimation_last_;
   double bytes_marker_ = 0.0;
 
-  std::unordered_map<trace::Key, Resident> residents_;
+  // Flat open-addressing map (PR 5 discipline): touched on every request
+  // and 64 times per sampled eviction, where the gather prefetches the next
+  // candidate's entry while scoring the current one.
+  util::FlatHashMap<trace::Key, Resident> residents_;
   policy::SampledKeySet resident_keys_;
   policy::SampledKeySet candidates_;  ///< residents with p < δ (case ii)
 
@@ -211,6 +215,7 @@ class LhrCache final : public sim::CacheBase {
   bool eval_full_ = false;
 
   std::vector<float> feature_buf_;
+  std::vector<trace::Key> eviction_scratch_;  ///< candidate keys, drawn ahead
   trace::Time last_window_close_ = 0.0;
   std::size_t windows_seen_ = 0;
   std::size_t trainings_ = 0;

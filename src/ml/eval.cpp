@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "ml/flat_forest.hpp"
+#include "util/thread_pool.hpp"
+
 namespace lhr::ml {
 
 BinaryMetrics evaluate_binary(std::span<const float> predictions,
@@ -69,8 +72,45 @@ BinaryMetrics evaluate_model(const Gbdt& model, const Dataset& data,
   if (labels.size() != data.n_rows()) {
     throw std::invalid_argument("evaluate_model: size mismatch");
   }
+  // Batch scoring runs through the compiled FlatForest — the same
+  // SIMD-dispatched score_block the request path uses — so offline model
+  // quality is measured on the deployed inference kernel. Gbdt::predict_many
+  // stays available as the interpretable oracle; FlatForest guarantees
+  // bit-identical doubles, and ml_test asserts the two paths agree here.
   std::vector<double> raw(data.n_rows());
-  model.predict_many(data, raw, pool, n_threads);
+  const FlatForest forest(model);
+  if (!forest.trained()) {
+    model.predict_many(data, raw, pool, n_threads);
+  } else if (pool == nullptr || n_threads <= 1) {
+    forest.score_block(data, raw);
+  } else {
+    // Rows are independent and each scores bit-identically, so any chunking
+    // reproduces the serial output exactly. Fixed chunk boundaries keep the
+    // split deterministic; the caller participates as the last worker.
+    const std::size_t workers = n_threads;
+    const std::size_t rows = data.n_rows();
+    const std::size_t chunk = (rows + workers - 1) / workers;
+    util::TaskGroup group(pool);
+    for (std::size_t w = 0; w + 1 < workers; ++w) {
+      const std::size_t begin = std::min(rows, w * chunk);
+      const std::size_t end = std::min(rows, begin + chunk);
+      if (begin == end) continue;
+      group.run([&, begin, end] {
+        forest.score_block(
+            {data.values.data() + begin * data.n_features,
+             (end - begin) * data.n_features},
+            end - begin, std::span<double>(raw).subspan(begin, end - begin));
+      });
+    }
+    const std::size_t begin = std::min(rows, (workers - 1) * chunk);
+    if (begin < rows) {
+      forest.score_block(
+          {data.values.data() + begin * data.n_features,
+           (rows - begin) * data.n_features},
+          rows - begin, std::span<double>(raw).subspan(begin));
+    }
+    group.wait();
+  }
   std::vector<float> predictions(raw.size());
   const bool logistic = model.loss() == GbdtLoss::kLogistic;
   for (std::size_t i = 0; i < raw.size(); ++i) {

@@ -41,6 +41,11 @@ class FeatureExtractor {
   /// Records the request into the per-content history.
   void record(const trace::Request& r);
 
+  /// Hints that `key`'s history entry will be extracted soon. The sampled-
+  /// eviction gathers call this one candidate ahead, so each candidate's
+  /// history line is in flight while the previous one's features are built.
+  void prefetch(trace::Key key) const noexcept { history_.prefetch(key); }
+
   /// Drops contents whose last recorded request is older than `horizon`
   /// (bounds the history memory; LHR calls this at window boundaries).
   void prune_older_than(trace::Time horizon);

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
+
+#include "ml/simd_dispatch.hpp"
 
 namespace lhr::ml {
 
@@ -62,14 +65,14 @@ FlatForest::FlatForest(const Gbdt& model)
       if (node.feature >= 0) {
         feature_.push_back(node.feature);
         threshold_.push_back(node.threshold);
-        missing_left_.push_back(node.missing_left ? 1 : 0);
+        missing_left_.push_back(node.missing_left ? -1 : 0);
         child_.push_back(remap[static_cast<std::size_t>(node.left)]);
         child_.push_back(remap[static_cast<std::size_t>(node.right)]);
         value_.push_back(0.0f);
       } else {
         feature_.push_back(0);
         threshold_.push_back(kInf);
-        missing_left_.push_back(1);
+        missing_left_.push_back(-1);
         child_.push_back(self);
         child_.push_back(self);
         value_.push_back(node.value);
@@ -80,7 +83,7 @@ FlatForest::FlatForest(const Gbdt& model)
       // branch as a zero-valued absorbing leaf so roots_ stays aligned.
       feature_.push_back(0);
       threshold_.push_back(kInf);
-      missing_left_.push_back(1);
+      missing_left_.push_back(-1);
       child_.push_back(base);
       child_.push_back(base);
       value_.push_back(0.0f);
@@ -88,13 +91,26 @@ FlatForest::FlatForest(const Gbdt& model)
     roots_.push_back(base);
     depth_.push_back(tree_depth(tree));
   }
+
+  // SIMD node records mirror the SoA arrays field for field (same feature
+  // ids, same threshold bits, same children), so the two representations
+  // cannot disagree. missing_left_ is a -1/0 mask: AND with the sign bit
+  // folds it into the feature word, where blendv reads it back for free.
+  packed_.resize(feature_.size() * 4);
+  for (std::size_t i = 0; i < feature_.size(); ++i) {
+    packed_[4 * i] =
+        feature_[i] | (missing_left_[i] & std::numeric_limits<std::int32_t>::min());
+    std::memcpy(&packed_[4 * i + 1], &threshold_[i], sizeof(float));
+    packed_[4 * i + 2] = child_[2 * i];
+    packed_[4 * i + 3] = child_[2 * i + 1];
+  }
 }
 
 double FlatForest::score_row(std::span<const float> x) const {
   const float* xs = x.data();
   const std::int32_t* feature = feature_.data();
   const float* threshold = threshold_.data();
-  const std::uint8_t* missing_left = missing_left_.data();
+  const std::int32_t* missing_left = missing_left_.data();
   const std::int32_t* child = child_.data();
   double score = base_score_;
   const std::size_t n_trees = roots_.size();
@@ -129,9 +145,21 @@ double FlatForest::probability(std::span<const float> x) const {
 
 void FlatForest::score_span(const float* rows, std::size_t n_rows,
                             double* out) const {
+  // Pure dispatch: both implementations produce bit-identical doubles, so
+  // this is a performance decision resolved once per process (or pinned by
+  // simd::force_level in tests and benches).
+  if (simd::active_level() == simd::Level::kAvx2) {
+    score_span_avx2(rows, n_rows, out);
+  } else {
+    score_span_scalar(rows, n_rows, out);
+  }
+}
+
+void FlatForest::score_span_scalar(const float* rows, std::size_t n_rows,
+                                   double* out) const {
   const std::int32_t* feature = feature_.data();
   const float* threshold = threshold_.data();
-  const std::uint8_t* missing_left = missing_left_.data();
+  const std::int32_t* missing_left = missing_left_.data();
   const std::int32_t* child = child_.data();
   const float* value = value_.data();
   const std::size_t n_trees = roots_.size();
@@ -192,9 +220,21 @@ void FlatForest::score_block(const Dataset& data, std::span<double> out) const {
 
 std::size_t FlatForest::memory_bytes() const noexcept {
   return feature_.size() * (sizeof(std::int32_t) + sizeof(float) +
-                            sizeof(std::uint8_t) + sizeof(float)) +
+                            sizeof(std::int32_t) + sizeof(float)) +
          child_.size() * sizeof(std::int32_t) +
+         packed_.size() * sizeof(std::int32_t) +
          roots_.size() * sizeof(std::int32_t) * 2;
+}
+
+std::size_t FlatForest::walk_bytes_per_row() const noexcept {
+  // Per level visited: feature (4) + threshold (4) + missing mask (4) + one
+  // child entry (4); per tree: the leaf value (4). Rows walk every tree to
+  // its full depth (absorbing leaves), so the sum is exact, not a bound.
+  std::size_t bytes = 0;
+  for (const std::int32_t d : depth_) {
+    bytes += static_cast<std::size_t>(d) * 16 + 4;
+  }
+  return bytes;
 }
 
 }  // namespace lhr::ml

@@ -11,7 +11,10 @@
 //
 //     feature_[i]       int32   split feature of node i (leaf: 0)
 //     threshold_[i]     float   split threshold          (leaf: +inf)
-//     missing_left_[i]  uint8   NaN default direction    (leaf: 1)
+//     missing_left_[i]  int32   NaN default direction    (leaf: -1)
+//                               stored as an all-ones/all-zeros lane mask
+//                               (-1 = missing goes left) so the AVX2 kernel
+//                               can gather it and feed blendv directly
 //     child_[2i], [2i+1] int32  left/right child         (leaf: i, i)
 //     value_[i]         float   leaf output              (internal: 0)
 //     roots_[t], depth_[t]      per-tree root node and max leaf depth
@@ -34,6 +37,17 @@
 // leaf values accumulated in the same double order (base_score first, then
 // trees in training order). flat_forest_test asserts exact equality across
 // random forests; bench_micro prints the max |Δscore| line CI greps.
+//
+// score_block additionally dispatches at runtime (simd_dispatch.hpp) to an
+// AVX2 kernel that steps 8 lanes of the level walk at once — 64-bit
+// gathers over packed_ 16-byte node records (one load uop fetches two
+// fields), a compare-mask level step, two 8-lane groups per 16-row block,
+// and four tree walks interleaved to keep the gather chains overlapping.
+// The kernel mirrors the scalar semantics operation for operation
+// (_CMP_LE_OQ for missing-right, _CMP_NGT_UQ for missing-left, per-row
+// double accumulation in tree order), so its doubles are bit-identical to
+// the scalar loop and to Gbdt::predict; LHR_SIMD=0|1|auto overrides the
+// cpuid decision.
 #pragma once
 
 #include <cstddef>
@@ -83,14 +97,35 @@ class FlatForest {
 
   [[nodiscard]] std::size_t memory_bytes() const noexcept;
 
+  /// SoA bytes one row's walk touches (per level: feature + threshold +
+  /// missing mask + one child pair entry; per tree: one leaf value) — the
+  /// bytes/row column bench_micro tracks alongside ns/row.
+  [[nodiscard]] std::size_t walk_bytes_per_row() const noexcept;
+
  private:
   void score_span(const float* rows, std::size_t n_rows, double* out) const;
+  /// Portable reference implementation (always compiled; bit-identical).
+  void score_span_scalar(const float* rows, std::size_t n_rows, double* out) const;
+  /// AVX2 implementation, defined in flat_forest_simd.cpp (falls back to
+  /// score_span_scalar when the kernel is compiled out). Only called when
+  /// simd::active_level() == kAvx2.
+  void score_span_avx2(const float* rows, std::size_t n_rows, double* out) const;
 
   std::vector<std::int32_t> feature_;
   std::vector<float> threshold_;
-  std::vector<std::uint8_t> missing_left_;
+  std::vector<std::int32_t> missing_left_;  ///< lane mask: -1 missing-left, 0 missing-right
   std::vector<std::int32_t> child_;  ///< 2 per node: [2i] left, [2i+1] right
   std::vector<float> value_;         ///< leaf output; 0 for internal nodes
+  /// AVX2 node records, 4 int32 per node (16 bytes, one cache line holds 4):
+  ///   [4i]   feature | (missing_left ? sign bit : 0)
+  ///   [4i+1] threshold bits
+  ///   [4i+2] left child      [4i+3] right child
+  /// A 64-bit gather fetches feature+threshold (or both children) in ONE
+  /// load uop where the SoA arrays need two — gathers decompose into
+  /// per-element loads on x86, so halving gathered elements halves the
+  /// level step's load budget. Redundant with the SoA arrays by
+  /// construction; the scalar reference path never reads it.
+  std::vector<std::int32_t> packed_;
   std::vector<std::int32_t> roots_;  ///< per tree: root node index
   std::vector<std::int32_t> depth_;  ///< per tree: deepest leaf level (0 = root is leaf)
   double base_score_ = 0.0;

@@ -1,0 +1,224 @@
+// AVX2 kernel for FlatForest::score_block — the only translation unit in
+// the repository compiled with -mavx2 (see src/ml/CMakeLists.txt), so the
+// vector code is fenced off from the baseline-ISA binary and only ever
+// executed behind the runtime cpuid check in simd_dispatch.cpp.
+//
+// The kernel is the scalar level-synchronous block walk with the row loop
+// turned into lanes: a 16-row block is two 8-lane index vectors stepped in
+// lockstep down every tree. The node data comes from packed_ (16-byte
+// records: feature|miss, threshold, left, right) through 64-bit gathers:
+//
+//   nod   = gather64(packed,     2*idx)   feature|miss + threshold, 1 load/lane
+//   kid   = gather64(packed + 8, 2*idx)   left + right children,    1 load/lane
+//   v     = gatherps(block, lane*n_features + feat)
+//   left  = blendv(v <= thr [LE_OQ],  !(v > thr) [NGT_UQ],  miss sign)
+//   idx   = blendv(right, left, left?)
+//
+// Two properties make this faster than gathering the SoA arrays directly.
+// First, x86 gathers decompose into one load uop per *element*, so packing
+// two fields per 64-bit element halves the loads a level step issues (24
+// per 16 rows vs the scalar walk's 40). Second, both children are fetched
+// *before* the compare resolves — the child choice becomes a register
+// blend, so the level-to-level dependency is gather(nod) -> gather(v) ->
+// cmp -> blend instead of a third dependent gather.
+//
+// _CMP_LE_OQ is false for NaN (missing-right routes NaN right) and
+// _CMP_NGT_UQ is true for NaN (missing-left routes NaN left) — exactly the
+// scalar `missing_left ? !(v > thr) : (v <= thr)`, so the walk lands on the
+// same leaves. Leaf values are gathered once per tree and accumulated into
+// per-lane double accumulators (cvtps_pd is exact, adds are per-lane IEEE
+// doubles in tree order), which makes the result bit-identical to the
+// scalar path and to Gbdt::predict — asserted by flat_forest_test's SIMD
+// sweep and bench_micro's "SIMD/scalar equivalence" line.
+//
+// Tail rows (n_rows % 16) always take the scalar path: correctness does not
+// depend on block shape, and masked-gather tails would cost more than the
+// <16 rows they cover.
+#include "ml/flat_forest.hpp"
+
+#include <cstring>
+
+#if defined(LHR_FOREST_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace lhr::ml {
+
+#if defined(LHR_FOREST_AVX2)
+
+void FlatForest::score_span_avx2(const float* rows, std::size_t n_rows,
+                                 double* out) const {
+  static_assert(kBlockRows == 16, "kernel steps two 8-lane groups per block");
+  const auto* packed = reinterpret_cast<const long long*>(packed_.data());
+  const std::int32_t* packed32 = packed_.data();
+  const float* value = value_.data();
+  const std::size_t n_trees = roots_.size();
+
+  const __m256i nf = _mm256_set1_epi32(static_cast<int>(n_features_));
+  const __m256i feat_mask = _mm256_set1_epi32(0x7fffffff);
+  // Deinterleave pattern: qword-pair gathers come back as
+  // [a0,b0,a1,b1 | a2,b2,a3,b3]; vpermd with this pattern yields
+  // [a0..a3 | b0..b3], so one cross-lane permute splits the two fields.
+  const __m256i evens = _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7);
+  const __m256i lanes_lo = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256i lanes_hi = _mm256_setr_epi32(8, 9, 10, 11, 12, 13, 14, 15);
+  const __m256i row_off_lo = _mm256_mullo_epi32(lanes_lo, nf);
+  const __m256i row_off_hi = _mm256_mullo_epi32(lanes_hi, nf);
+
+  std::size_t begin = 0;
+  for (; begin + kBlockRows <= n_rows; begin += kBlockRows) {
+    const float* block = rows + begin * n_features_;
+
+    // One level step for an 8-lane index group: returns the child indices.
+    const auto step = [&](__m256i idx, __m256i row_off) {
+      // Record r spans qwords 2r (feature|miss, threshold) and 2r+1
+      // (left, right). Both gathers depend only on idx, so they issue
+      // together; the children arrive before the compare needs them.
+      const __m256i qidx = _mm256_slli_epi32(idx, 1);
+      const __m128i q_lo = _mm256_castsi256_si128(qidx);
+      const __m128i q_hi = _mm256_extracti128_si256(qidx, 1);
+      const __m256i nod_lo = _mm256_i32gather_epi64(packed, q_lo, 8);
+      const __m256i nod_hi = _mm256_i32gather_epi64(packed, q_hi, 8);
+      const __m256i kid_lo = _mm256_i32gather_epi64(packed + 1, q_lo, 8);
+      const __m256i kid_hi = _mm256_i32gather_epi64(packed + 1, q_hi, 8);
+
+      const __m256i nod_a = _mm256_permutevar8x32_epi32(nod_lo, evens);
+      const __m256i nod_b = _mm256_permutevar8x32_epi32(nod_hi, evens);
+      const __m256i fm = _mm256_permute2x128_si256(nod_a, nod_b, 0x20);
+      const __m256 thr =
+          _mm256_castsi256_ps(_mm256_permute2x128_si256(nod_a, nod_b, 0x31));
+      const __m256i kid_a = _mm256_permutevar8x32_epi32(kid_lo, evens);
+      const __m256i kid_b = _mm256_permutevar8x32_epi32(kid_hi, evens);
+      const __m256i left = _mm256_permute2x128_si256(kid_a, kid_b, 0x20);
+      const __m256i right = _mm256_permute2x128_si256(kid_a, kid_b, 0x31);
+
+      const __m256i feat = _mm256_and_si256(fm, feat_mask);
+      const __m256 v =
+          _mm256_i32gather_ps(block, _mm256_add_epi32(row_off, feat), 4);
+      const __m256 ngt = _mm256_cmp_ps(v, thr, _CMP_NGT_UQ);  // !(v > t), NaN left
+      const __m256 le = _mm256_cmp_ps(v, thr, _CMP_LE_OQ);    // v <= t, NaN right
+      // fm's sign bit IS the missing-left mask; blendv reads only signs.
+      const __m256 go_left = _mm256_blendv_ps(le, ngt, _mm256_castsi256_ps(fm));
+      return _mm256_castps_si256(_mm256_blendv_ps(
+          _mm256_castsi256_ps(right), _mm256_castsi256_ps(left), go_left));
+    };
+
+    // The step out of the root: every lane sits on the same node, so the
+    // record comes from two scalar loads broadcast into registers — no
+    // gathers, and the level-0 v gather can issue almost immediately.
+    const auto root_step = [&](std::int32_t root, __m256i row_off) {
+      const std::int32_t fm_s = packed32[4 * root];
+      float thr_s;
+      std::memcpy(&thr_s, &packed32[4 * root + 1], sizeof(float));
+      const __m256 thr = _mm256_set1_ps(thr_s);
+      const __m256i left = _mm256_set1_epi32(packed32[4 * root + 2]);
+      const __m256i right = _mm256_set1_epi32(packed32[4 * root + 3]);
+      const __m256i feat = _mm256_and_si256(_mm256_set1_epi32(fm_s), feat_mask);
+      const __m256 v =
+          _mm256_i32gather_ps(block, _mm256_add_epi32(row_off, feat), 4);
+      const __m256 ngt = _mm256_cmp_ps(v, thr, _CMP_NGT_UQ);
+      const __m256 le = _mm256_cmp_ps(v, thr, _CMP_LE_OQ);
+      const __m256 go_left =
+          _mm256_blendv_ps(le, ngt, _mm256_castsi256_ps(_mm256_set1_epi32(fm_s)));
+      return _mm256_castps_si256(_mm256_blendv_ps(
+          _mm256_castsi256_ps(right), _mm256_castsi256_ps(left), go_left));
+    };
+
+    // Walk state for one tree across both lane groups. Starts at the level
+    // below the root (root_step) and finishes with the leaf-value gather.
+    struct TreeWalk {
+      __m256i lo, hi;
+      std::int32_t d = 0;
+    };
+    const auto start = [&](std::size_t t) {
+      TreeWalk w;
+      w.d = depth_[t];
+      if (w.d > 0) {
+        w.lo = root_step(roots_[t], row_off_lo);
+        w.hi = root_step(roots_[t], row_off_hi);
+        --w.d;
+      } else {
+        w.lo = w.hi = _mm256_set1_epi32(roots_[t]);
+      }
+      return w;
+    };
+    const auto advance = [&](TreeWalk& w) {
+      if (w.d > 0) {
+        w.lo = step(w.lo, row_off_lo);
+        w.hi = step(w.hi, row_off_hi);
+        --w.d;
+      }
+    };
+
+    __m256d acc0 = _mm256_set1_pd(base_score_);
+    __m256d acc1 = acc0, acc2 = acc0, acc3 = acc0;
+    const auto accumulate = [&](const TreeWalk& w) {
+      const __m256 leaf_lo = _mm256_i32gather_ps(value, w.lo, 4);
+      const __m256 leaf_hi = _mm256_i32gather_ps(value, w.hi, 4);
+      acc0 = _mm256_add_pd(acc0, _mm256_cvtps_pd(_mm256_castps256_ps128(leaf_lo)));
+      acc1 = _mm256_add_pd(acc1, _mm256_cvtps_pd(_mm256_extractf128_ps(leaf_lo, 1)));
+      acc2 = _mm256_add_pd(acc2, _mm256_cvtps_pd(_mm256_castps256_ps128(leaf_hi)));
+      acc3 = _mm256_add_pd(acc3, _mm256_cvtps_pd(_mm256_extractf128_ps(leaf_hi, 1)));
+    };
+
+    // Trees are walked four at a time: one tree's level step is a serial
+    // chain of dependent gathers long enough to fill the out-of-order
+    // window, so back-to-back trees would barely overlap. Interleaving
+    // four independent walks keeps eight 8-lane chains in flight — about
+    // as many advances as the reorder buffer can hold at once; the walk
+    // state beyond what fits in ymm registers spills to L1, which is noise
+    // next to the gather latency being hidden. Accumulation still happens
+    // strictly in tree order (t, t+1, t+2, t+3), preserving bit-identity.
+    constexpr std::size_t kInterleave = 4;
+    std::size_t t = 0;
+    for (; t + kInterleave <= n_trees; t += kInterleave) {
+      TreeWalk w[kInterleave] = {start(t), start(t + 1), start(t + 2),
+                                 start(t + 3)};
+      while (w[0].d > 0 || w[1].d > 0 || w[2].d > 0 || w[3].d > 0) {
+        advance(w[0]);
+        advance(w[1]);
+        advance(w[2]);
+        advance(w[3]);
+      }
+      accumulate(w[0]);
+      accumulate(w[1]);
+      accumulate(w[2]);
+      accumulate(w[3]);
+    }
+    if (t < n_trees) {
+      TreeWalk w[kInterleave];
+      const std::size_t rest = n_trees - t;
+      for (std::size_t k = 0; k < rest; ++k) w[k] = start(t + k);
+      bool live = true;
+      while (live) {
+        live = false;
+        for (std::size_t k = 0; k < rest; ++k) {
+          live = live || w[k].d > 0;
+          advance(w[k]);
+        }
+      }
+      for (std::size_t k = 0; k < rest; ++k) accumulate(w[k]);
+    }
+    _mm256_storeu_pd(out + begin, acc0);
+    _mm256_storeu_pd(out + begin + 4, acc1);
+    _mm256_storeu_pd(out + begin + 8, acc2);
+    _mm256_storeu_pd(out + begin + 12, acc3);
+  }
+  if (begin < n_rows) {
+    score_span_scalar(rows + begin * n_features_, n_rows - begin, out + begin);
+  }
+}
+
+#else  // !LHR_FOREST_AVX2
+
+// Non-x86 / no -mavx2 builds: keep the symbol so dispatch links; it can
+// only be reached if force_level(kAvx2) is called, and then degrades to the
+// reference loop (active_level() itself never selects kAvx2 here).
+void FlatForest::score_span_avx2(const float* rows, std::size_t n_rows,
+                                 double* out) const {
+  score_span_scalar(rows, n_rows, out);
+}
+
+#endif
+
+}  // namespace lhr::ml

@@ -1,0 +1,72 @@
+#include "ml/simd_dispatch.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace lhr::ml::simd {
+
+bool avx2_compiled() noexcept {
+#if defined(LHR_FOREST_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool avx2_runtime() noexcept {
+#if defined(LHR_FOREST_AVX2) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+/// Encodes "no override" as -1, else the forced Level. Relaxed atomics: the
+/// hook is documented single-threaded-only; the atomic just keeps TSan quiet
+/// when forests are scored on worker threads after the force.
+std::atomic<int> g_forced{-1};
+
+Level env_level() noexcept {
+  const bool hw = avx2_runtime();
+  const char* env = std::getenv("LHR_SIMD");
+  if (env != nullptr && std::strcmp(env, "0") == 0) return Level::kScalar;
+  if (env != nullptr && std::strcmp(env, "1") == 0) {
+    if (hw) return Level::kAvx2;
+    // The CI matrix runs the whole suite with LHR_SIMD=1; on a host without
+    // AVX2 that leg degrades to scalar, loudly, instead of dying.
+    std::fprintf(stderr,
+                 "lhr: LHR_SIMD=1 requested but AVX2 is unavailable "
+                 "(compiled_in=%d, cpu=%d); falling back to scalar scoring\n",
+                 avx2_compiled() ? 1 : 0, 0);
+    return Level::kScalar;
+  }
+  return hw ? Level::kAvx2 : Level::kScalar;
+}
+
+}  // namespace
+
+Level active_level() noexcept {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    const auto level = static_cast<Level>(forced);
+    if (level == Level::kAvx2 && !avx2_runtime()) return Level::kScalar;
+    return level;
+  }
+  static const Level resolved = env_level();  // env + cpuid read once
+  return resolved;
+}
+
+const char* level_name(Level level) noexcept {
+  return level == Level::kAvx2 ? "avx2" : "scalar";
+}
+
+void force_level(std::optional<Level> level) noexcept {
+  g_forced.store(level ? static_cast<int>(*level) : -1,
+                 std::memory_order_relaxed);
+}
+
+}  // namespace lhr::ml::simd

@@ -1,0 +1,60 @@
+// Runtime SIMD dispatch for the compiled inference engine.
+//
+// FlatForest keeps two implementations of the level-synchronous block walk:
+// the portable scalar loop (the bit-identical reference, always compiled)
+// and an AVX2 kernel compiled into its own translation unit with -mavx2 so
+// the rest of the binary stays baseline-ISA clean. Which one runs is decided
+// once per process:
+//
+//   1. compile-time: was flat_forest_simd.cpp built with AVX2 support at
+//      all? (x86-64 + a compiler that accepts -mavx2; LHR_FOREST_AVX2)
+//   2. runtime: does this CPU report AVX2? (__builtin_cpu_supports)
+//   3. operator override: LHR_SIMD=0 forces the scalar path, LHR_SIMD=1
+//      insists on AVX2 (falls back to scalar with a one-time stderr notice
+//      when the host cannot run it — the CI "skip with notice" leg),
+//      LHR_SIMD=auto / unset picks AVX2 whenever 1+2 hold.
+//
+// The two paths produce bit-identical doubles (asserted by
+// flat_forest_test's SIMD sweep and bench_micro's "SIMD/scalar equivalence"
+// line that CI greps), so dispatch is a pure performance decision.
+#pragma once
+
+#include <optional>
+
+namespace lhr::ml::simd {
+
+enum class Level {
+  kScalar,  ///< portable reference loop
+  kAvx2,    ///< 8-wide gather/compare-mask level step
+};
+
+/// True when the AVX2 kernel was compiled into this binary.
+[[nodiscard]] bool avx2_compiled() noexcept;
+
+/// True when the running CPU reports AVX2 (false on non-x86 builds).
+[[nodiscard]] bool avx2_runtime() noexcept;
+
+/// The level score_block dispatches to: the LHR_SIMD override if any
+/// (resolved once, cached), else AVX2 when compiled in and supported.
+[[nodiscard]] Level active_level() noexcept;
+
+/// Human-readable name ("scalar" / "avx2") for bench output.
+[[nodiscard]] const char* level_name(Level level) noexcept;
+
+/// Test/bench hook: pins active_level() to `level` (nullopt restores the
+/// environment-driven decision). Not thread-safe against concurrent
+/// score_block callers — benches and tests force it only from one thread
+/// before spawning work. Forcing kAvx2 on a host without AVX2 support is
+/// ignored (scalar keeps running) so equivalence sweeps degrade safely.
+void force_level(std::optional<Level> level) noexcept;
+
+/// RAII form of force_level for test/bench scopes.
+class ScopedForceLevel {
+ public:
+  explicit ScopedForceLevel(Level level) noexcept { force_level(level); }
+  ~ScopedForceLevel() { force_level(std::nullopt); }
+  ScopedForceLevel(const ScopedForceLevel&) = delete;
+  ScopedForceLevel& operator=(const ScopedForceLevel&) = delete;
+};
+
+}  // namespace lhr::ml::simd

@@ -123,13 +123,23 @@ void Lrb::evict_until_fits(const trace::Request& r) {
       // Gather the sample's feature rows (same RNG draw order as the old
       // per-candidate loop) and score them in one blocked forest pass:
       // predicted time to next request, as of now, for every candidate.
+      // Keys are drawn up front — the identical sequence of sample() calls
+      // — so candidate s+1's history/size lines can be prefetched while
+      // candidate s's features are built: the gather's dependent misses
+      // overlap instead of serializing.
       candidate_keys_.clear();
       candidate_rows_.resize(n * dim);
       candidate_scores_.resize(n);
       for (std::size_t s = 0; s < n; ++s) {
-        const trace::Key candidate =
-            (n == residents_.size()) ? residents_.at(s) : residents_.sample(rng_);
-        candidate_keys_.push_back(candidate);
+        candidate_keys_.push_back(
+            (n == residents_.size()) ? residents_.at(s) : residents_.sample(rng_));
+      }
+      for (std::size_t s = 0; s < n; ++s) {
+        if (s + 1 < n) {
+          extractor_.prefetch(candidate_keys_[s + 1]);
+          prefetch_object(candidate_keys_[s + 1]);
+        }
+        const trace::Key candidate = candidate_keys_[s];
         extractor_.extract(trace::Request{now_, candidate, object_size(candidate)},
                            std::span<float>(candidate_rows_.data() + s * dim, dim));
       }
@@ -145,9 +155,16 @@ void Lrb::evict_until_fits(const trace::Request& r) {
       }
     } else {
       // Cold start: fall back to LRU (largest idle time evicted first).
+      // Same draw-ahead shape as the trained branch so the last-use lookup
+      // of candidate s+1 is in flight while s is compared.
+      candidate_keys_.clear();
       for (std::size_t s = 0; s < n; ++s) {
-        const trace::Key candidate =
-            (n == residents_.size()) ? residents_.at(s) : residents_.sample(rng_);
+        candidate_keys_.push_back(
+            (n == residents_.size()) ? residents_.at(s) : residents_.sample(rng_));
+      }
+      for (std::size_t s = 0; s < n; ++s) {
+        if (s + 1 < n) resident_last_use_.prefetch(candidate_keys_[s + 1]);
+        const trace::Key candidate = candidate_keys_[s];
         const double score = now_ - resident_last_use_.at(candidate);
         if (score > worst) {
           worst = score;
@@ -166,8 +183,7 @@ std::uint64_t Lrb::metadata_bytes() const {
          pending_.size() * sizeof(PendingSample) +
          pending_features_.size() * sizeof(float) +
          train_x_.values.size() * sizeof(float) + train_y_.size() * sizeof(float) +
-         last_pending_.size() * (sizeof(trace::Key) + 8 + 2 * sizeof(void*)) +
-         resident_last_use_.size() * (sizeof(trace::Key) + 8 + 2 * sizeof(void*)) +
+         last_pending_.memory_bytes() + resident_last_use_.memory_bytes() +
          residents_.memory_bytes();
 }
 

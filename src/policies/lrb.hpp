@@ -19,7 +19,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "ml/features.hpp"
@@ -27,6 +26,7 @@
 #include "ml/gbdt.hpp"
 #include "policies/sampled_set.hpp"
 #include "sim/cache_policy.hpp"
+#include "util/flat_hash_map.hpp"
 #include "util/rng.hpp"
 
 namespace lhr::policy {
@@ -78,12 +78,14 @@ class Lrb final : public sim::CacheBase {
   std::deque<float> pending_features_;  // dim() floats per sample
   std::uint64_t pending_base_index_ = 0;
 
-  std::unordered_map<trace::Key, std::uint64_t> last_pending_;  // key -> request idx
+  util::FlatHashMap<trace::Key, std::uint64_t> last_pending_;  // key -> request idx
 
   ml::Dataset train_x_;
   std::vector<float> train_y_;
 
-  std::unordered_map<trace::Key, trace::Time> resident_last_use_;
+  // Open-addressing like every other per-request map (PR 5); flat storage
+  // also makes the eviction gather's candidate prefetch a one-line hint.
+  util::FlatHashMap<trace::Key, trace::Time> resident_last_use_;
   SampledKeySet residents_;
 
   // Per-request / per-eviction scratch (avoids allocation churn on the hot

@@ -205,10 +205,27 @@ void CdnServer::ReplayAccumulator::merge(const ReplayAccumulator& other) {
   }
 }
 
+void CdnServer::OpenLoopAccumulator::merge(const OpenLoopAccumulator& other) {
+  if (!other.any) return;
+  sojourn.merge(other.sojourn);
+  queue_wait.merge(other.queue_wait);
+  service_s += other.service_s;
+  queued += other.queued;
+  if (!any) {
+    first_arrival = other.first_arrival;
+    last_completion = other.last_completion;
+    any = true;
+  } else {
+    first_arrival = std::min(first_arrival, other.first_arrival);
+    last_completion = std::max(last_completion, other.last_completion);
+  }
+}
+
 void CdnServer::replay_partition(const trace::TraceSource& trace, std::size_t worker,
                                  std::size_t n_workers, std::size_t window_requests,
                                  std::size_t meta_sample_every,
-                                 ReplayAccumulator& acc) {
+                                 ReplayAccumulator& acc,
+                                 OpenLoopAccumulator* open_loop) {
   const std::size_t n_windows =
       window_requests > 0 ? (trace.size() + window_requests - 1) / window_requests : 0;
   acc.window_hits.assign(n_windows, 0);
@@ -242,7 +259,35 @@ void CdnServer::replay_partition(const trace::TraceSource& trace, std::size_t wo
       const std::size_t shard = freshness_shard_of(r.key);
       if (shard % n_workers != worker) continue;
 
-      const RequestOutcome out = process(r, shard, acc);
+      RequestOutcome out;
+      if (open_loop != nullptr) {
+        // Open-loop accounting: the trace timestamp is the *scheduled*
+        // arrival (the generator keeps emitting regardless of server speed).
+        // Wall-clock the real service work, then push it through this
+        // worker's virtual queue; sojourn = queueing + service, measured
+        // against the schedule, so stalls are charged to every request they
+        // delay — no coordinated omission.
+        const auto svc0 = std::chrono::steady_clock::now();
+        out = process(r, shard, acc);
+        const double service = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - svc0)
+                                   .count();
+        const double arrival = r.time;
+        const double start = std::max(arrival, open_loop->clock);
+        const double completion = start + service;
+        open_loop->clock = completion;
+        open_loop->sojourn.add(completion - arrival);
+        open_loop->queue_wait.add(start - arrival);
+        open_loop->queued += static_cast<std::uint64_t>(start > arrival);
+        open_loop->service_s += service;
+        if (!open_loop->any) {
+          open_loop->first_arrival = arrival;
+          open_loop->any = true;
+        }
+        open_loop->last_completion = completion;
+      } else {
+        out = process(r, shard, acc);
+      }
       acc.latency.add(out.user_latency_s);
       acc.cpu_busy += out.cpu_s;
       acc.disk_busy += out.disk_s;
@@ -377,6 +422,67 @@ ServerReport CdnServer::replay_concurrent(const trace::TraceSource& trace, Repla
   // discipline): integer counters merge exactly; double sums are ordered.
   for (std::size_t t = 1; t < workers; ++t) acc[0].merge(acc[t]);
   return finalize(trace, mode, acc[0], workers, wall, contentions_before);
+}
+
+ServerReport CdnServer::replay_open_loop(const trace::TraceSource& trace,
+                                         std::size_t n_threads,
+                                         std::size_t window_requests) {
+  if (sharded_ == nullptr && n_threads > 1) {
+    throw std::invalid_argument(
+        "CdnServer::replay_open_loop: main policy must be a server::ShardedCache "
+        "for multi-threaded replay");
+  }
+  const std::size_t workers = std::clamp<std::size_t>(n_threads, 1, fresh_.size());
+  const std::uint64_t contentions_before =
+      sharded_ != nullptr ? sharded_->lock_contentions() : 0;
+
+  std::vector<ReplayAccumulator> acc(workers);
+  std::vector<OpenLoopAccumulator> ol(workers);
+  const auto t0 = std::chrono::steady_clock::now();
+  if (workers == 1) {
+    replay_partition(trace, 0, 1, window_requests, kConcurrentMetaSampleEvery,
+                     acc[0], &ol[0]);
+  } else {
+    util::ThreadPool pool(workers);
+    util::TaskGroup group(&pool);
+    for (std::size_t t = 0; t < workers; ++t) {
+      group.run([this, &trace, t, workers, window_requests, &acc, &ol] {
+        replay_partition(trace, t, workers, window_requests,
+                         kConcurrentMetaSampleEvery, acc[t], &ol[t]);
+      });
+    }
+    group.wait();
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  for (std::size_t t = 1; t < workers; ++t) {
+    acc[0].merge(acc[t]);
+    ol[0].merge(ol[t]);
+  }
+  ServerReport report =
+      finalize(trace, ReplayMode::kNormal, acc[0], workers, wall, contentions_before);
+
+  report.open_loop = true;
+  const std::uint64_t n = acc[0].requests;
+  if (n > 0 && ol[0].any) {
+    // Offered load is what the schedule asked for; achieved load is what the
+    // measured service times actually sustained. At saturation the two
+    // diverge (the knee) and the sojourn tail explodes.
+    report.offered_rps =
+        static_cast<double>(n) / std::max(trace.duration(), 1e-9);
+    report.achieved_rps =
+        static_cast<double>(n) /
+        std::max(ol[0].last_completion - ol[0].first_arrival, 1e-9);
+    report.sojourn_p50_ms = ol[0].sojourn.quantile(0.50) * 1e3;
+    report.sojourn_p99_ms = ol[0].sojourn.quantile(0.99) * 1e3;
+    report.sojourn_p999_ms = ol[0].sojourn.quantile(0.999) * 1e3;
+    report.sojourn_avg_ms = ol[0].sojourn.mean() * 1e3;
+    report.queue_wait_p99_ms = ol[0].queue_wait.quantile(0.99) * 1e3;
+    report.service_avg_us = ol[0].service_s / static_cast<double>(n) * 1e6;
+    report.queued_requests = ol[0].queued;
+  }
+  return report;
 }
 
 }  // namespace lhr::server

@@ -138,6 +138,25 @@ struct ServerReport {
   double fetch_p99_ms = 0.0;
   double fetch_avg_ms = 0.0;
 
+  // Open-loop (saturation) accounting, filled only by replay_open_loop.
+  // Request timestamps are treated as an arrival *schedule*: each worker
+  // runs a virtual queue clock `completion = max(arrival, prev_completion)
+  // + measured_service_wall_time`, so a request that lands behind a stalled
+  // one is charged its full queueing delay — the coordinated-omission-free
+  // sojourn production p99s are quoted in. offered_rps is the schedule's
+  // arrival rate; achieved_rps divides by the span arrivals *plus drain*
+  // actually took, so achieved < offered marks the saturation knee.
+  bool open_loop = false;
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;
+  double sojourn_p50_ms = 0.0;   ///< queue wait + service, from scheduled arrival
+  double sojourn_p99_ms = 0.0;
+  double sojourn_p999_ms = 0.0;
+  double sojourn_avg_ms = 0.0;
+  double queue_wait_p99_ms = 0.0;
+  double service_avg_us = 0.0;   ///< measured wall-clock service time per request
+  std::uint64_t queued_requests = 0;  ///< arrivals that waited behind a prior request
+
   [[nodiscard]] double byte_hit_ratio() const {
     return bytes_served > 0
                ? static_cast<double>(bytes_served - wan_bytes) /
@@ -174,6 +193,22 @@ class CdnServer {
   ServerReport replay_concurrent(const trace::TraceSource& trace, ReplayMode mode,
                                  std::size_t n_threads,
                                  std::size_t window_requests = 50'000);
+
+  /// Open-loop saturation replay (bench/load_gen.hpp builds the schedule):
+  /// request timestamps are scheduled arrival instants — typically a
+  /// deterministic Poisson process at a target req/s — and every request is
+  /// charged `completion - arrival` where completion advances a per-worker
+  /// virtual queue clock by the *measured wall-clock* cost of processing
+  /// the request. Unlike closed-loop replay(), a slow request does not slow
+  /// the arrival process down, so queueing delay (the thing production p99s
+  /// are made of) is measured instead of hidden — no coordinated omission.
+  /// Sharding/threading contract matches replay_concurrent, except an
+  /// unsharded backend is allowed at n_threads == 1. Aggregate hit/byte/WAN
+  /// counters remain deterministic; sojourn quantiles reflect real
+  /// machine-dependent service times (that is the point).
+  ServerReport replay_open_loop(const trace::TraceSource& trace,
+                                std::size_t n_threads,
+                                std::size_t window_requests = 50'000);
 
   [[nodiscard]] const sim::CachePolicy& main_policy() const { return *main_; }
 
@@ -223,6 +258,22 @@ class CdnServer {
     void merge(const ReplayAccumulator& other);
   };
 
+  /// Per-worker open-loop queue state (one virtual queue per worker, the
+  /// shard-ownership analogue of a per-shard request queue). Sojourn =
+  /// completion - scheduled arrival; queue_wait = start - arrival.
+  struct OpenLoopAccumulator {
+    util::QuantileHistogram sojourn{1e-9, 1e4, 128};
+    util::QuantileHistogram queue_wait{1e-9, 1e4, 128};
+    double clock = 0.0;            ///< completion instant of the last request
+    double first_arrival = 0.0;
+    double last_completion = 0.0;
+    double service_s = 0.0;        ///< sum of measured wall service times
+    std::uint64_t queued = 0;      ///< requests that found the worker busy
+    bool any = false;
+
+    void merge(const OpenLoopAccumulator& other);
+  };
+
   /// Processes one request against shard `shard_idx`. Origin fetch counters
   /// and per-fetch latencies go straight into `acc` (a request can make up
   /// to two logical fetches: revalidation then refetch).
@@ -236,9 +287,13 @@ class CdnServer {
   /// `acc`. Metadata peaks are sampled every `meta_sample_every` processed
   /// requests plus once at the end; worker 0 samples the (thread-safe) main
   /// index, every worker sums only the RAM slices it owns.
+  /// `open_loop`, when non-null, switches the partition into open-loop
+  /// accounting: each processed request is wall-clock timed and pushed
+  /// through the worker's virtual queue.
   void replay_partition(const trace::TraceSource& trace, std::size_t worker,
                         std::size_t n_workers, std::size_t window_requests,
-                        std::size_t meta_sample_every, ReplayAccumulator& acc);
+                        std::size_t meta_sample_every, ReplayAccumulator& acc,
+                        OpenLoopAccumulator* open_loop = nullptr);
 
   [[nodiscard]] ServerReport finalize(const trace::TraceSource& trace, ReplayMode mode,
                                       const ReplayAccumulator& total,

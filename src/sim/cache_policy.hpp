@@ -84,6 +84,10 @@ class CacheBase : public CachePolicy {
     return it == sizes_.end() ? 0 : it->second;
   }
 
+  /// Hints that `key`'s size entry will be looked up soon (the sampled-
+  /// eviction gathers prefetch the next candidate while scoring this one).
+  void prefetch_object(trace::Key key) const noexcept { sizes_.prefetch(key); }
+
   /// True when an object of `size` can never fit (bigger than the cache).
   [[nodiscard]] bool oversized(std::uint64_t size) const { return size > capacity_; }
 

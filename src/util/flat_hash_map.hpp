@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "util/hash.hpp"
+#include "util/prefetch.hpp"
 
 namespace lhr::util {
 
@@ -133,6 +134,18 @@ class FlatHashMap {
     return find_index(key) != kNotFound;
   }
 
+  /// Prefetches `key`'s home slot (both the occupancy byte and the entry
+  /// line). Call it one step ahead of find()/operator[] — e.g. while
+  /// processing eviction candidate s, prefetch candidate s+1 — so the probe
+  /// that follows starts from a warm line. Purely a hint: probe order and
+  /// results are untouched.
+  void prefetch(const Key& key) const noexcept {
+    if (slots_.empty()) return;
+    const std::size_t i = home_of(key);
+    prefetch_read(&used_[i]);
+    prefetch_read(&slots_[i]);
+  }
+
   [[nodiscard]] Value& at(const Key& key) {
     const std::size_t i = find_index(key);
     if (i == kNotFound) throw std::out_of_range("FlatHashMap::at: missing key");
@@ -150,6 +163,9 @@ class FlatHashMap {
   std::pair<iterator, bool> try_emplace(const Key& key, Args&&... args) {
     grow_if_needed();
     std::size_t i = home_of(key);
+    // Occupancy bytes and entries live on different cache lines: start the
+    // entry-line fill while the used_ byte is checked (see find_index).
+    prefetch_read(&slots_[i]);
     while (used_[i]) {
       if (slots_[i].first == key) return {iterator(this, i), false};
       i = (i + 1) & mask_;
@@ -233,6 +249,12 @@ class FlatHashMap {
   [[nodiscard]] std::size_t find_index(const Key& key) const {
     if (slots_.empty()) return kNotFound;
     std::size_t i = home_of(key);
+    // The probe reads used_[i] (dense byte array) and then slots_[i].first
+    // (a separate, much sparser array — almost always a different line).
+    // Prefetching the entry line up front overlaps the two misses instead
+    // of serializing them; linear probing means subsequent slots are
+    // covered by the same line or the hardware stride prefetcher.
+    prefetch_read(&slots_[i]);
     while (used_[i]) {
       if (slots_[i].first == key) return i;
       i = (i + 1) & mask_;

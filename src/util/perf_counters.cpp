@@ -1,0 +1,102 @@
+#include "util/perf_counters.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace lhr::util {
+
+#if defined(__linux__)
+
+namespace {
+
+int open_counter(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;  // user-space hot path only; also lowers the
+  attr.exclude_hv = 1;      // perf_event_paranoid bar inside containers
+  attr.inherit = 1;         // replay worker threads count too
+  // TOTAL_TIME_ENABLED/RUNNING let us scale the count when the kernel
+  // multiplexes the PMU across more events than it has slots.
+  attr.read_format = PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(::syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                    /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0UL));
+}
+
+std::uint64_t read_scaled(int fd, bool* ok) {
+  std::uint64_t buf[3] = {0, 0, 0};  // value, time_enabled, time_running
+  if (fd < 0 || ::read(fd, buf, sizeof(buf)) != static_cast<ssize_t>(sizeof(buf))) {
+    if (ok != nullptr) *ok = false;
+    return 0;
+  }
+  if (buf[2] == 0) return 0;  // never scheduled onto the PMU
+  if (buf[1] == buf[2]) return buf[0];
+  const long double scale =
+      static_cast<long double>(buf[1]) / static_cast<long double>(buf[2]);
+  return static_cast<std::uint64_t>(static_cast<long double>(buf[0]) * scale);
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  cycles_fd_ = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  llc_fd_ = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+  available_ = cycles_fd_ >= 0 && llc_fd_ >= 0;
+  if (!available_) {
+    // All or nothing: a cycles column without the misses column (or vice
+    // versa) invites apples-to-oranges comparisons across hosts.
+    if (cycles_fd_ >= 0) ::close(cycles_fd_);
+    if (llc_fd_ >= 0) ::close(llc_fd_);
+    cycles_fd_ = llc_fd_ = -1;
+  }
+}
+
+PerfCounters::~PerfCounters() {
+  if (cycles_fd_ >= 0) ::close(cycles_fd_);
+  if (llc_fd_ >= 0) ::close(llc_fd_);
+}
+
+void PerfCounters::start() noexcept {
+  if (!available_) return;
+  ::ioctl(cycles_fd_, PERF_EVENT_IOC_RESET, 0);
+  ::ioctl(llc_fd_, PERF_EVENT_IOC_RESET, 0);
+  ::ioctl(cycles_fd_, PERF_EVENT_IOC_ENABLE, 0);
+  ::ioctl(llc_fd_, PERF_EVENT_IOC_ENABLE, 0);
+}
+
+void PerfCounters::stop() noexcept {
+  if (!available_) return;
+  ::ioctl(cycles_fd_, PERF_EVENT_IOC_DISABLE, 0);
+  ::ioctl(llc_fd_, PERF_EVENT_IOC_DISABLE, 0);
+}
+
+PerfReading PerfCounters::read() const noexcept {
+  PerfReading r;
+  if (!available_) return r;
+  bool ok = true;
+  r.cycles = read_scaled(cycles_fd_, &ok);
+  r.llc_misses = read_scaled(llc_fd_, &ok);
+  r.valid = ok;
+  return r;
+}
+
+#else  // !__linux__
+
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+void PerfCounters::start() noexcept {}
+void PerfCounters::stop() noexcept {}
+PerfReading PerfCounters::read() const noexcept { return {}; }
+
+#endif
+
+}  // namespace lhr::util

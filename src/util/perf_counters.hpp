@@ -1,0 +1,53 @@
+// Hardware performance counters via perf_event_open (Linux only).
+//
+// The saturation bench wants to say not just "the knee is at 480k req/s"
+// but *why*: cycles per request and LLC misses per request tell apart a
+// compute-bound hot path from a memory-bound one (the whole point of the
+// SIMD + prefetch work is moving the second toward the first). This wraps
+// the raw syscall the way vigarov's pebs harness does — one fd per counter,
+// read before/after the measured region, scaled by time_enabled /
+// time_running when the kernel multiplexed the PMU.
+//
+// Graceful fallback everywhere: perf_event_open is often unavailable
+// (non-Linux, containers, perf_event_paranoid >= 2, missing PMU). Then
+// available() is false, readings return zeros, and callers print "-"
+// columns instead of dying. Nothing in the request path depends on this.
+#pragma once
+
+#include <cstdint>
+
+namespace lhr::util {
+
+/// One measured region's counter deltas (zeros when unavailable).
+struct PerfReading {
+  std::uint64_t cycles = 0;      ///< PERF_COUNT_HW_CPU_CYCLES, scaled
+  std::uint64_t llc_misses = 0;  ///< PERF_COUNT_HW_CACHE_MISSES, scaled
+  bool valid = false;
+};
+
+/// Scoped counter pair: construct, start(), run the region, stop(), read().
+/// Counters follow this thread (and its children started after start()
+/// inherit them via PERF_FLAG inherit), so wrap the replay call itself.
+class PerfCounters {
+ public:
+  PerfCounters();
+  ~PerfCounters();
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// True when both counters opened; false → start/stop/read are no-ops.
+  [[nodiscard]] bool available() const noexcept { return available_; }
+
+  void start() noexcept;  ///< resets and enables the counters
+  void stop() noexcept;   ///< disables them
+
+  /// Deltas of the last start()/stop() window, multiplex-scaled.
+  [[nodiscard]] PerfReading read() const noexcept;
+
+ private:
+  int cycles_fd_ = -1;
+  int llc_fd_ = -1;
+  bool available_ = false;
+};
+
+}  // namespace lhr::util

@@ -1,0 +1,24 @@
+// Portable software-prefetch shim.
+//
+// The request-path data structures (FlatHashMap probes, the sampled-
+// eviction candidate gathers) know their next dependent load one step
+// before they need it; issuing a prefetch there overlaps the cache miss
+// with the work in between instead of stalling on it. __builtin_prefetch
+// compiles to prefetcht0 on x86 / prfm on arm and to nothing at all on
+// compilers without the builtin, so callers never need an #ifdef.
+#pragma once
+
+namespace lhr::util {
+
+/// Hints that `p` will be read soon (high temporal locality). A hint only:
+/// never faults, never changes observable behaviour — util_test pins the
+/// probe-sequence semantics of the prefetching FlatHashMap paths.
+inline void prefetch_read(const void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace lhr::util

@@ -20,6 +20,7 @@
 #include "ml/eval.hpp"
 #include "ml/flat_forest.hpp"
 #include "ml/gbdt.hpp"
+#include "ml/simd_dispatch.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -261,6 +262,141 @@ TEST(FlatForest, ConcurrentScoreDuringAsyncRetrainAndSwap) {
   stop.store(true, std::memory_order_relaxed);
   for (auto& r : readers) r.join();
   EXPECT_GT(reads.load(), 0u);
+}
+
+// ---------------------------------------------------------- SIMD dispatch
+// The AVX2 kernel must be *bit-identical* to the scalar reference — not
+// "close", identical — for every forest shape and row count, because the
+// dispatch decision (cpuid, LHR_SIMD) would otherwise change cache
+// admissions between hosts. EXPECT_EQ on doubles throughout.
+
+/// Scores `data` once per forced level and asserts both paths reproduce
+/// Gbdt::predict exactly. Exercised at row counts straddling the 16-row
+/// SIMD block and the 8-lane groups (tails run the scalar loop inside the
+/// kernel — this must be invisible in the output).
+void expect_simd_scalar_identical(const ml::Gbdt& model, const ml::Dataset& data) {
+  const ml::FlatForest forest(model);
+  ASSERT_TRUE(forest.trained());
+  const std::size_t n = data.n_rows();
+
+  std::vector<double> scalar_out(n, -1.0), simd_out(n, -2.0);
+  {
+    const ml::simd::ScopedForceLevel force(ml::simd::Level::kScalar);
+    forest.score_block(data, scalar_out);
+  }
+  {
+    const ml::simd::ScopedForceLevel force(ml::simd::Level::kAvx2);
+    forest.score_block(data, simd_out);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(simd_out[i], scalar_out[i]) << "row " << i << " of " << n;
+    ASSERT_EQ(simd_out[i], model.predict(data.row(i))) << "row " << i << " of " << n;
+  }
+}
+
+/// Fits one model per forest shape and sweeps both paths over random row
+/// counts, including every size in [1, 2*kBlockRows+1] (all the
+/// non-multiple-of-8 and non-multiple-of-16 tails).
+void run_simd_sweep(const ml::GbdtConfig& cfg, double nan_fraction,
+                    std::uint64_t seed) {
+  const auto train = make_batch(2'500, 12, nan_fraction, seed);
+  ml::Gbdt model;
+  model.fit(train.x, train.y, cfg);
+
+  util::Xoshiro256 rng(seed ^ 0x51D0F00DULL);
+  std::vector<std::size_t> counts;
+  for (std::size_t n = 1; n <= 2 * ml::FlatForest::kBlockRows + 1; ++n) {
+    counts.push_back(n);
+  }
+  for (int i = 0; i < 6; ++i) counts.push_back(64 + rng.next_below(512));
+
+  for (const std::size_t n : counts) {
+    const auto batch = make_batch(n, 12, nan_fraction, rng());
+    expect_simd_scalar_identical(model, batch.x);
+  }
+}
+
+TEST(FlatForestSimd, DispatchReportsCoherentState) {
+  // Whatever the host, the active level must be one the binary can run.
+  const ml::simd::Level level = ml::simd::active_level();
+  if (level == ml::simd::Level::kAvx2) {
+    EXPECT_TRUE(ml::simd::avx2_compiled());
+    EXPECT_TRUE(ml::simd::avx2_runtime());
+  }
+  EXPECT_STREQ(ml::simd::level_name(ml::simd::Level::kScalar), "scalar");
+  EXPECT_STREQ(ml::simd::level_name(ml::simd::Level::kAvx2), "avx2");
+
+  // force_level pins and restores the decision.
+  ml::simd::force_level(ml::simd::Level::kScalar);
+  EXPECT_EQ(ml::simd::active_level(), ml::simd::Level::kScalar);
+  ml::simd::force_level(std::nullopt);
+  EXPECT_EQ(ml::simd::active_level(), level);
+}
+
+TEST(FlatForestSimd, ForcingAvx2WithoutSupportDegradesToScalar) {
+  // On AVX2 hosts this is a no-op check; on others it pins the guarantee
+  // that forcing the unavailable level never crashes or changes results.
+  const auto batch = make_batch(100, 8, 0.2, 1212);
+  ml::Gbdt model;
+  model.fit(batch.x, batch.y, ml::GbdtConfig{});
+  expect_simd_scalar_identical(model, batch.x);
+}
+
+TEST(FlatForestSimd, ExactEquivalenceSweepDeepTrees) {
+  if (!ml::simd::avx2_compiled() || !ml::simd::avx2_runtime()) {
+    GTEST_SKIP() << "AVX2 unavailable on this host/build; scalar-only";
+  }
+  ml::GbdtConfig cfg;
+  cfg.num_trees = 16;
+  cfg.max_depth = 8;
+  cfg.min_child_weight = 1.0;
+  run_simd_sweep(cfg, 0.2, 1001);
+}
+
+TEST(FlatForestSimd, ExactEquivalenceSweepShallowStumps) {
+  if (!ml::simd::avx2_compiled() || !ml::simd::avx2_runtime()) {
+    GTEST_SKIP() << "AVX2 unavailable on this host/build; scalar-only";
+  }
+  ml::GbdtConfig cfg;
+  cfg.num_trees = 32;
+  cfg.max_depth = 1;
+  run_simd_sweep(cfg, 0.1, 2002);
+}
+
+TEST(FlatForestSimd, ExactEquivalenceSweepHeavyNaN) {
+  if (!ml::simd::avx2_compiled() || !ml::simd::avx2_runtime()) {
+    GTEST_SKIP() << "AVX2 unavailable on this host/build; scalar-only";
+  }
+  ml::GbdtConfig cfg;
+  cfg.num_trees = 12;
+  cfg.max_depth = 5;
+  // Half the cells missing: the NaN lane-mask blend carries the walk.
+  run_simd_sweep(cfg, 0.5, 3003);
+}
+
+TEST(FlatForestSimd, ExactEquivalenceSweepLogisticLoss) {
+  if (!ml::simd::avx2_compiled() || !ml::simd::avx2_runtime()) {
+    GTEST_SKIP() << "AVX2 unavailable on this host/build; scalar-only";
+  }
+  ml::GbdtConfig cfg;
+  cfg.loss = ml::GbdtLoss::kLogistic;
+  cfg.num_trees = 12;
+  cfg.max_depth = 4;
+  run_simd_sweep(cfg, 0.15, 4004);
+}
+
+TEST(FlatForestSimd, AllNaNRowsIdenticalAcrossLevels) {
+  if (!ml::simd::avx2_compiled() || !ml::simd::avx2_runtime()) {
+    GTEST_SKIP() << "AVX2 unavailable on this host/build; scalar-only";
+  }
+  const auto train = make_batch(2'000, 10, 0.3, 5005);
+  ml::Gbdt model;
+  model.fit(train.x, train.y, ml::GbdtConfig{});
+
+  ml::Dataset all_nan;
+  all_nan.n_features = 10;
+  all_nan.values.assign(10 * 37, kNaN);  // 37: two blocks + a 5-row tail
+  expect_simd_scalar_identical(model, all_nan);
 }
 
 // ------------------------------------------- threaded predict_many / eval

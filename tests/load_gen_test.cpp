@@ -1,0 +1,136 @@
+// Open-loop load generation + CdnServer::replay_open_loop.
+//
+// Two properties carry the saturation bench: (1) the Poisson arrival
+// schedule is a pure function of (seed, rate, input order) — the same sweep
+// point replays bit-identically anywhere — and (2) open-loop accounting is
+// measurement only: it must not change a single caching decision relative
+// to the classic replay of the same trace.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "bench/load_gen.hpp"
+#include "gen/cdn_model.hpp"
+#include "policies/lru.hpp"
+#include "server/cdn_server.hpp"
+#include "server/sharded_cache.hpp"
+#include "trace/trace.hpp"
+
+namespace lhr {
+namespace {
+
+trace::Trace test_trace() { return gen::make_trace(gen::TraceClass::kCdnA, 10'000, 7); }
+
+std::unique_ptr<server::ShardedCache> make_sharded_lru(std::uint64_t capacity) {
+  return std::make_unique<server::ShardedCache>(16, capacity, [](std::uint64_t cap) {
+    return std::make_unique<policy::Lru>(cap);
+  });
+}
+
+TEST(PoissonSchedule, DeterministicGivenSeedAndRate) {
+  const auto base = test_trace();
+  const bench::LoadGenConfig cfg{.target_rps = 50'000.0, .seed = 9};
+  const trace::Trace a = bench::poisson_schedule(base, cfg);
+  const trace::Trace b = bench::poisson_schedule(base, cfg);
+  ASSERT_EQ(a.size(), base.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "request " << i;  // bit-identical times included
+  }
+
+  // A different seed (or rate) produces a different schedule.
+  const trace::Trace c = bench::poisson_schedule(base, {.target_rps = 50'000.0, .seed = 10});
+  bool any_differ = false;
+  for (std::size_t i = 0; i < a.size(); ++i) any_differ |= a[i].time != c[i].time;
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(PoissonSchedule, PreservesKeysAndSizesInOrder) {
+  const auto base = test_trace();
+  const trace::Trace scheduled =
+      bench::poisson_schedule(base, {.target_rps = 10'000.0, .seed = 1});
+  ASSERT_EQ(scheduled.size(), base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(scheduled[i].key, base[i].key);
+    EXPECT_EQ(scheduled[i].size, base[i].size);
+  }
+  EXPECT_TRUE(scheduled.is_time_ordered());
+  EXPECT_GT(scheduled[0].time, 0.0);  // first gap, not t = 0
+}
+
+TEST(PoissonSchedule, MeanRateApproachesTarget) {
+  const auto base = gen::make_trace(gen::TraceClass::kCdnA, 50'000, 11);
+  const double rate = 25'000.0;
+  const trace::Trace scheduled =
+      bench::poisson_schedule(base, {.target_rps = rate, .seed = 3});
+  // n arrivals over ~n/λ seconds; 50k draws pin the mean within a few %.
+  const double achieved =
+      static_cast<double>(scheduled.size()) / scheduled.duration();
+  EXPECT_NEAR(achieved / rate, 1.0, 0.05);
+}
+
+TEST(PoissonSchedule, RejectsNonPositiveRate) {
+  const auto base = test_trace();
+  EXPECT_THROW(static_cast<void>(bench::poisson_schedule(base, {.target_rps = 0.0})),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(bench::poisson_schedule(base, {.target_rps = -1.0})),
+               std::invalid_argument);
+}
+
+TEST(OpenLoopReplay, CachingAggregatesMatchClassicReplay) {
+  const trace::Trace scheduled =
+      bench::poisson_schedule(test_trace(), {.target_rps = 100'000.0, .seed = 5});
+  const std::uint64_t capacity = 64ULL << 20;
+  server::ServerConfig cfg;
+  cfg.ram_bytes = 4 << 20;
+
+  server::CdnServer baseline(make_sharded_lru(capacity), cfg);
+  const auto base = baseline.replay(scheduled, server::ReplayMode::kNormal, 2'000);
+
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    server::CdnServer server(make_sharded_lru(capacity), cfg);
+    const auto report = server.replay_open_loop(scheduled, threads, 2'000);
+    EXPECT_TRUE(report.open_loop);
+    EXPECT_EQ(report.requests, base.requests);
+    EXPECT_EQ(report.hits, base.hits);
+    EXPECT_EQ(report.bytes_served, base.bytes_served);
+    EXPECT_EQ(report.wan_bytes, base.wan_bytes);
+  }
+}
+
+TEST(OpenLoopReplay, ReportsCoherentOpenLoopColumns) {
+  const trace::Trace scheduled =
+      bench::poisson_schedule(test_trace(), {.target_rps = 200'000.0, .seed = 6});
+  server::ServerConfig cfg;
+  cfg.ram_bytes = 4 << 20;
+  server::CdnServer server(make_sharded_lru(64ULL << 20), cfg);
+  const auto report = server.replay_open_loop(scheduled, 2);
+
+  EXPECT_TRUE(report.open_loop);
+  EXPECT_GT(report.offered_rps, 0.0);
+  EXPECT_GT(report.achieved_rps, 0.0);
+  EXPECT_GT(report.service_avg_us, 0.0);
+  // Sojourn includes queueing, so the percentile ladder must be monotone
+  // and every sojourn is at least one service time > 0.
+  EXPECT_GE(report.sojourn_p99_ms, report.sojourn_p50_ms);
+  EXPECT_GE(report.sojourn_p999_ms, report.sojourn_p99_ms);
+  EXPECT_GT(report.sojourn_avg_ms, 0.0);
+  EXPECT_GE(report.queue_wait_p99_ms, 0.0);
+  EXPECT_LE(report.queued_requests, report.requests);
+}
+
+TEST(OpenLoopReplay, ClassicReplayReportsAreNotOpenLoop) {
+  const auto trace = test_trace();
+  server::ServerConfig cfg;
+  cfg.ram_bytes = 4 << 20;
+  server::CdnServer server(make_sharded_lru(64ULL << 20), cfg);
+  const auto report = server.replay(trace, server::ReplayMode::kNormal);
+  EXPECT_FALSE(report.open_loop);
+  EXPECT_EQ(report.queued_requests, 0u);
+}
+
+}  // namespace
+}  // namespace lhr

@@ -507,6 +507,43 @@ TEST(FlatHashMap, BackwardShiftEraseSurvivesPathologicalClustering) {
   }
 }
 
+TEST(FlatHashMap, PrefetchIsPureHintUnderPathologicalClustering) {
+  // prefetch() must never change probe results — it is a cache hint, not a
+  // lookup. Fuzz it against a reference map under the worst-case hasher
+  // (8-bucket clusters wrapping the table end), prefetching present,
+  // absent, and about-to-be-erased keys before every operation.
+  FlatHashMap<std::uint64_t, std::uint64_t, ClusterHash> map;
+  map.prefetch(42);  // empty map: no slots yet, must be a no-op
+  EXPECT_FALSE(map.contains(42));
+
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Xoshiro256 rng(31337);
+  for (int round = 0; round < 20'000; ++round) {
+    const std::uint64_t key = rng.next_below(512);
+    map.prefetch(key);
+    map.prefetch(rng.next_below(1'024));  // often absent / out of cluster
+    const double dice = rng.next_double();
+    if (dice < 0.5) {
+      map[key] = static_cast<std::uint64_t>(round);
+      ref[key] = static_cast<std::uint64_t>(round);
+    } else if (dice < 0.8) {
+      const auto it = map.find(key);
+      const auto rit = ref.find(key);
+      ASSERT_EQ(it != map.end(), rit != ref.end()) << key;
+      if (it != map.end()) {
+        ASSERT_EQ(it->second, rit->second) << key;
+      }
+    } else {
+      ASSERT_EQ(map.erase(key), ref.erase(key)) << key;
+    }
+  }
+  ASSERT_EQ(map.size(), ref.size());
+  for (const auto& [key, value] : ref) {
+    map.prefetch(key);
+    ASSERT_EQ(map.at(key), value) << key;
+  }
+}
+
 TEST(FlatHashMap, FuzzAgainstUnorderedMap) {
   FlatHashMap<std::uint64_t, std::uint64_t> map;
   std::unordered_map<std::uint64_t, std::uint64_t> ref;
