@@ -31,6 +31,7 @@
 #include "server/sharded_cache.hpp"
 #include "sim/engine.hpp"
 #include "trace/trace.hpp"
+#include "util/parse.hpp"
 
 namespace lhr::bench {
 
@@ -65,7 +66,7 @@ inline const trace::TraceSource& trace_for(gen::TraceClass c) {
 /// single-threaded replay, so default bench output is unchanged.
 inline std::size_t serve_threads() {
   if (const char* env = std::getenv("LHR_SERVE_THREADS")) {
-    const long value = std::atol(env);
+    const std::uint64_t value = util::require_u64("LHR_SERVE_THREADS", env);
     if (value >= 1) return static_cast<std::size_t>(value);
   }
   return 0;
@@ -76,7 +77,7 @@ inline std::size_t serve_threads() {
 /// identical for every LHR_SERVE_THREADS value.
 inline std::size_t serve_shards() {
   if (const char* env = std::getenv("LHR_SERVE_SHARDS")) {
-    const long value = std::atol(env);
+    const std::uint64_t value = util::require_u64("LHR_SERVE_SHARDS", env);
     if (value >= 1) return static_cast<std::size_t>(value);
   }
   return 64;

@@ -1,0 +1,172 @@
+// Multi-tier fabric sweep: edge-node scaling with per-tier LHR-vs-LRU
+// columns, on the calibrated cdn-a trace.
+//
+// Each sweep point builds a fresh CdnFabric (server/fabric.hpp) from the
+// base topology spec with the edge tier resized, replays the trace, and
+// reports per-tier hit ratios, origin WAN traffic and the end-to-end p99 —
+// once with LHR edges and once with LRU edges (the regional tier keeps the
+// spec's policy), so the table reads as "what does the learned policy buy
+// at each tier as the edge fans out".
+//
+// Before the sweep the harness replays the base topology at 1/2/4/8
+// workers and compares FabricReport::canonical_summary() byte-for-byte —
+// the determinism guarantee the fabric makes; CI greps the verdict line.
+//
+// Knobs (besides the bench_common ones):
+//   LHR_FABRIC_SPEC        base topology (parse_fabric_spec grammar;
+//                          default "edge=4xLHR@1;regional=2xLRU@8;shards=16")
+//   LHR_FABRIC_EDGE_NODES  comma-separated edge counts to sweep (default 1,2,4,8)
+//   LHR_FABRIC_THREADS     replay workers for the sweep points (default 4)
+//   LHR_ORIGIN_PROFILE /   applied to the origin-facing tier, exactly like
+//   LHR_FAULT_SCHEDULE     the single-server benches
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "server/fabric.hpp"
+
+namespace {
+
+using namespace lhr;
+
+std::string base_spec() {
+  const char* env = std::getenv("LHR_FABRIC_SPEC");
+  return env != nullptr && *env != '\0'
+             ? env
+             : "edge=4xLHR@1;regional=2xLRU@8;shards=16";
+}
+
+std::vector<std::size_t> edge_node_sweep() {
+  std::vector<std::size_t> out;
+  if (const char* env = std::getenv("LHR_FABRIC_EDGE_NODES")) {
+    const std::string str(env);
+    std::size_t start = 0;
+    while (start <= str.size()) {
+      const std::size_t comma = str.find(',', start);
+      const std::string tok =
+          str.substr(start, comma == std::string::npos ? comma : comma - start);
+      if (!tok.empty()) {
+        out.push_back(static_cast<std::size_t>(
+            util::require_u64("LHR_FABRIC_EDGE_NODES", tok)));
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  if (out.empty()) out = {1, 2, 4, 8};
+  return out;
+}
+
+std::size_t fabric_threads() {
+  if (const char* env = std::getenv("LHR_FABRIC_THREADS")) {
+    const std::uint64_t value = util::require_u64("LHR_FABRIC_THREADS", env);
+    if (value >= 1) return static_cast<std::size_t>(value);
+  }
+  return 4;
+}
+
+/// Builds the fabric for one sweep point. Capacities are scaled by
+/// bench::cache_scale() so the paper's cache:workload ratio survives
+/// LHR_BENCH_REQUESTS changes; resilience env knobs land on the
+/// origin-facing tier like they do for the single-server benches.
+server::FabricConfig point_config(server::FabricSpec spec, std::size_t edge_nodes,
+                                  const std::string& edge_policy) {
+  spec.edge.nodes = edge_nodes;
+  spec.edge.policy = edge_policy;
+  server::FabricConfig cfg = core::make_fabric_config(spec);
+  const double scale = bench::cache_scale();
+  const auto rescale = [scale](std::uint64_t bytes) {
+    const double scaled = static_cast<double>(bytes) * scale;
+    return std::max<std::uint64_t>(static_cast<std::uint64_t>(scaled), 1 << 20);
+  };
+  cfg.edge_capacity_bytes = rescale(cfg.edge_capacity_bytes);
+  cfg.regional_capacity_bytes = rescale(cfg.regional_capacity_bytes);
+  server::ServerConfig& origin_facing =
+      spec.regional.nodes > 0 ? cfg.regional_server : cfg.edge_server;
+  bench::apply_resilience_env(origin_facing);
+  cfg.seed = bench::bench_seed();
+  return cfg;
+}
+
+server::FabricReport run_point(const server::FabricSpec& spec,
+                               std::size_t edge_nodes,
+                               const std::string& edge_policy,
+                               std::size_t threads) {
+  server::CdnFabric fabric(point_config(spec, edge_nodes, edge_policy));
+  return fabric.replay(bench::trace_for(gen::TraceClass::kCdnA), threads);
+}
+
+runner::Result to_result(const server::FabricReport& r, std::size_t edge_nodes,
+                         const std::string& edge_policy) {
+  runner::Result result;
+  result.label = "fabric/" + edge_policy + "/edges=" + std::to_string(edge_nodes);
+  result.policy = edge_policy;
+  result.trace = "cdn-a";
+  result.set("edge_nodes", static_cast<double>(edge_nodes));
+  result.set("regional_nodes", static_cast<double>(r.regional.nodes));
+  result.set("edge_hit_pct", r.edge.hit_pct());
+  result.set("regional_hit_pct", r.regional.hit_pct());
+  result.set("origin_wan_gb", bench::gb(static_cast<double>(r.origin_wan_bytes)));
+  result.set("link_body_fetches", static_cast<double>(r.link_body_fetches));
+  result.set("e2e_p50_ms", r.e2e_p50_ms);
+  result.set("e2e_p99_ms", r.e2e_p99_ms);
+  result.set("failed_requests", static_cast<double>(r.edge.failed_requests));
+  result.set("conserved", r.traffic_conserved() ? 1.0 : 0.0);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fabric: edge-tier sweep, per-tier LHR vs LRU (edge -> regional -> origin)");
+
+  const server::FabricSpec spec = server::parse_fabric_spec(base_spec());
+  const std::size_t threads = fabric_threads();
+  std::printf("base topology: %s  (replay workers: %zu)\n", base_spec().c_str(),
+              threads);
+
+  // Determinism audit on the base topology: byte-identical canonical
+  // aggregates at every worker count (CI greps this line).
+  {
+    const std::string canon1 =
+        run_point(spec, spec.edge.nodes, spec.edge.policy, 1).canonical_summary();
+    bool identical = true;
+    for (const std::size_t t : {2u, 4u, 8u}) {
+      identical = identical &&
+                  run_point(spec, spec.edge.nodes, spec.edge.policy, t)
+                          .canonical_summary() == canon1;
+    }
+    std::printf("fabric determinism: aggregates identical across 1/2/4/8 threads: %s\n",
+                identical ? "yes" : "NO");
+  }
+
+  bench::print_row({"Edges", "edge%(LHR)", "edge%(LRU)", "reg%(LHR)", "reg%(LRU)",
+                    "oGB(LHR)", "oGB(LRU)", "p99ms(LHR)", "p99ms(LRU)"},
+                   12);
+
+  std::vector<runner::Result> all_results;
+  for (const std::size_t edges : edge_node_sweep()) {
+    const server::FabricReport lhr_r = run_point(spec, edges, "LHR", threads);
+    const server::FabricReport lru_r = run_point(spec, edges, "LRU", threads);
+    bench::print_row(
+        {std::to_string(edges), bench::fmt(lhr_r.edge.hit_pct(), 2),
+         bench::fmt(lru_r.edge.hit_pct(), 2), bench::fmt(lhr_r.regional.hit_pct(), 2),
+         bench::fmt(lru_r.regional.hit_pct(), 2),
+         bench::fmt(bench::gb(static_cast<double>(lhr_r.origin_wan_bytes)), 2),
+         bench::fmt(bench::gb(static_cast<double>(lru_r.origin_wan_bytes)), 2),
+         bench::fmt(lhr_r.e2e_p99_ms, 2), bench::fmt(lru_r.e2e_p99_ms, 2)},
+        12);
+    for (const auto* r : {&lhr_r, &lru_r}) {
+      if (!r->traffic_conserved()) {
+        std::printf("TRAFFIC CONSERVATION VIOLATED at edges=%zu: %s\n", edges,
+                    r->conservation_error.c_str());
+      }
+    }
+    all_results.push_back(to_result(lhr_r, edges, "LHR"));
+    all_results.push_back(to_result(lru_r, edges, "LRU"));
+  }
+
+  runner::append_jsonl_if_configured(all_results);
+  return 0;
+}

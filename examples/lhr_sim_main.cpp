@@ -16,8 +16,13 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
-    const auto results = lhr::core::run_cli(*options);
-    std::printf("%s", lhr::core::format_results(results, options->csv).c_str());
+    if (!options->fabric.empty()) {
+      const auto report = lhr::core::run_fabric(*options);
+      std::printf("%s", lhr::core::format_fabric_report(report).c_str());
+    } else {
+      const auto results = lhr::core::run_cli(*options);
+      std::printf("%s", lhr::core::format_results(results, options->csv).c_str());
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

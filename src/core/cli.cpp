@@ -8,10 +8,12 @@
 #include "core/policy_factory.hpp"
 #include "gen/cdn_model.hpp"
 #include "server/cdn_server.hpp"
+#include "server/fabric.hpp"
 #include "server/sharded_cache.hpp"
 #include "sim/engine.hpp"
 #include "trace/lhrt.hpp"
 #include "trace/trace.hpp"
+#include "util/parse.hpp"
 
 namespace lhr::core {
 
@@ -30,6 +32,35 @@ std::vector<std::string> split_commas(const std::string& value) {
 /// --serve-threads: shard count of the ShardedCache backend. Fixed (not
 /// tied to the thread count) so hit ratios are identical for every N.
 constexpr std::size_t kServeShards = 16;
+
+/// Materializes the request source the options name. `trace`/`mapped` own
+/// the storage; the returned reference points into whichever was filled.
+const trace::TraceSource& load_trace(const CliOptions& options, trace::Trace& trace,
+                                     std::unique_ptr<trace::MappedTrace>& mapped) {
+  if (!options.trace_file.empty()) {
+    mapped = std::make_unique<trace::MappedTrace>(options.trace_file);
+    return *mapped;
+  }
+  if (!options.trace_path.empty()) {
+    trace = trace::read_trace_file(options.trace_path);
+    if (!trace.is_time_ordered()) trace.sort_by_time();
+    return trace;
+  }
+  gen::TraceClass cls;
+  if (options.synthetic == "cdn-a") {
+    cls = gen::TraceClass::kCdnA;
+  } else if (options.synthetic == "cdn-b") {
+    cls = gen::TraceClass::kCdnB;
+  } else if (options.synthetic == "cdn-c") {
+    cls = gen::TraceClass::kCdnC;
+  } else if (options.synthetic == "wiki") {
+    cls = gen::TraceClass::kWiki;
+  } else {
+    throw std::invalid_argument("unknown synthetic class: " + options.synthetic);
+  }
+  trace = gen::make_trace(cls, options.requests, options.seed);
+  return trace;
+}
 
 sim::SimMetrics serve_replay(const std::string& policy_name, std::uint64_t capacity,
                              const PolicyTuning& tuning, const trace::TraceSource& trace,
@@ -88,7 +119,13 @@ std::string cli_usage() {
       "                       (requires --serve-threads)\n"
       "  --fault-schedule S   deterministic origin fault episodes, e.g.\n"
       "                       'outage:100-160;error:200-400@0.5;slow:500-800@x4'\n"
-      "                       (requires --serve-threads)\n"
+      "                       (requires --serve-threads or --fabric; applies to the\n"
+      "                       origin-facing link of a fabric)\n"
+      "  --fabric SPEC        replay a multi-tier edge -> regional -> origin fabric,\n"
+      "                       e.g. 'edge=4xLHR@1;regional=2xLRU@8;shards=16;\n"
+      "                       link-rtt-ms=4;link-gbps=40'; regional=0 selects the\n"
+      "                       two-tier topology; --serve-threads sets the replay\n"
+      "                       worker count (default 1)\n"
       "  --csv                machine-readable output\n"
       "  --help               this text\n";
 }
@@ -129,14 +166,13 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
       if (!v) return std::nullopt;
       options.capacities_gb.clear();
       for (const auto& item : split_commas(v)) {
-        try {
-          const double gb = std::stod(item);
-          if (gb <= 0.0) throw std::invalid_argument("non-positive");
-          options.capacities_gb.push_back(gb);
-        } catch (const std::exception&) {
-          error = "bad capacity: " + item;
+        const auto gb = util::parse_double(item);
+        if (!gb || *gb <= 0.0) {
+          error = "--capacity-gb: invalid capacity '" + item +
+                  "' (need a positive number)";
           return std::nullopt;
         }
+        options.capacities_gb.push_back(*gb);
       }
       if (options.capacities_gb.empty()) {
         error = "--capacity-gb needs at least one value";
@@ -157,35 +193,52 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
     } else if (arg == "--requests") {
       const char* v = need_value(i, arg);
       if (!v) return std::nullopt;
-      options.requests = static_cast<std::size_t>(std::atoll(v));
-      if (options.requests == 0) {
-        error = "--requests must be positive";
+      const auto n = util::parse_u64(v);
+      if (!n || *n == 0) {
+        error = "--requests: invalid positive integer '" + std::string(v) + "'";
         return std::nullopt;
       }
+      options.requests = static_cast<std::size_t>(*n);
     } else if (arg == "--seed") {
       const char* v = need_value(i, arg);
       if (!v) return std::nullopt;
-      options.seed = static_cast<std::uint64_t>(std::atoll(v));
+      const auto n = util::parse_u64(v);
+      if (!n) {
+        error = "--seed: invalid unsigned integer '" + std::string(v) + "'";
+        return std::nullopt;
+      }
+      options.seed = *n;
     } else if (arg == "--warmup") {
       const char* v = need_value(i, arg);
       if (!v) return std::nullopt;
-      options.warmup = static_cast<std::size_t>(std::atoll(v));
+      const auto n = util::parse_u64(v);
+      if (!n) {
+        error = "--warmup: invalid unsigned integer '" + std::string(v) + "'";
+        return std::nullopt;
+      }
+      options.warmup = static_cast<std::size_t>(*n);
     } else if (arg == "--train-threads") {
       const char* v = need_value(i, arg);
       if (!v) return std::nullopt;
-      options.train_threads = static_cast<std::size_t>(std::atoll(v));
-      if (options.train_threads == 0) {
-        error = "--train-threads must be positive";
+      const auto n = util::parse_u64(v);
+      if (!n || *n == 0) {
+        error = "--train-threads: invalid positive integer '" + std::string(v) + "'";
         return std::nullopt;
       }
+      options.train_threads = static_cast<std::size_t>(*n);
     } else if (arg == "--serve-threads") {
       const char* v = need_value(i, arg);
       if (!v) return std::nullopt;
-      options.serve_threads = static_cast<std::size_t>(std::atoll(v));
-      if (options.serve_threads == 0) {
-        error = "--serve-threads must be positive";
+      const auto n = util::parse_u64(v);
+      if (!n || *n == 0) {
+        error = "--serve-threads: invalid positive integer '" + std::string(v) + "'";
         return std::nullopt;
       }
+      options.serve_threads = static_cast<std::size_t>(*n);
+    } else if (arg == "--fabric") {
+      const char* v = need_value(i, arg);
+      if (!v) return std::nullopt;
+      options.fabric = v;
     } else if (arg == "--origin-profile") {
       const char* v = need_value(i, arg);
       if (!v) return std::nullopt;
@@ -202,8 +255,8 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
     }
   }
   if ((!options.origin_profile.empty() || !options.fault_schedule.empty()) &&
-      options.serve_threads == 0) {
-    error = "--origin-profile/--fault-schedule require --serve-threads";
+      options.serve_threads == 0 && options.fabric.empty()) {
+    error = "--origin-profile/--fault-schedule require --serve-threads or --fabric";
     return std::nullopt;
   }
   if (!options.trace_path.empty() && !options.trace_file.empty()) {
@@ -237,34 +290,33 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
       return std::nullopt;
     }
   }
+  if (!options.fabric.empty()) {
+    try {
+      const server::FabricSpec spec = server::parse_fabric_spec(options.fabric);
+      const auto names = all_policy_names();
+      const auto known = [&names](const std::string& n) {
+        return std::find(names.begin(), names.end(), n) != names.end();
+      };
+      if (!known(spec.edge.policy)) {
+        error = "--fabric: unknown edge policy '" + spec.edge.policy + "'";
+        return std::nullopt;
+      }
+      if (spec.regional.nodes > 0 && !known(spec.regional.policy)) {
+        error = "--fabric: unknown regional policy '" + spec.regional.policy + "'";
+        return std::nullopt;
+      }
+    } catch (const std::exception& e) {
+      error = e.what();
+      return std::nullopt;
+    }
+  }
   return options;
 }
 
 std::vector<CliRunResult> run_cli(const CliOptions& options) {
   trace::Trace trace;
   std::unique_ptr<trace::MappedTrace> mapped;
-  if (!options.trace_file.empty()) {
-    mapped = std::make_unique<trace::MappedTrace>(options.trace_file);
-  } else if (!options.trace_path.empty()) {
-    trace = trace::read_trace_file(options.trace_path);
-    if (!trace.is_time_ordered()) trace.sort_by_time();
-  } else {
-    gen::TraceClass cls;
-    if (options.synthetic == "cdn-a") {
-      cls = gen::TraceClass::kCdnA;
-    } else if (options.synthetic == "cdn-b") {
-      cls = gen::TraceClass::kCdnB;
-    } else if (options.synthetic == "cdn-c") {
-      cls = gen::TraceClass::kCdnC;
-    } else if (options.synthetic == "wiki") {
-      cls = gen::TraceClass::kWiki;
-    } else {
-      throw std::invalid_argument("unknown synthetic class: " + options.synthetic);
-    }
-    trace = gen::make_trace(cls, options.requests, options.seed);
-  }
-  const trace::TraceSource& source =
-      mapped ? static_cast<const trace::TraceSource&>(*mapped) : trace;
+  const trace::TraceSource& source = load_trace(options, trace, mapped);
 
   sim::SimOptions sim_options;
   sim_options.warmup_requests = options.warmup;
@@ -291,6 +343,86 @@ std::vector<CliRunResult> run_cli(const CliOptions& options) {
     }
   }
   return results;
+}
+
+server::FabricReport run_fabric(const CliOptions& options) {
+  if (options.fabric.empty()) {
+    throw std::invalid_argument("run_fabric: --fabric not set");
+  }
+  trace::Trace trace;
+  std::unique_ptr<trace::MappedTrace> mapped;
+  const trace::TraceSource& source = load_trace(options, trace, mapped);
+
+  PolicyTuning tuning;
+  tuning.lhr_train_threads = options.train_threads;
+  if (options.async_train) tuning.lhr_async_train = 1;
+
+  const server::FabricSpec spec = server::parse_fabric_spec(options.fabric);
+  server::FabricConfig cfg = make_fabric_config(spec, tuning);
+  // --origin-profile / --fault-schedule shape the origin-facing link: the
+  // regional -> origin hop, or the edge -> origin hop when regional=0.
+  server::ServerConfig& origin_facing =
+      spec.regional.nodes > 0 ? cfg.regional_server : cfg.edge_server;
+  if (!options.origin_profile.empty()) {
+    const server::OriginSettings settings =
+        server::parse_origin_profile(options.origin_profile);
+    origin_facing.origin_profile = settings.profile;
+    origin_facing.fetch = settings.fetch;
+  }
+  if (!options.fault_schedule.empty()) {
+    origin_facing.fault_schedule = server::FaultSchedule::parse(options.fault_schedule);
+  }
+  cfg.seed = options.seed;
+
+  server::CdnFabric fabric(std::move(cfg));
+  const std::size_t threads = options.serve_threads > 0 ? options.serve_threads : 1;
+  return fabric.replay(source, threads);
+}
+
+std::string format_fabric_report(const server::FabricReport& report) {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-10s %-6s %-10s %-10s %-12s %-12s %-10s\n",
+                "tier", "nodes", "requests", "hit(%)", "served(GB)", "pulled(GB)",
+                "failed");
+  out << line;
+  const auto gb = [](std::uint64_t bytes) {
+    return static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0);
+  };
+  const auto tier_line = [&](const server::FabricTierReport& t) {
+    if (t.nodes == 0) return;
+    std::snprintf(line, sizeof(line),
+                  "%-10s %-6zu %-10llu %-10.2f %-12.2f %-12.2f %-10llu\n",
+                  t.name.c_str(), t.nodes,
+                  static_cast<unsigned long long>(t.requests), t.hit_pct(),
+                  gb(t.bytes_served), gb(t.upstream_bytes),
+                  static_cast<unsigned long long>(t.failed_requests));
+    out << line;
+  };
+  tier_line(report.edge);
+  tier_line(report.regional);
+  std::snprintf(line, sizeof(line),
+                "origin: fetches=%llu body_fetches=%llu wan=%.2f GB\n",
+                static_cast<unsigned long long>(report.origin_fetches),
+                static_cast<unsigned long long>(report.origin_body_fetches),
+                gb(report.origin_wan_bytes));
+  out << line;
+  if (report.regional.nodes > 0) {
+    std::snprintf(line, sizeof(line),
+                  "link: body_fetches=%llu failures=%llu regional_lookups=%llu\n",
+                  static_cast<unsigned long long>(report.link_body_fetches),
+                  static_cast<unsigned long long>(report.link_failures),
+                  static_cast<unsigned long long>(report.regional_lookups));
+    out << line;
+  }
+  std::snprintf(line, sizeof(line),
+                "e2e latency: p50=%.3f ms p90=%.3f ms p99=%.3f ms avg=%.3f ms\n",
+                report.e2e_p50_ms, report.e2e_p90_ms, report.e2e_p99_ms,
+                report.e2e_avg_ms);
+  out << line;
+  out << "traffic conservation: "
+      << (report.traffic_conserved() ? "ok" : report.conservation_error) << '\n';
+  return out.str();
 }
 
 std::string format_results(const std::vector<CliRunResult>& results, bool csv) {

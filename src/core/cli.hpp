@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "server/fabric.hpp"
 #include "sim/metrics.hpp"
 
 namespace lhr::core {
@@ -40,8 +41,16 @@ struct CliOptions {
   std::string origin_profile;
   /// --fault-schedule SPEC: deterministic origin fault episodes, e.g.
   /// "outage:100-160;error:200-400@0.5;slow:500-800@x4" (see
-  /// server::FaultSchedule::parse). Requires --serve-threads.
+  /// server::FaultSchedule::parse). Requires --serve-threads or --fabric;
+  /// with --fabric it applies to the innermost (origin-facing) link.
   std::string fault_schedule;
+  /// --fabric SPEC: replay through a multi-tier edge -> regional -> origin
+  /// fabric instead of a single node, e.g.
+  /// "edge=4xLHR@1;regional=2xLRU@8;shards=16;link-rtt-ms=4;link-gbps=40"
+  /// (see server::parse_fabric_spec). --serve-threads then sets the replay
+  /// worker count (default 1); --policy/--capacity-gb are ignored (the
+  /// spec carries per-tier policies and capacities).
+  std::string fabric;
 };
 
 /// Parses argv. Returns std::nullopt and fills `error` on bad input;
@@ -65,5 +74,15 @@ struct CliRunResult {
 /// Renders results as a table or CSV per `options.csv`.
 [[nodiscard]] std::string format_results(const std::vector<CliRunResult>& results,
                                          bool csv);
+
+/// Executes a --fabric run: builds the fabric from options.fabric (with
+/// --origin-profile / --fault-schedule applied to the origin-facing tier),
+/// replays the trace at max(1, --serve-threads) workers. Throws on
+/// unusable options.
+[[nodiscard]] server::FabricReport run_fabric(const CliOptions& options);
+
+/// Human-readable per-tier summary of a fabric replay (hit ratios,
+/// inter-tier traffic, end-to-end latency quantiles, conservation status).
+[[nodiscard]] std::string format_fabric_report(const server::FabricReport& report);
 
 }  // namespace lhr::core

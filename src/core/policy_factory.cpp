@@ -1,5 +1,6 @@
 #include "core/policy_factory.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -19,6 +20,7 @@
 #include "policies/lrb.hpp"
 #include "policies/lru.hpp"
 #include "policies/lru_k.hpp"
+#include "util/parse.hpp"
 #include "policies/random_policy.hpp"
 #include "policies/rl_cache.hpp"
 #include "policies/s4lru.hpp"
@@ -38,7 +40,7 @@ LhrConfig tuned_lhr_config(const PolicyTuning& tuning) {
   if (tuning.lhr_train_threads >= 1) {
     config.gbdt.n_threads = tuning.lhr_train_threads;
   } else if (const char* env = std::getenv("LHR_TRAIN_THREADS")) {
-    const long value = std::atol(env);
+    const std::uint64_t value = util::require_u64("LHR_TRAIN_THREADS", env);
     if (value >= 1) config.gbdt.n_threads = static_cast<std::size_t>(value);
   }
   if (tuning.lhr_async_train >= 0) {
@@ -105,6 +107,32 @@ std::unique_ptr<sim::CachePolicy> make_policy(const std::string& name,
     return std::make_unique<LhrCache>(capacity_bytes, config);
   }
   throw std::invalid_argument("make_policy: unknown policy '" + name + "'");
+}
+
+server::FabricConfig make_fabric_config(const server::FabricSpec& spec,
+                                        const PolicyTuning& tuning) {
+  const auto gb_to_bytes = [](double gb) {
+    return static_cast<std::uint64_t>(gb * 1024.0 * 1024.0 * 1024.0);
+  };
+  server::FabricConfig cfg;
+  cfg.edge_nodes = spec.edge.nodes;
+  cfg.regional_nodes = spec.regional.nodes;
+  cfg.shards_per_node = spec.shards;
+  cfg.edge_capacity_bytes = gb_to_bytes(spec.edge.capacity_gb);
+  cfg.regional_capacity_bytes = gb_to_bytes(spec.regional.capacity_gb);
+  cfg.edge_policy = [name = spec.edge.policy, tuning](std::uint64_t capacity) {
+    return make_policy(name, capacity, tuning);
+  };
+  cfg.regional_policy = [name = spec.regional.policy, tuning](std::uint64_t capacity) {
+    return make_policy(name, capacity, tuning);
+  };
+  cfg.link_rtt_s = spec.link_rtt_ms * 1e-3;
+  cfg.link_gbps = spec.link_gbps;
+  cfg.edge_server.ram_bytes =
+      std::max<std::uint64_t>(cfg.edge_capacity_bytes / 100, 1ULL << 20);
+  cfg.regional_server.ram_bytes =
+      std::max<std::uint64_t>(cfg.regional_capacity_bytes / 100, 1ULL << 20);
+  return cfg;
 }
 
 std::vector<std::string> sota_policy_names() {

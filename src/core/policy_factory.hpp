@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "server/fabric.hpp"
 #include "sim/cache_policy.hpp"
 
 namespace lhr::core {
@@ -30,6 +31,15 @@ struct PolicyTuning {
                                                             const PolicyTuning& tuning);
 [[nodiscard]] std::unique_ptr<sim::CachePolicy> make_policy(const std::string& name,
                                                             std::uint64_t capacity_bytes);
+
+/// Binds a parsed --fabric topology spec to a buildable fabric config: tier
+/// policy names become make_policy factories (with `tuning` applied),
+/// capacities convert to bytes, link numbers to seconds, and per-node RAM
+/// tiers default to capacity/100 (min 1 MiB) like the serving CLI path.
+/// The caller may still adjust server templates (origin profile, fault
+/// schedule) before constructing the server::CdnFabric.
+[[nodiscard]] server::FabricConfig make_fabric_config(const server::FabricSpec& spec,
+                                                      const PolicyTuning& tuning = {});
 
 /// The seven best-performing SOTAs reported in the paper's figures (§6.2):
 /// LRB, Hawkeye, LRU, LRU-4, LFU-DA, AdaptSize, B-LRU.

@@ -7,13 +7,14 @@
 #include <sstream>
 
 #include "core/policy_factory.hpp"
+#include "util/parse.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lhr::runner {
 
 std::size_t default_thread_count() {
   if (const char* env = std::getenv("LHR_BENCH_THREADS")) {
-    const long value = std::atol(env);
+    const std::uint64_t value = util::require_u64("LHR_BENCH_THREADS", env);
     if (value >= 1) return static_cast<std::size_t>(value);
   }
   return util::ThreadPool::hardware_threads();

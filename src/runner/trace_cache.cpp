@@ -7,6 +7,7 @@
 
 #include "gen/streaming.hpp"
 #include "trace/lhrt.hpp"
+#include "util/parse.hpp"
 
 namespace lhr::runner {
 
@@ -14,7 +15,7 @@ namespace {
 
 std::size_t env_requests_per_trace() {
   if (const char* env = std::getenv("LHR_BENCH_REQUESTS")) {
-    const long value = std::atol(env);
+    const std::uint64_t value = util::require_u64("LHR_BENCH_REQUESTS", env);
     if (value > 1000) return static_cast<std::size_t>(value);
   }
   return 200'000;
@@ -22,15 +23,14 @@ std::size_t env_requests_per_trace() {
 
 std::uint64_t env_bench_seed() {
   if (const char* env = std::getenv("LHR_BENCH_SEED")) {
-    return static_cast<std::uint64_t>(std::atoll(env));
+    return util::require_u64("LHR_BENCH_SEED", env);
   }
   return 42;
 }
 
 std::size_t env_spill_mb() {
   if (const char* env = std::getenv("LHR_TRACE_SPILL_MB")) {
-    const long value = std::atol(env);
-    if (value >= 0) return static_cast<std::size_t>(value);
+    return static_cast<std::size_t>(util::require_u64("LHR_TRACE_SPILL_MB", env));
   }
   return 1024;
 }

@@ -62,29 +62,40 @@ std::size_t CdnServer::freshness_shard_of(trace::Key key) const {
 
 CdnServer::RequestOutcome CdnServer::process(const trace::Request& r,
                                              std::size_t shard_idx,
-                                             ReplayAccumulator& acc) {
+                                             ReplayAccumulator& acc,
+                                             void* upstream_ctx) {
   FreshnessShard& fs = *fresh_[shard_idx];
   RequestOutcome out;
 
   // Step 1: index lookup. The policy's real compute time is the CPU cost of
   // the lookup/admission path (this is what makes LHR's CPU column rise).
+  // With measured_lookup_cpu off, the CPU cost is the fixed model only, so
+  // latency is a pure function of the trace (the fabric determinism mode).
   const auto cpu0 = std::chrono::steady_clock::now();
   const bool ram_hit = config_.has_disk_tier && fs.ram.access(r);
   const bool main_hit = main_->access(r);
   out.cpu_s = config_.per_request_cpu_s +
-              config_.cpu_per_byte_s * static_cast<double>(r.size) +
-              std::chrono::duration<double>(std::chrono::steady_clock::now() - cpu0).count();
+              config_.cpu_per_byte_s * static_cast<double>(r.size);
+  if (config_.measured_lookup_cpu) {
+    out.cpu_s +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - cpu0).count();
+  }
 
   const double client_time = transfer_seconds(r.size, config_.client_gbps);
 
   const bool effective_hit = ram_hit || main_hit;
+  out.cache_hit = effective_hit;
   bool refetch = false;
 
   // One logical origin fetch (miss, revalidation, or refetch) through the
-  // retry/backoff/hedge policy, accounted into this worker's accumulator.
+  // retry/backoff/hedge policy — or through the upstream hook when this
+  // server is a tier of a fabric — accounted into this worker's accumulator.
   const auto do_fetch = [&](std::uint64_t bytes) {
-    const FetchOutcome f = fetch_policy_.fetch(*origin_, shard_idx, r.time, bytes);
+    const FetchOutcome f =
+        upstream_ ? upstream_(upstream_ctx, r, bytes, r.time, shard_idx)
+                  : fetch_policy_.fetch(*origin_, shard_idx, r.time, bytes);
     ++acc.origin_fetches;
+    if (bytes > 0) ++acc.body_fetches;
     acc.origin_retries += f.retries;
     acc.origin_timeouts += f.timeouts;
     acc.origin_errors += f.errors;
@@ -139,6 +150,7 @@ CdnServer::RequestOutcome CdnServer::process(const trace::Request& r,
       }
       if (fs.rng.next_below(kRevalidateScale) < revalidate_threshold_) {
         refetch = true;  // content changed at the origin
+        ++acc.refetches;
       } else if (have_clock) {
         adm->second = r.time;  // revalidated: freshness clock restarts
       } else {
@@ -184,6 +196,9 @@ void CdnServer::ReplayAccumulator::merge(const ReplayAccumulator& other) {
   hedge_cancels += other.hedge_cancels;
   stale_serves += other.stale_serves;
   failures += other.failures;
+  cache_hits += other.cache_hits;
+  refetches += other.refetches;
+  body_fetches += other.body_fetches;
   cpu_busy += other.cpu_busy;
   disk_busy += other.disk_busy;
   origin_busy += other.origin_busy;
@@ -203,6 +218,30 @@ void CdnServer::ReplayAccumulator::merge(const ReplayAccumulator& other) {
     window_hits[w] += other.window_hits[w];
     window_counts[w] += other.window_counts[w];
   }
+}
+
+void CdnServer::accumulate(const RequestOutcome& out, const trace::Request& r,
+                           ReplayAccumulator& acc) {
+  acc.latency.add(out.user_latency_s);
+  acc.cpu_busy += out.cpu_s;
+  acc.disk_busy += out.disk_s;
+  acc.origin_busy += out.origin_s;
+  acc.client_busy += out.client_s;
+  if (!out.failed) acc.bytes_served += r.size;  // a 5xx serves no content
+  acc.wan_bytes += out.wan_bytes;
+  acc.stale_serves += static_cast<std::uint64_t>(out.stale_serve);
+  acc.failures += static_cast<std::uint64_t>(out.failed);
+  acc.cache_hits += static_cast<std::uint64_t>(out.cache_hit);
+  acc.hits += static_cast<std::uint64_t>(out.hit);
+  ++acc.requests;
+}
+
+CdnServer::RequestOutcome CdnServer::serve(const trace::Request& r,
+                                           ReplayAccumulator& acc,
+                                           void* upstream_ctx) {
+  const RequestOutcome out = process(r, freshness_shard_of(r.key), acc, upstream_ctx);
+  accumulate(out, r, acc);
+  return out;
 }
 
 void CdnServer::OpenLoopAccumulator::merge(const OpenLoopAccumulator& other) {
@@ -288,21 +327,11 @@ void CdnServer::replay_partition(const trace::TraceSource& trace, std::size_t wo
       } else {
         out = process(r, shard, acc);
       }
-      acc.latency.add(out.user_latency_s);
-      acc.cpu_busy += out.cpu_s;
-      acc.disk_busy += out.disk_s;
-      acc.origin_busy += out.origin_s;
-      acc.client_busy += out.client_s;
-      if (!out.failed) acc.bytes_served += r.size;  // a 5xx serves no content
-      acc.wan_bytes += out.wan_bytes;
-      acc.stale_serves += static_cast<std::uint64_t>(out.stale_serve);
-      acc.failures += static_cast<std::uint64_t>(out.failed);
-      ++acc.requests;
+      accumulate(out, r, acc);
       if (n_windows > 0) {
         ++acc.window_counts[i / window_requests];
         acc.window_hits[i / window_requests] += static_cast<std::uint64_t>(out.hit);
       }
-      acc.hits += static_cast<std::uint64_t>(out.hit);
       if (++processed % meta_sample_every == 0) sample_metadata();
     }
   }

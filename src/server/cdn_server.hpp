@@ -42,6 +42,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -77,6 +78,13 @@ struct ServerConfig {
   double cpu_per_byte_s = 0.4e-9;         ///< per-byte copy/checksum cost (~1 cycle/B)
   int cpu_cores = 6;                       ///< matches the paper's i5-10400HQ class
   std::uint64_t seed = 11;
+
+  /// When true (the classic behaviour) each request's CPU cost folds in the
+  /// measured wall-clock time of the index lookup, so latency percentiles
+  /// reflect the policy's real compute — and vary run to run. The fabric
+  /// sets this false so per-request latency is a pure function of the trace
+  /// and its end-to-end quantiles are byte-identical at any thread count.
+  bool measured_lookup_cpu = true;
 
   // Origin resilience layer (see origin.hpp). The defaults — fixed latency
   // model, no fault schedule, timeouts disabled — reproduce the classic
@@ -167,6 +175,50 @@ struct ServerReport {
 
 class CdnServer {
  public:
+  struct RequestOutcome {
+    bool hit = false;
+    bool cache_hit = false;    ///< lookup hit before any refetch decision
+    bool stale_serve = false;  ///< stale copy served because the origin failed
+    bool failed = false;       ///< 5xx: origin failed and no serveable copy
+    double user_latency_s = 0.0;
+    double cpu_s = 0.0;
+    double disk_s = 0.0;
+    double origin_s = 0.0;
+    double client_s = 0.0;
+    std::uint64_t wan_bytes = 0;
+  };
+
+  /// Per-worker replay accumulator, reduced in worker-index order. Public so
+  /// CdnFabric can drive serve() with its own per-(worker, node)
+  /// accumulators and merge them under the same discipline.
+  struct ReplayAccumulator {
+    util::QuantileHistogram latency{1e-6, 1e4, 128};
+    util::QuantileHistogram fetch_latency{1e-6, 1e4, 128};
+    double cpu_busy = 0.0, disk_busy = 0.0, origin_busy = 0.0, client_busy = 0.0;
+    std::uint64_t bytes_served = 0, wan_bytes = 0, hits = 0, requests = 0;
+    std::uint64_t peak_meta = 0;
+    std::uint64_t origin_fetches = 0, origin_retries = 0, origin_timeouts = 0,
+                  origin_errors = 0, origin_hedges = 0, hedge_cancels = 0,
+                  stale_serves = 0, failures = 0;
+    // Traffic-conservation ledger (see fabric.hpp): lookup hits before the
+    // refetch decision, refetch attempts, and body (bytes > 0) fetches sent
+    // upstream. Invariant per tier, checked by FabricReport:
+    //   body_fetches == (requests - cache_hits) + refetches.
+    std::uint64_t cache_hits = 0, refetches = 0, body_fetches = 0;
+    std::vector<std::uint64_t> window_hits, window_counts;
+
+    void merge(const ReplayAccumulator& other);
+  };
+
+  /// Resolves one logical upstream fetch (miss, revalidation when bytes is
+  /// 0, or refetch) in place of the built-in Origin + FetchPolicy. `ctx` is
+  /// whatever the caller of serve() passed through — the fabric threads its
+  /// per-worker state this way; `stream` is the freshness-shard index, the
+  /// deterministic per-worker draw-stream id.
+  using UpstreamFetch = std::function<FetchOutcome(
+      void* ctx, const trace::Request& r, std::uint64_t bytes, double now,
+      std::size_t stream)>;
+
   /// Takes ownership of the main-tier policy (LRU for stock ATS; LhrCache
   /// for the prototype; WTinyLfu for Caffeine; a ShardedCache of any of
   /// them for the concurrent serving path). When the policy is a
@@ -210,6 +262,22 @@ class CdnServer {
                                 std::size_t n_threads,
                                 std::size_t window_requests = 50'000);
 
+  /// Serves one request on the calling thread against the shard its key
+  /// hashes to, accumulating hits/bytes/latency/fetch counters into `acc`.
+  /// This is the per-request entry point CdnFabric composes tiers with; the
+  /// caller owns the shard-ownership discipline (all requests of one
+  /// freshness shard must arrive in time order from a single thread).
+  /// `upstream_ctx` is forwarded verbatim to the UpstreamFetch hook.
+  RequestOutcome serve(const trace::Request& r, ReplayAccumulator& acc,
+                       void* upstream_ctx = nullptr);
+
+  /// Routes every logical origin fetch (miss, revalidation, refetch)
+  /// through `upstream` instead of the built-in simulated Origin — the hook
+  /// that chains this server to the next tier of a fabric. Passing an empty
+  /// function restores the built-in origin. Not thread-safe against
+  /// concurrent replays; set it before serving.
+  void set_upstream(UpstreamFetch upstream) { upstream_ = std::move(upstream); }
+
   [[nodiscard]] const sim::CachePolicy& main_policy() const { return *main_; }
 
   /// Number of freshness/RAM/RNG slices (= backend shard count, or 1).
@@ -219,18 +287,6 @@ class CdnServer {
   [[nodiscard]] const Origin& origin() const { return *origin_; }
 
  private:
-  struct RequestOutcome {
-    bool hit = false;
-    bool stale_serve = false;  ///< stale copy served because the origin failed
-    bool failed = false;       ///< 5xx: origin failed and no serveable copy
-    double user_latency_s = 0.0;
-    double cpu_s = 0.0;
-    double disk_s = 0.0;
-    double origin_s = 0.0;
-    double client_s = 0.0;
-    std::uint64_t wan_bytes = 0;
-  };
-
   /// One worker-owned slice of the server's per-request state. During
   /// replay_concurrent, shard s is touched only by worker s mod n_workers —
   /// that ownership discipline is what makes the struct lock-free.
@@ -241,21 +297,6 @@ class CdnServer {
     policy::Lru ram;  ///< this slice of the RAM tier (disk-tier configs)
     std::unordered_map<trace::Key, trace::Time> admitted_at;  ///< freshness clock
     util::Xoshiro256 rng;  ///< revalidation coin flips
-  };
-
-  /// Per-worker replay accumulator, reduced in worker-index order.
-  struct ReplayAccumulator {
-    util::QuantileHistogram latency{1e-6, 1e4, 128};
-    util::QuantileHistogram fetch_latency{1e-6, 1e4, 128};
-    double cpu_busy = 0.0, disk_busy = 0.0, origin_busy = 0.0, client_busy = 0.0;
-    std::uint64_t bytes_served = 0, wan_bytes = 0, hits = 0, requests = 0;
-    std::uint64_t peak_meta = 0;
-    std::uint64_t origin_fetches = 0, origin_retries = 0, origin_timeouts = 0,
-                  origin_errors = 0, origin_hedges = 0, hedge_cancels = 0,
-                  stale_serves = 0, failures = 0;
-    std::vector<std::uint64_t> window_hits, window_counts;
-
-    void merge(const ReplayAccumulator& other);
   };
 
   /// Per-worker open-loop queue state (one virtual queue per worker, the
@@ -276,8 +317,14 @@ class CdnServer {
 
   /// Processes one request against shard `shard_idx`. Origin fetch counters
   /// and per-fetch latencies go straight into `acc` (a request can make up
-  /// to two logical fetches: revalidation then refetch).
+  /// to two logical fetches: revalidation then refetch). `upstream_ctx` is
+  /// forwarded to the UpstreamFetch hook when one is set.
   RequestOutcome process(const trace::Request& r, std::size_t shard_idx,
+                         ReplayAccumulator& acc, void* upstream_ctx = nullptr);
+
+  /// The per-request accumulation shared by replay_partition and serve():
+  /// latency sample, busy-time sums, hit/byte/stale/failure counters.
+  static void accumulate(const RequestOutcome& out, const trace::Request& r,
                          ReplayAccumulator& acc);
 
   [[nodiscard]] std::size_t freshness_shard_of(trace::Key key) const;
@@ -307,6 +354,7 @@ class CdnServer {
   std::vector<std::unique_ptr<FreshnessShard>> fresh_;
   std::unique_ptr<Origin> origin_;  ///< one draw stream per freshness shard
   FetchPolicy fetch_policy_;
+  UpstreamFetch upstream_;  ///< empty = built-in Origin + FetchPolicy
 };
 
 }  // namespace lhr::server

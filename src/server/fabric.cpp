@@ -1,0 +1,446 @@
+#include "server/fabric.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "server/sharded_cache.hpp"
+#include "util/hash.hpp"
+#include "util/parse.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lhr::server {
+
+namespace {
+
+/// One tier clause value: COUNT 'x' POLICY ['@' GB]; a bare "0" disables
+/// the tier (regional only).
+FabricTierSpec parse_tier(const std::string& tier_name, const std::string& value) {
+  const std::string what = "--fabric " + tier_name;
+  FabricTierSpec tier;
+  const std::size_t x = value.find('x');
+  tier.nodes = static_cast<std::size_t>(
+      util::require_u64(what + " node count", value.substr(0, x)));
+  if (x == std::string::npos) {
+    if (tier.nodes != 0) {
+      throw std::invalid_argument(what + ": expected COUNTxPOLICY[@GB], got '" +
+                                  value + "'");
+    }
+    return tier;  // "regional=0" selects the two-tier topology
+  }
+  const std::string rest = value.substr(x + 1);
+  const std::size_t at = rest.find('@');
+  tier.policy = rest.substr(0, at);
+  if (tier.policy.empty()) {
+    throw std::invalid_argument(what + ": missing policy name in '" + value + "'");
+  }
+  if (at != std::string::npos) {
+    tier.capacity_gb = util::require_double(what + " capacity GB", rest.substr(at + 1));
+    if (!(tier.capacity_gb > 0.0)) {
+      throw std::invalid_argument(what + ": capacity must be positive, got '" +
+                                  rest.substr(at + 1) + "'");
+    }
+  }
+  return tier;
+}
+
+void append_tier_summary(std::string& s, const FabricTierReport& t) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "%s: nodes=%zu requests=%llu hits=%llu cache_hits=%llu refetches=%llu "
+      "body_fetches=%llu bytes_served=%llu upstream_bytes=%llu "
+      "stale_serves=%llu failed=%llu fetches=%llu retries=%llu timeouts=%llu "
+      "errors=%llu hedges=%llu\n",
+      t.name.c_str(), t.nodes, static_cast<unsigned long long>(t.requests),
+      static_cast<unsigned long long>(t.hits),
+      static_cast<unsigned long long>(t.cache_hits),
+      static_cast<unsigned long long>(t.refetches),
+      static_cast<unsigned long long>(t.body_fetches),
+      static_cast<unsigned long long>(t.bytes_served),
+      static_cast<unsigned long long>(t.upstream_bytes),
+      static_cast<unsigned long long>(t.stale_serves),
+      static_cast<unsigned long long>(t.failed_requests),
+      static_cast<unsigned long long>(t.fetches),
+      static_cast<unsigned long long>(t.retries),
+      static_cast<unsigned long long>(t.timeouts),
+      static_cast<unsigned long long>(t.errors),
+      static_cast<unsigned long long>(t.hedges));
+  s += buf;
+  s += t.name + "-nodes:";
+  for (const std::uint64_t n : t.node_requests) {
+    s += ' ';
+    s += std::to_string(n);
+  }
+  s += '\n';
+}
+
+void fill_tier(FabricTierReport& t, const CdnServer::ReplayAccumulator& a) {
+  t.requests = a.requests;
+  t.hits = a.hits;
+  t.cache_hits = a.cache_hits;
+  t.refetches = a.refetches;
+  t.body_fetches = a.body_fetches;
+  t.bytes_served = a.bytes_served;
+  t.upstream_bytes = a.wan_bytes;
+  t.stale_serves = a.stale_serves;
+  t.failed_requests = a.failures;
+  t.fetches = a.origin_fetches;
+  t.retries = a.origin_retries;
+  t.timeouts = a.origin_timeouts;
+  t.errors = a.origin_errors;
+  t.hedges = a.origin_hedges;
+}
+
+}  // namespace
+
+FabricSpec parse_fabric_spec(const std::string& spec) {
+  FabricSpec out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t semi = spec.find(';', pos);
+    const std::string clause =
+        spec.substr(pos, semi == std::string::npos ? std::string::npos : semi - pos);
+    pos = semi == std::string::npos ? spec.size() + 1 : semi + 1;
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("--fabric: clause '" + clause +
+                                  "' is not key=value");
+    }
+    const std::string key = clause.substr(0, eq);
+    const std::string value = clause.substr(eq + 1);
+    if (key == "edge") {
+      out.edge = parse_tier("edge", value);
+    } else if (key == "regional") {
+      out.regional = parse_tier("regional", value);
+    } else if (key == "shards") {
+      out.shards = static_cast<std::size_t>(util::require_u64("--fabric shards", value));
+    } else if (key == "link-rtt-ms") {
+      out.link_rtt_ms = util::require_double("--fabric link-rtt-ms", value);
+      if (out.link_rtt_ms < 0.0) {
+        throw std::invalid_argument("--fabric link-rtt-ms: must be >= 0, got '" +
+                                    value + "'");
+      }
+    } else if (key == "link-gbps") {
+      out.link_gbps = util::require_double("--fabric link-gbps", value);
+      if (!(out.link_gbps > 0.0)) {
+        throw std::invalid_argument("--fabric link-gbps: must be > 0, got '" +
+                                    value + "'");
+      }
+    } else {
+      throw std::invalid_argument("--fabric: unknown clause key '" + key + "'");
+    }
+  }
+  if (out.edge.nodes == 0) {
+    throw std::invalid_argument("--fabric: need >= 1 edge node");
+  }
+  if (out.shards == 0) {
+    throw std::invalid_argument("--fabric: need >= 1 shard per node");
+  }
+  return out;
+}
+
+CdnFabric::CdnFabric(FabricConfig config)
+    : config_(std::move(config)), link_policy_(config_.link_fetch) {
+  if (config_.edge_nodes == 0) {
+    throw std::invalid_argument("CdnFabric: need >= 1 edge node");
+  }
+  if (config_.shards_per_node == 0) {
+    throw std::invalid_argument("CdnFabric: need >= 1 shard per node");
+  }
+  if (!config_.edge_policy) {
+    throw std::invalid_argument("CdnFabric: null edge policy factory");
+  }
+  if (config_.regional_nodes > 0 && !config_.regional_policy) {
+    throw std::invalid_argument("CdnFabric: null regional policy factory");
+  }
+
+  const std::size_t shards = config_.shards_per_node;
+
+  // HRW salts come from two independent splitmix streams, consumed in node
+  // order: growing a tier appends salts without disturbing existing ones,
+  // which is what makes add/remove-node routing stability testable.
+  std::uint64_t edge_salt_state = config_.seed;
+  std::uint64_t regional_salt_state = config_.seed ^ 0x9e3779b97f4a7c15ULL;
+  edge_salts_.reserve(config_.edge_nodes);
+  for (std::size_t i = 0; i < config_.edge_nodes; ++i) {
+    edge_salts_.push_back(util::splitmix64(edge_salt_state));
+  }
+  regional_salts_.reserve(config_.regional_nodes);
+  for (std::size_t i = 0; i < config_.regional_nodes; ++i) {
+    regional_salts_.push_back(util::splitmix64(regional_salt_state));
+  }
+
+  regionals_.reserve(config_.regional_nodes);
+  for (std::size_t i = 0; i < config_.regional_nodes; ++i) {
+    ServerConfig sc = config_.regional_server;
+    sc.measured_lookup_cpu = false;  // determinism contract (header comment)
+    sc.seed = util::mix64(config_.seed ^ (0x5e610a11ULL + i));
+    auto backend = std::make_unique<ShardedCache>(
+        shards, config_.regional_capacity_bytes, config_.regional_policy);
+    regionals_.push_back(std::make_unique<CdnServer>(std::move(backend), sc));
+  }
+
+  edges_.reserve(config_.edge_nodes);
+  const bool three_tier = !regionals_.empty();
+  if (three_tier) links_.reserve(config_.edge_nodes);
+  for (std::size_t e = 0; e < config_.edge_nodes; ++e) {
+    ServerConfig sc = config_.edge_server;
+    sc.measured_lookup_cpu = false;
+    sc.seed = util::mix64(config_.seed ^ (0xed6eULL + e));
+    auto backend = std::make_unique<ShardedCache>(shards, config_.edge_capacity_bytes,
+                                                  config_.edge_policy);
+    auto server = std::make_unique<CdnServer>(std::move(backend), sc);
+    if (three_tier) {
+      OriginProfile lp = config_.link_profile;
+      const double rtt = lp.rtt_s >= 0.0 ? lp.rtt_s : config_.link_rtt_s;
+      const double gbps = lp.gbps >= 0.0 ? lp.gbps : config_.link_gbps;
+      // Distinct draw streams per edge link, still derived from the profile
+      // seed so one knob moves every link's randomness together.
+      lp.seed = util::mix64(lp.seed ^ (e + 1));
+      links_.push_back(
+          std::make_unique<Origin>(lp, rtt, gbps, config_.link_faults, shards));
+      server->set_upstream([this, e](void* ctx, const trace::Request& r,
+                                     std::uint64_t bytes, double now,
+                                     std::size_t stream) {
+        return upstream_fetch(*static_cast<WorkerState*>(ctx), e, r, bytes, now,
+                              stream);
+      });
+    }
+    edges_.push_back(std::move(server));
+  }
+}
+
+std::size_t CdnFabric::rendezvous_pick(trace::Key key,
+                                       std::span<const std::uint64_t> salts) {
+  std::size_t best = 0;
+  std::uint64_t best_score = 0;
+  for (std::size_t i = 0; i < salts.size(); ++i) {
+    const std::uint64_t score = util::mix64(key ^ salts[i]);
+    if (i == 0 || score > best_score) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+std::size_t CdnFabric::edge_of(trace::Key key) const {
+  return rendezvous_pick(key, edge_salts_);
+}
+
+std::size_t CdnFabric::regional_of(trace::Key key) const {
+  return rendezvous_pick(key, regional_salts_);
+}
+
+std::size_t CdnFabric::shard_of(trace::Key key) const {
+  return ShardedCache::shard_index(key, config_.shards_per_node);
+}
+
+FetchOutcome CdnFabric::upstream_fetch(WorkerState& ws, std::size_t edge,
+                                       const trace::Request& r, std::uint64_t bytes,
+                                       double now, std::size_t stream) {
+  // Cross the edge -> regional link first: faults, timeouts, retries and
+  // hedging all apply here. Revalidations (bytes == 0) are answered
+  // authoritatively at the regional boundary, so the link round trip is the
+  // whole story for them.
+  FetchOutcome link = link_policy_.fetch(*links_[edge], stream, now, bytes);
+  if (bytes == 0) return link;
+  ++ws.link_body_fetches;
+  if (!link.ok) {
+    ++ws.link_failures;
+    return link;
+  }
+  // Cooperative lookup at the key's home regional node. The regional server
+  // runs its own full request path (hit/revalidate/miss against the true
+  // origin) into this worker's per-node accumulator.
+  const std::size_t rr = regional_of(r.key);
+  ++ws.regional_lookups;
+  ++ws.reg_node_requests[rr];
+  const CdnServer::RequestOutcome out = regionals_[rr]->serve(r, ws.reg_acc[rr]);
+  // The edge sees one combined fetch: link transit plus the regional serve
+  // (store-and-forward). Attempt/retry counters stay link-side — the
+  // regional's own upstream activity is already in its accumulator.
+  FetchOutcome combined = std::move(link);
+  combined.ok = !out.failed;
+  combined.latency_s += out.user_latency_s;
+  return combined;
+}
+
+void CdnFabric::replay_worker(const trace::TraceSource& trace, std::size_t worker,
+                              std::size_t n_workers, WorkerState& ws,
+                              const LatencyProbe& probe) {
+  const std::size_t shards = config_.shards_per_node;
+  const auto cursor = trace.cursor();
+  for (;;) {
+    const auto chunk = cursor->next_chunk();
+    if (chunk.empty()) break;
+    for (const trace::Request& r : chunk) {
+      if (ShardedCache::shard_index(r.key, shards) % n_workers != worker) continue;
+      const std::size_t e = edge_of(r.key);
+      ++ws.edge_node_requests[e];
+      const CdnServer::RequestOutcome out = edges_[e]->serve(r, ws.edge_acc[e], &ws);
+      ws.e2e.add(out.user_latency_s);
+      if (probe) probe(r, out.user_latency_s);
+    }
+  }
+}
+
+FabricReport CdnFabric::replay(const trace::TraceSource& trace, std::size_t n_threads,
+                               const LatencyProbe& probe) {
+  const std::size_t workers =
+      std::clamp<std::size_t>(n_threads, 1, config_.shards_per_node);
+  std::vector<WorkerState> states(workers);
+  for (WorkerState& ws : states) {
+    ws.edge_acc.resize(edges_.size());
+    ws.reg_acc.resize(regionals_.size());
+    ws.edge_node_requests.assign(edges_.size(), 0);
+    ws.reg_node_requests.assign(regionals_.size(), 0);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (workers == 1) {
+    replay_worker(trace, 0, 1, states[0], probe);
+  } else {
+    util::ThreadPool pool(workers);
+    util::TaskGroup group(&pool);
+    for (std::size_t w = 0; w < workers; ++w) {
+      group.run([this, &trace, w, workers, &states, &probe] {
+        replay_worker(trace, w, workers, states[w], probe);
+      });
+    }
+    group.wait();
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  // Reduce in worker-index then node-index order — the fixed reduction
+  // order that makes every integer aggregate (and the latency bucket
+  // counts) independent of the worker count.
+  FabricReport report;
+  report.replay_wall_seconds = wall;
+  report.replay_threads = workers;
+  report.edge.name = "edge";
+  report.edge.nodes = edges_.size();
+  report.edge.node_requests.assign(edges_.size(), 0);
+  report.regional.name = "regional";
+  report.regional.nodes = regionals_.size();
+  report.regional.node_requests.assign(regionals_.size(), 0);
+
+  CdnServer::ReplayAccumulator edge_total;
+  CdnServer::ReplayAccumulator reg_total;
+  for (std::size_t node = 0; node < edges_.size(); ++node) {
+    CdnServer::ReplayAccumulator node_total;
+    for (const WorkerState& ws : states) {
+      node_total.merge(ws.edge_acc[node]);
+      report.edge.node_requests[node] += ws.edge_node_requests[node];
+    }
+    edge_total.merge(node_total);
+  }
+  for (std::size_t node = 0; node < regionals_.size(); ++node) {
+    CdnServer::ReplayAccumulator node_total;
+    for (const WorkerState& ws : states) {
+      node_total.merge(ws.reg_acc[node]);
+      report.regional.node_requests[node] += ws.reg_node_requests[node];
+    }
+    reg_total.merge(node_total);
+  }
+  for (const WorkerState& ws : states) {
+    report.link_body_fetches += ws.link_body_fetches;
+    report.link_failures += ws.link_failures;
+    report.regional_lookups += ws.regional_lookups;
+    report.e2e_latency.merge(ws.e2e);
+  }
+
+  fill_tier(report.edge, edge_total);
+  fill_tier(report.regional, reg_total);
+  report.requests = report.edge.requests;
+
+  const bool three_tier = !regionals_.empty();
+  const CdnServer::ReplayAccumulator& origin_side = three_tier ? reg_total : edge_total;
+  report.origin_fetches = origin_side.origin_fetches;
+  report.origin_body_fetches = origin_side.body_fetches;
+  report.origin_wan_bytes = origin_side.wan_bytes;
+
+  report.e2e_p50_ms = report.e2e_latency.quantile(0.50) * 1e3;
+  report.e2e_p90_ms = report.e2e_latency.quantile(0.90) * 1e3;
+  report.e2e_p99_ms = report.e2e_latency.quantile(0.99) * 1e3;
+  report.e2e_avg_ms = report.e2e_latency.mean() * 1e3;
+
+  // Traffic-conservation audit: every ledger is kept by both sides of its
+  // link; any imbalance is a fabric bug worth failing loudly over.
+  const auto check = [&report](const char* what, std::uint64_t lhs,
+                               std::uint64_t rhs) {
+    if (lhs == rhs || !report.conservation_error.empty()) return;
+    report.conservation_error = std::string(what) + ": " + std::to_string(lhs) +
+                                " != " + std::to_string(rhs);
+  };
+  check("edge ledger (body_fetches vs misses+refetches)", report.edge.body_fetches,
+        report.edge.requests - report.edge.cache_hits + report.edge.refetches);
+  if (three_tier) {
+    check("link entry (edge body_fetches vs link)", report.edge.body_fetches,
+          report.link_body_fetches);
+    check("link exit (link vs failures+regional lookups)", report.link_body_fetches,
+          report.link_failures + report.regional_lookups);
+    check("regional lookups (fabric vs regional tier)", report.regional_lookups,
+          report.regional.requests);
+    check("regional ledger (body_fetches vs misses+refetches)",
+          report.regional.body_fetches,
+          report.regional.requests - report.regional.cache_hits +
+              report.regional.refetches);
+    check("link bytes (edge upstream vs regional served)",
+          report.edge.upstream_bytes, report.regional.bytes_served);
+  } else {
+    check("two-tier link counters", report.link_body_fetches + report.link_failures +
+                                        report.regional_lookups,
+          0);
+  }
+
+  return report;
+}
+
+std::string FabricReport::canonical_summary() const {
+  std::string s;
+  s.reserve(1024);
+  s += "requests=" + std::to_string(requests) + "\n";
+  append_tier_summary(s, edge);
+  if (regional.nodes > 0) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "link: body_fetches=%llu failures=%llu regional_lookups=%llu\n",
+                  static_cast<unsigned long long>(link_body_fetches),
+                  static_cast<unsigned long long>(link_failures),
+                  static_cast<unsigned long long>(regional_lookups));
+    s += buf;
+    append_tier_summary(s, regional);
+  }
+  {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "origin: fetches=%llu body_fetches=%llu wan_bytes=%llu\n",
+                  static_cast<unsigned long long>(origin_fetches),
+                  static_cast<unsigned long long>(origin_body_fetches),
+                  static_cast<unsigned long long>(origin_wan_bytes));
+    s += buf;
+  }
+  {
+    // Quantiles are pure functions of the merged integer bucket counts, so
+    // they are safe in the canonical string; the double-sum mean is not.
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "e2e: p50_ms=%.9g p90_ms=%.9g p99_ms=%.9g count=%llu\n",
+                  e2e_p50_ms, e2e_p90_ms, e2e_p99_ms,
+                  static_cast<unsigned long long>(e2e_latency.count()));
+    s += buf;
+  }
+  s += "conservation: ";
+  s += conservation_error.empty() ? "ok" : conservation_error;
+  s += '\n';
+  return s;
+}
+
+}  // namespace lhr::server

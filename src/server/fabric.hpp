@@ -1,0 +1,274 @@
+// Multi-tier CDN fabric: N edge CdnServers -> M regional CdnServers -> the
+// fault-injected Origin. This is the "millions of users" topology from
+// ROADMAP.md: the single-node replay of the earlier layers becomes one leaf
+// of a hierarchy, following the placement-over-a-network framing of
+// Ioannidis & Yeh (Adaptive Caching Networks with Optimality Guarantees)
+// and the per-tier learned policies of Torabi & Khazaei (PAPERS.md).
+//
+// Topology & routing
+//   * Clients hash to edge nodes by rendezvous (HRW) hashing over the key:
+//     each node carries a stable salt and a key goes to the node with the
+//     highest mix64(key ^ salt). Adding or removing an edge node therefore
+//     moves only the keys whose maximum changes (~1/N of the space) — the
+//     property fabric_test asserts under node add/remove.
+//   * An edge miss becomes a cooperative lookup at the key's home regional
+//     node (HRW over the regional tier with an independent salt stream), so
+//     every edge shares the same regional copy of a given object. A
+//     regional hit absorbs the miss before the faulty origin is touched.
+//   * With zero regional nodes the fabric degenerates to a two-tier
+//     edge -> origin topology (the pre-fabric behaviour, N-way sharded).
+//
+// Inter-tier links reuse the origin machinery end to end: the edge ->
+// regional link is an Origin (latency profile per edge node) driven by a
+// FetchPolicy (timeout/retry/backoff/hedge) under a FaultSchedule, so link
+// outages, retries, hedging and serve-stale apply mid-hierarchy exactly as
+// they do against the true origin; the regional -> origin link is each
+// regional server's own built-in Origin/FetchPolicy/FaultSchedule. Edge
+// revalidations (conditional GETs) are answered authoritatively at the
+// regional boundary — one conditional round trip across the link. Latency
+// composes store-and-forward: link RTT + body transfer at link bandwidth,
+// plus the serving tier's own disk/CPU/egress costs.
+//
+// Determinism contract (the shard-ownership discipline, fabric-wide)
+//   Every node — edge and regional — runs a ShardedCache with the same
+//   shard count S and the same pure key -> shard function g
+//   (ShardedCache::shard_index). A replay worker w owns every shard index
+//   s with s % n_workers == w, across ALL nodes at once: since a key's
+//   entire path (edge node, edge shard, regional node, regional shard,
+//   link/origin draw streams) is a pure function of the key, all mutable
+//   state a key touches lives in shards owned by exactly one worker, and
+//   each shard sees exactly the subsequence of its keys in trace order no
+//   matter how many workers run. Per-node server configs disable
+//   measured_lookup_cpu, so per-request latency is a pure function of the
+//   trace: every aggregate in FabricReport::canonical_summary() — counters,
+//   per-node request counts, latency quantiles (integer bucket merges) —
+//   is byte-identical at any worker count.
+//
+// Cross-tier accounting
+//   Both sides of every link keep independent ledgers (the edge servers
+//   count body fetches they issue, the fabric counts what enters and
+//   survives the link, the regional servers count lookups they serve), and
+//   finalize() checks they balance exactly: edge misses == link entries ==
+//   link failures + regional lookups; per tier, body fetches ==
+//   (requests - cache hits) + refetches; regional body fetches are the
+//   origin fetches attempted. A non-empty conservation_error means a
+//   plumbing bug, not a workload property.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "server/cdn_server.hpp"
+#include "server/origin.hpp"
+#include "sim/cache_policy.hpp"
+#include "trace/trace_source.hpp"
+#include "util/stats.hpp"
+
+namespace lhr::server {
+
+/// One tier of a parsed --fabric / LHR_FABRIC topology spec. Policies are
+/// carried by name; core::make_fabric_config binds them to real factories
+/// (the server layer cannot depend on the policy factory).
+struct FabricTierSpec {
+  std::size_t nodes = 0;
+  std::string policy = "LRU";
+  double capacity_gb = 1.0;  ///< per node
+};
+
+/// A parsed --fabric topology spec. Grammar (clauses separated by ';'):
+///   edge=COUNTxPOLICY[@GB] ; regional=COUNTxPOLICY[@GB]
+///   shards=N ; link-rtt-ms=X ; link-gbps=X
+/// Example: "edge=4xLHR@1;regional=2xLRU@8;shards=16;link-rtt-ms=4".
+/// `regional=0` selects the two-tier edge -> origin topology.
+struct FabricSpec {
+  FabricTierSpec edge{4, "LHR", 1.0};
+  FabricTierSpec regional{2, "LRU", 8.0};
+  std::size_t shards = 16;       ///< per node, every tier (ownership partition)
+  double link_rtt_ms = 4.0;      ///< edge -> regional link round trip
+  double link_gbps = 40.0;       ///< edge -> regional link bandwidth
+};
+
+/// Parses the --fabric grammar above. Throws std::invalid_argument naming
+/// the clause and offending token on malformed input.
+[[nodiscard]] FabricSpec parse_fabric_spec(const std::string& spec);
+
+/// Construction-time fabric configuration (core::make_fabric_config builds
+/// one from a FabricSpec; tests assemble it directly).
+struct FabricConfig {
+  using PolicyFactory =
+      std::function<std::unique_ptr<sim::CachePolicy>(std::uint64_t capacity)>;
+
+  std::size_t edge_nodes = 4;
+  std::size_t regional_nodes = 2;   ///< 0 = two-tier fabric (edge -> origin)
+  /// ShardedCache shard count for every node of every tier. The worker
+  /// ownership partition runs over shard indices, so replay parallelism is
+  /// capped at this value.
+  std::size_t shards_per_node = 16;
+  std::uint64_t edge_capacity_bytes = 1ULL << 30;      ///< per edge node
+  std::uint64_t regional_capacity_bytes = 8ULL << 30;  ///< per regional node
+  PolicyFactory edge_policy;      ///< required
+  PolicyFactory regional_policy;  ///< required when regional_nodes > 0
+
+  /// Per-node server templates. The fabric overrides the backend (a
+  /// ShardedCache of shards_per_node x the tier policy), derives per-node
+  /// seeds, and forces measured_lookup_cpu = false (see header comment).
+  /// regional_server's origin_profile/fetch/fault_schedule ARE the
+  /// regional -> origin link; edge_server's are only used in the two-tier
+  /// topology, where they are the edge -> origin link.
+  ServerConfig edge_server;
+  ServerConfig regional_server;
+
+  // Edge -> regional link (three-tier topology only), expressed through the
+  // same machinery as the origin: a latency profile (one Origin per edge
+  // node, one draw stream per shard), a FetchPolicy and a FaultSchedule.
+  OriginProfile link_profile;   ///< rtt/gbps < 0 inherit link_rtt_s/link_gbps
+  double link_rtt_s = 0.004;
+  double link_gbps = 40.0;
+  FetchPolicyConfig link_fetch;
+  FaultSchedule link_faults;
+
+  std::uint64_t seed = 2027;  ///< HRW salt streams + per-node server seeds
+};
+
+/// Aggregate counters for one tier (summed over its nodes, reduced in
+/// worker-index then node-index order — exact integers).
+struct FabricTierReport {
+  std::string name;
+  std::size_t nodes = 0;
+  std::uint64_t requests = 0;      ///< lookups served by this tier
+  std::uint64_t hits = 0;          ///< served-as-hit (incl. revalidated)
+  std::uint64_t cache_hits = 0;    ///< lookup hits before the refetch decision
+  std::uint64_t refetches = 0;     ///< stale-and-changed re-fetches attempted
+  std::uint64_t body_fetches = 0;  ///< body fetches sent toward the next tier
+  std::uint64_t bytes_served = 0;      ///< bytes served downstream (5xx excluded)
+  std::uint64_t upstream_bytes = 0;    ///< bytes pulled from the next tier
+  std::uint64_t stale_serves = 0;
+  std::uint64_t failed_requests = 0;
+  std::uint64_t fetches = 0;   ///< logical upstream fetches incl. revalidations
+  std::uint64_t retries = 0, timeouts = 0, errors = 0, hedges = 0;
+  /// Requests routed to each node of this tier (HRW balance; exact).
+  std::vector<std::uint64_t> node_requests;
+
+  [[nodiscard]] double hit_pct() const {
+    return requests > 0
+               ? 100.0 * static_cast<double>(hits) / static_cast<double>(requests)
+               : 0.0;
+  }
+};
+
+/// What one CdnFabric::replay produced. All integer counters and the
+/// latency quantiles are identical at every worker count; only
+/// replay_wall_seconds and the *_avg_ms double sums are machine-dependent.
+struct FabricReport {
+  std::uint64_t requests = 0;
+  FabricTierReport edge;
+  FabricTierReport regional;  ///< nodes == 0 in the two-tier topology
+
+  // Edge -> regional link ledger (fabric-side, three-tier only).
+  std::uint64_t link_body_fetches = 0;  ///< body fetches entering the link
+  std::uint64_t link_failures = 0;      ///< died on the link (never reached regional)
+  std::uint64_t regional_lookups = 0;   ///< serve calls the fabric issued regionally
+
+  // Origin-side totals (the regional tier's upstream; the edge tier's in
+  // the two-tier topology).
+  std::uint64_t origin_fetches = 0;       ///< logical fetches incl. revalidations
+  std::uint64_t origin_body_fetches = 0;  ///< body fetches attempted at the origin
+  std::uint64_t origin_wan_bytes = 0;     ///< true WAN bytes
+
+  // End-to-end (client-observed) latency, merged across workers with exact
+  // integer bucket counts; the histogram itself is exposed so tests can
+  // compare its quantiles against util::exact_percentile.
+  double e2e_p50_ms = 0.0, e2e_p90_ms = 0.0, e2e_p99_ms = 0.0, e2e_avg_ms = 0.0;
+  util::QuantileHistogram e2e_latency{1e-6, 1e4, 128};
+
+  double replay_wall_seconds = 0.0;
+  std::size_t replay_threads = 1;
+
+  /// Empty when every cross-tier ledger balanced exactly; otherwise a
+  /// description of the first imbalance (a fabric plumbing bug).
+  std::string conservation_error;
+  [[nodiscard]] bool traffic_conserved() const { return conservation_error.empty(); }
+
+  /// The deterministic fields, one per line — byte-identical at every
+  /// worker count for the same fabric config and trace (the string the
+  /// determinism tests and bench_fabric compare).
+  [[nodiscard]] std::string canonical_summary() const;
+};
+
+/// The composed hierarchy. Cache state persists across replay calls, like
+/// CdnServer.
+class CdnFabric {
+ public:
+  /// Validates and takes the config. Throws std::invalid_argument on a
+  /// null tier factory, zero edge nodes or zero shards.
+  explicit CdnFabric(FabricConfig config);
+
+  /// Called once per request with its end-to-end latency, from the worker
+  /// that processed it (wrap in a mutex or replay with n_threads == 1 to
+  /// collect exact samples — the quantile-agreement tests do the latter).
+  using LatencyProbe = std::function<void(const trace::Request&, double latency_s)>;
+
+  /// Replays the trace over `n_threads` workers (clamped to
+  /// [1, shards_per_node]) under the fabric-wide shard-ownership partition.
+  FabricReport replay(const trace::TraceSource& trace, std::size_t n_threads,
+                      const LatencyProbe& probe = {});
+
+  /// Rendezvous (HRW) pick: index of the highest mix64(key ^ salt) among
+  /// `salts` (lowest index wins ties). Exposed for routing tests.
+  [[nodiscard]] static std::size_t rendezvous_pick(trace::Key key,
+                                                   std::span<const std::uint64_t> salts);
+
+  [[nodiscard]] std::size_t edge_of(trace::Key key) const;
+  [[nodiscard]] std::size_t regional_of(trace::Key key) const;  ///< 3-tier only
+  /// The fabric-wide ownership shard of a key (== every node's internal
+  /// shard index for that key).
+  [[nodiscard]] std::size_t shard_of(trace::Key key) const;
+
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+  [[nodiscard]] std::size_t regional_count() const { return regionals_.size(); }
+  [[nodiscard]] std::size_t shard_count() const { return config_.shards_per_node; }
+  [[nodiscard]] const CdnServer& edge_node(std::size_t i) const { return *edges_[i]; }
+  [[nodiscard]] const CdnServer& regional_node(std::size_t i) const {
+    return *regionals_[i];
+  }
+
+ private:
+  /// Everything one replay worker mutates: per-node accumulators plus the
+  /// fabric-side link ledger and the end-to-end latency histogram. Threaded
+  /// through CdnServer::serve as the opaque upstream context.
+  struct WorkerState {
+    std::vector<CdnServer::ReplayAccumulator> edge_acc;  ///< one per edge node
+    std::vector<CdnServer::ReplayAccumulator> reg_acc;   ///< one per regional node
+    std::vector<std::uint64_t> edge_node_requests;
+    std::vector<std::uint64_t> reg_node_requests;
+    std::uint64_t link_body_fetches = 0;
+    std::uint64_t link_failures = 0;
+    std::uint64_t regional_lookups = 0;
+    util::QuantileHistogram e2e{1e-6, 1e4, 128};
+  };
+
+  /// The edge -> regional hop: traverses edge node `edge`'s link (faults,
+  /// retries, hedging), then resolves body fetches at the key's home
+  /// regional node. Revalidations (bytes == 0) end at the regional boundary.
+  FetchOutcome upstream_fetch(WorkerState& ws, std::size_t edge,
+                              const trace::Request& r, std::uint64_t bytes,
+                              double now, std::size_t stream);
+
+  void replay_worker(const trace::TraceSource& trace, std::size_t worker,
+                     std::size_t n_workers, WorkerState& ws,
+                     const LatencyProbe& probe);
+
+  FabricConfig config_;
+  std::vector<std::unique_ptr<CdnServer>> edges_;
+  std::vector<std::unique_ptr<CdnServer>> regionals_;
+  std::vector<std::unique_ptr<Origin>> links_;  ///< one per edge node (3-tier)
+  FetchPolicy link_policy_;
+  std::vector<std::uint64_t> edge_salts_;
+  std::vector<std::uint64_t> regional_salts_;
+};
+
+}  // namespace lhr::server

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/parse.hpp"
+
 namespace lhr::server {
 
 namespace {
@@ -14,14 +16,7 @@ double transfer_seconds(std::uint64_t bytes, double gbps) {
 }
 
 double parse_number(const std::string& text, const std::string& what) {
-  try {
-    std::size_t consumed = 0;
-    const double value = std::stod(text, &consumed);
-    if (consumed != text.size()) throw std::invalid_argument("trailing junk");
-    return value;
-  } catch (const std::exception&) {
-    throw std::invalid_argument("bad " + what + ": '" + text + "'");
-  }
+  return util::require_double(what, text);
 }
 
 std::vector<std::string> split(const std::string& text, char sep) {

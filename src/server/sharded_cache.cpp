@@ -43,8 +43,12 @@ std::uint64_t ShardedCache::shard_capacity_bytes(std::size_t shard) const {
   return shards_[shard]->policy->capacity_bytes();
 }
 
+std::size_t ShardedCache::shard_index(trace::Key key, std::size_t shard_count) noexcept {
+  return static_cast<std::size_t>(util::mix64(key)) % shard_count;
+}
+
 std::size_t ShardedCache::shard_of(trace::Key key) const noexcept {
-  return static_cast<std::size_t>(util::mix64(key)) % shards_.size();
+  return shard_index(key, shards_.size());
 }
 
 bool ShardedCache::access(const trace::Request& r) {

@@ -78,6 +78,12 @@ class ShardedCache : public sim::CachePolicy {
   /// stores; run capacity changes from one thread at a time.
   void set_capacity(std::uint64_t bytes) override;
 
+  /// The shard-index function, exposed statically so other layers (the
+  /// fabric's worker-ownership partition) can derive the same pure
+  /// key → shard mapping without holding a ShardedCache.
+  [[nodiscard]] static std::size_t shard_index(trace::Key key,
+                                               std::size_t shard_count) noexcept;
+
   /// Index of the shard a key maps to (exposed for tests).
   [[nodiscard]] std::size_t shard_of(trace::Key key) const noexcept;
 

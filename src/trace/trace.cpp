@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <stdexcept>
 #include <string_view>
@@ -24,7 +25,11 @@ void Trace::sort_by_time() {
 }
 
 // Splits `line` on whitespace and parses exactly three fields.
-// Returns false for blank/comment lines; throws for malformed ones.
+// Returns false for blank/comment lines (including whitespace-only lines
+// and a trailing line with no newline); throws for malformed ones —
+// including lines with trailing junk after the three fields, non-finite
+// times ("inf"/"nan" parse as valid doubles but poison every duration and
+// freshness computation downstream) and signed or non-numeric sizes.
 bool parse_trace_line(std::string_view line, std::size_t line_no, Request& out) {
   // Trim leading whitespace.
   const auto first = line.find_first_not_of(" \t\r");
@@ -45,9 +50,9 @@ bool parse_trace_line(std::string_view line, std::size_t line_no, Request& out) 
   const std::string_view f_time = take_field(rest);
   const std::string_view f_key = take_field(rest);
   const std::string_view f_size = take_field(rest);
-  if (f_time.empty() || f_key.empty() || f_size.empty()) {
+  if (f_time.empty() || f_key.empty() || f_size.empty() || !rest.empty()) {
     throw std::runtime_error("trace line " + std::to_string(line_no) +
-                             ": expected 'time key size'");
+                             ": expected exactly 'time key size'");
   }
 
   const auto parse_error = [line_no](std::string_view what) {
@@ -60,16 +65,20 @@ bool parse_trace_line(std::string_view line, std::size_t line_no, Request& out) 
       ec != std::errc{} || p != f_time.data() + f_time.size()) {
     parse_error("time");
   }
+  if (!std::isfinite(t)) parse_error("time (must be finite)");
   std::uint64_t key = 0;
   if (auto [p, ec] = std::from_chars(f_key.data(), f_key.data() + f_key.size(), key);
       ec != std::errc{} || p != f_key.data() + f_key.size()) {
     parse_error("key");
   }
+  // from_chars on an unsigned type already rejects a leading '-', so a
+  // negative size surfaces here rather than wrapping to a huge value.
   std::uint64_t size = 0;
   if (auto [p, ec] = std::from_chars(f_size.data(), f_size.data() + f_size.size(), size);
       ec != std::errc{} || p != f_size.data() + f_size.size()) {
     parse_error("size");
   }
+  if (size == 0) parse_error("size (must be > 0)");
   out = Request{t, key, size};
   return true;
 }

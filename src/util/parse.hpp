@@ -1,0 +1,59 @@
+// Checked numeric parsing for CLI flags and environment knobs.
+//
+// Bare std::stod/std::atoll scattered across front ends either throw
+// uncaught std::invalid_argument/std::out_of_range (stod) or silently
+// return 0 on garbage (atoll) — both turn a typo'd flag into a crash or a
+// wrong experiment. Every CLI/env numeric parse in the repository goes
+// through these helpers instead: the whole token must parse (no trailing
+// junk), doubles must be finite, and the throwing variants name the flag
+// or variable plus the offending token so the error is actionable.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace lhr::util {
+
+/// Parses the entire token as a finite double. std::nullopt on empty
+/// input, trailing junk, overflow, or a non-finite value ("inf"/"nan").
+[[nodiscard]] inline std::optional<double> parse_double(std::string_view text) {
+  double value = 0.0;
+  const char* end = text.data() + text.size();
+  const auto [p, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || p != end || !std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
+/// Parses the entire token as an unsigned 64-bit integer. std::nullopt on
+/// empty input, a sign, trailing junk, or overflow.
+[[nodiscard]] inline std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  std::uint64_t value = 0;
+  const char* end = text.data() + text.size();
+  const auto [p, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || p != end) return std::nullopt;
+  return value;
+}
+
+/// `parse_double` that throws std::invalid_argument naming the flag (or
+/// env var) and the offending token.
+[[nodiscard]] inline double require_double(std::string_view what, std::string_view text) {
+  if (const auto value = parse_double(text)) return *value;
+  throw std::invalid_argument(std::string(what) + ": invalid number '" +
+                              std::string(text) + "'");
+}
+
+/// `parse_u64` that throws std::invalid_argument naming the flag (or env
+/// var) and the offending token.
+[[nodiscard]] inline std::uint64_t require_u64(std::string_view what,
+                                               std::string_view text) {
+  if (const auto value = parse_u64(text)) return *value;
+  throw std::invalid_argument(std::string(what) + ": invalid unsigned integer '" +
+                              std::string(text) + "'");
+}
+
+}  // namespace lhr::util

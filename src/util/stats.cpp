@@ -71,7 +71,10 @@ void QuantileHistogram::merge(const QuantileHistogram& other) {
 
 double QuantileHistogram::quantile(double q) const noexcept {
   if (total_ == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
+  // NaN compares false against everything, so order the clamp to pin it to
+  // 0 (minimum estimate) instead of letting it fall through std::clamp
+  // (whose behaviour with a NaN value is unspecified).
+  q = q > 0.0 ? std::min(q, 1.0) : 0.0;
   const auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_)));
   std::uint64_t acc = 0;
   for (std::size_t b = 0; b < counts_.size(); ++b) {
@@ -88,7 +91,12 @@ void QuantileHistogram::reset() noexcept {
 }
 
 double exact_percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
+  if (values.empty()) {
+    throw std::invalid_argument("exact_percentile: empty sample");
+  }
+  if (std::isnan(q)) {
+    throw std::invalid_argument("exact_percentile: q is NaN");
+  }
   q = std::clamp(q, 0.0, 1.0);
   std::sort(values.begin(), values.end());
   const double raw = std::ceil(q * static_cast<double>(values.size())) - 1.0;

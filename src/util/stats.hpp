@@ -56,7 +56,11 @@ class QuantileHistogram {
   /// True when `other` shares this histogram's bucket layout (mergeable).
   [[nodiscard]] bool same_layout(const QuantileHistogram& other) const noexcept;
 
-  /// q in [0,1]; returns an upper-edge estimate of the q-quantile.
+  /// Upper-edge estimate of the q-quantile. Boundary contract (asserted by
+  /// util_test): an empty histogram returns 0.0 for every q; q <= 0 (and
+  /// NaN) returns the first non-empty bucket's upper edge (a minimum
+  /// estimate); q >= 1 returns the last non-empty bucket's upper edge (a
+  /// maximum estimate); q outside [0,1] is clamped.
   [[nodiscard]] double quantile(double q) const noexcept;
 
   [[nodiscard]] std::size_t count() const noexcept { return total_; }
@@ -76,7 +80,13 @@ class QuantileHistogram {
   double sum_ = 0.0;
 };
 
-/// Exact percentile of a sample (copies & sorts; for tests and small vectors).
+/// Exact percentile of a sample (copies & sorts; for tests and small
+/// vectors). Uses the same nearest-rank convention as
+/// QuantileHistogram::quantile (ceil(q*n)-th order statistic), so the two
+/// agree within the histogram's bucket resolution. Boundary contract:
+/// q <= 0 returns the minimum, q >= 1 the maximum (q is clamped into
+/// [0,1]); an empty sample or NaN q throws std::invalid_argument — there is
+/// no value to report, and silently returning 0 poisons downstream math.
 [[nodiscard]] double exact_percentile(std::vector<double> values, double q);
 
 }  // namespace lhr::util

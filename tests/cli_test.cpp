@@ -167,6 +167,83 @@ TEST(Cli, ServeThreadsRunIsDeterministicAcrossThreadCounts) {
   EXPECT_LE(one[0].metrics.hits, one[0].metrics.requests);
 }
 
+TEST(Cli, NumericErrorsNameFlagAndToken) {
+  // Every numeric flag goes through checked parsing: garbage must be
+  // rejected (not silently read as 0 by atoll) with an error naming the
+  // flag and the offending token.
+  const struct {
+    const char* flag;
+    const char* token;
+  } cases[] = {
+      {"--requests", "many"},      {"--seed", "0x2a"},
+      {"--warmup", "12.5"},        {"--train-threads", "two"},
+      {"--serve-threads", "4x"},   {"--capacity-gb", "12parsecs"},
+  };
+  for (const auto& c : cases) {
+    std::string error;
+    EXPECT_FALSE(parse({c.flag, c.token}, error).has_value()) << c.flag;
+    EXPECT_NE(error.find(c.flag), std::string::npos) << error;
+    EXPECT_NE(error.find(c.token), std::string::npos) << error;
+  }
+  // Previously-accepted-by-atoll garbage like "--seed banana" (=> 0) must
+  // now be an error, while real values still parse.
+  std::string error;
+  const auto ok = parse({"--seed", "123", "--warmup", "0"}, error);
+  ASSERT_TRUE(ok.has_value()) << error;
+  EXPECT_EQ(ok->seed, 123u);
+  EXPECT_EQ(ok->warmup, 0u);
+}
+
+TEST(Cli, ParsesFabricSpec) {
+  std::string error;
+  const auto options = parse(
+      {"--fabric", "edge=4xLHR@1;regional=2xLRU@8;shards=16;link-rtt-ms=4"}, error);
+  ASSERT_TRUE(options.has_value()) << error;
+  EXPECT_EQ(options->fabric, "edge=4xLHR@1;regional=2xLRU@8;shards=16;link-rtt-ms=4");
+  EXPECT_NE(cli_usage().find("--fabric"), std::string::npos);
+
+  // --origin-profile / --fault-schedule are valid with --fabric alone.
+  EXPECT_TRUE(parse({"--fabric", "edge=2xLRU", "--origin-profile", "fixed",
+                     "--fault-schedule", "outage:0-1"},
+                    error)
+                  .has_value())
+      << error;
+}
+
+TEST(Cli, RejectsMalformedFabricSpec) {
+  std::string error;
+  // Bad count token.
+  EXPECT_FALSE(parse({"--fabric", "edge=fourxLRU"}, error).has_value());
+  EXPECT_NE(error.find("four"), std::string::npos) << error;
+  // Clause without key=value shape.
+  EXPECT_FALSE(parse({"--fabric", "edge:4xLRU"}, error).has_value());
+  // Unknown clause key.
+  EXPECT_FALSE(parse({"--fabric", "edge=2xLRU;warp=9"}, error).has_value());
+  // Zero edge nodes.
+  EXPECT_FALSE(parse({"--fabric", "edge=0"}, error).has_value());
+  // Unknown tier policy is a parse-time error, not a mid-run throw.
+  EXPECT_FALSE(parse({"--fabric", "edge=2xNoSuchPolicy"}, error).has_value());
+  EXPECT_NE(error.find("NoSuchPolicy"), std::string::npos) << error;
+  // Non-positive capacity.
+  EXPECT_FALSE(parse({"--fabric", "edge=2xLRU@-1"}, error).has_value());
+}
+
+TEST(Cli, RunFabricReplaysAndConservesTraffic) {
+  CliOptions options;
+  options.fabric = "edge=3xLRU@0.05;regional=2xLRU@0.2;shards=8";
+  options.synthetic = "cdn-a";
+  options.requests = 5'000;
+  options.serve_threads = 2;
+  const auto report = run_fabric(options);
+  EXPECT_EQ(report.requests, 5'000u);
+  EXPECT_EQ(report.edge.nodes, 3u);
+  EXPECT_EQ(report.regional.nodes, 2u);
+  EXPECT_TRUE(report.traffic_conserved()) << report.conservation_error;
+  const auto text = format_fabric_report(report);
+  EXPECT_NE(text.find("edge"), std::string::npos);
+  EXPECT_NE(text.find("conservation: ok"), std::string::npos);
+}
+
 TEST(Cli, CsvFormatHasHeaderAndRows) {
   CliOptions options;
   options.policies = {"LRU"};

@@ -1,0 +1,277 @@
+// Multi-tier fabric tests: determinism across replay worker counts (with
+// and without active fault schedules on the inter-tier links), rendezvous
+// routing stability under node add/remove, the cross-tier
+// traffic-conservation invariant, and agreement of the merged end-to-end
+// latency quantiles with util::exact_percentile.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "policies/lru.hpp"
+#include "server/fabric.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace lhr::server {
+namespace {
+
+/// A deterministic skewed workload with full control over timestamps (so
+/// fault windows land where the test expects): 80% of requests draw from a
+/// hot set of 100 keys, the rest from a 5000-key tail; sizes 1-101 KiB.
+trace::Trace make_test_trace(std::size_t n, std::uint64_t seed,
+                             double duration_s = 1000.0) {
+  trace::Trace t;
+  util::Xoshiro256 rng(seed);
+  const double dt = duration_s / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool hot = rng.next_double() < 0.8;
+    const trace::Key key =
+        hot ? rng.next_below(100) : 100 + rng.next_below(5000);
+    const std::uint64_t size = 1024 + rng.next_below(100 * 1024);
+    t.push_back(trace::Request{static_cast<double>(i) * dt, key, size});
+  }
+  return t;
+}
+
+FabricConfig::PolicyFactory lru_factory() {
+  return [](std::uint64_t capacity) {
+    return std::make_unique<policy::Lru>(capacity);
+  };
+}
+
+/// 4-edge / 2-regional / 8-shard fabric with caches small enough that every
+/// tier sees real misses and evictions on the test trace.
+FabricConfig base_config() {
+  FabricConfig cfg;
+  cfg.edge_nodes = 4;
+  cfg.regional_nodes = 2;
+  cfg.shards_per_node = 8;
+  cfg.edge_capacity_bytes = 4ULL << 20;
+  cfg.regional_capacity_bytes = 16ULL << 20;
+  cfg.edge_policy = lru_factory();
+  cfg.regional_policy = lru_factory();
+  cfg.edge_server.ram_bytes = 1ULL << 20;
+  cfg.regional_server.ram_bytes = 1ULL << 20;
+  cfg.seed = 2027;
+  return cfg;
+}
+
+/// Replays a fresh fabric built from `cfg` (cache state persists across
+/// replay calls, so cross-thread-count comparisons need a clean build).
+FabricReport replay_fresh(const FabricConfig& cfg, const trace::Trace& t,
+                          std::size_t threads) {
+  CdnFabric fabric(cfg);
+  return fabric.replay(t, threads);
+}
+
+TEST(Fabric, ThreeTierByteIdenticalAcrossThreadCounts) {
+  const trace::Trace t = make_test_trace(20'000, 7);
+  const FabricConfig cfg = base_config();
+  const std::string baseline = replay_fresh(cfg, t, 1).canonical_summary();
+  EXPECT_NE(baseline.find("conservation: ok"), std::string::npos) << baseline;
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    const FabricReport r = replay_fresh(cfg, t, threads);
+    EXPECT_EQ(r.replay_threads, threads);
+    EXPECT_EQ(r.canonical_summary(), baseline) << "threads=" << threads;
+  }
+}
+
+TEST(Fabric, ByteIdenticalUnderActiveFaultSchedules) {
+  const trace::Trace t = make_test_trace(20'000, 11);
+  FabricConfig cfg = base_config();
+  // Regional -> origin link: lognormal latency, an outage, a flaky-error
+  // window and a slowdown, with timeouts + retries in play.
+  cfg.regional_server.origin_profile.kind = OriginLatencyKind::kLognormal;
+  cfg.regional_server.origin_profile.sigma = 0.5;
+  cfg.regional_server.fetch.timeout_s = 0.5;
+  cfg.regional_server.fetch.retry_budget = 2;
+  cfg.regional_server.fault_schedule =
+      FaultSchedule::parse("outage:100-200;error:300-600@0.5;slow:700-900@x4");
+  // Edge -> regional link: its own outage window plus retry policy.
+  cfg.link_fetch.timeout_s = 0.25;
+  cfg.link_fetch.retry_budget = 1;
+  cfg.link_faults = FaultSchedule::parse("outage:400-450");
+
+  const FabricReport baseline = replay_fresh(cfg, t, 1);
+  // The schedules must actually bite, or this test proves nothing.
+  EXPECT_GT(baseline.link_failures, 0u);
+  EXPECT_GT(baseline.edge.stale_serves + baseline.edge.failed_requests, 0u);
+  EXPECT_GT(baseline.regional.stale_serves + baseline.regional.failed_requests, 0u);
+  EXPECT_TRUE(baseline.traffic_conserved()) << baseline.conservation_error;
+
+  const std::string canonical = baseline.canonical_summary();
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    EXPECT_EQ(replay_fresh(cfg, t, threads).canonical_summary(), canonical)
+        << "threads=" << threads;
+  }
+}
+
+TEST(Fabric, TwoTierByteIdenticalAndConserving) {
+  const trace::Trace t = make_test_trace(15'000, 13);
+  FabricConfig cfg = base_config();
+  cfg.regional_nodes = 0;
+  cfg.regional_policy = nullptr;
+  // With no regional tier the edge's own origin machinery is the last hop;
+  // put a fault schedule on it to exercise the degenerate topology hard.
+  cfg.edge_server.fetch.timeout_s = 0.5;
+  cfg.edge_server.fetch.retry_budget = 1;
+  cfg.edge_server.fault_schedule = FaultSchedule::parse("error:200-500@0.5");
+
+  const FabricReport baseline = replay_fresh(cfg, t, 1);
+  EXPECT_EQ(baseline.regional.nodes, 0u);
+  EXPECT_EQ(baseline.regional.requests, 0u);
+  EXPECT_EQ(baseline.link_body_fetches, 0u);
+  EXPECT_EQ(baseline.regional_lookups, 0u);
+  EXPECT_GT(baseline.edge.retries, 0u);
+  EXPECT_TRUE(baseline.traffic_conserved()) << baseline.conservation_error;
+  // The edge tier faces the origin directly.
+  EXPECT_EQ(baseline.origin_body_fetches, baseline.edge.body_fetches);
+
+  const std::string canonical = baseline.canonical_summary();
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    EXPECT_EQ(replay_fresh(cfg, t, threads).canonical_summary(), canonical)
+        << "threads=" << threads;
+  }
+}
+
+TEST(Fabric, TrafficConservationLedgersBalance) {
+  const trace::Trace t = make_test_trace(20'000, 17);
+  const FabricReport r = replay_fresh(base_config(), t, 4);
+  ASSERT_TRUE(r.traffic_conserved()) << r.conservation_error;
+
+  // Spelled-out invariants (the acceptance criteria of the fabric):
+  // edge misses become exactly the link's body fetches...
+  EXPECT_EQ(r.edge.body_fetches,
+            r.edge.requests - r.edge.cache_hits + r.edge.refetches);
+  EXPECT_EQ(r.edge.body_fetches, r.link_body_fetches);
+  // ...which (fault-free) all become regional lookups...
+  EXPECT_EQ(r.link_failures, 0u);
+  EXPECT_EQ(r.link_body_fetches, r.regional.requests);
+  // ...and regional misses are the origin fetches attempted.
+  EXPECT_EQ(r.regional.body_fetches,
+            r.regional.requests - r.regional.cache_hits + r.regional.refetches);
+  EXPECT_EQ(r.regional.body_fetches, r.origin_body_fetches);
+  // Bytes the edges pulled are bytes the regional tier served.
+  EXPECT_EQ(r.edge.upstream_bytes, r.regional.bytes_served);
+  // Every request produced exactly one end-to-end latency sample, and every
+  // request was routed to some edge node.
+  EXPECT_EQ(r.e2e_latency.count(), r.requests);
+  std::uint64_t routed = 0;
+  for (const std::uint64_t n : r.edge.node_requests) {
+    EXPECT_GT(n, 0u);  // HRW should not starve any of 4 nodes on 20k reqs
+    routed += n;
+  }
+  EXPECT_EQ(routed, r.requests);
+}
+
+TEST(Fabric, RendezvousRoutingIsStableUnderNodeAddRemove) {
+  FabricConfig cfg4 = base_config();
+  FabricConfig cfg5 = base_config();
+  FabricConfig cfg3 = base_config();
+  cfg5.edge_nodes = 5;
+  cfg3.edge_nodes = 3;
+  const CdnFabric f4(cfg4);
+  const CdnFabric f5(cfg5);
+  const CdnFabric f3(cfg3);
+
+  constexpr std::size_t kKeys = 20'000;
+  std::size_t moved_on_add = 0;
+  std::size_t moved_on_remove = 0;
+  for (trace::Key key = 0; key < kKeys; ++key) {
+    const std::size_t e4 = f4.edge_of(key);
+    const std::size_t e5 = f5.edge_of(key);
+    if (e4 != e5) {
+      // Adding a node may only pull keys onto the NEW node.
+      EXPECT_EQ(e5, 4u) << "key " << key << " moved " << e4 << "->" << e5;
+      ++moved_on_add;
+    }
+    const std::size_t e3 = f3.edge_of(key);
+    if (e3 != e4) {
+      // Removing the last node may only move keys that LIVED on it.
+      EXPECT_EQ(e4, 3u) << "key " << key << " moved " << e4 << "->" << e3;
+      ++moved_on_remove;
+    }
+  }
+  // HRW moves ~1/5 of keys on add (4 -> 5 nodes), ~1/4 on remove (4 -> 3).
+  EXPECT_NEAR(static_cast<double>(moved_on_add) / kKeys, 0.2, 0.05);
+  EXPECT_NEAR(static_cast<double>(moved_on_remove) / kKeys, 0.25, 0.05);
+}
+
+TEST(Fabric, E2eQuantilesAgreeWithExactPercentile) {
+  const trace::Trace t = make_test_trace(10'000, 19);
+  CdnFabric fabric(base_config());
+  std::vector<double> latencies;
+  latencies.reserve(t.size());
+  const FabricReport r = fabric.replay(
+      t, 1, [&latencies](const trace::Request&, double latency_s) {
+        latencies.push_back(latency_s);
+      });
+  ASSERT_EQ(latencies.size(), r.requests);
+  // The merged log-bucketed histogram agrees with the exact nearest-rank
+  // percentile within one bucket's relative error (~2% at 128/decade; 6%
+  // leaves margin at distribution knees).
+  for (const double q : {0.50, 0.90, 0.99}) {
+    const double exact = util::exact_percentile(latencies, q);
+    const double approx = r.e2e_latency.quantile(q);
+    EXPECT_NEAR(approx / exact, 1.0, 0.06) << "q=" << q;
+  }
+  EXPECT_NEAR(r.e2e_p50_ms, util::exact_percentile(latencies, 0.5) * 1e3,
+              0.06 * r.e2e_p50_ms);
+  EXPECT_NEAR(r.e2e_p99_ms, util::exact_percentile(latencies, 0.99) * 1e3,
+              0.06 * r.e2e_p99_ms);
+}
+
+TEST(Fabric, SpecParserRoundTrips) {
+  const FabricSpec spec = parse_fabric_spec(
+      "edge=4xLHR@1;regional=2xLRU@8;shards=32;link-rtt-ms=2.5;link-gbps=25");
+  EXPECT_EQ(spec.edge.nodes, 4u);
+  EXPECT_EQ(spec.edge.policy, "LHR");
+  EXPECT_DOUBLE_EQ(spec.edge.capacity_gb, 1.0);
+  EXPECT_EQ(spec.regional.nodes, 2u);
+  EXPECT_EQ(spec.regional.policy, "LRU");
+  EXPECT_DOUBLE_EQ(spec.regional.capacity_gb, 8.0);
+  EXPECT_EQ(spec.shards, 32u);
+  EXPECT_DOUBLE_EQ(spec.link_rtt_ms, 2.5);
+  EXPECT_DOUBLE_EQ(spec.link_gbps, 25.0);
+
+  // Defaults survive a partial spec; regional=0 selects two-tier.
+  const FabricSpec partial = parse_fabric_spec("edge=2xFIFO;regional=0");
+  EXPECT_EQ(partial.edge.nodes, 2u);
+  EXPECT_EQ(partial.edge.policy, "FIFO");
+  EXPECT_EQ(partial.regional.nodes, 0u);
+  EXPECT_EQ(partial.shards, 16u);
+
+  // An empty spec is the default topology, not an error.
+  const FabricSpec dflt = parse_fabric_spec("");
+  EXPECT_EQ(dflt.edge.nodes, 4u);
+  EXPECT_EQ(dflt.edge.policy, "LHR");
+
+  EXPECT_THROW(parse_fabric_spec("edge=0"), std::invalid_argument);
+  EXPECT_THROW(parse_fabric_spec("edge=2xLRU;shards=0"), std::invalid_argument);
+  EXPECT_THROW(parse_fabric_spec("edge=2xLRU@0"), std::invalid_argument);
+  EXPECT_THROW(parse_fabric_spec("edge=2xLRU;link-gbps=-1"), std::invalid_argument);
+  EXPECT_THROW(parse_fabric_spec("bogus"), std::invalid_argument);
+}
+
+TEST(Fabric, ConstructorValidatesConfig) {
+  FabricConfig cfg = base_config();
+  cfg.edge_policy = nullptr;
+  EXPECT_THROW(CdnFabric{cfg}, std::invalid_argument);
+  cfg = base_config();
+  cfg.edge_nodes = 0;
+  EXPECT_THROW(CdnFabric{cfg}, std::invalid_argument);
+  cfg = base_config();
+  cfg.shards_per_node = 0;
+  EXPECT_THROW(CdnFabric{cfg}, std::invalid_argument);
+  cfg = base_config();
+  cfg.regional_policy = nullptr;  // required only because regional_nodes > 0
+  EXPECT_THROW(CdnFabric{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lhr::server

@@ -86,6 +86,64 @@ TEST_F(TraceIoTest, ThrowsOnMissingFile) {
   EXPECT_THROW(read_trace_file("/nonexistent/definitely/missing"), std::runtime_error);
 }
 
+TEST_F(TraceIoTest, FinalLineWithoutNewlineIsNotTruncated) {
+  std::ofstream out(path_);
+  out << "1.0 7 100\n2.0 8 200";  // no trailing newline
+  out.close();
+  const Trace t = read_trace_file(path_);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[1].key, 8u);
+  EXPECT_EQ(t[1].size, 200u);
+}
+
+TEST_F(TraceIoTest, TrailingBlankLinesProduceNoPhantomRequests) {
+  std::ofstream out(path_);
+  out << "1.0 7 100\n\n   \n\t\r\n\n";  // trailing empty/whitespace-only lines
+  out.close();
+  const Trace t = read_trace_file(path_);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].key, 7u);
+}
+
+TEST_F(TraceIoTest, RejectsTrailingJunkOnLine) {
+  std::ofstream out(path_);
+  out << "1.0 7 100 extra\n";  // four fields where three are expected
+  out.close();
+  EXPECT_THROW(read_trace_file(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, RejectsNonFiniteTime) {
+  for (const char* bad : {"inf 7 100\n", "nan 7 100\n", "-inf 7 100\n"}) {
+    std::ofstream out(path_);
+    out << bad;
+    out.close();
+    EXPECT_THROW(read_trace_file(path_), std::runtime_error) << bad;
+  }
+}
+
+TEST_F(TraceIoTest, RejectsNegativeAndZeroSize) {
+  for (const char* bad : {"1.0 7 -100\n", "1.0 7 0\n"}) {
+    std::ofstream out(path_);
+    out << bad;
+    out.close();
+    EXPECT_THROW(read_trace_file(path_), std::runtime_error) << bad;
+  }
+}
+
+TEST_F(TraceIoTest, ErrorNamesPathAndLine) {
+  std::ofstream out(path_);
+  out << "1.0 7 100\n2.0 8 -5\n";
+  out.close();
+  try {
+    (void)read_trace_file(path_);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path_), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+}
+
 // ----------------------------------------------------------- TraceStats
 
 TEST(TraceStats, SummaryColumnsOnHandBuiltTrace) {

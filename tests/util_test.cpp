@@ -15,6 +15,7 @@
 #include "util/flat_hash_map.hpp"
 #include "util/hash.hpp"
 #include "util/least_squares.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -302,11 +303,105 @@ TEST(QuantileHistogram, MergeRejectsMismatchedLayout) {
 }
 
 TEST(ExactPercentile, EdgeCases) {
-  EXPECT_EQ(exact_percentile({}, 0.5), 0.0);
   EXPECT_EQ(exact_percentile({5.0}, 0.0), 5.0);
   EXPECT_EQ(exact_percentile({5.0}, 1.0), 5.0);
   EXPECT_EQ(exact_percentile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.0);
   EXPECT_EQ(exact_percentile({1.0, 2.0, 3.0, 4.0}, 1.0), 4.0);
+}
+
+TEST(ExactPercentile, BoundaryContract) {
+  // An empty sample has no value to report: returning 0 silently poisons
+  // downstream math, so the contract is to throw.
+  EXPECT_THROW((void)exact_percentile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)exact_percentile({}, 0.0), std::invalid_argument);
+  // NaN q is a caller bug, not a clampable input.
+  EXPECT_THROW((void)exact_percentile({1.0, 2.0}, std::nan("")),
+               std::invalid_argument);
+  // q outside [0, 1] clamps to min/max.
+  EXPECT_EQ(exact_percentile({1.0, 2.0, 3.0}, -0.5), 1.0);
+  EXPECT_EQ(exact_percentile({1.0, 2.0, 3.0}, 2.0), 3.0);
+}
+
+TEST(QuantileHistogram, BoundaryContract) {
+  QuantileHistogram empty(1e-3, 1e3, 128);
+  // Empty histogram: every quantile is the documented 0.0 (count() tells
+  // callers whether that is a real value).
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_EQ(empty.quantile(1.0), 0.0);
+
+  QuantileHistogram hist(1e-3, 1e3, 128);
+  hist.add(0.01);
+  hist.add(1.0);
+  hist.add(100.0);
+  // q <= 0 (and NaN, which fails every comparison and pins to 0) is a
+  // minimum estimate: the first non-empty bucket's upper edge. q >= 1 is a
+  // maximum estimate: the last non-empty bucket's upper edge. Both are
+  // within one bucket's relative error of the true extremes.
+  const double rel = 0.06;  // > one bucket step at 128 buckets/decade
+  EXPECT_NEAR(hist.quantile(0.0), 0.01, 0.01 * rel);
+  EXPECT_NEAR(hist.quantile(-1.0), 0.01, 0.01 * rel);
+  EXPECT_NEAR(hist.quantile(std::nan("")), 0.01, 0.01 * rel);
+  EXPECT_NEAR(hist.quantile(1.0), 100.0, 100.0 * rel);
+  EXPECT_NEAR(hist.quantile(5.0), 100.0, 100.0 * rel);
+  EXPECT_GE(hist.quantile(0.0), 0.01);
+  EXPECT_GE(hist.quantile(1.0), 100.0);
+}
+
+// -------------------------------------------------------------- Parse
+
+TEST(Parse, DoubleAcceptsWholeFiniteTokens) {
+  EXPECT_EQ(parse_double("1.5"), 1.5);
+  EXPECT_EQ(parse_double("-0.25"), -0.25);
+  EXPECT_EQ(parse_double("1e3"), 1000.0);
+  EXPECT_EQ(parse_double("0"), 0.0);
+}
+
+TEST(Parse, DoubleRejectsJunkAndNonFinite) {
+  EXPECT_FALSE(parse_double(""));
+  EXPECT_FALSE(parse_double("abc"));
+  EXPECT_FALSE(parse_double("1.5x"));   // trailing junk
+  EXPECT_FALSE(parse_double("1.5 "));   // whole token must parse
+  EXPECT_FALSE(parse_double("inf"));
+  EXPECT_FALSE(parse_double("nan"));
+  EXPECT_FALSE(parse_double("1e999"));  // overflow
+}
+
+TEST(Parse, U64AcceptsWholeUnsignedTokens) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("123456789"), 123456789u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), 18446744073709551615ull);
+}
+
+TEST(Parse, U64RejectsJunkSignsAndOverflow) {
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64("abc"));
+  EXPECT_FALSE(parse_u64("-1"));
+  EXPECT_FALSE(parse_u64("+1"));
+  EXPECT_FALSE(parse_u64("12x"));
+  EXPECT_FALSE(parse_u64("18446744073709551616"));  // 2^64
+}
+
+TEST(Parse, RequireHelpersNameFlagAndToken) {
+  // The thrown message must carry both the flag name and the offending
+  // token so a typo'd CLI invocation is diagnosable from the error alone.
+  try {
+    (void)require_double("--capacity-gb", "12parsecs");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--capacity-gb"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("12parsecs"), std::string::npos);
+  }
+  try {
+    (void)require_u64("LHR_BENCH_REQUESTS", "many");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("LHR_BENCH_REQUESTS"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("many"), std::string::npos);
+  }
+  EXPECT_EQ(require_double("--x", "2.5"), 2.5);
+  EXPECT_EQ(require_u64("--y", "42"), 42u);
 }
 
 // -------------------------------------------------------- LeastSquares
