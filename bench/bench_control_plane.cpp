@@ -1,0 +1,232 @@
+// Shadow-rollout control plane: promote/rollback timeline on a drift trace,
+// plus the determinism audit the subsystem promises.
+//
+// The scenario is the one the control plane exists for: a cdn-a trace whose
+// tail injects prediction drift (gen/drift.hpp) — a one-hit-wonder flood
+// that a model trained on the stable prefix badly mispredicts. LHR runs
+// with detection disabled (N-LHR-style: every window retrains) and every
+// retrained candidate is routed through the shadow rollout:
+//
+//   * stable prefix: candidates agree with the incumbent -> auto-promotions;
+//   * drift window:  candidates trained on flood data disagree with the
+//                    stable incumbent -> rollbacks, while the RobustGuard
+//                    sees live |p - label| drift and degrades the cache to
+//                    plain LRU until predictions recover.
+//
+// Before the timeline, the harness replays the identical configuration at
+// 1/2/4/8 workers and compares ControlPlaneReport::canonical() byte-for-
+// byte — per-shard cells with private RNG streams make every promotion
+// decision a pure function of the shard substream, so the counters must be
+// identical at any worker count. CI greps both verdict lines.
+//
+// Pinned defaults (deliberately independent of LHR_BENCH_REQUESTS so the
+// promote/rollback timeline is reproducible); knobs for exploration:
+//   LHR_CP_REQUESTS  trace length            (default 300000)
+//   LHR_CP_SHARDS    ShardedCache shards     (default 8)
+//   LHR_CP_DRIFT     drift schedule spec     (default onehit flood, see below)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/lhr_cache.hpp"
+#include "gen/drift.hpp"
+#include "server/control_plane.hpp"
+
+namespace {
+
+using namespace lhr;
+
+constexpr std::uint64_t kSeed = 7;
+constexpr std::size_t kTimelineSegments = 8;
+
+std::size_t cp_requests() {
+  if (const char* env = std::getenv("LHR_CP_REQUESTS")) {
+    const std::uint64_t value = util::require_u64("LHR_CP_REQUESTS", env);
+    if (value >= 1) return static_cast<std::size_t>(value);
+  }
+  return 300'000;
+}
+
+std::size_t cp_shards() {
+  if (const char* env = std::getenv("LHR_CP_SHARDS")) {
+    const std::uint64_t value = util::require_u64("LHR_CP_SHARDS", env);
+    if (value >= 1) return static_cast<std::size_t>(value);
+  }
+  return 8;
+}
+
+std::string drift_spec() {
+  const char* env = std::getenv("LHR_CP_DRIFT");
+  // A flash crowd of never-reused keys over the middle of the trace: the
+  // stable-prefix model admits them (cold features looked promising in the
+  // stable regime), HRO labels them misses — prediction drift without
+  // touching the popularity law.
+  return env != nullptr && *env != '\0' ? env : "remap:0.40-0.68@1.0;onehit:0.72-0.88@0.9";
+}
+
+/// The pinned control-plane cell configuration (shared by every shard).
+/// The divergence/guard thresholds are calibrated to this trace family: the
+/// GBDT is near-perfect on the synthetic classes (stable-phase score
+/// divergence <= 0.03, |p - label| window means ~0.01), so drift shows up as
+/// a 2-5x excursion over a small baseline, not an absolute blowout.
+server::ControlPlaneConfig cell_config() {
+  server::ControlPlaneConfig cp;
+  cp.enabled = true;
+  cp.sample_fraction = 0.5;
+  cp.window = 192;
+  cp.min_agreement = 0.90;
+  cp.max_divergence = 0.045;
+  cp.min_hit_delta = -0.02;
+  cp.robust_guard = true;
+  cp.guard_window = 512;
+  cp.guard_divergence = 0.04;
+  cp.guard_rearm = 0.02;
+  cp.autotune = true;
+  cp.p99_budget_ms = 50.0;
+  cp.autotune_step = 0.02;
+  cp.max_threshold_bias = 0.10;
+  cp.latency_window = 4096;
+  cp.min_window = 48;
+  return cp;
+}
+
+core::LhrConfig lhr_config() {
+  core::LhrConfig config;
+  // Retrain every window (N-LHR style): the drift episodes fold popularity
+  // structure, not the Zipf slope, so α-detection would never fire — and a
+  // control plane with no candidates has nothing to decide.
+  config.enable_detection = false;
+  config.control_plane = cell_config();
+  return config;
+}
+
+std::unique_ptr<server::CdnServer> make_server(std::uint64_t capacity,
+                                               std::size_t shards) {
+  auto backend = std::make_unique<server::ShardedCache>(
+      shards, capacity,
+      [](std::uint64_t cap) {
+        return std::make_unique<core::LhrCache>(cap, lhr_config());
+      });
+  server::ServerConfig cfg;
+  cfg.ram_bytes = std::max<std::uint64_t>(capacity / 100, 1ULL << 20);
+  cfg.seed = kSeed;
+  // Latency must be a pure function of the trace so the autotuner's epoch
+  // decisions (fed by served latency) are deterministic per shard.
+  cfg.measured_lookup_cpu = false;
+  return std::make_unique<server::CdnServer>(std::move(backend), cfg);
+}
+
+trace::Trace segment(const trace::Trace& full, std::size_t seg, std::size_t n_segs) {
+  const std::size_t begin = full.size() * seg / n_segs;
+  const std::size_t end = full.size() * (seg + 1) / n_segs;
+  std::vector<trace::Request> out;
+  out.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) out.push_back(full[i]);
+  return trace::Trace(std::move(out));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Control plane: shadow rollout promote/rollback timeline on a drift trace");
+
+  const std::size_t n = cp_requests();
+  const std::size_t shards = cp_shards();
+  const std::uint64_t capacity = gen::headline_cache_size(
+      gen::TraceClass::kCdnA, static_cast<double>(n) / 1e6);
+  std::printf("trace: cdn-a x %zu requests, drift '%s', %zu shards, %.1f MB cache\n",
+              n, drift_spec().c_str(), shards,
+              static_cast<double>(capacity) / 1e6);
+
+  const gen::DriftSchedule schedule = gen::DriftSchedule::parse(drift_spec());
+  const trace::Trace drifted =
+      gen::apply_drift(gen::make_trace(gen::TraceClass::kCdnA, n, kSeed),
+                       schedule, kSeed);
+
+  // ---- determinism audit: identical counters at every worker count ------
+  std::string canon1;
+  server::ServerReport base_report;
+  bool identical = true;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    auto server = make_server(capacity, shards);
+    const server::ServerReport report =
+        server->replay_concurrent(drifted, server::ReplayMode::kNormal, threads);
+    if (threads == 1) {
+      canon1 = report.control_plane.canonical();
+      base_report = report;
+    } else {
+      identical = identical && report.control_plane.canonical() == canon1;
+    }
+  }
+  std::printf(
+      "control-plane determinism: counters identical across 1/2/4/8 threads: %s\n",
+      identical ? "yes" : "NO");
+  std::printf("canonical: %s\n", canon1.c_str());
+
+  // ---- promote/rollback timeline (single worker, cumulative counters) ---
+  auto server = make_server(capacity, shards);
+  bench::print_row({"Segment", "Promote", "Rollback", "Staged", "GuardOn",
+                    "Guarded", "Epochs", "Raises", "Hit%"},
+                   10);
+  std::vector<runner::Result> results;
+  server::ServerReport last;
+  for (std::size_t seg = 0; seg < kTimelineSegments; ++seg) {
+    const trace::Trace part = segment(drifted, seg, kTimelineSegments);
+    last = server->replay_concurrent(part, server::ReplayMode::kNormal, 1);
+    const server::ControlPlaneCounters& c = last.control_plane.counters;
+    bench::print_row(
+        {std::to_string(seg + 1) + "/" + std::to_string(kTimelineSegments),
+         std::to_string(c.promotions), std::to_string(c.rollbacks),
+         std::to_string(c.candidates_staged), std::to_string(c.guard_engagements),
+         std::to_string(c.guarded_requests), std::to_string(c.autotune_epochs),
+         std::to_string(c.threshold_raises), bench::fmt(last.content_hit_pct, 2)},
+        10);
+
+    runner::Result r;
+    r.label = "control_plane/timeline/seg=" + std::to_string(seg + 1);
+    r.policy = "LHR+CP";
+    r.trace = "cdn-a+drift";
+    r.set("segment", static_cast<double>(seg + 1));
+    r.set("promotions", static_cast<double>(c.promotions));
+    r.set("rollbacks", static_cast<double>(c.rollbacks));
+    r.set("candidates_staged", static_cast<double>(c.candidates_staged));
+    r.set("guard_engagements", static_cast<double>(c.guard_engagements));
+    r.set("guarded_requests", static_cast<double>(c.guarded_requests));
+    r.set("autotune_epochs", static_cast<double>(c.autotune_epochs));
+    r.set("threshold_raises", static_cast<double>(c.threshold_raises));
+    r.set("hit_pct", last.content_hit_pct);
+    results.push_back(std::move(r));
+  }
+
+  const server::ControlPlaneCounters& final_counters = last.control_plane.counters;
+  runner::Result summary;
+  summary.label = "control_plane/summary";
+  summary.policy = "LHR+CP";
+  summary.trace = "cdn-a+drift";
+  summary.set("promotions", static_cast<double>(final_counters.promotions));
+  summary.set("rollbacks", static_cast<double>(final_counters.rollbacks));
+  summary.set("guard_engagements",
+              static_cast<double>(final_counters.guard_engagements));
+  summary.set("guard_disengagements",
+              static_cast<double>(final_counters.guard_disengagements));
+  summary.set("shadow_samples", static_cast<double>(final_counters.shadow_samples));
+  summary.set("deterministic", identical ? 1.0 : 0.0);
+  results.push_back(std::move(summary));
+  runner::append_jsonl_if_configured(results);
+
+  // The acceptance gate: at least one auto-promotion AND one rollback on
+  // the drift trace, with counters identical at every worker count.
+  const bool ok = identical && final_counters.promotions >= 1 &&
+                  final_counters.rollbacks >= 1;
+  std::printf(
+      "control-plane rollout: promotions=%llu rollbacks=%llu guard_engagements=%llu "
+      "guarded=%llu verdict: %s\n",
+      static_cast<unsigned long long>(final_counters.promotions),
+      static_cast<unsigned long long>(final_counters.rollbacks),
+      static_cast<unsigned long long>(final_counters.guard_engagements),
+      static_cast<unsigned long long>(final_counters.guarded_requests),
+      ok ? "ok" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -23,12 +23,15 @@ void inspect_training(const lhr::sim::CachePolicy& policy, lhr::runner::Result& 
   // the job's own worker thread; joining the background trainer (so the
   // final window's train lands in the numbers) is safe despite the cast.
   const_cast<lhr::core::LhrCache*>(lhr_cache)->drain_training();
-  r.set("trainings", static_cast<double>(lhr_cache->trainings()));
-  r.set("train_foreground_seconds", lhr_cache->training_seconds());
-  r.set("train_background_seconds", lhr_cache->background_train_seconds());
-  r.set("model_swaps", static_cast<double>(lhr_cache->model_swaps()));
-  r.set("stale_requests", static_cast<double>(lhr_cache->stale_requests()));
-  r.set("deferred_trainings", static_cast<double>(lhr_cache->deferred_trainings()));
+  // One consistent snapshot (single trainer-lock acquisition) instead of
+  // per-accessor reads that a finishing fit could interleave.
+  const auto stats = lhr_cache->training_stats();
+  r.set("trainings", static_cast<double>(stats.trainings));
+  r.set("train_foreground_seconds", stats.foreground_seconds);
+  r.set("train_background_seconds", stats.background_seconds);
+  r.set("model_swaps", static_cast<double>(stats.model_swaps));
+  r.set("stale_requests", static_cast<double>(stats.stale_requests));
+  r.set("deferred_trainings", static_cast<double>(stats.deferred_trainings));
 }
 
 }  // namespace

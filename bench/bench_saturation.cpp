@@ -202,6 +202,15 @@ int main() {
     } else {
       std::printf("%s knee: not reached in this sweep\n", policy.c_str());
     }
+    // One summary row per policy so tools/bench_compare can track the knee
+    // (0 = not reached) without re-deriving it from the per-rate rows.
+    runner::Result knee;
+    knee.label = "saturation/" + policy + "/" + gen::to_string(c) + "/knee";
+    knee.policy = policy;
+    knee.trace = gen::to_string(c);
+    knee.set("knee_rps", knee_rps);
+    knee.set("serve_threads", static_cast<double>(workers));
+    all_results.push_back(std::move(knee));
   }
 
   runner::append_jsonl_if_configured(all_results);

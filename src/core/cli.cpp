@@ -121,6 +121,10 @@ std::string cli_usage() {
       "                       'outage:100-160;error:200-400@0.5;slow:500-800@x4'\n"
       "                       (requires --serve-threads or --fabric; applies to the\n"
       "                       origin-facing link of a fabric)\n"
+      "  --control-plane S    LHR family: shadow-rollout control plane; 'on', 'off'\n"
+      "                       or 'sample=0.5,window=512,agree=0.9,div=0.2,p99=2.5'\n"
+      "                       (see server::parse_control_plane; env: LHR_SHADOW,\n"
+      "                       LHR_SHADOW_SAMPLE/WINDOW/AGREE/DIV/GUARD/REARM/P99)\n"
       "  --fabric SPEC        replay a multi-tier edge -> regional -> origin fabric,\n"
       "                       e.g. 'edge=4xLHR@1;regional=2xLRU@8;shards=16;\n"
       "                       link-rtt-ms=4;link-gbps=40'; regional=0 selects the\n"
@@ -247,6 +251,10 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
       const char* v = need_value(i, arg);
       if (!v) return std::nullopt;
       options.fault_schedule = v;
+    } else if (arg == "--control-plane") {
+      const char* v = need_value(i, arg);
+      if (!v) return std::nullopt;
+      options.control_plane = v;
     } else if (arg == "--async-train") {
       options.async_train = true;
     } else {
@@ -290,6 +298,14 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
       return std::nullopt;
     }
   }
+  if (!options.control_plane.empty()) {
+    try {
+      (void)server::parse_control_plane(options.control_plane);
+    } catch (const std::exception& e) {
+      error = e.what();
+      return std::nullopt;
+    }
+  }
   if (!options.fabric.empty()) {
     try {
       const server::FabricSpec spec = server::parse_fabric_spec(options.fabric);
@@ -324,6 +340,7 @@ std::vector<CliRunResult> run_cli(const CliOptions& options) {
   PolicyTuning tuning;
   tuning.lhr_train_threads = options.train_threads;
   if (options.async_train) tuning.lhr_async_train = 1;
+  tuning.control_plane_spec = options.control_plane;
 
   std::vector<CliRunResult> results;
   for (const auto& policy_name : options.policies) {
@@ -356,6 +373,7 @@ server::FabricReport run_fabric(const CliOptions& options) {
   PolicyTuning tuning;
   tuning.lhr_train_threads = options.train_threads;
   if (options.async_train) tuning.lhr_async_train = 1;
+  tuning.control_plane_spec = options.control_plane;
 
   const server::FabricSpec spec = server::parse_fabric_spec(options.fabric);
   server::FabricConfig cfg = make_fabric_config(spec, tuning);

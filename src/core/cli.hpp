@@ -51,6 +51,11 @@ struct CliOptions {
   /// worker count (default 1); --policy/--capacity-gb are ignored (the
   /// spec carries per-tier policies and capacities).
   std::string fabric;
+  /// --control-plane SPEC: shadow-rollout control plane for the LHR-family
+  /// policies, e.g. "on" or "sample=0.5,window=512,agree=0.9,p99=2.5" (see
+  /// server::parse_control_plane). Also settable via LHR_SHADOW /
+  /// LHR_SHADOW_* environment knobs; the flag wins.
+  std::string control_plane;
 };
 
 /// Parses argv. Returns std::nullopt and fills `error` on bad input;

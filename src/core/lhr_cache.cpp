@@ -27,6 +27,13 @@ LhrCache::LhrCache(std::uint64_t capacity_bytes, const LhrConfig& config)
   if (!config_.train_synchronously) {
     trainer_ = std::make_unique<ml::AsyncTrainer>(config_.gbdt.n_threads);
   }
+  if (config_.control_plane.enabled) {
+    // Fold the cache seed into the cell's stream so per-shard caches (which
+    // already get distinct seeds) get distinct sampling streams too.
+    server::ControlPlaneConfig cell = config_.control_plane;
+    cell.seed ^= config_.seed * 0x9e3779b97f4a7c15ULL;
+    control_ = std::make_unique<server::ControlPlane>(cell);
+  }
   train_x_.n_features = extractor_.dim();
   feature_buf_.resize(extractor_.dim());
   candidate_thresholds_ = {0.0, 0.5, threshold_ - config_.threshold_step,
@@ -41,7 +48,64 @@ std::string LhrCache::name() const {
   } else if (!config_.enable_threshold_estimation) {
     base = "D-LHR";
   }
-  return config_.train_synchronously ? base : base + "-Async";
+  if (!config_.train_synchronously) base += "-Async";
+  if (control_) base += "+CP";
+  return base;
+}
+
+double LhrCache::effective_threshold() const noexcept {
+  const double bias = control_ ? control_->threshold_bias() : 0.0;
+  return std::clamp(threshold_ + bias, 0.0, 1.0);
+}
+
+void LhrCache::install_model(std::shared_ptr<const ml::CompiledModel> fresh,
+                             bool count_swap) {
+  // The bootstrap model (nothing live yet) always adopts directly: there is
+  // no incumbent to shadow against, and admit-all is strictly worse than any
+  // trained model.
+  if (control_ && model_) {
+    control_->stage(std::move(fresh));
+    shadow_last_.clear();  // fresh candidate, fresh would-hit history
+    return;
+  }
+  model_ = std::move(fresh);
+  if (count_swap) model_swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LhrCache::mirror_shadow(const trace::Request& r, double live_p) {
+  const double delta = effective_threshold();
+  const double shadow_p = control_->candidate()->forest.probability(feature_buf_);
+
+  // Would-hit replay of the key's previous mirrored visit (§5.2.3 footprint
+  // estimator, applied to both models' scores as of that visit).
+  bool have_prior = false;
+  bool prior_live_hit = false;
+  bool prior_shadow_hit = false;
+  const auto prev = shadow_last_.find(r.key);
+  if (prev != shadow_last_.end()) {
+    have_prior = true;
+    const double footprint = bytes_marker_ - prev->second.bytes_marker;
+    const bool would_fit = footprint <= static_cast<double>(capacity_bytes());
+    prior_live_hit = would_fit && prev->second.live_p >= delta;
+    prior_shadow_hit = would_fit && prev->second.shadow_p >= delta;
+    prev->second = ShadowSeen{static_cast<float>(live_p),
+                              static_cast<float>(shadow_p), bytes_marker_};
+  } else {
+    shadow_last_.emplace(r.key,
+                         ShadowSeen{static_cast<float>(live_p),
+                                    static_cast<float>(shadow_p), bytes_marker_});
+  }
+
+  const auto verdict =
+      control_->record_shadow(live_p, shadow_p, live_p >= delta, shadow_p >= delta,
+                              have_prior, prior_live_hit, prior_shadow_hit);
+  if (verdict == server::ControlPlane::Verdict::kPromote) {
+    model_ = control_->take_candidate();
+    model_swaps_.fetch_add(1, std::memory_order_relaxed);
+    shadow_last_.clear();
+  } else if (verdict == server::ControlPlane::Verdict::kRollback) {
+    shadow_last_.clear();  // candidate already dropped by the cell
+  }
 }
 
 double LhrCache::predict_probability(std::span<const float> features) const {
@@ -54,8 +118,7 @@ double LhrCache::predict_probability(std::span<const float> features) const {
 
 void LhrCache::adopt_finished_model() {
   if (auto fresh = trainer_->collect()) {
-    model_ = std::move(fresh);
-    ++model_swaps_;
+    install_model(std::move(fresh), /*count_swap=*/true);
   }
 }
 
@@ -66,7 +129,9 @@ bool LhrCache::access(const trace::Request& r) {
   // retrain — no request ever blocks on Gbdt::fit.
   if (trainer_) {
     if (trainer_->result_ready()) adopt_finished_model();
-    if (trainer_->busy()) ++stale_requests_;  // serving on the old model
+    if (trainer_->busy()) {
+      stale_requests_.fetch_add(1, std::memory_order_relaxed);  // old model serving
+    }
   }
 
   bytes_marker_ += static_cast<double>(r.size);
@@ -118,19 +183,34 @@ bool LhrCache::access(const trace::Request& r) {
   if (config_.enable_threshold_estimation) update_estimation_counters(r, p);
   extractor_.record(r);
 
-  // 4. The four cases of §4.1.
+  // Control plane: feed the drift monitor (|p - label| against the HRO
+  // oracle — §7.5's model-error gap, measured online), then mirror a
+  // sampled fraction of requests through any staged candidate.
+  if (control_ && model_) {
+    control_->record_drift(std::abs(p - (hro.hit ? 1.0 : 0.0)));
+    if (control_->has_candidate() && control_->sample_shadow()) {
+      mirror_shadow(r, p);
+    }
+  }
+  const bool guarded = control_ && control_->guard_engaged();
+  if (guarded) control_->count_guarded_request();
+
+  // 4. The four cases of §4.1. Under an engaged RobustGuard the learned
+  // admission gate is bypassed: admit everything that fits and (in
+  // evict_one) evict by pure recency — plain LRU, the robust baseline.
+  const double delta = effective_threshold();
   bool hit = false;
   const auto res = residents_.find(r.key);
   if (res != residents_.end()) {
     hit = true;
     res->second.p = p;
     res->second.last_use = r.time;
-    if (p < threshold_) {
+    if (!guarded && p < delta) {
       candidates_.insert(r.key);  // case (ii): label as eviction candidate
     } else {
       candidates_.erase(r.key);   // case (i)
     }
-  } else if (p >= threshold_ && !oversized(r.size)) {
+  } else if ((guarded || p >= delta) && !oversized(r.size)) {
     admit(r, p);                  // case (iii); case (iv) is the fall-through
   }
 
@@ -179,8 +259,12 @@ double LhrCache::eviction_value(const Resident& res, trace::Time now) const {
 }
 
 void LhrCache::evict_one(trace::Time now) {
+  // Under an engaged RobustGuard the learned scores are not trusted: sample
+  // from all residents and evict the least-recently used of the sample.
+  const bool guarded = control_ && control_->guard_engaged();
   // Prefer labeled eviction candidates (p < δ); fall back to all residents.
-  const policy::SampledKeySet& pool = candidates_.empty() ? resident_keys_ : candidates_;
+  const policy::SampledKeySet& pool =
+      (guarded || candidates_.empty()) ? resident_keys_ : candidates_;
   const std::size_t n = std::min(config_.eviction_sample, pool.size());
   trace::Key victim = pool.sample(rng_);
   double worst = std::numeric_limits<double>::infinity();
@@ -195,7 +279,9 @@ void LhrCache::evict_one(trace::Time now) {
   for (std::size_t s = 0; s < n; ++s) {
     if (s + 1 < n) residents_.prefetch(eviction_scratch_[s + 1]);
     const trace::Key candidate = eviction_scratch_[s];
-    const double q = eviction_value(residents_.at(candidate), now);
+    const Resident& res = residents_.at(candidate);
+    // Guarded: score by recency alone (oldest last_use loses) — LRU order.
+    const double q = guarded ? res.last_use : eviction_value(res, now);
     if (q < worst) {
       worst = q;
       victim = candidate;
@@ -299,7 +385,8 @@ void LhrCache::train_model() {
     // request-path stall.
     ml::Gbdt fresh;
     fresh.fit(train_x_, train_y_, config_.gbdt);
-    model_ = std::make_shared<ml::CompiledModel>(std::move(fresh));
+    install_model(std::make_shared<ml::CompiledModel>(std::move(fresh)),
+                  /*count_swap=*/false);
     ++trainings_;
     train_x_.values.clear();
     train_y_.clear();
@@ -324,6 +411,22 @@ void LhrCache::drain_training() {
   if (trainer_ == nullptr) return;
   trainer_->wait();
   if (trainer_->result_ready()) adopt_finished_model();
+}
+
+LhrCache::TrainingStats LhrCache::training_stats() const {
+  TrainingStats s;
+  s.trainings = trainings_;
+  s.deferred_trainings = deferred_trainings_;
+  s.model_swaps = model_swaps_.load(std::memory_order_relaxed);
+  s.stale_requests = stale_requests_.load(std::memory_order_relaxed);
+  s.foreground_seconds = training_seconds_;
+  if (trainer_) {
+    const ml::AsyncTrainer::Stats t = trainer_->stats();  // one lock pass
+    s.background_completed = t.completed;
+    s.background_failed = t.failed;
+    s.background_seconds = t.background_seconds;
+  }
+  return s;
 }
 
 ml::BinaryMetrics LhrCache::model_quality() const {
@@ -368,6 +471,13 @@ std::uint64_t LhrCache::metadata_bytes() const {
          train_y_.size() * sizeof(float) +
          estimation_last_.size() *
              (sizeof(trace::Key) + sizeof(LastSeen) + 2 * sizeof(void*)) +
+         (control_ ? control_->memory_bytes() +
+                         (control_->has_candidate()
+                              ? control_->candidate()->gbdt.memory_bytes()
+                              : 0)
+                   : 0) +
+         shadow_last_.size() *
+             (sizeof(trace::Key) + sizeof(ShadowSeen) + 2 * sizeof(void*)) +
          residents_.memory_bytes() +
          resident_keys_.memory_bytes() + candidates_.memory_bytes();
 }

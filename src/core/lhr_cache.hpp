@@ -27,6 +27,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -41,6 +42,7 @@
 #include "ml/gbdt.hpp"
 #include "ml/zipf_detector.hpp"
 #include "policies/sampled_set.hpp"
+#include "server/control_plane.hpp"
 #include "sim/cache_policy.hpp"
 #include "util/flat_hash_map.hpp"
 #include "util/rng.hpp"
@@ -90,16 +92,31 @@ struct LhrConfig {
   /// long-duration traces (CDN-C) exceed several windows.
   std::size_t history_retention_windows = 8;
   ml::GbdtConfig gbdt;
+  /// Shadow-rollout control plane (server/control_plane.hpp). Disabled by
+  /// default: retrained models swap in immediately, exactly the paper's
+  /// behaviour. When enabled, every retrain after the bootstrap model is
+  /// staged for shadow evaluation instead, and the RobustGuard/autotune
+  /// machinery runs. The cell draws from its own RNG stream derived from
+  /// `control_plane.seed ^ seed`, so enabling it never perturbs the host
+  /// cache's reservoir/eviction/estimation draws.
+  server::ControlPlaneConfig control_plane;
   std::uint64_t seed = 2021;
 };
 
-class LhrCache final : public sim::CacheBase {
+class LhrCache final : public sim::CacheBase, public server::ControlPlaneHost {
  public:
   LhrCache(std::uint64_t capacity_bytes, const LhrConfig& config = {});
 
   [[nodiscard]] std::string name() const override;
   bool access(const trace::Request& r) override;
   [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+  /// The control-plane cell riding along with this cache; null when the
+  /// control plane is disabled. The serving layer discovers cells through
+  /// this (ControlPlaneHost) to feed served latencies and sum the report.
+  [[nodiscard]] server::ControlPlane* control_plane() noexcept override {
+    return control_.get();
+  }
 
   // --- introspection for tests/benches ---
   [[nodiscard]] double threshold() const noexcept { return threshold_; }
@@ -117,10 +134,33 @@ class LhrCache final : public sim::CacheBase {
   [[nodiscard]] double background_train_seconds() const noexcept {
     return trainer_ ? trainer_->background_seconds() : 0.0;
   }
-  /// Background-trained models swapped in, and requests served while a
-  /// newer model was still training (staleness of the async path).
-  [[nodiscard]] std::size_t model_swaps() const noexcept { return model_swaps_; }
-  [[nodiscard]] std::size_t stale_requests() const noexcept { return stale_requests_; }
+  /// Background-trained models swapped in (plus shadow promotions when the
+  /// control plane is enabled), and requests served while a newer model was
+  /// still training (staleness of the async path).
+  [[nodiscard]] std::size_t model_swaps() const noexcept {
+    return model_swaps_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t stale_requests() const noexcept {
+    return stale_requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Every training-pipeline counter for report emission, taken as one
+  /// consistent snapshot: the trainer-side numbers come from a single
+  /// AsyncTrainer::stats() lock acquisition instead of one lock per
+  /// accessor, so a fit finishing mid-report can no longer yield e.g. a
+  /// swap count from before the fit paired with the background seconds
+  /// from after it (async_train_test covers this under TSan).
+  struct TrainingStats {
+    std::size_t trainings = 0;
+    std::size_t deferred_trainings = 0;
+    std::size_t model_swaps = 0;
+    std::size_t stale_requests = 0;
+    std::size_t background_completed = 0;
+    std::size_t background_failed = 0;
+    double foreground_seconds = 0.0;
+    double background_seconds = 0.0;
+  };
+  [[nodiscard]] TrainingStats training_stats() const;
   /// Window-close retrains skipped because the background trainer was busy.
   [[nodiscard]] std::size_t deferred_trainings() const noexcept {
     return deferred_trainings_;
@@ -167,6 +207,16 @@ class LhrCache final : public sim::CacheBase {
   void on_window_closed(trace::Time now);
   void train_model();
   void adopt_finished_model();
+  /// δ plus the control plane's autotuned bias, clamped to [0, 1].
+  [[nodiscard]] double effective_threshold() const noexcept;
+  /// Routes a freshly trained model: adopted directly while untrained
+  /// (bootstrap) or without a control plane; staged for shadow evaluation
+  /// otherwise. count_swap preserves the model_swaps() contract — only
+  /// background-trained adoptions (and shadow promotions) count.
+  void install_model(std::shared_ptr<const ml::CompiledModel> fresh, bool count_swap);
+  /// The shadow mirror + promotion step of access(); precondition: a
+  /// candidate is staged.
+  void mirror_shadow(const trace::Request& r, double live_p);
 
   LhrConfig config_;
   util::Xoshiro256 rng_;
@@ -180,6 +230,7 @@ class LhrCache final : public sim::CacheBase {
   /// concurrent predict-during-retrain is race-free.
   std::shared_ptr<const ml::CompiledModel> model_;
   std::unique_ptr<ml::AsyncTrainer> trainer_;  ///< null in synchronous mode
+  std::unique_ptr<server::ControlPlane> control_;  ///< null when disabled
 
   double threshold_;
   double prev_alpha_ = 0.0;
@@ -201,6 +252,16 @@ class LhrCache final : public sim::CacheBase {
   std::unordered_map<trace::Key, LastSeen> estimation_last_;
   double bytes_marker_ = 0.0;
 
+  // Shadow-rollout history: previous live/shadow scores of mirrored keys,
+  // feeding the §5.2.3-style would-hit estimator for the staged candidate.
+  // Populated only while a candidate is staged; cleared on every verdict.
+  struct ShadowSeen {
+    float live_p = 0.0f;
+    float shadow_p = 0.0f;
+    double bytes_marker = 0.0;  ///< cumulative request bytes at last mirror
+  };
+  std::unordered_map<trace::Key, ShadowSeen> shadow_last_;
+
   // Flat open-addressing map (PR 5 discipline): touched on every request
   // and 64 times per sampled eviction, where the gather prefetches the next
   // candidate's entry while scoring the current one.
@@ -220,8 +281,10 @@ class LhrCache final : public sim::CacheBase {
   std::size_t windows_seen_ = 0;
   std::size_t trainings_ = 0;
   double training_seconds_ = 0.0;  ///< foreground stall only (see accessor)
-  std::size_t model_swaps_ = 0;
-  std::size_t stale_requests_ = 0;
+  // Atomics (relaxed): mutated only by the request thread, but readable by
+  // a concurrent report emitter without a data race.
+  std::atomic<std::size_t> model_swaps_{0};
+  std::atomic<std::size_t> stale_requests_{0};
   std::size_t deferred_trainings_ = 0;
 };
 

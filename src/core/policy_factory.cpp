@@ -48,6 +48,35 @@ LhrConfig tuned_lhr_config(const PolicyTuning& tuning) {
   } else if (const char* env = std::getenv("LHR_TRAIN_ASYNC")) {
     if (*env != '\0' && std::string(env) != "0") config.train_synchronously = false;
   }
+
+  // Shadow-rollout control plane: explicit spec wins, then the LHR_SHADOW
+  // env spec; the LHR_SHADOW_* refinements then overlay individual fields
+  // of whichever base is active (they are ignored while disabled).
+  if (!tuning.control_plane_spec.empty()) {
+    config.control_plane = server::parse_control_plane(tuning.control_plane_spec);
+  } else if (const char* env = std::getenv("LHR_SHADOW")) {
+    config.control_plane = server::parse_control_plane(env);
+  }
+  if (config.control_plane.enabled) {
+    const auto env_double = [](const char* name, double& slot) {
+      if (const char* env = std::getenv(name)) slot = util::require_double(name, env);
+    };
+    const auto env_size = [](const char* name, std::size_t& slot) {
+      if (const char* env = std::getenv(name)) {
+        slot = static_cast<std::size_t>(util::require_u64(name, env));
+      }
+    };
+    env_double("LHR_SHADOW_SAMPLE", config.control_plane.sample_fraction);
+    env_size("LHR_SHADOW_WINDOW", config.control_plane.window);
+    env_double("LHR_SHADOW_AGREE", config.control_plane.min_agreement);
+    env_double("LHR_SHADOW_DIV", config.control_plane.max_divergence);
+    env_double("LHR_SHADOW_GUARD", config.control_plane.guard_divergence);
+    env_double("LHR_SHADOW_REARM", config.control_plane.guard_rearm);
+    if (const char* env = std::getenv("LHR_SHADOW_P99")) {
+      config.control_plane.p99_budget_ms = util::require_double("LHR_SHADOW_P99", env);
+      config.control_plane.autotune = config.control_plane.p99_budget_ms > 0.0;
+    }
+  }
   return config;
 }
 

@@ -15,11 +15,16 @@ namespace lhr::core {
 /// Cross-cutting tuning applied to the LHR-family policies built by
 /// make_policy (other policies ignore it). Field defaults mean "keep the
 /// policy default, unless the corresponding environment knob overrides it":
-/// LHR_TRAIN_THREADS (intra-fit worker count) and LHR_TRAIN_ASYNC (any value
-/// but "0" moves retraining off the request path).
+/// LHR_TRAIN_THREADS (intra-fit worker count), LHR_TRAIN_ASYNC (any value
+/// but "0" moves retraining off the request path), LHR_SHADOW (control-plane
+/// spec, same grammar as --control-plane) and the LHR_SHADOW_* refinements
+/// (SAMPLE/WINDOW/AGREE/DIV/GUARD/REARM/P99 — see server/control_plane.hpp).
 struct PolicyTuning {
   std::size_t lhr_train_threads = 0;  ///< 0 = default/env; >=1 forces a value
   int lhr_async_train = -1;           ///< -1 = default/env; 0/1 force sync/async
+  /// Shadow-rollout control-plane spec (server::parse_control_plane
+  /// grammar). Empty = default/env (LHR_SHADOW); "off" forces disabled.
+  std::string control_plane_spec;
 };
 
 /// Known names: "LRU", "FIFO", "Random", "LRU-4", "LFU-DA", "GDSF",

@@ -1,0 +1,156 @@
+#include "gen/drift.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/parse.hpp"
+#include "util/rng.hpp"
+
+namespace lhr::gen {
+
+namespace {
+
+/// One stateless splitmix64 draw keyed on (seed, salt, value): the hash-coin
+/// primitive every episode decision uses, so membership is a pure function.
+std::uint64_t keyed_mix(std::uint64_t seed, std::uint64_t salt,
+                        std::uint64_t value) noexcept {
+  std::uint64_t state = seed ^ (salt * 0x9e3779b97f4a7c15ULL) ^ value;
+  return util::splitmix64(state);
+}
+
+/// True with probability `fraction` as a deterministic function of the mix.
+bool hash_coin(std::uint64_t mix, double fraction) noexcept {
+  if (fraction >= 1.0) return true;
+  if (fraction <= 0.0) return false;
+  return static_cast<double>(mix >> 11) * 0x1.0p-53 < fraction;
+}
+
+DriftEpisode parse_episode(const std::string& clause) {
+  const auto fail = [&clause](const std::string& why) -> DriftEpisode {
+    throw std::invalid_argument("DriftSchedule::parse: " + why + " in clause '" +
+                                clause + "'");
+  };
+  const std::size_t colon = clause.find(':');
+  if (colon == std::string::npos) return fail("missing ':'");
+  const std::string kind = clause.substr(0, colon);
+
+  DriftEpisode episode;
+  if (kind == "remap") {
+    episode.kind = DriftEpisode::Kind::kRemap;
+  } else if (kind == "onehit") {
+    episode.kind = DriftEpisode::Kind::kOneHit;
+  } else {
+    return fail("unknown kind '" + kind + "' (want remap|onehit)");
+  }
+
+  std::string window = clause.substr(colon + 1);
+  const std::size_t at = window.find('@');
+  if (at != std::string::npos) {
+    const std::string arg = window.substr(at + 1);
+    window = window.substr(0, at);
+    const auto fraction = util::parse_double(arg);
+    if (!fraction || !(*fraction >= 0.0) || !(*fraction <= 1.0)) {
+      return fail("fraction '" + arg + "' must be in [0, 1]");
+    }
+    episode.fraction = *fraction;
+  }
+
+  const std::size_t dash = window.find('-');
+  if (dash == std::string::npos) return fail("window needs 'start-end'");
+  const auto start = util::parse_double(window.substr(0, dash));
+  const auto end = util::parse_double(window.substr(dash + 1));
+  if (!start || !end) return fail("non-numeric window bound");
+  if (!(*start >= 0.0) || !(*end <= 1.0) || !(*start < *end)) {
+    return fail("window must satisfy 0 <= start < end <= 1");
+  }
+  episode.start_fraction = *start;
+  episode.end_fraction = *end;
+  return episode;
+}
+
+}  // namespace
+
+DriftSchedule::DriftSchedule(std::vector<DriftEpisode> episodes)
+    : episodes_(std::move(episodes)) {
+  for (const DriftEpisode& e : episodes_) {
+    if (!(e.start_fraction >= 0.0) || !(e.end_fraction <= 1.0) ||
+        !(e.start_fraction < e.end_fraction) || !(e.fraction >= 0.0) ||
+        !(e.fraction <= 1.0)) {
+      throw std::invalid_argument("DriftSchedule: invalid episode bounds");
+    }
+  }
+}
+
+DriftSchedule DriftSchedule::parse(const std::string& spec) {
+  std::vector<DriftEpisode> episodes;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t semi = spec.find(';', start);
+    const std::string clause =
+        spec.substr(start, semi == std::string::npos ? semi : semi - start);
+    if (!clause.empty()) episodes.push_back(parse_episode(clause));
+    if (semi == std::string::npos) break;
+    start = semi + 1;
+  }
+  if (episodes.empty()) {
+    throw std::invalid_argument("DriftSchedule::parse: empty spec '" + spec + "'");
+  }
+  return DriftSchedule(std::move(episodes));
+}
+
+trace::Key DriftSchedule::drifted_key(trace::Key key, std::size_t i, std::size_t n,
+                                      std::uint64_t seed) const noexcept {
+  if (n == 0) return key;
+  const double fraction =
+      static_cast<double>(i) / static_cast<double>(n);  // position in [0, 1)
+  trace::Key out = key;
+  for (std::size_t e = 0; e < episodes_.size(); ++e) {
+    const DriftEpisode& episode = episodes_[e];
+    if (fraction < episode.start_fraction || fraction >= episode.end_fraction) {
+      continue;
+    }
+    // Each episode salts its draws with its own index, so two overlapping
+    // episodes of the same kind make independent decisions.
+    const std::uint64_t salt = e + 1;
+    switch (episode.kind) {
+      case DriftEpisode::Kind::kRemap: {
+        // Key-level coin: the key is renamed for the whole episode or never,
+        // so reuse survives under the new name. The rename itself is a
+        // seeded bijection (xor of a mixed constant keeps it invertible and
+        // collision-free against other renamed keys).
+        const std::uint64_t coin = keyed_mix(seed, salt, out);
+        if (hash_coin(coin, episode.fraction)) {
+          std::uint64_t rename_state = seed ^ (salt * 0xbf58476d1ce4e5b9ULL);
+          out ^= util::splitmix64(rename_state);
+        }
+        break;
+      }
+      case DriftEpisode::Kind::kOneHit: {
+        // Request-level coin on the index: the replacement key is derived
+        // from the index, so it is unique across the trace — a guaranteed
+        // one-hit wonder.
+        const std::uint64_t coin = keyed_mix(seed, salt ^ 0xabcdULL, i);
+        if (hash_coin(coin, episode.fraction)) {
+          out = keyed_mix(seed, salt ^ 0x1e9fULL, i) | (1ULL << 63);
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+trace::Trace apply_drift(const trace::Trace& trace, const DriftSchedule& schedule,
+                         std::uint64_t seed) {
+  std::vector<trace::Request> out;
+  out.reserve(trace.size());
+  const std::size_t n = trace.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    trace::Request r = trace[i];
+    r.key = schedule.drifted_key(r.key, i, n, seed);
+    out.push_back(r);
+  }
+  return trace::Trace(std::move(out));
+}
+
+}  // namespace lhr::gen

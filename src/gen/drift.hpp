@@ -1,0 +1,86 @@
+// Deterministic prediction-drift injection for generated traces — the
+// workload-side analogue of the origin layer's FaultSchedule.
+//
+// A learned admission policy is only as good as the history its features
+// summarize. Production CDNs see that history invalidated in bursts: a
+// content catalogue rollover renames the hot set, a flash event floods the
+// edge with never-again-requested objects. Both corrupt the model's
+// predictions without touching the cache itself, which is exactly the
+// regime the control plane's RobustGuard (server/control_plane.hpp) and
+// shadow-rollout gating are designed for.
+//
+// A DriftSchedule is a list of episodes over *trace-position fractions*
+// (half-open [start, end) windows in [0, 1] of the request index), applied
+// as a deterministic post-processing pass over a generated trace:
+//
+//   * remap:A-B@f   — a fraction f of *keys* (chosen by a seeded hash coin,
+//                     so a key is either renamed for the whole episode or
+//                     not at all) is renamed through a seeded bijection.
+//                     Popularity structure is preserved under the new
+//                     names, but every per-key feature history and learned
+//                     popularity estimate is invalidated at the boundary —
+//                     corrupted predictions with an intact workload.
+//   * onehit:A-B@f  — a fraction f of *requests* (per-request coin on the
+//                     request index) is replaced by a unique, never-reused
+//                     key: a flash crowd of one-hit wonders that an
+//                     admit-happy stale model mispredicts.
+//
+// Episode membership depends only on the request's index fraction and the
+// schedule seed — never on an RNG stream — so the transformed trace is
+// byte-identical regardless of how (or how often) it is produced.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace lhr::gen {
+
+struct DriftEpisode {
+  enum class Kind {
+    kRemap,   ///< rename a key-fraction through a seeded bijection
+    kOneHit,  ///< replace a request-fraction with unique fresh keys
+  };
+  Kind kind = Kind::kRemap;
+  double start_fraction = 0.0;  ///< half-open [start, end) over request index
+  double end_fraction = 0.0;
+  double fraction = 1.0;  ///< key-fraction (remap) or request-fraction (onehit)
+};
+
+/// A deterministic, position-windowed schedule of prediction-drift episodes.
+class DriftSchedule {
+ public:
+  DriftSchedule() = default;
+  explicit DriftSchedule(std::vector<DriftEpisode> episodes);
+
+  /// Parses "kind:start-end[@arg]" clauses separated by ';', with start/end
+  /// as trace fractions in [0, 1]:
+  ///   remap:0.4-0.7@0.9    rename 90% of keys inside [40%, 70%)
+  ///   onehit:0.8-0.9@0.5   half the requests in [80%, 90%) become one-hit
+  /// Throws std::invalid_argument on malformed input.
+  [[nodiscard]] static DriftSchedule parse(const std::string& spec);
+
+  [[nodiscard]] bool empty() const noexcept { return episodes_.empty(); }
+  [[nodiscard]] const std::vector<DriftEpisode>& episodes() const noexcept {
+    return episodes_;
+  }
+
+  /// The drifted key for request index `i` of `n` (identity outside every
+  /// episode). Pure function of (key, i, n, seed) — no internal state.
+  [[nodiscard]] trace::Key drifted_key(trace::Key key, std::size_t i, std::size_t n,
+                                       std::uint64_t seed) const noexcept;
+
+ private:
+  std::vector<DriftEpisode> episodes_;
+};
+
+/// Applies the schedule to a materialized trace: every request keeps its
+/// time and size, keys are rewritten per drifted_key. Deterministic in
+/// (trace, schedule, seed).
+[[nodiscard]] trace::Trace apply_drift(const trace::Trace& trace,
+                                       const DriftSchedule& schedule,
+                                       std::uint64_t seed);
+
+}  // namespace lhr::gen

@@ -78,6 +78,11 @@ double AsyncTrainer::last_train_seconds() const {
   return last_train_seconds_;
 }
 
+AsyncTrainer::Stats AsyncTrainer::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return Stats{completed_, failed_, background_seconds_, last_train_seconds_};
+}
+
 void AsyncTrainer::trainer_loop() {
   for (;;) {
     Pending job;

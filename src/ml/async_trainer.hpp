@@ -79,6 +79,20 @@ class AsyncTrainer {
   /// Total background fit wall-clock, and the most recent fit's.
   [[nodiscard]] double background_seconds() const;
   [[nodiscard]] double last_train_seconds() const;
+
+  /// All trainer statistics taken under one lock acquisition. Report
+  /// emission must use this instead of the individual accessors above:
+  /// calling them one by one lets the trainer thread finish a fit between
+  /// reads, yielding e.g. completed = 3 paired with the wall-clock of 4
+  /// fits — an inconsistent line in the output (async_train_test covers
+  /// this under TSan).
+  struct Stats {
+    std::size_t completed = 0;
+    std::size_t failed = 0;
+    double background_seconds = 0.0;
+    double last_train_seconds = 0.0;
+  };
+  [[nodiscard]] Stats stats() const;
   /// Approximate heap held by the in-flight batch / uncollected model, for
   /// metadata accounting.
   [[nodiscard]] std::size_t memory_bytes() const noexcept {

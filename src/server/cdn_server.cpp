@@ -54,6 +54,17 @@ CdnServer::CdnServer(std::unique_ptr<sim::CachePolicy> main_policy,
   // byte-identical at any thread count.
   origin_ = std::make_unique<Origin>(config.origin_profile, config.origin_rtt_s,
                                      config.origin_gbps, config.fault_schedule, shards);
+
+  // Discover control-plane cells: one probe per shard policy (or the single
+  // unsharded policy). Policies without a cell leave null entries.
+  cells_.resize(shards, nullptr);
+  for (std::size_t i = 0; i < shards; ++i) {
+    sim::CachePolicy& policy =
+        sharded_ != nullptr ? sharded_->shard_policy(i) : *main_;
+    if (auto* host = dynamic_cast<ControlPlaneHost*>(&policy)) {
+      cells_[i] = host->control_plane();
+    }
+  }
 }
 
 std::size_t CdnServer::freshness_shard_of(trace::Key key) const {
@@ -146,6 +157,9 @@ CdnServer::RequestOutcome CdnServer::process(const trace::Request& r,
           out.failed = true;
         }
         out.user_latency_s += out.cpu_s;
+        if (cells_[shard_idx] != nullptr) {
+          cells_[shard_idx]->observe_latency(out.user_latency_s);
+        }
         return out;
       }
       if (fs.rng.next_below(kRevalidateScale) < revalidate_threshold_) {
@@ -182,6 +196,12 @@ CdnServer::RequestOutcome CdnServer::process(const trace::Request& r,
     out.failed = true;  // 5xx: retry budget exhausted, nothing serveable
   }
   out.user_latency_s += out.cpu_s;
+  // Autotune feed: the shard's control-plane cell (if any) sees every served
+  // latency. With measured_lookup_cpu off this is a pure function of the
+  // trace, so the autotuner's decisions are deterministic per shard.
+  if (cells_[shard_idx] != nullptr) {
+    cells_[shard_idx]->observe_latency(out.user_latency_s);
+  }
   return out;
 }
 
@@ -367,6 +387,15 @@ ServerReport CdnServer::finalize(const trace::TraceSource& trace, ReplayMode mod
     report.fetch_p90_ms = total.fetch_latency.quantile(0.90) * 1e3;
     report.fetch_p99_ms = total.fetch_latency.quantile(0.99) * 1e3;
     report.fetch_avg_ms = total.fetch_latency.mean() * 1e3;
+  }
+
+  // Control-plane slice: integer counters summed in shard-index order, so
+  // the aggregate is byte-identical at every replay thread count.
+  for (const ControlPlane* cell : cells_) {
+    if (cell == nullptr) continue;
+    report.control_plane.active = true;
+    ++report.control_plane.cells;
+    report.control_plane.counters.merge(cell->counters());
   }
 
   for (std::size_t w = 0; w < total.window_counts.size(); ++w) {

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "policies/lru.hpp"
+#include "server/control_plane.hpp"
 #include "server/origin.hpp"
 #include "sim/cache_policy.hpp"
 #include "trace/trace_source.hpp"
@@ -145,6 +146,11 @@ struct ServerReport {
   double fetch_p90_ms = 0.0;
   double fetch_p99_ms = 0.0;
   double fetch_avg_ms = 0.0;
+
+  /// Shadow-rollout control plane slice: cell counters summed in shard-index
+  /// order (integer sums — identical across replay thread counts). Inactive
+  /// (all zeros) unless the backend policy hosts control-plane cells.
+  ControlPlaneReport control_plane;
 
   // Open-loop (saturation) accounting, filled only by replay_open_loop.
   // Request timestamps are treated as an arrival *schedule*: each worker
@@ -350,6 +356,11 @@ class CdnServer {
   ServerConfig config_;
   std::unique_ptr<sim::CachePolicy> main_;
   ShardedCache* sharded_ = nullptr;  ///< main_ downcast, null if unsharded
+  /// Control-plane cell behind each freshness shard (null entries when the
+  /// shard's policy hosts none). Discovered once at construction via
+  /// ControlPlaneHost; shard s is only touched by the worker owning shard s,
+  /// so feeding cells from process() needs no locks.
+  std::vector<ControlPlane*> cells_;
   std::uint64_t revalidate_threshold_ = 0;  ///< of kRevalidateScale
   std::vector<std::unique_ptr<FreshnessShard>> fresh_;
   std::unique_ptr<Origin> origin_;  ///< one draw stream per freshness shard

@@ -1,0 +1,304 @@
+#include "server/control_plane.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/parse.hpp"
+
+namespace lhr::server {
+
+namespace {
+
+/// LHR_CP_DEBUG=1 dumps per-window drift means and per-candidate verdict
+/// stats to stderr — the calibration aid for picking div/guard thresholds
+/// on a new trace family (see DESIGN.md "Control plane").
+bool debug_trace() {
+  static const bool enabled = std::getenv("LHR_CP_DEBUG") != nullptr;
+  return enabled;
+}
+
+void apply_token(ControlPlaneConfig& cfg, const std::string& token,
+                 const std::string& spec) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos) {
+    throw std::invalid_argument("--control-plane: token '" + token +
+                                "' is not key=value (spec '" + spec + "')");
+  }
+  const std::string key = token.substr(0, eq);
+  const std::string value = token.substr(eq + 1);
+  const std::string what = "--control-plane " + key;
+  if (key == "sample") {
+    cfg.sample_fraction = util::require_double(what, value);
+  } else if (key == "window") {
+    cfg.window = util::require_u64(what, value);
+  } else if (key == "agree") {
+    cfg.min_agreement = util::require_double(what, value);
+  } else if (key == "div") {
+    cfg.max_divergence = util::require_double(what, value);
+  } else if (key == "hitdelta") {
+    cfg.min_hit_delta = util::require_double(what, value);
+  } else if (key == "robust") {
+    cfg.robust_guard = util::require_u64(what, value) != 0;
+  } else if (key == "guard") {
+    cfg.guard_divergence = util::require_double(what, value);
+  } else if (key == "rearm") {
+    cfg.guard_rearm = util::require_double(what, value);
+  } else if (key == "guardwin") {
+    cfg.guard_window = util::require_u64(what, value);
+  } else if (key == "p99") {
+    cfg.p99_budget_ms = util::require_double(what, value);
+    cfg.autotune = cfg.p99_budget_ms > 0.0;
+  } else if (key == "step") {
+    cfg.autotune_step = util::require_double(what, value);
+  } else if (key == "maxbias") {
+    cfg.max_threshold_bias = util::require_double(what, value);
+  } else if (key == "latwin") {
+    cfg.latency_window = util::require_u64(what, value);
+  } else if (key == "minwin") {
+    cfg.min_window = util::require_u64(what, value);
+  } else if (key == "seed") {
+    cfg.seed = util::require_u64(what, value);
+  } else {
+    throw std::invalid_argument("--control-plane: unknown key '" + key +
+                                "' (spec '" + spec + "')");
+  }
+}
+
+void validate(const ControlPlaneConfig& cfg) {
+  const auto fail = [](const std::string& why) {
+    throw std::invalid_argument("--control-plane: " + why);
+  };
+  if (!(cfg.sample_fraction > 0.0) || cfg.sample_fraction > 1.0) {
+    fail("sample must be in (0, 1]");
+  }
+  if (cfg.window == 0) fail("window must be >= 1");
+  if (cfg.min_agreement < 0.0 || cfg.min_agreement > 1.0) {
+    fail("agree must be in [0, 1]");
+  }
+  if (cfg.max_divergence < 0.0) fail("div must be >= 0");
+  if (cfg.guard_window == 0) fail("guardwin must be >= 1");
+  if (cfg.guard_divergence < 0.0) fail("guard must be >= 0");
+  if (cfg.guard_rearm < 0.0) fail("rearm must be >= 0");
+  if (cfg.guard_rearm > cfg.guard_divergence) {
+    fail("rearm must be <= guard (hysteresis band)");
+  }
+  if (cfg.autotune) {
+    if (!(cfg.autotune_step > 0.0)) fail("step must be > 0");
+    if (cfg.max_threshold_bias < 0.0) fail("maxbias must be >= 0");
+    if (cfg.latency_window == 0) fail("latwin must be >= 1");
+    if (cfg.min_window == 0 || cfg.min_window > cfg.window) {
+      fail("minwin must be in [1, window]");
+    }
+  }
+}
+
+}  // namespace
+
+ControlPlaneConfig parse_control_plane(const std::string& spec) {
+  ControlPlaneConfig cfg;
+  if (spec.empty() || spec == "off") return cfg;
+  cfg.enabled = true;
+  if (spec != "on") {
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+      const std::size_t comma = spec.find(',', start);
+      const std::string token = spec.substr(
+          start, comma == std::string::npos ? std::string::npos : comma - start);
+      if (!token.empty()) apply_token(cfg, token, spec);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  validate(cfg);
+  return cfg;
+}
+
+void ControlPlaneCounters::merge(const ControlPlaneCounters& other) {
+  candidates_staged += other.candidates_staged;
+  candidates_displaced += other.candidates_displaced;
+  shadow_samples += other.shadow_samples;
+  shadow_agreements += other.shadow_agreements;
+  would_hit_pairs += other.would_hit_pairs;
+  would_hits_live += other.would_hits_live;
+  would_hits_shadow += other.would_hits_shadow;
+  promotions += other.promotions;
+  rollbacks += other.rollbacks;
+  guard_engagements += other.guard_engagements;
+  guard_disengagements += other.guard_disengagements;
+  guarded_requests += other.guarded_requests;
+  autotune_epochs += other.autotune_epochs;
+  threshold_raises += other.threshold_raises;
+  threshold_decays += other.threshold_decays;
+  window_shrinks += other.window_shrinks;
+  window_grows += other.window_grows;
+}
+
+std::string ControlPlaneReport::canonical() const {
+  std::ostringstream out;
+  out << "cells=" << cells << " staged=" << counters.candidates_staged
+      << " displaced=" << counters.candidates_displaced
+      << " samples=" << counters.shadow_samples
+      << " agreements=" << counters.shadow_agreements
+      << " pairs=" << counters.would_hit_pairs
+      << " live_hits=" << counters.would_hits_live
+      << " shadow_hits=" << counters.would_hits_shadow
+      << " promotions=" << counters.promotions
+      << " rollbacks=" << counters.rollbacks
+      << " guard_on=" << counters.guard_engagements
+      << " guard_off=" << counters.guard_disengagements
+      << " guarded=" << counters.guarded_requests
+      << " epochs=" << counters.autotune_epochs
+      << " raises=" << counters.threshold_raises
+      << " decays=" << counters.threshold_decays
+      << " shrinks=" << counters.window_shrinks
+      << " grows=" << counters.window_grows;
+  return out.str();
+}
+
+ControlPlane::ControlPlane(const ControlPlaneConfig& config)
+    : config_(config), rng_(config.seed), window_(config.window) {}
+
+void ControlPlane::stage(std::shared_ptr<const ml::CompiledModel> candidate) {
+  if (candidate_) ++counters_.candidates_displaced;
+  candidate_ = std::move(candidate);
+  ++counters_.candidates_staged;
+  reset_evaluation();
+}
+
+std::shared_ptr<const ml::CompiledModel> ControlPlane::take_candidate() {
+  return std::move(candidate_);
+}
+
+bool ControlPlane::sample_shadow() {
+  // Drawn from the private stream so the host cache's RNG sequence is
+  // untouched; mirrored comparisons are counted in record_shadow.
+  return rng_.next_double() < config_.sample_fraction;
+}
+
+ControlPlane::Verdict ControlPlane::record_shadow(double live_p, double shadow_p,
+                                                  bool live_admit,
+                                                  bool shadow_admit,
+                                                  bool have_prior,
+                                                  bool prior_live_hit,
+                                                  bool prior_shadow_hit) {
+  ++counters_.shadow_samples;
+  ++eval_samples_;
+  if (live_admit == shadow_admit) {
+    ++counters_.shadow_agreements;
+    ++eval_agreements_;
+  }
+  eval_divergence_sum_ += std::abs(shadow_p - live_p);
+  if (have_prior) {
+    ++counters_.would_hit_pairs;
+    ++eval_pairs_;
+    if (prior_live_hit) {
+      ++counters_.would_hits_live;
+      ++eval_live_hits_;
+    }
+    if (prior_shadow_hit) {
+      ++counters_.would_hits_shadow;
+      ++eval_shadow_hits_;
+    }
+  }
+  if (eval_samples_ < window_) return Verdict::kNone;
+
+  const double n = static_cast<double>(eval_samples_);
+  const double agreement = static_cast<double>(eval_agreements_) / n;
+  const double divergence = eval_divergence_sum_ / n;
+  // No reuse pairs in the window means the footprint estimator has no
+  // evidence either way; treat the delta as neutral rather than failing.
+  const double hit_delta =
+      eval_pairs_ ? (static_cast<double>(eval_shadow_hits_) -
+                     static_cast<double>(eval_live_hits_)) /
+                        static_cast<double>(eval_pairs_)
+                  : 0.0;
+  reset_evaluation();
+
+  if (debug_trace()) {
+    std::fprintf(stderr, "verdict agree=%.4f div=%.4f hitdelta=%.4f\n", agreement,
+                 divergence, hit_delta);
+  }
+  const bool promote = agreement >= config_.min_agreement &&
+                       divergence <= config_.max_divergence &&
+                       hit_delta >= config_.min_hit_delta;
+  if (promote) {
+    ++counters_.promotions;
+    return Verdict::kPromote;
+  }
+  ++counters_.rollbacks;
+  candidate_.reset();
+  return Verdict::kRollback;
+}
+
+void ControlPlane::record_drift(double abs_error) {
+  if (!config_.robust_guard) return;
+  drift_sum_ += abs_error;
+  if (++drift_samples_ < config_.guard_window) return;
+  const double mean = drift_sum_ / static_cast<double>(drift_samples_);
+  if (debug_trace()) std::fprintf(stderr, "drift-mean %.3f\n", mean);
+  if (!guard_engaged_ && mean > config_.guard_divergence) {
+    guard_engaged_ = true;
+    ++counters_.guard_engagements;
+  } else if (guard_engaged_ && mean < config_.guard_rearm) {
+    guard_engaged_ = false;
+    ++counters_.guard_disengagements;
+  }
+  drift_sum_ = 0.0;
+  drift_samples_ = 0;
+}
+
+void ControlPlane::observe_latency(double seconds) {
+  if (!config_.autotune || config_.p99_budget_ms <= 0.0) return;
+  latency_.add(seconds);
+  if (++latency_samples_ < config_.latency_window) return;
+  ++counters_.autotune_epochs;
+  const double p99_ms = latency_.quantile(0.99) * 1e3;
+  if (p99_ms > config_.p99_budget_ms) {
+    // Over budget: admit less (shed admission work downstream) and decide
+    // on staged candidates faster so a bad model exits sooner.
+    if (threshold_bias_ < config_.max_threshold_bias) {
+      threshold_bias_ =
+          std::min(config_.max_threshold_bias, threshold_bias_ + config_.autotune_step);
+      ++counters_.threshold_raises;
+    }
+    const std::size_t half = std::max(config_.min_window, window_ / 2);
+    if (half < window_) {
+      window_ = half;
+      ++counters_.window_shrinks;
+    }
+  } else {
+    if (threshold_bias_ > 0.0) {
+      threshold_bias_ = std::max(0.0, threshold_bias_ - config_.autotune_step);
+      ++counters_.threshold_decays;
+    }
+    const std::size_t grown = std::min(config_.window, window_ * 2);
+    if (grown > window_) {
+      window_ = grown;
+      ++counters_.window_grows;
+    }
+  }
+  latency_.reset();
+  latency_samples_ = 0;
+}
+
+std::size_t ControlPlane::memory_bytes() const noexcept {
+  // The candidate model is shared with (and accounted by) the training
+  // path; the cell's own footprint is its fixed state plus the latency
+  // histogram buckets.
+  return sizeof(ControlPlane);
+}
+
+void ControlPlane::reset_evaluation() {
+  eval_samples_ = 0;
+  eval_agreements_ = 0;
+  eval_divergence_sum_ = 0.0;
+  eval_pairs_ = 0;
+  eval_live_hits_ = 0;
+  eval_shadow_hits_ = 0;
+}
+
+}  // namespace lhr::server

@@ -1,0 +1,225 @@
+// Live model control plane: shadow rollout, robust fallback, and online
+// autotuning for the learned admission path.
+//
+// The paper's LHR retrains on every detected pattern change and swaps the
+// fresh GBDT in unconditionally (§5.1). A production CDN does not trust a
+// candidate model that far: new models are promoted the way Torabi &
+// Khazaei's edge-caching system promotes them — continuously, by live
+// comparison against the incumbent — and the whole learned path falls back
+// to a robust baseline when its predictions drift, as in Chłędowski et
+// al.'s robust learning-augmented caching (PAPERS.md).
+//
+// One ControlPlane instance rides along with each LhrCache (so, one per
+// ShardedCache shard): the cell sees exactly its shard's request
+// subsequence in trace order no matter how many replay workers run — the
+// same ownership discipline the freshness shards use — which makes every
+// decision below a pure function of the shard substream:
+//
+//   * Shadow rollout. When a retrain finishes (background AsyncTrainer
+//     collect, or the inline window-close fit), the candidate CompiledModel
+//     is *staged* here instead of swapped in. A deterministic sampled
+//     fraction of subsequent requests (private per-cell Xoshiro stream, so
+//     live admissions draw exactly the same RNG sequence with or without a
+//     staged candidate) is mirrored through the candidate's forest, and
+//     three signals accumulate over a rolling window: admission agreement
+//     (same side of the threshold), score divergence (mean |Δp|), and a
+//     would-hit delta (the §5.2.3 footprint estimator applied to both
+//     models' previous scores). The candidate auto-promotes when it clears
+//     the configured thresholds and rolls back otherwise.
+//
+//   * RobustGuard. Every scored request also reports |p - label| against
+//     the HRO oracle label. When the rolling mean drifts past
+//     guard_divergence, the cell engages the guard: the host cache degrades
+//     to plain LRU ordering (admit everything, evict by recency) until the
+//     drift mean recovers below guard_rearm — the robust-augmented regime.
+//
+//   * Online autotuning. The serving layer feeds each request's simulated
+//     user latency into the cell. Every latency_window requests the cell
+//     closes an epoch: if the epoch's served p99 exceeds p99_budget_ms, the
+//     admission threshold gets a positive bias (admit less, shed admission
+//     work) and the shadow evaluation window halves (decide faster); when
+//     the p99 is back under budget the bias decays and the window grows
+//     back toward its configured size.
+//
+// All counters are integers, merged in shard-index order by the server
+// report, so ControlPlaneReport::canonical() is byte-identical at any
+// replay worker count (bench_control_plane asserts 1/2/4/8).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ml/flat_forest.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace lhr::server {
+
+struct ControlPlaneConfig {
+  bool enabled = false;
+
+  // --- shadow rollout ---
+  double sample_fraction = 0.25;  ///< mirrored fraction while a candidate is staged
+  std::size_t window = 2048;      ///< mirrored comparisons per promote/rollback verdict
+  double min_agreement = 0.85;    ///< admission-agreement floor to promote
+  double max_divergence = 0.20;   ///< mean |p_shadow - p_live| ceiling to promote
+  double min_hit_delta = -0.02;   ///< would-hit(shadow) - would-hit(live) floor
+
+  // --- RobustGuard ---
+  bool robust_guard = true;
+  std::size_t guard_window = 2048;  ///< |p - label| samples per guard evaluation
+  double guard_divergence = 0.35;   ///< engage LRU fallback above this mean drift
+  double guard_rearm = 0.25;        ///< disengage below this (hysteresis band)
+
+  // --- autotune ---
+  bool autotune = false;
+  double p99_budget_ms = 0.0;        ///< served-p99 target; <= 0 disables autotune
+  double autotune_step = 0.02;       ///< threshold-bias step per over-budget epoch
+  double max_threshold_bias = 0.20;  ///< bias is clamped to [0, this]
+  std::size_t latency_window = 8192; ///< served-latency samples per epoch
+  std::size_t min_window = 256;      ///< autotuned shadow-window floor
+
+  std::uint64_t seed = 0xC0117101ULL;  ///< base of the cell's sampling stream
+};
+
+/// Parses "on" / "off" or a comma-separated "key=value" list: sample,
+/// window, agree, div, hitdelta, guard (divergence), rearm, guardwin,
+/// p99 (budget ms; also enables autotune), step, maxbias, latwin, minwin,
+/// robust (0/1), seed. Examples:
+///   "on"
+///   "sample=0.5,window=512,agree=0.9"
+///   "p99=2.5,step=0.05,guard=0.3,rearm=0.2"
+/// Any spec other than "off" returns an enabled config. Throws
+/// std::invalid_argument on malformed input.
+[[nodiscard]] ControlPlaneConfig parse_control_plane(const std::string& spec);
+
+/// Integer event counters of one cell — and, summed in shard-index order,
+/// of a whole server. Integers only, so cross-thread-count aggregation is
+/// exact.
+struct ControlPlaneCounters {
+  std::uint64_t candidates_staged = 0;   ///< retrains routed into shadow
+  std::uint64_t candidates_displaced = 0;///< staged candidate replaced unevaluated
+  std::uint64_t shadow_samples = 0;      ///< requests mirrored through the shadow
+  std::uint64_t shadow_agreements = 0;   ///< mirrored requests on the same side of δ
+  std::uint64_t would_hit_pairs = 0;     ///< mirrored reuses with both prior scores
+  std::uint64_t would_hits_live = 0;
+  std::uint64_t would_hits_shadow = 0;
+  std::uint64_t promotions = 0;          ///< candidates promoted to live
+  std::uint64_t rollbacks = 0;           ///< candidates rejected by evaluation
+  std::uint64_t guard_engagements = 0;
+  std::uint64_t guard_disengagements = 0;
+  std::uint64_t guarded_requests = 0;    ///< requests served under LRU fallback
+  std::uint64_t autotune_epochs = 0;
+  std::uint64_t threshold_raises = 0;
+  std::uint64_t threshold_decays = 0;
+  std::uint64_t window_shrinks = 0;
+  std::uint64_t window_grows = 0;
+
+  void merge(const ControlPlaneCounters& other);
+};
+
+/// Aggregated control-plane slice of a ServerReport.
+struct ControlPlaneReport {
+  bool active = false;       ///< any cell present behind this server
+  std::size_t cells = 0;     ///< cells aggregated (== shards running LHR+CP)
+  ControlPlaneCounters counters;
+
+  /// Every integer counter in a fixed order — the determinism fingerprint
+  /// compared byte-for-byte across replay thread counts.
+  [[nodiscard]] std::string canonical() const;
+};
+
+class ControlPlane {
+ public:
+  enum class Verdict { kNone, kPromote, kRollback };
+
+  explicit ControlPlane(const ControlPlaneConfig& config);
+
+  [[nodiscard]] const ControlPlaneConfig& config() const noexcept { return config_; }
+
+  // ----------------------------------------------------- candidate staging
+  /// Stages a freshly trained candidate for shadow evaluation, replacing
+  /// (and counting as displaced) any candidate still under evaluation.
+  void stage(std::shared_ptr<const ml::CompiledModel> candidate);
+  [[nodiscard]] bool has_candidate() const noexcept { return candidate_ != nullptr; }
+  [[nodiscard]] const ml::CompiledModel* candidate() const noexcept {
+    return candidate_.get();
+  }
+  /// Hands the candidate over on promotion (clears the staged slot).
+  [[nodiscard]] std::shared_ptr<const ml::CompiledModel> take_candidate();
+
+  // ------------------------------------------------------- shadow mirror
+  /// Draws the per-request sampling coin. Only called while a candidate is
+  /// staged, so the RNG stream advances identically whether or not earlier
+  /// candidates were promoted.
+  [[nodiscard]] bool sample_shadow();
+
+  /// Records one mirrored comparison; prior_* report the footprint
+  /// estimator's would-hit replay of the key's previous visit (pass
+  /// have_prior = false when the key has no mirrored history yet). Returns
+  /// a verdict once the rolling window is full.
+  Verdict record_shadow(double live_p, double shadow_p, bool live_admit,
+                        bool shadow_admit, bool have_prior, bool prior_live_hit,
+                        bool prior_shadow_hit);
+
+  // --------------------------------------------------------- RobustGuard
+  /// Feeds one |prediction - oracle label| observation.
+  void record_drift(double abs_error);
+  [[nodiscard]] bool guard_engaged() const noexcept { return guard_engaged_; }
+  /// Counts one request served under the engaged guard.
+  void count_guarded_request() { ++counters_.guarded_requests; }
+
+  // ------------------------------------------------------------ autotune
+  /// Feeds one served-request latency (seconds) from the serving layer.
+  void observe_latency(double seconds);
+  /// Additive admission-threshold bias in [0, max_threshold_bias].
+  [[nodiscard]] double threshold_bias() const noexcept { return threshold_bias_; }
+  /// Current (possibly autotuned) shadow evaluation window.
+  [[nodiscard]] std::size_t shadow_window() const noexcept { return window_; }
+
+  [[nodiscard]] const ControlPlaneCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+ private:
+  void reset_evaluation();
+
+  ControlPlaneConfig config_;
+  util::Xoshiro256 rng_;  ///< private stream: never perturbs the host's draws
+  std::shared_ptr<const ml::CompiledModel> candidate_;
+
+  // Rolling evaluation window of the staged candidate.
+  std::uint64_t eval_samples_ = 0;
+  std::uint64_t eval_agreements_ = 0;
+  double eval_divergence_sum_ = 0.0;
+  std::uint64_t eval_pairs_ = 0;
+  std::uint64_t eval_live_hits_ = 0;
+  std::uint64_t eval_shadow_hits_ = 0;
+
+  // RobustGuard rolling drift window.
+  double drift_sum_ = 0.0;
+  std::uint64_t drift_samples_ = 0;
+  bool guard_engaged_ = false;
+
+  // Autotune epoch state.
+  util::QuantileHistogram latency_{1e-6, 1e4, 128};
+  std::uint64_t latency_samples_ = 0;
+  double threshold_bias_ = 0.0;
+  std::size_t window_;
+
+  ControlPlaneCounters counters_;
+};
+
+/// Implemented by policies that host a control-plane cell (LhrCache). The
+/// serving layer discovers cells through this interface to feed latencies
+/// and aggregate the report; the returned pointer is fixed for the
+/// policy's lifetime (null when the control plane is disabled).
+class ControlPlaneHost {
+ public:
+  virtual ~ControlPlaneHost() = default;
+  [[nodiscard]] virtual ControlPlane* control_plane() noexcept = 0;
+};
+
+}  // namespace lhr::server

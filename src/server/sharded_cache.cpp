@@ -82,6 +82,10 @@ std::uint64_t ShardedCache::metadata_bytes() const {
   return total;
 }
 
+sim::CachePolicy& ShardedCache::shard_policy(std::size_t shard) {
+  return *shards_[shard]->policy;
+}
+
 ShardedCache::ShardStats ShardedCache::shard_stats(std::size_t shard) const {
   const Shard& s = *shards_[shard];
   ShardStats stats;

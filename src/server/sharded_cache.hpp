@@ -90,6 +90,13 @@ class ShardedCache : public sim::CachePolicy {
   /// Capacity currently assigned to one shard (exposed for tests).
   [[nodiscard]] std::uint64_t shard_capacity_bytes(std::size_t shard) const;
 
+  /// The policy instance owned by one shard. NOT thread-safe: callers may
+  /// only touch the returned policy while the shard is quiescent (before
+  /// replay, after replay, or from the shard-owning worker — the
+  /// replay_concurrent ownership discipline). The serving layer uses this
+  /// to discover per-shard control-plane cells (ControlPlaneHost).
+  [[nodiscard]] sim::CachePolicy& shard_policy(std::size_t shard);
+
   /// Serving counters for one shard (thread-safe snapshot).
   [[nodiscard]] ShardStats shard_stats(std::size_t shard) const;
 

@@ -133,6 +133,59 @@ TEST(AsyncTrainer, FailedFitCountsAndFreesTheTrainer) {
   EXPECT_NE(trainer.collect(), nullptr);
 }
 
+TEST(AsyncTrainer, StatsSnapshotIsConsistentUnderConcurrentReads) {
+  // The regression this guards: reading completed()/background_seconds()
+  // as separate calls lets the trainer finish a fit between them, pairing
+  // the fit count of snapshot N with the wall-clock of snapshot N+1. The
+  // one-lock Stats snapshot makes (completed + failed) and the timing
+  // fields move together: two snapshots with the same fit count must carry
+  // identical timings. A reader thread hammers stats() while fits complete
+  // (the TSan lane runs this via the concurrency label).
+  ml::AsyncTrainer trainer(1);
+
+  std::atomic<bool> stop{false};
+  std::vector<ml::AsyncTrainer::Stats> snapshots;
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      snapshots.push_back(trainer.stats());
+    }
+    snapshots.push_back(trainer.stats());
+  });
+
+  for (std::uint64_t round = 0; round < 6; ++round) {
+    Labeled batch = make_batch(2'000, 6, 100 + round);
+    ASSERT_TRUE(trainer.submit(std::move(batch.x), std::move(batch.y), small_config()));
+    trainer.wait();
+    EXPECT_NE(trainer.collect(), nullptr);
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  const ml::AsyncTrainer::Stats* prev = nullptr;
+  for (const auto& s : snapshots) {
+    const std::size_t fits = s.completed + s.failed;
+    if (fits == 0) {
+      EXPECT_EQ(s.background_seconds, 0.0);
+      EXPECT_EQ(s.last_train_seconds, 0.0);
+    } else {
+      EXPECT_GT(s.background_seconds, 0.0);
+      EXPECT_LE(s.last_train_seconds, s.background_seconds);
+    }
+    if (prev != nullptr) {
+      EXPECT_GE(s.completed, prev->completed);
+      EXPECT_GE(s.background_seconds, prev->background_seconds);
+      if (s.completed + s.failed == prev->completed + prev->failed) {
+        EXPECT_EQ(s.background_seconds, prev->background_seconds);
+        EXPECT_EQ(s.last_train_seconds, prev->last_train_seconds);
+      }
+    }
+    prev = &s;
+  }
+  const ml::AsyncTrainer::Stats final = trainer.stats();
+  EXPECT_EQ(final.completed, 6u);
+  EXPECT_EQ(final.failed, 0u);
+}
+
 TEST(AsyncTrainer, DestructorJoinsInFlightTraining) {
   const auto data = make_batch(8'000, 8, 44);
   {

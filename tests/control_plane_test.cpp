@@ -1,0 +1,284 @@
+// server::ControlPlane — spec parsing, the promote/rollback state machine,
+// RobustGuard hysteresis, autotune epochs, and the end-to-end determinism
+// contract: a ShardedCache of LHR cells behind a CdnServer must report
+// byte-identical control-plane counters at any replay worker count.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/lhr_cache.hpp"
+#include "gen/cdn_model.hpp"
+#include "gen/drift.hpp"
+#include "server/cdn_server.hpp"
+#include "server/control_plane.hpp"
+#include "server/sharded_cache.hpp"
+
+namespace lhr::server {
+namespace {
+
+// ----------------------------------------------------------------- parse
+
+TEST(ParseControlPlane, OnOffAndDefaults) {
+  EXPECT_FALSE(ControlPlaneConfig{}.enabled);
+  EXPECT_TRUE(parse_control_plane("on").enabled);
+  EXPECT_FALSE(parse_control_plane("off").enabled);
+}
+
+TEST(ParseControlPlane, KeyValueSpec) {
+  const ControlPlaneConfig cfg =
+      parse_control_plane("sample=0.5,window=512,agree=0.9,div=0.1,p99=2.5");
+  EXPECT_TRUE(cfg.enabled);
+  EXPECT_DOUBLE_EQ(cfg.sample_fraction, 0.5);
+  EXPECT_EQ(cfg.window, 512u);
+  EXPECT_DOUBLE_EQ(cfg.min_agreement, 0.9);
+  EXPECT_DOUBLE_EQ(cfg.max_divergence, 0.1);
+  EXPECT_TRUE(cfg.autotune);
+  EXPECT_DOUBLE_EQ(cfg.p99_budget_ms, 2.5);
+}
+
+TEST(ParseControlPlane, MalformedSpecsThrow) {
+  const auto parse = [](const char* spec) { (void)parse_control_plane(spec); };
+  EXPECT_THROW(parse("bogus=1"), std::invalid_argument);
+  EXPECT_THROW(parse("sample"), std::invalid_argument);
+  EXPECT_THROW(parse("sample=nope"), std::invalid_argument);
+  EXPECT_THROW(parse("sample=1.5"), std::invalid_argument);
+  // Hysteresis must be a band: rearm below the engage threshold.
+  EXPECT_THROW(parse("guard=0.2,rearm=0.3"), std::invalid_argument);
+}
+
+// ------------------------------------------------- promote/rollback FSM
+
+ControlPlaneConfig fsm_config() {
+  ControlPlaneConfig cfg;
+  cfg.enabled = true;
+  cfg.sample_fraction = 1.0;
+  cfg.window = 8;
+  cfg.min_agreement = 0.85;
+  cfg.max_divergence = 0.20;
+  cfg.robust_guard = false;
+  return cfg;
+}
+
+std::shared_ptr<const ml::CompiledModel> dummy_model() {
+  return std::make_shared<const ml::CompiledModel>(ml::Gbdt{});
+}
+
+TEST(ControlPlaneFsm, AgreeingCandidatePromotes) {
+  ControlPlane cp(fsm_config());
+  cp.stage(dummy_model());
+  ControlPlane::Verdict verdict = ControlPlane::Verdict::kNone;
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(verdict, ControlPlane::Verdict::kNone);
+    verdict = cp.record_shadow(0.9, 0.88, true, true, false, false, false);
+  }
+  EXPECT_EQ(verdict, ControlPlane::Verdict::kPromote);
+  EXPECT_EQ(cp.counters().promotions, 1u);
+  EXPECT_EQ(cp.counters().rollbacks, 0u);
+  EXPECT_NE(cp.take_candidate(), nullptr);
+  EXPECT_FALSE(cp.has_candidate());
+}
+
+TEST(ControlPlaneFsm, DisagreeingCandidateRollsBack) {
+  ControlPlane cp(fsm_config());
+  cp.stage(dummy_model());
+  ControlPlane::Verdict verdict = ControlPlane::Verdict::kNone;
+  for (std::size_t i = 0; i < 8; ++i) {
+    verdict = cp.record_shadow(0.9, 0.1, true, false, false, false, false);
+  }
+  EXPECT_EQ(verdict, ControlPlane::Verdict::kRollback);
+  EXPECT_EQ(cp.counters().rollbacks, 1u);
+  EXPECT_EQ(cp.counters().promotions, 0u);
+  EXPECT_FALSE(cp.has_candidate());  // rejected candidate is dropped
+}
+
+TEST(ControlPlaneFsm, ScoreDivergenceAloneRollsBack) {
+  // Same admission side everywhere, but mean |Δp| = 0.5 > max_divergence.
+  ControlPlane cp(fsm_config());
+  cp.stage(dummy_model());
+  ControlPlane::Verdict verdict = ControlPlane::Verdict::kNone;
+  for (std::size_t i = 0; i < 8; ++i) {
+    verdict = cp.record_shadow(0.95, 0.45, false, false, false, false, false);
+  }
+  EXPECT_EQ(verdict, ControlPlane::Verdict::kRollback);
+}
+
+TEST(ControlPlaneFsm, RestagingDisplacesUnevaluatedCandidate) {
+  ControlPlane cp(fsm_config());
+  cp.stage(dummy_model());
+  cp.stage(dummy_model());
+  EXPECT_EQ(cp.counters().candidates_staged, 2u);
+  EXPECT_EQ(cp.counters().candidates_displaced, 1u);
+}
+
+TEST(ControlPlaneFsm, SamplingStreamIsDeterministic) {
+  ControlPlaneConfig cfg = fsm_config();
+  cfg.sample_fraction = 0.5;
+  ControlPlane a(cfg);
+  ControlPlane b(cfg);
+  for (std::size_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(a.sample_shadow(), b.sample_shadow()) << "draw " << i;
+  }
+}
+
+// ----------------------------------------------------------- RobustGuard
+
+TEST(RobustGuard, EngageDisengageHysteresis) {
+  ControlPlaneConfig cfg;
+  cfg.enabled = true;
+  cfg.guard_window = 16;
+  cfg.guard_divergence = 0.5;
+  cfg.guard_rearm = 0.2;
+  ControlPlane cp(cfg);
+
+  for (std::size_t i = 0; i < 16; ++i) cp.record_drift(0.8);
+  EXPECT_TRUE(cp.guard_engaged());
+  EXPECT_EQ(cp.counters().guard_engagements, 1u);
+
+  // Inside the hysteresis band: stays engaged.
+  for (std::size_t i = 0; i < 16; ++i) cp.record_drift(0.3);
+  EXPECT_TRUE(cp.guard_engaged());
+  EXPECT_EQ(cp.counters().guard_disengagements, 0u);
+
+  for (std::size_t i = 0; i < 16; ++i) cp.record_drift(0.05);
+  EXPECT_FALSE(cp.guard_engaged());
+  EXPECT_EQ(cp.counters().guard_disengagements, 1u);
+}
+
+// -------------------------------------------------------------- autotune
+
+TEST(Autotune, OverBudgetRaisesBiasThenDecaysBack) {
+  ControlPlaneConfig cfg;
+  cfg.enabled = true;
+  cfg.window = 64;
+  cfg.autotune = true;
+  cfg.p99_budget_ms = 1.0;
+  cfg.autotune_step = 0.05;
+  cfg.max_threshold_bias = 0.10;
+  cfg.latency_window = 32;
+  cfg.min_window = 16;
+  ControlPlane cp(cfg);
+
+  // Two over-budget epochs (10 ms >> 1 ms): bias climbs to the clamp and
+  // the shadow window halves toward the floor.
+  for (std::size_t i = 0; i < 64; ++i) cp.observe_latency(0.010);
+  EXPECT_DOUBLE_EQ(cp.threshold_bias(), 0.10);
+  EXPECT_EQ(cp.shadow_window(), 16u);
+  EXPECT_EQ(cp.counters().threshold_raises, 2u);
+  EXPECT_EQ(cp.counters().window_shrinks, 2u);
+
+  // An under-budget epoch decays the bias and regrows the window.
+  for (std::size_t i = 0; i < 32; ++i) cp.observe_latency(0.0001);
+  EXPECT_DOUBLE_EQ(cp.threshold_bias(), 0.05);
+  EXPECT_EQ(cp.shadow_window(), 32u);
+  EXPECT_EQ(cp.counters().threshold_decays, 1u);
+  EXPECT_EQ(cp.counters().window_grows, 1u);
+  EXPECT_EQ(cp.counters().autotune_epochs, 3u);
+}
+
+// ----------------------------------------- LhrCache + CdnServer end to end
+
+core::LhrConfig cell_lhr_config(ControlPlaneConfig cp) {
+  core::LhrConfig config;
+  config.enable_detection = false;  // retrain every window -> many candidates
+  config.control_plane = std::move(cp);
+  return config;
+}
+
+trace::Trace drift_trace(std::size_t n) {
+  const auto schedule =
+      gen::DriftSchedule::parse("remap:0.40-0.68@1.0;onehit:0.72-0.88@0.9");
+  return gen::apply_drift(gen::make_trace(gen::TraceClass::kCdnA, n, 7), schedule, 7);
+}
+
+TEST(ControlPlaneEndToEnd, CountersIdenticalAcrossReplayThreadCounts) {
+  constexpr std::size_t kRequests = 60'000;
+  const std::uint64_t capacity =
+      gen::headline_cache_size(gen::TraceClass::kCdnA, kRequests / 1e6);
+  const trace::Trace trace = drift_trace(kRequests);
+
+  ControlPlaneConfig cp = parse_control_plane("sample=0.5,window=96,div=0.045");
+  std::string canon;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    auto backend = std::make_unique<ShardedCache>(
+        4, capacity, [&cp](std::uint64_t cap) {
+          return std::make_unique<core::LhrCache>(cap, cell_lhr_config(cp));
+        });
+    ServerConfig cfg;
+    cfg.ram_bytes = 1ULL << 22;
+    cfg.seed = 7;
+    cfg.measured_lookup_cpu = false;
+    CdnServer server(std::move(backend), cfg);
+    const ServerReport report =
+        server.replay_concurrent(trace, ReplayMode::kNormal, threads);
+    EXPECT_TRUE(report.control_plane.active);
+    EXPECT_EQ(report.control_plane.cells, 4u);
+    if (threads == 1) {
+      canon = report.control_plane.canonical();
+      EXPECT_GT(report.control_plane.counters.candidates_staged, 0u);
+    } else {
+      EXPECT_EQ(report.control_plane.canonical(), canon) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ControlPlaneEndToEnd, ImpossibleDivergenceBoundForcesRollbacks) {
+  // A divergence ceiling no real candidate can meet: every staged retrain
+  // must roll back, the incumbent bootstrap model stays live, and the cache
+  // keeps serving.
+  constexpr std::size_t kRequests = 40'000;
+  const std::uint64_t capacity =
+      gen::headline_cache_size(gen::TraceClass::kCdnA, kRequests / 1e6);
+  const trace::Trace trace = gen::make_trace(gen::TraceClass::kCdnA, kRequests, 7);
+
+  core::LhrCache cache(
+      capacity,
+      cell_lhr_config(parse_control_plane("sample=1.0,window=64,div=0.0")));
+  for (std::size_t i = 0; i < trace.size(); ++i) cache.access(trace[i]);
+
+  const ControlPlane* cp = cache.control_plane();
+  ASSERT_NE(cp, nullptr);
+  EXPECT_GT(cp->counters().candidates_staged, 0u);
+  EXPECT_GT(cp->counters().rollbacks, 0u);
+  EXPECT_EQ(cp->counters().promotions, 0u);
+}
+
+TEST(ControlPlaneEndToEnd, GuardEngagesUnderDriftAndRecovers) {
+  constexpr std::size_t kRequests = 60'000;
+  const std::uint64_t capacity =
+      gen::headline_cache_size(gen::TraceClass::kCdnA, kRequests / 1e6);
+  const trace::Trace trace = drift_trace(kRequests);
+
+  // Calibrated like bench_control_plane: the GBDT is near-perfect on the
+  // synthetic classes, so drift is a small-absolute-value excursion.
+  core::LhrCache cache(
+      capacity, cell_lhr_config(parse_control_plane(
+                    "sample=0.5,window=96,div=0.045,guard=0.03,rearm=0.015,"
+                    "guardwin=512")));
+  for (std::size_t i = 0; i < trace.size(); ++i) cache.access(trace[i]);
+
+  const ControlPlane* cp = cache.control_plane();
+  ASSERT_NE(cp, nullptr);
+  EXPECT_GE(cp->counters().guard_engagements, 1u);
+  EXPECT_GT(cp->counters().guarded_requests, 0u);
+  EXPECT_GE(cp->counters().guard_engagements, cp->counters().guard_disengagements);
+}
+
+TEST(ControlPlaneEndToEnd, DisabledControlPlaneReportsInactive) {
+  const std::uint64_t capacity = 1ULL << 24;
+  auto backend = std::make_unique<ShardedCache>(2, capacity, [](std::uint64_t cap) {
+    return std::make_unique<core::LhrCache>(cap);
+  });
+  ServerConfig cfg;
+  cfg.ram_bytes = 1ULL << 20;
+  cfg.measured_lookup_cpu = false;
+  CdnServer server(std::move(backend), cfg);
+  const trace::Trace trace = gen::make_trace(gen::TraceClass::kCdnA, 5'000, 3);
+  const ServerReport report =
+      server.replay_concurrent(trace, ReplayMode::kNormal, 2);
+  EXPECT_FALSE(report.control_plane.active);
+  EXPECT_EQ(report.control_plane.cells, 0u);
+}
+
+}  // namespace
+}  // namespace lhr::server

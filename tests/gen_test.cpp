@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "gen/cdn_model.hpp"
+#include "gen/drift.hpp"
 #include "gen/markov_modulated.hpp"
 #include "gen/size_model.hpp"
 #include "gen/zipf.hpp"
@@ -254,6 +255,92 @@ TEST(MarkovModulated, TimeOrderedAndReproducible) {
   const auto b = generate_syn_one(cfg);
   EXPECT_TRUE(a.is_time_ordered());
   for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+// ---------------------------------------------------------------- drift
+
+TEST(DriftSchedule, ParsesClausesAndDefaults) {
+  const auto s = DriftSchedule::parse("remap:0.4-0.7@0.9;onehit:0.8-0.9@0.5");
+  ASSERT_EQ(s.episodes().size(), 2u);
+  EXPECT_EQ(s.episodes()[0].kind, DriftEpisode::Kind::kRemap);
+  EXPECT_DOUBLE_EQ(s.episodes()[0].start_fraction, 0.4);
+  EXPECT_DOUBLE_EQ(s.episodes()[0].end_fraction, 0.7);
+  EXPECT_DOUBLE_EQ(s.episodes()[0].fraction, 0.9);
+  EXPECT_EQ(s.episodes()[1].kind, DriftEpisode::Kind::kOneHit);
+  EXPECT_DOUBLE_EQ(s.episodes()[1].fraction, 0.5);
+
+  // The @fraction defaults to 1 (the whole episode drifts).
+  const auto full = DriftSchedule::parse("remap:0.1-0.2");
+  ASSERT_EQ(full.episodes().size(), 1u);
+  EXPECT_DOUBLE_EQ(full.episodes()[0].fraction, 1.0);
+}
+
+TEST(DriftSchedule, MalformedSpecsThrow) {
+  const auto parse = [](const char* spec) { (void)DriftSchedule::parse(spec); };
+  EXPECT_THROW(parse("bogus:0.1-0.2"), std::invalid_argument);
+  EXPECT_THROW(parse("remap:0.7-0.4"), std::invalid_argument);    // start > end
+  EXPECT_THROW(parse("remap:0.1-1.5"), std::invalid_argument);    // out of [0,1]
+  EXPECT_THROW(parse("remap:0.1-0.2@1.5"), std::invalid_argument);
+  EXPECT_THROW(parse("remap"), std::invalid_argument);
+}
+
+TEST(ApplyDrift, DeterministicAndShapePreserving) {
+  const auto base = make_trace(TraceClass::kCdnA, 20'000, 11);
+  const auto schedule = DriftSchedule::parse("remap:0.3-0.6@0.8;onehit:0.7-0.8@0.5");
+  const auto a = apply_drift(base, schedule, 11);
+  const auto b = apply_drift(base, schedule, 11);
+  ASSERT_EQ(a.size(), base.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]);  // byte-identical across applications
+    // Only keys drift; times and sizes survive untouched.
+    EXPECT_EQ(a[i].time, base[i].time);
+    EXPECT_EQ(a[i].size, base[i].size);
+  }
+  // Identity outside every episode.
+  for (std::size_t i = 0; i < a.size() * 3 / 10; ++i) EXPECT_EQ(a[i].key, base[i].key);
+  for (std::size_t i = a.size() * 8 / 10; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, base[i].key);
+  }
+}
+
+TEST(ApplyDrift, FullRemapIsABijectionOverTheEpisode) {
+  const auto base = make_trace(TraceClass::kCdnA, 20'000, 11);
+  const auto drifted =
+      apply_drift(base, DriftSchedule::parse("remap:0.0-1.0@1.0"), 11);
+
+  // Popularity structure is preserved under new names: per-key request
+  // counts form the same multiset, every key is renamed.
+  const auto counts_of = [](const trace::Trace& t) {
+    std::unordered_map<trace::Key, std::size_t> counts;
+    for (const auto& r : t) ++counts[r.key];
+    std::vector<std::size_t> sorted;
+    sorted.reserve(counts.size());
+    for (const auto& [k, c] : counts) sorted.push_back(c);
+    std::sort(sorted.begin(), sorted.end());
+    return sorted;
+  };
+  EXPECT_EQ(counts_of(base), counts_of(drifted));
+  for (std::size_t i = 0; i < base.size(); ++i) EXPECT_NE(drifted[i].key, base[i].key);
+}
+
+TEST(ApplyDrift, OneHitFloodNeverReusesKeys) {
+  const auto base = make_trace(TraceClass::kCdnA, 10'000, 11);
+  const auto drifted =
+      apply_drift(base, DriftSchedule::parse("onehit:0.0-1.0@1.0"), 11);
+  std::unordered_set<trace::Key> seen;
+  for (const auto& r : drifted) EXPECT_TRUE(seen.insert(r.key).second);
+}
+
+TEST(ApplyDrift, SeedSelectsADifferentDrift) {
+  const auto base = make_trace(TraceClass::kCdnA, 10'000, 11);
+  const auto schedule = DriftSchedule::parse("remap:0.0-1.0@1.0");
+  const auto a = apply_drift(base, schedule, 1);
+  const auto b = apply_drift(base, schedule, 2);
+  bool any_differ = false;
+  for (std::size_t i = 0; i < a.size() && !any_differ; ++i) {
+    any_differ = a[i].key != b[i].key;
+  }
+  EXPECT_TRUE(any_differ);
 }
 
 }  // namespace

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Compare runner JSONL bench output against a checked-in baseline.
+
+The bench-regression CI lane runs bench_micro / bench_saturation at a pinned
+small configuration with LHR_BENCH_JSONL set, then calls this script once per
+baseline file:
+
+    tools/bench_compare.py --baseline bench/baselines/micro.json \
+        --jsonl micro.jsonl --out micro-diff.json
+
+A baseline file pins, per metric: the JSONL row label, the stats key, the
+reference value, which direction is better, and the tolerance band:
+
+    {
+      "config": {"LHR_MICRO_INFER_ROWS": "4000"},   # documentation only
+      "metrics": [
+        {"label": "gbdt_infer/flat_row", "stat": "ns_per_row",
+         "value": 1850.0, "direction": "lower", "tolerance": 1.5},
+        {"label": "saturation/LHR/cdn-a/knee", "stat": "knee_rps",
+         "value": 120000.0, "direction": "higher", "tolerance": 0.7}
+      ]
+    }
+
+direction "lower"  (latency-like): regression when measured > value * (1 + tolerance)
+direction "higher" (throughput-like): regression when measured < value * (1 - tolerance)
+
+Tolerances are deliberately wide: shared CI runners are noisy and slower than
+the machine the baselines were recorded on, so this lane exists to catch
+order-of-magnitude regressions (an accidental O(n) scan on the hot path, a
+dropped SIMD dispatch), not single-digit drift. When a sweep emits several
+rows with the same label, "agg" picks the one to compare: "last" (default),
+"max" or "min".
+
+A metric whose label/stat never appears in the JSONL is a failure too — a
+silently dropped bench reads as "no regression" otherwise.
+
+Exit status: 0 = all metrics within tolerance, 1 = any regression or missing
+metric, 2 = usage/IO error. The --out diff JSON (uploaded as a CI artifact)
+carries every metric's measured value, bound, and verdict.
+
+Refreshing baselines after an intentional perf change:
+    LHR_BENCH_JSONL=micro.jsonl <pinned env> ./build/bench/bench_micro ...
+    tools/bench_compare.py --baseline bench/baselines/micro.json \
+        --jsonl micro.jsonl --update
+rewrites every metric's "value" with the measured one (tolerances are kept);
+commit the regenerated baseline together with the perf change.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_jsonl(path):
+    rows = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as err:
+                raise SystemExit(f"{path}:{line_no}: bad JSONL line: {err}")
+    return rows
+
+
+def measured_value(rows, label, stat, agg):
+    values = [
+        row["stats"][stat]
+        for row in rows
+        if row.get("label") == label and stat in row.get("stats", {})
+    ]
+    if not values:
+        return None
+    if agg == "max":
+        return max(values)
+    if agg == "min":
+        return min(values)
+    return values[-1]
+
+
+def check_metric(metric, rows):
+    label = metric["label"]
+    stat = metric["stat"]
+    value = float(metric["value"])
+    direction = metric.get("direction", "lower")
+    tolerance = float(metric.get("tolerance", 0.5))
+    agg = metric.get("agg", "last")
+
+    measured = measured_value(rows, label, stat, agg)
+    result = {
+        "label": label,
+        "stat": stat,
+        "baseline": value,
+        "direction": direction,
+        "tolerance": tolerance,
+        "measured": measured,
+    }
+    if measured is None:
+        result["verdict"] = "missing"
+        return result
+    if direction == "lower":
+        bound = value * (1.0 + tolerance)
+        result["bound"] = bound
+        result["verdict"] = "ok" if measured <= bound else "regression"
+    elif direction == "higher":
+        bound = value * (1.0 - tolerance)
+        result["bound"] = bound
+        result["verdict"] = "ok" if measured >= bound else "regression"
+    else:
+        raise SystemExit(f"metric {label}: unknown direction '{direction}'")
+    return result
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="baseline JSON file")
+    parser.add_argument("--jsonl", required=True, help="runner JSONL to check")
+    parser.add_argument("--out", help="write the per-metric diff JSON here")
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline's values with the measured ones and exit",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        rows = load_jsonl(args.jsonl)
+    except OSError as err:
+        print(f"bench_compare: {err}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        missing = []
+        for metric in baseline["metrics"]:
+            measured = measured_value(
+                rows, metric["label"], metric["stat"], metric.get("agg", "last")
+            )
+            if measured is None:
+                missing.append(f'{metric["label"]}:{metric["stat"]}')
+            else:
+                metric["value"] = round(measured, 6)
+        if missing:
+            print(f"bench_compare: not measured: {', '.join(missing)}", file=sys.stderr)
+            return 1
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(baseline, fh, indent=2)
+            fh.write("\n")
+        print(f"bench_compare: refreshed {len(baseline['metrics'])} baseline values")
+        return 0
+
+    results = [check_metric(m, rows) for m in baseline["metrics"]]
+    failed = [r for r in results if r["verdict"] != "ok"]
+
+    width = max(len(r["label"]) + len(r["stat"]) + 1 for r in results)
+    for r in results:
+        name = f'{r["label"]}:{r["stat"]}'
+        measured = "absent" if r["measured"] is None else f'{r["measured"]:.3f}'
+        bound = f'{r["bound"]:.3f}' if "bound" in r else "-"
+        marker = "ok" if r["verdict"] == "ok" else r["verdict"].upper()
+        print(
+            f"{name:<{width}}  baseline {r['baseline']:>12.3f}  "
+            f"measured {measured:>12}  bound({r['direction']}) {bound:>12}  {marker}"
+        )
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump({"baseline_file": args.baseline, "results": results}, fh, indent=2)
+            fh.write("\n")
+
+    if failed:
+        print(
+            f"bench_compare: {len(failed)}/{len(results)} metric(s) regressed "
+            f"or missing (see above)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench_compare: all {len(results)} metric(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
