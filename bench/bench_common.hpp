@@ -72,6 +72,47 @@ inline std::size_t serve_threads() {
   return 0;
 }
 
+/// LHR_SERVE_PROCS: worker *processes* for the serving replay (each re-execs
+/// the current binary in hidden --replay-worker mode and owns shards
+/// s % P == p). 0 (the default) keeps the in-process replay. Canonical
+/// aggregates are byte-identical at every process count, so this is a pure
+/// throughput knob — see DESIGN.md "Process fan-out".
+inline std::size_t serve_procs() {
+  if (const char* env = std::getenv("LHR_SERVE_PROCS")) {
+    const std::uint64_t value = util::require_u64("LHR_SERVE_PROCS", env);
+    if (value >= 1) return static_cast<std::size_t>(value);
+  }
+  return 0;
+}
+
+/// Parses a comma-separated count list from `name`, falling back to
+/// `fallback` when unset/empty. Non-positive entries are dropped; an
+/// all-invalid value falls back too (benches sweep *something* rather than
+/// silently doing nothing).
+inline std::vector<std::size_t> env_count_list(const char* name,
+                                               const char* fallback) {
+  const auto parse = [](const char* text) {
+    std::vector<std::size_t> counts;
+    std::string item;
+    for (const char* p = text;; ++p) {
+      if (*p == ',' || *p == '\0') {
+        const long value = std::atol(item.c_str());
+        if (value >= 1) counts.push_back(static_cast<std::size_t>(value));
+        item.clear();
+        if (*p == '\0') break;
+      } else {
+        item.push_back(*p);
+      }
+    }
+    return counts;
+  };
+  const char* env = std::getenv(name);
+  std::vector<std::size_t> counts =
+      parse(env != nullptr && *env != '\0' ? env : fallback);
+  if (counts.empty()) counts = parse(fallback);
+  return counts;
+}
+
 /// LHR_SERVE_SHARDS: ShardedCache shard count for the serving path (default
 /// 64). Fixed independently of the thread count so aggregate hit ratios are
 /// identical for every LHR_SERVE_THREADS value.

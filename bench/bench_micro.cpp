@@ -26,7 +26,9 @@
 #include <sstream>
 #include <vector>
 
+#include "bench/bench_common.hpp"
 #include "core/policy_factory.hpp"
+#include "core/proc_replay.hpp"
 #include "gen/cdn_model.hpp"
 #include "gen/zipf.hpp"
 #include "policies/lru.hpp"
@@ -701,6 +703,93 @@ void run_fault_serve_suite() {
               identical ? "yes" : "NO -- DETERMINISM BUG");
 }
 
+// ----------------------------------------------------- process fan-out
+// The process-parallel serving suite: the same Sharded(LRU)x64 kMax replay,
+// fanned out across worker processes via core::run_proc_replay. Each worker
+// re-execs THIS binary in hidden --replay-worker mode (the hook at the top
+// of main()), mmaps the shared spilled .lhrt read-only and replays the
+// shards it owns (s % P == p). The canonical report — counters, latency
+// quantiles, window hit ratios — must be byte-identical at every process
+// count; CI greps the verdict line.
+//   LHR_MICRO_SERVE_PROCS  comma list of process counts (default "1,2")
+void run_proc_serve_suite() {
+  constexpr std::size_t kShards = 64;
+  const std::size_t n = micro_serve_requests();
+  const auto capacity =
+      gen::headline_cache_size(gen::TraceClass::kCdnA, static_cast<double>(n) / 1e6);
+
+  // Workers need an on-disk trace to mmap, so force the cache's spill path
+  // (spill_mb = 0). The keyed file doubles as the cross-process trace
+  // cache; generation is flock-guarded, so concurrent bench runs race
+  // safely for it.
+  runner::TraceCache::Options cache_options;
+  cache_options.requests_per_trace = n;
+  cache_options.seed = 42;
+  cache_options.spill_mb = 0;
+  const runner::TraceCache traces(cache_options);
+  const std::string trace_path = traces.lhrt_path_for(gen::TraceClass::kCdnA);
+
+  const std::vector<std::size_t> procs_list =
+      bench::env_count_list("LHR_MICRO_SERVE_PROCS", "1,2");
+
+  std::vector<std::string> canonical(procs_list.size());
+  std::vector<runner::Job> jobs;
+  for (std::size_t i = 0; i < procs_list.size(); ++i) {
+    const std::size_t procs = procs_list[i];
+    runner::Job job;
+    job.label = "serve_procs/procs=" + std::to_string(procs);
+    job.body = [&, i, procs](runner::Result& r) {
+      core::ProcReplayJob spec;
+      spec.trace_path = trace_path;
+      spec.policy = "LRU";
+      spec.capacity_bytes = capacity;
+      spec.shards = kShards;
+      spec.procs = procs;
+      spec.threads = 1;
+      spec.mode = server::ReplayMode::kMax;
+      const server::ServerReport report = core::run_proc_replay(spec);
+      canonical[i] = report.canonical_summary();
+      r.set("procs", static_cast<double>(procs));
+      r.set("requests", static_cast<double>(report.requests));
+      r.set("replay_wall_seconds", report.replay_wall_seconds);
+      r.set("requests_per_second",
+            report.replay_wall_seconds > 0.0
+                ? static_cast<double>(report.requests) / report.replay_wall_seconds
+                : 0.0);
+      r.set("hits", static_cast<double>(report.hits));
+      r.set("wan_bytes", static_cast<double>(report.wan_bytes));
+      r.set("object_hit_pct", report.content_hit_pct);
+      r.set("p99_latency_ms", report.p99_latency_ms);
+    };
+    jobs.push_back(std::move(job));
+  }
+
+  runner::RunOptions options;
+  options.threads = 1;  // each job spawns its own worker processes
+  const auto results = runner::run_all(jobs, options);
+  runner::append_jsonl_if_configured(results);
+
+  std::printf("Process-parallel serving (core::run_proc_replay, %zu requests, "
+              "Sharded(LRU)x%zu, 1 thread/process):\n", n, kShards);
+  for (const auto& r : results) {
+    std::printf("  %-24s %10.0f req/s  (%.3f s, hit %.2f%%, p99 %.3f ms)\n",
+                r.label.c_str(), r.stat("requests_per_second"),
+                r.stat("replay_wall_seconds"), r.stat("object_hit_pct"),
+                r.stat("p99_latency_ms"));
+  }
+  bool identical = true;
+  for (const auto& c : canonical) identical = identical && c == canonical.front();
+  std::printf("  proc-parallel canonical reports identical across process "
+              "counts: %s\n", identical ? "yes" : "NO -- DETERMINISM BUG");
+  if (results.size() > 1) {
+    const double base = results.front().stat("requests_per_second");
+    const double top = results.back().stat("requests_per_second");
+    std::printf("  aggregate speedup procs=%zu -> procs=%zu: %.2fx\n",
+                procs_list.front(), procs_list.back(),
+                base > 0.0 ? top / base : 0.0);
+  }
+}
+
 // End-to-end cost of a policy sweep on the parallel runner: 8 LRU jobs over
 // a small cached trace, at 1 / 2 / 4 worker threads. The 1-thread run is the
 // serial baseline; the ratio is the sweep speedup bench/ binaries get.
@@ -748,10 +837,17 @@ BENCHMARK(BM_GbdtFitThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kM
 BENCHMARK(BM_RunnerSweep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  // Hidden worker mode: the proc-serve suite re-execs this binary per
+  // worker process; the hook replays the slice and exits before any suite
+  // or google-benchmark setup runs.
+  if (const int rc = lhr::core::proc_replay_worker_main(argc, argv); rc >= 0) {
+    return rc;
+  }
   run_gbdt_suite();
   run_inference_suite();
   run_serve_suite();
   run_fault_serve_suite();
+  run_proc_serve_suite();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -15,6 +15,9 @@
 //                        0.5/0.7/0.85/0.95/1.05/1.2/1.5 × peak)
 //   LHR_SAT_POLICIES    comma-separated policy names (default "LRU,LHR")
 //   LHR_SERVE_THREADS   replay workers (default 1)
+//   LHR_SAT_PROCS       comma-separated process counts for the closed-loop
+//                       fan-out sweep (default "1,2"; aggregate req/s per
+//                       count — each worker process re-execs this binary)
 //   LHR_PERF_COUNTERS   "1" → add cycles/req + LLC-miss/req columns via
 //                       perf_event_open (Linux; silently "-" when the PMU
 //                       is unavailable, e.g. perf_event_paranoid >= 2)
@@ -22,6 +25,7 @@
 
 #include "bench/bench_common.hpp"
 #include "bench/load_gen.hpp"
+#include "core/proc_replay.hpp"
 #include "util/perf_counters.hpp"
 
 namespace {
@@ -131,9 +135,75 @@ double calibrate_peak_rps(const std::string& policy, gen::TraceClass c,
   return std::max(p.achieved, 1.0);
 }
 
+/// Closed-loop process fan-out sweep: aggregate req/s of the kMax replay at
+/// each LHR_SAT_PROCS process count. Workers re-exec this binary in hidden
+/// --replay-worker mode (the hook at the top of main) and mmap the spilled
+/// trace read-only, so the sweep measures real multi-core service capacity
+/// rather than one address space's lock behaviour.
+void run_proc_sweep(const std::vector<std::string>& policies,
+                    gen::TraceClass c, std::size_t threads,
+                    std::vector<lhr::runner::Result>& all_results) {
+  const auto capacity = gen::headline_cache_size(c, bench::cache_scale());
+  const std::string trace_path =
+      runner::TraceCache::global().lhrt_path_for(c);
+  const std::vector<std::size_t> procs_list =
+      bench::env_count_list("LHR_SAT_PROCS", "1,2");
+
+  std::printf("\nClosed-loop process fan-out (kMax replay, %zu thread%s/process):\n",
+              threads, threads == 1 ? "" : "s");
+  bench::print_row({"Policy", "Procs", "Aggregate/s", "Wall(s)"}, 14);
+  for (const auto& policy : policies) {
+    double base_rps = 0.0;
+    for (const std::size_t procs : procs_list) {
+      core::ProcReplayJob spec;
+      spec.trace_path = trace_path;
+      spec.policy = policy;
+      spec.capacity_bytes = capacity;
+      spec.shards = bench::serve_shards();
+      spec.procs = procs;
+      spec.threads = threads;
+      spec.mode = server::ReplayMode::kMax;
+      spec.origin_profile = bench::origin_profile_spec();
+      spec.fault_schedule = bench::fault_schedule_spec();
+      const server::ServerReport report = core::run_proc_replay(spec);
+      const double rps =
+          report.replay_wall_seconds > 0.0
+              ? static_cast<double>(report.requests) / report.replay_wall_seconds
+              : 0.0;
+      if (base_rps == 0.0) base_rps = rps;
+      bench::print_row({policy, std::to_string(procs), bench::fmt(rps, 0),
+                        bench::fmt(report.replay_wall_seconds, 3)},
+                       14);
+      runner::Result r;
+      r.label = "saturation/proc_sweep/" + policy + "/procs=" +
+                std::to_string(procs);
+      r.policy = policy;
+      r.trace = gen::to_string(c);
+      r.capacity_bytes = capacity;
+      r.set("procs", static_cast<double>(procs));
+      r.set("serve_threads", static_cast<double>(threads));
+      r.set("aggregate_rps", rps);
+      r.set("requests", static_cast<double>(report.requests));
+      r.set("replay_wall_seconds", report.replay_wall_seconds);
+      r.set("content_hit_pct", report.content_hit_pct);
+      all_results.push_back(std::move(r));
+    }
+    if (procs_list.size() > 1 && base_rps > 0.0) {
+      std::printf("%s fan-out speedup procs=%zu -> procs=%zu: %.2fx\n",
+                  policy.c_str(), procs_list.front(), procs_list.back(),
+                  all_results.back().stat("aggregate_rps") / base_rps);
+    }
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Hidden worker mode: the proc sweep re-execs this binary per worker
+  // process; the hook replays the slice and exits before the sweep setup.
+  if (const int rc = lhr::core::proc_replay_worker_main(argc, argv); rc >= 0) {
+    return rc;
+  }
   bench::print_header(
       "Saturation: open-loop offered load vs achieved throughput (CdnServer)");
 
@@ -212,6 +282,8 @@ int main() {
     knee.set("serve_threads", static_cast<double>(workers));
     all_results.push_back(std::move(knee));
   }
+
+  run_proc_sweep(policies_env(), c, workers, all_results);
 
   runner::append_jsonl_if_configured(all_results);
   return 0;

@@ -2,8 +2,14 @@
 #include <cstdio>
 
 #include "core/cli.hpp"
+#include "core/proc_replay.hpp"
 
 int main(int argc, char** argv) {
+  // Hidden worker mode: --procs re-execs this binary per worker process;
+  // the hook runs the slice and exits before any CLI parsing.
+  if (const int rc = lhr::core::proc_replay_worker_main(argc, argv); rc >= 0) {
+    return rc;
+  }
   std::string error;
   const auto options = lhr::core::parse_cli(argc, argv, error);
   if (!options) {

@@ -1,11 +1,16 @@
 #include "core/cli.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/policy_factory.hpp"
+#include "core/proc_replay.hpp"
 #include "gen/cdn_model.hpp"
 #include "server/cdn_server.hpp"
 #include "server/fabric.hpp"
@@ -94,6 +99,50 @@ sim::SimMetrics serve_replay(const std::string& policy_name, std::uint64_t capac
   return m;
 }
 
+sim::SimMetrics report_to_metrics(const server::ServerReport& report) {
+  sim::SimMetrics m;
+  m.requests = report.requests;
+  m.hits = report.hits;
+  m.bytes_requested = static_cast<double>(report.bytes_served);
+  m.bytes_hit = static_cast<double>(report.bytes_served - report.wan_bytes);
+  m.wall_seconds = report.replay_wall_seconds;
+  m.peak_metadata_bytes = report.peak_metadata_bytes;
+  return m;
+}
+
+/// The --procs serving path: fan the replay out across worker processes via
+/// run_proc_replay. `trace_path` names the .lhrt every worker mmaps.
+sim::SimMetrics proc_serve_replay(const std::string& policy_name,
+                                  std::uint64_t capacity,
+                                  const std::string& trace_path,
+                                  const CliOptions& options) {
+  ProcReplayJob job;
+  job.trace_path = trace_path;
+  job.policy = policy_name;
+  job.capacity_bytes = capacity;
+  job.shards = kServeShards;
+  job.procs = options.procs;
+  job.threads = std::max<std::size_t>(options.serve_threads, 1);
+  job.origin_profile = options.origin_profile;
+  job.fault_schedule = options.fault_schedule;
+  job.control_plane = options.control_plane;
+  job.train_threads = options.train_threads;
+  job.async_train = options.async_train;
+  return report_to_metrics(run_proc_replay(job));
+}
+
+/// Deletes the temporary .lhrt spilled for worker processes when the run
+/// ends (normally or by exception).
+struct TempFileGuard {
+  std::string path;
+  ~TempFileGuard() {
+    if (!path.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    }
+  }
+};
+
 }  // namespace
 
 std::string cli_usage() {
@@ -114,6 +163,13 @@ std::string cli_usage() {
       "  --serve-threads N    replay through the concurrent CdnServer serving path\n"
       "                       (16-shard ShardedCache backend) with N worker threads;\n"
       "                       hit ratios are identical for every N\n"
+      "  --procs P            fan the serving replay out across P worker processes\n"
+      "                       (own-binary re-exec, shared read-only .lhrt mapping,\n"
+      "                       shard ownership s % P == p) with --serve-threads\n"
+      "                       replay threads per process (default 1); canonical\n"
+      "                       aggregates are byte-identical to --procs 1 at any\n"
+      "                       P x threads (env default: LHR_SERVE_PROCS;\n"
+      "                       incompatible with --fabric)\n"
       "  --origin-profile S   serving-path origin latency model + fetch policy, e.g.\n"
       "                       lognormal:sigma=0.5,timeout=0.25,retries=3,hedge=0.08\n"
       "                       (requires --serve-threads)\n"
@@ -239,6 +295,15 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
         return std::nullopt;
       }
       options.serve_threads = static_cast<std::size_t>(*n);
+    } else if (arg == "--procs") {
+      const char* v = need_value(i, arg);
+      if (!v) return std::nullopt;
+      const auto n = util::parse_u64(v);
+      if (!n || *n == 0) {
+        error = "--procs: invalid positive integer '" + std::string(v) + "'";
+        return std::nullopt;
+      }
+      options.procs = static_cast<std::size_t>(*n);
     } else if (arg == "--fabric") {
       const char* v = need_value(i, arg);
       if (!v) return std::nullopt;
@@ -262,9 +327,29 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
       return std::nullopt;
     }
   }
+  // Env default for the process fan-out (the flag wins, like the
+  // control-plane env knobs). Not applied to --fabric runs, which have no
+  // process-parallel path.
+  if (options.procs == 0 && options.fabric.empty()) {
+    if (const char* env = std::getenv("LHR_SERVE_PROCS");
+        env != nullptr && *env != '\0') {
+      const auto n = util::parse_u64(env);
+      if (!n) {
+        error = "LHR_SERVE_PROCS: invalid unsigned integer '" + std::string(env) + "'";
+        return std::nullopt;
+      }
+      options.procs = static_cast<std::size_t>(*n);
+    }
+  }
+  if (options.procs > 0 && !options.fabric.empty()) {
+    error = "--procs is incompatible with --fabric";
+    return std::nullopt;
+  }
   if ((!options.origin_profile.empty() || !options.fault_schedule.empty()) &&
-      options.serve_threads == 0 && options.fabric.empty()) {
-    error = "--origin-profile/--fault-schedule require --serve-threads or --fabric";
+      options.serve_threads == 0 && options.fabric.empty() && options.procs == 0) {
+    error =
+        "--origin-profile/--fault-schedule require --serve-threads, --procs or "
+        "--fabric";
     return std::nullopt;
   }
   if (!options.trace_path.empty() && !options.trace_file.empty()) {
@@ -342,6 +427,24 @@ std::vector<CliRunResult> run_cli(const CliOptions& options) {
   if (options.async_train) tuning.lhr_async_train = 1;
   tuning.control_plane_spec = options.control_plane;
 
+  // Worker processes mmap the trace by path: an existing .lhrt is shared
+  // as-is (one page-cache mapping across all workers); a text or synthetic
+  // source is spilled to a temporary .lhrt for the duration of the run.
+  std::string proc_trace_path;
+  TempFileGuard temp_lhrt;
+  if (options.procs > 0) {
+    if (!options.trace_file.empty()) {
+      proc_trace_path = options.trace_file;
+    } else {
+      temp_lhrt.path =
+          (std::filesystem::temp_directory_path() /
+           ("lhr-sim-procs-" + std::to_string(::getpid()) + ".lhrt"))
+              .string();
+      trace::write_lhrt_file(source, temp_lhrt.path, options.seed);
+      proc_trace_path = temp_lhrt.path;
+    }
+  }
+
   std::vector<CliRunResult> results;
   for (const auto& policy_name : options.policies) {
     for (const double gb : options.capacities_gb) {
@@ -350,7 +453,10 @@ std::vector<CliRunResult> run_cli(const CliOptions& options) {
       CliRunResult result;
       result.policy = policy_name;
       result.capacity_gb = gb;
-      if (options.serve_threads > 0) {
+      if (options.procs > 0) {
+        result.metrics =
+            proc_serve_replay(policy_name, capacity, proc_trace_path, options);
+      } else if (options.serve_threads > 0) {
         result.metrics = serve_replay(policy_name, capacity, tuning, source, options);
       } else {
         auto policy = make_policy(policy_name, capacity, tuning);  // throws on typo

@@ -35,6 +35,15 @@ struct CliOptions {
   /// path (a ShardedCache backend over the named policy) with N workers
   /// instead of the single-threaded simulator. 0 = plain sim::simulate.
   std::size_t serve_threads = 0;
+  /// --procs P: fan the serving replay out across P worker processes (each
+  /// re-execs this binary in hidden --replay-worker mode, mmaps the same
+  /// .lhrt read-only and owns shards s % P == p), with --serve-threads
+  /// replay threads *per process* (default 1). Canonical aggregates are
+  /// byte-identical to --procs 1 at any P x threads (see DESIGN.md "Process
+  /// fan-out"). 0 = in-process replay; incompatible with --fabric. Env
+  /// default: LHR_SERVE_PROCS. A --trace / --synthetic source is spilled to
+  /// a temporary .lhrt so workers can map it.
+  std::size_t procs = 0;
   /// --origin-profile SPEC: origin latency model + fetch policy for the
   /// serving path, e.g. "lognormal:sigma=0.5,timeout=0.25,retries=3"
   /// (see server::parse_origin_profile). Requires --serve-threads.

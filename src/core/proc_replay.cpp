@@ -1,0 +1,214 @@
+#include "core/proc_replay.hpp"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+#include "core/policy_factory.hpp"
+#include "server/sharded_cache.hpp"
+#include "trace/lhrt.hpp"
+#include "util/parse.hpp"
+#include "util/subprocess.hpp"
+
+namespace lhr::core {
+
+namespace {
+
+std::string format_double(double v) {
+  // %.17g round-trips every finite double exactly through strtod, so config
+  // doubles survive the argv hop bit-for-bit.
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+server::ReplayMode parse_mode(std::string_view text) {
+  if (text == "normal") return server::ReplayMode::kNormal;
+  if (text == "max") return server::ReplayMode::kMax;
+  throw std::invalid_argument("replay worker: unknown --worker-mode '" +
+                              std::string(text) + "'");
+}
+
+/// Inverse of worker_argv: rebuilds (job, proc_index) from the tokens after
+/// kReplayWorkerFlag. Unknown or value-less flags throw — a version-skewed
+/// parent/worker pair must fail loudly, not replay the wrong slice.
+std::size_t parse_worker_argv(int argc, const char* const* argv,
+                              ProcReplayJob& job) {
+  std::size_t proc_index = 0;
+  int i = 2;
+  const auto need_value = [&](std::string_view flag) -> std::string_view {
+    if (i + 1 >= argc) {
+      throw std::invalid_argument("replay worker: missing value for " +
+                                  std::string(flag));
+    }
+    return argv[++i];
+  };
+  for (; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--worker-index") {
+      proc_index = util::require_u64(arg, need_value(arg));
+    } else if (arg == "--worker-trace") {
+      job.trace_path = std::string(need_value(arg));
+    } else if (arg == "--worker-policy") {
+      job.policy = std::string(need_value(arg));
+    } else if (arg == "--worker-capacity-bytes") {
+      job.capacity_bytes = util::require_u64(arg, need_value(arg));
+    } else if (arg == "--worker-shards") {
+      job.shards = util::require_u64(arg, need_value(arg));
+    } else if (arg == "--worker-procs") {
+      job.procs = util::require_u64(arg, need_value(arg));
+    } else if (arg == "--worker-threads") {
+      job.threads = util::require_u64(arg, need_value(arg));
+    } else if (arg == "--worker-mode") {
+      job.mode = parse_mode(need_value(arg));
+    } else if (arg == "--worker-window") {
+      job.window_requests = util::require_u64(arg, need_value(arg));
+    } else if (arg == "--worker-open-loop") {
+      job.open_loop = util::require_u64(arg, need_value(arg)) != 0;
+    } else if (arg == "--worker-ram-bytes") {
+      job.ram_bytes = util::require_u64(arg, need_value(arg));
+    } else if (arg == "--worker-seed") {
+      job.seed = util::require_u64(arg, need_value(arg));
+    } else if (arg == "--worker-ttl") {
+      job.freshness_ttl_s = util::require_double(arg, need_value(arg));
+    } else if (arg == "--worker-reval-prob") {
+      job.revalidate_change_prob = util::require_double(arg, need_value(arg));
+    } else if (arg == "--worker-origin-profile") {
+      job.origin_profile = std::string(need_value(arg));
+    } else if (arg == "--worker-fault-schedule") {
+      job.fault_schedule = std::string(need_value(arg));
+    } else if (arg == "--worker-control-plane") {
+      job.control_plane = std::string(need_value(arg));
+    } else if (arg == "--worker-train-threads") {
+      job.train_threads = util::require_u64(arg, need_value(arg));
+    } else if (arg == "--worker-async-train") {
+      job.async_train = true;
+    } else {
+      throw std::invalid_argument("replay worker: unknown flag '" +
+                                  std::string(arg) + "'");
+    }
+  }
+  if (job.trace_path.empty()) {
+    throw std::invalid_argument("replay worker: --worker-trace is required");
+  }
+  return proc_index;
+}
+
+server::ProcReplayOptions job_options(const ProcReplayJob& job) {
+  server::ProcReplayOptions opts;
+  opts.procs = std::max<std::size_t>(job.procs, 1);
+  opts.threads = std::max<std::size_t>(job.threads, 1);
+  opts.mode = job.mode;
+  opts.window_requests = job.window_requests;
+  opts.open_loop = job.open_loop;
+  return opts;
+}
+
+}  // namespace
+
+std::vector<std::string> worker_argv(const ProcReplayJob& job,
+                                     std::size_t proc_index) {
+  std::vector<std::string> args;
+  args.reserve(40);
+  args.emplace_back(kReplayWorkerFlag);
+  const auto add = [&args](std::string_view flag, std::string value) {
+    args.emplace_back(flag);
+    args.push_back(std::move(value));
+  };
+  add("--worker-index", std::to_string(proc_index));
+  add("--worker-trace", job.trace_path);
+  add("--worker-policy", job.policy);
+  add("--worker-capacity-bytes", std::to_string(job.capacity_bytes));
+  add("--worker-shards", std::to_string(job.shards));
+  add("--worker-procs", std::to_string(job.procs));
+  add("--worker-threads", std::to_string(job.threads));
+  add("--worker-mode", job.mode == server::ReplayMode::kMax ? "max" : "normal");
+  add("--worker-window", std::to_string(job.window_requests));
+  add("--worker-open-loop", job.open_loop ? "1" : "0");
+  add("--worker-ram-bytes", std::to_string(job.ram_bytes));
+  add("--worker-seed", std::to_string(job.seed));
+  add("--worker-ttl", format_double(job.freshness_ttl_s));
+  add("--worker-reval-prob", format_double(job.revalidate_change_prob));
+  if (!job.origin_profile.empty()) {
+    add("--worker-origin-profile", job.origin_profile);
+  }
+  if (!job.fault_schedule.empty()) {
+    add("--worker-fault-schedule", job.fault_schedule);
+  }
+  if (!job.control_plane.empty()) {
+    add("--worker-control-plane", job.control_plane);
+  }
+  if (job.train_threads != 0) {
+    add("--worker-train-threads", std::to_string(job.train_threads));
+  }
+  if (job.async_train) args.emplace_back("--worker-async-train");
+  return args;
+}
+
+std::unique_ptr<server::CdnServer> make_job_server(const ProcReplayJob& job) {
+  PolicyTuning tuning;
+  tuning.lhr_train_threads = job.train_threads;
+  if (job.async_train) tuning.lhr_async_train = 1;
+  tuning.control_plane_spec = job.control_plane;
+  auto backend = std::make_unique<server::ShardedCache>(
+      job.shards, job.capacity_bytes, [&](std::uint64_t cap) {
+        return make_policy(job.policy, cap, tuning);
+      });
+
+  server::ServerConfig cfg;
+  cfg.ram_bytes = job.ram_bytes != 0
+                      ? job.ram_bytes
+                      : std::max<std::uint64_t>(job.capacity_bytes / 100, 1ULL << 20);
+  cfg.seed = job.seed;
+  cfg.freshness_ttl_s = job.freshness_ttl_s;
+  cfg.revalidate_change_prob = job.revalidate_change_prob;
+  cfg.measured_lookup_cpu = false;
+  if (!job.origin_profile.empty()) {
+    const server::OriginSettings settings =
+        server::parse_origin_profile(job.origin_profile);
+    cfg.origin_profile = settings.profile;
+    cfg.fetch = settings.fetch;
+  }
+  if (!job.fault_schedule.empty()) {
+    cfg.fault_schedule = server::FaultSchedule::parse(job.fault_schedule);
+  }
+  return std::make_unique<server::CdnServer>(std::move(backend), cfg);
+}
+
+server::ServerReport run_proc_replay(const ProcReplayJob& job) {
+  if (job.trace_path.empty()) {
+    throw std::invalid_argument(
+        "run_proc_replay: trace_path must name an .lhrt file (workers mmap it "
+        "by path)");
+  }
+  const trace::MappedTrace trace(job.trace_path);
+  const auto parent = make_job_server(job);
+  return server::replay_multiprocess(
+      *parent, trace, job_options(job), util::self_exe_path(),
+      [&job](std::size_t p) { return worker_argv(job, p); });
+}
+
+int proc_replay_worker_main(int argc, const char* const* argv) {
+  if (argc < 2 || std::string_view(argv[1]) != kReplayWorkerFlag) return -1;
+  try {
+    ProcReplayJob job;
+    const std::size_t proc_index = parse_worker_argv(argc, argv, job);
+    if (const char* crash = std::getenv("LHR_PROC_REPLAY_TEST_CRASH")) {
+      if (std::string_view(crash) == std::to_string(proc_index)) {
+        ::raise(SIGKILL);
+      }
+    }
+    const trace::MappedTrace trace(job.trace_path);
+    const auto server = make_job_server(job);
+    return server::run_replay_worker(*server, trace, proc_index,
+                                     job_options(job), server::kWorkerPipeFd);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "replay worker error: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace lhr::core

@@ -1,0 +1,82 @@
+// Process-parallel replay engine, core half: the job description a worker
+// process needs to rebuild the parent's serving stack from scratch (policy
+// factory + server config + trace path), its round-trip through plain argv
+// tokens, and the parent/worker entry points. The generic IPC/merge engine
+// lives in server/proc_replay.hpp; this layer exists because rebuilding the
+// server needs core::make_policy, which lhr_server cannot link.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/cdn_server.hpp"
+#include "server/proc_replay.hpp"
+
+namespace lhr::core {
+
+/// Everything a worker process needs to reconstruct the replay: the .lhrt
+/// file every process mmaps read-only, the policy/backend shape, the server
+/// config knobs that affect results, and the fan-out geometry. Origin,
+/// fault-schedule and control-plane configuration travel as their CLI spec
+/// strings and are re-parsed in the worker — one serialization for humans,
+/// the CLI, and the pipe protocol.
+struct ProcReplayJob {
+  std::string trace_path;             ///< packed .lhrt trace (shared mapping)
+  std::string policy = "LRU";
+  std::uint64_t capacity_bytes = 1ULL << 30;
+  std::size_t shards = 16;            ///< ShardedCache backend shard count
+  std::size_t procs = 1;              ///< worker processes
+  std::size_t threads = 1;            ///< replay threads per worker process
+  server::ReplayMode mode = server::ReplayMode::kNormal;
+  std::size_t window_requests = 50'000;
+  bool open_loop = false;
+  std::uint64_t ram_bytes = 0;        ///< 0 = capacity/100, min 1 MiB (CLI rule)
+  std::uint64_t seed = 11;            ///< ServerConfig::seed
+  double freshness_ttl_s = 24 * 3600.0;
+  double revalidate_change_prob = 0.05;
+  std::string origin_profile;         ///< server::parse_origin_profile spec
+  std::string fault_schedule;         ///< server::FaultSchedule::parse spec
+  std::string control_plane;          ///< server::parse_control_plane spec
+  std::size_t train_threads = 0;      ///< LHR GBDT training threads
+  bool async_train = false;           ///< LHR background retraining
+};
+
+/// argv[1] that routes a process into hidden worker mode. Binaries hosting
+/// the engine (lhr_sim, benches, proc_replay_test) call
+/// proc_replay_worker_main first thing in main().
+inline constexpr const char* kReplayWorkerFlag = "--replay-worker";
+
+/// Builds the argv (tokens after argv[0]) that re-enters the current binary
+/// as worker `proc_index` of `job`. Plain flag/value tokens — posix_spawn
+/// takes argv directly, so no shell quoting exists to get wrong; doubles
+/// round-trip exactly via %.17g.
+[[nodiscard]] std::vector<std::string> worker_argv(const ProcReplayJob& job,
+                                                   std::size_t proc_index);
+
+/// Constructs the serving stack `job` describes: a ShardedCache of
+/// `job.shards` x make_policy(job.policy) under a CdnServer. Parent and
+/// workers both use this, so their servers are identical by construction.
+/// Forces measured_lookup_cpu = false (the fabric determinism mode): the
+/// canonical report's latency quantiles must be a pure function of the
+/// trace for the byte-identical merge contract to hold.
+[[nodiscard]] std::unique_ptr<server::CdnServer> make_job_server(
+    const ProcReplayJob& job);
+
+/// Parent entry point: spawns `job.procs` workers of the *current binary*
+/// (util::self_exe_path) and returns the merged report. See
+/// server::replay_multiprocess for the failure contract (any worker crash,
+/// kill or bad partial throws std::runtime_error with per-worker detail).
+[[nodiscard]] server::ServerReport run_proc_replay(const ProcReplayJob& job);
+
+/// Worker entry point, to be called at the very top of main(): returns -1
+/// when argv is not a worker invocation (caller proceeds normally),
+/// otherwise runs the slice, writes the partial to server::kWorkerPipeFd
+/// and returns the process exit code (non-zero on any error, with a
+/// diagnostic on stderr). Honors LHR_PROC_REPLAY_TEST_CRASH=<index>, a test
+/// hook that SIGKILLs the matching worker before it reports — how the
+/// kill-a-worker test exercises the parent's failure path.
+[[nodiscard]] int proc_replay_worker_main(int argc, const char* const* argv);
+
+}  // namespace lhr::core

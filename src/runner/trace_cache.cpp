@@ -7,6 +7,7 @@
 
 #include "gen/streaming.hpp"
 #include "trace/lhrt.hpp"
+#include "util/file_lock.hpp"
 #include "util/parse.hpp"
 
 namespace lhr::runner {
@@ -40,6 +41,17 @@ std::string env_string(const char* name) {
   return env != nullptr ? std::string(env) : std::string();
 }
 
+std::filesystem::path spill_path(const TraceCache::Options& options,
+                                 gen::TraceClass c) {
+  namespace fs = std::filesystem;
+  const fs::path dir = options.cache_dir.empty()
+                           ? fs::temp_directory_path() / "lhr-trace-cache"
+                           : fs::path(options.cache_dir);
+  return dir / (std::string("lhr-") + gen::to_string(c) + "-" +
+                std::to_string(options.requests_per_trace) + "-" +
+                std::to_string(options.seed) + ".lhrt");
+}
+
 }  // namespace
 
 const trace::TraceSource& TraceCache::get(gen::TraceClass c) {
@@ -63,40 +75,58 @@ std::unique_ptr<trace::TraceSource> TraceCache::build(gen::TraceClass c) const {
   }
 
   // Past the spill threshold: stream the trace to disk in bounded chunks
-  // and serve it back through the mapping. The file is keyed by everything
-  // that determines its contents, so a matching header means a previous run
-  // (or another class-entry in this process) already paid the generation.
-  namespace fs = std::filesystem;
-  const fs::path dir = options_.cache_dir.empty()
-                           ? fs::temp_directory_path() / "lhr-trace-cache"
-                           : fs::path(options_.cache_dir);
-  fs::create_directories(dir);
-  const fs::path path =
-      dir / (std::string("lhr-") + gen::to_string(c) + "-" +
-             std::to_string(options_.requests_per_trace) + "-" +
-             std::to_string(options_.seed) + ".lhrt");
+  // and serve it back through the mapping.
+  return ensure_spill_file(c);
+}
 
-  if (fs::exists(path)) {
-    try {
-      auto mapped = std::make_unique<trace::MappedTrace>(path.string());
-      if (mapped->size() == options_.requests_per_trace &&
-          mapped->seed() == options_.seed &&
-          mapped->trace_class() == static_cast<int>(c)) {
-        return mapped;
-      }
-    } catch (const std::exception&) {
-      // Stale or unfinished file from a crashed run; regenerate below.
+std::unique_ptr<trace::MappedTrace> TraceCache::try_map_spill(
+    gen::TraceClass c) const {
+  const std::filesystem::path path = spill_path(options_, c);
+  if (!std::filesystem::exists(path)) return nullptr;
+  try {
+    auto mapped = std::make_unique<trace::MappedTrace>(path.string());
+    // The file is keyed by everything that determines its contents, so a
+    // matching header means a previous run (or another process) already
+    // paid the generation.
+    if (mapped->size() == options_.requests_per_trace &&
+        mapped->seed() == options_.seed &&
+        mapped->trace_class() == static_cast<int>(c)) {
+      return mapped;
     }
+  } catch (const std::exception&) {
+    // Stale or unfinished file from a crashed run; caller regenerates.
   }
+  return nullptr;
+}
 
-  // Write under a temporary name and rename into place so concurrent
-  // processes spilling the same trace never map each other's half-files.
+std::unique_ptr<trace::MappedTrace> TraceCache::ensure_spill_file(
+    gen::TraceClass c) const {
+  namespace fs = std::filesystem;
+  const fs::path path = spill_path(options_, c);
+  fs::create_directories(path.parent_path());
+
+  if (auto mapped = try_map_spill(c)) return mapped;
+
+  // Serialize generation across processes (the replay workers' parent and a
+  // concurrent bench may want the same key): whoever wins the flock
+  // generates; everyone else blocks, re-validates, and maps the winner's
+  // file. Temp+rename stays in place underneath so a crashed holder — whose
+  // flock the kernel releases — never leaves a half-written file at the
+  // final path.
+  util::FileLock lock(path.string() + ".lock");
+  if (auto mapped = try_map_spill(c)) return mapped;
+
   const fs::path tmp = path.string() + ".tmp." + std::to_string(::getpid());
   gen::generate_lhrt_file(gen::make_config(c, options_.requests_per_trace,
                                            options_.seed),
                           tmp.string());
   fs::rename(tmp, path);
   return std::make_unique<trace::MappedTrace>(path.string());
+}
+
+std::string TraceCache::lhrt_path_for(gen::TraceClass c) const {
+  if (!options_.trace_file.empty()) return options_.trace_file;
+  return ensure_spill_file(c)->path();
 }
 
 TraceCache& TraceCache::global() {

@@ -31,6 +31,10 @@
 #include "trace/trace.hpp"
 #include "trace/trace_source.hpp"
 
+namespace lhr::trace {
+class MappedTrace;
+}
+
 namespace lhr::runner {
 
 /// Number of values in gen::TraceClass (kCdnA..kWiki).
@@ -73,6 +77,14 @@ class TraceCache {
   /// first call. Safe to call from any number of threads.
   const trace::TraceSource& get(gen::TraceClass c);
 
+  /// Path of an on-disk `.lhrt` holding `c`'s trace — what the process-
+  /// parallel replay hands to its workers to mmap. Returns the trace_file
+  /// override when one is set; otherwise forces the spill path (even for
+  /// traces small enough to stay in memory), generating the keyed file
+  /// under the flock guard if no valid copy exists yet. The file outlives
+  /// the cache (it *is* the cross-process cache).
+  [[nodiscard]] std::string lhrt_path_for(gen::TraceClass c) const;
+
   [[nodiscard]] std::size_t requests_per_trace() const noexcept {
     return options_.requests_per_trace;
   }
@@ -92,6 +104,17 @@ class TraceCache {
 
   /// Builds the source for `c`: file override, spill-to-disk, or in-memory.
   std::unique_ptr<trace::TraceSource> build(gen::TraceClass c) const;
+
+  /// Maps + validates the keyed spill file for `c`, or returns null when it
+  /// is missing, stale (different requests/seed/class) or unreadable.
+  std::unique_ptr<trace::MappedTrace> try_map_spill(gen::TraceClass c) const;
+
+  /// Maps the keyed spill file for `c`, generating it first when no valid
+  /// copy exists. Generation is serialized across processes by an flock on
+  /// a sibling lock file, with re-validation after acquiring — two
+  /// processes spilling the same key produce exactly one generation pass
+  /// and never interleave writes.
+  std::unique_ptr<trace::MappedTrace> ensure_spill_file(gen::TraceClass c) const;
 
   Options options_;
   std::array<Entry, kTraceClassCount> entries_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "server/sharded_cache.hpp"
@@ -27,6 +28,44 @@ double transfer_seconds(std::uint64_t bytes, double gbps) {
   return static_cast<double>(bytes) * 8.0 / (gbps * 1e9);
 }
 }  // namespace
+
+std::string ServerReport::canonical_summary() const {
+  // Same discipline as FabricReport::canonical_summary: integer counters and
+  // quantiles are pure functions of the merged integer bucket counts, so
+  // they are safe in the canonical string; wall-clock, busy-time sums and
+  // double-sum means are not (ulp-level merge-order drift) and peak-metadata
+  // samples depend on worker cadence — all deliberately excluded.
+  std::string s;
+  s.reserve(1024);
+  char buf[320];
+  const auto u = [](std::uint64_t v) { return static_cast<unsigned long long>(v); };
+  std::snprintf(buf, sizeof buf,
+                "policy=%s requests=%llu hits=%llu bytes_served=%llu wan_bytes=%llu\n",
+                policy_name.c_str(), u(requests), u(hits), u(bytes_served),
+                u(wan_bytes));
+  s += buf;
+  std::snprintf(buf, sizeof buf,
+                "origin: fetches=%llu retries=%llu timeouts=%llu errors=%llu "
+                "hedges=%llu hedge_cancels=%llu stale_serves=%llu failed=%llu\n",
+                u(origin_fetches), u(origin_retries), u(origin_timeouts),
+                u(origin_errors), u(origin_hedges), u(hedge_cancels),
+                u(stale_serves), u(failed_requests));
+  s += buf;
+  std::snprintf(buf, sizeof buf, "latency: p90_ms=%.9g p99_ms=%.9g\n",
+                p90_latency_ms, p99_latency_ms);
+  s += buf;
+  std::snprintf(buf, sizeof buf, "fetch: p50_ms=%.9g p90_ms=%.9g p99_ms=%.9g\n",
+                fetch_p50_ms, fetch_p90_ms, fetch_p99_ms);
+  s += buf;
+  s += "windows:";
+  for (const double w : window_hit_ratio) {
+    std::snprintf(buf, sizeof buf, " %.9g", w);
+    s += buf;
+  }
+  s += '\n';
+  if (control_plane.active) s += control_plane.canonical();
+  return s;
+}
 
 CdnServer::CdnServer(std::unique_ptr<sim::CachePolicy> main_policy,
                      const ServerConfig& config)
@@ -284,7 +323,8 @@ void CdnServer::replay_partition(const trace::TraceSource& trace, std::size_t wo
                                  std::size_t n_workers, std::size_t window_requests,
                                  std::size_t meta_sample_every,
                                  ReplayAccumulator& acc,
-                                 OpenLoopAccumulator* open_loop) {
+                                 OpenLoopAccumulator* open_loop,
+                                 bool sample_main_index) {
   const std::size_t n_windows =
       window_requests > 0 ? (trace.size() + window_requests - 1) / window_requests : 0;
   acc.window_hits.assign(n_windows, 0);
@@ -293,7 +333,7 @@ void CdnServer::replay_partition(const trace::TraceSource& trace, std::size_t wo
   const auto sample_metadata = [&] {
     // The sharded main index is safe to read from any thread; the RAM-tier
     // slices are lock-free, so each worker sums only the shards it owns.
-    std::uint64_t meta = worker == 0 ? main_->metadata_bytes() : 0;
+    std::uint64_t meta = sample_main_index ? main_->metadata_bytes() : 0;
     if (config_.has_disk_tier) {
       for (std::size_t s = worker; s < fresh_.size(); s += n_workers) {
         meta += fresh_[s]->ram.metadata_bytes();
@@ -358,10 +398,39 @@ void CdnServer::replay_partition(const trace::TraceSource& trace, std::size_t wo
   sample_metadata();
 }
 
+ControlPlaneReport CdnServer::collect_control_plane() const {
+  // Integer counters summed in shard-index order, so the aggregate is
+  // byte-identical at every worker partition.
+  ControlPlaneReport cp;
+  for (const ControlPlane* cell : cells_) {
+    if (cell == nullptr) continue;
+    cp.active = true;
+    ++cp.cells;
+    cp.counters.merge(cell->counters());
+  }
+  return cp;
+}
+
+std::uint64_t CdnServer::backend_lock_contentions() const {
+  return sharded_ != nullptr ? sharded_->lock_contentions() : 0;
+}
+
 ServerReport CdnServer::finalize(const trace::TraceSource& trace, ReplayMode mode,
                                  const ReplayAccumulator& total, std::size_t threads,
                                  double wall_seconds,
                                  std::uint64_t contentions_before) const {
+  const std::uint64_t contentions =
+      sharded_ != nullptr ? sharded_->lock_contentions() - contentions_before : 0;
+  return assemble_report(trace, mode, total, collect_control_plane(), threads,
+                         wall_seconds, contentions);
+}
+
+ServerReport CdnServer::assemble_report(const trace::TraceSource& trace,
+                                        ReplayMode mode,
+                                        const ReplayAccumulator& total,
+                                        const ControlPlaneReport& control_plane,
+                                        std::size_t threads, double wall_seconds,
+                                        std::uint64_t lock_contentions) const {
   ServerReport report;
   report.policy_name = main_->name();
   report.requests = total.requests;
@@ -371,9 +440,8 @@ ServerReport CdnServer::finalize(const trace::TraceSource& trace, ReplayMode mod
   report.peak_metadata_bytes = total.peak_meta;
   report.replay_wall_seconds = wall_seconds;
   report.replay_threads = threads;
-  if (sharded_ != nullptr) {
-    report.lock_contentions = sharded_->lock_contentions() - contentions_before;
-  }
+  report.lock_contentions = lock_contentions;
+  report.control_plane = control_plane;
   report.origin_fetches = total.origin_fetches;
   report.origin_retries = total.origin_retries;
   report.origin_timeouts = total.origin_timeouts;
@@ -387,15 +455,6 @@ ServerReport CdnServer::finalize(const trace::TraceSource& trace, ReplayMode mod
     report.fetch_p90_ms = total.fetch_latency.quantile(0.90) * 1e3;
     report.fetch_p99_ms = total.fetch_latency.quantile(0.99) * 1e3;
     report.fetch_avg_ms = total.fetch_latency.mean() * 1e3;
-  }
-
-  // Control-plane slice: integer counters summed in shard-index order, so
-  // the aggregate is byte-identical at every replay thread count.
-  for (const ControlPlane* cell : cells_) {
-    if (cell == nullptr) continue;
-    report.control_plane.active = true;
-    ++report.control_plane.cells;
-    report.control_plane.counters.merge(cell->counters());
   }
 
   for (std::size_t w = 0; w < total.window_counts.size(); ++w) {
@@ -448,6 +507,54 @@ ServerReport CdnServer::replay(const trace::TraceSource& trace, ReplayMode mode,
   return finalize(trace, mode, acc, /*threads=*/1, wall, contentions_before);
 }
 
+CdnServer::ReplayAccumulator CdnServer::replay_slice(
+    const trace::TraceSource& trace, std::size_t proc_index, std::size_t procs,
+    std::size_t threads, std::size_t window_requests,
+    OpenLoopAccumulator* open_loop) {
+  if (procs == 0 || threads == 0) {
+    throw std::invalid_argument(
+        "CdnServer::replay_slice: procs and threads must be >= 1");
+  }
+  if (proc_index >= procs) {
+    throw std::invalid_argument("CdnServer::replay_slice: proc_index out of range");
+  }
+  if (sharded_ == nullptr && procs * threads > 1) {
+    throw std::invalid_argument(
+        "CdnServer::replay_slice: main policy must be a server::ShardedCache "
+        "for multi-worker replay");
+  }
+  const std::size_t n_global = procs * threads;
+  std::vector<ReplayAccumulator> acc(threads);
+  std::vector<OpenLoopAccumulator> ol(open_loop != nullptr ? threads : 0);
+  if (threads == 1) {
+    replay_partition(trace, proc_index, n_global, window_requests,
+                     kConcurrentMetaSampleEvery, acc[0],
+                     open_loop != nullptr ? &ol[0] : nullptr,
+                     /*sample_main_index=*/true);
+  } else {
+    util::ThreadPool pool(threads);
+    util::TaskGroup group(&pool);
+    for (std::size_t t = 0; t < threads; ++t) {
+      group.run([this, &trace, proc_index, procs, t, n_global, window_requests,
+                 &acc, &ol, open_loop] {
+        replay_partition(trace, proc_index + t * procs, n_global, window_requests,
+                         kConcurrentMetaSampleEvery, acc[t],
+                         open_loop != nullptr ? &ol[t] : nullptr,
+                         /*sample_main_index=*/t == 0);
+      });
+    }
+    group.wait();
+  }
+  // Deterministic reduction in thread order; the caller merges per-process
+  // results in process order, completing the global worker-index reduction.
+  for (std::size_t t = 1; t < threads; ++t) {
+    acc[0].merge(acc[t]);
+    if (open_loop != nullptr) ol[0].merge(ol[t]);
+  }
+  if (open_loop != nullptr) *open_loop = std::move(ol[0]);
+  return std::move(acc[0]);
+}
+
 ServerReport CdnServer::replay_concurrent(const trace::TraceSource& trace, ReplayMode mode,
                                           std::size_t n_threads,
                                           std::size_t window_requests) {
@@ -458,28 +565,35 @@ ServerReport CdnServer::replay_concurrent(const trace::TraceSource& trace, Repla
   const std::size_t workers = std::clamp<std::size_t>(n_threads, 1, fresh_.size());
   const std::uint64_t contentions_before = sharded_->lock_contentions();
 
-  std::vector<ReplayAccumulator> acc(workers);
   const auto t0 = std::chrono::steady_clock::now();
-  if (workers == 1) {
-    replay_partition(trace, 0, 1, window_requests, kConcurrentMetaSampleEvery, acc[0]);
-  } else {
-    util::ThreadPool pool(workers);
-    util::TaskGroup group(&pool);
-    for (std::size_t t = 0; t < workers; ++t) {
-      group.run([this, &trace, t, workers, window_requests, &acc] {
-        replay_partition(trace, t, workers, window_requests,
-                         kConcurrentMetaSampleEvery, acc[t]);
-      });
-    }
-    group.wait();
-  }
+  const ReplayAccumulator total =
+      replay_slice(trace, /*proc_index=*/0, /*procs=*/1, workers, window_requests);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return finalize(trace, mode, total, workers, wall, contentions_before);
+}
 
-  // Deterministic reduction in worker-index order (the Gbdt chunk-reduction
-  // discipline): integer counters merge exactly; double sums are ordered.
-  for (std::size_t t = 1; t < workers; ++t) acc[0].merge(acc[t]);
-  return finalize(trace, mode, acc[0], workers, wall, contentions_before);
+void CdnServer::apply_open_loop_stats(ServerReport& report,
+                                      const OpenLoopAccumulator& open_loop,
+                                      const trace::TraceSource& trace) {
+  report.open_loop = true;
+  const std::uint64_t n = report.requests;
+  if (n == 0 || !open_loop.any) return;
+  // Offered load is what the schedule asked for; achieved load is what the
+  // measured service times actually sustained. At saturation the two
+  // diverge (the knee) and the sojourn tail explodes.
+  report.offered_rps = static_cast<double>(n) / std::max(trace.duration(), 1e-9);
+  report.achieved_rps =
+      static_cast<double>(n) /
+      std::max(open_loop.last_completion - open_loop.first_arrival, 1e-9);
+  report.sojourn_p50_ms = open_loop.sojourn.quantile(0.50) * 1e3;
+  report.sojourn_p99_ms = open_loop.sojourn.quantile(0.99) * 1e3;
+  report.sojourn_p999_ms = open_loop.sojourn.quantile(0.999) * 1e3;
+  report.sojourn_avg_ms = open_loop.sojourn.mean() * 1e3;
+  report.queue_wait_p99_ms = open_loop.queue_wait.quantile(0.99) * 1e3;
+  report.service_avg_us =
+      open_loop.service_s / static_cast<double>(n) * 1e6;
+  report.queued_requests = open_loop.queued;
 }
 
 ServerReport CdnServer::replay_open_loop(const trace::TraceSource& trace,
@@ -494,52 +608,16 @@ ServerReport CdnServer::replay_open_loop(const trace::TraceSource& trace,
   const std::uint64_t contentions_before =
       sharded_ != nullptr ? sharded_->lock_contentions() : 0;
 
-  std::vector<ReplayAccumulator> acc(workers);
-  std::vector<OpenLoopAccumulator> ol(workers);
+  OpenLoopAccumulator ol;
   const auto t0 = std::chrono::steady_clock::now();
-  if (workers == 1) {
-    replay_partition(trace, 0, 1, window_requests, kConcurrentMetaSampleEvery,
-                     acc[0], &ol[0]);
-  } else {
-    util::ThreadPool pool(workers);
-    util::TaskGroup group(&pool);
-    for (std::size_t t = 0; t < workers; ++t) {
-      group.run([this, &trace, t, workers, window_requests, &acc, &ol] {
-        replay_partition(trace, t, workers, window_requests,
-                         kConcurrentMetaSampleEvery, acc[t], &ol[t]);
-      });
-    }
-    group.wait();
-  }
+  const ReplayAccumulator total = replay_slice(trace, /*proc_index=*/0, /*procs=*/1,
+                                               workers, window_requests, &ol);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
-  for (std::size_t t = 1; t < workers; ++t) {
-    acc[0].merge(acc[t]);
-    ol[0].merge(ol[t]);
-  }
   ServerReport report =
-      finalize(trace, ReplayMode::kNormal, acc[0], workers, wall, contentions_before);
-
-  report.open_loop = true;
-  const std::uint64_t n = acc[0].requests;
-  if (n > 0 && ol[0].any) {
-    // Offered load is what the schedule asked for; achieved load is what the
-    // measured service times actually sustained. At saturation the two
-    // diverge (the knee) and the sojourn tail explodes.
-    report.offered_rps =
-        static_cast<double>(n) / std::max(trace.duration(), 1e-9);
-    report.achieved_rps =
-        static_cast<double>(n) /
-        std::max(ol[0].last_completion - ol[0].first_arrival, 1e-9);
-    report.sojourn_p50_ms = ol[0].sojourn.quantile(0.50) * 1e3;
-    report.sojourn_p99_ms = ol[0].sojourn.quantile(0.99) * 1e3;
-    report.sojourn_p999_ms = ol[0].sojourn.quantile(0.999) * 1e3;
-    report.sojourn_avg_ms = ol[0].sojourn.mean() * 1e3;
-    report.queue_wait_p99_ms = ol[0].queue_wait.quantile(0.99) * 1e3;
-    report.service_avg_us = ol[0].service_s / static_cast<double>(n) * 1e6;
-    report.queued_requests = ol[0].queued;
-  }
+      finalize(trace, ReplayMode::kNormal, total, workers, wall, contentions_before);
+  apply_open_loop_stats(report, ol, trace);
   return report;
 }
 

@@ -177,6 +177,18 @@ struct ServerReport {
                      static_cast<double>(bytes_served)
                : 0.0;
   }
+
+  /// Canonical determinism fingerprint: the deterministic subset of the
+  /// report rendered with fixed formatting — integer counters, quantiles
+  /// (pure functions of merged integer bucket counts), window hit ratios
+  /// (exact-integer divisions) and the control-plane canonical block.
+  /// Wall-clock, busy-time sums, averages, peak-metadata samples and
+  /// throughput rates are deliberately absent. Two replays of the same
+  /// trace/config produce byte-identical canonical summaries at any
+  /// procs x threads combination (given measured_lookup_cpu = false, which
+  /// makes the latency quantiles a pure function of the trace) — the
+  /// equality proc_replay_test and the bench verdict lines grep.
+  [[nodiscard]] std::string canonical_summary() const;
 };
 
 class CdnServer {
@@ -214,6 +226,24 @@ class CdnServer {
     std::vector<std::uint64_t> window_hits, window_counts;
 
     void merge(const ReplayAccumulator& other);
+  };
+
+  /// Per-worker open-loop queue state (one virtual queue per worker, the
+  /// shard-ownership analogue of a per-shard request queue). Sojourn =
+  /// completion - scheduled arrival; queue_wait = start - arrival. Public so
+  /// the process-parallel replay (proc_replay.hpp) can ship per-process
+  /// open-loop partials over the worker pipe and merge them parent-side.
+  struct OpenLoopAccumulator {
+    util::QuantileHistogram sojourn{1e-9, 1e4, 128};
+    util::QuantileHistogram queue_wait{1e-9, 1e4, 128};
+    double clock = 0.0;            ///< completion instant of the last request
+    double first_arrival = 0.0;
+    double last_completion = 0.0;
+    double service_s = 0.0;        ///< sum of measured wall service times
+    std::uint64_t queued = 0;      ///< requests that found the worker busy
+    bool any = false;
+
+    void merge(const OpenLoopAccumulator& other);
   };
 
   /// Resolves one logical upstream fetch (miss, revalidation when bytes is
@@ -268,6 +298,55 @@ class CdnServer {
                                 std::size_t n_threads,
                                 std::size_t window_requests = 50'000);
 
+  /// One process's slice of a `procs x threads` replay (the worker half of
+  /// the process-parallel engine, see proc_replay.hpp). Thread t of process
+  /// `proc_index` runs global worker `proc_index + t * procs` out of
+  /// `procs * threads`, so a shard's owning process is
+  /// `(s % (procs * threads)) % procs == s % procs` — the process partition
+  /// composes exactly with the per-process thread partition. Thread 0 of
+  /// every process samples its own main-index metadata (processes have
+  /// disjoint cache state, so per-process peaks add like RAM slices). Thread
+  /// accumulators are merged in thread order before returning; merging the
+  /// returned per-process accumulators in process order then reproduces the
+  /// single-process worker-index reduction. With `open_loop` non-null the
+  /// slice runs open-loop accounting into it (thread-merged the same way).
+  /// replay_concurrent(T) is exactly replay_slice(0, 1, T, ...).
+  [[nodiscard]] ReplayAccumulator replay_slice(const trace::TraceSource& trace,
+                                               std::size_t proc_index,
+                                               std::size_t procs,
+                                               std::size_t threads,
+                                               std::size_t window_requests,
+                                               OpenLoopAccumulator* open_loop = nullptr);
+
+  /// Sums the control-plane cell counters in shard-index order (integer
+  /// sums, so the result is identical at any worker partition). Cells of
+  /// shards this server never touched contribute zeros.
+  [[nodiscard]] ControlPlaneReport collect_control_plane() const;
+
+  /// Assembles a ServerReport from an already-merged accumulator and
+  /// control-plane slice — the parent half of the process-parallel merge,
+  /// where the control plane was summed across worker processes rather than
+  /// read from this (idle) server's own cells. `lock_contentions` is the
+  /// absolute count to report.
+  [[nodiscard]] ServerReport assemble_report(const trace::TraceSource& trace,
+                                             ReplayMode mode,
+                                             const ReplayAccumulator& total,
+                                             const ControlPlaneReport& control_plane,
+                                             std::size_t threads, double wall_seconds,
+                                             std::uint64_t lock_contentions) const;
+
+  /// Fills the open-loop block of `report` from a merged accumulator (the
+  /// post-processing replay_open_loop applies, exposed so the multi-process
+  /// parent can apply it to pipe-merged partials). Uses report.requests as
+  /// the request count.
+  static void apply_open_loop_stats(ServerReport& report,
+                                    const OpenLoopAccumulator& open_loop,
+                                    const trace::TraceSource& trace);
+
+  /// Absolute shard-mutex contention count of a ShardedCache backend (0 for
+  /// unsharded backends) — what a replay worker reports in its partial.
+  [[nodiscard]] std::uint64_t backend_lock_contentions() const;
+
   /// Serves one request on the calling thread against the shard its key
   /// hashes to, accumulating hits/bytes/latency/fetch counters into `acc`.
   /// This is the per-request entry point CdnFabric composes tiers with; the
@@ -305,22 +384,6 @@ class CdnServer {
     util::Xoshiro256 rng;  ///< revalidation coin flips
   };
 
-  /// Per-worker open-loop queue state (one virtual queue per worker, the
-  /// shard-ownership analogue of a per-shard request queue). Sojourn =
-  /// completion - scheduled arrival; queue_wait = start - arrival.
-  struct OpenLoopAccumulator {
-    util::QuantileHistogram sojourn{1e-9, 1e4, 128};
-    util::QuantileHistogram queue_wait{1e-9, 1e4, 128};
-    double clock = 0.0;            ///< completion instant of the last request
-    double first_arrival = 0.0;
-    double last_completion = 0.0;
-    double service_s = 0.0;        ///< sum of measured wall service times
-    std::uint64_t queued = 0;      ///< requests that found the worker busy
-    bool any = false;
-
-    void merge(const OpenLoopAccumulator& other);
-  };
-
   /// Processes one request against shard `shard_idx`. Origin fetch counters
   /// and per-fetch latencies go straight into `acc` (a request can make up
   /// to two logical fetches: revalidation then refetch). `upstream_ctx` is
@@ -338,15 +401,17 @@ class CdnServer {
   /// Processes the sub-stream of `trace` owned by `worker` (shards s with
   /// s % n_workers == worker) through a private cursor, accumulating into
   /// `acc`. Metadata peaks are sampled every `meta_sample_every` processed
-  /// requests plus once at the end; worker 0 samples the (thread-safe) main
-  /// index, every worker sums only the RAM slices it owns.
-  /// `open_loop`, when non-null, switches the partition into open-loop
-  /// accounting: each processed request is wall-clock timed and pushed
-  /// through the worker's virtual queue.
+  /// requests plus once at the end; the worker with `sample_main_index` set
+  /// samples the (thread-safe) main index — thread 0 in-process, thread 0 of
+  /// each process under the process fan-out — and every worker sums only the
+  /// RAM slices it owns. `open_loop`, when non-null, switches the partition
+  /// into open-loop accounting: each processed request is wall-clock timed
+  /// and pushed through the worker's virtual queue.
   void replay_partition(const trace::TraceSource& trace, std::size_t worker,
                         std::size_t n_workers, std::size_t window_requests,
                         std::size_t meta_sample_every, ReplayAccumulator& acc,
-                        OpenLoopAccumulator* open_loop = nullptr);
+                        OpenLoopAccumulator* open_loop = nullptr,
+                        bool sample_main_index = true);
 
   [[nodiscard]] ServerReport finalize(const trace::TraceSource& trace, ReplayMode mode,
                                       const ReplayAccumulator& total,

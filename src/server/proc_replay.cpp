@@ -1,0 +1,407 @@
+#include "server/proc_replay.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/subprocess.hpp"
+
+namespace lhr::server {
+
+namespace {
+
+// "LHRP" — partial-report pipe frame. Host-endian (same-machine IPC);
+// repeated as a trailer so a stream cut anywhere decodes as truncation.
+constexpr std::uint32_t kPartialMagic = 0x5052484CU;
+constexpr std::uint32_t kPartialVersion = 1;
+
+void append_u32(std::string& out, std::uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void append_f64(std::string& out, double v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void append_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void append_histogram(std::string& out, const util::QuantileHistogram& h) {
+  const auto counts = h.bucket_counts();
+  append_u64(out, counts.size());
+  append_f64(out, h.sum());
+  out.append(reinterpret_cast<const char*>(counts.data()),
+             counts.size() * sizeof(std::uint64_t));
+}
+
+void append_u64_vector(std::string& out, const std::vector<std::uint64_t>& v) {
+  append_u64(out, v.size());
+  out.append(reinterpret_cast<const char*>(v.data()),
+             v.size() * sizeof(std::uint64_t));
+}
+
+/// Bounds-checked sequential reader over the encoded buffer.
+struct Reader {
+  const char* p;
+  std::size_t remaining;
+
+  void take(void* dst, std::size_t n) {
+    if (n > remaining) {
+      throw std::runtime_error("partial report truncated mid-field");
+    }
+    std::memcpy(dst, p, n);
+    p += n;
+    remaining -= n;
+  }
+
+  std::uint32_t u32() {
+    std::uint32_t v;
+    take(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    take(&v, sizeof v);
+    return v;
+  }
+  double f64() {
+    double v;
+    take(&v, sizeof v);
+    return v;
+  }
+  std::uint8_t u8() {
+    std::uint8_t v;
+    take(&v, sizeof v);
+    return v;
+  }
+
+  void read_histogram(util::QuantileHistogram& h) {
+    const std::uint64_t n = u64();
+    const double sum = f64();
+    if (n > remaining / sizeof(std::uint64_t)) {
+      throw std::runtime_error("partial report truncated mid-histogram");
+    }
+    std::vector<std::uint64_t> counts(n);
+    take(counts.data(), n * sizeof(std::uint64_t));
+    // Throws on a layout mismatch, so a frame from a different histogram
+    // configuration is rejected rather than silently mis-bucketed.
+    h.add_bucket_counts(counts, sum);
+  }
+
+  std::vector<std::uint64_t> read_u64_vector() {
+    const std::uint64_t n = u64();
+    if (n > remaining / sizeof(std::uint64_t)) {
+      throw std::runtime_error("partial report truncated mid-vector");
+    }
+    std::vector<std::uint64_t> v(n);
+    take(v.data(), n * sizeof(std::uint64_t));
+    return v;
+  }
+};
+
+void append_counters(std::string& out, const ControlPlaneCounters& c) {
+  append_u64(out, c.candidates_staged);
+  append_u64(out, c.candidates_displaced);
+  append_u64(out, c.shadow_samples);
+  append_u64(out, c.shadow_agreements);
+  append_u64(out, c.would_hit_pairs);
+  append_u64(out, c.would_hits_live);
+  append_u64(out, c.would_hits_shadow);
+  append_u64(out, c.promotions);
+  append_u64(out, c.rollbacks);
+  append_u64(out, c.guard_engagements);
+  append_u64(out, c.guard_disengagements);
+  append_u64(out, c.guarded_requests);
+  append_u64(out, c.autotune_epochs);
+  append_u64(out, c.threshold_raises);
+  append_u64(out, c.threshold_decays);
+  append_u64(out, c.window_shrinks);
+  append_u64(out, c.window_grows);
+}
+
+void read_counters(Reader& r, ControlPlaneCounters& c) {
+  c.candidates_staged = r.u64();
+  c.candidates_displaced = r.u64();
+  c.shadow_samples = r.u64();
+  c.shadow_agreements = r.u64();
+  c.would_hit_pairs = r.u64();
+  c.would_hits_live = r.u64();
+  c.would_hits_shadow = r.u64();
+  c.promotions = r.u64();
+  c.rollbacks = r.u64();
+  c.guard_engagements = r.u64();
+  c.guard_disengagements = r.u64();
+  c.guarded_requests = r.u64();
+  c.autotune_epochs = r.u64();
+  c.threshold_raises = r.u64();
+  c.threshold_decays = r.u64();
+  c.window_shrinks = r.u64();
+  c.window_grows = r.u64();
+}
+
+}  // namespace
+
+void PartialReport::merge(const PartialReport& other) {
+  acc.merge(other.acc);
+  control_plane.active = control_plane.active || other.control_plane.active;
+  control_plane.counters.merge(other.control_plane.counters);
+  lock_contentions += other.lock_contentions;
+  wall_seconds = std::max(wall_seconds, other.wall_seconds);
+  if (has_open_loop && other.has_open_loop) open_loop.merge(other.open_loop);
+}
+
+std::string encode_partial_report(const PartialReport& partial) {
+  std::string out;
+  out.reserve(1 << 16);
+  append_u32(out, kPartialMagic);
+  append_u32(out, kPartialVersion);
+  append_u32(out, partial.proc_index);
+  append_u32(out, partial.procs);
+  append_u32(out, partial.threads);
+  append_u32(out, partial.has_open_loop ? 1U : 0U);
+  append_u64(out, partial.lock_contentions);
+  append_f64(out, partial.wall_seconds);
+
+  const CdnServer::ReplayAccumulator& a = partial.acc;
+  append_f64(out, a.cpu_busy);
+  append_f64(out, a.disk_busy);
+  append_f64(out, a.origin_busy);
+  append_f64(out, a.client_busy);
+  append_u64(out, a.bytes_served);
+  append_u64(out, a.wan_bytes);
+  append_u64(out, a.hits);
+  append_u64(out, a.requests);
+  append_u64(out, a.peak_meta);
+  append_u64(out, a.origin_fetches);
+  append_u64(out, a.origin_retries);
+  append_u64(out, a.origin_timeouts);
+  append_u64(out, a.origin_errors);
+  append_u64(out, a.origin_hedges);
+  append_u64(out, a.hedge_cancels);
+  append_u64(out, a.stale_serves);
+  append_u64(out, a.failures);
+  append_u64(out, a.cache_hits);
+  append_u64(out, a.refetches);
+  append_u64(out, a.body_fetches);
+  append_histogram(out, a.latency);
+  append_histogram(out, a.fetch_latency);
+  append_u64_vector(out, a.window_hits);
+  append_u64_vector(out, a.window_counts);
+
+  append_u8(out, partial.control_plane.active ? 1 : 0);
+  append_u64(out, partial.control_plane.cells);
+  append_counters(out, partial.control_plane.counters);
+
+  if (partial.has_open_loop) {
+    const CdnServer::OpenLoopAccumulator& ol = partial.open_loop;
+    append_histogram(out, ol.sojourn);
+    append_histogram(out, ol.queue_wait);
+    append_f64(out, ol.first_arrival);
+    append_f64(out, ol.last_completion);
+    append_f64(out, ol.service_s);
+    append_u64(out, ol.queued);
+    append_u8(out, ol.any ? 1 : 0);
+  }
+
+  append_u32(out, kPartialMagic);
+  return out;
+}
+
+PartialReport decode_partial_report(std::string_view bytes) {
+  Reader r{bytes.data(), bytes.size()};
+  if (r.u32() != kPartialMagic) {
+    throw std::runtime_error("partial report: bad magic");
+  }
+  if (const std::uint32_t v = r.u32(); v != kPartialVersion) {
+    throw std::runtime_error("partial report: unsupported version " +
+                             std::to_string(v));
+  }
+  PartialReport partial;
+  partial.proc_index = r.u32();
+  partial.procs = r.u32();
+  partial.threads = r.u32();
+  const std::uint32_t flags = r.u32();
+  partial.has_open_loop = (flags & 1U) != 0;
+  partial.lock_contentions = r.u64();
+  partial.wall_seconds = r.f64();
+
+  CdnServer::ReplayAccumulator& a = partial.acc;
+  a.cpu_busy = r.f64();
+  a.disk_busy = r.f64();
+  a.origin_busy = r.f64();
+  a.client_busy = r.f64();
+  a.bytes_served = r.u64();
+  a.wan_bytes = r.u64();
+  a.hits = r.u64();
+  a.requests = r.u64();
+  a.peak_meta = r.u64();
+  a.origin_fetches = r.u64();
+  a.origin_retries = r.u64();
+  a.origin_timeouts = r.u64();
+  a.origin_errors = r.u64();
+  a.origin_hedges = r.u64();
+  a.hedge_cancels = r.u64();
+  a.stale_serves = r.u64();
+  a.failures = r.u64();
+  a.cache_hits = r.u64();
+  a.refetches = r.u64();
+  a.body_fetches = r.u64();
+  r.read_histogram(a.latency);
+  r.read_histogram(a.fetch_latency);
+  a.window_hits = r.read_u64_vector();
+  a.window_counts = r.read_u64_vector();
+
+  partial.control_plane.active = r.u8() != 0;
+  partial.control_plane.cells = r.u64();
+  read_counters(r, partial.control_plane.counters);
+
+  if (partial.has_open_loop) {
+    CdnServer::OpenLoopAccumulator& ol = partial.open_loop;
+    r.read_histogram(ol.sojourn);
+    r.read_histogram(ol.queue_wait);
+    ol.first_arrival = r.f64();
+    ol.last_completion = r.f64();
+    ol.service_s = r.f64();
+    ol.queued = r.u64();
+    ol.any = r.u8() != 0;
+  }
+
+  if (r.u32() != kPartialMagic) {
+    throw std::runtime_error("partial report: bad trailer magic");
+  }
+  if (r.remaining != 0) {
+    throw std::runtime_error("partial report: trailing garbage");
+  }
+  return partial;
+}
+
+PartialReport replay_worker_slice(CdnServer& server,
+                                  const trace::TraceSource& trace,
+                                  std::size_t proc_index,
+                                  const ProcReplayOptions& opts) {
+  PartialReport partial;
+  partial.proc_index = static_cast<std::uint32_t>(proc_index);
+  partial.procs = static_cast<std::uint32_t>(opts.procs);
+  partial.threads = static_cast<std::uint32_t>(opts.threads);
+  partial.has_open_loop = opts.open_loop;
+  const auto t0 = std::chrono::steady_clock::now();
+  partial.acc =
+      server.replay_slice(trace, proc_index, opts.procs, opts.threads,
+                          opts.window_requests,
+                          opts.open_loop ? &partial.open_loop : nullptr);
+  partial.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  partial.control_plane = server.collect_control_plane();
+  partial.lock_contentions = server.backend_lock_contentions();
+  return partial;
+}
+
+int run_replay_worker(CdnServer& server, const trace::TraceSource& trace,
+                      std::size_t proc_index, const ProcReplayOptions& opts,
+                      int out_fd) {
+  const PartialReport partial = replay_worker_slice(server, trace, proc_index, opts);
+  const std::string encoded = encode_partial_report(partial);
+  if (!util::write_all(out_fd, encoded.data(), encoded.size())) {
+    std::fprintf(stderr,
+                 "replay worker %zu: writing partial report to fd %d failed: %s\n",
+                 proc_index, out_fd, std::strerror(errno));
+    return 1;
+  }
+  return 0;
+}
+
+ServerReport replay_multiprocess(const CdnServer& parent,
+                                 const trace::TraceSource& trace,
+                                 const ProcReplayOptions& opts,
+                                 const std::string& exe,
+                                 const WorkerArgvFn& worker_argv) {
+  const std::size_t procs = std::max<std::size_t>(opts.procs, 1);
+  const std::size_t threads = std::max<std::size_t>(opts.threads, 1);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  // Spawn every worker before reading anything so the slices replay
+  // concurrently — that concurrency is the whole point of the fan-out.
+  std::vector<util::ChildProcess> children;
+  children.reserve(procs);
+  for (std::size_t p = 0; p < procs; ++p) {
+    children.push_back(util::spawn_with_pipe(exe, worker_argv(p), kWorkerPipeFd));
+  }
+
+  // Drain pipes in process order. A worker whose pipe fills simply blocks
+  // until its turn — partials are small (tens of KB) and the parent reads
+  // each stream to EOF, so there is no cross-pipe deadlock. A worker that
+  // dies closes its pipe, so a crashed child yields a short stream, never a
+  // hang. Reads and reaps happen for *every* child even when an earlier one
+  // failed, so no zombies survive the error path.
+  std::vector<std::string> blobs(procs);
+  std::string diagnostics;
+  const auto note = [&diagnostics, procs](std::size_t p, const std::string& what) {
+    if (!diagnostics.empty()) diagnostics += "; ";
+    diagnostics += "worker " + std::to_string(p) + "/" + std::to_string(procs) +
+                   ": " + what;
+  };
+  for (std::size_t p = 0; p < procs; ++p) {
+    try {
+      blobs[p] = util::read_fd_to_eof(children[p].read_fd);
+    } catch (const std::exception& e) {
+      note(p, e.what());
+    }
+    ::close(children[p].read_fd);
+  }
+  std::vector<util::ExitStatus> statuses(procs);
+  for (std::size_t p = 0; p < procs; ++p) {
+    statuses[p] = util::wait_child(children[p].pid);
+  }
+
+  std::vector<PartialReport> partials(procs);
+  for (std::size_t p = 0; p < procs; ++p) {
+    if (!statuses[p].ok()) {
+      note(p, statuses[p].describe() +
+                  (blobs[p].empty() ? " (no partial report)"
+                                    : " (partial report discarded)"));
+      continue;
+    }
+    try {
+      partials[p] = decode_partial_report(blobs[p]);
+      if (partials[p].proc_index != p ||
+          partials[p].procs != static_cast<std::uint32_t>(procs) ||
+          partials[p].threads != static_cast<std::uint32_t>(threads) ||
+          partials[p].has_open_loop != opts.open_loop) {
+        note(p, "partial report shape mismatch (wrong worker or options)");
+      }
+    } catch (const std::exception& e) {
+      note(p, e.what());
+    }
+  }
+  if (!diagnostics.empty()) {
+    throw std::runtime_error("replay_multiprocess: " + diagnostics);
+  }
+
+  // Merge in process-index order: process p hosted global workers
+  // {p + t*procs}, each already thread-merged, so this completes the same
+  // worker-index reduction replay_concurrent performs in-process.
+  PartialReport total = std::move(partials[0]);
+  for (std::size_t p = 1; p < procs; ++p) total.merge(partials[p]);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  ServerReport report =
+      parent.assemble_report(trace, opts.mode, total.acc, total.control_plane,
+                             procs * threads, wall, total.lock_contentions);
+  if (opts.open_loop) {
+    CdnServer::apply_open_loop_stats(report, total.open_loop, trace);
+  }
+  return report;
+}
+
+}  // namespace lhr::server

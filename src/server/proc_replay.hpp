@@ -1,0 +1,107 @@
+// Process-parallel replay engine, server half (see DESIGN.md "Process
+// fan-out"). The parent spawns P copies of its own binary in a hidden
+// worker mode; each worker mmaps the same .lhrt read-only, builds an
+// identical CdnServer, runs CdnServer::replay_slice on the shard subset
+// s % P == p (composed with per-process threads into the global partition
+// s % (P*T)), and streams one binary PartialReport back over a pipe
+// installed at kWorkerPipeFd. The parent drains every pipe, reaps every
+// child, merges the partials in process-index order, and assembles the
+// final ServerReport — canonically byte-identical to the single-process
+// replay at any procs x threads combination.
+//
+// This header owns the generic engine: partial-report encode/decode, the
+// worker-side slice runner, and the parent-side spawn/drain/merge. How a
+// worker process rebuilds the server (policy name -> policy instance) lives
+// one layer up in core/proc_replay.hpp, because policy construction needs
+// the factory, which lhr_server cannot link.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "server/cdn_server.hpp"
+
+namespace lhr::server {
+
+/// Descriptor where a worker writes its encoded partial report. Fixed at 3
+/// (first fd after stdio) by the spawn plumbing, so worker stdout/stderr
+/// stay free for diagnostics and sanitizer reports.
+inline constexpr int kWorkerPipeFd = 3;
+
+/// One worker process's share of a replay: its thread-merged accumulator,
+/// its server's control-plane slice (cells of unowned shards stay zero),
+/// and its open-loop partial when the replay ran open-loop.
+struct PartialReport {
+  std::uint32_t proc_index = 0;
+  std::uint32_t procs = 1;
+  std::uint32_t threads = 1;
+  CdnServer::ReplayAccumulator acc;
+  ControlPlaneReport control_plane;
+  std::uint64_t lock_contentions = 0;
+  double wall_seconds = 0.0;  ///< the worker's own replay wall-clock
+  bool has_open_loop = false;
+  CdnServer::OpenLoopAccumulator open_loop;
+
+  /// Merges `other` into this partial — call in ascending proc_index order
+  /// so the reduction matches the in-process worker-index discipline.
+  /// Control-plane cell *count* is not summed: every worker's server hosts
+  /// all cells, so the count comes from partial 0 and only counters add.
+  void merge(const PartialReport& other);
+};
+
+/// Fixed-layout host-endian binary encoding of a PartialReport (magic +
+/// version framed, length-checked). Same-machine pipe IPC only — this is
+/// not a portable file format.
+[[nodiscard]] std::string encode_partial_report(const PartialReport& partial);
+
+/// Inverse of encode_partial_report. Throws std::runtime_error on a
+/// truncated, over-long, or mis-framed buffer — a crashed worker's
+/// half-written stream decodes as a hard error, never as zero counters.
+[[nodiscard]] PartialReport decode_partial_report(std::string_view bytes);
+
+/// The replay shape every worker (and the parent's report assembly) agrees
+/// on. `threads` is per process; the global worker count is procs*threads.
+struct ProcReplayOptions {
+  std::size_t procs = 1;
+  std::size_t threads = 1;
+  ReplayMode mode = ReplayMode::kNormal;
+  std::size_t window_requests = 50'000;
+  bool open_loop = false;  ///< open-loop (virtual-queue) accounting
+};
+
+/// Worker side: runs this process's slice and returns the partial.
+[[nodiscard]] PartialReport replay_worker_slice(CdnServer& server,
+                                                const trace::TraceSource& trace,
+                                                std::size_t proc_index,
+                                                const ProcReplayOptions& opts);
+
+/// Worker side, top level: replay_worker_slice + encode + write to `out_fd`.
+/// Returns a process exit code (0 ok, non-zero on write failure).
+[[nodiscard]] int run_replay_worker(CdnServer& server,
+                                    const trace::TraceSource& trace,
+                                    std::size_t proc_index,
+                                    const ProcReplayOptions& opts, int out_fd);
+
+/// Builds the argv (excluding argv[0]) that re-enters `exe` as worker
+/// `proc_index`. Provided by the caller because only the core layer knows
+/// how to serialize its job description.
+using WorkerArgvFn = std::function<std::vector<std::string>(std::size_t proc_index)>;
+
+/// Parent side: spawns `opts.procs` workers of `exe`, drains every pipe to
+/// EOF (a dead worker closes its pipe, so this never hangs), reaps every
+/// child by pid (no SIGCHLD handler — safe inside gtest/benchmark hosts),
+/// then either throws std::runtime_error carrying a per-worker diagnostic
+/// (exit code / terminating signal / partial-decode failure, all workers
+/// listed) or merges the partials in process-index order and assembles the
+/// final report through `parent` — which must be configured identically to
+/// the workers' servers but is never replayed into.
+[[nodiscard]] ServerReport replay_multiprocess(const CdnServer& parent,
+                                               const trace::TraceSource& trace,
+                                               const ProcReplayOptions& opts,
+                                               const std::string& exe,
+                                               const WorkerArgvFn& worker_argv);
+
+}  // namespace lhr::server

@@ -1,0 +1,65 @@
+// RAII advisory file lock over flock(2), used to serialize cross-process
+// critical sections — notably runner::TraceCache spill-file generation, where
+// several replay processes may race to materialize the same keyed .lhrt.
+//
+// The lock file itself is a zero-byte sibling of the resource it guards
+// (created on demand, never deleted): deleting it would reopen the race it
+// exists to close, because a late-arriving process could lock a fresh inode
+// while an earlier holder still owns the old one.
+#pragma once
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace lhr::util {
+
+/// Blocking exclusive flock on `path` for the lifetime of the object.
+/// flock locks are per open-file-description, so two FileLocks on the same
+/// path exclude each other across threads of one process as well as across
+/// processes, and the kernel drops the lock automatically if the holder
+/// dies — a crashed trace-spill never wedges later runs.
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path) {
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ < 0) {
+      throw std::runtime_error("FileLock: open(" + path +
+                               ") failed: " + std::strerror(errno));
+    }
+    int rc;
+    do {
+      rc = ::flock(fd_, LOCK_EX);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      const int err = errno;
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("FileLock: flock(" + path +
+                               ") failed: " + std::strerror(err));
+    }
+  }
+
+  ~FileLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  FileLock(FileLock&&) = delete;
+  FileLock& operator=(FileLock&&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace lhr::util

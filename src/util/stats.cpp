@@ -69,6 +69,19 @@ void QuantileHistogram::merge(const QuantileHistogram& other) {
   sum_ += other.sum_;
 }
 
+void QuantileHistogram::add_bucket_counts(std::span<const std::uint64_t> counts,
+                                          double sum) {
+  if (counts.size() != counts_.size()) {
+    throw std::invalid_argument(
+        "QuantileHistogram::add_bucket_counts: bucket count mismatch");
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += counts[b];
+    total_ += counts[b];
+  }
+  sum_ += sum;
+}
+
 double QuantileHistogram::quantile(double q) const noexcept {
   if (total_ == 0) return 0.0;
   // NaN compares false against everything, so order the clamp to pin it to

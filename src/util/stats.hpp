@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace lhr::util {
@@ -65,6 +66,21 @@ class QuantileHistogram {
 
   [[nodiscard]] std::size_t count() const noexcept { return total_; }
   [[nodiscard]] double mean() const noexcept { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Raw per-bucket counts — with sum(), the complete mergeable state of the
+  /// histogram. This is what the process-parallel replay serializes over its
+  /// worker pipes; counts are integers, so shipping them and re-adding via
+  /// add_bucket_counts is exactly equivalent to merge().
+  [[nodiscard]] std::span<const std::uint64_t> bucket_counts() const noexcept {
+    return counts_;
+  }
+
+  /// Adds previously exported state (bucket_counts() + sum()) into this
+  /// histogram — merge() for state that crossed a process boundary. `counts`
+  /// must have exactly this histogram's bucket count; throws
+  /// std::invalid_argument otherwise (the layout-mismatch guard merge() has).
+  void add_bucket_counts(std::span<const std::uint64_t> counts, double sum);
 
   void reset() noexcept;
 

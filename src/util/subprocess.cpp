@@ -1,0 +1,139 @@
+#include "util/subprocess.hpp"
+
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+extern char** environ;
+
+namespace lhr::util {
+
+std::string self_exe_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) {
+    throw std::runtime_error(
+        std::string("self_exe_path: readlink(/proc/self/exe) failed: ") +
+        std::strerror(errno));
+  }
+  return {buf, static_cast<std::size_t>(n)};
+}
+
+ChildProcess spawn_with_pipe(const std::string& exe,
+                             const std::vector<std::string>& args,
+                             int child_write_fd) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    throw std::runtime_error(std::string("spawn_with_pipe: pipe failed: ") +
+                             std::strerror(errno));
+  }
+
+  posix_spawn_file_actions_t actions;
+  posix_spawn_file_actions_init(&actions);
+  // Child-side descriptor plumbing: the write end lands at `child_write_fd`
+  // and both original pipe descriptors disappear, so EOF on the parent's
+  // read end fires exactly when the child's last write handle is gone.
+  // Collision guard: pipe() hands out the lowest free descriptors, which in
+  // a freshly-exec'd parent are exactly 3 and 4 — i.e. fds[0] is often
+  // child_write_fd itself. The dup2 already clobbers (and thus closes) that
+  // slot in the child, so closing it again would destroy the write end.
+  posix_spawn_file_actions_adddup2(&actions, fds[1], child_write_fd);
+  if (fds[0] != child_write_fd) {
+    posix_spawn_file_actions_addclose(&actions, fds[0]);
+  }
+  if (fds[1] != child_write_fd) {
+    posix_spawn_file_actions_addclose(&actions, fds[1]);
+  }
+
+  // posix_spawn's argv is char* const[]; it never writes through the
+  // pointers, so the const_casts are safe.
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 2);
+  argv.push_back(const_cast<char*>(exe.c_str()));
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+
+  pid_t pid = -1;
+  const int rc =
+      ::posix_spawn(&pid, exe.c_str(), &actions, nullptr, argv.data(), environ);
+  posix_spawn_file_actions_destroy(&actions);
+  if (rc != 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    throw std::runtime_error("spawn_with_pipe: posix_spawn(" + exe +
+                             ") failed: " + std::strerror(rc));
+  }
+  ::close(fds[1]);
+  return ChildProcess{pid, fds[0]};
+}
+
+std::string read_fd_to_eof(int fd) {
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;
+    if (errno == EINTR) continue;
+    throw std::runtime_error(std::string("read_fd_to_eof: read failed: ") +
+                             std::strerror(errno));
+  }
+  return out;
+}
+
+bool write_all(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n > 0) {
+      p += n;
+      size -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+ExitStatus wait_child(pid_t pid) {
+  int status = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(pid, &status, 0);
+    if (r == pid) break;
+    if (r < 0 && errno == EINTR) continue;
+    throw std::runtime_error("wait_child: waitpid(" + std::to_string(pid) +
+                             ") failed: " + std::strerror(errno));
+  }
+  ExitStatus es;
+  if (WIFEXITED(status)) {
+    es.exited = true;
+    es.code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    es.signal = WTERMSIG(status);
+  }
+  return es;
+}
+
+std::string ExitStatus::describe() const {
+  if (exited) {
+    return code == 0 ? std::string("exit 0")
+                     : "exit code " + std::to_string(code);
+  }
+  if (signal != 0) {
+    const char* name = ::strsignal(signal);
+    std::string out = "killed by signal " + std::to_string(signal);
+    if (name != nullptr) out += std::string(" (") + name + ")";
+    return out;
+  }
+  return "unknown wait status";
+}
+
+}  // namespace lhr::util

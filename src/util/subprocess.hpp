@@ -1,0 +1,69 @@
+// Minimal child-process plumbing for the process-parallel replay engine:
+// posix_spawn a copy of the current binary with a pipe installed at a fixed
+// descriptor, drain the pipe, and reap the child with a decodable status.
+//
+// Deliberately not a general subprocess library — no shell, no stdin/stdout
+// capture, no signals sent. The worker protocol only needs "spawn with argv,
+// read one stream to EOF, wait".
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lhr::util {
+
+/// Absolute path of the running executable (readlink of /proc/self/exe).
+/// This is what the replay engine re-execs to get worker processes with the
+/// exact same code, build flags, and sanitizer runtime as the parent.
+/// Throws std::runtime_error if the link cannot be read.
+[[nodiscard]] std::string self_exe_path();
+
+/// Handle to a spawned child: its pid and the read end of its pipe. The
+/// caller owns both — read `read_fd` to EOF, close it, then wait_child(pid).
+struct ChildProcess {
+  pid_t pid = -1;
+  int read_fd = -1;
+};
+
+/// Spawns `exe` with argv {exe, args...} via posix_spawn. A fresh pipe's
+/// write end is installed at descriptor `child_write_fd` in the child (the
+/// original pipe fds are closed there), and the parent keeps only the read
+/// end. The environment is inherited, so ASAN_OPTIONS/TSAN_OPTIONS and the
+/// LHR_* knobs flow through to workers. Throws std::runtime_error on
+/// pipe/spawn failure.
+[[nodiscard]] ChildProcess spawn_with_pipe(const std::string& exe,
+                                           const std::vector<std::string>& args,
+                                           int child_write_fd);
+
+/// Reads `fd` until EOF (EINTR-safe) and returns everything read. Does not
+/// close the descriptor. A child that dies mid-write closes its end of the
+/// pipe when the kernel tears the process down, so this never hangs on a
+/// crashed worker — it just returns the truncated stream.
+[[nodiscard]] std::string read_fd_to_eof(int fd);
+
+/// Writes all of `data` to `fd` (EINTR-safe). Returns false on any other
+/// write error (e.g. the parent closed the read end).
+bool write_all(int fd, const void* data, std::size_t size);
+
+/// Decoded waitpid status.
+struct ExitStatus {
+  bool exited = false;  ///< true when the child exited (vs. was signaled)
+  int code = 0;         ///< exit code, valid when `exited`
+  int signal = 0;       ///< terminating signal, valid when !`exited`
+
+  [[nodiscard]] bool ok() const noexcept { return exited && code == 0; }
+  /// Human-readable status for diagnostics: "exit 0", "exit code 2",
+  /// "killed by signal 9 (Killed)".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Blocking, EINTR-safe waitpid on one specific pid. Reaping by explicit pid
+/// (rather than a SIGCHLD handler or wait(-1)) keeps the engine safe to use
+/// from processes that host other children — gtest, google-benchmark, or a
+/// future daemon mode. Throws std::runtime_error if waitpid fails outright.
+[[nodiscard]] ExitStatus wait_child(pid_t pid);
+
+}  // namespace lhr::util

@@ -1,0 +1,331 @@
+// Process-parallel replay engine tests (server/proc_replay + core/proc_replay).
+//
+// The suite spawns real worker processes: this binary re-execs ITSELF in
+// hidden --replay-worker mode, so main() below installs the worker hook
+// before gtest ever sees argv. The headline property is the ISSUE's
+// acceptance bar — the canonical report of `--procs P` is byte-identical to
+// `--procs 1` for P in {1,2,4} at 1 and 2 threads per process, with and
+// without an origin fault schedule — plus the failure contract: a crashed,
+// killed or mis-behaving worker surfaces as a per-worker diagnostic in a
+// thrown error, never as a hang or a silently-wrong merge.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/proc_replay.hpp"
+#include "gen/cdn_model.hpp"
+#include "runner/trace_cache.hpp"
+#include "server/proc_replay.hpp"
+#include "trace/lhrt.hpp"
+#include "util/subprocess.hpp"
+
+namespace {
+
+using namespace lhr;
+
+// ------------------------------------------------------------ fixtures
+
+constexpr std::size_t kRequests = 20'000;
+constexpr std::uint64_t kSeed = 42;
+
+std::string temp_dir() {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() /
+                       ("lhr-proc-replay-test-" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// The shared .lhrt every test replays: written once per test process, and
+/// removed (with the rest of the scratch directory) at exit.
+const std::string& test_trace_path() {
+  static const std::string path = [] {
+    const std::string p = temp_dir() + "/cdn-a.lhrt";
+    const trace::Trace t = gen::make_trace(gen::TraceClass::kCdnA, kRequests, kSeed);
+    trace::write_lhrt_file(t, p, kSeed, static_cast<std::int32_t>(gen::TraceClass::kCdnA));
+    return p;
+  }();
+  return path;
+}
+
+struct ScratchCleanup {
+  ~ScratchCleanup() {
+    std::error_code ec;
+    std::filesystem::remove_all(temp_dir(), ec);
+  }
+} const scratch_cleanup;
+
+core::ProcReplayJob base_job() {
+  core::ProcReplayJob job;
+  job.trace_path = test_trace_path();
+  job.policy = "LRU";
+  job.capacity_bytes = 64ULL << 20;
+  job.shards = 16;
+  job.mode = server::ReplayMode::kMax;
+  job.window_requests = 5'000;
+  return job;
+}
+
+double test_trace_duration() {
+  static const double duration = [] {
+    const trace::MappedTrace t(test_trace_path());
+    return t.duration();
+  }();
+  return duration;
+}
+
+std::string fault_spec_for_trace() {
+  const double d = test_trace_duration();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "outage:%.3f-%.3f;error:%.3f-%.3f@0.5;slow:%.3f-%.3f@x4",
+                0.10 * d, 0.20 * d, 0.30 * d, 0.50 * d, 0.60 * d, 0.80 * d);
+  return buf;
+}
+
+// ----------------------------------------------------- partial reports
+
+TEST(ProcReplayTest, PartialReportRoundTrip) {
+  const core::ProcReplayJob job = base_job();
+  const auto server = core::make_job_server(job);
+  const trace::MappedTrace trace(job.trace_path);
+
+  server::ProcReplayOptions opts;
+  opts.procs = 2;
+  opts.threads = 2;
+  opts.mode = job.mode;
+  opts.window_requests = job.window_requests;
+  const server::PartialReport partial =
+      server::replay_worker_slice(*server, trace, /*proc_index=*/1, opts);
+  EXPECT_EQ(partial.proc_index, 1u);
+  EXPECT_EQ(partial.procs, 2u);
+  EXPECT_GT(partial.acc.requests, 0u);
+
+  const std::string encoded = server::encode_partial_report(partial);
+  const server::PartialReport decoded = server::decode_partial_report(encoded);
+  // Re-encoding the decoded partial reproduces every byte: the codec loses
+  // nothing the merge depends on.
+  EXPECT_EQ(server::encode_partial_report(decoded), encoded);
+  EXPECT_EQ(decoded.acc.requests, partial.acc.requests);
+  EXPECT_EQ(decoded.acc.hits, partial.acc.hits);
+  EXPECT_EQ(decoded.lock_contentions, partial.lock_contentions);
+}
+
+TEST(ProcReplayTest, DecodeRejectsCorruption) {
+  const core::ProcReplayJob job = base_job();
+  const auto server = core::make_job_server(job);
+  const trace::MappedTrace trace(job.trace_path);
+  const std::string encoded = server::encode_partial_report(
+      server::replay_worker_slice(*server, trace, 0, {}));
+
+  // Truncation at any framing boundary is a hard error, not zero counters.
+  EXPECT_THROW((void)server::decode_partial_report(""), std::runtime_error);
+  EXPECT_THROW((void)server::decode_partial_report(encoded.substr(0, 16)),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)server::decode_partial_report(encoded.substr(0, encoded.size() - 1)),
+      std::runtime_error);
+  EXPECT_THROW((void)server::decode_partial_report(encoded + "x"),
+               std::runtime_error);
+  std::string bad_magic = encoded;
+  bad_magic[0] ^= 0x5A;
+  EXPECT_THROW((void)server::decode_partial_report(bad_magic), std::runtime_error);
+}
+
+// ------------------------------------------------------- shard algebra
+
+TEST(ProcReplayTest, ShardOwnershipDisjoint) {
+  // Process p + thread t host global worker p + t*procs; shard s belongs to
+  // global worker s % (procs*threads). The process-level partition must
+  // compose: owner(s) lives in process s % procs, and exactly one
+  // (process, thread) pair owns each shard.
+  for (const std::size_t procs : {1u, 2u, 3u, 4u}) {
+    for (const std::size_t threads : {1u, 2u, 3u}) {
+      const std::size_t n_global = procs * threads;
+      for (std::size_t s = 0; s < 64; ++s) {
+        const std::size_t global_owner = s % n_global;
+        std::size_t owners = 0;
+        for (std::size_t p = 0; p < procs; ++p) {
+          for (std::size_t t = 0; t < threads; ++t) {
+            if (p + t * procs == global_owner) {
+              ++owners;
+              EXPECT_EQ(p, s % procs) << "s=" << s << " procs=" << procs
+                                      << " threads=" << threads;
+            }
+          }
+        }
+        EXPECT_EQ(owners, 1u);
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------- determinism
+
+TEST(ProcReplayTest, CanonicalIdenticalAcrossProcsAndThreads) {
+  const core::ProcReplayJob base = base_job();
+
+  // In-process single-threaded replay is the reference.
+  const auto reference_server = core::make_job_server(base);
+  const trace::MappedTrace trace(base.trace_path);
+  const std::string reference =
+      reference_server
+          ->replay_concurrent(trace, base.mode, 1, base.window_requests)
+          .canonical_summary();
+  ASSERT_FALSE(reference.empty());
+
+  for (const std::size_t procs : {1u, 2u, 4u}) {
+    for (const std::size_t threads : {1u, 2u}) {
+      core::ProcReplayJob job = base;
+      job.procs = procs;
+      job.threads = threads;
+      const server::ServerReport report = core::run_proc_replay(job);
+      EXPECT_EQ(report.canonical_summary(), reference)
+          << "procs=" << procs << " threads=" << threads;
+      EXPECT_EQ(report.replay_threads, procs * threads);
+    }
+  }
+}
+
+TEST(ProcReplayTest, FaultScheduleCanonicalIdentical) {
+  core::ProcReplayJob base = base_job();
+  base.origin_profile = "lognormal:sigma=0.5,timeout=0.25,retries=3";
+  base.fault_schedule = fault_spec_for_trace();
+  base.freshness_ttl_s = test_trace_duration() / 10.0;
+
+  base.procs = 1;
+  base.threads = 1;
+  const std::string reference = core::run_proc_replay(base).canonical_summary();
+  // The schedule must actually bite for this test to mean anything.
+  EXPECT_NE(reference.find("origin:"), std::string::npos);
+
+  for (const std::size_t procs : {2u, 4u}) {
+    for (const std::size_t threads : {1u, 2u}) {
+      core::ProcReplayJob job = base;
+      job.procs = procs;
+      job.threads = threads;
+      EXPECT_EQ(core::run_proc_replay(job).canonical_summary(), reference)
+          << "procs=" << procs << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ProcReplayTest, OpenLoopAggregatesDeterministic) {
+  core::ProcReplayJob base = base_job();
+  base.open_loop = true;
+  base.mode = server::ReplayMode::kNormal;
+
+  base.procs = 1;
+  const server::ServerReport reference = core::run_proc_replay(base);
+  EXPECT_TRUE(reference.open_loop);
+  EXPECT_EQ(reference.requests, kRequests);
+
+  base.procs = 2;
+  const server::ServerReport fanned = core::run_proc_replay(base);
+  EXPECT_TRUE(fanned.open_loop);
+  // Canonical aggregates (counters, latency quantiles, windows) stay
+  // byte-identical; wall-clock-derived open-loop rates legitimately differ.
+  EXPECT_EQ(fanned.canonical_summary(), reference.canonical_summary());
+  EXPECT_EQ(fanned.queued_requests, reference.queued_requests);
+}
+
+// ----------------------------------------------------- failure contract
+
+TEST(ProcReplayTest, CrashedWorkerSurfacesDiagnostic) {
+  ::setenv("LHR_PROC_REPLAY_TEST_CRASH", "1", 1);
+  struct EnvGuard {
+    ~EnvGuard() { ::unsetenv("LHR_PROC_REPLAY_TEST_CRASH"); }
+  } guard;
+
+  core::ProcReplayJob job = base_job();
+  job.procs = 2;
+  try {
+    (void)core::run_proc_replay(job);
+    FAIL() << "a SIGKILLed worker must fail the parent replay";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("worker 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("signal"), std::string::npos) << what;
+  }
+}
+
+TEST(ProcReplayTest, WorkerExitCodeSurfaces) {
+  // A worker that rejects its argv (version-skew protection) exits 1; the
+  // parent must surface that exit code, not hang on the empty pipe.
+  const core::ProcReplayJob job = base_job();
+  const auto parent = core::make_job_server(job);
+  const trace::MappedTrace trace(job.trace_path);
+  try {
+    (void)server::replay_multiprocess(
+        *parent, trace, {}, util::self_exe_path(), [](std::size_t) {
+          return std::vector<std::string>{core::kReplayWorkerFlag,
+                                          "--worker-bogus", "1"};
+        });
+    FAIL() << "a worker exiting non-zero must fail the parent replay";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("exit code 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("no partial report"), std::string::npos) << what;
+  }
+}
+
+// -------------------------------------------------- trace-cache spill
+
+TEST(ProcReplayTest, TraceCacheSpillLocked) {
+  runner::TraceCache::Options options;
+  options.requests_per_trace = 5'000;
+  options.seed = 7;
+  options.spill_mb = 0;  // force the on-disk path for every class
+  options.cache_dir = temp_dir() + "/trace-cache";
+
+  // Two caches (standing in for two processes) race to spill the same keyed
+  // file; the flock serializes generation, so both end up mapping one valid
+  // copy.
+  runner::TraceCache a(options);
+  runner::TraceCache b(options);
+  std::string path_a, path_b;
+  std::thread ta([&] { path_a = a.lhrt_path_for(gen::TraceClass::kCdnB); });
+  std::thread tb([&] { path_b = b.lhrt_path_for(gen::TraceClass::kCdnB); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(path_a, path_b);
+
+  const trace::MappedTrace mapped(path_a);
+  EXPECT_EQ(mapped.size(), options.requests_per_trace);
+  EXPECT_EQ(mapped.seed(), options.seed);
+  EXPECT_EQ(mapped.trace_class(), static_cast<int>(gen::TraceClass::kCdnB));
+
+  // No stray temp files survive a completed generation.
+  std::size_t lhrt_files = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options.cache_dir)) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_EQ(name.find(".tmp."), std::string::npos) << name;
+    if (entry.path().extension() == ".lhrt") ++lhrt_files;
+  }
+  EXPECT_EQ(lhrt_files, 1u);
+
+  // get() serves the mapped spill through the TraceSource interface too.
+  EXPECT_EQ(a.get(gen::TraceClass::kCdnB).size(), options.requests_per_trace);
+}
+
+}  // namespace
+
+// Custom main: the worker hook must run before InitGoogleTest so a spawned
+// worker never parses gtest flags (and gtest's --gtest_list_tests discovery
+// still works — worker argv always starts with --replay-worker, which the
+// hook consumes and gtest never sees).
+int main(int argc, char** argv) {
+  if (const int rc = lhr::core::proc_replay_worker_main(argc, argv); rc >= 0) {
+    return rc;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
